@@ -1,0 +1,55 @@
+//! E3 — §2.4: "make snap scope as broad as possible, since a broader snap
+//! favors optimization."
+//!
+//! Two programs performing the same N log insertions:
+//! * **broad**: one (implicit) snap collecting all N requests, applied
+//!   once at the end;
+//! * **per-item**: `snap insert` inside the loop — N separate snapshot
+//!   scopes, each applying immediately (and therefore each observable).
+//!
+//! Expected shape: broad ≥ per-item throughput; the per-item variant pays
+//! a Δ-scope open/apply cycle per iteration, and the broad variant keeps
+//! the loop body effect-free (the precondition for every §4 rewrite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use xqcore::Engine;
+
+fn engine_with_log() -> Engine {
+    let mut e = Engine::new();
+    e.load_document("logdoc", "<log/>").unwrap();
+    e
+}
+
+fn bench_snap_scope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_snap_scope");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for n in [100usize, 1_000, 5_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let broad = format!(
+            "for $i in 1 to {n} return insert {{ <entry n=\"{{$i}}\"/> }} into {{ $logdoc/log }}"
+        );
+        let per_item = format!(
+            "for $i in 1 to {n} return snap insert {{ <entry n=\"{{$i}}\"/> }} into {{ $logdoc/log }}"
+        );
+        group.bench_with_input(BenchmarkId::new("broad-snap", n), &broad, |b, q| {
+            b.iter_batched(
+                engine_with_log,
+                |mut e| e.run(q).expect("broad"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("per-item-snap", n), &per_item, |b, q| {
+            b.iter_batched(
+                engine_with_log,
+                |mut e| e.run(q).expect("per-item"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snap_scope);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E4 — §2.5/§3.4: nested `snap` is stack-like, with per-scope Δ lists.
+//!
+//! The stack-of-update-lists implementation (§4.1) should make a nested
+//! snap cost O(depth) scope pushes/pops plus its own updates — i.e. time
+//! linear in depth, with no superlinear blow-up from re-scanning outer
+//! scopes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use xqcore::Engine;
+
+/// Build `snap { insert..., snap { insert..., ... } }` `depth` levels deep.
+fn nested_snap_query(depth: usize) -> String {
+    let mut q = String::from("insert { <leaf/> } into { $doc/x }");
+    for i in 0..depth {
+        q = format!("snap {{ insert {{ <l{i}/> }} into {{ $doc/x }}, {q} }}");
+    }
+    q
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_nested_snap");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for depth in [1usize, 16, 64, 128] {
+        group.throughput(Throughput::Elements(depth as u64));
+        let q = nested_snap_query(depth);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &q, |b, q| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    e.load_document("doc", "<x/>").unwrap();
+                    e
+                },
+                |mut e| e.run(q).expect("nested snap"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+
+    // Correctness pin: the paper's §3.4 ordering example, asserted here so
+    // the bench cannot drift from the semantics it claims to measure.
+    let mut e = Engine::new();
+    e.load_document("doc", "<x/>").unwrap();
+    e.run(
+        r#"let $x := $doc/x return
+           snap ordered { insert {<a/>} into $x,
+                          snap { insert {<b/>} into $x },
+                          insert {<c/>} into $x }"#,
+    )
+    .unwrap();
+    let names = e.run("for $n in $doc/x/* return name($n)").unwrap();
+    assert_eq!(e.serialize(&names).unwrap(), "b a c");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

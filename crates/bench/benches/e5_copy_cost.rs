@@ -1,0 +1,58 @@
+//! E5 — §3.3: normalization wraps every `insert`/`replace` source in a
+//! deep `copy` ("this copy prevents the inserted tree from having two
+//! parents").
+//!
+//! Measures the semantic tax of that rule: deep-copying a subtree of t
+//! nodes is Θ(t), so inserting a large existing tree costs linear in its
+//! size even though the insertion splice itself is O(1)-ish. The
+//! `reference-only` baseline (just evaluating the source path) bounds the
+//! non-copy part.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use xqbench::element_tree;
+use xqcore::Engine;
+use xqdm::{Item, QName};
+
+fn engine_with_tree(t: usize) -> Engine {
+    let mut e = Engine::new();
+    let root = element_tree(&mut e.store, t).expect("tree");
+    let dst = e.store.new_element(QName::local("dst"));
+    e.bind("src", vec![Item::Node(root)]);
+    e.bind("dst", vec![Item::Node(dst)]);
+    e
+}
+
+fn bench_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_copy_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for t in [10usize, 100, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(t as u64));
+        group.bench_with_input(BenchmarkId::new("copy-op", t), &t, |b, &t| {
+            b.iter_batched(
+                || engine_with_tree(t),
+                |mut e| e.run("copy { $src }").expect("copy"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("insert-with-implicit-copy", t), &t, |b, &t| {
+            b.iter_batched(
+                || engine_with_tree(t),
+                |mut e| e.run("insert { $src } into { $dst }").expect("insert"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("reference-only", t), &t, |b, &t| {
+            b.iter_batched(
+                || engine_with_tree(t),
+                |mut e| e.run("count(($src))").expect("reference"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_copy);
+criterion_main!(benches);

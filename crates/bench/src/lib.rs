@@ -1,0 +1,168 @@
+//! Shared fixtures for the XQuery! benchmark harness.
+//!
+//! One Criterion bench per experiment in DESIGN.md §6 lives under
+//! `benches/`; this library holds the workload builders they share, so a
+//! bench file reads like the experiment protocol it implements.
+
+use xmarkgen::{Scale, XmarkGen};
+use xqcore::update::{Delta, UpdateRequest};
+use xqdm::item::{Item, Sequence};
+use xqdm::store::InsertAnchor;
+use xqdm::{NodeId, QName, Store, XdmResult};
+
+/// The §4.3 XMark Q8 variant, verbatim from the paper (modulo `$purchasers`
+/// pointing at an element we create).
+pub const Q8_VARIANT: &str = r#"
+for $p in $auction//person
+let $a :=
+  for $t in $auction//closed_auction
+  where $t/buyer/@person = $p/@id
+  return (insert { <buyer person="{$t/buyer/@person}"
+                     itemid="{$t/itemref/@item}" /> }
+          into { $purchasers }, $t)
+return <item person="{ $p/name }">{ count($a) }</item>"#;
+
+/// The same query with `snap insert` in the inner branch — the §4.3
+/// variation that must suppress the join rewrite (experiment E8).
+pub const Q8_SNAP_VARIANT: &str = r#"
+for $p in $auction//person
+let $a :=
+  for $t in $auction//closed_auction
+  where $t/buyer/@person = $p/@id
+  return (snap insert { <buyer person="{$t/buyer/@person}"
+                          itemid="{$t/itemref/@item}" /> }
+          into { $purchasers }, $t)
+return <item person="{ $p/name }">{ count($a) }</item>"#;
+
+/// Build an XMark store plus a fresh `purchasers` element; returns
+/// `(store, bindings)` ready for `xqalg::run_naive`/`run_optimized`.
+pub fn xmark_fixture(seed: u64, scale: &Scale) -> (Store, Vec<(String, Sequence)>) {
+    let mut store = Store::new();
+    let auction = XmarkGen::new(seed).generate(&mut store, scale).expect("generate xmark");
+    let purchasers = store.new_element(QName::local("purchasers"));
+    (
+        store,
+        vec![
+            ("auction".to_string(), vec![Item::Node(auction)]),
+            ("purchasers".to_string(), vec![Item::Node(purchasers)]),
+        ],
+    )
+}
+
+/// A conflict-free Δ of `k` rename requests over `k` fresh nodes.
+/// (Renames commute when targets are distinct, so every snap mode accepts
+/// this list — it isolates pure application/verification cost.)
+pub fn renames_delta(store: &mut Store, k: usize) -> Delta {
+    (0..k)
+        .map(|i| {
+            let n = store.new_element(QName::local(format!("n{i}")));
+            UpdateRequest::Rename { node: n, name: QName::local(format!("r{i}")) }
+        })
+        .collect()
+}
+
+/// A conflict-free Δ of `k` chained inserts under one parent (each insert
+/// anchors after the previous node, so slots are all distinct).
+pub fn chained_inserts_delta(store: &mut Store, k: usize) -> (NodeId, Delta) {
+    let parent = store.new_element(QName::local("p"));
+    let first = store.new_element(QName::local("c"));
+    store.append_child(parent, first).expect("seed child");
+    let mut delta = Delta::new();
+    let mut anchor = first;
+    for _ in 0..k {
+        let c = store.new_element(QName::local("c"));
+        delta.push(UpdateRequest::Insert {
+            nodes: vec![c],
+            parent,
+            anchor: InsertAnchor::After(anchor),
+        });
+        anchor = c;
+    }
+    (parent, delta)
+}
+
+/// A Δ with exactly one conflict buried at the end (worst case for the
+/// verifier: it must scan everything).
+pub fn conflicting_delta(store: &mut Store, k: usize) -> Delta {
+    let mut delta = renames_delta(store, k);
+    let victim = store.new_element(QName::local("victim"));
+    delta.push(UpdateRequest::Rename { node: victim, name: QName::local("a") });
+    delta.push(UpdateRequest::Rename { node: victim, name: QName::local("b") });
+    delta
+}
+
+/// Build a balanced element tree with `n` element nodes total (fanout 8),
+/// returning its root. Used by the deep-copy experiment.
+pub fn element_tree(store: &mut Store, n: usize) -> XdmResult<NodeId> {
+    let root = store.new_element(QName::local("root"));
+    let mut frontier = vec![root];
+    let mut made = 1usize;
+    'outer: loop {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..8 {
+                if made >= n {
+                    break 'outer;
+                }
+                let c = store.new_element(QName::local("node"));
+                let t = store.new_text("x");
+                store.append_child(c, t)?;
+                store.append_child(parent, c)?;
+                next.push(c);
+                made += 1;
+            }
+        }
+        frontier = next;
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqcore::verify_conflict_free;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let (store, bindings) = xmark_fixture(1, &Scale::tiny());
+        assert_eq!(bindings.len(), 2);
+        assert!(store.len() > 50);
+    }
+
+    #[test]
+    fn renames_delta_is_conflict_free() {
+        let mut store = Store::new();
+        let d = renames_delta(&mut store, 100);
+        assert_eq!(d.len(), 100);
+        assert!(verify_conflict_free(&d).is_ok());
+    }
+
+    #[test]
+    fn chained_inserts_are_conflict_free_and_apply() {
+        let mut store = Store::new();
+        let (parent, d) = chained_inserts_delta(&mut store, 50);
+        assert!(verify_conflict_free(&d).is_ok());
+        xqcore::apply_delta(&mut store, d, xqcore::SnapMode::Ordered, 0).unwrap();
+        assert_eq!(store.children(parent).unwrap().len(), 51);
+    }
+
+    #[test]
+    fn conflicting_delta_is_detected() {
+        let mut store = Store::new();
+        let d = conflicting_delta(&mut store, 100);
+        assert!(verify_conflict_free(&d).is_err());
+    }
+
+    #[test]
+    fn element_tree_has_requested_size() {
+        let mut store = Store::new();
+        let root = element_tree(&mut store, 100).unwrap();
+        let elems = store
+            .descendants(root)
+            .unwrap()
+            .into_iter()
+            .filter(|&n| store.name(n).unwrap().is_some())
+            .count();
+        assert_eq!(elems + 1, 100); // +1 for the root itself
+    }
+}

@@ -1,0 +1,331 @@
+//! The high-level engine facade: the API a host application uses.
+//!
+//! Wraps store + parser + normalizer + evaluator into the workflow of the
+//! paper's Web-service scenario: load documents, bind host variables, run
+//! XQuery! programs (each with its implicit top-level snap), and inspect or
+//! serialize the resulting store.
+
+use crate::env::DynEnv;
+use crate::eval::Evaluator;
+use xqdm::item::{Item, Sequence};
+use xqdm::{NodeId, Store, XdmResult};
+use xqsyn::cursor::ParseError;
+use xqsyn::{compile, CoreProgram};
+
+/// Engine errors: parse-time or evaluation-time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Dynamic (evaluation/data-model) error.
+    Eval(xqdm::XdmError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<xqdm::XdmError> for Error {
+    fn from(e: xqdm::XdmError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+pub use crate::eval::EvalStats;
+
+/// The XQuery! engine.
+#[derive(Default)]
+pub struct Engine {
+    /// The node store. Public: hosts may construct data directly.
+    pub store: Store,
+    bindings: Vec<(String, Sequence)>,
+    /// Functions registered by [`Engine::load_module`], visible to every
+    /// subsequent query (the paper's §2.2 "service calls implemented as
+    /// XQuery functions organized in a module").
+    module_functions: Vec<xqsyn::CoreFunction>,
+    seed: u64,
+    last_stats: Option<EvalStats>,
+}
+
+impl Engine {
+    /// A fresh engine with an empty store.
+    pub fn new() -> Self {
+        Engine {
+            store: Store::new(),
+            bindings: Vec::new(),
+            module_functions: Vec::new(),
+            seed: 0x5eed,
+            last_stats: None,
+        }
+    }
+
+    /// Register a module: its `declare function`s become available to
+    /// every subsequent [`Engine::run`], and its `declare variable`s are
+    /// evaluated *now* (inside their own implicit snap) and installed as
+    /// persistent bindings — so module state like the paper's §2.5
+    /// counter survives across service calls. A body, if present, is
+    /// evaluated and its value discarded.
+    pub fn load_module(&mut self, source: &str) -> Result<(), Error> {
+        let program = compile(source)?;
+        // Functions first, so variable initializers may call them (and
+        // functions from earlier modules).
+        self.module_functions.extend(program.functions.iter().cloned());
+        let mut evaluator = self.evaluator_for(&program);
+        for (name, init) in &program.variables {
+            let mut env = DynEnv::new();
+            let value = evaluator.eval_query(&mut self.store, &mut env, init)?;
+            evaluator.bind_global(name.clone(), value.clone());
+            self.bind(name, value);
+        }
+        Ok(())
+    }
+
+    /// Statistics from the most recent successful [`Engine::run`] /
+    /// [`Engine::run_program`]: snaps closed (≥ 1, the implicit one),
+    /// update requests applied, deepest snap nesting.
+    pub fn last_stats(&self) -> Option<EvalStats> {
+        self.last_stats
+    }
+
+    /// Fix the seed used for nondeterministic snap application.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parse an XML document into the store and bind its document node to
+    /// `$name`. Returns the document node.
+    pub fn load_document(&mut self, name: &str, xml: &str) -> XdmResult<NodeId> {
+        let doc = xqdm::xml::parse_document(&mut self.store, xml)?;
+        self.bind(name, vec![Item::Node(doc)]);
+        Ok(doc)
+    }
+
+    /// Bind `$name` to a host-supplied value for subsequent queries.
+    pub fn bind(&mut self, name: &str, value: Sequence) {
+        self.bindings.retain(|(n, _)| n != name);
+        self.bindings.push((name.to_string(), value));
+    }
+
+    /// Look up a host binding.
+    pub fn binding(&self, name: &str) -> Option<&Sequence> {
+        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Parse, normalize and run an XQuery! program against the store.
+    /// The query body (and prolog variable initializers) run inside the
+    /// implicit top-level snap; all effects are applied when this returns.
+    pub fn run(&mut self, query: &str) -> Result<Sequence, Error> {
+        let program = compile(query)?;
+        Ok(self.run_program(&program)?)
+    }
+
+    /// Run an already-compiled program.
+    pub fn run_program(&mut self, program: &CoreProgram) -> XdmResult<Sequence> {
+        let mut evaluator = self.evaluator_for(program);
+        let result = evaluator.eval_program(&mut self.store, program);
+        self.last_stats = Some(evaluator.stats());
+        result
+    }
+
+    /// An evaluator seeded with this engine's modules and bindings.
+    fn evaluator_for(&self, program: &CoreProgram) -> Evaluator {
+        let mut evaluator = Evaluator::new(program).with_seed(self.seed);
+        for f in &self.module_functions {
+            evaluator.register_function(f.clone());
+        }
+        for (name, value) in &self.bindings {
+            evaluator.bind_global(name.clone(), value.clone());
+        }
+        evaluator
+    }
+
+    /// Compile a query without running it (for repeated execution).
+    pub fn compile(&self, query: &str) -> Result<CoreProgram, Error> {
+        Ok(compile(query)?)
+    }
+
+    /// Statically check a query against this engine's bindings: undefined
+    /// variables/functions, duplicate declarations, and the effect lints
+    /// (see [`crate::check`]). Module functions count as declared.
+    pub fn check(&self, query: &str) -> Result<Vec<crate::check::Diagnostic>, Error> {
+        let mut program = compile(query)?;
+        // Module functions participate exactly as program-level ones do
+        // (minus shadowing, which register_function already resolves).
+        for f in &self.module_functions {
+            if !program
+                .functions
+                .iter()
+                .any(|g| g.name == f.name && g.params.len() == f.params.len())
+            {
+                program.functions.push(f.clone());
+            }
+        }
+        let host_vars: Vec<&str> = self.bindings.iter().map(|(n, _)| n.as_str()).collect();
+        Ok(crate::check::check_program(&program, &host_vars))
+    }
+
+    /// Serialize an item the way a query shell would: nodes as XML, atomics
+    /// via their string value.
+    pub fn serialize_item(&self, item: &Item) -> XdmResult<String> {
+        match item {
+            Item::Node(n) => xqdm::xml::serialize(&self.store, *n),
+            Item::Atomic(a) => Ok(a.string_value()),
+        }
+    }
+
+    /// Serialize a whole sequence, space-separating atomics.
+    pub fn serialize(&self, seq: &[Item]) -> XdmResult<String> {
+        let mut parts = Vec::with_capacity(seq.len());
+        for it in seq {
+            parts.push(self.serialize_item(it)?);
+        }
+        Ok(parts.join(" "))
+    }
+
+    /// Create a fresh evaluator + environment pair for expression-level
+    /// work (tests, tools). Bindings are installed as globals.
+    pub fn evaluator(&self, program: &CoreProgram) -> (Evaluator, DynEnv) {
+        let mut ev = Evaluator::new(program).with_seed(self.seed);
+        for (name, value) in &self.bindings {
+            ev.bind_global(name.clone(), value.clone());
+        }
+        (ev, DynEnv::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_simple_query() {
+        let mut e = Engine::new();
+        let r = e.run("1 + 2").unwrap();
+        assert_eq!(r, vec![Item::integer(3)]);
+    }
+
+    #[test]
+    fn load_and_query_document() {
+        let mut e = Engine::new();
+        e.load_document("doc", "<site><person id=\"p1\"><name>Ada</name></person></site>")
+            .unwrap();
+        let r = e.run("$doc//person/name").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(e.serialize(&r).unwrap(), "<name>Ada</name>");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut e = Engine::new();
+        assert!(matches!(e.run("for $x in"), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn eval_errors_are_reported() {
+        let mut e = Engine::new();
+        assert!(matches!(e.run("$undefined"), Err(Error::Eval(_))));
+        assert!(matches!(e.run("1 div 0"), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn bindings_shadow_and_persist() {
+        let mut e = Engine::new();
+        e.bind("x", vec![Item::integer(1)]);
+        e.bind("x", vec![Item::integer(2)]);
+        assert_eq!(e.run("$x + 1").unwrap(), vec![Item::integer(3)]);
+    }
+
+    #[test]
+    fn updates_apply_at_query_end() {
+        let mut e = Engine::new();
+        e.load_document("doc", "<log/>").unwrap();
+        e.run("insert { <entry/> } into { $doc/log }").unwrap();
+        let r = e.run("count($doc/log/entry)").unwrap();
+        assert_eq!(r, vec![Item::integer(1)]);
+    }
+
+    #[test]
+    fn modules_register_persistent_functions_and_state() {
+        let mut e = Engine::new();
+        e.load_document("log", "<log/>").unwrap();
+        e.load_module(
+            r#"
+declare variable $d := element counter { 0 };
+declare function nextid() {
+  snap { replace { $d/text() } with { $d + 1 }, $d }
+};
+declare function log_call($what) {
+  snap insert { <call id="{nextid()}" what="{$what}"/> } into { $log/log }
+};"#,
+        )
+        .unwrap();
+        // Three separate queries share the module's counter state.
+        for what in ["a", "b", "c"] {
+            e.run(&format!("log_call(\"{what}\")")).unwrap();
+        }
+        let ids = e.run("for $c in $log/log/call return string($c/@id)").unwrap();
+        assert_eq!(e.serialize(&ids).unwrap(), "1 2 3");
+    }
+
+    #[test]
+    fn program_functions_shadow_module_functions() {
+        let mut e = Engine::new();
+        e.load_module("declare function f() { \"module\" };").unwrap();
+        let r = e.run("f()").unwrap();
+        assert_eq!(e.serialize(&r).unwrap(), "module");
+        let r = e.run("declare function f() { \"local\" }; f()").unwrap();
+        assert_eq!(e.serialize(&r).unwrap(), "local");
+        // And the module version is still there afterwards.
+        let r = e.run("f()").unwrap();
+        assert_eq!(e.serialize(&r).unwrap(), "module");
+    }
+
+    #[test]
+    fn module_variable_initializers_can_update() {
+        let mut e = Engine::new();
+        e.load_document("doc", "<x/>").unwrap();
+        e.load_module(
+            "declare variable $setup := (insert { <ready/> } into { $doc/x }, 1);",
+        )
+        .unwrap();
+        // The module's implicit snap applied the insert at load time.
+        let r = e.run("(count($doc/x/ready), $setup)").unwrap();
+        assert_eq!(e.serialize(&r).unwrap(), "1 1");
+    }
+
+    #[test]
+    fn stats_count_snaps_and_requests() {
+        let mut e = Engine::new();
+        e.load_document("doc", "<x/>").unwrap();
+        e.run("1 + 1").unwrap();
+        let s = e.last_stats().unwrap();
+        assert_eq!(s.snaps_closed, 1); // the implicit top-level snap
+        assert_eq!(s.requests_applied, 0);
+
+        e.run(
+            "(snap insert { <a/> } into { $doc/x },
+              insert { <b/> } into { $doc/x },
+              snap { insert { <c/> } into { $doc/x },
+                     snap delete { $doc/x/a } })",
+        )
+        .unwrap();
+        let s = e.last_stats().unwrap();
+        assert_eq!(s.snaps_closed, 4); // implicit + 3 explicit
+        assert_eq!(s.requests_applied, 4);
+        assert_eq!(s.max_snap_depth, 3); // implicit > snap > snap delete
+    }
+}

@@ -1,0 +1,114 @@
+//! The dynamic context (`dynEnv` in the paper's judgment).
+//!
+//! Holds variable bindings and the evaluation focus (context item, position,
+//! size). Bindings use a scoped stack: `push`/`pop` around the evaluation of
+//! a binder's body, with lookup walking backwards so inner bindings shadow
+//! outer ones — the standard environment discipline for a big-step
+//! evaluator.
+
+use xqdm::{Item, Sequence, XdmError, XdmResult};
+
+/// The evaluation focus: context item, 1-based position, and size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Focus {
+    /// The context item (`.`).
+    pub item: Item,
+    /// `fn:position()` — 1-based.
+    pub position: usize,
+    /// `fn:last()`.
+    pub size: usize,
+}
+
+/// The dynamic environment.
+#[derive(Debug, Clone, Default)]
+pub struct DynEnv {
+    vars: Vec<(String, Sequence)>,
+    focus: Vec<Focus>,
+}
+
+impl DynEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        DynEnv::default()
+    }
+
+    /// Bind `name` (shadowing any outer binding). Returns a token the
+    /// caller passes to [`DynEnv::pop_var`]; pushes/pops must nest.
+    pub fn push_var(&mut self, name: impl Into<String>, value: Sequence) {
+        self.vars.push((name.into(), value));
+    }
+
+    /// Remove the most recent binding.
+    pub fn pop_var(&mut self) {
+        self.vars.pop().expect("unbalanced pop_var");
+    }
+
+    /// Look up a variable.
+    pub fn var(&self, name: &str) -> XdmResult<&Sequence> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| XdmError::new("XPST0008", format!("undefined variable ${name}")))
+    }
+
+    /// Is a variable bound?
+    pub fn has_var(&self, name: &str) -> bool {
+        self.vars.iter().any(|(n, _)| n == name)
+    }
+
+    /// Number of bindings (for balance assertions in tests).
+    pub fn depth(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Enter a new focus (context item / position / size).
+    pub fn push_focus(&mut self, focus: Focus) {
+        self.focus.push(focus);
+    }
+
+    /// Leave the current focus.
+    pub fn pop_focus(&mut self) {
+        self.focus.pop().expect("unbalanced pop_focus");
+    }
+
+    /// The current focus, if any (XPDY0002 when absent).
+    pub fn focus(&self) -> XdmResult<&Focus> {
+        self.focus
+            .last()
+            .ok_or_else(|| XdmError::new("XPDY0002", "context item is undefined here"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadowing_and_restore() {
+        let mut env = DynEnv::new();
+        env.push_var("x", vec![Item::integer(1)]);
+        env.push_var("x", vec![Item::integer(2)]);
+        assert_eq!(env.var("x").unwrap(), &vec![Item::integer(2)]);
+        env.pop_var();
+        assert_eq!(env.var("x").unwrap(), &vec![Item::integer(1)]);
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let env = DynEnv::new();
+        assert_eq!(env.var("nope").unwrap_err().code, "XPST0008");
+    }
+
+    #[test]
+    fn focus_stack() {
+        let mut env = DynEnv::new();
+        assert_eq!(env.focus().unwrap_err().code, "XPDY0002");
+        env.push_focus(Focus { item: Item::integer(1), position: 1, size: 3 });
+        env.push_focus(Focus { item: Item::integer(2), position: 2, size: 3 });
+        assert_eq!(env.focus().unwrap().position, 2);
+        env.pop_focus();
+        assert_eq!(env.focus().unwrap().position, 1);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The dynamic semantics of XQuery! (paper §3.4 and Appendix B).
+//!
+//! The paper's judgment is
+//!
+//! ```text
+//! store0; dynEnv ⊢ Expr ⇒ value; Δ; store1
+//! ```
+//!
+//! Here the store is threaded as `&mut Store`, the environment as
+//! `&mut DynEnv` (with balanced push/pop around binders), and Δ is kept on
+//! the **stack of update lists** that §4.1 describes as the actual
+//! implementation strategy: every update operator appends to the top list;
+//! `snap` pushes a fresh list, evaluates its body, pops, and applies. The
+//! recursion of `eval` *is* the paper's "stack-like behavior ... built into
+//! the recursive machinery of the deduction process".
+//!
+//! Evaluation order is the **strict left-to-right order** the paper
+//! specifies for a language with side effects (§2.4): every rule with two
+//! sub-expressions evaluates the first before the second.
+
+use crate::apply::apply_delta;
+use crate::env::{DynEnv, Focus};
+use crate::functions;
+use crate::update::{Delta, UpdateRequest};
+use std::collections::HashMap;
+use xqdm::atomic::{arithmetic, negate, value_compare, Atomic, CompareOp};
+use xqdm::item::{self, Item, Sequence};
+use xqdm::store::InsertAnchor;
+use xqdm::{NodeId, NodeKind, QName, Store, XdmError, XdmResult};
+use xqsyn::ast::{Axis, NodeCompOp, NodeTest, Quantifier, SnapMode};
+use xqsyn::core::{Core, CoreFunction, CoreInsertLoc, CoreName, CoreProgram};
+
+/// Hard recursion limit: user functions may recurse, and a runaway
+/// recursion should surface as an error, not a stack overflow. The limit
+/// counts `eval` nesting (a user-function call costs a handful of levels).
+/// [`Evaluator::eval_program`] and [`Evaluator::eval_query`] run on a
+/// dedicated thread whose stack ([`EVAL_STACK_BYTES`]) comfortably fits
+/// this depth even with debug-build frame sizes.
+const MAX_DEPTH: usize = 512;
+
+/// Stack size for the evaluation thread (see [`MAX_DEPTH`]).
+const EVAL_STACK_BYTES: usize = 64 << 20;
+
+/// Run `f` on a scoped thread with a large stack, so deep (but bounded)
+/// query recursion cannot overflow a small caller stack — the 2 MiB default
+/// of test threads in particular.
+fn with_eval_stack<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("xquery-eval".into())
+            .stack_size(EVAL_STACK_BYTES)
+            .spawn_scoped(scope, f)
+            .expect("spawn evaluation thread")
+            .join()
+            .unwrap_or_else(|p| std::panic::resume_unwind(p))
+    })
+}
+
+/// Execution statistics for one evaluation (experiment instrumentation
+/// and host diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Snap scopes closed (including the implicit top-level one).
+    pub snaps_closed: u64,
+    /// Update requests applied to the store.
+    pub requests_applied: u64,
+    /// Deepest simultaneous Δ-stack nesting observed.
+    pub max_snap_depth: usize,
+}
+
+/// The evaluator: function table, globals, and the Δ stack.
+pub struct Evaluator {
+    functions: HashMap<(String, usize), CoreFunction>,
+    globals: HashMap<String, Sequence>,
+    delta_stack: Vec<Delta>,
+    /// Per-snap seed counter for the nondeterministic application order.
+    snap_counter: u64,
+    base_seed: u64,
+    depth: usize,
+    stats: EvalStats,
+}
+
+impl Evaluator {
+    /// Build an evaluator for a program's function declarations.
+    pub fn new(program: &CoreProgram) -> Self {
+        let mut functions = HashMap::new();
+        for f in &program.functions {
+            functions.insert((f.name.clone(), f.params.len()), f.clone());
+        }
+        Evaluator {
+            functions,
+            globals: HashMap::new(),
+            delta_stack: Vec::new(),
+            snap_counter: 0,
+            base_seed: 0x5eed,
+            depth: 0,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// An evaluator with no user functions (for direct expression
+    /// evaluation in tests and tools).
+    pub fn bare() -> Self {
+        Evaluator {
+            functions: HashMap::new(),
+            globals: HashMap::new(),
+            delta_stack: Vec::new(),
+            snap_counter: 0,
+            base_seed: 0x5eed,
+            depth: 0,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Statistics accumulated since construction (snaps closed, requests
+    /// applied, deepest snap nesting).
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Fix the seed driving nondeterministic-mode permutations.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Define a global variable (module prolog or host binding).
+    pub fn bind_global(&mut self, name: impl Into<String>, value: Sequence) {
+        self.globals.insert(name.into(), value);
+    }
+
+    /// Read a global (used by tests and the engine facade).
+    pub fn global(&self, name: &str) -> Option<&Sequence> {
+        self.globals.get(name)
+    }
+
+    /// Register an additional function (e.g. from a host-loaded module).
+    /// Does not override a same-name/arity function already present —
+    /// program-local declarations take precedence over module ones.
+    pub fn register_function(&mut self, func: CoreFunction) {
+        self.functions.entry((func.name.clone(), func.params.len())).or_insert(func);
+    }
+
+    /// Evaluate a whole program: globals in order, then the body inside the
+    /// **implicit top-level snap** (§2.3: "a snap is always implicitly
+    /// present around the top-level query").
+    pub fn eval_program(&mut self, store: &mut Store, program: &CoreProgram) -> XdmResult<Sequence> {
+        with_eval_stack(move || {
+            // The implicit snap also covers prolog variable initializers, so
+            // side-effecting initializers behave like the body.
+            self.delta_stack.push(Delta::new());
+            let result = (|| {
+                let mut env = DynEnv::new();
+                for (name, init) in &program.variables {
+                    let v = self.eval(store, &mut env, init)?;
+                    self.globals.insert(name.clone(), v);
+                }
+                self.eval(store, &mut env, &program.body)
+            })();
+            let delta = self.delta_stack.pop().expect("top-level delta");
+            match result {
+                Ok(value) => {
+                    self.stats.snaps_closed += 1;
+                    self.stats.requests_applied += delta.len() as u64;
+                    apply_delta(store, delta, SnapMode::Ordered, self.next_seed())?;
+                    Ok(value)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Evaluate one expression inside an implicit snap (convenience for
+    /// query fragments).
+    pub fn eval_query(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        expr: &Core,
+    ) -> XdmResult<Sequence> {
+        with_eval_stack(move || {
+            self.delta_stack.push(Delta::new());
+            let result = self.eval(store, env, expr);
+            let delta = self.delta_stack.pop().expect("top-level delta");
+            match result {
+                Ok(value) => {
+                    self.stats.snaps_closed += 1;
+                    self.stats.requests_applied += delta.len() as u64;
+                    apply_delta(store, delta, SnapMode::Ordered, self.next_seed())?;
+                    Ok(value)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Open a Δ scope (as `snap` does) without evaluating anything. For
+    /// plan executors (`xqalg`) that drive `eval` directly and need a
+    /// surrounding snapshot scope; pair with [`Evaluator::end_snap_scope`].
+    pub fn begin_snap_scope(&mut self) {
+        self.delta_stack.push(Delta::new());
+    }
+
+    /// Close the scope opened by [`Evaluator::begin_snap_scope`], returning
+    /// the collected Δ (not yet applied).
+    pub fn end_snap_scope(&mut self) -> Delta {
+        self.delta_stack.pop().expect("unbalanced end_snap_scope")
+    }
+
+    /// Draw the next per-snap seed (public so plan executors apply deltas
+    /// with the same seed discipline as the evaluator itself).
+    pub fn next_apply_seed(&mut self) -> u64 {
+        self.next_seed()
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.snap_counter += 1;
+        self.base_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(self.snap_counter)
+    }
+
+    fn pending(&mut self) -> &mut Delta {
+        self.delta_stack.last_mut().expect("update evaluated outside any snap scope")
+    }
+
+    /// The core judgment. Left-to-right, store-threading, Δ-appending.
+    pub fn eval(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        expr: &Core,
+    ) -> XdmResult<Sequence> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(XdmError::new("XQB0020", "evaluation recursion limit exceeded"));
+        }
+        let r = self.eval_inner(store, env, expr);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_inner(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        expr: &Core,
+    ) -> XdmResult<Sequence> {
+        match expr {
+            Core::Const(a) => Ok(vec![Item::Atomic(a.clone())]),
+            Core::Var(name) => match env.var(name) {
+                Ok(v) => Ok(v.clone()),
+                Err(e) => self.globals.get(name).cloned().ok_or(e),
+            },
+            Core::ContextItem => Ok(vec![env.focus()?.item.clone()]),
+            // The paper's sequence rule: e1 fully evaluated before e2,
+            // values and Δs concatenated in order.
+            Core::Seq(items) => {
+                let mut out = Vec::new();
+                for e in items {
+                    out.extend(self.eval(store, env, e)?);
+                }
+                Ok(out)
+            }
+            Core::For { var, position, source, body } => {
+                let src = self.eval(store, env, source)?;
+                let mut out = Vec::new();
+                for (i, it) in src.into_iter().enumerate() {
+                    env.push_var(var.clone(), vec![it]);
+                    if let Some(p) = position {
+                        env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                    }
+                    let r = self.eval(store, env, body);
+                    if position.is_some() {
+                        env.pop_var();
+                    }
+                    env.pop_var();
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+            Core::Let { var, value, body } => {
+                let v = self.eval(store, env, value)?;
+                env.push_var(var.clone(), v);
+                let r = self.eval(store, env, body);
+                env.pop_var();
+                r
+            }
+            Core::If(cond, then, els) => {
+                let c = self.eval(store, env, cond)?;
+                if item::effective_boolean(&c, store)? {
+                    self.eval(store, env, then)
+                } else {
+                    self.eval(store, env, els)
+                }
+            }
+            Core::Quantified { quantifier, var, source, satisfies } => {
+                let src = self.eval(store, env, source)?;
+                let mut result = matches!(quantifier, Quantifier::Every);
+                for it in src {
+                    env.push_var(var.clone(), vec![it]);
+                    let s = self.eval(store, env, satisfies);
+                    env.pop_var();
+                    let holds = item::effective_boolean(&s?, store)?;
+                    match quantifier {
+                        Quantifier::Some if holds => {
+                            result = true;
+                            break;
+                        }
+                        Quantifier::Every if !holds => {
+                            result = false;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(vec![Item::boolean(result)])
+            }
+            Core::SortedFor { var, source, keys, body } => {
+                let src = self.eval(store, env, source)?;
+                // Compute sort keys per binding (left-to-right, so key
+                // expressions may have effects like any other expression).
+                let mut keyed: Vec<(Vec<Option<Atomic>>, Item)> = Vec::with_capacity(src.len());
+                for it in src {
+                    env.push_var(var.clone(), vec![it.clone()]);
+                    let mut ks = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        let kv = self.eval(store, env, &k.key);
+                        match kv {
+                            Ok(kv) => {
+                                let a = match item::zero_or_one(kv) {
+                                    Ok(a) => a,
+                                    Err(e) => {
+                                        env.pop_var();
+                                        return Err(e);
+                                    }
+                                };
+                                let a = match a.map(|x| x.atomize(store)).transpose() {
+                                    Ok(a) => a,
+                                    Err(e) => {
+                                        env.pop_var();
+                                        return Err(e);
+                                    }
+                                };
+                                ks.push(a);
+                            }
+                            Err(e) => {
+                                env.pop_var();
+                                return Err(e);
+                            }
+                        }
+                    }
+                    env.pop_var();
+                    keyed.push((ks, it));
+                }
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for (i, (a, b)) in ka.iter().zip(kb).enumerate() {
+                        let ord = cmp_keys(a, b);
+                        let ord = if keys[i].ascending { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let mut out = Vec::new();
+                for (_, it) in keyed {
+                    env.push_var(var.clone(), vec![it]);
+                    let r = self.eval(store, env, body);
+                    env.pop_var();
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+            Core::Arith(op, l, r) => {
+                let lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
+                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                match (la, ra) {
+                    (Some(a), Some(b)) => Ok(vec![Item::Atomic(arithmetic(*op, &a, &b)?)]),
+                    _ => Ok(vec![]),
+                }
+            }
+            Core::Neg(e) => {
+                let v = self.eval(store, env, e)?;
+                match item::zero_or_one(v)?.map(|x| x.atomize(store)).transpose()? {
+                    Some(a) => Ok(vec![Item::Atomic(negate(&a)?)]),
+                    None => Ok(vec![]),
+                }
+            }
+            Core::GeneralComp(op, l, r) => {
+                let lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                Ok(vec![Item::boolean(item::general_compare_seqs(*op, &lv, &rv, store)?)])
+            }
+            Core::ValueComp(op, l, r) => {
+                let lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
+                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                match (la, ra) {
+                    (Some(a), Some(b)) => Ok(vec![Item::boolean(value_compare(*op, &a, &b)?)]),
+                    _ => Ok(vec![]),
+                }
+            }
+            Core::NodeComp(op, l, r) => {
+                let lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                let ln = item::zero_or_one(lv)?;
+                let rn = item::zero_or_one(rv)?;
+                match (ln, rn) {
+                    (Some(a), Some(b)) => {
+                        let (a, b) = (require_node(a)?, require_node(b)?);
+                        let res = match op {
+                            NodeCompOp::Is => a == b,
+                            NodeCompOp::Precedes => {
+                                store.cmp_doc_order(a, b)? == std::cmp::Ordering::Less
+                            }
+                            NodeCompOp::Follows => {
+                                store.cmp_doc_order(a, b)? == std::cmp::Ordering::Greater
+                            }
+                        };
+                        Ok(vec![Item::boolean(res)])
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Core::And(l, r) => {
+                let lv = self.eval(store, env, l)?;
+                if !item::effective_boolean(&lv, store)? {
+                    return Ok(vec![Item::boolean(false)]);
+                }
+                let rv = self.eval(store, env, r)?;
+                Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+            }
+            Core::Or(l, r) => {
+                let lv = self.eval(store, env, l)?;
+                if item::effective_boolean(&lv, store)? {
+                    return Ok(vec![Item::boolean(true)]);
+                }
+                let rv = self.eval(store, env, r)?;
+                Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+            }
+            Core::Union(l, r) => {
+                let mut lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                lv.extend(rv);
+                let mut nodes = item::all_nodes(&lv)?;
+                store.sort_and_dedup(&mut nodes)?;
+                Ok(nodes.into_iter().map(Item::Node).collect())
+            }
+            Core::Range(l, r) => {
+                let lv = self.eval(store, env, l)?;
+                let rv = self.eval(store, env, r)?;
+                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
+                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                match (la, ra) {
+                    (Some(a), Some(b)) => {
+                        let (a, b) = (a.to_integer()?, b.to_integer()?);
+                        Ok((a..=b).map(Item::integer).collect())
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Core::MapStep { base, axis, test, predicates } => {
+                let origins = self.eval(store, env, base)?;
+                let mut out: Sequence = Vec::new();
+                for origin in &origins {
+                    let n = require_node(origin.clone())?;
+                    let axis_nodes = gather_axis(store, n, *axis, test)?;
+                    let mut items: Sequence = axis_nodes.into_iter().map(Item::Node).collect();
+                    for pred in predicates {
+                        items = self.filter_positional(store, env, items, pred)?;
+                    }
+                    out.extend(items);
+                }
+                let mut nodes = item::all_nodes(&out)?;
+                store.sort_and_dedup(&mut nodes)?;
+                Ok(nodes.into_iter().map(Item::Node).collect())
+            }
+            Core::DocOrder(e) => {
+                let v = self.eval(store, env, e)?;
+                let mut nodes = item::all_nodes(&v)?;
+                store.sort_and_dedup(&mut nodes)?;
+                Ok(nodes.into_iter().map(Item::Node).collect())
+            }
+            Core::Predicate { base, pred } => {
+                let v = self.eval(store, env, base)?;
+                self.filter_positional(store, env, v, pred)
+            }
+            Core::Call(name, args) => self.eval_call(store, env, name, args),
+            Core::ElemCtor { name, content } => {
+                let qname = self.eval_ctor_name(store, env, name)?;
+                let content = self.eval(store, env, content)?;
+                let node = construct_element(store, qname, &content)?;
+                Ok(vec![Item::Node(node)])
+            }
+            Core::AttrCtor { name, content } => {
+                let qname = self.eval_ctor_name(store, env, name)?;
+                let v = self.eval(store, env, content)?;
+                let parts: Vec<String> =
+                    item::atomize(&v, store)?.into_iter().map(|a| a.string_value()).collect();
+                let attr = store.new_attribute(qname, parts.join(" "));
+                Ok(vec![Item::Node(attr)])
+            }
+            Core::TextCtor(content) => {
+                let v = self.eval(store, env, content)?;
+                if v.is_empty() {
+                    return Ok(vec![]);
+                }
+                let parts: Vec<String> =
+                    item::atomize(&v, store)?.into_iter().map(|a| a.string_value()).collect();
+                let t = store.new_text(parts.join(" "));
+                Ok(vec![Item::Node(t)])
+            }
+            Core::DocCtor(content) => {
+                let v = self.eval(store, env, content)?;
+                let doc = store.new_document();
+                append_content(store, doc, &v, /*allow_attrs=*/ false)?;
+                Ok(vec![Item::Node(doc)])
+            }
+            // ---------------- update operators (Appendix B) ----------------
+            Core::Insert { source, location } => {
+                // Rule order: Expr1 (source), then Expr2 (target), then the
+                // InsertLocation judgment resolves (nodepar, nodepos).
+                let src = self.eval(store, env, source)?;
+                let nodes = content_to_nodes(store, &src)?;
+                let target = self.eval(store, env, location.target())?;
+                let t = item::exactly_one_node(target)?;
+                let (parent, anchor) = resolve_insert_anchor(store, location, t)?;
+                self.pending().push(UpdateRequest::Insert { nodes, parent, anchor });
+                Ok(vec![])
+            }
+            Core::Delete(target) => {
+                let v = self.eval(store, env, target)?;
+                // The paper's rule shows a single node; its own §2.3 example
+                // deletes a whole sequence ($log/logentry), so we accept a
+                // node sequence and emit one request per node, in order.
+                for n in item::all_nodes(&v)? {
+                    self.pending().push(UpdateRequest::Delete { node: n });
+                }
+                Ok(vec![])
+            }
+            Core::Replace(target, with) => {
+                // Appendix B: Δ3 = (Δ1, Δ2, insert(nodeseq, nodepar, node),
+                //                   delete(node))
+                let tv = self.eval(store, env, target)?;
+                let node = item::exactly_one_node(tv)?;
+                let wv = self.eval(store, env, with)?;
+                let nodeseq = content_to_nodes(store, &wv)?;
+                let parent = store.parent(node)?.ok_or_else(|| {
+                    XdmError::precondition("replace target has no parent")
+                })?;
+                if matches!(store.kind(node)?, NodeKind::Attribute { .. }) {
+                    // Attribute targets: the replacement must be attribute
+                    // nodes, attached to the owner element (attribute order
+                    // is insignificant, so no anchor is involved). The
+                    // delete precedes the attach so a same-named
+                    // replacement does not trip the duplicate check.
+                    for &n in &nodeseq {
+                        if !matches!(store.kind(n)?, NodeKind::Attribute { .. }) {
+                            return Err(XdmError::type_error(
+                                "replacing an attribute requires attribute content",
+                            ));
+                        }
+                    }
+                    self.pending().push(UpdateRequest::Delete { node });
+                    self.pending().push(UpdateRequest::InsertAttributes {
+                        nodes: nodeseq,
+                        element: parent,
+                    });
+                } else {
+                    self.pending().push(UpdateRequest::Insert {
+                        nodes: nodeseq,
+                        parent,
+                        anchor: InsertAnchor::After(node),
+                    });
+                    self.pending().push(UpdateRequest::Delete { node });
+                }
+                Ok(vec![])
+            }
+            Core::Rename(target, name) => {
+                let tv = self.eval(store, env, target)?;
+                let node = item::exactly_one_node(tv)?;
+                let nv = self.eval(store, env, name)?;
+                let name_str = item::exactly_one(nv)?.string_value(store)?;
+                let qname = QName::parse(&name_str).ok_or_else(|| {
+                    XdmError::value("XQDY0074", format!("\"{name_str}\" is not a valid QName"))
+                })?;
+                self.pending().push(UpdateRequest::Rename { node, name: qname });
+                Ok(vec![])
+            }
+            Core::Copy(e) => {
+                let v = self.eval(store, env, e)?;
+                let mut out = Vec::with_capacity(v.len());
+                for it in v {
+                    out.push(match it {
+                        Item::Node(n) => Item::Node(store.deep_copy(n)?),
+                        atomic => atomic,
+                    });
+                }
+                Ok(out)
+            }
+            Core::Snap(mode, body) => {
+                // The snap rule: evaluate the body with a fresh Δ on top of
+                // the stack, pop it, apply it. Nested snaps close first —
+                // the recursion gives the paper's stack behavior for free.
+                self.delta_stack.push(Delta::new());
+                self.stats.max_snap_depth = self.stats.max_snap_depth.max(self.delta_stack.len());
+                let result = self.eval(store, env, body);
+                let delta = self.delta_stack.pop().expect("snap delta");
+                let value = result?;
+                self.stats.snaps_closed += 1;
+                self.stats.requests_applied += delta.len() as u64;
+                apply_delta(store, delta, *mode, self.next_seed())?;
+                Ok(value)
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        name: &str,
+        args: &[Core],
+    ) -> XdmResult<Sequence> {
+        // Arguments evaluate left to right (Appendix B's function rule),
+        // regardless of whether the target is built-in or user-declared.
+        let mut values = Vec::with_capacity(args.len());
+        for a in args {
+            values.push(self.eval(store, env, a)?);
+        }
+        if let Some(result) = functions::dispatch(name, values.clone(), store, env) {
+            return result;
+        }
+        let key = (name.to_string(), args.len());
+        let func = match self.functions.get(&key) {
+            Some(f) => f.clone(),
+            None => {
+                return Err(XdmError::new(
+                    "XPST0017",
+                    format!("undefined function {name}#{}", args.len()),
+                ))
+            }
+        };
+        // Function bodies see only their parameters and globals — build a
+        // fresh environment rather than exposing the caller's locals.
+        let mut fenv = DynEnv::new();
+        for (p, v) in func.params.iter().zip(values) {
+            fenv.push_var(p.clone(), v);
+        }
+        self.eval(store, &mut fenv, &func.body)
+    }
+
+    fn eval_ctor_name(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        name: &CoreName,
+    ) -> XdmResult<QName> {
+        let s = match name {
+            CoreName::Fixed(s) => s.clone(),
+            CoreName::Computed(e) => {
+                let v = self.eval(store, env, e)?;
+                item::exactly_one(v)?.string_value(store)?
+            }
+        };
+        QName::parse(&s)
+            .ok_or_else(|| XdmError::value("XQDY0074", format!("invalid QName \"{s}\"")))
+    }
+
+    /// Positional predicate filtering (XPath semantics): a numeric
+    /// predicate value tests the context position; anything else is an
+    /// effective-boolean-value test.
+    fn filter_positional(
+        &mut self,
+        store: &mut Store,
+        env: &mut DynEnv,
+        items: Sequence,
+        pred: &Core,
+    ) -> XdmResult<Sequence> {
+        // Fast path: a constant numeric predicate ([1], [2]...) needs no
+        // per-item evaluation.
+        if let Core::Const(a) = pred {
+            if a.is_numeric() {
+                let wanted = a.to_double()?;
+                let idx = wanted as usize;
+                if wanted.fract() == 0.0 && idx >= 1 && idx <= items.len() {
+                    return Ok(vec![items[idx - 1].clone()]);
+                }
+                return Ok(vec![]);
+            }
+        }
+        let size = items.len();
+        let mut out = Vec::new();
+        for (i, it) in items.into_iter().enumerate() {
+            env.push_focus(Focus { item: it.clone(), position: i + 1, size });
+            let v = self.eval(store, env, pred);
+            env.pop_focus();
+            let v = v?;
+            let keep = match v.as_slice() {
+                [Item::Atomic(a)] if a.is_numeric() => a.to_double()? == (i + 1) as f64,
+                other => item::effective_boolean(other, store)?,
+            };
+            if keep {
+                out.push(it);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Turn an insert/replace source sequence into parentless nodes: node items
+/// pass through (they are fresh copies — normalization wrapped the source
+/// in `copy`), and atomic items become text nodes with adjacent atomics
+/// space-joined, mirroring element-construction content semantics. The
+/// paper's §2.5 counter relies on this: `replace {$d/text()} with {$d + 1}`
+/// replaces a text node with the *number* `$d + 1`.
+fn content_to_nodes(store: &mut Store, seq: &[Item]) -> XdmResult<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut acc: Vec<String> = Vec::new();
+    for it in seq {
+        match it {
+            Item::Atomic(a) => acc.push(a.string_value()),
+            Item::Node(n) => {
+                if !acc.is_empty() {
+                    out.push(store.new_text(acc.join(" ")));
+                    acc.clear();
+                }
+                out.push(*n);
+            }
+        }
+    }
+    if !acc.is_empty() {
+        out.push(store.new_text(acc.join(" ")));
+    }
+    Ok(out)
+}
+
+fn require_node(it: Item) -> XdmResult<NodeId> {
+    it.as_node()
+        .ok_or_else(|| XdmError::type_error("expected a node, got an atomic value"))
+}
+
+/// Compare order-by keys: the empty sequence sorts least ("empty least"
+/// default); NaN sorts just above empty; otherwise value comparison.
+fn cmp_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            if matches!(value_compare(CompareOp::Lt, x, y), Ok(true)) {
+                Ordering::Less
+            } else if matches!(value_compare(CompareOp::Gt, x, y), Ok(true)) {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+    }
+}
+
+/// Resolve an insert location to the paper's `(nodepar, nodepos)` pair —
+/// the "Insert Location Judgments" of Appendix B.
+fn resolve_insert_anchor(
+    store: &Store,
+    location: &CoreInsertLoc,
+    target: NodeId,
+) -> XdmResult<(NodeId, InsertAnchor)> {
+    match location {
+        CoreInsertLoc::First(_) => Ok((target, InsertAnchor::First)),
+        CoreInsertLoc::Last(_) => Ok((target, InsertAnchor::Last)),
+        CoreInsertLoc::After(_) => {
+            let parent = store
+                .parent(target)?
+                .ok_or_else(|| XdmError::precondition("\"after\" target has no parent"))?;
+            Ok((parent, InsertAnchor::After(target)))
+        }
+        CoreInsertLoc::Before(_) => {
+            let parent = store
+                .parent(target)?
+                .ok_or_else(|| XdmError::precondition("\"before\" target has no parent"))?;
+            let children = store.children(parent)?;
+            match children.iter().position(|&c| c == target) {
+                Some(0) => Ok((parent, InsertAnchor::First)),
+                Some(i) => Ok((parent, InsertAnchor::After(children[i - 1]))),
+                None => Err(XdmError::precondition(
+                    "\"before\" target is not a child of its parent",
+                )),
+            }
+        }
+    }
+}
+
+/// Gather the nodes of `axis` from `origin` that satisfy `test`, in axis
+/// order (reverse axes deliver nearest-first, which is what positional
+/// predicates count along).
+pub fn gather_axis(
+    store: &Store,
+    origin: NodeId,
+    axis: Axis,
+    test: &NodeTest,
+) -> XdmResult<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let push = |store: &Store, n: NodeId, out: &mut Vec<NodeId>| -> XdmResult<()> {
+        if test_matches(store, n, axis, test)? {
+            out.push(n);
+        }
+        Ok(())
+    };
+    match axis {
+        Axis::Child => {
+            for &c in store.children(origin)? {
+                push(store, c, &mut out)?;
+            }
+        }
+        Axis::Descendant => {
+            for c in store.descendants(origin)? {
+                push(store, c, &mut out)?;
+            }
+        }
+        Axis::DescendantOrSelf => {
+            push(store, origin, &mut out)?;
+            for c in store.descendants(origin)? {
+                push(store, c, &mut out)?;
+            }
+        }
+        Axis::Attribute => {
+            for &a in store.attributes(origin)? {
+                push(store, a, &mut out)?;
+            }
+        }
+        Axis::SelfAxis => push(store, origin, &mut out)?,
+        Axis::Parent => {
+            if let Some(p) = store.parent(origin)? {
+                push(store, p, &mut out)?;
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            if axis == Axis::AncestorOrSelf {
+                push(store, origin, &mut out)?;
+            }
+            let mut cur = store.parent(origin)?;
+            while let Some(p) = cur {
+                push(store, p, &mut out)?;
+                cur = store.parent(p)?;
+            }
+        }
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            if let Some(p) = store.parent(origin)? {
+                let children = store.children(p)?;
+                if let Some(i) = children.iter().position(|&c| c == origin) {
+                    if axis == Axis::FollowingSibling {
+                        for &c in &children[i + 1..] {
+                            push(store, c, &mut out)?;
+                        }
+                    } else {
+                        for &c in children[..i].iter().rev() {
+                            push(store, c, &mut out)?;
+                        }
+                    }
+                }
+            }
+        }
+        Axis::Following => {
+            // Nodes strictly after origin in document order, excluding its
+            // descendants: for each ancestor-or-self, the following
+            // siblings with their subtrees, in document order.
+            let mut cur = origin;
+            while let Some(p) = store.parent(cur)? {
+                let children = store.children(p)?.to_vec();
+                if let Some(i) = children.iter().position(|&c| c == cur) {
+                    for &sib in &children[i + 1..] {
+                        push(store, sib, &mut out)?;
+                        for d in store.descendants(sib)? {
+                            push(store, d, &mut out)?;
+                        }
+                    }
+                }
+                cur = p;
+            }
+        }
+        Axis::Preceding => {
+            // Nodes strictly before origin in document order, excluding
+            // ancestors: for each ancestor-or-self (nearest first), the
+            // preceding siblings' subtrees in reverse document order.
+            let mut cur = origin;
+            while let Some(p) = store.parent(cur)? {
+                let children = store.children(p)?.to_vec();
+                if let Some(i) = children.iter().position(|&c| c == cur) {
+                    for &sib in children[..i].iter().rev() {
+                        // Reverse document order within the subtree: the
+                        // subtree in document order is [sib, d1, ..., dn],
+                        // so reversed it is [dn, ..., d1, sib].
+                        let mut subtree = vec![sib];
+                        subtree.extend(store.descendants(sib)?);
+                        for &d in subtree.iter().rev() {
+                            push(store, d, &mut out)?;
+                        }
+                    }
+                }
+                cur = p;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Does `node` satisfy `test` on `axis`? The principal node kind is
+/// attribute on the attribute axis and element elsewhere.
+fn test_matches(store: &Store, node: NodeId, axis: Axis, test: &NodeTest) -> XdmResult<bool> {
+    let kind = store.kind(node)?;
+    let principal_attr = axis == Axis::Attribute;
+    Ok(match test {
+        NodeTest::AnyKind => true,
+        NodeTest::Text => matches!(kind, NodeKind::Text { .. }),
+        NodeTest::Comment => matches!(kind, NodeKind::Comment { .. }),
+        NodeTest::Pi => matches!(kind, NodeKind::Pi { .. }),
+        NodeTest::Element => matches!(kind, NodeKind::Element { .. }),
+        NodeTest::AttributeTest => matches!(kind, NodeKind::Attribute { .. }),
+        NodeTest::Document => matches!(kind, NodeKind::Document { .. }),
+        NodeTest::Wildcard => {
+            if principal_attr {
+                matches!(kind, NodeKind::Attribute { .. })
+            } else {
+                matches!(kind, NodeKind::Element { .. })
+            }
+        }
+        NodeTest::Name(wanted) => {
+            let is_principal = if principal_attr {
+                matches!(kind, NodeKind::Attribute { .. })
+            } else {
+                matches!(kind, NodeKind::Element { .. })
+            };
+            if !is_principal {
+                false
+            } else {
+                match store.name(node)? {
+                    Some(q) => q.to_string() == *wanted,
+                    None => false,
+                }
+            }
+        }
+    })
+}
+
+/// XQuery 1.0 element-construction semantics for a content sequence:
+/// attribute nodes (which must precede other content) are copied and
+/// attached; nodes are deep-copied in; adjacent atomics become a single
+/// space-separated text node.
+fn construct_element(store: &mut Store, name: QName, content: &[Item]) -> XdmResult<NodeId> {
+    let elem = store.new_element(name);
+    append_content(store, elem, content, /*allow_attrs=*/ true)?;
+    Ok(elem)
+}
+
+fn append_content(
+    store: &mut Store,
+    parent: NodeId,
+    content: &[Item],
+    allow_attrs: bool,
+) -> XdmResult<()> {
+    let mut text_acc: Vec<String> = Vec::new();
+    let mut seen_content = false;
+    let flush =
+        |store: &mut Store, acc: &mut Vec<String>, seen: &mut bool| -> XdmResult<()> {
+            if !acc.is_empty() {
+                let t = store.new_text(acc.join(" "));
+                store.append_child(parent, t)?;
+                acc.clear();
+                *seen = true;
+            }
+            Ok(())
+        };
+    for it in content {
+        match it {
+            Item::Atomic(a) => text_acc.push(a.string_value()),
+            Item::Node(n) => {
+                flush(store, &mut text_acc, &mut seen_content)?;
+                match store.kind(*n)?.clone() {
+                    NodeKind::Attribute { .. } => {
+                        if !allow_attrs {
+                            return Err(XdmError::type_error(
+                                "attribute node in document content",
+                            ));
+                        }
+                        if seen_content {
+                            return Err(XdmError::new(
+                                "XQTY0024",
+                                "attribute constructor after non-attribute content",
+                            ));
+                        }
+                        let copy = store.deep_copy(*n)?;
+                        store.attach_attribute(parent, copy)?;
+                    }
+                    NodeKind::Document { children } => {
+                        // A document node contributes its children.
+                        for c in children {
+                            let copy = store.deep_copy(c)?;
+                            store.append_child(parent, copy)?;
+                        }
+                        seen_content = true;
+                    }
+                    _ => {
+                        let copy = store.deep_copy(*n)?;
+                        store.append_child(parent, copy)?;
+                        seen_content = true;
+                    }
+                }
+            }
+        }
+    }
+    flush(store, &mut text_acc, &mut seen_content)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqsyn::ast::NodeTest;
+
+    fn sample_tree() -> (Store, NodeId, Vec<NodeId>) {
+        // <r><a/><b>t</b><c x="1"/></r>
+        let mut s = Store::new();
+        let r = s.new_element(QName::local("r"));
+        let a = s.new_element(QName::local("a"));
+        let b = s.new_element(QName::local("b"));
+        let t = s.new_text("t");
+        let c = s.new_element(QName::local("c"));
+        let x = s.new_attribute(QName::local("x"), "1");
+        s.append_child(b, t).unwrap();
+        for n in [a, b, c] {
+            s.append_child(r, n).unwrap();
+        }
+        s.attach_attribute(c, x).unwrap();
+        (s, r, vec![a, b, t, c, x])
+    }
+
+    #[test]
+    fn gather_axis_child_and_descendant() {
+        let (s, r, ns) = sample_tree();
+        let kids = gather_axis(&s, r, Axis::Child, &NodeTest::AnyKind).unwrap();
+        assert_eq!(kids, vec![ns[0], ns[1], ns[3]]);
+        let desc = gather_axis(&s, r, Axis::Descendant, &NodeTest::AnyKind).unwrap();
+        assert_eq!(desc, vec![ns[0], ns[1], ns[2], ns[3]]);
+        let texts = gather_axis(&s, r, Axis::Descendant, &NodeTest::Text).unwrap();
+        assert_eq!(texts, vec![ns[2]]);
+    }
+
+    #[test]
+    fn gather_axis_attribute_principal_kind() {
+        let (s, _r, ns) = sample_tree();
+        let c = ns[3];
+        // Wildcard on the attribute axis matches attributes only.
+        let attrs = gather_axis(&s, c, Axis::Attribute, &NodeTest::Wildcard).unwrap();
+        assert_eq!(attrs, vec![ns[4]]);
+        // Name test off the attribute axis does not match attributes.
+        let none = gather_axis(&s, c, Axis::Child, &NodeTest::Name("x".into())).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn gather_axis_reverse_axes_nearest_first() {
+        let (s, r, ns) = sample_tree();
+        let t = ns[2];
+        let anc = gather_axis(&s, t, Axis::Ancestor, &NodeTest::AnyKind).unwrap();
+        assert_eq!(anc, vec![ns[1], r]);
+        let prec = gather_axis(&s, ns[3], Axis::PrecedingSibling, &NodeTest::AnyKind).unwrap();
+        assert_eq!(prec, vec![ns[1], ns[0]]);
+        let foll = gather_axis(&s, ns[0], Axis::FollowingSibling, &NodeTest::AnyKind).unwrap();
+        assert_eq!(foll, vec![ns[1], ns[3]]);
+    }
+
+    #[test]
+    fn resolve_anchor_before_after() {
+        let (s, r, ns) = sample_tree();
+        let (a, b) = (ns[0], ns[1]);
+        // before first child -> First.
+        assert_eq!(
+            resolve_insert_anchor(&s, &CoreInsertLoc::Before(Core::empty().boxed()), a).unwrap(),
+            (r, InsertAnchor::First)
+        );
+        // before a later child -> After(previous sibling).
+        assert_eq!(
+            resolve_insert_anchor(&s, &CoreInsertLoc::Before(Core::empty().boxed()), b).unwrap(),
+            (r, InsertAnchor::After(a))
+        );
+        assert_eq!(
+            resolve_insert_anchor(&s, &CoreInsertLoc::After(Core::empty().boxed()), a).unwrap(),
+            (r, InsertAnchor::After(a))
+        );
+        // before/after a parentless node fails.
+        assert!(resolve_insert_anchor(&s, &CoreInsertLoc::Before(Core::empty().boxed()), r)
+            .is_err());
+    }
+
+    #[test]
+    fn content_to_nodes_joins_adjacent_atomics() {
+        let mut s = Store::new();
+        let e = s.new_element(QName::local("e"));
+        let seq = vec![
+            Item::integer(1),
+            Item::string("two"),
+            Item::Node(e),
+            Item::integer(3),
+        ];
+        let nodes = content_to_nodes(&mut s, &seq).unwrap();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(s.string_value(nodes[0]).unwrap(), "1 two");
+        assert_eq!(nodes[1], e);
+        assert_eq!(s.string_value(nodes[2]).unwrap(), "3");
+    }
+
+    #[test]
+    fn snap_scope_api_balance() {
+        let mut ev = Evaluator::bare();
+        ev.begin_snap_scope();
+        ev.begin_snap_scope();
+        assert!(ev.end_snap_scope().is_empty());
+        assert!(ev.end_snap_scope().is_empty());
+    }
+
+    #[test]
+    fn cmp_keys_empty_least_and_nan() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_keys(&None, &Some(Atomic::Integer(1))), Ordering::Less);
+        assert_eq!(cmp_keys(&None, &None), Ordering::Equal);
+        assert_eq!(
+            cmp_keys(&Some(Atomic::Integer(1)), &Some(Atomic::Integer(2))),
+            Ordering::Less
+        );
+        // NaN compares "equal" to everything under value_compare, so the
+        // sort treats it as tied (stable order preserved).
+        assert_eq!(
+            cmp_keys(&Some(Atomic::Double(f64::NAN)), &Some(Atomic::Integer(1))),
+            Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Edge-case coverage for the built-in function library: empty sequences,
+//! cardinality violations, type errors, boundary values — one cluster per
+//! function family.
+
+use xqcore::{Engine, Error};
+
+fn run(q: &str) -> String {
+    let mut e = Engine::new();
+    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+fn err_code(q: &str) -> String {
+    let mut e = Engine::new();
+    match e.run(q) {
+        Err(Error::Eval(x)) => x.code.to_string(),
+        other => panic!("query {q:?}: expected eval error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------
+
+#[test]
+fn count_empty_exists_boundaries() {
+    assert_eq!(run("count(())"), "0");
+    assert_eq!(run("empty((()))"), "true");
+    assert_eq!(run("exists(0)"), "true"); // a zero is still an item
+    assert_eq!(run("exists(\"\")"), "true");
+}
+
+#[test]
+fn subsequence_boundaries() {
+    assert_eq!(run("subsequence((1, 2, 3), 0)"), "1 2 3");
+    assert_eq!(run("subsequence((1, 2, 3), 4)"), "");
+    assert_eq!(run("subsequence((1, 2, 3), 2, 0)"), "");
+    assert_eq!(run("subsequence((1, 2, 3), -1, 3)"), "1");
+    assert_eq!(run("subsequence((), 1, 10)"), "");
+}
+
+#[test]
+fn insert_before_and_remove_boundaries() {
+    assert_eq!(run("insert-before((1, 2), 0, 99)"), "99 1 2");
+    assert_eq!(run("insert-before((1, 2), 10, 99)"), "1 2 99");
+    assert_eq!(run("remove((1, 2, 3), 0)"), "1 2 3");
+    assert_eq!(run("remove((1, 2, 3), 99)"), "1 2 3");
+    assert_eq!(run("remove((), 1)"), "");
+}
+
+#[test]
+fn index_of_type_coercion() {
+    assert_eq!(run("index-of((\"a\", \"b\", \"a\"), \"a\")"), "1 3");
+    assert_eq!(run("index-of((1, 2, 3), 4)"), "");
+    // Numeric comparison across integer/double.
+    assert_eq!(run("index-of((1, 2.0, 3), 2)"), "2");
+}
+
+#[test]
+fn cardinality_functions() {
+    assert_eq!(err_code("exactly-one(())"), "FORG0005");
+    assert_eq!(err_code("exactly-one((1, 2))"), "FORG0005");
+    assert_eq!(run("exactly-one(5)"), "5");
+    assert_eq!(err_code("zero-or-one((1, 2))"), "FORG0003");
+    assert_eq!(run("zero-or-one(())"), "");
+    assert_eq!(err_code("one-or-more(())"), "FORG0004");
+    assert_eq!(run("one-or-more((1, 2))"), "1 2");
+}
+
+#[test]
+fn head_tail_boundaries() {
+    assert_eq!(run("head(())"), "");
+    assert_eq!(run("tail(())"), "");
+    assert_eq!(run("tail(1)"), "");
+}
+
+#[test]
+fn distinct_values_mixed_types() {
+    assert_eq!(run("distinct-values((1, 1.0, 2))"), "1 2");
+    assert_eq!(run("distinct-values((\"a\", \"a\", \"b\"))"), "a b");
+    assert_eq!(run("count(distinct-values((\"1\", 1)))"), "2"); // string vs int don't compare equal
+    assert_eq!(run("distinct-values(())"), "");
+}
+
+// ---------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------
+
+#[test]
+fn string_functions_on_empty() {
+    assert_eq!(run("string(())"), "");
+    assert_eq!(run("string-length(())"), "0");
+    assert_eq!(run("upper-case(())"), "");
+    assert_eq!(run("contains((), \"x\")"), "false");
+    assert_eq!(run("contains(\"x\", ())"), "true"); // empty needle
+    assert_eq!(run("substring((), 1)"), "");
+}
+
+#[test]
+fn substring_fractional_and_negative() {
+    // XPath rounds the arguments.
+    assert_eq!(run("substring(\"hello\", 1.5, 2.6)"), "ell");
+    assert_eq!(run("substring(\"hello\", 0)"), "hello");
+    assert_eq!(run("substring(\"hello\", -5, 7)"), "h");
+}
+
+#[test]
+fn substring_before_after_no_match() {
+    assert_eq!(run("substring-before(\"abc\", \"z\")"), "");
+    assert_eq!(run("substring-after(\"abc\", \"z\")"), "");
+    assert_eq!(run("substring-before(\"abc\", \"\")"), "");
+    assert_eq!(run("substring-after(\"abc\", \"\")"), "abc");
+}
+
+#[test]
+fn translate_shorter_target_deletes() {
+    assert_eq!(run("translate(\"abcabc\", \"abc\", \"x\")"), "xx");
+    assert_eq!(run("translate(\"abc\", \"\", \"xyz\")"), "abc");
+}
+
+#[test]
+fn string_join_and_concat_edge() {
+    assert_eq!(run("string-join((), \"-\")"), "");
+    assert_eq!(run("string-join((\"a\"), \"-\")"), "a");
+    assert_eq!(run("concat((), \"x\", ())"), "x"); // empty args are ""
+    assert_eq!(run("concat(1, 2.5, true())"), "12.5true");
+}
+
+#[test]
+fn normalize_space_unicode_whitespace() {
+    assert_eq!(run("normalize-space(\"\ta  b\nc \")"), "a b c");
+    assert_eq!(run("normalize-space(\"\")"), "");
+}
+
+// ---------------------------------------------------------------------
+// Numerics / aggregates
+// ---------------------------------------------------------------------
+
+#[test]
+fn aggregates_on_empty() {
+    assert_eq!(run("sum(())"), "0");
+    assert_eq!(run("sum((), 99)"), "99"); // 2-arg zero
+    assert_eq!(run("avg(())"), "");
+    assert_eq!(run("min(())"), "");
+    assert_eq!(run("max(())"), "");
+}
+
+#[test]
+fn aggregates_mixed_numeric_types() {
+    assert_eq!(run("sum((1, 2.5))"), "3.5");
+    assert_eq!(run("min((2, 1.5))"), "1.5");
+    assert_eq!(run("max((2, 2.5))"), "2.5");
+    assert_eq!(run("avg((1, 2))"), "1.5");
+}
+
+#[test]
+fn aggregates_over_untyped_node_content() {
+    let mut e = Engine::new();
+    e.load_document("d", "<r><v>1</v><v>2.5</v></r>").unwrap();
+    let r = e.run("sum($d//v)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "3.5");
+    let r = e.run("max($d//v)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "2.5");
+}
+
+#[test]
+fn sum_overflow_detected() {
+    assert_eq!(
+        err_code(&format!("sum(({0}, {0}))", i64::MAX)),
+        "FOAR0002"
+    );
+}
+
+#[test]
+fn rounding_family() {
+    assert_eq!(run("round(2.5)"), "3");
+    assert_eq!(run("round(-2.5)"), "-2"); // round-half-up, XPath style
+    assert_eq!(run("floor(-1.5)"), "-2");
+    assert_eq!(run("ceiling(-1.5)"), "-1");
+    assert_eq!(run("abs(-1.5)"), "1.5");
+    assert_eq!(run("round(())"), "");
+    // Integers pass through untouched.
+    assert_eq!(run("floor(7)"), "7");
+}
+
+#[test]
+fn number_function_nan_behaviour() {
+    assert_eq!(run("string(number(\"abc\"))"), "NaN");
+    assert_eq!(run("string(number(()))"), "NaN");
+    assert_eq!(run("number(\"12\") * 2"), "24");
+}
+
+#[test]
+fn casts_error_on_bad_lexical_forms() {
+    assert_eq!(err_code("xs:integer(\"abc\")"), "FORG0001");
+    assert_eq!(err_code("xs:double(\"abc\")"), "FORG0001");
+    assert_eq!(err_code("xs:boolean(\"maybe\")"), "FORG0001");
+    assert_eq!(run("xs:integer(())"), "");
+}
+
+// ---------------------------------------------------------------------
+// Nodes
+// ---------------------------------------------------------------------
+
+#[test]
+fn name_functions_on_nameless_nodes() {
+    let mut e = Engine::new();
+    e.load_document("d", "<r>text</r>").unwrap();
+    let r = e.run("name(($d//text())[1])").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "");
+    let r = e.run("name($d)").unwrap(); // document node
+    assert_eq!(e.serialize(&r).unwrap(), "");
+    assert_eq!(run("name(())"), "");
+}
+
+#[test]
+fn root_function_through_levels() {
+    let mut e = Engine::new();
+    e.load_document("d", "<a><b><c/></b></a>").unwrap();
+    let r = e.run("($d//c)[1]/ancestor-or-self::node()[last()] is root(($d//c)[1])").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "true");
+    let r = e.run("root(($d//c)[1]) is $d").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "true");
+}
+
+#[test]
+fn deep_equal_edges() {
+    assert_eq!(run("deep-equal((), ())"), "true");
+    assert_eq!(run("deep-equal((), 1)"), "false");
+    assert_eq!(run("deep-equal((1, 2), (1, 2))"), "true");
+    assert_eq!(run("deep-equal(1, 1.0)"), "true"); // numeric value equality
+    assert_eq!(run("deep-equal(<a>x</a>, <a>x</a>)"), "true");
+    assert_eq!(run("deep-equal(<a>x</a>, <a>y</a>)"), "false");
+    assert_eq!(run("deep-equal(<a b=\"1\"/>, <a/>)"), "false");
+}
+
+// ---------------------------------------------------------------------
+// Misc
+// ---------------------------------------------------------------------
+
+#[test]
+fn boolean_and_not_on_node_sequences() {
+    let mut e = Engine::new();
+    e.load_document("d", "<r><a/></r>").unwrap();
+    let r = e.run("boolean($d//a)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "true");
+    let r = e.run("not($d//zzz)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "true");
+}
+
+#[test]
+fn error_function_variants() {
+    assert_eq!(err_code("fn:error()"), "FOER0000");
+    let mut e = Engine::new();
+    match e.run("fn:error(\"custom message\")") {
+        Err(Error::Eval(x)) => assert_eq!(x.message, "custom message"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn wrong_arity_reports_xpst0017() {
+    assert_eq!(err_code("count(1, 2)"), "XPST0017");
+    assert_eq!(err_code("substring(\"a\")"), "XPST0017");
+    assert_eq!(err_code("position(1)"), "XPST0017");
+}

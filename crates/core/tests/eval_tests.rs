@@ -1,0 +1,544 @@
+//! Evaluator coverage for the XQuery 1.0 fragment: values, operators,
+//! paths, FLWOR, constructors, functions.
+
+use xqcore::Engine;
+use xqdm::item::Item;
+
+fn run(query: &str) -> String {
+    let mut e = Engine::new();
+    let r = e.run(query).unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+fn run_with_doc(xml: &str, query: &str) -> String {
+    let mut e = Engine::new();
+    e.load_document("doc", xml).unwrap();
+    let r = e.run(query).unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Values & arithmetic
+// ---------------------------------------------------------------------
+
+#[test]
+fn arithmetic() {
+    assert_eq!(run("1 + 2 * 3"), "7");
+    assert_eq!(run("(1 + 2) * 3"), "9");
+    assert_eq!(run("7 idiv 2"), "3");
+    assert_eq!(run("7 mod 2"), "1");
+    assert_eq!(run("7 div 2"), "3.5");
+    assert_eq!(run("-(3)"), "-3");
+    assert_eq!(run("1.5 + 1"), "2.5");
+}
+
+#[test]
+fn empty_sequence_propagates_through_arithmetic() {
+    assert_eq!(run("() + 1"), "");
+    assert_eq!(run("1 + ()"), "");
+}
+
+#[test]
+fn sequences_flatten() {
+    assert_eq!(run("(1, (2, 3), ())"), "1 2 3");
+    assert_eq!(run("count((1, (2, 3), ()))"), "3");
+}
+
+#[test]
+fn range_expressions() {
+    assert_eq!(run("1 to 5"), "1 2 3 4 5");
+    assert_eq!(run("5 to 1"), "");
+    assert_eq!(run("count(1 to 100)"), "100");
+    assert_eq!(run("() to 3"), "");
+}
+
+#[test]
+fn comparisons_general_vs_value() {
+    assert_eq!(run("(1, 2) = (2, 3)"), "true");
+    assert_eq!(run("(1, 2) = (3, 4)"), "false");
+    assert_eq!(run("1 eq 1"), "true");
+    assert_eq!(run("() eq 1"), "");
+    assert_eq!(run("\"a\" lt \"b\""), "true");
+    assert_eq!(run("2 >= 2"), "true");
+    assert_eq!(run("1 != 2"), "true");
+}
+
+#[test]
+fn logical_operators_short_circuit() {
+    assert_eq!(run("true() or fn:error(\"boom\") = 1"), "true");
+    assert_eq!(run("false() and fn:error(\"boom\") = 1"), "false");
+    assert_eq!(run("1 = 1 and 2 = 2"), "true");
+}
+
+#[test]
+fn if_then_else() {
+    assert_eq!(run("if (1 = 1) then \"y\" else \"n\""), "y");
+    assert_eq!(run("if (()) then \"y\" else \"n\""), "n");
+}
+
+#[test]
+fn quantified() {
+    assert_eq!(run("some $x in (1, 2, 3) satisfies $x = 2"), "true");
+    assert_eq!(run("every $x in (1, 2, 3) satisfies $x > 0"), "true");
+    assert_eq!(run("every $x in (1, 2, 3) satisfies $x > 1"), "false");
+    assert_eq!(run("some $x in () satisfies $x = 1"), "false");
+    assert_eq!(run("every $x in () satisfies $x = 1"), "true");
+    assert_eq!(run("some $x in (1, 2), $y in (2, 3) satisfies $x = $y"), "true");
+}
+
+// ---------------------------------------------------------------------
+// FLWOR
+// ---------------------------------------------------------------------
+
+#[test]
+fn for_iteration_order() {
+    assert_eq!(run("for $x in (1, 2, 3) return $x * 10"), "10 20 30");
+}
+
+#[test]
+fn nested_for_is_cartesian() {
+    assert_eq!(
+        run("for $x in (1, 2) for $y in (10, 20) return $x + $y"),
+        "11 21 12 22"
+    );
+}
+
+#[test]
+fn let_binding() {
+    assert_eq!(run("let $x := 5 return $x * $x"), "25");
+    assert_eq!(run("let $x := (1, 2, 3) return count($x)"), "3");
+}
+
+#[test]
+fn where_filters() {
+    assert_eq!(run("for $x in 1 to 10 where $x mod 2 = 0 return $x"), "2 4 6 8 10");
+}
+
+#[test]
+fn positional_variable() {
+    assert_eq!(run("for $x at $i in (\"a\", \"b\") return $i"), "1 2");
+}
+
+#[test]
+fn order_by_ascending_descending() {
+    assert_eq!(run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+    assert_eq!(run("for $x in (3, 1, 2) order by $x descending return $x"), "3 2 1");
+    // Sort is stable for equal keys.
+    assert_eq!(
+        run("for $x in (\"bb\", \"a\", \"cc\", \"d\") order by string-length($x) return $x"),
+        "a d bb cc"
+    );
+}
+
+#[test]
+fn variable_shadowing() {
+    assert_eq!(run("let $x := 1 return (let $x := 2 return $x, $x)"), "2 1");
+}
+
+// ---------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------
+
+const SITE: &str = r#"<site>
+  <people>
+    <person id="p1"><name>Ada</name><age>36</age></person>
+    <person id="p2"><name>Bob</name><age>41</age></person>
+    <person id="p3"><name>Cyd</name><age>36</age></person>
+  </people>
+  <items><item id="i1"/><item id="i2"/></items>
+</site>"#;
+
+#[test]
+fn child_and_descendant_steps() {
+    assert_eq!(run_with_doc(SITE, "count($doc/site/people/person)"), "3");
+    assert_eq!(run_with_doc(SITE, "count($doc//person)"), "3");
+    assert_eq!(run_with_doc(SITE, "$doc//person[1]/name"), "<name>Ada</name>");
+}
+
+#[test]
+fn attribute_axis() {
+    assert_eq!(run_with_doc(SITE, "string($doc//person[2]/@id)"), "p2");
+    assert_eq!(run_with_doc(SITE, "count($doc//@id)"), "5");
+}
+
+#[test]
+fn predicates_with_values() {
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[@id = \"p2\"]/name"),
+        "<name>Bob</name>"
+    );
+    assert_eq!(run_with_doc(SITE, "count($doc//person[age = 36])"), "2");
+}
+
+#[test]
+fn positional_predicates_are_per_origin() {
+    // a/b[1]: first b of EACH a.
+    let xml = "<r><a><b>1</b><b>2</b></a><a><b>3</b></a></r>";
+    assert_eq!(run_with_doc(xml, "count($doc//a/b[1])"), "2");
+    assert_eq!(run_with_doc(xml, "$doc//a/b[1]"), "<b>1</b> <b>3</b>");
+}
+
+#[test]
+fn last_and_position_functions() {
+    assert_eq!(run_with_doc(SITE, "$doc//person[last()]/name"), "<name>Cyd</name>");
+    assert_eq!(run_with_doc(SITE, "$doc//person[position() = 2]/name"), "<name>Bob</name>");
+}
+
+#[test]
+fn wildcard_and_kind_tests() {
+    assert_eq!(run_with_doc(SITE, "count($doc/site/*)"), "2");
+    assert_eq!(run_with_doc(SITE, "count($doc//person[1]/name/text())"), "1");
+    assert_eq!(run_with_doc(SITE, "count($doc//node())"), "27");
+}
+
+#[test]
+fn parent_and_ancestor_axes() {
+    assert_eq!(
+        run_with_doc(SITE, "name($doc//person[1]/..)"),
+        "people"
+    );
+    assert_eq!(run_with_doc(SITE, "count(($doc//name)[1]/ancestor::*)"), "3");
+    assert_eq!(
+        run_with_doc(SITE, "name($doc//person[1]/ancestor-or-self::person)"),
+        "person"
+    );
+}
+
+#[test]
+fn following_and_preceding_axes() {
+    // <r><a><a1/></a><b><b1/><b2/></b><c><c1/></c></r>, origin = b.
+    let xml = "<r><a><a1/></a><b><b1/><b2/></b><c><c1/></c></r>";
+    // following:: from b = c, c1 (not b's own descendants, not ancestors).
+    assert_eq!(
+        run_with_doc(xml, "for $n in ($doc//b)[1]/following::* return name($n)"),
+        "c c1"
+    );
+    // preceding:: from b = a, a1 (document order after ddo).
+    assert_eq!(
+        run_with_doc(xml, "for $n in ($doc//b)[1]/preceding::* return name($n)"),
+        "a a1"
+    );
+    // From a deeper origin: preceding of c1 excludes ancestors (r, c).
+    assert_eq!(
+        run_with_doc(xml, "for $n in ($doc//c1)[1]/preceding::* return name($n)"),
+        "a a1 b b1 b2"
+    );
+    // Positional predicates count along the axis (nearest-first for the
+    // reverse axis): preceding::*[1] of c1 is b2.
+    assert_eq!(
+        run_with_doc(xml, "name(($doc//c1)[1]/preceding::*[1])"),
+        "b2"
+    );
+    assert_eq!(
+        run_with_doc(xml, "name(($doc//a1)[1]/following::*[1])"),
+        "b"
+    );
+    // Disjointness: following ∪ preceding ∪ ancestors ∪ descendants ∪ self
+    // partitions the element nodes of the tree.
+    assert_eq!(
+        run_with_doc(
+            xml,
+            "let $b := ($doc//b)[1] return
+             count($b/following::*) + count($b/preceding::*)
+             + count($b/ancestor::*) + count($b/descendant::*) + 1"
+        ),
+        "8"
+    );
+}
+
+#[test]
+fn sibling_axes() {
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[2]/preceding-sibling::person/name"),
+        "<name>Ada</name>"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[2]/following-sibling::person/name"),
+        "<name>Cyd</name>"
+    );
+}
+
+#[test]
+fn results_in_document_order_deduplicated() {
+    // Both arms hit the same nodes; union dedups in doc order.
+    assert_eq!(run_with_doc(SITE, "count($doc//person | $doc//person)"), "3");
+    assert_eq!(
+        run_with_doc(SITE, "for $n in ($doc//age | $doc//name) return string($n)"),
+        "Ada 36 Bob 41 Cyd 36"
+    );
+}
+
+#[test]
+fn paths_over_sequences_dedup() {
+    // Two distinct parents -> same child set per parent, no dups.
+    assert_eq!(run_with_doc(SITE, "count(($doc//person/..)/person)"), "3");
+}
+
+#[test]
+fn root_path() {
+    // Leading "/" resolves against the context item's tree: bind one.
+    let mut e = Engine::new();
+    let doc = e.load_document("doc", SITE).unwrap();
+    e.bind("ctx", vec![Item::Node(doc)]);
+    // Five: name, person, people, site, and the document node.
+    let r = e.run("for $n in ($doc//name)[1] return count($n/ancestor-or-self::node())").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "5");
+}
+
+// ---------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------
+
+#[test]
+fn direct_element_construction() {
+    assert_eq!(run("<a><b>1</b></a>"), "<a><b>1</b></a>");
+    assert_eq!(run("<a x=\"1\" y=\"2\"/>"), "<a x=\"1\" y=\"2\"/>");
+}
+
+#[test]
+fn enclosed_expressions_in_content() {
+    assert_eq!(run("<a>{1 + 1}</a>"), "<a>2</a>");
+    assert_eq!(run("<a>{1, 2, 3}</a>"), "<a>1 2 3</a>");
+    assert_eq!(run("<a>x{1}y</a>"), "<a>x1y</a>");
+}
+
+#[test]
+fn attribute_value_templates() {
+    assert_eq!(run("let $n := \"Ada\" return <log user=\"{$n}\"/>"), "<log user=\"Ada\"/>");
+    assert_eq!(run("<a k=\"pre{1 + 1}post\"/>"), "<a k=\"pre2post\"/>");
+    assert_eq!(run("<a k=\"{(1, 2)}\"/>"), "<a k=\"1 2\"/>");
+}
+
+#[test]
+fn constructed_nodes_are_copies() {
+    // Inserting an existing node into a constructor copies it: mutating the
+    // copy must not touch the original.
+    let out =
+        run_with_doc(SITE, "let $w := <wrap>{($doc//name)[1]}</wrap> return ($w, ($doc//name)[1])");
+    assert_eq!(out, "<wrap><name>Ada</name></wrap> <name>Ada</name>");
+}
+
+#[test]
+fn per_parent_vs_global_positional_predicates() {
+    // //name[1] selects the first name of EACH parent (all three here);
+    // (//name)[1] selects the globally first.
+    assert_eq!(run_with_doc(SITE, "count($doc//name[1])"), "3");
+    assert_eq!(run_with_doc(SITE, "count(($doc//name)[1])"), "1");
+}
+
+#[test]
+fn computed_constructors() {
+    assert_eq!(run("element foo { 1 + 1 }"), "<foo>2</foo>");
+    assert_eq!(run("element { concat(\"f\", \"oo\") } { () }"), "<foo/>");
+    assert_eq!(
+        run("element a { attribute k { \"v\" }, text { \"t\" } }"),
+        "<a k=\"v\">t</a>"
+    );
+    // The paper's counter declaration.
+    assert_eq!(run("element counter { 0 }"), "<counter>0</counter>");
+}
+
+#[test]
+fn document_constructor() {
+    assert_eq!(run("document { <a/> }"), "<a/>");
+}
+
+#[test]
+fn attribute_after_content_is_an_error() {
+    let mut e = Engine::new();
+    let err = e.run("element a { text { \"t\" }, attribute k { \"v\" } }").unwrap_err();
+    assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQTY0024"));
+}
+
+// ---------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------
+
+#[test]
+fn user_functions() {
+    assert_eq!(
+        run("declare function double($x) { $x * 2 }; double(21)"),
+        "42"
+    );
+    assert_eq!(
+        run("declare function fact($n) { if ($n <= 1) then 1 else $n * fact($n - 1) }; fact(10)"),
+        "3628800"
+    );
+}
+
+#[test]
+fn function_bodies_do_not_see_caller_locals() {
+    let mut e = Engine::new();
+    let err = e
+        .run("declare function f() { $local }; let $local := 1 return f()")
+        .unwrap_err();
+    assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XPST0008"));
+}
+
+#[test]
+fn functions_see_globals() {
+    assert_eq!(
+        run("declare variable $g := 10; declare function f($x) { $x + $g }; f(5)"),
+        "15"
+    );
+}
+
+#[test]
+fn runaway_recursion_is_caught() {
+    let mut e = Engine::new();
+    let err = e.run("declare function loop($n) { loop($n + 1) }; loop(0)").unwrap_err();
+    assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQB0020"));
+}
+
+#[test]
+fn builtin_function_coverage() {
+    assert_eq!(run("count((1, 2, 3))"), "3");
+    assert_eq!(run("empty(())"), "true");
+    assert_eq!(run("exists(())"), "false");
+    assert_eq!(run("not(1 = 1)"), "false");
+    assert_eq!(run("string(42)"), "42");
+    assert_eq!(run("string-length(\"hello\")"), "5");
+    assert_eq!(run("concat(\"a\", \"b\", \"c\")"), "abc");
+    assert_eq!(run("string-join((\"a\", \"b\"), \"-\")"), "a-b");
+    assert_eq!(run("contains(\"hello\", \"ell\")"), "true");
+    assert_eq!(run("starts-with(\"hello\", \"he\")"), "true");
+    assert_eq!(run("ends-with(\"hello\", \"lo\")"), "true");
+    assert_eq!(run("substring(\"hello\", 2, 3)"), "ell");
+    assert_eq!(run("substring(\"hello\", 3)"), "llo");
+    assert_eq!(run("substring-before(\"a-b\", \"-\")"), "a");
+    assert_eq!(run("substring-after(\"a-b\", \"-\")"), "b");
+    assert_eq!(run("upper-case(\"aBc\")"), "ABC");
+    assert_eq!(run("lower-case(\"aBc\")"), "abc");
+    assert_eq!(run("normalize-space(\"  a   b  \")"), "a b");
+    assert_eq!(run("translate(\"abc\", \"abc\", \"xyz\")"), "xyz");
+    assert_eq!(run("sum((1, 2, 3))"), "6");
+    assert_eq!(run("sum(())"), "0");
+    assert_eq!(run("avg((1, 2, 3))"), "2");
+    assert_eq!(run("min((3, 1, 2))"), "1");
+    assert_eq!(run("max((3, 1, 2))"), "3");
+    assert_eq!(run("abs(-5)"), "5");
+    assert_eq!(run("floor(1.7)"), "1");
+    assert_eq!(run("ceiling(1.2)"), "2");
+    assert_eq!(run("round(1.5)"), "2");
+    assert_eq!(run("distinct-values((1, 2, 1, 3, 2))"), "1 2 3");
+    assert_eq!(run("reverse((1, 2, 3))"), "3 2 1");
+    assert_eq!(run("subsequence((1, 2, 3, 4), 2, 2)"), "2 3");
+    assert_eq!(run("insert-before((1, 3), 2, 2)"), "1 2 3");
+    assert_eq!(run("remove((1, 2, 3), 2)"), "1 3");
+    assert_eq!(run("index-of((10, 20, 10), 10)"), "1 3");
+    assert_eq!(run("head((1, 2, 3))"), "1");
+    assert_eq!(run("tail((1, 2, 3))"), "2 3");
+    assert_eq!(run("deep-equal(<a x=\"1\"/>, <a x=\"1\"/>)"), "true");
+    assert_eq!(run("number(\"12\") + 1"), "13");
+    assert_eq!(run("xs:integer(\"7\") + 1"), "8");
+    assert_eq!(run("xs:string(12)"), "12");
+    assert_eq!(run("xs:boolean(\"true\")"), "true");
+    assert_eq!(run("xs:double(\"1.5\") * 2"), "3");
+}
+
+#[test]
+fn parse_xml_and_serialize() {
+    assert_eq!(run("count(parse-xml(\"<a><b/><b/></a>\")//b)"), "2");
+    assert_eq!(run("serialize(<a k=\"1\"><b/></a>)"), "<a k=\"1\"><b/></a>");
+    // Round trip: serialize then parse back.
+    assert_eq!(
+        run("deep-equal(parse-xml(serialize(<x><y>t</y></x>))/x, <x><y>t</y></x>)"),
+        "true"
+    );
+    // Bad XML is a dynamic error.
+    let mut e = Engine::new();
+    assert!(e.run("parse-xml(\"<broken\")").is_err());
+}
+
+#[test]
+fn fn_prefix_is_optional() {
+    assert_eq!(run("fn:count((1, 2))"), "2");
+    assert_eq!(run("fn:true()"), "true");
+}
+
+#[test]
+fn name_functions() {
+    assert_eq!(run_with_doc(SITE, "name($doc//person[1])"), "person");
+    assert_eq!(run_with_doc(SITE, "local-name($doc//person[1])"), "person");
+    assert_eq!(run_with_doc(SITE, "name($doc//person[1]/@id)"), "id");
+}
+
+#[test]
+fn atomization_of_nodes_in_arithmetic() {
+    assert_eq!(run_with_doc(SITE, "$doc//person[1]/age + 1"), "37");
+    assert_eq!(run_with_doc(SITE, "sum($doc//age)"), "113");
+}
+
+#[test]
+fn node_identity_and_order_comparisons() {
+    assert_eq!(run_with_doc(SITE, "$doc//person[1] is $doc//person[1]"), "true");
+    assert_eq!(run_with_doc(SITE, "$doc//person[1] is $doc//person[2]"), "false");
+    assert_eq!(run_with_doc(SITE, "$doc//person[1] << $doc//person[2]"), "true");
+    assert_eq!(run_with_doc(SITE, "$doc//person[2] >> $doc//person[1]"), "true");
+}
+
+#[test]
+fn deep_equal_vs_identity() {
+    // Two constructions are deep-equal but not identical.
+    assert_eq!(
+        run("let $a := <x/> let $b := <x/> return (deep-equal($a, $b), $a is $b)"),
+        "true false"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+#[test]
+fn dynamic_errors() {
+    let mut e = Engine::new();
+    for (q, code) in [
+        ("1 div 0", "FOAR0001"),
+        ("$nope", "XPST0008"),
+        ("nope()", "XPST0017"),
+        ("fn:error(\"custom\")", "FOER0000"),
+        ("(1, 2) + 1", "XPTY0004"),
+        ("\"a\" + 1", "XPTY0004"),
+        ("count()", "XPST0017"),
+    ] {
+        match e.run(q) {
+            Err(xqcore::Error::Eval(x)) => assert_eq!(x.code, code, "query {q:?}"),
+            other => panic!("query {q:?}: expected eval error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn intersect_and_except_operators() {
+    // Identity-based: the same name constructed twice is NOT the same node.
+    assert_eq!(
+        run_with_doc(SITE, "count($doc//person intersect $doc//person[2])"),
+        "1"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "count($doc//person except $doc//person[2])"),
+        "2"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "for $n in ($doc//person except ($doc//person)[1]) return string($n/name)"),
+        "Bob Cyd"
+    );
+    // Result is in document order even if operands are not.
+    assert_eq!(
+        run_with_doc(
+            SITE,
+            "count(($doc//age | $doc//name) intersect ($doc//name | $doc//age))"
+        ),
+        "6"
+    );
+    // Empty cases.
+    assert_eq!(run_with_doc(SITE, "count($doc//person intersect ())"), "0");
+    assert_eq!(run_with_doc(SITE, "count(() except $doc//person)"), "0");
+    assert_eq!(run_with_doc(SITE, "count($doc//person except ())"), "3");
+    // Precedence: intersect binds tighter than union.
+    assert_eq!(
+        run_with_doc(SITE, "count($doc//name | $doc//person intersect $doc//person[1])"),
+        "4"
+    );
+}

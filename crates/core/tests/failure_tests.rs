@@ -1,0 +1,164 @@
+//! Failure injection: errors raised at different points of a program, and
+//! what state survives them. The paper leaves failure semantics to future
+//! work (§5–6 mention transactional mechanisms as open); these tests pin
+//! the implementation's behaviour so it is a documented contract rather
+//! than an accident:
+//!
+//! * an error *inside* a snap body discards that scope's Δ (nothing from
+//!   the failed scope applies);
+//! * effects of **already-closed inner snaps survive** — closing a snap is
+//!   commitment, exactly like the paper's counter keeps counting even if a
+//!   later part of the query fails;
+//! * Δ application failures (precondition violations) in ordered mode
+//!   stop at the failing request — requests before it are applied
+//!   (non-atomic application, documented);
+//! * conflict-detection verification failures apply nothing (its whole
+//!   point: verification precedes modification).
+
+use xqcore::{Engine, Error};
+
+fn engine_with(xml: &str) -> Engine {
+    let mut e = Engine::new();
+    e.load_document("doc", xml).unwrap();
+    e
+}
+
+fn run(e: &mut Engine, q: &str) -> String {
+    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+#[test]
+fn error_in_top_level_discards_pending_updates() {
+    let mut e = engine_with("<x/>");
+    let err = e.run("(insert { <a/> } into { $doc/x }, fn:error(\"late\"))");
+    assert!(err.is_err());
+    assert_eq!(run(&mut e, "count($doc/x/*)"), "0");
+}
+
+#[test]
+fn closed_inner_snap_survives_later_error() {
+    let mut e = engine_with("<x/>");
+    let err = e.run(
+        "(snap insert { <committed/> } into { $doc/x },
+          insert { <pending/> } into { $doc/x },
+          fn:error(\"boom\"))",
+    );
+    assert!(err.is_err());
+    // The closed snap applied; the pending top-level insert did not.
+    assert_eq!(run(&mut e, "count($doc/x/committed)"), "1");
+    assert_eq!(run(&mut e, "count($doc/x/pending)"), "0");
+}
+
+#[test]
+fn error_inside_nested_snap_discards_only_that_scope() {
+    let mut e = engine_with("<x/>");
+    let err = e.run(
+        "(snap insert { <outer1/> } into { $doc/x },
+          snap { insert { <inner/> } into { $doc/x }, fn:error(\"inner\") })",
+    );
+    assert!(err.is_err());
+    assert_eq!(run(&mut e, "count($doc/x/outer1)"), "1");
+    assert_eq!(run(&mut e, "count($doc/x/inner)"), "0");
+}
+
+#[test]
+fn error_in_function_propagates_through_snap_boundaries() {
+    let mut e = engine_with("<x/>");
+    let q = r#"
+declare function fail_after_commit() {
+  (snap insert { <c/> } into { $doc/x }, fn:error("in function"))
+};
+(fail_after_commit(), insert { <never/> } into { $doc/x })"#;
+    let err = e.run(q);
+    assert!(err.is_err());
+    assert_eq!(run(&mut e, "count($doc/x/c)"), "1");
+    assert_eq!(run(&mut e, "count($doc/x/never)"), "0");
+}
+
+#[test]
+fn ordered_application_is_not_atomic_on_precondition_failure() {
+    // Documented behaviour: ordered-mode application stops at the first
+    // failing request; earlier requests stay applied. (A verification
+    // pass cannot fix this in general — preconditions may depend on the
+    // store state produced by earlier requests in the same Δ.)
+    let mut e = engine_with("<x><t>text</t></x>");
+    let err = e.run(
+        "snap { insert { <applied/> } into { $doc/x },
+                insert { <fails/> } into { ($doc/x/t/text()) } }",
+    );
+    assert!(matches!(err, Err(Error::Eval(x)) if x.code == "XQB0002"));
+    assert_eq!(run(&mut e, "count($doc/x/applied)"), "1");
+    assert_eq!(run(&mut e, "count($doc/x/fails)"), "0");
+}
+
+#[test]
+fn conflict_detection_failure_applies_nothing() {
+    let mut e = engine_with("<x><a/></x>");
+    let err = e.run(
+        "snap conflict-detection {
+           rename { $doc/x/a } to { \"r1\" },
+           insert { <i1/> } into { $doc/x },
+           insert { <i2/> } into { $doc/x } }",
+    );
+    assert!(matches!(err, Err(Error::Eval(x)) if x.code == "XQB0010"));
+    // Even the non-conflicting rename did not apply.
+    assert_eq!(run(&mut e, "count($doc/x/r1)"), "0");
+    assert_eq!(run(&mut e, "count($doc/x/*)"), "1");
+}
+
+#[test]
+fn parse_error_leaves_engine_usable() {
+    let mut e = engine_with("<x/>");
+    assert!(matches!(e.run("for $x in"), Err(Error::Parse(_))));
+    assert_eq!(run(&mut e, "count($doc/x)"), "1");
+}
+
+#[test]
+fn type_error_mid_loop_discards_that_querys_pending_updates() {
+    let mut e = engine_with("<x/>");
+    let err = e.run(
+        "for $i in (1, 2, \"boom\", 4)
+         return (insert { <n/> } into { $doc/x }, $i * 2)",
+    );
+    assert!(err.is_err());
+    assert_eq!(run(&mut e, "count($doc/x/n)"), "0");
+}
+
+#[test]
+fn snap_per_iteration_commits_completed_iterations() {
+    let mut e = engine_with("<x/>");
+    let err = e.run(
+        "for $i in (1, 2, \"boom\", 4)
+         return (snap insert { <n/> } into { $doc/x }, $i * 2)",
+    );
+    assert!(err.is_err());
+    // Iterations 1 and 2 committed before the failure; 3 failed after its
+    // snap closed (the multiply errors after the insert applied).
+    assert_eq!(run(&mut e, "count($doc/x/n)"), "3");
+}
+
+#[test]
+fn engine_remains_consistent_after_many_failures() {
+    let mut e = engine_with("<x/>");
+    for _ in 0..20 {
+        let _ = e.run("(insert { <a/> } into { $doc/x }, fn:error(\"x\"))");
+        let _ = e.run("$undefined");
+        let _ = e.run("1 div 0");
+    }
+    // No leaked pending updates, no store corruption.
+    assert_eq!(run(&mut e, "count($doc/x/*)"), "0");
+    run(&mut e, "snap insert { <ok/> } into { $doc/x }");
+    assert_eq!(run(&mut e, "count($doc/x/ok)"), "1");
+}
+
+#[test]
+fn recursion_limit_error_leaves_clean_state() {
+    let mut e = engine_with("<x/>");
+    let err = e.run(
+        "declare function spin($n) { (insert { <s/> } into { $doc/x }, spin($n + 1)) };
+         spin(0)",
+    );
+    assert!(matches!(err, Err(Error::Eval(x)) if x.code == "XQB0020"));
+    assert_eq!(run(&mut e, "count($doc/x/*)"), "0");
+}

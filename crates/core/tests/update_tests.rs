@@ -1,0 +1,532 @@
+//! Update and `snap` semantics: the paper's §2–§3 behaviours, each worked
+//! example verbatim where possible.
+
+use xqcore::{Engine, Error};
+
+fn engine_with(xml: &str) -> Engine {
+    let mut e = Engine::new();
+    e.load_document("doc", xml).unwrap();
+    e
+}
+
+fn run(e: &mut Engine, q: &str) -> String {
+    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Snapshot semantics: delayed application
+// ---------------------------------------------------------------------
+
+#[test]
+fn updates_invisible_within_their_snap_scope() {
+    // Inside the (implicit, top-level) snap, an insert is pending: the
+    // count sees the store before application.
+    let mut e = engine_with("<log/>");
+    assert_eq!(
+        run(&mut e, "(insert { <entry/> } into { $doc/log }, count($doc/log/entry))"),
+        "0"
+    );
+    // After the query, the top-level snap has closed: the entry exists.
+    assert_eq!(run(&mut e, "count($doc/log/entry)"), "1");
+}
+
+#[test]
+fn explicit_snap_makes_effects_visible() {
+    // §2.3: "the code can decide to see its own effects."
+    let mut e = engine_with("<log/>");
+    assert_eq!(
+        run(&mut e, "(snap insert { <entry/> } into { $doc/log }, count($doc/log/entry))"),
+        "1"
+    );
+}
+
+#[test]
+fn sequence_evaluates_left_to_right() {
+    // §2.3 relies on e1,e2 evaluating e1 fully before e2.
+    let mut e = engine_with("<log/>");
+    assert_eq!(
+        run(
+            &mut e,
+            "(snap insert { <a/> } into { $doc/log },
+              snap insert { <b/> } into { $doc/log },
+              count($doc/log/*))"
+        ),
+        "2"
+    );
+    assert_eq!(run(&mut e, "for $n in $doc/log/* return name($n)"), "a b");
+}
+
+#[test]
+fn paper_nested_snap_ordering_example() {
+    // §3.4: inserts <b/><a/><c/> in this order, because the inner snap
+    // closes first and only applies the updates in its own scope.
+    let mut e = engine_with("<x/>");
+    e.bind("x", e.binding("doc").unwrap().clone());
+    run(
+        &mut e,
+        r#"let $x := $doc/x return
+           snap ordered { insert {<a/>} into $x,
+                          snap { insert {<b/>} into $x },
+                          insert {<c/>} into $x }"#,
+    );
+    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "b a c");
+}
+
+#[test]
+fn deeply_nested_snaps_close_inside_out() {
+    let mut e = engine_with("<x/>");
+    run(
+        &mut e,
+        r#"let $x := $doc/x return
+           snap { insert {<l1/>} into $x,
+                  snap { insert {<l2/>} into $x,
+                         snap { insert {<l3/>} into $x } } }"#,
+    );
+    // Innermost applies first.
+    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "l3 l2 l1");
+}
+
+// ---------------------------------------------------------------------
+// Update primitives
+// ---------------------------------------------------------------------
+
+#[test]
+fn insert_variants_position_correctly() {
+    let mut e = engine_with("<list><mid/></list>");
+    run(&mut e, "snap insert { <last/> } into { $doc/list }");
+    run(&mut e, "snap insert { <first/> } as first into { $doc/list }");
+    run(&mut e, "snap insert { <before-mid/> } before { $doc/list/mid }");
+    run(&mut e, "snap insert { <after-mid/> } after { $doc/list/mid }");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/list/* return name($n)"),
+        "first before-mid mid after-mid last"
+    );
+}
+
+#[test]
+fn insert_copies_source_tree() {
+    // Normalization's implicit copy: the inserted tree is a fresh copy, so
+    // the original is still where it was (no two-parent trees).
+    let mut e = engine_with("<r><src><k/></src><dst/></r>");
+    run(&mut e, "snap insert { $doc/r/src } into { $doc/r/dst }");
+    assert_eq!(run(&mut e, "count($doc/r/src)"), "1");
+    assert_eq!(run(&mut e, "count($doc/r/dst/src/k)"), "1");
+    // Distinct identities.
+    assert_eq!(run(&mut e, "$doc/r/src is $doc/r/dst/src"), "false");
+}
+
+#[test]
+fn insert_sequence_of_nodes() {
+    let mut e = engine_with("<r><dst/></r>");
+    run(&mut e, "snap insert { (<a/>, <b/>, <c/>) } into { $doc/r/dst }");
+    assert_eq!(run(&mut e, "for $n in $doc/r/dst/* return name($n)"), "a b c");
+}
+
+#[test]
+fn delete_detaches_subtree() {
+    let mut e = engine_with("<r><a><k>v</k></a><b/></r>");
+    run(&mut e, "snap delete { $doc/r/a }");
+    assert_eq!(run(&mut e, "count($doc/r/*)"), "1");
+}
+
+#[test]
+fn paper_detach_semantics_deleted_node_still_usable() {
+    // §3.1: "if the 'deleted' (actually, detached) node is still accessible
+    // from a variable, then it can still be queried, or inserted
+    // somewhere."
+    let mut e = engine_with("<r><a><k>v</k></a><dst/></r>");
+    assert_eq!(
+        run(
+            &mut e,
+            r#"let $a := $doc/r/a return
+               (snap delete { $a },
+                string($a/k),
+                snap insert { $a } into { $doc/r/dst },
+                count($doc/r/dst/a/k))"#
+        ),
+        "v 1"
+    );
+}
+
+#[test]
+fn delete_accepts_a_sequence() {
+    // §2.3: snap delete $log/logentry (deletes all of them).
+    let mut e = engine_with("<log><logentry/><logentry/><logentry/></log>");
+    run(&mut e, "snap delete $doc/log/logentry");
+    assert_eq!(run(&mut e, "count($doc/log/logentry)"), "0");
+}
+
+#[test]
+fn replace_swaps_node_in_place() {
+    let mut e = engine_with("<r><a/><old/><b/></r>");
+    run(&mut e, "snap replace { $doc/r/old } with { <new/> }");
+    assert_eq!(run(&mut e, "for $n in $doc/r/* return name($n)"), "a new b");
+}
+
+#[test]
+fn replace_copies_replacement() {
+    let mut e = engine_with("<r><old/><src><k/></src></r>");
+    run(&mut e, "snap replace { $doc/r/old } with { $doc/r/src }");
+    // Source still present, plus the copy where <old/> was.
+    assert_eq!(run(&mut e, "count($doc/r/src)"), "2");
+}
+
+#[test]
+fn rename_element_and_attribute() {
+    let mut e = engine_with("<r><x k=\"v\"/></r>");
+    run(&mut e, "snap rename { $doc/r/x } to { \"y\" }");
+    assert_eq!(run(&mut e, "count($doc/r/y)"), "1");
+    run(&mut e, "snap rename { $doc/r/y/@k } to { \"k2\" }");
+    assert_eq!(run(&mut e, "string($doc/r/y/@k2)"), "v");
+}
+
+#[test]
+fn copy_is_a_fresh_unattached_tree() {
+    let mut e = engine_with("<r><src><k>v</k></src></r>");
+    assert_eq!(
+        run(
+            &mut e,
+            r#"let $c := copy { $doc/r/src } return
+               ($c is $doc/r/src, string($c/k), count($c/..))"#
+        ),
+        "false v 0"
+    );
+}
+
+#[test]
+fn update_operators_return_empty_sequence() {
+    // §2.2: "atomic update operations always return the empty sequence."
+    let mut e = engine_with("<r><a/><b/></r>");
+    assert_eq!(run(&mut e, "count((insert { <x/> } into { $doc/r }))"), "0");
+    assert_eq!(run(&mut e, "count((rename { $doc/r/a } to { \"a2\" }))"), "0");
+    assert_eq!(run(&mut e, "count((delete { $doc/r/b }))"), "0");
+    assert_eq!(run(&mut e, "count((replace { $doc/r/x } with { <y/> }))"), "0");
+}
+
+// ---------------------------------------------------------------------
+// Update errors (partial-function preconditions)
+// ---------------------------------------------------------------------
+
+#[test]
+fn insert_into_text_node_fails_at_application() {
+    let mut e = engine_with("<r>text</r>");
+    let err = e.run("snap insert { <x/> } into { $doc/r/text() }").unwrap_err();
+    assert!(matches!(err, Error::Eval(x) if x.code == "XQB0002"));
+}
+
+#[test]
+fn replace_of_parentless_node_fails() {
+    let mut e = engine_with("<r/>");
+    let err = e.run("snap replace { copy { $doc/r } } with { <x/> }").unwrap_err();
+    assert!(matches!(err, Error::Eval(x) if x.code == "XQB0002"));
+}
+
+#[test]
+fn rename_to_invalid_qname_fails() {
+    let mut e = engine_with("<r><a/></r>");
+    let err = e.run("snap rename { $doc/r/a } to { \"not a name\" }").unwrap_err();
+    assert!(matches!(err, Error::Eval(x) if x.code == "XQDY0074"));
+}
+
+#[test]
+fn update_targets_must_be_nodes() {
+    let mut e = engine_with("<r/>");
+    assert!(e.run("snap delete { 42 }").is_err());
+    assert!(e.run("snap rename { 42 } to { \"x\" }").is_err());
+    assert!(e.run("snap insert { <a/> } into { 42 }").is_err());
+}
+
+// ---------------------------------------------------------------------
+// The paper's use cases, end to end
+// ---------------------------------------------------------------------
+
+const AUCTION: &str = r#"<site>
+  <people>
+    <person id="person0"><name>Kasidit Treweek</name></person>
+    <person id="person1"><name>Jaana Ge</name></person>
+  </people>
+  <items>
+    <item id="item0"><name>Duteous</name></item>
+    <item id="item1"><name>Great</name></item>
+  </items>
+</site>"#;
+
+#[test]
+fn paper_get_item_with_logging() {
+    // §2.2: an update inside a function body, composed with a result value.
+    let mut e = Engine::new();
+    e.load_document("auction", AUCTION).unwrap();
+    e.load_document("logdoc", "<log/>").unwrap();
+    let q = r#"
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    let $name := $auction//person[@id = $userid]/name return
+    insert { <logentry user="{$name}" itemid="{$itemid}"/> }
+    into { $logdoc/log },
+    $item
+  )
+};
+get_item("item0", "person1")"#;
+    let r = e.run(q).unwrap();
+    // The function returned the item...
+    assert_eq!(
+        e.serialize(&r).unwrap(),
+        "<item id=\"item0\"><name>Duteous</name></item>"
+    );
+    // ...and the top-level snap applied the log insertion.
+    let log = e.run("$logdoc/log/logentry").unwrap();
+    assert_eq!(
+        e.serialize(&log).unwrap(),
+        "<logentry user=\"Jaana Ge\" itemid=\"item0\"/>"
+    );
+}
+
+#[test]
+fn paper_log_archiving_sees_own_effects() {
+    // §2.3: snap makes the insertion visible so the archiving condition
+    // can fire within the same program.
+    let mut e = Engine::new();
+    e.load_document("logdoc", "<log><logentry/><logentry/></log>").unwrap();
+    e.load_document("archive", "<archive/>").unwrap();
+    let q = r#"
+declare variable $maxlog := 3;
+(snap insert { <logentry/> } into { $logdoc/log },
+ if (count($logdoc/log/logentry) >= $maxlog)
+ then (snap insert { <archived n="{count($logdoc/log/logentry)}"/> }
+            into { $archive/archive },
+       snap delete $logdoc/log/logentry)
+ else ())"#;
+    e.run(q).unwrap();
+    let log = e.run("$logdoc/log").unwrap();
+    assert_eq!(e.serialize(&log).unwrap(), "<log/>");
+    let archived = e.run("$archive/archive/archived").unwrap();
+    assert_eq!(e.serialize(&archived).unwrap(), "<archived n=\"3\"/>");
+}
+
+#[test]
+fn paper_counter_nextid() {
+    // §2.5: the snap-wrapped counter function; each call sees the previous
+    // call's effect.
+    let mut e = Engine::new();
+    let q = r#"
+declare variable $d := element counter { 0 };
+declare function nextid() {
+  snap { replace { $d/text() } with { $d + 1 },
+         $d }
+};
+(string(nextid()), string(nextid()), string(nextid()))"#;
+    let r = e.run(q).unwrap();
+    // replace{} with{} evaluates $d + 1 BEFORE applying, and the function
+    // returns $d before the snap closes... the value returned is the node;
+    // stringized after each snap application by the outer string().
+    // First call: $d/text() replaced by 0+1=1 -> returns counter node.
+    assert_eq!(e.serialize(&r).unwrap(), "1 2 3");
+}
+
+#[test]
+fn counter_ids_are_unique_inside_one_query() {
+    let mut e = Engine::new();
+    let q = r#"
+declare variable $d := element counter { 0 };
+declare function nextid() {
+  snap { replace { $d/text() } with { $d + 1 }, $d }
+};
+for $i in 1 to 5 return string(nextid())"#;
+    let r = e.run(q).unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "1 2 3 4 5");
+}
+
+#[test]
+fn paper_purchasers_join_query() {
+    // §2.1: the join + insert query; all matches inserted at query end.
+    let mut e = Engine::new();
+    e.load_document(
+        "auction",
+        r#"<site>
+  <people>
+    <person id="p1"/><person id="p2"/><person id="p3"/>
+  </people>
+  <closed_auctions>
+    <closed_auction><buyer person="p1"/><itemref item="i1"/></closed_auction>
+    <closed_auction><buyer person="p2"/><itemref item="i2"/></closed_auction>
+    <closed_auction><buyer person="p1"/><itemref item="i3"/></closed_auction>
+  </closed_auctions>
+</site>"#,
+    )
+    .unwrap();
+    e.load_document("purchasers", "<purchasers/>").unwrap();
+    let q = r#"
+for $p in $auction//person
+for $t in $auction//closed_auction
+where $t/buyer/@person = $p/@id
+return insert { <buyer person="{$t/buyer/@person}"
+                        itemid="{$t/itemref/@item}" /> }
+       into { $purchasers/purchasers }"#;
+    e.run(q).unwrap();
+    let n = e.run("count($purchasers//buyer)").unwrap();
+    assert_eq!(e.serialize(&n).unwrap(), "3");
+    let items = e.run("$purchasers//buyer[@person = \"p1\"]/@itemid").unwrap();
+    assert_eq!(e.serialize(&items).unwrap(), "itemid=\"i1\" itemid=\"i3\"");
+}
+
+// ---------------------------------------------------------------------
+// Snap modes
+// ---------------------------------------------------------------------
+
+#[test]
+fn conflict_detection_rejects_order_dependent_deltas() {
+    let mut e = engine_with("<x/>");
+    // Two appends to the same parent: order-dependent => conflict.
+    let err = e
+        .run(
+            "snap conflict-detection { insert { <a/> } into { $doc/x },
+                                       insert { <b/> } into { $doc/x } }",
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Eval(x) if x.code == "XQB0010"));
+}
+
+#[test]
+fn conflict_detection_accepts_disjoint_updates() {
+    let mut e = engine_with("<x><a/><b/></x>");
+    e.run(
+        "snap conflict-detection { rename { $doc/x/a } to { \"a2\" },
+                                   delete { $doc/x/b } }",
+    )
+    .unwrap();
+    assert_eq!(run(&mut e, "count($doc/x/a2)"), "1");
+    assert_eq!(run(&mut e, "count($doc/x/b)"), "0");
+}
+
+#[test]
+fn nondeterministic_mode_applies_all_updates() {
+    let mut e = engine_with("<x><a/><b/><c/></x>");
+    e.run(
+        "snap nondeterministic { rename { $doc/x/a } to { \"a2\" },
+                                 rename { $doc/x/b } to { \"b2\" },
+                                 rename { $doc/x/c } to { \"c2\" } }",
+    )
+    .unwrap();
+    assert_eq!(run(&mut e, "count($doc/x/*) = 3"), "true");
+    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "a2 b2 c2");
+}
+
+#[test]
+fn nondeterministic_seed_changes_append_order() {
+    let mut orders = std::collections::HashSet::new();
+    for seed in 0..16 {
+        let mut e = Engine::new().with_seed(seed);
+        e.load_document("doc", "<x/>").unwrap();
+        e.run(
+            "snap nondeterministic { insert { <a/> } into { $doc/x },
+                                     insert { <b/> } into { $doc/x } }",
+        )
+        .unwrap();
+        let names = e.run("for $n in $doc/x/* return name($n)").unwrap();
+        orders.insert(e.serialize(&names).unwrap());
+    }
+    assert_eq!(orders.len(), 2, "both orders should occur across seeds: {orders:?}");
+}
+
+#[test]
+fn ordered_mode_is_deterministic_across_seeds() {
+    for seed in 0..8 {
+        let mut e = Engine::new().with_seed(seed);
+        e.load_document("doc", "<x/>").unwrap();
+        e.run(
+            "snap ordered { insert { <a/> } into { $doc/x },
+                            insert { <b/> } into { $doc/x } }",
+        )
+        .unwrap();
+        let names = e.run("for $n in $doc/x/* return name($n)").unwrap();
+        assert_eq!(e.serialize(&names).unwrap(), "a b");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Updates inside FLWOR / conditionals / functions
+// ---------------------------------------------------------------------
+
+#[test]
+fn updates_in_for_body_accumulate_in_iteration_order() {
+    let mut e = engine_with("<x/>");
+    run(
+        &mut e,
+        "for $i in 1 to 4 return insert { element e { attribute n { $i } } } into { $doc/x }",
+    );
+    assert_eq!(run(&mut e, "for $n in $doc/x/e return string($n/@n)"), "1 2 3 4");
+}
+
+#[test]
+fn updates_in_both_branches_only_taken_branch_counts() {
+    let mut e = engine_with("<x/>");
+    run(
+        &mut e,
+        "for $i in 1 to 4 return
+           if ($i mod 2 = 0)
+           then insert { <even/> } into { $doc/x }
+           else insert { <odd/> } into { $doc/x }",
+    );
+    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "odd even odd even");
+}
+
+#[test]
+fn snap_value_passes_through() {
+    // snap returns its body's value (with empty Δ).
+    let mut e = engine_with("<x/>");
+    assert_eq!(run(&mut e, "snap { (1, 2, 3) }"), "1 2 3");
+    // Per the Fig. 1 grammar, SnapExpr sits at the Expr level (like FLWOR),
+    // so it needs parentheses in operand position.
+    assert_eq!(run(&mut e, "1 + (snap { 2 })"), "3");
+}
+
+#[test]
+fn failed_body_leaves_snap_unapplied() {
+    // An error inside the snap body aborts the snap: its Δ is discarded.
+    let mut e = engine_with("<x/>");
+    let err = e.run("snap { insert { <a/> } into { $doc/x }, fn:error(\"boom\") }");
+    assert!(err.is_err());
+    assert_eq!(run(&mut e, "count($doc/x/*)"), "0");
+}
+
+#[test]
+fn global_variable_initializers_can_construct() {
+    let mut e = Engine::new();
+    let r = e
+        .run("declare variable $v := <v><a/><b/></v>; count($v/*)")
+        .unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "2");
+}
+
+#[test]
+fn bound_sequence_values_survive_updates() {
+    // A variable bound before an update still sees the detached node.
+    let mut e = engine_with("<r><a><k/></a></r>");
+    assert_eq!(
+        run(
+            &mut e,
+            "let $a := $doc/r/a return (snap delete $a, count($a/k), count($doc/r/a))"
+        ),
+        "1 0"
+    );
+}
+
+#[test]
+fn counter_used_inside_logging_example() {
+    // §2.5's combined example: nextid() inside the log entry constructor,
+    // both under an outer snap.
+    let mut e = Engine::new();
+    e.load_document("logdoc", "<log/>").unwrap();
+    let q = r#"
+declare variable $d := element counter { 0 };
+declare function nextid() {
+  snap { replace { $d/text() } with { $d + 1 }, $d }
+};
+(snap insert { <logentry id="{nextid()}" user="u1"/> } into { $logdoc/log },
+ snap insert { <logentry id="{nextid()}" user="u2"/> } into { $logdoc/log },
+ for $l in $logdoc/log/logentry return string($l/@id))"#;
+    let r = e.run(q).unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "1 2");
+}

@@ -1,0 +1,353 @@
+//! Rule-based plan compilation with side-effect guards (paper §4.2–4.3).
+//!
+//! Two rewrites, each guarded by the preconditions the paper spells out:
+//!
+//! 1. **Join recognition** — `for $o in E1 for $i in E2 where K(o) = K(i)
+//!    return R` becomes a hash join when
+//!    * `E2` is *independent* of `$o` (no free occurrence),
+//!    * `E1` and `E2` have no effects and produce no updates (they are
+//!      evaluated once instead of once per outer binding — the paper's
+//!      cardinality precondition),
+//!    * the keys are pure and each depends on exactly one side,
+//!    * nothing in the query **applies** updates (`snap`): pending updates
+//!      in `R` are fine ("inside an innermost snap ... can be evaluated in
+//!      any order"), an inner `snap` kills the rewrite — the paper's "if we
+//!      had used a snap insert ... the group-by optimization would be more
+//!      difficult to detect".
+//! 2. **Outer-join/group-by unnesting** — the §4.3 shape `for $o in E1
+//!    let $g := (for $i in E2 where K(o)=K(i) return R) return F` becomes
+//!    `MapFromItem{F}(GroupBy[o,{R}](LeftOuterJoin(E1, E2) on K))`, with
+//!    the same guards plus purity of `F`'s interaction with the grouped
+//!    value (F may mention `$g` freely — it receives exactly the sequence
+//!    the nested loop would have produced, in the same order).
+
+use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
+use xqcore::{Effect, EffectAnalysis};
+use xqdm::atomic::CompareOp;
+use xqsyn::core::{Core, CoreProgram};
+
+/// The plan compiler: effect analysis + rewrite rules.
+pub struct Compiler {
+    analysis: EffectAnalysis,
+}
+
+impl Compiler {
+    /// A compiler for a program (analyzes its functions once).
+    pub fn new(program: &CoreProgram) -> Self {
+        Compiler { analysis: EffectAnalysis::new(program) }
+    }
+
+    /// A compiler with no user functions in scope.
+    pub fn empty() -> Self {
+        Compiler { analysis: EffectAnalysis::empty() }
+    }
+
+    /// The effect analysis (exposed for diagnostics and tests).
+    pub fn analysis(&self) -> &EffectAnalysis {
+        &self.analysis
+    }
+
+    /// Compile a core expression to a plan. Falls back to
+    /// [`QueryPlan::Iterate`] whenever a guard fails.
+    pub fn compile(&self, core: &Core) -> QueryPlan {
+        if let Some(plan) = self.try_outer_join_group_by(core) {
+            return plan;
+        }
+        if let Some(plan) = self.try_join(core) {
+            return plan;
+        }
+        QueryPlan::Iterate(core.clone())
+    }
+
+    /// Run the guarded syntactic rewriting phase (§4.2) first, then
+    /// compile — the full Galax-style pipeline.
+    pub fn compile_simplified(&self, core: &Core) -> QueryPlan {
+        let simplified = crate::rewrite::simplify(core, &self.analysis);
+        self.compile(&simplified)
+    }
+
+    /// Shared guards for both rewrites; returns the (outer_key, inner_key)
+    /// pair oriented to (outer, inner).
+    #[allow(clippy::too_many_arguments)]
+    fn join_guards(
+        &self,
+        outer_var: &str,
+        outer_source: &Core,
+        inner_var: &str,
+        inner_source: &Core,
+        k1: &Core,
+        k2: &Core,
+        body: &Core,
+    ) -> Option<(Core, Core)> {
+        // Sources are evaluated once by the join: they must be update-free
+        // (cardinality guard) — and snap-free follows from that.
+        if !self.analysis.effect(outer_source).cardinality_safe()
+            || !self.analysis.effect(inner_source).cardinality_safe()
+        {
+            return None;
+        }
+        // Independence: the inner source must not depend on the outer
+        // variable (otherwise it is a dependent loop, not a join).
+        if inner_source.free_vars().contains(outer_var) {
+            return None;
+        }
+        // The body and keys must not APPLY updates: an inner snap could
+        // observe the evaluation order, which the join changes.
+        if !self.analysis.effect(body).order_free() {
+            return None;
+        }
+        // Keys: pure, and each mentioning exactly one side.
+        if self.analysis.effect(k1) != Effect::Pure || self.analysis.effect(k2) != Effect::Pure {
+            return None;
+        }
+        let (f1, f2) = (k1.free_vars(), k2.free_vars());
+        let k1_outer = f1.contains(outer_var);
+        let k1_inner = f1.contains(inner_var);
+        let k2_outer = f2.contains(outer_var);
+        let k2_inner = f2.contains(inner_var);
+        match (k1_outer, k1_inner, k2_outer, k2_inner) {
+            (true, false, false, true) => Some((k1.clone(), k2.clone())),
+            (false, true, true, false) => Some((k2.clone(), k1.clone())),
+            _ => None,
+        }
+    }
+
+    /// Pattern: for $o in E1 return for $i in E2 return if (k = k) then R
+    /// else () — the normalized form of the §2.1 for-for-where query.
+    fn try_join(&self, core: &Core) -> Option<QueryPlan> {
+        let Core::For { var: outer_var, position: None, source: outer_source, body } = core
+        else {
+            return None;
+        };
+        let Core::For { var: inner_var, position: None, source: inner_source, body: inner_body } =
+            body.as_ref()
+        else {
+            return None;
+        };
+        let (k1, k2, ret) = match_where_eq(inner_body)?;
+        let (outer_key, inner_key) = self.join_guards(
+            outer_var,
+            outer_source,
+            inner_var,
+            inner_source,
+            k1,
+            k2,
+            ret,
+        )?;
+        Some(QueryPlan::HashJoin(JoinPlan {
+            outer_var: outer_var.clone(),
+            outer_source: (**outer_source).clone(),
+            inner_var: inner_var.clone(),
+            inner_source: (**inner_source).clone(),
+            outer_key,
+            inner_key,
+            body: ret.clone(),
+        }))
+    }
+
+    /// Pattern: for $o in E1 return let $g := (for $i in E2 return
+    /// if (k = k) then R else ()) return F — the §4.3 Q8 variant.
+    fn try_outer_join_group_by(&self, core: &Core) -> Option<QueryPlan> {
+        let Core::For { var: outer_var, position: None, source: outer_source, body } = core
+        else {
+            return None;
+        };
+        let Core::Let { var: group_var, value, body: ret } = body.as_ref() else {
+            return None;
+        };
+        let Core::For { var: inner_var, position: None, source: inner_source, body: inner_body } =
+            value.as_ref()
+        else {
+            return None;
+        };
+        let (k1, k2, r) = match_where_eq(inner_body)?;
+        let (outer_key, inner_key) = self.join_guards(
+            outer_var,
+            outer_source,
+            inner_var,
+            inner_source,
+            k1,
+            k2,
+            r,
+        )?;
+        // The outer return must not apply updates either (it runs once per
+        // outer binding in both plans, but an inner snap would let it
+        // observe R's effects mid-join).
+        if !self.analysis.effect(ret).order_free() {
+            return None;
+        }
+        Some(QueryPlan::OuterJoinGroupBy(GroupByPlan {
+            join: JoinPlan {
+                outer_var: outer_var.clone(),
+                outer_source: (**outer_source).clone(),
+                inner_var: inner_var.clone(),
+                inner_source: (**inner_source).clone(),
+                outer_key,
+                inner_key,
+                body: r.clone(),
+            },
+            group_var: group_var.clone(),
+            ret: (**ret).clone(),
+        }))
+    }
+}
+
+/// Match `if (K1 = K2) then R else ()` — a normalized `where` clause with a
+/// general equality comparison.
+fn match_where_eq(core: &Core) -> Option<(&Core, &Core, &Core)> {
+    let Core::If(cond, then, els) = core else {
+        return None;
+    };
+    if !matches!(els.as_ref(), Core::Seq(v) if v.is_empty()) {
+        return None;
+    }
+    let Core::GeneralComp(CompareOp::Eq, k1, k2) = cond.as_ref() else {
+        return None;
+    };
+    Some((k1, k2, then))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqsyn::compile as xq_compile;
+
+    fn plan_for(query: &str) -> QueryPlan {
+        let prog = xq_compile(query).expect("parse");
+        Compiler::new(&prog).compile(&prog.body)
+    }
+
+    const Q_JOIN: &str = r#"
+        for $p in $auction//person
+        for $t in $auction//closed_auction
+        where $t/buyer/@person = $p/@id
+        return insert { <buyer person="{$t/buyer/@person}"/> } into { $purchasers }"#;
+
+    const Q8_VARIANT: &str = r#"
+        for $p in $auction//person
+        let $a :=
+          for $t in $auction//closed_auction
+          where $t/buyer/@person = $p/@id
+          return (insert { <buyer person="{$t/buyer/@person}"/> }
+                  into { $purchasers }, $t)
+        return <item person="{ $p/name }">{ count($a) }</item>"#;
+
+    #[test]
+    fn paper_join_query_compiles_to_hash_join() {
+        let plan = plan_for(Q_JOIN);
+        match &plan {
+            QueryPlan::HashJoin(j) => {
+                assert_eq!(j.outer_var, "p");
+                assert_eq!(j.inner_var, "t");
+                // Keys oriented correctly even though the where-clause
+                // wrote them inner-first.
+                assert!(j.outer_key.free_vars().contains("p"));
+                assert!(j.inner_key.free_vars().contains("t"));
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_q8_variant_compiles_to_outer_join_group_by() {
+        let plan = plan_for(Q8_VARIANT);
+        match &plan {
+            QueryPlan::OuterJoinGroupBy(g) => {
+                assert_eq!(g.group_var, "a");
+                assert_eq!(g.join.outer_var, "p");
+            }
+            other => panic!("expected outer-join/group-by, got {other:?}"),
+        }
+        // The §4.3 printout shape.
+        let rendered = plan.render();
+        assert!(rendered.contains("GroupBy"));
+        assert!(rendered.contains("LeftOuterJoin"));
+        assert!(rendered.contains("MapFromItem"));
+        assert!(rendered.starts_with("Snap {"));
+    }
+
+    #[test]
+    fn snap_in_body_suppresses_the_rewrite() {
+        // §4.3: "if we had used a snap insert at line 5 of the source code,
+        // the group-by optimization would be more difficult to detect".
+        let q = r#"
+            for $p in $auction//person
+            let $a :=
+              for $t in $auction//closed_auction
+              where $t/buyer/@person = $p/@id
+              return (snap insert { <buyer/> } into { $purchasers }, $t)
+            return <item>{ count($a) }</item>"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn pending_updates_in_body_do_not_suppress() {
+        // The insert (no snap) is fine: pending updates are effect-free.
+        assert!(plan_for(Q8_VARIANT).is_optimized());
+    }
+
+    #[test]
+    fn dependent_inner_source_suppresses() {
+        let q = r#"
+            for $p in $auction//person
+            for $t in $p//closed_auction
+            where $t/buyer/@person = $p/@id
+            return $t"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn updating_source_suppresses() {
+        // A source with updates cannot be evaluated once (cardinality).
+        let q = r#"
+            for $p in (insert { <x/> } into { $d }, $auction//person)
+            for $t in $auction//closed_auction
+            where $t/buyer/@person = $p/@id
+            return $t"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn cross_side_keys_suppress() {
+        // Both keys mention $p: not a proper equi-join.
+        let q = r#"
+            for $p in $auction//person
+            for $t in $auction//closed_auction
+            where $p/@id = $p/@name
+            return $t"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn non_equality_predicates_suppress() {
+        let q = r#"
+            for $p in $auction//person
+            for $t in $auction//closed_auction
+            where $t/buyer/@person < $p/@id
+            return $t"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn snap_via_function_call_suppresses() {
+        // The effect judgment chases calls (the "monadic rule").
+        let q = r#"
+            declare function log_it($x) { snap insert { <l/> } into { $log } };
+            for $p in $auction//person
+            for $t in $auction//closed_auction
+            where $t/buyer/@person = $p/@id
+            return log_it($t)"#;
+        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+    }
+
+    #[test]
+    fn pure_function_calls_do_not_suppress() {
+        let q = r#"
+            declare function fmt($x) { <m>{ $x }</m> };
+            for $p in $auction//person
+            for $t in $auction//closed_auction
+            where $t/buyer/@person = $p/@id
+            return fmt($t)"#;
+        assert!(plan_for(q).is_optimized());
+    }
+}

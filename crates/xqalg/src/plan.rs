@@ -1,0 +1,133 @@
+//! Logical query plans (paper §4.2–4.3).
+//!
+//! The plan language mirrors the operators the paper's compiled plan uses —
+//! `MapFromItem`, `GroupBy`, `LeftOuterJoin`, `Snap` — specialized to the
+//! two unnesting shapes the paper's rewrites produce:
+//!
+//! * [`QueryPlan::HashJoin`]: a nested for-for-where loop recognized as a
+//!   join (the §2.1 purchasers query);
+//! * [`QueryPlan::OuterJoinGroupBy`]: the for/let/where shape of the §4.3
+//!   XMark Q8 variant, compiled to an outer join followed by a group-by.
+//!
+//! Anything the rewrites cannot prove safe stays [`QueryPlan::Iterate`]
+//! (the naive nested-loop evaluation of the core expression) — that is
+//! exactly the paper's guard story: the preconditions, not the rewrite,
+//! carry the semantics.
+
+use std::fmt;
+use xqsyn::core::Core;
+
+/// A compiled query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// No rewrite applied: evaluate the core expression as-is (nested
+    /// loops, strict left-to-right order). Always safe.
+    Iterate(Core),
+    /// `for $o in outer, $i in inner where key(o) = key(i) return body`
+    /// as a typed hash join.
+    HashJoin(JoinPlan),
+    /// `for $o in outer let $g := (for $i in inner where k(o)=k(i) return
+    /// item) return body` as LeftOuterJoin + GroupBy + MapFromItem.
+    OuterJoinGroupBy(GroupByPlan),
+}
+
+/// The join core shared by both optimized shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// Outer loop variable.
+    pub outer_var: String,
+    /// Outer loop source (evaluated once).
+    pub outer_source: Core,
+    /// Inner loop variable.
+    pub inner_var: String,
+    /// Inner loop source (evaluated once — the whole point of the join).
+    pub inner_source: Core,
+    /// Join key over the outer variable.
+    pub outer_key: Core,
+    /// Join key over the inner variable.
+    pub inner_key: Core,
+    /// Per-match body (the `return` of the inner loop), with both
+    /// variables in scope. May carry pending updates — the guards only
+    /// exclude `snap`.
+    pub body: Core,
+}
+
+/// The outer-join/group-by shape: joins like [`JoinPlan`], then groups the
+/// per-match values under `group_var` for each outer binding and evaluates
+/// `ret`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByPlan {
+    /// The underlying join.
+    pub join: JoinPlan,
+    /// The `let` variable receiving the grouped sequence.
+    pub group_var: String,
+    /// The outer `return`, with `outer_var` and `group_var` in scope.
+    pub ret: Core,
+}
+
+impl QueryPlan {
+    /// Was any rewrite applied?
+    pub fn is_optimized(&self) -> bool {
+        !matches!(self, QueryPlan::Iterate(_))
+    }
+
+    /// The paper-style plan printout (§4.3 prints
+    /// `Snap { MapFromItem {...} (GroupBy [...] (LeftOuterJoin(...))) }`).
+    pub fn render(&self) -> String {
+        match self {
+            QueryPlan::Iterate(core) => format!("Snap {{\n  Iterate {{ {core} }}\n}}"),
+            QueryPlan::HashJoin(j) => format!(
+                "Snap {{\n  MapFromItem {{ {body} }}\n  (Join( MapFromItem{{[{o}:Input]}}\n \
+                 ({osrc} ),\n         MapFromItem{{[{i}:Input]}}\n \
+                 ({isrc}))\n    on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n  )\n}}",
+                body = j.body,
+                o = j.outer_var,
+                osrc = j.outer_source,
+                i = j.inner_var,
+                isrc = j.inner_source,
+                ikey = strip_var(&j.inner_key, &j.inner_var),
+                okey = strip_var(&j.outer_key, &j.outer_var),
+            ),
+            QueryPlan::OuterJoinGroupBy(g) => format!(
+                "Snap {{\n  MapFromItem {{\n    {ret}\n  }}\n  (GroupBy [ Input#{o}, {{ {body} \
+                 }}]\n    ( LeftOuterJoin( MapFromItem{{[{o}:Input]}}\n \
+                 ({osrc} ),\n                     MapFromItem{{[{i}:Input]}}\n \
+                 ({isrc}))\n      on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n    )\n  )\n}}",
+                ret = g.ret,
+                o = g.join.outer_var,
+                body = g.join.body,
+                osrc = g.join.outer_source,
+                i = g.join.inner_var,
+                isrc = g.join.inner_source,
+                ikey = strip_var(&g.join.inner_key, &g.join.inner_var),
+                okey = strip_var(&g.join.outer_key, &g.join.outer_var),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Render a key expression relative to its variable (`$t/buyer/@person`
+/// prints as `buyer/@person` after the `Input#t` prefix).
+fn strip_var(key: &Core, var: &str) -> String {
+    let s = key.to_string();
+    s.strip_prefix(&format!("${var}/")).map(str::to_string).unwrap_or(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqsyn::core::Core;
+
+    #[test]
+    fn iterate_renders_with_snap_wrapper() {
+        let p = QueryPlan::Iterate(Core::int(1));
+        assert!(p.render().starts_with("Snap {"));
+        assert!(!p.is_optimized());
+    }
+}

@@ -1,0 +1,520 @@
+//! Atomic values and their XPath 2.0 operational semantics.
+//!
+//! The paper works with untyped (well-formed) documents, so the atomic type
+//! lattice we need is small: strings, booleans, integers, doubles, and
+//! `xs:untypedAtomic` (what atomization of an untyped node produces). The
+//! comparison and arithmetic rules below follow the XPath 2.0 rules for that
+//! fragment, including the asymmetric treatment of untyped operands in
+//! general vs. value comparisons.
+
+use crate::error::{XdmError, XdmResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An atomic value in the XQuery! data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atomic {
+    /// `xs:string`
+    String(String),
+    /// `xs:boolean`
+    Boolean(bool),
+    /// `xs:integer`
+    Integer(i64),
+    /// `xs:double` (also used for decimal literals; see crate docs)
+    Double(f64),
+    /// `xs:untypedAtomic` — produced by atomizing nodes in well-formed
+    /// (schema-less) documents.
+    Untyped(String),
+}
+
+impl Atomic {
+    /// The name of the value's type, as used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Atomic::String(_) => "xs:string",
+            Atomic::Boolean(_) => "xs:boolean",
+            Atomic::Integer(_) => "xs:integer",
+            Atomic::Double(_) => "xs:double",
+            Atomic::Untyped(_) => "xs:untypedAtomic",
+        }
+    }
+
+    /// Is this a numeric value (`xs:integer` or `xs:double`)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Atomic::Integer(_) | Atomic::Double(_))
+    }
+
+    /// The string value (`fn:string` applied to the atomic value).
+    pub fn string_value(&self) -> String {
+        match self {
+            Atomic::String(s) | Atomic::Untyped(s) => s.clone(),
+            Atomic::Boolean(b) => b.to_string(),
+            Atomic::Integer(i) => i.to_string(),
+            Atomic::Double(d) => format_double(*d),
+        }
+    }
+
+    /// Cast to `xs:double` (`fn:number` semantics: failure yields `NaN` only
+    /// at the caller's discretion; here we return an error and let `fn:number`
+    /// map it to NaN).
+    pub fn to_double(&self) -> XdmResult<f64> {
+        match self {
+            Atomic::Integer(i) => Ok(*i as f64),
+            Atomic::Double(d) => Ok(*d),
+            Atomic::Boolean(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            Atomic::String(s) | Atomic::Untyped(s) => parse_double(s).ok_or_else(|| {
+                XdmError::value("FORG0001", format!("cannot cast \"{s}\" to xs:double"))
+            }),
+        }
+    }
+
+    /// Cast to `xs:integer`.
+    pub fn to_integer(&self) -> XdmResult<i64> {
+        match self {
+            Atomic::Integer(i) => Ok(*i),
+            Atomic::Double(d) => {
+                if d.is_finite() {
+                    Ok(*d as i64)
+                } else {
+                    Err(XdmError::value("FOCA0002", "cannot cast non-finite double to integer"))
+                }
+            }
+            Atomic::Boolean(b) => Ok(if *b { 1 } else { 0 }),
+            Atomic::String(s) | Atomic::Untyped(s) => s.trim().parse::<i64>().map_err(|_| {
+                XdmError::value("FORG0001", format!("cannot cast \"{s}\" to xs:integer"))
+            }),
+        }
+    }
+
+    /// Cast to `xs:boolean` (constructor semantics, not EBV).
+    pub fn to_boolean(&self) -> XdmResult<bool> {
+        match self {
+            Atomic::Boolean(b) => Ok(*b),
+            Atomic::Integer(i) => Ok(*i != 0),
+            Atomic::Double(d) => Ok(*d != 0.0 && !d.is_nan()),
+            Atomic::String(s) | Atomic::Untyped(s) => match s.trim() {
+                "true" | "1" => Ok(true),
+                "false" | "0" => Ok(false),
+                other => Err(XdmError::value(
+                    "FORG0001",
+                    format!("cannot cast \"{other}\" to xs:boolean"),
+                )),
+            },
+        }
+    }
+
+    /// Effective boolean value of a single atomic item (XPath 2.0 §2.4.3).
+    pub fn effective_boolean(&self) -> XdmResult<bool> {
+        Ok(match self {
+            Atomic::Boolean(b) => *b,
+            Atomic::String(s) | Atomic::Untyped(s) => !s.is_empty(),
+            Atomic::Integer(i) => *i != 0,
+            Atomic::Double(d) => *d != 0.0 && !d.is_nan(),
+        })
+    }
+}
+
+/// Format a double the way XPath serialization does for the common cases:
+/// integral doubles print without a fractional part, NaN/INF use the XPath
+/// spellings.
+pub fn format_double(d: f64) -> String {
+    if d.is_nan() {
+        "NaN".to_string()
+    } else if d.is_infinite() {
+        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+    } else if d == d.trunc() && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+/// Parse an `xs:double` lexical form (accepts XPath's `INF`, `-INF`, `NaN`).
+pub fn parse_double(s: &str) -> Option<f64> {
+    match s.trim() {
+        "INF" => Some(f64::INFINITY),
+        "-INF" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        t => t.parse::<f64>().ok(),
+    }
+}
+
+/// The value-comparison operators (`eq`, `ne`, `lt`, `le`, `gt`, `ge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate the operator on an ordering result.
+    pub fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::Ne => ord != Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::Le => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator's spelling in value-comparison syntax.
+    pub fn value_spelling(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "eq",
+            CompareOp::Ne => "ne",
+            CompareOp::Lt => "lt",
+            CompareOp::Le => "le",
+            CompareOp::Gt => "gt",
+            CompareOp::Ge => "ge",
+        }
+    }
+}
+
+/// Value comparison between two atomic values (XPath `eq`-family).
+///
+/// Untyped operands are cast to the other operand's type when that operand
+/// is typed; two untyped operands compare as strings.
+pub fn value_compare(op: CompareOp, a: &Atomic, b: &Atomic) -> XdmResult<bool> {
+    let ord = compare_atomics(a, b, UntypedRule::Value)?;
+    match ord {
+        Some(o) => Ok(op.holds(o)),
+        // NaN comparisons: only `ne` holds.
+        None => Ok(op == CompareOp::Ne),
+    }
+}
+
+/// General comparison between two atomic values (XPath `=`-family): untyped
+/// vs numeric casts untyped to double; untyped vs anything else compares as
+/// string.
+pub fn general_compare(op: CompareOp, a: &Atomic, b: &Atomic) -> XdmResult<bool> {
+    let ord = compare_atomics(a, b, UntypedRule::General)?;
+    match ord {
+        Some(o) => Ok(op.holds(o)),
+        None => Ok(op == CompareOp::Ne),
+    }
+}
+
+/// How untyped operands are coerced during comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UntypedRule {
+    /// Value comparisons: untyped is cast to the other operand's type.
+    Value,
+    /// General comparisons: untyped vs numeric -> double, else string.
+    General,
+}
+
+/// Compare two atomics; `None` means "unordered" (NaN was involved).
+fn compare_atomics(a: &Atomic, b: &Atomic, rule: UntypedRule) -> XdmResult<Option<Ordering>> {
+    use Atomic::*;
+    match (a, b) {
+        (Untyped(x), Untyped(y)) => Ok(Some(x.cmp(y))),
+        (Untyped(x), other) if other.is_numeric() => {
+            let xv = Atomic::Untyped(x.clone()).to_double()?;
+            Ok(cmp_f64(xv, other.to_double()?))
+        }
+        (other, Untyped(y)) if other.is_numeric() => {
+            let yv = Atomic::Untyped(y.clone()).to_double()?;
+            Ok(cmp_f64(other.to_double()?, yv))
+        }
+        (Untyped(x), Boolean(y)) => {
+            let xb = match rule {
+                UntypedRule::Value | UntypedRule::General => {
+                    Atomic::Untyped(x.clone()).to_boolean()?
+                }
+            };
+            Ok(Some(xb.cmp(y)))
+        }
+        (Boolean(x), Untyped(y)) => {
+            let yb = Atomic::Untyped(y.clone()).to_boolean()?;
+            Ok(Some(x.cmp(&yb)))
+        }
+        (Untyped(x), String(y)) | (String(x), Untyped(y)) => Ok(Some(x.cmp(y))),
+        (String(x), String(y)) => Ok(Some(x.cmp(y))),
+        (Boolean(x), Boolean(y)) => Ok(Some(x.cmp(y))),
+        (Integer(x), Integer(y)) => Ok(Some(x.cmp(y))),
+        (x, y) if x.is_numeric() && y.is_numeric() => Ok(cmp_f64(x.to_double()?, y.to_double()?)),
+        (x, y) => Err(XdmError::type_error(format!(
+            "cannot compare {} with {}",
+            x.type_name(),
+            y.type_name()
+        ))),
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Option<Ordering> {
+    a.partial_cmp(&b)
+}
+
+/// The arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::IDiv => "idiv",
+            ArithOp::Mod => "mod",
+        };
+        f.write_str(s)
+    }
+}
+
+/// XPath arithmetic on two atomic operands. Untyped operands are cast to
+/// double; integer op integer stays integer except for `div`, which always
+/// produces a double in our decimal-free fragment.
+pub fn arithmetic(op: ArithOp, a: &Atomic, b: &Atomic) -> XdmResult<Atomic> {
+    use Atomic::*;
+    let (a, b) = (coerce_numeric(a)?, coerce_numeric(b)?);
+    match (a, b) {
+        (Integer(x), Integer(y)) => match op {
+            ArithOp::Add => x
+                .checked_add(y)
+                .map(Integer)
+                .ok_or_else(|| XdmError::value("FOAR0002", "integer overflow in +")),
+            ArithOp::Sub => x
+                .checked_sub(y)
+                .map(Integer)
+                .ok_or_else(|| XdmError::value("FOAR0002", "integer overflow in -")),
+            ArithOp::Mul => x
+                .checked_mul(y)
+                .map(Integer)
+                .ok_or_else(|| XdmError::value("FOAR0002", "integer overflow in *")),
+            ArithOp::Div => {
+                if y == 0 {
+                    Err(XdmError::value("FOAR0001", "division by zero"))
+                } else if x % y == 0 {
+                    Ok(Integer(x / y))
+                } else {
+                    Ok(Double(x as f64 / y as f64))
+                }
+            }
+            ArithOp::IDiv => {
+                if y == 0 {
+                    Err(XdmError::value("FOAR0001", "integer division by zero"))
+                } else {
+                    Ok(Integer(x / y))
+                }
+            }
+            ArithOp::Mod => {
+                if y == 0 {
+                    Err(XdmError::value("FOAR0001", "modulus by zero"))
+                } else {
+                    Ok(Integer(x % y))
+                }
+            }
+        },
+        (x, y) => {
+            let (x, y) = (x.to_double()?, y.to_double()?);
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::IDiv => {
+                    if y == 0.0 {
+                        return Err(XdmError::value("FOAR0001", "integer division by zero"));
+                    }
+                    return Ok(Integer((x / y).trunc() as i64));
+                }
+                ArithOp::Mod => x % y,
+            };
+            Ok(Double(r))
+        }
+    }
+}
+
+/// Unary minus.
+pub fn negate(a: &Atomic) -> XdmResult<Atomic> {
+    match coerce_numeric(a)? {
+        Atomic::Integer(i) => i
+            .checked_neg()
+            .map(Atomic::Integer)
+            .ok_or_else(|| XdmError::value("FOAR0002", "integer overflow in unary -")),
+        Atomic::Double(d) => Ok(Atomic::Double(-d)),
+        _ => unreachable!("coerce_numeric returns numerics only"),
+    }
+}
+
+/// Coerce an operand of an arithmetic expression to a numeric atomic
+/// (untyped -> double per XPath; booleans and strings are type errors).
+fn coerce_numeric(a: &Atomic) -> XdmResult<Atomic> {
+    match a {
+        Atomic::Integer(_) | Atomic::Double(_) => Ok(a.clone()),
+        Atomic::Untyped(s) => parse_double(s)
+            .map(Atomic::Double)
+            .ok_or_else(|| XdmError::value("FORG0001", format!("cannot cast \"{s}\" to xs:double"))),
+        other => Err(XdmError::type_error(format!(
+            "operand of arithmetic must be numeric, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_values() {
+        assert_eq!(Atomic::Integer(42).string_value(), "42");
+        assert_eq!(Atomic::Boolean(true).string_value(), "true");
+        assert_eq!(Atomic::Double(2.5).string_value(), "2.5");
+        assert_eq!(Atomic::Double(3.0).string_value(), "3");
+        assert_eq!(Atomic::Double(f64::NAN).string_value(), "NaN");
+        assert_eq!(Atomic::Double(f64::INFINITY).string_value(), "INF");
+    }
+
+    #[test]
+    fn untyped_vs_numeric_compares_numerically() {
+        // XMark-style: @person = "person12" string compare, @id = 12 numeric.
+        assert!(general_compare(CompareOp::Eq, &Atomic::Untyped("12".into()), &Atomic::Integer(12))
+            .unwrap());
+        assert!(general_compare(
+            CompareOp::Lt,
+            &Atomic::Untyped("9".into()),
+            &Atomic::Integer(12)
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn untyped_vs_untyped_compares_as_string() {
+        // "9" > "12" as strings.
+        assert!(general_compare(
+            CompareOp::Gt,
+            &Atomic::Untyped("9".into()),
+            &Atomic::Untyped("12".into())
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn untyped_vs_string_compares_as_string() {
+        assert!(general_compare(
+            CompareOp::Eq,
+            &Atomic::Untyped("person12".into()),
+            &Atomic::String("person12".into())
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn nan_is_unordered() {
+        let nan = Atomic::Double(f64::NAN);
+        assert!(!value_compare(CompareOp::Eq, &nan, &nan).unwrap());
+        assert!(value_compare(CompareOp::Ne, &nan, &nan).unwrap());
+        assert!(!value_compare(CompareOp::Lt, &nan, &Atomic::Double(1.0)).unwrap());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        assert_eq!(
+            arithmetic(ArithOp::Add, &Atomic::Integer(2), &Atomic::Integer(3)).unwrap(),
+            Atomic::Integer(5)
+        );
+        assert_eq!(
+            arithmetic(ArithOp::Mul, &Atomic::Integer(2), &Atomic::Integer(3)).unwrap(),
+            Atomic::Integer(6)
+        );
+        assert_eq!(
+            arithmetic(ArithOp::IDiv, &Atomic::Integer(7), &Atomic::Integer(2)).unwrap(),
+            Atomic::Integer(3)
+        );
+        assert_eq!(
+            arithmetic(ArithOp::Mod, &Atomic::Integer(7), &Atomic::Integer(2)).unwrap(),
+            Atomic::Integer(1)
+        );
+    }
+
+    #[test]
+    fn integer_div_promotes_when_inexact() {
+        assert_eq!(
+            arithmetic(ArithOp::Div, &Atomic::Integer(6), &Atomic::Integer(3)).unwrap(),
+            Atomic::Integer(2)
+        );
+        assert_eq!(
+            arithmetic(ArithOp::Div, &Atomic::Integer(7), &Atomic::Integer(2)).unwrap(),
+            Atomic::Double(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = arithmetic(ArithOp::Div, &Atomic::Integer(1), &Atomic::Integer(0)).unwrap_err();
+        assert_eq!(e.code, "FOAR0001");
+        let e = arithmetic(ArithOp::IDiv, &Atomic::Integer(1), &Atomic::Integer(0)).unwrap_err();
+        assert_eq!(e.code, "FOAR0001");
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let e =
+            arithmetic(ArithOp::Add, &Atomic::Integer(i64::MAX), &Atomic::Integer(1)).unwrap_err();
+        assert_eq!(e.code, "FOAR0002");
+        assert_eq!(negate(&Atomic::Integer(i64::MIN)).unwrap_err().code, "FOAR0002");
+    }
+
+    #[test]
+    fn untyped_operands_of_arithmetic_become_double() {
+        assert_eq!(
+            arithmetic(ArithOp::Add, &Atomic::Untyped("1".into()), &Atomic::Integer(2)).unwrap(),
+            Atomic::Double(3.0)
+        );
+    }
+
+    #[test]
+    fn arithmetic_on_strings_is_a_type_error() {
+        let e =
+            arithmetic(ArithOp::Add, &Atomic::String("a".into()), &Atomic::Integer(2)).unwrap_err();
+        assert_eq!(e.code, "XPTY0004");
+    }
+
+    #[test]
+    fn effective_boolean_values() {
+        assert!(Atomic::String("x".into()).effective_boolean().unwrap());
+        assert!(!Atomic::String(String::new()).effective_boolean().unwrap());
+        assert!(!Atomic::Double(f64::NAN).effective_boolean().unwrap());
+        assert!(Atomic::Integer(-1).effective_boolean().unwrap());
+        assert!(!Atomic::Integer(0).effective_boolean().unwrap());
+    }
+
+    #[test]
+    fn boolean_casts() {
+        assert!(Atomic::Untyped("true".into()).to_boolean().unwrap());
+        assert!(!Atomic::Untyped("0".into()).to_boolean().unwrap());
+        assert!(Atomic::Untyped("yes".into()).to_boolean().is_err());
+    }
+
+    #[test]
+    fn double_parsing_accepts_xpath_spellings() {
+        assert_eq!(parse_double("INF"), Some(f64::INFINITY));
+        assert_eq!(parse_double("-INF"), Some(f64::NEG_INFINITY));
+        assert!(parse_double("NaN").unwrap().is_nan());
+        assert_eq!(parse_double(" 1.5 "), Some(1.5));
+        assert_eq!(parse_double("abc"), None);
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        let e = value_compare(CompareOp::Eq, &Atomic::Boolean(true), &Atomic::Integer(1))
+            .unwrap_err();
+        assert_eq!(e.code, "XPTY0004");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for data-model operations.
+//!
+//! The paper models update applications as *partial functions* from stores
+//! to stores: when a precondition fails (e.g. inserting a node that already
+//! has a parent), the application is undefined. We surface that as
+//! [`XdmError`] values with the standard XQuery error-code style.
+
+use std::fmt;
+
+/// Result alias used throughout the data model.
+pub type XdmResult<T> = Result<T, XdmError>;
+
+/// An error raised by a data-model operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XdmError {
+    /// A short machine-readable code, in the style of XQuery's `err:XXXXnnnn`
+    /// codes (we use the `XQB` namespace for XQuery!-specific conditions).
+    pub code: &'static str,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl XdmError {
+    /// Create a new error with the given code and message.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        XdmError { code, message: message.into() }
+    }
+
+    /// A dangling or dead node id was dereferenced.
+    pub fn dangling(what: &str) -> Self {
+        XdmError::new("XQB0001", format!("dangling node id: {what}"))
+    }
+
+    /// An update-request precondition failed (partial-function semantics).
+    pub fn precondition(message: impl Into<String>) -> Self {
+        XdmError::new("XQB0002", message)
+    }
+
+    /// Ill-formed XML input.
+    pub fn parse(message: impl Into<String>) -> Self {
+        XdmError::new("XQB0003", message)
+    }
+
+    /// A type error at the data-model level (bad cast, bad atomization...).
+    pub fn type_error(message: impl Into<String>) -> Self {
+        XdmError::new("XPTY0004", message)
+    }
+
+    /// A value error (e.g. division by zero -> FOAR0001).
+    pub fn value(code: &'static str, message: impl Into<String>) -> Self {
+        XdmError::new(code, message)
+    }
+}
+
+impl fmt::Display for XdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for XdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = XdmError::precondition("node already has a parent");
+        assert_eq!(e.to_string(), "[XQB0002] node already has a parent");
+    }
+
+    #[test]
+    fn constructors_set_codes() {
+        assert_eq!(XdmError::dangling("n7").code, "XQB0001");
+        assert_eq!(XdmError::parse("eof").code, "XQB0003");
+        assert_eq!(XdmError::type_error("x").code, "XPTY0004");
+        assert_eq!(XdmError::value("FOAR0001", "div by zero").code, "FOAR0001");
+    }
+}

@@ -1,0 +1,358 @@
+//! Items and sequences.
+//!
+//! An XQuery value is a flat sequence of items; an item is a node reference
+//! or an atomic value. The operations that need to look *through* node
+//! references (atomization, effective boolean value, string value,
+//! deep-equal) take the [`Store`] explicitly — the same store-threading
+//! discipline as the paper's semantic judgment.
+
+use crate::atomic::{general_compare, Atomic, CompareOp};
+use crate::error::{XdmError, XdmResult};
+use crate::node::{NodeId, NodeKind};
+use crate::store::Store;
+
+/// A single item: a node in the store or an atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node reference.
+    Node(NodeId),
+    /// An atomic value.
+    Atomic(Atomic),
+}
+
+impl Item {
+    /// Convenience constructor for integer items.
+    pub fn integer(i: i64) -> Item {
+        Item::Atomic(Atomic::Integer(i))
+    }
+
+    /// Convenience constructor for string items.
+    pub fn string(s: impl Into<String>) -> Item {
+        Item::Atomic(Atomic::String(s.into()))
+    }
+
+    /// Convenience constructor for boolean items.
+    pub fn boolean(b: bool) -> Item {
+        Item::Atomic(Atomic::Boolean(b))
+    }
+
+    /// Convenience constructor for double items.
+    pub fn double(d: f64) -> Item {
+        Item::Atomic(Atomic::Double(d))
+    }
+
+    /// The node id, if this is a node item.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Item::Node(n) => Some(*n),
+            Item::Atomic(_) => None,
+        }
+    }
+
+    /// Atomize this item: nodes yield their typed value (untypedAtomic of
+    /// the string value in our schema-less setting), atomics yield
+    /// themselves.
+    pub fn atomize(&self, store: &Store) -> XdmResult<Atomic> {
+        match self {
+            Item::Atomic(a) => Ok(a.clone()),
+            Item::Node(n) => Ok(Atomic::Untyped(store.string_value(*n)?)),
+        }
+    }
+
+    /// The item's string value (`fn:string`).
+    pub fn string_value(&self, store: &Store) -> XdmResult<String> {
+        match self {
+            Item::Atomic(a) => Ok(a.string_value()),
+            Item::Node(n) => store.string_value(*n),
+        }
+    }
+}
+
+/// A sequence of items — the universal value shape of XQuery.
+pub type Sequence = Vec<Item>;
+
+/// The empty sequence.
+pub fn empty() -> Sequence {
+    Vec::new()
+}
+
+/// A singleton sequence.
+pub fn singleton(item: Item) -> Sequence {
+    vec![item]
+}
+
+/// Atomize a whole sequence.
+pub fn atomize(seq: &[Item], store: &Store) -> XdmResult<Vec<Atomic>> {
+    seq.iter().map(|i| i.atomize(store)).collect()
+}
+
+/// The effective boolean value of a sequence (XPath 2.0 §2.4.3):
+/// empty → false; first item a node → true; singleton atomic → its EBV;
+/// anything else → type error.
+pub fn effective_boolean(seq: &[Item], _store: &Store) -> XdmResult<bool> {
+    match seq {
+        [] => Ok(false),
+        [Item::Node(_), ..] => Ok(true),
+        [Item::Atomic(a)] => a.effective_boolean(),
+        _ => Err(XdmError::type_error(
+            "effective boolean value of a multi-item atomic sequence",
+        )),
+    }
+}
+
+/// Expect at most one item (an "optional" value); error otherwise.
+pub fn zero_or_one(seq: Sequence) -> XdmResult<Option<Item>> {
+    let mut it = seq.into_iter();
+    match (it.next(), it.next()) {
+        (None, _) => Ok(None),
+        (Some(x), None) => Ok(Some(x)),
+        _ => Err(XdmError::type_error("expected at most one item")),
+    }
+}
+
+/// Expect exactly one item.
+pub fn exactly_one(seq: Sequence) -> XdmResult<Item> {
+    zero_or_one(seq)?.ok_or_else(|| XdmError::type_error("expected exactly one item, got ()"))
+}
+
+/// Expect exactly one node item (the shape the update operators require of
+/// their targets — the paper's metavariable `node` is normative).
+pub fn exactly_one_node(seq: Sequence) -> XdmResult<NodeId> {
+    match exactly_one(seq)? {
+        Item::Node(n) => Ok(n),
+        Item::Atomic(a) => Err(XdmError::type_error(format!(
+            "expected a node, got atomic {}",
+            a.type_name()
+        ))),
+    }
+}
+
+/// Expect a sequence of node items (the paper's `nodeseq`).
+pub fn all_nodes(seq: &[Item]) -> XdmResult<Vec<NodeId>> {
+    seq.iter()
+        .map(|i| {
+            i.as_node().ok_or_else(|| XdmError::type_error("expected a sequence of nodes"))
+        })
+        .collect()
+}
+
+/// XPath general comparison over sequences: existential semantics — true if
+/// any pair from the two sequences satisfies the comparison.
+pub fn general_compare_seqs(
+    op: CompareOp,
+    left: &[Item],
+    right: &[Item],
+    store: &Store,
+) -> XdmResult<bool> {
+    let la = atomize(left, store)?;
+    let ra = atomize(right, store)?;
+    for a in &la {
+        for b in &ra {
+            if general_compare(op, a, b)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// `fn:deep-equal` on two sequences: pairwise equality, with nodes compared
+/// structurally (name, attributes as a set, children in order) and atomics
+/// by value comparison.
+pub fn deep_equal(left: &[Item], right: &[Item], store: &Store) -> XdmResult<bool> {
+    if left.len() != right.len() {
+        return Ok(false);
+    }
+    for (a, b) in left.iter().zip(right) {
+        let eq = match (a, b) {
+            (Item::Atomic(x), Item::Atomic(y)) => {
+                matches!(crate::atomic::value_compare(CompareOp::Eq, x, y), Ok(true))
+            }
+            (Item::Node(x), Item::Node(y)) => deep_equal_nodes(*x, *y, store)?,
+            _ => false,
+        };
+        if !eq {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Structural equality of two nodes.
+pub fn deep_equal_nodes(a: NodeId, b: NodeId, store: &Store) -> XdmResult<bool> {
+    let (ka, kb) = (store.kind(a)?, store.kind(b)?);
+    match (ka, kb) {
+        (NodeKind::Text { content: x }, NodeKind::Text { content: y }) => Ok(x == y),
+        (NodeKind::Comment { content: x }, NodeKind::Comment { content: y }) => Ok(x == y),
+        (
+            NodeKind::Pi { target: tx, content: cx },
+            NodeKind::Pi { target: ty, content: cy },
+        ) => Ok(tx == ty && cx == cy),
+        (
+            NodeKind::Attribute { name: nx, value: vx },
+            NodeKind::Attribute { name: ny, value: vy },
+        ) => Ok(nx == ny && vx == vy),
+        (NodeKind::Document { .. }, NodeKind::Document { .. })
+        | (NodeKind::Element { .. }, NodeKind::Element { .. }) => {
+            if store.name(a)? != store.name(b)? {
+                return Ok(false);
+            }
+            // Attributes: set semantics.
+            let (aa, ab) = (store.attributes(a)?.to_vec(), store.attributes(b)?.to_vec());
+            if aa.len() != ab.len() {
+                return Ok(false);
+            }
+            for &x in &aa {
+                let mut found = false;
+                for &y in &ab {
+                    if deep_equal_nodes(x, y, store)? {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    return Ok(false);
+                }
+            }
+            // Children: ordered, ignoring comments/PIs per fn:deep-equal.
+            let ca: Vec<NodeId> = significant_children(a, store)?;
+            let cb: Vec<NodeId> = significant_children(b, store)?;
+            if ca.len() != cb.len() {
+                return Ok(false);
+            }
+            for (&x, &y) in ca.iter().zip(&cb) {
+                if !deep_equal_nodes(x, y, store)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn significant_children(n: NodeId, store: &Store) -> XdmResult<Vec<NodeId>> {
+    Ok(store
+        .children(n)?
+        .iter()
+        .copied()
+        .filter(|&c| {
+            !matches!(
+                store.kind(c),
+                Ok(NodeKind::Comment { .. }) | Ok(NodeKind::Pi { .. })
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qname::QName;
+
+    fn q(s: &str) -> QName {
+        QName::local(s)
+    }
+
+    #[test]
+    fn atomize_node_yields_untyped_string_value() {
+        let mut s = Store::new();
+        let e = s.new_element(q("e"));
+        let t = s.new_text("42");
+        s.append_child(e, t).unwrap();
+        assert_eq!(Item::Node(e).atomize(&s).unwrap(), Atomic::Untyped("42".into()));
+        assert_eq!(Item::integer(7).atomize(&s).unwrap(), Atomic::Integer(7));
+    }
+
+    #[test]
+    fn ebv_rules() {
+        let s = Store::new();
+        assert!(!effective_boolean(&[], &s).unwrap());
+        assert!(effective_boolean(&[Item::boolean(true)], &s).unwrap());
+        assert!(!effective_boolean(&[Item::boolean(false)], &s).unwrap());
+        assert!(effective_boolean(&[Item::integer(3)], &s).unwrap());
+        let err = effective_boolean(&[Item::integer(1), Item::integer(2)], &s).unwrap_err();
+        assert_eq!(err.code, "XPTY0004");
+    }
+
+    #[test]
+    fn ebv_node_first_is_true() {
+        let mut s = Store::new();
+        let e = s.new_element(q("e"));
+        assert!(effective_boolean(&[Item::Node(e), Item::integer(1)], &s).unwrap());
+    }
+
+    #[test]
+    fn cardinality_helpers() {
+        assert_eq!(zero_or_one(vec![]).unwrap(), None);
+        assert_eq!(zero_or_one(vec![Item::integer(1)]).unwrap(), Some(Item::integer(1)));
+        assert!(zero_or_one(vec![Item::integer(1), Item::integer(2)]).is_err());
+        assert!(exactly_one(vec![]).is_err());
+        assert!(exactly_one_node(vec![Item::integer(1)]).is_err());
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let s = Store::new();
+        let left = vec![Item::integer(1), Item::integer(5)];
+        let right = vec![Item::integer(5), Item::integer(9)];
+        assert!(general_compare_seqs(CompareOp::Eq, &left, &right, &s).unwrap());
+        assert!(!general_compare_seqs(CompareOp::Eq, &left[..1], &right, &s).unwrap());
+        // () = anything is false.
+        assert!(!general_compare_seqs(CompareOp::Eq, &[], &right, &s).unwrap());
+    }
+
+    #[test]
+    fn deep_equal_elements() {
+        let mut s = Store::new();
+        let mk = |s: &mut Store, val: &str| {
+            let e = s.new_element(q("e"));
+            let a = s.new_attribute(q("k"), "v");
+            let t = s.new_text(val);
+            s.attach_attribute(e, a).unwrap();
+            s.append_child(e, t).unwrap();
+            e
+        };
+        let e1 = mk(&mut s, "x");
+        let e2 = mk(&mut s, "x");
+        let e3 = mk(&mut s, "y");
+        assert!(deep_equal_nodes(e1, e2, &s).unwrap());
+        assert!(!deep_equal_nodes(e1, e3, &s).unwrap());
+        // Different node ids but equal structure: deep-equal, not identity.
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn deep_equal_ignores_comments() {
+        let mut s = Store::new();
+        let e1 = s.new_element(q("e"));
+        let e2 = s.new_element(q("e"));
+        let c = s.new_comment("noise");
+        s.append_child(e1, c).unwrap();
+        assert!(deep_equal_nodes(e1, e2, &s).unwrap());
+    }
+
+    #[test]
+    fn deep_equal_attribute_order_insensitive() {
+        let mut s = Store::new();
+        let e1 = s.new_element(q("e"));
+        let e2 = s.new_element(q("e"));
+        let a1 = s.new_attribute(q("a"), "1");
+        let b1 = s.new_attribute(q("b"), "2");
+        let a2 = s.new_attribute(q("a"), "1");
+        let b2 = s.new_attribute(q("b"), "2");
+        s.attach_attribute(e1, a1).unwrap();
+        s.attach_attribute(e1, b1).unwrap();
+        s.attach_attribute(e2, b2).unwrap();
+        s.attach_attribute(e2, a2).unwrap();
+        assert!(deep_equal_nodes(e1, e2, &s).unwrap());
+    }
+
+    #[test]
+    fn deep_equal_sequences() {
+        let s = Store::new();
+        assert!(deep_equal(&[Item::integer(1)], &[Item::integer(1)], &s).unwrap());
+        assert!(!deep_equal(&[Item::integer(1)], &[], &s).unwrap());
+        assert!(!deep_equal(&[Item::integer(1)], &[Item::string("1")], &s).unwrap());
+    }
+}

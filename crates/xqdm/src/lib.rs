@@ -1,0 +1,37 @@
+//! # xqdm — the XQuery! Data Model
+//!
+//! This crate implements the store-based XML data model that the XQuery!
+//! paper (Ghelli, Ré, Siméon — EDBT 2006, §3.2) builds its semantics on:
+//!
+//! * a mutable [`Store`] mapping node ids to node kind, parent, name and
+//!   content, with the XDM accessors and constructors;
+//! * the *applications* of the paper's update requests as store mutation
+//!   primitives (`insert`, `delete`-as-detach, `rename`) with the paper's
+//!   preconditions;
+//! * deep copy (used by the explicit `copy {}` operator and by the implicit
+//!   copy that normalization wraps around insertion sources);
+//! * document order over a mutable forest, and reachability / garbage
+//!   accounting for detached nodes (the two data-model problems §4.1 calls
+//!   out);
+//! * atomic values, items and sequences with XPath-style atomization,
+//!   effective boolean value, and comparison semantics;
+//! * a small well-formed XML parser and serializer, since no XML crate is
+//!   available in the offline dependency set.
+//!
+//! Everything here is deliberately independent of the query language: the
+//! `xqsyn` / `xqcore` crates sit on top.
+
+pub mod atomic;
+pub mod error;
+pub mod item;
+pub mod node;
+pub mod qname;
+pub mod store;
+pub mod xml;
+
+pub use atomic::Atomic;
+pub use error::{XdmError, XdmResult};
+pub use item::{Item, Sequence};
+pub use node::{NodeId, NodeKind};
+pub use qname::QName;
+pub use store::Store;

@@ -1,0 +1,136 @@
+//! Node identifiers and node kinds.
+//!
+//! A [`NodeId`] is a stable handle into a [`crate::Store`]: the paper's
+//! semantics threads node ids through values and pending update lists, so
+//! ids must stay valid across arbitrary store mutations (including
+//! detachment — the paper's `delete` detaches rather than erases, §3.1).
+
+use crate::qname::QName;
+use std::fmt;
+
+/// A stable identifier for a node in a [`crate::Store`].
+///
+/// Ids are never invalidated by mutation; only an explicit garbage
+/// collection (`Store::collect_garbage`) can retire an unreachable node's
+/// slot, after which dereferencing its id reports a dangling-id error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index (useful for hashing / debugging; not an API guarantee).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node, with kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A document node (root of a tree loaded from an XML document).
+    Document {
+        /// Children in document order.
+        children: Vec<NodeId>,
+    },
+    /// An element node.
+    Element {
+        /// The element name.
+        name: QName,
+        /// Attribute nodes (unordered per XDM; we keep insertion order).
+        attributes: Vec<NodeId>,
+        /// Child nodes in document order.
+        children: Vec<NodeId>,
+    },
+    /// An attribute node.
+    Attribute {
+        /// The attribute name.
+        name: QName,
+        /// The attribute value.
+        value: String,
+    },
+    /// A text node.
+    Text {
+        /// Character content.
+        content: String,
+    },
+    /// A comment node.
+    Comment {
+        /// Comment text.
+        content: String,
+    },
+    /// A processing-instruction node.
+    Pi {
+        /// The PI target.
+        target: String,
+        /// The PI content.
+        content: String,
+    },
+}
+
+impl NodeKind {
+    /// The XDM kind name ("element", "attribute", ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Document { .. } => "document",
+            NodeKind::Element { .. } => "element",
+            NodeKind::Attribute { .. } => "attribute",
+            NodeKind::Text { .. } => "text",
+            NodeKind::Comment { .. } => "comment",
+            NodeKind::Pi { .. } => "processing-instruction",
+        }
+    }
+
+    /// Can this node kind have children?
+    pub fn is_container(&self) -> bool {
+        matches!(self, NodeKind::Document { .. } | NodeKind::Element { .. })
+    }
+}
+
+/// A slot in the store: the node's parent link plus its kind/payload.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeData {
+    /// Parent node, `None` for roots and detached nodes.
+    pub parent: Option<NodeId>,
+    /// Kind and payload.
+    pub kind: NodeKind,
+    /// False once the slot has been reclaimed by garbage collection.
+    pub alive: bool,
+    /// Gap-based sibling order key: strictly increasing along each
+    /// parent's child list (and, separately, its attribute list). Makes
+    /// document-order comparison O(depth) instead of O(depth · fanout) —
+    /// the paper's "document order maintenance" problem (§4.1). Keys are
+    /// spaced with large gaps at insertion; the rare gap exhaustion
+    /// renumbers one child list.
+    pub okey: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(NodeKind::Document { children: vec![] }.kind_name(), "document");
+        assert_eq!(NodeKind::Text { content: "x".into() }.kind_name(), "text");
+        assert_eq!(
+            NodeKind::Pi { target: "t".into(), content: "c".into() }.kind_name(),
+            "processing-instruction"
+        );
+    }
+
+    #[test]
+    fn containers() {
+        assert!(NodeKind::Document { children: vec![] }.is_container());
+        assert!(!NodeKind::Comment { content: String::new() }.is_container());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

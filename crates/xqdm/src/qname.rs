@@ -1,0 +1,112 @@
+//! Qualified names.
+//!
+//! The paper "focuses on well-formed documents" (§3.2) and never exercises
+//! namespace resolution, so a [`QName`] here is a possibly-prefixed name
+//! without URI binding: `prefix:local` compares by both components.
+
+use std::fmt;
+
+/// A qualified XML name: optional prefix plus local part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Optional namespace prefix (`xs` in `xs:integer`). Not resolved to a
+    /// URI — see the module docs.
+    pub prefix: Option<String>,
+    /// The local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// A name with no prefix.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { prefix: None, local: local.into() }
+    }
+
+    /// A prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { prefix: Some(prefix.into()), local: local.into() }
+    }
+
+    /// Parse a lexical QName (`local` or `prefix:local`).
+    ///
+    /// Returns `None` when the string is not a lexically valid QName
+    /// (empty parts, more than one colon, or invalid NCName characters).
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.splitn(3, ':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) => {
+                if is_ncname(first) {
+                    Some(QName::local(first))
+                } else {
+                    None
+                }
+            }
+            (Some(second), None) => {
+                if is_ncname(first) && is_ncname(second) {
+                    Some(QName::prefixed(first, second))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Is `s` a valid NCName (no-colon name)? We accept the pragmatic subset:
+/// XML letters/digits plus `_`, `-`, `.`, with a non-digit start.
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_local() {
+        assert_eq!(QName::parse("foo"), Some(QName::local("foo")));
+    }
+
+    #[test]
+    fn parse_prefixed() {
+        assert_eq!(QName::parse("xs:integer"), Some(QName::prefixed("xs", "integer")));
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert_eq!(QName::parse(""), None);
+        assert_eq!(QName::parse("a:b:c"), None);
+        assert_eq!(QName::parse(":b"), None);
+        assert_eq!(QName::parse("a:"), None);
+        assert_eq!(QName::parse("1abc"), None);
+        assert_eq!(QName::parse("a b"), None);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(QName::local("item").to_string(), "item");
+        assert_eq!(QName::prefixed("x", "item").to_string(), "x:item");
+    }
+
+    #[test]
+    fn ncname_accepts_mid_punctuation() {
+        assert!(is_ncname("a-b.c_d9"));
+        assert!(!is_ncname("-ab"));
+    }
+}

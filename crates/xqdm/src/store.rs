@@ -1,0 +1,977 @@
+//! The mutable node store (paper §3.2).
+//!
+//! The store maps node ids to kind, parent, name and content, and exposes
+//! exactly the three groups of operations the paper's semantics needs:
+//!
+//! 1. **XDM accessors and constructors** — `parent`, `children`,
+//!    `attributes`, `node_name`, `string_value`, plus `new_element` & co.;
+//! 2. **Update-request applications** — `apply_insert`, `detach` (the
+//!    paper's delete-as-detach), `apply_rename`, each a *partial function*
+//!    whose preconditions mirror §3.2 (inserted nodes must be parentless,
+//!    the insertion anchor must be a child of the parent, no cycles);
+//! 3. **Housekeeping the paper flags as the hard parts** (§4.1): document
+//!    order over a mutable forest, and garbage accounting for nodes that
+//!    are detached and unreachable yet persistent.
+
+use crate::error::{XdmError, XdmResult};
+use crate::node::{NodeData, NodeId, NodeKind};
+use crate::qname::QName;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Where an insertion lands among a parent's children (paper §3.1's
+/// `as first into` / `as last into` / `into` / `after` / `before` forms are
+/// all resolved by the evaluator to one of these anchors plus a parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertAnchor {
+    /// Before the first existing child.
+    First,
+    /// After the last existing child (also the meaning of plain `into`).
+    Last,
+    /// Immediately after the given sibling (which must be a child of the
+    /// insertion parent — a paper precondition).
+    After(NodeId),
+}
+
+/// Aggregate statistics about a store, used by the detach/GC experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total slots ever allocated and still alive.
+    pub alive: usize,
+    /// Alive nodes reachable from the given roots.
+    pub reachable: usize,
+    /// Alive nodes *not* reachable from the given roots (detached garbage).
+    pub garbage: usize,
+}
+
+/// The mutable XML store.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    nodes: Vec<NodeData>,
+    /// Slots retired by `collect_garbage`, available for reuse.
+    free: Vec<NodeId>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// True when no alive nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let data = NodeData { parent: None, kind, alive: true, okey: 0 };
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id.index()] = data;
+                id
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(data);
+                id
+            }
+        }
+    }
+
+    fn data(&self, id: NodeId) -> XdmResult<&NodeData> {
+        match self.nodes.get(id.index()) {
+            Some(d) if d.alive => Ok(d),
+            _ => Err(XdmError::dangling(&id.to_string())),
+        }
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> XdmResult<&mut NodeData> {
+        match self.nodes.get_mut(id.index()) {
+            Some(d) if d.alive => Ok(d),
+            _ => Err(XdmError::dangling(&id.to_string())),
+        }
+    }
+
+    /// Is `id` an alive node in this store?
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).map(|d| d.alive).unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors (XDM constructors, paper §3.2)
+    // ------------------------------------------------------------------
+
+    /// Create a new, empty document node.
+    pub fn new_document(&mut self) -> NodeId {
+        self.alloc(NodeKind::Document { children: Vec::new() })
+    }
+
+    /// Create a new, parentless element node with no content.
+    pub fn new_element(&mut self, name: QName) -> NodeId {
+        self.alloc(NodeKind::Element { name, attributes: Vec::new(), children: Vec::new() })
+    }
+
+    /// Create a new, parentless attribute node.
+    pub fn new_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Attribute { name, value: value.into() })
+    }
+
+    /// Create a new, parentless text node.
+    pub fn new_text(&mut self, content: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text { content: content.into() })
+    }
+
+    /// Create a new, parentless comment node.
+    pub fn new_comment(&mut self, content: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Comment { content: content.into() })
+    }
+
+    /// Create a new, parentless processing-instruction node.
+    pub fn new_pi(&mut self, target: impl Into<String>, content: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Pi { target: target.into(), content: content.into() })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The node's kind and payload.
+    pub fn kind(&self, id: NodeId) -> XdmResult<&NodeKind> {
+        Ok(&self.data(id)?.kind)
+    }
+
+    /// The node's parent, if attached.
+    pub fn parent(&self, id: NodeId) -> XdmResult<Option<NodeId>> {
+        Ok(self.data(id)?.parent)
+    }
+
+    /// The node's children (empty for non-containers).
+    pub fn children(&self, id: NodeId) -> XdmResult<&[NodeId]> {
+        Ok(match &self.data(id)?.kind {
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => children,
+            _ => &[],
+        })
+    }
+
+    /// The node's attribute nodes (empty for non-elements).
+    pub fn attributes(&self, id: NodeId) -> XdmResult<&[NodeId]> {
+        Ok(match &self.data(id)?.kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        })
+    }
+
+    /// The node's name (elements and attributes; `None` otherwise).
+    pub fn name(&self, id: NodeId) -> XdmResult<Option<&QName>> {
+        Ok(match &self.data(id)?.kind {
+            NodeKind::Element { name, .. } | NodeKind::Attribute { name, .. } => Some(name),
+            _ => None,
+        })
+    }
+
+    /// Look up an attribute of `element` by name; returns the attribute node.
+    pub fn attribute_by_name(&self, element: NodeId, name: &str) -> XdmResult<Option<NodeId>> {
+        for &a in self.attributes(element)? {
+            if let NodeKind::Attribute { name: n, .. } = self.kind(a)? {
+                if n.local == name && n.prefix.is_none() {
+                    return Ok(Some(a));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The XDM string value: concatenated descendant text for containers,
+    /// content for the leaf kinds.
+    pub fn string_value(&self, id: NodeId) -> XdmResult<String> {
+        match &self.data(id)?.kind {
+            NodeKind::Attribute { value, .. } => Ok(value.clone()),
+            NodeKind::Text { content } | NodeKind::Comment { content } => Ok(content.clone()),
+            NodeKind::Pi { content, .. } => Ok(content.clone()),
+            NodeKind::Document { .. } | NodeKind::Element { .. } => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out)?;
+                Ok(out)
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) -> XdmResult<()> {
+        match &self.data(id)?.kind {
+            NodeKind::Text { content } => out.push_str(content),
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                for &c in children {
+                    self.collect_text(c, out)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The root of the tree containing `id` (follows parent links; a
+    /// detached node is its own root).
+    pub fn root(&self, id: NodeId) -> XdmResult<NodeId> {
+        let mut cur = id;
+        while let Some(p) = self.parent(cur)? {
+            cur = p;
+        }
+        Ok(cur)
+    }
+
+    /// All descendants of `id` in document (preorder) order, not including
+    /// `id` itself. Attributes are *not* descendants (XDM).
+    pub fn descendants(&self, id: NodeId) -> XdmResult<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id)?.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n)?.iter().rev() {
+                stack.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Tree building (used during construction/parsing, before any node id
+    // escapes into query values; same preconditions as insertion)
+    // ------------------------------------------------------------------
+
+    /// Append `child` as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> XdmResult<()> {
+        self.apply_insert(&[child], parent, InsertAnchor::Last)
+    }
+
+    /// Attach `attr` (an attribute node) to `element`.
+    ///
+    /// Precondition: `attr` is a parentless attribute node, `element` is an
+    /// element, and no attribute with the same name is present.
+    pub fn attach_attribute(&mut self, element: NodeId, attr: NodeId) -> XdmResult<()> {
+        if self.data(attr)?.parent.is_some() {
+            return Err(XdmError::precondition("attribute already has a parent"));
+        }
+        let next_attr_okey = {
+            let attrs = self.attributes(element)?;
+            match attrs.last() {
+                Some(&last) => self.data(last)?.okey.saturating_add(Self::OKEY_STRIDE),
+                None => Self::OKEY_STRIDE,
+            }
+        };
+        let attr_name = match self.kind(attr)? {
+            NodeKind::Attribute { name, .. } => name.clone(),
+            k => {
+                return Err(XdmError::precondition(format!(
+                    "attach_attribute expects an attribute node, got {}",
+                    k.kind_name()
+                )))
+            }
+        };
+        for &existing in self.attributes(element)? {
+            if self.name(existing)? == Some(&attr_name) {
+                return Err(XdmError::precondition(format!(
+                    "duplicate attribute \"{attr_name}\""
+                )));
+            }
+        }
+        match &mut self.data_mut(element)?.kind {
+            NodeKind::Element { attributes, .. } => attributes.push(attr),
+            k => {
+                let k = k.kind_name();
+                return Err(XdmError::precondition(format!(
+                    "cannot attach attribute to {k} node"
+                )));
+            }
+        }
+        let a = self.data_mut(attr)?;
+        a.parent = Some(element);
+        a.okey = next_attr_okey;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Update-request applications (paper §3.2: partial functions on stores)
+    // ------------------------------------------------------------------
+
+    /// Apply `insert(nodeseq, nodepar, nodepos)`: splice the nodes of `seq`
+    /// into `parent`'s children at `anchor`.
+    ///
+    /// Preconditions (the paper's, plus cycle safety):
+    /// * every node of `seq` is alive, parentless, and not an attribute or
+    ///   document node;
+    /// * `parent` is a container (document or element);
+    /// * an `After(pos)` anchor names a current child of `parent`;
+    /// * no node of `seq` is `parent` itself or an ancestor of `parent`.
+    pub fn apply_insert(
+        &mut self,
+        seq: &[NodeId],
+        parent: NodeId,
+        anchor: InsertAnchor,
+    ) -> XdmResult<()> {
+        if !self.kind(parent)?.is_container() {
+            return Err(XdmError::precondition(format!(
+                "insertion parent {parent} is a {} node",
+                self.kind(parent)?.kind_name()
+            )));
+        }
+        // Ancestor set of parent, for cycle detection.
+        let mut ancestors = HashSet::new();
+        let mut cur = Some(parent);
+        while let Some(n) = cur {
+            ancestors.insert(n);
+            cur = self.parent(n)?;
+        }
+        for &n in seq {
+            let d = self.data(n)?;
+            if d.parent.is_some() {
+                return Err(XdmError::precondition(format!("inserted node {n} has a parent")));
+            }
+            match d.kind {
+                NodeKind::Attribute { .. } => {
+                    return Err(XdmError::precondition(
+                        "cannot insert an attribute node as a child",
+                    ))
+                }
+                NodeKind::Document { .. } => {
+                    return Err(XdmError::precondition(
+                        "cannot insert a document node as a child",
+                    ))
+                }
+                _ => {}
+            }
+            if ancestors.contains(&n) {
+                return Err(XdmError::precondition(format!(
+                    "inserting {n} under {parent} would create a cycle"
+                )));
+            }
+        }
+        let index = {
+            let children = self.children(parent)?;
+            match anchor {
+                InsertAnchor::First => 0,
+                InsertAnchor::Last => children.len(),
+                InsertAnchor::After(pos) => match children.iter().position(|&c| c == pos) {
+                    Some(i) => i + 1,
+                    None => {
+                        return Err(XdmError::precondition(format!(
+                            "anchor {pos} is not a child of {parent}"
+                        )))
+                    }
+                },
+            }
+        };
+        match &mut self.data_mut(parent)?.kind {
+            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                children.splice(index..index, seq.iter().copied());
+            }
+            _ => unreachable!("checked container above"),
+        }
+        for &n in seq {
+            self.data_mut(n)?.parent = Some(parent);
+        }
+        self.assign_order_keys(parent, index, seq.len())?;
+        Ok(())
+    }
+
+    /// Gap spacing for freshly (re)numbered sibling order keys.
+    const OKEY_STRIDE: u64 = 1 << 32;
+
+    /// Assign sibling order keys to `count` children of `parent` starting
+    /// at `index`, spacing them evenly inside the gap left by their
+    /// neighbours; renumber the whole child list when the gap is too
+    /// tight (amortized rare).
+    fn assign_order_keys(&mut self, parent: NodeId, index: usize, count: usize) -> XdmResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        let children: Vec<NodeId> = self.children(parent)?.to_vec();
+        let lo = if index == 0 { 0 } else { self.data(children[index - 1])?.okey };
+        let hi = if index + count == children.len() {
+            u64::MAX
+        } else {
+            self.data(children[index + count])?.okey
+        };
+        let span = hi - lo;
+        if span <= count as u64 {
+            // Gap exhausted: renumber every child with fresh stride.
+            for (i, &c) in children.iter().enumerate() {
+                self.data_mut(c)?.okey = (i as u64 + 1) * Self::OKEY_STRIDE;
+            }
+            return Ok(());
+        }
+        let step = span / (count as u64 + 1);
+        for (j, &c) in children[index..index + count].iter().enumerate() {
+            self.data_mut(c)?.okey = lo + step * (j as u64 + 1);
+        }
+        Ok(())
+    }
+
+    /// Apply `delete(node)` with the paper's **detach** semantics (§3.1):
+    /// the node is removed from its parent's child/attribute list but stays
+    /// alive and queryable; detaching an already-detached node is a no-op.
+    pub fn detach(&mut self, node: NodeId) -> XdmResult<()> {
+        let parent = match self.data(node)?.parent {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        match &mut self.data_mut(parent)?.kind {
+            NodeKind::Document { children } => children.retain(|&c| c != node),
+            NodeKind::Element { attributes, children, .. } => {
+                children.retain(|&c| c != node);
+                attributes.retain(|&a| a != node);
+            }
+            _ => {}
+        }
+        self.data_mut(node)?.parent = None;
+        Ok(())
+    }
+
+    /// Apply `rename(node, name)`. Precondition: the node is an element or
+    /// attribute.
+    pub fn apply_rename(&mut self, node: NodeId, name: QName) -> XdmResult<()> {
+        match &mut self.data_mut(node)?.kind {
+            NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } => {
+                *n = name;
+                Ok(())
+            }
+            k => {
+                let k = k.kind_name();
+                Err(XdmError::precondition(format!("cannot rename a {k} node")))
+            }
+        }
+    }
+
+    /// Replace the textual content of a text node (used by `replace` on
+    /// text, e.g. the paper's counter example `replace {$d/text()} with ...`
+    /// goes through insert+delete; this direct setter is used by tests and
+    /// the data generator).
+    pub fn set_text(&mut self, node: NodeId, content: impl Into<String>) -> XdmResult<()> {
+        match &mut self.data_mut(node)?.kind {
+            NodeKind::Text { content: c } => {
+                *c = content.into();
+                Ok(())
+            }
+            k => {
+                let k = k.kind_name();
+                Err(XdmError::precondition(format!("set_text on a {k} node")))
+            }
+        }
+    }
+
+    /// Set an attribute node's value.
+    pub fn set_attribute_value(&mut self, node: NodeId, value: impl Into<String>) -> XdmResult<()> {
+        match &mut self.data_mut(node)?.kind {
+            NodeKind::Attribute { value: v, .. } => {
+                *v = value.into();
+                Ok(())
+            }
+            k => {
+                let k = k.kind_name();
+                Err(XdmError::precondition(format!("set_attribute_value on a {k} node")))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deep copy (the `copy {}` operator and normalization's implicit copy)
+    // ------------------------------------------------------------------
+
+    /// Deep-copy the subtree rooted at `node`, returning the parentless
+    /// copy's id. Attributes are copied along with elements.
+    pub fn deep_copy(&mut self, node: NodeId) -> XdmResult<NodeId> {
+        let kind = self.data(node)?.kind.clone();
+        match kind {
+            NodeKind::Document { children } => {
+                let copy = self.new_document();
+                for c in children {
+                    let cc = self.deep_copy(c)?;
+                    self.append_child(copy, cc)?;
+                }
+                Ok(copy)
+            }
+            NodeKind::Element { name, attributes, children } => {
+                let copy = self.new_element(name);
+                for a in attributes {
+                    let ac = self.deep_copy(a)?;
+                    self.attach_attribute(copy, ac)?;
+                }
+                for c in children {
+                    let cc = self.deep_copy(c)?;
+                    self.append_child(copy, cc)?;
+                }
+                Ok(copy)
+            }
+            NodeKind::Attribute { name, value } => Ok(self.new_attribute(name, value)),
+            NodeKind::Text { content } => Ok(self.new_text(content)),
+            NodeKind::Comment { content } => Ok(self.new_comment(content)),
+            NodeKind::Pi { target, content } => Ok(self.new_pi(target, content)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Document order (paper §4.1: "document order maintenance" is one of
+    // the two significant data-model challenges)
+    // ------------------------------------------------------------------
+
+    /// Compare two nodes in document order. Nodes in different trees are
+    /// ordered by their roots' ids (stable, implementation-defined, as the
+    /// XDM allows). An attribute sorts after its owner element and before
+    /// the element's children, mirroring the XDM rule.
+    pub fn cmp_doc_order(&self, a: NodeId, b: NodeId) -> XdmResult<Ordering> {
+        if a == b {
+            return Ok(Ordering::Equal);
+        }
+        let ka = self.order_key(a)?;
+        let kb = self.order_key(b)?;
+        Ok(ka.cmp(&kb))
+    }
+
+    /// The document-order key of a node: root id, then for each ancestor
+    /// step the pair `(kind-rank, sibling-order-key)`. Attributes rank 0 so
+    /// they sort right after their owner element and before its children
+    /// (the XDM rule); other nodes rank 1 with their gap-based order key.
+    /// O(depth) — no sibling scanning (see [`NodeData::okey`]).
+    fn order_key(&self, node: NodeId) -> XdmResult<Vec<(u64, u64)>> {
+        let mut rev: Vec<(u64, u64)> = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur)? {
+            let d = self.data(cur)?;
+            let rank = if matches!(d.kind, NodeKind::Attribute { .. }) { 0 } else { 1 };
+            rev.push((rank, d.okey));
+            cur = p;
+        }
+        let mut key = vec![(u64::from(cur.0), 0)];
+        rev.reverse();
+        key.extend(rev);
+        Ok(key)
+    }
+
+    /// The pre-optimization document-order comparison: recomputes sibling
+    /// positions by scanning each ancestor's child list — O(depth · fanout)
+    /// per comparison. Kept as the baseline for the document-order
+    /// maintenance ablation (experiment E9); semantics identical to
+    /// [`Store::cmp_doc_order`].
+    pub fn cmp_doc_order_scan(&self, a: NodeId, b: NodeId) -> XdmResult<Ordering> {
+        if a == b {
+            return Ok(Ordering::Equal);
+        }
+        Ok(self.order_key_scan(a)?.cmp(&self.order_key_scan(b)?))
+    }
+
+    fn order_key_scan(&self, node: NodeId) -> XdmResult<Vec<(u64, u64)>> {
+        let mut rev: Vec<(u64, u64)> = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur)? {
+            if let Some(i) = self.attributes(p)?.iter().position(|&x| x == cur) {
+                rev.push((0, i as u64));
+            } else if let Some(i) = self.children(p)?.iter().position(|&x| x == cur) {
+                rev.push((1, i as u64));
+            } else {
+                return Err(XdmError::precondition(format!(
+                    "node {cur} has parent {p} but is not among its children/attributes"
+                )));
+            }
+            cur = p;
+        }
+        let mut key = vec![(u64::from(cur.0), 0)];
+        rev.reverse();
+        key.extend(rev);
+        Ok(key)
+    }
+
+    /// Sort a node sequence in document order and remove duplicates (the
+    /// `ddo` applied to every path-expression step result).
+    pub fn sort_and_dedup(&self, nodes: &mut Vec<NodeId>) -> XdmResult<()> {
+        let mut keyed: Vec<(Vec<(u64, u64)>, NodeId)> =
+            nodes.iter().map(|&n| Ok((self.order_key(n)?, n))).collect::<XdmResult<_>>()?;
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|a, b| a.1 == b.1);
+        *nodes = keyed.into_iter().map(|(_, n)| n).collect();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reachability & garbage (paper §4.1: "garbage collection of persistent
+    // but unreachable nodes, resulting from the detach semantics")
+    // ------------------------------------------------------------------
+
+    /// Statistics on reachable vs garbage nodes with respect to `roots`.
+    pub fn stats(&self, roots: &[NodeId]) -> XdmResult<StoreStats> {
+        let reachable = self.reachable_set(roots)?;
+        let alive = self.len();
+        Ok(StoreStats { alive, reachable: reachable.len(), garbage: alive - reachable.len() })
+    }
+
+    fn reachable_set(&self, roots: &[NodeId]) -> XdmResult<HashSet<NodeId>> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &r in roots {
+            // Reachability is from the root of each referenced tree: holding
+            // any node keeps its whole tree alive (parent links are live).
+            stack.push(self.root(r)?);
+        }
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &c in self.children(n)? {
+                stack.push(c);
+            }
+            for &a in self.attributes(n)? {
+                stack.push(a);
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Reclaim every alive node not reachable from `roots`. Returns the
+    /// number of reclaimed slots. After collection, dereferencing a
+    /// reclaimed id yields a dangling-id error; callers must ensure no such
+    /// ids are still held (this is the explicit-GC contract the paper's
+    /// "beyond the scope" remark leaves open, which we make concrete).
+    pub fn collect_garbage(&mut self, roots: &[NodeId]) -> XdmResult<usize> {
+        let reachable = self.reachable_set(roots)?;
+        let mut reclaimed = 0;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if self.nodes[i].alive && !reachable.contains(&id) {
+                self.nodes[i].alive = false;
+                self.nodes[i].kind = NodeKind::Text { content: String::new() };
+                self.nodes[i].parent = None;
+                self.free.push(id);
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> QName {
+        QName::local(s)
+    }
+
+    /// Build `<a><b>hi</b><c x="1"/></a>` and return (store, a, b, c, text).
+    fn sample() -> (Store, NodeId, NodeId, NodeId, NodeId) {
+        let mut s = Store::new();
+        let a = s.new_element(q("a"));
+        let b = s.new_element(q("b"));
+        let t = s.new_text("hi");
+        let c = s.new_element(q("c"));
+        let x = s.new_attribute(q("x"), "1");
+        s.append_child(b, t).unwrap();
+        s.append_child(a, b).unwrap();
+        s.append_child(a, c).unwrap();
+        s.attach_attribute(c, x).unwrap();
+        (s, a, b, c, t)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (s, a, b, c, t) = sample();
+        assert_eq!(s.children(a).unwrap(), &[b, c]);
+        assert_eq!(s.parent(b).unwrap(), Some(a));
+        assert_eq!(s.parent(a).unwrap(), None);
+        assert_eq!(s.name(a).unwrap().unwrap().local, "a");
+        assert_eq!(s.string_value(a).unwrap(), "hi");
+        assert_eq!(s.string_value(t).unwrap(), "hi");
+        let attr = s.attribute_by_name(c, "x").unwrap().unwrap();
+        assert_eq!(s.string_value(attr).unwrap(), "1");
+        assert_eq!(s.attribute_by_name(c, "nope").unwrap(), None);
+    }
+
+    #[test]
+    fn insert_anchors() {
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let c1 = s.new_element(q("c1"));
+        let c2 = s.new_element(q("c2"));
+        let c3 = s.new_element(q("c3"));
+        s.apply_insert(&[c2], p, InsertAnchor::Last).unwrap();
+        s.apply_insert(&[c1], p, InsertAnchor::First).unwrap();
+        s.apply_insert(&[c3], p, InsertAnchor::After(c2)).unwrap();
+        assert_eq!(s.children(p).unwrap(), &[c1, c2, c3]);
+    }
+
+    #[test]
+    fn insert_sequence_preserves_order() {
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let xs: Vec<NodeId> = (0..5).map(|i| s.new_element(q(&format!("x{i}")))).collect();
+        s.apply_insert(&xs, p, InsertAnchor::Last).unwrap();
+        assert_eq!(s.children(p).unwrap(), &xs[..]);
+    }
+
+    #[test]
+    fn insert_preconditions() {
+        let (mut s, a, b, _c, _t) = sample();
+        let d = s.new_element(q("d"));
+        // b already has a parent.
+        assert_eq!(
+            s.apply_insert(&[b], d, InsertAnchor::Last).unwrap_err().code,
+            "XQB0002"
+        );
+        // anchor not a child of parent
+        assert!(s.apply_insert(&[d], a, InsertAnchor::After(d)).is_err());
+        // inserting into a text node
+        let t2 = s.new_text("t");
+        assert!(s.apply_insert(&[d], t2, InsertAnchor::Last).is_err());
+        // attribute as child
+        let at = s.new_attribute(q("y"), "2");
+        assert!(s.apply_insert(&[at], a, InsertAnchor::Last).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_cycles() {
+        let (mut s, a, b, _c, _t) = sample();
+        // detach a's subtree root "a" has no parent; inserting a into b (its
+        // own descendant) must fail.
+        assert!(s.apply_insert(&[a], b, InsertAnchor::Last).is_err());
+        // And self-insertion.
+        let e = s.new_element(q("e"));
+        assert!(s.apply_insert(&[e], e, InsertAnchor::Last).is_err());
+    }
+
+    #[test]
+    fn detach_semantics() {
+        let (mut s, a, b, c, t) = sample();
+        s.detach(b).unwrap();
+        assert_eq!(s.children(a).unwrap(), &[c]);
+        assert_eq!(s.parent(b).unwrap(), None);
+        // Paper §3.1: a detached node can still be queried...
+        assert_eq!(s.string_value(b).unwrap(), "hi");
+        assert_eq!(s.parent(t).unwrap(), Some(b));
+        // ...and inserted somewhere else.
+        s.apply_insert(&[b], c, InsertAnchor::Last).unwrap();
+        assert_eq!(s.parent(b).unwrap(), Some(c));
+        // Detaching a detached node is a no-op.
+        let d = s.new_element(q("d"));
+        s.detach(d).unwrap();
+    }
+
+    #[test]
+    fn detach_attribute() {
+        let (mut s, _a, _b, c, _t) = sample();
+        let x = s.attribute_by_name(c, "x").unwrap().unwrap();
+        s.detach(x).unwrap();
+        assert_eq!(s.attributes(c).unwrap(), &[]);
+        assert_eq!(s.parent(x).unwrap(), None);
+        assert_eq!(s.string_value(x).unwrap(), "1");
+    }
+
+    #[test]
+    fn rename() {
+        let (mut s, a, _b, c, t) = sample();
+        s.apply_rename(a, q("z")).unwrap();
+        assert_eq!(s.name(a).unwrap().unwrap().local, "z");
+        let x = s.attribute_by_name(c, "x").unwrap().unwrap();
+        s.apply_rename(x, q("y")).unwrap();
+        assert_eq!(s.attribute_by_name(c, "y").unwrap(), Some(x));
+        assert!(s.apply_rename(t, q("nope")).is_err());
+    }
+
+    #[test]
+    fn deep_copy_is_detached_and_equal_shaped() {
+        let (mut s, a, _b, _c, _t) = sample();
+        let copy = s.deep_copy(a).unwrap();
+        assert_ne!(copy, a);
+        assert_eq!(s.parent(copy).unwrap(), None);
+        assert_eq!(s.string_value(copy).unwrap(), "hi");
+        assert_eq!(s.children(copy).unwrap().len(), 2);
+        // Mutating the copy leaves the original alone.
+        let nc = s.children(copy).unwrap()[0];
+        s.detach(nc).unwrap();
+        assert_eq!(s.children(a).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn document_order_within_tree() {
+        let (s, a, b, c, t) = sample();
+        assert_eq!(s.cmp_doc_order(a, b).unwrap(), Ordering::Less);
+        assert_eq!(s.cmp_doc_order(b, t).unwrap(), Ordering::Less);
+        assert_eq!(s.cmp_doc_order(t, c).unwrap(), Ordering::Less);
+        assert_eq!(s.cmp_doc_order(c, c).unwrap(), Ordering::Equal);
+        let x = s.attribute_by_name(c, "x").unwrap().unwrap();
+        // Attribute after its element.
+        assert_eq!(s.cmp_doc_order(c, x).unwrap(), Ordering::Less);
+    }
+
+    #[test]
+    fn document_order_across_trees_is_stable() {
+        let mut s = Store::new();
+        let r1 = s.new_element(q("r1"));
+        let r2 = s.new_element(q("r2"));
+        let o = s.cmp_doc_order(r1, r2).unwrap();
+        assert_eq!(o, s.cmp_doc_order(r1, r2).unwrap());
+        assert_eq!(o.reverse(), s.cmp_doc_order(r2, r1).unwrap());
+    }
+
+    #[test]
+    fn order_tracks_mutation() {
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let c1 = s.new_element(q("c1"));
+        let c2 = s.new_element(q("c2"));
+        s.append_child(p, c1).unwrap();
+        s.append_child(p, c2).unwrap();
+        assert_eq!(s.cmp_doc_order(c1, c2).unwrap(), Ordering::Less);
+        // Move c1 after c2.
+        s.detach(c1).unwrap();
+        s.apply_insert(&[c1], p, InsertAnchor::After(c2)).unwrap();
+        assert_eq!(s.cmp_doc_order(c1, c2).unwrap(), Ordering::Greater);
+    }
+
+    #[test]
+    fn sort_and_dedup() {
+        let (s, a, b, c, t) = sample();
+        let mut v = vec![c, t, a, b, c, a];
+        s.sort_and_dedup(&mut v).unwrap();
+        assert_eq!(v, vec![a, b, t, c]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (s, a, b, c, t) = sample();
+        assert_eq!(s.descendants(a).unwrap(), vec![b, t, c]);
+        assert_eq!(s.descendants(t).unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn garbage_accounting_and_collection() {
+        let (mut s, a, b, _c, _t) = sample();
+        s.detach(b).unwrap();
+        // Root set = {a}: b's subtree (b + text) is garbage.
+        let st = s.stats(&[a]).unwrap();
+        assert_eq!(st.alive, 5);
+        assert_eq!(st.reachable, 3);
+        assert_eq!(st.garbage, 2);
+        // Holding b keeps its subtree alive.
+        let st2 = s.stats(&[a, b]).unwrap();
+        assert_eq!(st2.garbage, 0);
+        let reclaimed = s.collect_garbage(&[a]).unwrap();
+        assert_eq!(reclaimed, 2);
+        assert!(!s.is_alive(b));
+        assert!(s.kind(b).is_err());
+        assert_eq!(s.len(), 3);
+        // Reclaimed slots are reused rather than growing the arena.
+        let n = s.new_element(q("reused"));
+        assert!(n.index() < 5, "allocation should reuse a freed slot");
+        assert!(s.is_alive(n));
+    }
+
+    #[test]
+    fn reachability_follows_parents() {
+        // Holding an inner node keeps the whole tree (via root()) alive.
+        let (mut s, a, b, _c, _t) = sample();
+        let st = s.stats(&[b]).unwrap();
+        assert_eq!(st.reachable, 5);
+        let reclaimed = s.collect_garbage(&[b]).unwrap();
+        assert_eq!(reclaimed, 0);
+        assert!(s.is_alive(a));
+    }
+
+    #[test]
+    fn dangling_ids_error() {
+        let mut s = Store::new();
+        let a = s.new_element(q("a"));
+        let b = s.new_element(q("b"));
+        s.collect_garbage(&[a]).unwrap();
+        assert_eq!(s.kind(b).unwrap_err().code, "XQB0001");
+        assert!(s.parent(b).is_err());
+        assert!(s.detach(b).is_err());
+    }
+
+    #[test]
+    fn set_text_and_attribute_value() {
+        let (mut s, _a, _b, c, t) = sample();
+        s.set_text(t, "bye").unwrap();
+        assert_eq!(s.string_value(t).unwrap(), "bye");
+        let x = s.attribute_by_name(c, "x").unwrap().unwrap();
+        s.set_attribute_value(x, "2").unwrap();
+        assert_eq!(s.string_value(x).unwrap(), "2");
+        assert!(s.set_text(c, "no").is_err());
+        assert!(s.set_attribute_value(t, "no").is_err());
+    }
+
+    #[test]
+    fn gap_keys_survive_pathological_insertion_order() {
+        // Repeatedly insert at the front and in the middle: forces gap
+        // splitting and eventually renumbering; order must stay correct.
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let mut expected: Vec<NodeId> = Vec::new();
+        for i in 0..200 {
+            let c = s.new_element(q(&format!("c{i}")));
+            let at = i % (expected.len() + 1);
+            let anchor = if at == 0 {
+                InsertAnchor::First
+            } else {
+                InsertAnchor::After(expected[at - 1])
+            };
+            s.apply_insert(&[c], p, anchor).unwrap();
+            expected.insert(at, c);
+        }
+        assert_eq!(s.children(p).unwrap(), &expected[..]);
+        // Gap keys and the scan baseline must agree on every pair.
+        for w in expected.windows(2) {
+            assert_eq!(s.cmp_doc_order(w[0], w[1]).unwrap(), Ordering::Less);
+            assert_eq!(s.cmp_doc_order_scan(w[0], w[1]).unwrap(), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn gap_keys_force_renumbering() {
+        // Keep inserting right after the first child: halves the gap each
+        // time, so ~60 insertions must trigger at least one renumber.
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let first = s.new_element(q("first"));
+        s.append_child(p, first).unwrap();
+        for i in 0..100 {
+            let c = s.new_element(q(&format!("c{i}")));
+            s.apply_insert(&[c], p, InsertAnchor::After(first)).unwrap();
+        }
+        let children = s.children(p).unwrap().to_vec();
+        assert_eq!(children.len(), 101);
+        assert_eq!(children[0], first);
+        for w in children.windows(2) {
+            assert_eq!(s.cmp_doc_order(w[0], w[1]).unwrap(), Ordering::Less);
+        }
+        // Most-recent insertion is closest to `first`.
+        assert_eq!(s.name(children[1]).unwrap().unwrap().local, "c99");
+    }
+
+    #[test]
+    fn scan_and_gap_order_agree_after_moves() {
+        let (mut s, a, b, c, t) = sample();
+        s.detach(b).unwrap();
+        s.apply_insert(&[b], a, InsertAnchor::After(c)).unwrap();
+        for &x in &[a, b, c, t] {
+            for &y in &[a, b, c, t] {
+                assert_eq!(
+                    s.cmp_doc_order(x, y).unwrap(),
+                    s.cmp_doc_order_scan(x, y).unwrap(),
+                    "disagreement on ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut s = Store::new();
+        let e = s.new_element(q("e"));
+        let a1 = s.new_attribute(q("k"), "1");
+        let a2 = s.new_attribute(q("k"), "2");
+        s.attach_attribute(e, a1).unwrap();
+        assert!(s.attach_attribute(e, a2).is_err());
+    }
+}

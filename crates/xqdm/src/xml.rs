@@ -1,0 +1,658 @@
+//! A small well-formed XML parser and serializer.
+//!
+//! No XML crate exists in the offline dependency set, so we implement the
+//! subset the engine needs: elements, attributes, character data, CDATA
+//! sections, comments, processing instructions, the five predefined
+//! entities and numeric character references. DTDs, namespaces-as-URIs and
+//! encodings other than UTF-8 are out of scope (the paper works with
+//! well-formed documents only, §3.2).
+
+use crate::error::{XdmError, XdmResult};
+use crate::node::{NodeId, NodeKind};
+use crate::qname::QName;
+use crate::store::Store;
+
+/// Parse an XML document into `store`, returning the new document node.
+pub fn parse_document(store: &mut Store, input: &str) -> XdmResult<NodeId> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, store };
+    let doc = p.store.new_document();
+    p.skip_misc()?;
+    if p.peek() != Some(b'<') {
+        return Err(XdmError::parse("expected root element"));
+    }
+    let root = p.parse_element()?;
+    p.store.append_child(doc, root)?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return Err(XdmError::parse(format!(
+            "trailing content at byte {} after root element",
+            p.pos
+        )));
+    }
+    Ok(doc)
+}
+
+/// Parse an XML *fragment* (possibly multiple top-level elements and text)
+/// into parentless nodes. Useful in tests and the data generator.
+pub fn parse_fragment(store: &mut Store, input: &str) -> XdmResult<Vec<NodeId>> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, store };
+    let mut out = Vec::new();
+    loop {
+        match p.peek() {
+            None => break,
+            Some(b'<') => {
+                if p.rest().starts_with(b"<!--") {
+                    out.push(p.parse_comment()?);
+                } else if p.rest().starts_with(b"<?") {
+                    out.push(p.parse_pi()?);
+                } else {
+                    out.push(p.parse_element()?);
+                }
+            }
+            Some(_) => {
+                let text = p.parse_text()?;
+                if !text.is_empty() {
+                    let t = p.store.new_text(text);
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a, 's> {
+    input: &'a [u8],
+    pos: usize,
+    store: &'s mut Store,
+}
+
+impl<'a, 's> Parser<'a, 's> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XdmResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(XdmError::parse(format!("expected \"{s}\" at byte {}", self.pos)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs and an optional XML declaration —
+    /// the "misc" that may surround the root element.
+    fn skip_misc(&mut self) -> XdmResult<()> {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(b"<?xml") {
+                // XML declaration: scan to "?>".
+                self.skip_until("?>")?;
+            } else if self.rest().starts_with(b"<!--") {
+                self.parse_comment()?;
+            } else if self.rest().starts_with(b"<!DOCTYPE") {
+                return Err(XdmError::parse("DTDs are not supported"));
+            } else if self.rest().starts_with(b"<?") {
+                self.parse_pi()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advance past the next occurrence of `term` (inclusive).
+    fn skip_until(&mut self, term: &str) -> XdmResult<()> {
+        let bytes = term.as_bytes();
+        while self.pos < self.input.len() {
+            if self.rest().starts_with(bytes) {
+                self.pos += bytes.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XdmError::parse(format!("unterminated construct, expected \"{term}\"")))
+    }
+
+    fn parse_name(&mut self) -> XdmResult<QName> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XdmError::parse(format!("expected a name at byte {start}")));
+        }
+        let s = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XdmError::parse("invalid UTF-8 in name"))?;
+        QName::parse(s).ok_or_else(|| XdmError::parse(format!("invalid QName \"{s}\"")))
+    }
+
+    fn parse_element(&mut self) -> XdmResult<NodeId> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let elem = self.store.new_element(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(elem);
+                }
+                Some(_) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(XdmError::parse("expected quoted attribute value")),
+                    };
+                    let vstart = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        if c == b'<' {
+                            return Err(XdmError::parse("'<' in attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[vstart..self.pos])
+                        .map_err(|_| XdmError::parse("invalid UTF-8 in attribute value"))?;
+                    let value = decode_entities(raw)?;
+                    self.expect(std::str::from_utf8(&[quote]).unwrap())?;
+                    let attr = self.store.new_attribute(aname, value);
+                    self.store.attach_attribute(elem, attr)?;
+                }
+                None => return Err(XdmError::parse("unexpected end of input in start tag")),
+            }
+        }
+        // Content.
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(XdmError::parse(format!(
+                        "unexpected end of input inside <{name}>"
+                    )))
+                }
+                Some(b'<') => {
+                    if self.rest().starts_with(b"</") {
+                        self.expect("</")?;
+                        let close = self.parse_name()?;
+                        if close != name {
+                            return Err(XdmError::parse(format!(
+                                "mismatched end tag </{close}> for <{name}>"
+                            )));
+                        }
+                        self.skip_ws();
+                        self.expect(">")?;
+                        return Ok(elem);
+                    } else if self.rest().starts_with(b"<!--") {
+                        let c = self.parse_comment()?;
+                        self.store.append_child(elem, c)?;
+                    } else if self.rest().starts_with(b"<![CDATA[") {
+                        let t = self.parse_cdata()?;
+                        self.store.append_child(elem, t)?;
+                    } else if self.rest().starts_with(b"<?") {
+                        let pi = self.parse_pi()?;
+                        self.store.append_child(elem, pi)?;
+                    } else {
+                        let child = self.parse_element()?;
+                        self.store.append_child(elem, child)?;
+                    }
+                }
+                Some(_) => {
+                    let text = self.parse_text()?;
+                    if !text.is_empty() {
+                        let t = self.store.new_text(text);
+                        self.store.append_child(elem, t)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> XdmResult<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XdmError::parse("invalid UTF-8 in text"))?;
+        decode_entities(raw)
+    }
+
+    fn parse_comment(&mut self) -> XdmResult<NodeId> {
+        self.expect("<!--")?;
+        let start = self.pos;
+        while self.pos < self.input.len() && !self.rest().starts_with(b"-->") {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(XdmError::parse("unterminated comment"));
+        }
+        let content = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XdmError::parse("invalid UTF-8 in comment"))?
+            .to_string();
+        self.expect("-->")?;
+        Ok(self.store.new_comment(content))
+    }
+
+    fn parse_cdata(&mut self) -> XdmResult<NodeId> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        while self.pos < self.input.len() && !self.rest().starts_with(b"]]>") {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(XdmError::parse("unterminated CDATA section"));
+        }
+        let content = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XdmError::parse("invalid UTF-8 in CDATA"))?
+            .to_string();
+        self.expect("]]>")?;
+        Ok(self.store.new_text(content))
+    }
+
+    fn parse_pi(&mut self) -> XdmResult<NodeId> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && !self.rest().starts_with(b"?>") {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(XdmError::parse("unterminated processing instruction"));
+        }
+        let content = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| XdmError::parse("invalid UTF-8 in PI"))?
+            .to_string();
+        self.expect("?>")?;
+        Ok(self.store.new_pi(target.to_string(), content))
+    }
+}
+
+/// Decode the five predefined entities plus numeric character references.
+pub fn decode_entities(s: &str) -> XdmResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| XdmError::parse("unterminated entity reference"))?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| XdmError::parse(format!("bad character reference &{ent};")))?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XdmError::parse(format!("invalid code point in &{ent};"))
+                })?);
+            }
+            _ if ent.starts_with('#') => {
+                let cp = ent[1..]
+                    .parse::<u32>()
+                    .map_err(|_| XdmError::parse(format!("bad character reference &{ent};")))?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XdmError::parse(format!("invalid code point in &{ent};"))
+                })?);
+            }
+            _ => return Err(XdmError::parse(format!("unknown entity &{ent};"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escape character data for serialization.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quote delimited).
+pub fn escape_attribute(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `node` to XML text.
+pub fn serialize(store: &Store, node: NodeId) -> XdmResult<String> {
+    let mut out = String::new();
+    serialize_into(store, node, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize with indentation: element-only content is broken across
+/// lines and indented two spaces per level; mixed content (any text
+/// child) is left verbatim, as XML indentation there would change the
+/// document's string value.
+pub fn serialize_pretty(store: &Store, node: NodeId) -> XdmResult<String> {
+    let mut out = String::new();
+    pretty_into(store, node, 0, &mut out)?;
+    Ok(out)
+}
+
+fn pretty_into(store: &Store, node: NodeId, depth: usize, out: &mut String) -> XdmResult<()> {
+    match store.kind(node)? {
+        NodeKind::Document { children } => {
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                pretty_into(store, c, depth, out)?;
+            }
+        }
+        NodeKind::Element { .. } => {
+            let children = store.children(node)?.to_vec();
+            let has_text = children.iter().any(|&c| {
+                matches!(store.kind(c), Ok(NodeKind::Text { .. }))
+            });
+            if children.is_empty() || has_text {
+                // Leaf or mixed content: single-line, exact.
+                serialize_into(store, node, out)?;
+                return Ok(());
+            }
+            // Element-only content: open tag, indented children, close.
+            out.push('<');
+            out.push_str(&store.name(node)?.expect("element has a name").to_string());
+            for &a in store.attributes(node)? {
+                if let NodeKind::Attribute { name, value } = store.kind(a)? {
+                    out.push(' ');
+                    out.push_str(&name.to_string());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attribute(value));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            for &c in &children {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth + 1));
+                pretty_into(store, c, depth + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth));
+            out.push_str("</");
+            out.push_str(&store.name(node)?.expect("element has a name").to_string());
+            out.push('>');
+        }
+        _ => serialize_into(store, node, out)?,
+    }
+    Ok(())
+}
+
+fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()> {
+    match store.kind(node)? {
+        NodeKind::Document { children } => {
+            for &c in children {
+                serialize_into(store, c, out)?;
+            }
+        }
+        NodeKind::Element { name, .. } => {
+            out.push('<');
+            out.push_str(&name.to_string());
+            for &a in store.attributes(node)? {
+                if let NodeKind::Attribute { name, value } = store.kind(a)? {
+                    out.push(' ');
+                    out.push_str(&name.to_string());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attribute(value));
+                    out.push('"');
+                }
+            }
+            let children = store.children(node)?.to_vec();
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    serialize_into(store, c, out)?;
+                }
+                out.push_str("</");
+                out.push_str(&store.name(node)?.unwrap().to_string());
+                out.push('>');
+            }
+        }
+        NodeKind::Attribute { name, value } => {
+            // A bare attribute serializes as name="value" (useful for debug).
+            out.push_str(&name.to_string());
+            out.push_str("=\"");
+            out.push_str(&escape_attribute(value));
+            out.push('"');
+        }
+        NodeKind::Text { content } => out.push_str(&escape_text(content)),
+        NodeKind::Comment { content } => {
+            out.push_str("<!--");
+            out.push_str(content);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, content } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !content.is_empty() {
+                out.push(' ');
+                out.push_str(content);
+            }
+            out.push_str("?>");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(xml: &str) -> String {
+        let mut s = Store::new();
+        let doc = parse_document(&mut s, xml).unwrap();
+        serialize(&s, doc).unwrap()
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        assert_eq!(round_trip("<a><b>hi</b><c x=\"1\"/></a>"), "<a><b>hi</b><c x=\"1\"/></a>");
+    }
+
+    #[test]
+    fn xml_declaration_and_misc() {
+        let xml = "<?xml version=\"1.0\"?>\n<!-- head --><a/>\n";
+        assert_eq!(round_trip(xml), "<a/>");
+    }
+
+    #[test]
+    fn entities_decode_and_reencode() {
+        assert_eq!(round_trip("<a>x &lt; y &amp; z</a>"), "<a>x &lt; y &amp; z</a>");
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<a k=\"&quot;q&quot;\">&#65;&#x42;</a>").unwrap();
+        let root = s.children(d).unwrap()[0];
+        assert_eq!(s.string_value(root).unwrap(), "AB");
+        let attr = s.attribute_by_name(root, "k").unwrap().unwrap();
+        assert_eq!(s.string_value(attr).unwrap(), "\"q\"");
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<a><![CDATA[<raw&>]]></a>").unwrap();
+        let root = s.children(d).unwrap()[0];
+        assert_eq!(s.string_value(root).unwrap(), "<raw&>");
+        // Serializes escaped.
+        assert_eq!(serialize(&s, root).unwrap(), "<a>&lt;raw&amp;&gt;</a>");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        assert_eq!(
+            round_trip("<a><!--note--><?tgt data?></a>"),
+            "<a><!--note--><?tgt data?></a>"
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        let xml = "<r><p id=\"1\"><n>A</n></p><p id=\"2\"><n>B</n></p></r>";
+        let mut s = Store::new();
+        let d = parse_document(&mut s, xml).unwrap();
+        let r = s.children(d).unwrap()[0];
+        assert_eq!(s.children(r).unwrap().len(), 2);
+        assert_eq!(s.string_value(r).unwrap(), "AB");
+        assert_eq!(serialize(&s, d).unwrap(), xml);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut s = Store::new();
+        assert!(parse_document(&mut s, "<a><b></a>").is_err()); // mismatched
+        assert!(parse_document(&mut s, "<a>").is_err()); // unterminated
+        assert!(parse_document(&mut s, "<a/><b/>").is_err()); // two roots
+        assert!(parse_document(&mut s, "plain text").is_err()); // no element
+        assert!(parse_document(&mut s, "<a>&unknown;</a>").is_err());
+        assert!(parse_document(&mut s, "<a k=1/>").is_err()); // unquoted attr
+        assert!(parse_document(&mut s, "<!DOCTYPE a><a/>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let mut s = Store::new();
+        assert!(parse_document(&mut s, "<a k=\"1\" k=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn fragment_parsing() {
+        let mut s = Store::new();
+        let nodes = parse_fragment(&mut s, "<a/>text<b/>").unwrap();
+        assert_eq!(nodes.len(), 3);
+        assert!(matches!(s.kind(nodes[1]).unwrap(), NodeKind::Text { .. }));
+        for &n in &nodes {
+            assert_eq!(s.parent(n).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn whitespace_text_preserved_inside_elements() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<a> <b/> </a>").unwrap();
+        let a = s.children(d).unwrap()[0];
+        assert_eq!(s.children(a).unwrap().len(), 3);
+        assert_eq!(s.string_value(a).unwrap(), "  ");
+    }
+
+    #[test]
+    fn pretty_serialization_indents_element_content() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<r><a><b>text</b></a><c x=\"1\"/></r>").unwrap();
+        assert_eq!(
+            serialize_pretty(&s, d).unwrap(),
+            "<r>\n  <a>\n    <b>text</b>\n  </a>\n  <c x=\"1\"/>\n</r>"
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_preserves_mixed_content() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<p>before <em>mid</em> after</p>").unwrap();
+        let root = s.children(d).unwrap()[0];
+        // Mixed content stays on one line, byte-identical to compact form.
+        assert_eq!(serialize_pretty(&s, root).unwrap(), serialize(&s, root).unwrap());
+    }
+
+    #[test]
+    fn pretty_round_trips_string_value() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<r><a><b>xy</b></a></r>").unwrap();
+        let pretty = serialize_pretty(&s, d).unwrap();
+        let mut s2 = Store::new();
+        let d2 = parse_document(&mut s2, &pretty).unwrap();
+        // Indentation adds whitespace-only text nodes but no content text
+        // inside the leaves.
+        let b1 = s.descendants(d).unwrap();
+        let b2 = s2.descendants(d2).unwrap();
+        let texts = |s: &Store, ns: &[NodeId]| -> Vec<String> {
+            ns.iter()
+                .filter_map(|&n| match s.kind(n) {
+                    Ok(NodeKind::Text { content }) if !content.trim().is_empty() => {
+                        Some(content.clone())
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(texts(&s, &b1), texts(&s2, &b2));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<x:a x:k=\"v\"/>").unwrap();
+        let a = s.children(d).unwrap()[0];
+        assert_eq!(s.name(a).unwrap().unwrap().to_string(), "x:a");
+    }
+}

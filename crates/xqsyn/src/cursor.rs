@@ -1,0 +1,412 @@
+//! A character cursor with XQuery-aware skipping (whitespace and `(: ... :)`
+//! comments, which nest), plus the shared low-level readers used by both the
+//! expression parser and the direct-constructor (markup) parser.
+
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at a position.
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError { position, message: message.into() }
+    }
+
+    /// The 1-based (line, column) of the error within `input` (which must
+    /// be the text this error was produced from).
+    pub fn line_col(&self, input: &str) -> (usize, usize) {
+        let upto = &input.as_bytes()[..self.position.min(input.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        (line, col)
+    }
+
+    /// A multi-line rendering with the offending line and a caret:
+    ///
+    /// ```text
+    /// parse error at line 2, column 7: expected keyword "return"
+    ///   for $x in $s
+    ///       ^
+    /// ```
+    pub fn render(&self, input: &str) -> String {
+        let (line, col) = self.line_col(input);
+        let line_text = input.lines().nth(line - 1).unwrap_or("");
+        format!(
+            "parse error at line {line}, column {col}: {}\n  {line_text}\n  {caret}^",
+            self.message,
+            caret = " ".repeat(col.saturating_sub(1)),
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing.
+pub type PResult<T> = Result<T, ParseError>;
+
+/// The scanning cursor.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    input: &'a [u8],
+    /// Current byte offset.
+    pub pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Cursor { input: input.as_bytes(), pos: 0 }
+    }
+
+    /// The byte at the cursor.
+    pub fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    /// The byte `n` past the cursor.
+    pub fn peek_at(&self, n: usize) -> Option<u8> {
+        self.input.get(self.pos + n).copied()
+    }
+
+    /// Remaining input.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.input[self.pos.min(self.input.len())..]
+    }
+
+    /// A slice of the original input between two byte positions.
+    pub fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        &self.input[start..end]
+    }
+
+    /// At end of input (after skipping trivia)?
+    pub fn at_end(&mut self) -> bool {
+        self.skip_trivia();
+        self.pos >= self.input.len()
+    }
+
+    /// Advance one byte and return it.
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// Advance one whole UTF-8 character and return it (for literal text
+    /// content, where multi-byte characters must survive intact). O(1):
+    /// decodes only the next sequence.
+    pub fn bump_char(&mut self) -> Option<char> {
+        let lead = self.peek()?;
+        let len = match lead {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        };
+        let end = (self.pos + len).min(self.input.len());
+        let s = std::str::from_utf8(&self.input[self.pos..end]).ok()?;
+        let c = s.chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Error at the current position.
+    pub fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError::new(self.pos, message))
+    }
+
+    /// Skip whitespace and (nested) `(: ... :)` comments.
+    pub fn skip_trivia(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.rest().starts_with(b"(:") {
+                let mut depth = 0usize;
+                while self.pos < self.input.len() {
+                    if self.rest().starts_with(b"(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.rest().starts_with(b":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// After trivia, does the input start with `s`?
+    pub fn looking_at(&mut self, s: &str) -> bool {
+        self.skip_trivia();
+        self.rest().starts_with(s.as_bytes())
+    }
+
+    /// After trivia, does a whole *word* `kw` follow (not a prefix of a
+    /// longer name)?
+    pub fn looking_at_keyword(&mut self, kw: &str) -> bool {
+        self.skip_trivia();
+        if !self.rest().starts_with(kw.as_bytes()) {
+            return false;
+        }
+        match self.input.get(self.pos + kw.len()) {
+            Some(&c) => !is_name_byte(c),
+            None => true,
+        }
+    }
+
+    /// Consume `s` if it follows (after trivia). Returns success.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.looking_at(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume keyword `kw` if it follows as a whole word.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.looking_at_keyword(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require `s`.
+    pub fn expect(&mut self, s: &str) -> PResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected \"{s}\""))
+        }
+    }
+
+    /// Require keyword `kw`.
+    pub fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword \"{kw}\""))
+        }
+    }
+
+    /// Read a QName-ish name (`foo`, `ns:foo`). Skips leading trivia.
+    pub fn read_name(&mut self) -> PResult<String> {
+        self.skip_trivia();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {}
+            _ => return self.err("expected a name"),
+        }
+        let mut seen_colon = false;
+        while let Some(c) = self.peek() {
+            if is_name_byte(c) {
+                self.pos += 1;
+            } else if c == b':' && !seen_colon {
+                // A single colon joins prefix:local, but "::" is the axis
+                // separator and must not be consumed here.
+                match self.peek_at(1) {
+                    Some(n) if n.is_ascii_alphabetic() || n == b'_' => {
+                        seen_colon = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError::new(start, "invalid UTF-8 in name"))?;
+        Ok(s.to_string())
+    }
+
+    /// Read a `$name` variable reference (after the `$` has been seen or
+    /// not — this consumes the `$`).
+    pub fn read_var(&mut self) -> PResult<String> {
+        self.skip_trivia();
+        self.expect("$")?;
+        self.read_name()
+    }
+
+    /// Read a string literal delimited by `"` or `'`, with XQuery's
+    /// doubled-quote escape and XML entity references.
+    pub fn read_string_literal(&mut self) -> PResult<String> {
+        self.skip_trivia();
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected a string literal"),
+        };
+        let mut out = String::new();
+        loop {
+            // ASCII delimiters/escapes are single bytes; everything else is
+            // consumed as a whole UTF-8 character.
+            match self.peek() {
+                None => return self.err("unterminated string literal"),
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    // Doubled quote = escaped quote.
+                    if self.peek() == Some(quote) {
+                        self.pos += 1;
+                        out.push(quote as char);
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'&') => {
+                    self.pos += 1;
+                    let semi_rel = self.rest().iter().position(|&b| b == b';');
+                    let semi = match semi_rel {
+                        Some(i) => i,
+                        None => return self.err("unterminated entity reference"),
+                    };
+                    let ent = std::str::from_utf8(&self.input[self.pos..self.pos + semi])
+                        .map_err(|_| ParseError::new(self.pos, "invalid UTF-8"))?;
+                    let decoded = xqdm::xml::decode_entities(&format!("&{ent};"))
+                        .map_err(|e| ParseError::new(self.pos, e.to_string()))?;
+                    out.push_str(&decoded);
+                    self.pos += semi + 1;
+                }
+                Some(_) => match self.bump_char() {
+                    Some(c) => out.push(c),
+                    None => return self.err("invalid UTF-8 in string literal"),
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read a numeric literal. Returns `(text, is_double)`.
+    pub fn read_number(&mut self) -> PResult<(String, bool)> {
+        self.skip_trivia();
+        let start = self.pos;
+        let mut is_double = false;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            is_double = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_double = true;
+            self.pos += 2;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a number");
+        }
+        let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string();
+        Ok((s, is_double))
+    }
+}
+
+/// Bytes that may appear inside a name (after the first character).
+pub fn is_name_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_whitespace_and_nested_comments() {
+        let mut c = Cursor::new("  (: outer (: inner :) still :)  x");
+        c.skip_trivia();
+        assert_eq!(c.peek(), Some(b'x'));
+    }
+
+    #[test]
+    fn keyword_matching_is_whole_word() {
+        let mut c = Cursor::new("form");
+        assert!(!c.looking_at_keyword("for"));
+        let mut c = Cursor::new("for $x");
+        assert!(c.looking_at_keyword("for"));
+        assert!(c.eat_keyword("for"));
+    }
+
+    #[test]
+    fn read_names_and_vars() {
+        let mut c = Cursor::new("  ns:item ");
+        assert_eq!(c.read_name().unwrap(), "ns:item");
+        let mut c = Cursor::new(" $auction ");
+        assert_eq!(c.read_var().unwrap(), "auction");
+    }
+
+    #[test]
+    fn string_literals() {
+        let mut c = Cursor::new("\"a\"\"b\"");
+        assert_eq!(c.read_string_literal().unwrap(), "a\"b");
+        let mut c = Cursor::new("'x&amp;y'");
+        assert_eq!(c.read_string_literal().unwrap(), "x&y");
+        let mut c = Cursor::new("\"unterminated");
+        assert!(c.read_string_literal().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let mut c = Cursor::new("42 ");
+        assert_eq!(c.read_number().unwrap(), ("42".into(), false));
+        let mut c = Cursor::new("3.14");
+        assert_eq!(c.read_number().unwrap(), ("3.14".into(), true));
+        let mut c = Cursor::new("1e6");
+        assert_eq!(c.read_number().unwrap(), ("1e6".into(), true));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let mut c = Cursor::new("abc");
+        c.pos = 3;
+        let e: PResult<()> = c.err("boom");
+        assert_eq!(e.unwrap_err().position, 3);
+    }
+
+    #[test]
+    fn line_col_and_render() {
+        let input = "let $x := 1\nreturn $y +";
+        let e = ParseError::new(input.len(), "expected an operand");
+        assert_eq!(e.line_col(input), (2, 12));
+        let rendered = e.render(input);
+        assert!(rendered.contains("line 2, column 12"));
+        assert!(rendered.contains("return $y +"));
+        assert!(rendered.ends_with("           ^"));
+    }
+
+    #[test]
+    fn line_col_at_start() {
+        let e = ParseError::new(0, "boom");
+        assert_eq!(e.line_col("abc"), (1, 1));
+    }
+}

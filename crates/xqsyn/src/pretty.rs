@@ -1,0 +1,195 @@
+//! A compact, one-line pretty-printer for core expressions.
+//!
+//! Used by the algebraic plan printer (the paper prints its §4.3 plan with
+//! embedded expressions) and by diagnostics. The output is reparseable for
+//! simple expressions but primarily aims at *readability*.
+
+use crate::ast::{Axis, NodeCompOp, NodeTest, Quantifier, SnapMode};
+use crate::core::{Core, CoreInsertLoc, CoreName};
+use std::fmt;
+use xqdm::atomic::Atomic;
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Core::Const(a) => match a {
+                Atomic::String(s) => write!(f, "\"{s}\""),
+                other => write!(f, "{}", other.string_value()),
+            },
+            Core::Var(v) => write!(f, "${v}"),
+            Core::ContextItem => write!(f, "."),
+            Core::Seq(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Core::For { var, position, source, body } => {
+                write!(f, "for ${var}")?;
+                if let Some(p) = position {
+                    write!(f, " at ${p}")?;
+                }
+                write!(f, " in {source} return {body}")
+            }
+            Core::Let { var, value, body } => write!(f, "let ${var} := {value} return {body}"),
+            Core::If(c, t, e) => write!(f, "if ({c}) then {t} else {e}"),
+            Core::Quantified { quantifier, var, source, satisfies } => {
+                let q = match quantifier {
+                    Quantifier::Some => "some",
+                    Quantifier::Every => "every",
+                };
+                write!(f, "{q} ${var} in {source} satisfies {satisfies}")
+            }
+            Core::SortedFor { var, source, keys, body } => {
+                write!(f, "for ${var} in {source} order by ")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}{}", k.key, if k.ascending { "" } else { " descending" })?;
+                }
+                write!(f, " return {body}")
+            }
+            Core::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Core::Neg(e) => write!(f, "-({e})"),
+            Core::GeneralComp(op, a, b) => {
+                let s = match op {
+                    xqdm::atomic::CompareOp::Eq => "=",
+                    xqdm::atomic::CompareOp::Ne => "!=",
+                    xqdm::atomic::CompareOp::Lt => "<",
+                    xqdm::atomic::CompareOp::Le => "<=",
+                    xqdm::atomic::CompareOp::Gt => ">",
+                    xqdm::atomic::CompareOp::Ge => ">=",
+                };
+                write!(f, "{a} {s} {b}")
+            }
+            Core::ValueComp(op, a, b) => write!(f, "{a} {} {b}", op.value_spelling()),
+            Core::NodeComp(op, a, b) => {
+                let s = match op {
+                    NodeCompOp::Is => "is",
+                    NodeCompOp::Precedes => "<<",
+                    NodeCompOp::Follows => ">>",
+                };
+                write!(f, "{a} {s} {b}")
+            }
+            Core::And(a, b) => write!(f, "({a} and {b})"),
+            Core::Or(a, b) => write!(f, "({a} or {b})"),
+            Core::Union(a, b) => write!(f, "({a} | {b})"),
+            Core::Range(a, b) => write!(f, "({a} to {b})"),
+            Core::MapStep { base, axis, test, predicates } => {
+                // Context-relative steps print without the "./" noise.
+                match &**base {
+                    Core::ContextItem => write!(f, "{}", step_str(*axis, test))?,
+                    b => write!(f, "{b}/{}", step_str(*axis, test))?,
+                }
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                Ok(())
+            }
+            Core::DocOrder(e) => write!(f, "ddo({e})"),
+            Core::Predicate { base, pred } => write!(f, "{base}[{pred}]"),
+            Core::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Core::ElemCtor { name, content } => {
+                write!(f, "element {} {{ {content} }}", name_str(name))
+            }
+            Core::AttrCtor { name, content } => {
+                write!(f, "attribute {} {{ {content} }}", name_str(name))
+            }
+            Core::TextCtor(e) => write!(f, "text {{ {e} }}"),
+            Core::DocCtor(e) => write!(f, "document {{ {e} }}"),
+            Core::Insert { source, location } => {
+                let (kw, t) = match location {
+                    CoreInsertLoc::First(t) => ("as first into", t),
+                    CoreInsertLoc::Last(t) => ("as last into", t),
+                    CoreInsertLoc::Before(t) => ("before", t),
+                    CoreInsertLoc::After(t) => ("after", t),
+                };
+                write!(f, "insert {{ {source} }} {kw} {{ {t} }}")
+            }
+            Core::Delete(e) => write!(f, "delete {{ {e} }}"),
+            Core::Replace(t, w) => write!(f, "replace {{ {t} }} with {{ {w} }}"),
+            Core::Rename(t, n) => write!(f, "rename {{ {t} }} to {{ {n} }}"),
+            Core::Copy(e) => write!(f, "copy {{ {e} }}"),
+            Core::Snap(mode, e) => {
+                let m = match mode {
+                    SnapMode::Ordered => "ordered ",
+                    SnapMode::Nondeterministic => "nondeterministic ",
+                    SnapMode::ConflictDetection => "conflict-detection ",
+                };
+                write!(f, "snap {m}{{ {e} }}")
+            }
+        }
+    }
+}
+
+fn name_str(name: &CoreName) -> String {
+    match name {
+        CoreName::Fixed(s) => s.clone(),
+        CoreName::Computed(e) => format!("{{ {e} }}"),
+    }
+}
+
+fn step_str(axis: Axis, test: &NodeTest) -> String {
+    let test = match test {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Wildcard => "*".into(),
+        NodeTest::Text => "text()".into(),
+        NodeTest::AnyKind => "node()".into(),
+        NodeTest::Comment => "comment()".into(),
+        NodeTest::Pi => "processing-instruction()".into(),
+        NodeTest::Element => "element()".into(),
+        NodeTest::AttributeTest => "attribute()".into(),
+        NodeTest::Document => "document-node()".into(),
+    };
+    match axis {
+        Axis::Child => test,
+        Axis::Attribute => format!("@{test}"),
+        other => format!("{}::{test}", other.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::normalize::normalize;
+    use crate::parser::parse_expr;
+
+    fn pp(s: &str) -> String {
+        normalize(&parse_expr(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn round_trippable_shapes() {
+        assert_eq!(pp("1 + 2"), "(1 + 2)");
+        assert_eq!(pp("$x"), "$x");
+        assert_eq!(pp("for $x in $s return $x"), "for $x in $s return $x");
+    }
+
+    #[test]
+    fn paths_print_compactly() {
+        assert_eq!(pp("$a//person[@id = $u]"), "$a/descendant-or-self::node()/person[@id = $u]");
+        assert_eq!(pp("$t/buyer/@person"), "$t/buyer/@person");
+    }
+
+    #[test]
+    fn updates_print_with_normalized_copy() {
+        assert_eq!(
+            pp("insert { $x } into { $y }"),
+            "insert { copy { $x } } as last into { $y }"
+        );
+        assert_eq!(pp("snap delete { $x }"), "snap ordered { delete { $x } }");
+    }
+}

@@ -1,0 +1,287 @@
+//! Edge-case coverage for the parser and normalizer: comments, keyword
+//! ambiguity, nesting, whitespace, and the abbreviation sugar.
+
+use xqsyn::ast::*;
+use xqsyn::core::{Core, CoreInsertLoc};
+use xqsyn::normalize::normalize;
+use xqsyn::parser::parse_expr;
+use xqsyn::parse_program;
+
+fn p(s: &str) -> Expr {
+    parse_expr(s).unwrap_or_else(|e| panic!("parse failed for {s:?}: {e}"))
+}
+
+fn n(s: &str) -> Core {
+    normalize(&p(s))
+}
+
+// ---------------------------------------------------------------------
+// Comments
+// ---------------------------------------------------------------------
+
+#[test]
+fn comments_are_trivia_everywhere() {
+    assert_eq!(p("1 (: c :) + (: c :) 2"), p("1 + 2"));
+    assert_eq!(p("for (: x :) $v (: y :) in $s return $v"), p("for $v in $s return $v"));
+    assert_eq!(p("(: leading :) 42"), p("42"));
+    assert_eq!(p("42 (: trailing :)"), p("42"));
+}
+
+#[test]
+fn nested_comments() {
+    assert_eq!(p("1 (: outer (: inner :) outer :) + 2"), p("1 + 2"));
+}
+
+#[test]
+fn smiley_comments_from_the_paper() {
+    // The paper writes (::: Logging code :::).
+    assert_eq!(p("(::: Logging code :::) 1"), p("1"));
+}
+
+#[test]
+fn unterminated_comment_is_an_error() {
+    assert!(parse_expr("1 + (: oops").is_err());
+}
+
+// ---------------------------------------------------------------------
+// Keyword / name ambiguity
+// ---------------------------------------------------------------------
+
+#[test]
+fn update_keywords_as_path_steps() {
+    // Without their marker tokens these are ordinary element names.
+    for kw in ["insert", "delete", "replace", "rename", "snap", "copy"] {
+        let q = format!("$x/{kw}");
+        match p(&q) {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].test, NodeTest::Name(kw.to_string()), "{q}");
+            }
+            other => panic!("{q}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flwor_keywords_as_standalone_names() {
+    assert!(matches!(p("return"), Expr::Path { .. }));
+    assert!(matches!(p("where"), Expr::Path { .. }));
+    assert!(matches!(p("order"), Expr::Path { .. }));
+}
+
+#[test]
+fn operators_with_keyword_spellings_need_operand_context() {
+    // "div" as element name vs operator.
+    assert!(matches!(p("div"), Expr::Path { .. }));
+    assert!(matches!(p("$a div $b"), Expr::Arith(..)));
+    assert!(matches!(p("union"), Expr::Path { .. }));
+}
+
+#[test]
+fn element_named_like_axis() {
+    // "child" without "::" is a name test.
+    match p("$x/child") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::Name("child".into())),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn name_with_hyphen_vs_subtraction() {
+    // foo-bar is one name; "foo - bar" is subtraction of two paths.
+    match p("$x/foo-bar") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::Name("foo-bar".into())),
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(p("$a - $b"), Expr::Arith(..)));
+}
+
+// ---------------------------------------------------------------------
+// Nesting & composition
+// ---------------------------------------------------------------------
+
+#[test]
+fn deeply_nested_expressions() {
+    let mut q = String::from("1");
+    for _ in 0..40 {
+        q = format!("({q} + 1)");
+    }
+    assert!(parse_expr(&q).is_ok());
+}
+
+#[test]
+fn flwor_inside_constructor_inside_flwor() {
+    let q = r#"for $x in $s return <out>{ for $y in $x/* return <in>{$y}</in> }</out>"#;
+    assert!(matches!(p(q), Expr::Flwor { .. }));
+}
+
+#[test]
+fn update_inside_if_inside_function_arg() {
+    let q = "count((if ($c) then insert { <a/> } into { $t } else delete { $t }))";
+    assert!(matches!(p(q), Expr::Call(..)));
+}
+
+#[test]
+fn snap_inside_snap_inside_sequence() {
+    let q = "snap { 1, snap { 2, snap { 3 } } }";
+    let mut depth = 0;
+    let mut cur = p(q);
+    while let Expr::Snap(_, body) = cur {
+        depth += 1;
+        cur = match *body {
+            Expr::Sequence(mut items) => items.pop().unwrap(),
+            other => other,
+        };
+    }
+    assert_eq!(depth, 3);
+}
+
+#[test]
+fn predicates_nest_and_chain() {
+    match p("$s[a[b = 1]][2]") {
+        Expr::Filter(_, preds) => assert_eq!(preds.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Normalization details
+// ---------------------------------------------------------------------
+
+#[test]
+fn into_normalizes_to_as_last() {
+    // The paper's rule rewrites the bare `into` to `as last into`.
+    for (src, want_first) in [
+        ("insert { $x } into { $y }", false),
+        ("insert { $x } as first into { $y }", true),
+    ] {
+        match n(src) {
+            Core::Insert { location, .. } => match (want_first, location) {
+                (true, CoreInsertLoc::First(_)) | (false, CoreInsertLoc::Last(_)) => {}
+                (w, l) => panic!("{src}: want_first={w}, got {l:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn copy_is_not_doubled_when_explicit() {
+    // insert { copy { $x } } — the source is already a copy, so
+    // normalization does not wrap it again (idempotent; copy of a fresh
+    // copy would be the same tree at one extra allocation).
+    match n("insert { copy { $x } } into { $y }") {
+        Core::Insert { source, .. } => match *source {
+            Core::Copy(inner) => assert!(matches!(*inner, Core::Var(_))),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    // Idempotence of normalization on the printed form.
+    let once = n("insert { $x } into { $y }");
+    let printed = once.to_string();
+    assert_eq!(n(&printed), once);
+}
+
+#[test]
+fn multi_clause_flwor_normalizes_inside_out() {
+    let c = n("for $a in $x for $b in $y let $c := $b where $c return ($a, $c)");
+    // for a ( for b ( let c ( if where ( seq ) ) ) )
+    let Core::For { var, body, .. } = c else { panic!() };
+    assert_eq!(var, "a");
+    let Core::For { var, body, .. } = *body else { panic!() };
+    assert_eq!(var, "b");
+    let Core::Let { var, body, .. } = *body else { panic!() };
+    assert_eq!(var, "c");
+    assert!(matches!(*body, Core::If(..)));
+}
+
+#[test]
+fn empty_element_content_normalizes_to_empty_seq() {
+    match n("element e { }") {
+        Core::ElemCtor { content, .. } => assert_eq!(*content, Core::empty()),
+        other => panic!("{other:?}"),
+    }
+    match n("<e/>") {
+        Core::ElemCtor { content, .. } => assert_eq!(*content, Core::Seq(vec![])),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn direct_constructor_attr_order_precedes_content() {
+    match n("<e a=\"1\">text</e>") {
+        Core::ElemCtor { content, .. } => match *content {
+            Core::Seq(items) => {
+                assert!(matches!(items[0], Core::AttrCtor { .. }));
+                assert!(matches!(items[1], Core::TextCtor(_)));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn parse_program_with_only_body() {
+    let prog = parse_program("1 + 1").unwrap();
+    assert!(prog.declarations.is_empty());
+}
+
+#[test]
+fn declare_as_element_name_in_body() {
+    // "declare" not followed by variable/function is path syntax.
+    let prog = parse_program("$x/declare").unwrap();
+    assert!(prog.declarations.is_empty());
+    assert!(matches!(prog.body, Expr::Path { .. }));
+}
+
+#[test]
+fn several_declarations_in_order() {
+    let prog = parse_program(
+        "declare variable $a := 1;
+         declare function f() { $a };
+         declare variable $b := f();
+         $b",
+    )
+    .unwrap();
+    assert_eq!(prog.declarations.len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Whitespace robustness
+// ---------------------------------------------------------------------
+
+#[test]
+fn no_whitespace_where_possible() {
+    assert!(parse_expr("1+2*3").is_ok());
+    assert!(parse_expr("$a/b[@c=1]").is_ok());
+    assert!(parse_expr("for $x in(1,2)return $x").is_ok());
+    assert!(parse_expr("if($c)then 1 else 2").is_ok());
+}
+
+#[test]
+fn excessive_whitespace_and_newlines() {
+    let q = "\n\n  for \n $x \n in \n ( 1 , 2 )\n  return\n   $x \n";
+    assert!(matches!(p(q), Expr::Flwor { .. }));
+}
+
+#[test]
+fn windows_line_endings() {
+    assert!(parse_expr("1 +\r\n2").is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Fuzz-ish: parser never panics
+// ---------------------------------------------------------------------
+
+#[test]
+fn parser_is_panic_free_on_garbage() {
+    for garbage in [
+        "", "$", "{", "}", "<<", ">>", "((((", "for for for", "declare declare",
+        "insert insert", "snap snap snap", "<a", "<a b=", "1 to to 2", "..…", "\u{0}",
+        "]]>", "e1;e2", "$x[",
+    ] {
+        let _ = parse_expr(garbage);
+        let _ = parse_program(garbage);
+    }
+}

@@ -1,0 +1,555 @@
+//! Parser coverage: the operator tower, paths, FLWOR, constructors, and the
+//! full Fig. 1 update grammar — including every query that appears verbatim
+//! in the paper.
+
+use xqdm::atomic::{ArithOp, CompareOp};
+use xqsyn::ast::*;
+use xqsyn::parser::parse_expr;
+use xqsyn::parse_program;
+
+fn p(s: &str) -> Expr {
+    parse_expr(s).unwrap_or_else(|e| panic!("parse failed for {s:?}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Literals and primaries
+// ---------------------------------------------------------------------
+
+#[test]
+fn literals() {
+    assert_eq!(p("42"), Expr::Literal(Literal::Integer(42)));
+    assert_eq!(p("3.5"), Expr::Literal(Literal::Double(3.5)));
+    assert_eq!(p("1e3"), Expr::Literal(Literal::Double(1000.0)));
+    assert_eq!(p("\"hi\""), Expr::Literal(Literal::String("hi".into())));
+    assert_eq!(p("'hi'"), Expr::Literal(Literal::String("hi".into())));
+}
+
+#[test]
+fn string_escapes() {
+    assert_eq!(p("\"a\"\"b\""), Expr::Literal(Literal::String("a\"b".into())));
+    assert_eq!(p("\"x&amp;y\""), Expr::Literal(Literal::String("x&y".into())));
+}
+
+#[test]
+fn variables_and_context() {
+    assert_eq!(p("$x"), Expr::VarRef("x".into()));
+    assert_eq!(p("."), Expr::ContextItem);
+    assert_eq!(p("()"), Expr::Sequence(vec![]));
+}
+
+#[test]
+fn sequences() {
+    assert_eq!(
+        p("1, 2, 3"),
+        Expr::Sequence(vec![
+            Expr::Literal(Literal::Integer(1)),
+            Expr::Literal(Literal::Integer(2)),
+            Expr::Literal(Literal::Integer(3)),
+        ])
+    );
+}
+
+#[test]
+fn parenthesized_sequence_flattens_at_parse() {
+    // (1, 2) parses to the same sequence node.
+    assert!(matches!(p("(1, 2)"), Expr::Sequence(v) if v.len() == 2));
+}
+
+// ---------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------
+
+#[test]
+fn arithmetic_precedence() {
+    // 1 + 2 * 3 == 1 + (2 * 3)
+    match p("1 + 2 * 3") {
+        Expr::Arith(ArithOp::Add, _, r) => assert!(matches!(*r, Expr::Arith(ArithOp::Mul, ..))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn div_idiv_mod_keywords() {
+    assert!(matches!(p("6 div 2"), Expr::Arith(ArithOp::Div, ..)));
+    assert!(matches!(p("7 idiv 2"), Expr::Arith(ArithOp::IDiv, ..)));
+    assert!(matches!(p("7 mod 2"), Expr::Arith(ArithOp::Mod, ..)));
+}
+
+#[test]
+fn unary_minus() {
+    assert!(matches!(p("-$x"), Expr::Neg(_)));
+    assert!(matches!(p("--$x"), Expr::Neg(_)));
+    assert!(matches!(p("+$x"), Expr::VarRef(_)));
+}
+
+#[test]
+fn comparisons() {
+    assert!(matches!(p("$a = $b"), Expr::GeneralComp(CompareOp::Eq, ..)));
+    assert!(matches!(p("$a != $b"), Expr::GeneralComp(CompareOp::Ne, ..)));
+    assert!(matches!(p("$a <= $b"), Expr::GeneralComp(CompareOp::Le, ..)));
+    assert!(matches!(p("$a >= $b"), Expr::GeneralComp(CompareOp::Ge, ..)));
+    assert!(matches!(p("$a < $b"), Expr::GeneralComp(CompareOp::Lt, ..)));
+    assert!(matches!(p("$a > $b"), Expr::GeneralComp(CompareOp::Gt, ..)));
+    assert!(matches!(p("$a eq $b"), Expr::ValueComp(CompareOp::Eq, ..)));
+    assert!(matches!(p("$a lt $b"), Expr::ValueComp(CompareOp::Lt, ..)));
+    assert!(matches!(p("$a is $b"), Expr::NodeComp(NodeCompOp::Is, ..)));
+    assert!(matches!(p("$a << $b"), Expr::NodeComp(NodeCompOp::Precedes, ..)));
+    assert!(matches!(p("$a >> $b"), Expr::NodeComp(NodeCompOp::Follows, ..)));
+}
+
+#[test]
+fn logic_precedence() {
+    // a or b and c == a or (b and c)
+    match p("$a or $b and $c") {
+        Expr::Or(_, r) => assert!(matches!(*r, Expr::And(..))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn range_and_union() {
+    assert!(matches!(p("1 to 10"), Expr::Range(..)));
+    assert!(matches!(p("$a | $b"), Expr::Union(..)));
+    assert!(matches!(p("$a union $b"), Expr::Union(..)));
+}
+
+#[test]
+fn comparison_binds_looser_than_arithmetic() {
+    match p("$x + 1 = 2") {
+        Expr::GeneralComp(CompareOp::Eq, l, _) => assert!(matches!(*l, Expr::Arith(..))),
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn relative_path_from_variable() {
+    match p("$auction//person") {
+        Expr::Path { base: PathBase::Expr(b), steps } => {
+            assert!(matches!(*b, Expr::VarRef(_)));
+            assert_eq!(steps.len(), 2);
+            assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
+            assert_eq!(steps[1].axis, Axis::Child);
+            assert_eq!(steps[1].test, NodeTest::Name("person".into()));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn rooted_paths() {
+    match p("/site/people") {
+        Expr::Path { base: PathBase::Root, steps } => assert_eq!(steps.len(), 2),
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(p("/"), Expr::Path { base: PathBase::Root, steps } if steps.is_empty()));
+    match p("//person") {
+        Expr::Path { base: PathBase::Root, steps } => assert_eq!(steps.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn attribute_steps() {
+    match p("$t/buyer/@person") {
+        Expr::Path { steps, .. } => {
+            assert_eq!(steps[1].axis, Axis::Attribute);
+            assert_eq!(steps[1].test, NodeTest::Name("person".into()));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn predicates_in_steps() {
+    match p("$auction//item[@id = $itemid]") {
+        Expr::Path { steps, .. } => {
+            assert_eq!(steps.last().unwrap().predicates.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn explicit_axes() {
+    match p("$x/child::a/descendant::b/parent::*") {
+        Expr::Path { steps, .. } => {
+            assert_eq!(steps[0].axis, Axis::Child);
+            assert_eq!(steps[1].axis, Axis::Descendant);
+            assert_eq!(steps[2].axis, Axis::Parent);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn kind_tests() {
+    match p("$d/text()") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::Text),
+        other => panic!("{other:?}"),
+    }
+    match p("$d/node()") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::AnyKind),
+        other => panic!("{other:?}"),
+    }
+    match p("$d/*") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].test, NodeTest::Wildcard),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn parent_shorthand() {
+    match p("$x/..") {
+        Expr::Path { steps, .. } => assert_eq!(steps[0].axis, Axis::Parent),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn filter_on_primary() {
+    match p("$seq[3]") {
+        Expr::Filter(b, preds) => {
+            assert!(matches!(*b, Expr::VarRef(_)));
+            assert_eq!(preds.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// FLWOR, quantifiers, conditionals
+// ---------------------------------------------------------------------
+
+#[test]
+fn flwor_clauses() {
+    match p("for $p in $s let $q := $p where $q > 1 order by $q return $q") {
+        Expr::Flwor { clauses, .. } => {
+            assert_eq!(clauses.len(), 4);
+            assert!(matches!(clauses[0], FlworClause::For { .. }));
+            assert!(matches!(clauses[1], FlworClause::Let { .. }));
+            assert!(matches!(clauses[2], FlworClause::Where(_)));
+            assert!(matches!(clauses[3], FlworClause::OrderBy(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn flwor_multiple_bindings_per_keyword() {
+    match p("for $a in $x, $b in $y return ($a, $b)") {
+        Expr::Flwor { clauses, .. } => assert_eq!(clauses.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn positional_variable() {
+    match p("for $x at $i in $s return $i") {
+        Expr::Flwor { clauses, .. } => {
+            assert!(matches!(&clauses[0], FlworClause::For { position: Some(p), .. } if p == "i"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn quantified_expressions() {
+    assert!(matches!(
+        p("some $x in $s satisfies $x = 1"),
+        Expr::Quantified { quantifier: Quantifier::Some, .. }
+    ));
+    assert!(matches!(
+        p("every $x in $s satisfies $x = 1"),
+        Expr::Quantified { quantifier: Quantifier::Every, .. }
+    ));
+}
+
+#[test]
+fn if_then_else() {
+    assert!(matches!(p("if ($c) then 1 else 2"), Expr::If(..)));
+}
+
+#[test]
+fn keywords_as_element_names() {
+    // "for", "if", "delete" etc. without their marker are path steps.
+    assert!(matches!(p("for"), Expr::Path { .. }));
+    assert!(matches!(p("$x/if/delete"), Expr::Path { .. }));
+    assert!(matches!(p("snap"), Expr::Path { .. }));
+}
+
+// ---------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------
+
+#[test]
+fn direct_empty_element() {
+    match p("<a/>") {
+        Expr::Direct(d) => {
+            assert_eq!(d.name, "a");
+            assert!(d.attributes.is_empty());
+            assert!(d.content.is_empty());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn direct_with_avt_attributes() {
+    // Straight from the paper's logging example.
+    match p("<logentry user=\"{$name}\" itemid=\"{$itemid}\"/>") {
+        Expr::Direct(d) => {
+            assert_eq!(d.attributes.len(), 2);
+            assert!(matches!(&d.attributes[0].1[..], [AttrChunk::Enclosed(_)]));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn direct_nested_content() {
+    match p("<item person=\"{ $p/name }\">{ count($a) }</item>") {
+        Expr::Direct(d) => {
+            assert_eq!(d.content.len(), 1);
+            assert!(matches!(&d.content[0], DirectContent::Enclosed(Expr::Call(..))));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn direct_mixed_text_and_elements() {
+    match p("<a>hello <b/> world</a>") {
+        Expr::Direct(d) => assert_eq!(d.content.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn brace_escapes_in_content_and_attrs() {
+    match p("<a k=\"{{x}}\">{{lit}}</a>") {
+        Expr::Direct(d) => {
+            assert_eq!(d.attributes[0].1, vec![AttrChunk::Text("{x}".into())]);
+            assert!(matches!(&d.content[0], DirectContent::Text(t) if t == "{"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn computed_constructors() {
+    // The paper's counter: declare variable $d := element counter { 0 };
+    assert!(matches!(
+        p("element counter { 0 }"),
+        Expr::ElementCtor(CtorName::Literal(n), Some(_)) if n == "counter"
+    ));
+    assert!(matches!(
+        p("element { $n } { $c }"),
+        Expr::ElementCtor(CtorName::Computed(_), Some(_))
+    ));
+    assert!(matches!(
+        p("attribute id { 5 }"),
+        Expr::AttributeCtor(CtorName::Literal(n), Some(_)) if n == "id"
+    ));
+    assert!(matches!(p("text { \"x\" }"), Expr::TextCtor(_)));
+    assert!(matches!(p("document { <a/> }"), Expr::DocumentCtor(_)));
+}
+
+// ---------------------------------------------------------------------
+// Updates (Fig. 1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn insert_variants() {
+    assert!(matches!(
+        p("insert { <a/> } into { $x }"),
+        Expr::Insert(_, InsertLocation::Into(_))
+    ));
+    assert!(matches!(
+        p("insert { <a/> } as first into { $x }"),
+        Expr::Insert(_, InsertLocation::AsFirstInto(_))
+    ));
+    assert!(matches!(
+        p("insert { <a/> } as last into { $x }"),
+        Expr::Insert(_, InsertLocation::AsLastInto(_))
+    ));
+    assert!(matches!(
+        p("insert { <a/> } before { $x }"),
+        Expr::Insert(_, InsertLocation::Before(_))
+    ));
+    assert!(matches!(
+        p("insert { <a/> } after { $x }"),
+        Expr::Insert(_, InsertLocation::After(_))
+    ));
+}
+
+#[test]
+fn delete_braced_and_bare() {
+    assert!(matches!(p("delete { $x }"), Expr::Delete(_)));
+    // Paper §2.3 writes: snap delete $log/logentry
+    assert!(matches!(p("delete $log/logentry"), Expr::Delete(_)));
+}
+
+#[test]
+fn replace_and_rename() {
+    assert!(matches!(p("replace { $d/text() } with { $d + 1 }"), Expr::Replace(..)));
+    assert!(matches!(p("rename { $x } to { \"n\" }"), Expr::Rename(..)));
+}
+
+#[test]
+fn copy_expression() {
+    assert!(matches!(p("copy { $x }"), Expr::Copy(_)));
+}
+
+#[test]
+fn snap_forms() {
+    assert!(matches!(p("snap { $x }"), Expr::Snap(SnapMode::Ordered, _)));
+    assert!(matches!(p("snap ordered { $x }"), Expr::Snap(SnapMode::Ordered, _)));
+    assert!(matches!(
+        p("snap nondeterministic { $x }"),
+        Expr::Snap(SnapMode::Nondeterministic, _)
+    ));
+    assert!(matches!(
+        p("snap conflict-detection { $x }"),
+        Expr::Snap(SnapMode::ConflictDetection, _)
+    ));
+}
+
+#[test]
+fn snap_update_abbreviations() {
+    // snap insert {} into {} == snap { insert {} into {} }
+    match p("snap insert { <a/> } into { $log }") {
+        Expr::Snap(SnapMode::Ordered, body) => assert!(matches!(*body, Expr::Insert(..))),
+        other => panic!("{other:?}"),
+    }
+    match p("snap delete $log/logentry") {
+        Expr::Snap(_, body) => assert!(matches!(*body, Expr::Delete(_))),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn paper_snap_ordering_example_parses() {
+    // §3.4: the <b/><a/><c/> example.
+    let q = r#"snap ordered { insert {<a/>} into $x,
+                 snap { insert {<b/>} into $x },
+                 insert {<c/>} into $x }"#;
+    match p(q) {
+        Expr::Snap(SnapMode::Ordered, body) => match *body {
+            Expr::Sequence(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(matches!(items[1], Expr::Snap(..)));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn paper_join_query_parses() {
+    // §2.1, the purchasers join.
+    let q = r#"
+        for $p in $auction//person
+        for $t in $auction//closed_auction
+        where $t/buyer/@person = $p/@id
+        return insert { <buyer person="{$t/buyer/@person}"
+                                itemid="{$t/itemref/@item}" /> }
+               into { $purchasers }"#;
+    assert!(matches!(p(q), Expr::Flwor { .. }));
+}
+
+#[test]
+fn paper_xmark8_variant_parses() {
+    // §4.3.
+    let q = r#"
+        for $p in $auction//person
+        let $a :=
+          for $t in $auction//closed_auction
+          where $t/buyer/@person = $p/@id
+          return (insert { <buyer person="{$t/buyer/@person}"
+                             itemid="{$t/itemref/@item}" /> }
+                  into { $purchasers }, $t)
+        return <item person="{ $p/name }">{ count($a) }</item>"#;
+    assert!(matches!(p(q), Expr::Flwor { .. }));
+}
+
+// ---------------------------------------------------------------------
+// Programs (prolog)
+// ---------------------------------------------------------------------
+
+#[test]
+fn paper_get_item_module_parses() {
+    // §2.2, with the logging extension.
+    let q = r#"
+declare function get_item($itemid, $userid) {
+  let $item := $auction//item[@id = $itemid]
+  return (
+    (::: Logging code :::)
+    let $name := $auction//person[@id = $userid]/name return
+    insert { <logentry user="{$name}" itemid="{$itemid}"/> }
+    into { $log },
+    (::: End logging code :::)
+    $item
+  )
+};
+get_item("item0", "person0")"#;
+    let prog = parse_program(q).unwrap();
+    assert_eq!(prog.declarations.len(), 1);
+    assert!(matches!(
+        &prog.declarations[0],
+        Declaration::Function { name, params, .. } if name == "get_item" && params.len() == 2
+    ));
+}
+
+#[test]
+fn paper_counter_module_parses() {
+    // §2.5.
+    let q = r#"
+declare variable $d := element counter { 0 };
+declare function nextid() as xs:integer {
+  snap { replace { $d/text() } with { $d + 1 },
+         $d }
+};
+nextid()"#;
+    let prog = parse_program(q).unwrap();
+    assert_eq!(prog.declarations.len(), 2);
+}
+
+#[test]
+fn typed_parameters_are_accepted_and_discarded() {
+    let q = r#"
+declare function f($a as xs:integer, $b as element()*) as xs:string? { "x" };
+f(1, ())"#;
+    let prog = parse_program(q).unwrap();
+    assert!(matches!(
+        &prog.declarations[0],
+        Declaration::Function { params, .. } if params.len() == 2
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+#[test]
+fn parse_errors() {
+    assert!(parse_expr("for $x in").is_err());
+    assert!(parse_expr("if ($c) then 1").is_err()); // missing else
+    assert!(parse_expr("<a>").is_err()); // unterminated
+    assert!(parse_expr("<a></b>").is_err()); // mismatched
+    assert!(parse_expr("insert { $x }").is_err()); // missing location
+    assert!(parse_expr("1 +").is_err());
+    assert!(parse_expr("$").is_err());
+    assert!(parse_expr("(1, 2").is_err());
+    assert!(parse_expr("1 2").is_err()); // trailing input
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let e = parse_expr("1 + $").unwrap_err();
+    assert!(e.position >= 4, "position {} should be at the bad token", e.position);
+}

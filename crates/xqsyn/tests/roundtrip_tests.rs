@@ -1,0 +1,101 @@
+//! Pretty-printer round-trip: for a corpus covering every core form whose
+//! printed syntax is reparseable, `print → parse → normalize` must be a
+//! fixpoint (the reparsed core tree equals the printed one). Guards the
+//! printer (used in plan rendering and diagnostics) against drifting from
+//! the grammar.
+
+use xqsyn::core::Core;
+use xqsyn::normalize::normalize;
+use xqsyn::parser::parse_expr;
+
+const CORPUS: &[&str] = &[
+    // literals & operators
+    "1",
+    "\"str\"",
+    "1 + 2 * 3",
+    "-(4)",
+    "1 to 5",
+    "$a | $b",
+    "$a = $b",
+    "$a eq $b",
+    "$a is $b",
+    "$a << $b",
+    "$a and ($b or $c)",
+    // FLWOR & binders
+    "for $x in $s return $x",
+    "for $x at $i in $s return $i",
+    "let $x := 1 return $x",
+    "for $x in $s where $x > 1 return $x",
+    "for $x in $s order by $x descending return $x",
+    "some $x in $s satisfies $x = 1",
+    "every $x in $s satisfies $x = 1",
+    "if ($c) then 1 else 2",
+    // paths
+    "$a/b/c",
+    "$a//b[@k = 1]",
+    "$a/@k",
+    "$a/text()",
+    "$a/parent::node()",
+    "$a/ancestor-or-self::*",
+    "$a/following::*",
+    "$a/preceding-sibling::b",
+    "$s[3]",
+    "$s[. > 2]",
+    // constructors (computed — direct constructors normalize to these)
+    "element e { 1, 2 }",
+    "attribute k { \"v\" }",
+    "text { \"t\" }",
+    "document { element r {} }",
+    "element { $n } { $c }",
+    // functions
+    "count($s)",
+    "concat(\"a\", \"b\", \"c\")",
+    // updates (printed in normalized form)
+    "insert { $x } into { $y }",
+    "insert { $x } as first into { $y }",
+    "insert { $x } before { $y }",
+    "insert { $x } after { $y }",
+    "delete { $x }",
+    "replace { $x } with { $y }",
+    "rename { $x } to { \"n\" }",
+    "copy { $x }",
+    "snap { delete { $x } }",
+    "snap ordered { 1 }",
+    "snap nondeterministic { 1 }",
+    "snap conflict-detection { 1 }",
+    // compositions
+    "snap { for $x in $s return insert { <a/> } into { $x } }",
+    "let $a := for $t in $u where $t/@k = $v/@k return $t return count($a)",
+];
+
+fn to_core(q: &str) -> Core {
+    normalize(&parse_expr(q).unwrap_or_else(|e| panic!("parse {q:?}: {e}")))
+}
+
+#[test]
+fn print_parse_normalize_is_a_fixpoint() {
+    for q in CORPUS {
+        let core = to_core(q);
+        let printed = core.to_string();
+        let reparsed = normalize(
+            &parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} (from {q:?}): {e}")),
+        );
+        let reprinted = reparsed.to_string();
+        assert_eq!(
+            printed, reprinted,
+            "print/parse not a fixpoint for {q:?}:\n  first:  {printed}\n  second: {reprinted}"
+        );
+    }
+}
+
+#[test]
+fn printed_form_is_semantically_stable() {
+    // One more round for safety: the second and third printings agree.
+    for q in CORPUS {
+        let p1 = to_core(q).to_string();
+        let p2 = to_core(&p1).to_string();
+        let p3 = to_core(&p2).to_string();
+        assert_eq!(p2, p3, "printing diverges for {q:?}");
+    }
+}

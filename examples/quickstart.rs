@@ -1,0 +1,56 @@
+//! Quickstart: load a document, query it, update it, observe snapshot
+//! semantics and an explicit `snap`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xquery_bang::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+
+    // 1. Load a document; it is bound to $library.
+    engine.load_document(
+        "library",
+        r#"<library>
+  <book id="b1"><title>A Relational Model</title><year>1970</year></book>
+  <book id="b2"><title>The Complexity of Joins</title><year>1982</year></book>
+</library>"#,
+    )?;
+
+    // 2. Plain XQuery 1.0: paths, FLWOR, aggregates.
+    let titles = engine.run(
+        "for $b in $library//book
+         where $b/year < 1980
+         order by $b/title
+         return string($b/title)",
+    )?;
+    println!("pre-1980 titles: {}", engine.serialize(&titles)?);
+
+    // 3. An update. Inside the query it is only *pending* (snapshot
+    //    semantics): the count still sees one pre-1980 book.
+    let during = engine.run(
+        "(insert { <book id=\"b3\"><title>Old Tome</title><year>1901</year></book> }
+          into { $library/library },
+          count($library//book[year < 1980]))",
+    )?;
+    println!("count during the query (update pending): {}", engine.serialize(&during)?);
+
+    // 4. After the query, the implicit top-level snap has applied the
+    //    insertion.
+    let after = engine.run("count($library//book[year < 1980])")?;
+    println!("count after the query: {}", engine.serialize(&after)?);
+
+    // 5. With an explicit snap, the query can see its own effect
+    //    immediately (the paper's key expressiveness gain).
+    let explicit = engine.run(
+        "(snap insert { <book id=\"b4\"><title>Fresh</title><year>2025</year></book> }
+          into { $library/library },
+          count($library//book))",
+    )?;
+    println!("count right after an explicit snap insert: {}", engine.serialize(&explicit)?);
+
+    // 6. The document, serialized back.
+    let doc = engine.run("$library")?;
+    println!("\nfinal document:\n{}", engine.serialize(&doc)?);
+    Ok(())
+}

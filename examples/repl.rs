@@ -1,0 +1,92 @@
+//! A tiny interactive XQuery! shell.
+//!
+//! Run with: `cargo run --example repl`
+//!
+//! Commands:
+//!   :load <var> <file>   parse an XML file and bind its document to $var
+//!   :xmark <var> <n>     bind an XMark document with n persons to $var
+//!   :plan <query>        show the optimizer's plan for a query
+//!   :quit                exit
+//! Anything else is evaluated as an XQuery! program. Updates persist in
+//! the session store between queries.
+
+use std::io::{BufRead, Write};
+use xmarkgen::{Scale, XmarkGen};
+use xquery_bang::xqalg::Compiler;
+use xquery_bang::{Engine, Item};
+
+fn main() {
+    let mut engine = Engine::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    println!("XQuery! shell — :load, :xmark, :plan, :quit");
+    loop {
+        print!("xq!> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix(":load ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(var), Some(path)) => match std::fs::read_to_string(path) {
+                    Ok(xml) => match engine.load_document(var, &xml) {
+                        Ok(_) => println!("bound ${var}"),
+                        Err(e) => eprintln!("parse error: {e}"),
+                    },
+                    Err(e) => eprintln!("cannot read {path}: {e}"),
+                },
+                _ => eprintln!("usage: :load <var> <file>"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":xmark ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok())) {
+                (Some(var), Some(n)) => {
+                    let scale = Scale::join_sides(n, n / 2);
+                    match XmarkGen::new(42).generate(&mut engine.store, &scale) {
+                        Ok(doc) => {
+                            engine.bind(var, vec![Item::Node(doc)]);
+                            println!("bound ${var} to an XMark document ({n} persons)");
+                        }
+                        Err(e) => eprintln!("generation failed: {e}"),
+                    }
+                }
+                _ => eprintln!("usage: :xmark <var> <persons>"),
+            }
+            continue;
+        }
+        if let Some(query) = line.strip_prefix(":plan ") {
+            match xquery_bang::xqsyn::compile(query) {
+                Ok(program) => {
+                    let plan = Compiler::new(&program).compile(&program.body);
+                    println!("{}", plan.render());
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        match engine.run(line) {
+            Ok(seq) => match engine.serialize(&seq) {
+                Ok(s) if s.is_empty() => println!("()"),
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("serialization error: {e}"),
+            },
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The three Δ-application semantics of §3.2 — ordered, nondeterministic,
+//! conflict-detection — demonstrated on the same update list, plus the
+//! paper's §3.4 nested-snap ordering example.
+//!
+//! Run with: `cargo run --example snap_semantics`
+
+use xquery_bang::Engine;
+
+fn fresh() -> Engine {
+    let mut e = Engine::new();
+    e.load_document("doc", "<x/>").unwrap();
+    e
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -------- ordered: Δ order is applied as written --------
+    let mut e = fresh();
+    e.run(
+        "snap ordered { insert { <a/> } into { $doc/x },
+                        insert { <b/> } into { $doc/x },
+                        insert { <c/> } into { $doc/x } }",
+    )?;
+    let names = e.run("for $n in $doc/x/* return name($n)")?;
+    println!("ordered:           {}", e.serialize(&names)?);
+
+    // -------- nondeterministic: an arbitrary permutation --------
+    println!("nondeterministic:  (3 runs with different seeds)");
+    for seed in [11, 17, 23] {
+        let mut e = Engine::new().with_seed(seed);
+        e.load_document("doc", "<x/>")?;
+        e.run(
+            "snap nondeterministic { insert { <a/> } into { $doc/x },
+                                     insert { <b/> } into { $doc/x },
+                                     insert { <c/> } into { $doc/x } }",
+        )?;
+        let names = e.run("for $n in $doc/x/* return name($n)")?;
+        println!("    seed {seed}: {}", e.serialize(&names)?);
+    }
+
+    // -------- conflict-detection: verification first --------
+    // Disjoint updates pass...
+    let mut e = Engine::new();
+    e.load_document("doc", "<x><a/><b/></x>")?;
+    e.run(
+        "snap conflict-detection { rename { $doc/x/a } to { \"a2\" },
+                                   delete { $doc/x/b } }",
+    )?;
+    let doc = e.run("$doc/x")?;
+    println!("conflict-free:     accepted -> {}", e.serialize(&doc)?);
+
+    // ...but order-dependent ones are rejected before anything applies.
+    let mut e = fresh();
+    let err = e
+        .run(
+            "snap conflict-detection { insert { <a/> } into { $doc/x },
+                                       insert { <b/> } into { $doc/x } }",
+        )
+        .unwrap_err();
+    println!("conflicting:       rejected -> {err}");
+    let count = e.run("count($doc/x/*)")?;
+    println!("                   store untouched, children = {}", e.serialize(&count)?);
+
+    // -------- the paper's §3.4 nested-snap example --------
+    let mut e = fresh();
+    e.run(
+        r#"let $x := $doc/x return
+           snap ordered { insert {<a/>} into $x,
+                          snap { insert {<b/>} into $x },
+                          insert {<c/>} into $x }"#,
+    )?;
+    let names = e.run("for $n in $doc/x/* return name($n)")?;
+    println!(
+        "nested snap (§3.4): {}   (inner snap closes first: b, then a c)",
+        e.serialize(&names)?
+    );
+    Ok(())
+}

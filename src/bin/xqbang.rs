@@ -1,0 +1,167 @@
+//! `xqbang` — command-line XQuery! runner.
+//!
+//! ```console
+//! $ xqbang query.xq                         # run a query file
+//! $ xqbang -q 'count(1 to 10)'              # run an inline query
+//! $ xqbang -d auction=site.xml query.xq     # bind $auction to a document
+//! $ xqbang --plan query.xq                  # print the optimizer's plan
+//! $ xqbang --xmark auction=0.01 query.xq    # bind a generated XMark doc
+//! ```
+//!
+//! Exit code 0 on success, 1 on any parse/evaluation error.
+
+use std::process::ExitCode;
+use xquery_bang::xmarkgen::{Scale, XmarkGen};
+use xquery_bang::xqalg::Compiler;
+use xquery_bang::{Engine, Item};
+
+struct Options {
+    query: Option<String>,
+    query_file: Option<String>,
+    documents: Vec<(String, String)>,
+    xmark: Vec<(String, f64)>,
+    show_plan: bool,
+    pretty: bool,
+    check_only: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: xqbang [OPTIONS] [QUERY_FILE]\n\
+     \n\
+     options:\n\
+       -q, --query <XQUERY>      run an inline query instead of a file\n\
+       -d, --doc <VAR>=<FILE>    parse FILE and bind its document to $VAR\n\
+       --xmark <VAR>=<FACTOR>    bind $VAR to a generated XMark document\n\
+       --plan                    print the compiled plan instead of running\n\
+       --pretty                  indent XML output\n\
+       --check                   static-check the query, do not run it\n\
+       -h, --help                this message"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        query: None,
+        query_file: None,
+        documents: Vec::new(),
+        xmark: Vec::new(),
+        show_plan: false,
+        pretty: false,
+        check_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(usage().to_string()),
+            "--plan" => opts.show_plan = true,
+            "--pretty" => opts.pretty = true,
+            "--check" => opts.check_only = true,
+            "-q" | "--query" => {
+                opts.query = Some(args.next().ok_or("missing argument for --query")?);
+            }
+            "-d" | "--doc" => {
+                let spec = args.next().ok_or("missing argument for --doc")?;
+                let (var, file) =
+                    spec.split_once('=').ok_or("expected --doc VAR=FILE")?;
+                opts.documents.push((var.to_string(), file.to_string()));
+            }
+            "--xmark" => {
+                let spec = args.next().ok_or("missing argument for --xmark")?;
+                let (var, factor) =
+                    spec.split_once('=').ok_or("expected --xmark VAR=FACTOR")?;
+                let factor: f64 =
+                    factor.parse().map_err(|_| format!("bad factor \"{factor}\""))?;
+                opts.xmark.push((var.to_string(), factor));
+            }
+            other if !other.starts_with('-') && opts.query_file.is_none() => {
+                opts.query_file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option \"{other}\"\n\n{}", usage())),
+        }
+    }
+    if opts.query.is_none() && opts.query_file.is_none() {
+        return Err(format!("no query given\n\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let query = match (&opts.query, &opts.query_file) {
+        (Some(q), _) => q.clone(),
+        (None, Some(f)) => {
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?
+        }
+        _ => unreachable!("checked in parse_args"),
+    };
+
+    let mut engine = Engine::new();
+    for (var, file) in &opts.documents {
+        let xml =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        engine.load_document(var, &xml).map_err(|e| format!("{file}: {e}"))?;
+    }
+    for (var, factor) in &opts.xmark {
+        let scale = Scale::factor(*factor);
+        let doc = XmarkGen::new(42)
+            .generate(&mut engine.store, &scale)
+            .map_err(|e| e.to_string())?;
+        engine.bind(var, vec![Item::Node(doc)]);
+    }
+
+    if opts.check_only {
+        let diags = engine.check(&query).map_err(|e| e.to_string())?;
+        if diags.is_empty() {
+            println!("ok: no findings");
+            return Ok(());
+        }
+        let mut had_error = false;
+        for d in &diags {
+            let sev = match d.severity {
+                xquery_bang::xqcore::Severity::Error => {
+                    had_error = true;
+                    "error"
+                }
+                xquery_bang::xqcore::Severity::Warning => "warning",
+            };
+            println!("{sev}[{}]: {}", d.code, d.message);
+        }
+        if had_error {
+            return Err(format!("{} finding(s)", diags.len()));
+        }
+        return Ok(());
+    }
+
+    if opts.show_plan {
+        let program = xquery_bang::xqsyn::compile(&query).map_err(|e| e.to_string())?;
+        let plan = Compiler::new(&program).compile(&program.body);
+        println!("{}", plan.render());
+        return Ok(());
+    }
+
+    let result = engine.run(&query).map_err(|e| e.to_string())?;
+    let rendered = if opts.pretty {
+        let mut parts = Vec::with_capacity(result.len());
+        for it in &result {
+            parts.push(match it {
+                Item::Node(n) => xquery_bang::xqdm::xml::serialize_pretty(&engine.store, *n)
+                    .map_err(|e| e.to_string())?,
+                Item::Atomic(a) => a.string_value(),
+            });
+        }
+        parts.join("\n")
+    } else {
+        engine.serialize(&result).map_err(|e| e.to_string())?
+    };
+    println!("{rendered}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Data-driven conformance corpus: one-line query → expected serialization,
+//! against a fixed document. The cheapest place to pin a behaviour or add
+//! a regression case — append a row.
+
+use xquery_bang::Engine;
+
+const DOC: &str = r#"<site>
+  <people>
+    <person id="p1" age="36"><name>Ada</name></person>
+    <person id="p2" age="41"><name>Bob</name></person>
+    <person id="p3" age="36"><name>Cyd</name></person>
+  </people>
+  <nums><n>3</n><n>1</n><n>2</n></nums>
+  <mixed>alpha <b>beta</b> gamma</mixed>
+</site>"#;
+
+/// (query, expected-serialization) pairs.
+const CASES: &[(&str, &str)] = &[
+    // -------- literals, arithmetic, logic --------
+    ("2 + 3 * 4", "14"),
+    ("(2 + 3) * 4", "20"),
+    ("10 idiv 3", "3"),
+    ("10 mod 3", "1"),
+    ("10 div 4", "2.5"),
+    ("-(2 + 3)", "-5"),
+    ("1.5e2", "150"),
+    ("\"a\" = \"a\"", "true"),
+    ("true() and false()", "false"),
+    ("true() or false()", "true"),
+    ("not(())", "true"),
+    ("() = ()", "false"),
+    ("(1, 2) != (1, 2)", "true"), // existential: 1 != 2
+    ("3 eq 3.0", "true"),
+    ("\"b\" gt \"a\"", "true"),
+    // -------- sequences --------
+    ("count(())", "0"),
+    ("count((1, (2, 3)))", "3"),
+    ("(1 to 3, 5)", "1 2 3 5"),
+    ("reverse(1 to 3)", "3 2 1"),
+    ("subsequence(1 to 10, 3, 2)", "3 4"),
+    ("distinct-values((1, 2, 1))", "1 2"),
+    ("string-join((\"x\", \"y\", \"z\"), \",\")", "x,y,z"),
+    ("head(1 to 5)", "1"),
+    ("tail(1 to 3)", "2 3"),
+    ("insert-before((\"a\", \"c\"), 2, \"b\")", "a b c"),
+    ("remove((\"a\", \"b\", \"c\"), 2)", "a c"),
+    ("index-of((5, 10, 5), 5)", "1 3"),
+    // -------- strings --------
+    ("upper-case(\"mixed\")", "MIXED"),
+    ("substring(\"conformance\", 4, 4)", "form"),
+    ("contains(\"conformance\", \"forma\")", "true"),
+    ("starts-with(\"abc\", \"ab\")", "true"),
+    ("ends-with(\"abc\", \"bc\")", "true"),
+    ("substring-before(\"key=value\", \"=\")", "key"),
+    ("substring-after(\"key=value\", \"=\")", "value"),
+    ("normalize-space(\" a   b \")", "a b"),
+    ("translate(\"abc\", \"ac\", \"xz\")", "xbz"),
+    ("string-length(\"héllo\")", "5"),
+    ("concat(\"a\", 1, true())", "a1true"),
+    // -------- numerics --------
+    ("abs(-7)", "7"),
+    ("floor(3.7)", "3"),
+    ("ceiling(3.2)", "4"),
+    ("round(3.5)", "4"),
+    ("sum(1 to 4)", "10"),
+    ("avg((2, 4))", "3"),
+    ("min((3, 1, 2))", "1"),
+    ("max((3, 1, 2))", "3"),
+    ("number(\"5\") + 5", "10"),
+    ("xs:integer(\"08\")", "8"),
+    // -------- FLWOR & quantifiers --------
+    ("for $i in 1 to 3 return $i * $i", "1 4 9"),
+    ("for $i at $p in (\"a\", \"b\") return $p", "1 2"),
+    ("let $s := 1 to 4 return count($s)", "4"),
+    ("for $i in 1 to 6 where $i mod 3 = 0 return $i", "3 6"),
+    ("for $i in (3, 1, 2) order by $i return $i", "1 2 3"),
+    ("for $i in (3, 1, 2) order by $i descending return $i", "3 2 1"),
+    ("some $i in 1 to 5 satisfies $i * $i = 16", "true"),
+    ("every $i in 1 to 5 satisfies $i < 6", "true"),
+    ("if (2 > 1) then \"yes\" else \"no\"", "yes"),
+    // -------- paths over $doc --------
+    ("count($doc//person)", "3"),
+    ("string($doc//person[1]/name)", "Ada"),
+    ("string($doc//person[@id = \"p3\"]/name)", "Cyd"),
+    ("count($doc//person[@age = 36])", "2"),
+    ("$doc//person[last()]/name", "<name>Cyd</name>"),
+    ("count($doc//@id)", "3"),
+    ("name($doc//name[text() = \"Bob\"]/..)", "person"),
+    ("sum($doc//n)", "6"),
+    ("for $n in $doc//nums/n order by xs:integer($n) return string($n)", "1 2 3"),
+    ("string($doc//mixed)", "alpha beta gamma"),
+    ("count($doc//mixed/node())", "3"),
+    ("count($doc//person/following-sibling::person)", "2"),
+    ("name(($doc//b)[1]/preceding::person[1])", "person"),
+    ("count($doc//person | $doc//n)", "6"),
+    ("count($doc//person intersect $doc//person[@age = 36])", "2"),
+    ("count($doc//person except $doc//person[2])", "2"),
+    // -------- unicode (regression: UTF-8 in literals/AVTs) --------
+    ("string-length(\"naïve\")", "5"),
+    ("<t v=\"schön\"/>", "<t v=\"schön\"/>"),
+    ("upper-case(\"héllo\")", "HÉLLO"),
+    // -------- constructors --------
+    ("<x>{1 + 1}</x>", "<x>2</x>"),
+    ("<x a=\"{1 + 1}\"/>", "<x a=\"2\"/>"),
+    ("element y { attribute k { \"v\" } }", "<y k=\"v\"/>"),
+    ("string(text { \"plain\" })", "plain"),
+    ("serialize(<a><b/></a>)", "<a><b/></a>"),
+    ("count(parse-xml(\"<a><b/><b/></a>\")//b)", "2"),
+    ("deep-equal(<a>1</a>, <a>1</a>)", "true"),
+    // -------- updates & snap (value-level observations) --------
+    ("count((delete { $doc//person[1] }, $doc//person))", "3"), // pending
+    ("snap { 40 + 2 }", "42"),
+    ("count((snap insert { <person id=\"p4\"/> } into { ($doc//people)[1] }, $doc//person))", "4"),
+    ("let $c := copy { ($doc//person)[1] } return ($c is ($doc//person)[1])", "false"),
+    ("string(copy { ($doc//name)[1] })", "Ada"),
+];
+
+#[test]
+fn conformance_corpus() {
+    let mut failures = Vec::new();
+    for (query, expected) in CASES {
+        if *expected == "__SKIP__" {
+            continue;
+        }
+        // Fresh engine per case: update cases must not leak.
+        let mut e = Engine::new();
+        e.load_document("doc", DOC).unwrap();
+        match e.run(query) {
+            Ok(v) => {
+                let got = e.serialize(&v).unwrap();
+                if got != *expected {
+                    failures.push(format!("{query}\n  expected: {expected}\n  got:      {got}"));
+                }
+            }
+            Err(err) => failures.push(format!("{query}\n  expected: {expected}\n  error:    {err}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

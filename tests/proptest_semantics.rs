@@ -1,0 +1,251 @@
+//! Property-based tests on the language semantics.
+//!
+//! * **Conflict-freedom means permutation-independence** — the defining
+//!   property of §3.2's conflict-detection mode: if verification accepts a
+//!   Δ, applying any permutation of it yields the same store.
+//! * **Snapshot invisibility** — a pure read evaluated alongside pending
+//!   updates sees the pre-state, whatever the updates are.
+//! * **snap transparency for values** — `snap { e }` has `e`'s value for
+//!   effect-free `e`.
+//! * **Arithmetic/comparison algebraic properties** through the full
+//!   parser+evaluator pipeline.
+
+use proptest::prelude::*;
+use xquery_bang::xqcore::update::{Delta, UpdateRequest};
+use xquery_bang::xqcore::{apply_delta, verify_conflict_free, SnapMode};
+use xquery_bang::xqdm::store::InsertAnchor;
+use xquery_bang::xqdm::{QName, Store};
+use xquery_bang::Engine;
+
+fn run(q: &str) -> String {
+    let mut e = Engine::new();
+    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?}: {err}"));
+    e.serialize(&r).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Conflict-freedom <=> permutation independence
+// ---------------------------------------------------------------------
+
+/// A random Δ over a small fixed arena: a root with `k` attached children
+/// plus `k` detached spares; requests pick targets by index.
+#[derive(Debug, Clone)]
+enum Req {
+    Rename { target: usize, name: u8 },
+    Delete { target: usize },
+    InsertAfter { spare: usize, anchor: usize },
+    InsertLast { spare: usize },
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    prop_oneof![
+        (any::<usize>(), 0u8..6).prop_map(|(target, name)| Req::Rename { target, name }),
+        any::<usize>().prop_map(|target| Req::Delete { target }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(spare, anchor)| Req::InsertAfter { spare, anchor }),
+        any::<usize>().prop_map(|spare| Req::InsertLast { spare }),
+    ]
+}
+
+const ARENA: usize = 6;
+
+fn build_arena(store: &mut Store) -> (xquery_bang::xqdm::NodeId, Vec<xquery_bang::xqdm::NodeId>, Vec<xquery_bang::xqdm::NodeId>) {
+    let root = store.new_element(QName::local("root"));
+    let children: Vec<_> = (0..ARENA)
+        .map(|i| {
+            let c = store.new_element(QName::local(format!("c{i}")));
+            store.append_child(root, c).unwrap();
+            c
+        })
+        .collect();
+    let spares: Vec<_> =
+        (0..ARENA).map(|i| store.new_element(QName::local(format!("s{i}")))).collect();
+    (root, children, spares)
+}
+
+fn materialize(reqs: &[Req], store: &mut Store) -> (xquery_bang::xqdm::NodeId, Delta) {
+    let (root, children, spares) = build_arena(store);
+    let mut delta = Delta::new();
+    let mut used_spares = std::collections::HashSet::new();
+    for r in reqs {
+        match r {
+            Req::Rename { target, name } => delta.push(UpdateRequest::Rename {
+                node: children[target % ARENA],
+                name: QName::local(format!("n{name}")),
+            }),
+            Req::Delete { target } => {
+                delta.push(UpdateRequest::Delete { node: children[target % ARENA] })
+            }
+            Req::InsertAfter { spare, anchor } => {
+                if used_spares.insert(spare % ARENA) {
+                    delta.push(UpdateRequest::Insert {
+                        nodes: vec![spares[spare % ARENA]],
+                        parent: root,
+                        anchor: InsertAnchor::After(children[anchor % ARENA]),
+                    });
+                }
+            }
+            Req::InsertLast { spare } => {
+                if used_spares.insert(spare % ARENA) {
+                    delta.push(UpdateRequest::Insert {
+                        nodes: vec![spares[spare % ARENA]],
+                        parent: root,
+                        anchor: InsertAnchor::Last,
+                    });
+                }
+            }
+        }
+    }
+    (root, delta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn conflict_free_deltas_are_permutation_independent(
+        reqs in proptest::collection::vec(req_strategy(), 0..10),
+        seeds in proptest::collection::vec(any::<u64>(), 3)
+    ) {
+        // Reference: ordered application.
+        let mut s0 = Store::new();
+        let (root0, delta0) = materialize(&reqs, &mut s0);
+        if verify_conflict_free(&delta0).is_err() {
+            // Not conflict-free: nothing to check (the converse direction —
+            // that rejected deltas really are order-dependent — does not
+            // hold; the rules are sound, not complete).
+            return Ok(());
+        }
+        apply_delta(&mut s0, delta0, SnapMode::Ordered, 0).unwrap();
+        let reference = xquery_bang::xqdm::xml::serialize(&s0, root0).unwrap();
+
+        // Any shuffled application must match.
+        for &seed in &seeds {
+            let mut s = Store::new();
+            let (root, delta) = materialize(&reqs, &mut s);
+            apply_delta(&mut s, delta, SnapMode::Nondeterministic, seed).unwrap();
+            prop_assert_eq!(
+                xquery_bang::xqdm::xml::serialize(&s, root).unwrap(),
+                reference.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_detection_mode_matches_ordered_when_accepted(
+        reqs in proptest::collection::vec(req_strategy(), 0..10),
+    ) {
+        let mut s1 = Store::new();
+        let (root1, delta1) = materialize(&reqs, &mut s1);
+        let mut s2 = Store::new();
+        let (root2, delta2) = materialize(&reqs, &mut s2);
+        let cd = apply_delta(&mut s2, delta2, SnapMode::ConflictDetection, 0);
+        if cd.is_ok() {
+            apply_delta(&mut s1, delta1, SnapMode::Ordered, 0).unwrap();
+            prop_assert_eq!(
+                xquery_bang::xqdm::xml::serialize(&s1, root1).unwrap(),
+                xquery_bang::xqdm::xml::serialize(&s2, root2).unwrap()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Language-level properties through the full pipeline
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn integer_arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assert_eq!(run(&format!("{a} + {b}")), (a + b).to_string());
+        prop_assert_eq!(run(&format!("{a} * {b}")), (a * b).to_string());
+        prop_assert_eq!(run(&format!("({a}) - ({b})")), (a - b).to_string());
+        if b != 0 {
+            prop_assert_eq!(run(&format!("({a}) idiv ({b})")), (a / b).to_string());
+            prop_assert_eq!(run(&format!("({a}) mod ({b})")), (a % b).to_string());
+        }
+    }
+
+    #[test]
+    fn comparison_trichotomy(a in -100i64..100, b in -100i64..100) {
+        let lt = run(&format!("{a} < {b}")) == "true";
+        let eq = run(&format!("{a} = {b}")) == "true";
+        let gt = run(&format!("{a} > {b}")) == "true";
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+    }
+
+    #[test]
+    fn range_count_and_sum(a in 1i64..50, len in 0i64..50) {
+        let b = a + len - 1;
+        prop_assert_eq!(run(&format!("count({a} to {b})")), len.max(0).to_string());
+        let expected: i64 = (a..=b).sum();
+        prop_assert_eq!(run(&format!("sum({a} to {b})")), expected.to_string());
+    }
+
+    #[test]
+    fn reverse_is_involutive(xs in proptest::collection::vec(-100i64..100, 0..12)) {
+        let seq = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        let forward = run(&format!("({seq})"));
+        let double = run(&format!("reverse(reverse(({seq})))"));
+        prop_assert_eq!(forward, double);
+    }
+
+    #[test]
+    fn snap_is_value_transparent_for_pure_bodies(xs in proptest::collection::vec(-100i64..100, 0..8)) {
+        let seq = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        prop_assert_eq!(
+            run(&format!("(snap {{ ({seq}) }})")),
+            run(&format!("({seq})"))
+        );
+    }
+
+    #[test]
+    fn pending_updates_never_change_the_current_snapshot(n in 1usize..20) {
+        // Whatever pending inserts accumulate, a read in the same scope
+        // sees the original store.
+        let mut e = Engine::new();
+        e.load_document("doc", "<x><k/></x>").unwrap();
+        let inserts = (0..n)
+            .map(|_| "insert { <y/> } into { $doc/x }".to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let r = e.run(&format!("({inserts}, count($doc/x/*))")).unwrap();
+        prop_assert_eq!(e.serialize(&r).unwrap(), "1");
+        // And after the program, all n inserts are applied.
+        let r = e.run("count($doc/x/*)").unwrap();
+        prop_assert_eq!(e.serialize(&r).unwrap(), (n + 1).to_string());
+    }
+
+    #[test]
+    fn for_loop_matches_flat_expansion(xs in proptest::collection::vec(0i64..50, 0..10)) {
+        let seq = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        let looped = run(&format!("for $x in ({seq}) return $x * 2"));
+        let expected =
+            xs.iter().map(|x| (x * 2).to_string()).collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(looped, expected);
+    }
+
+    #[test]
+    fn order_by_sorts(xs in proptest::collection::vec(-100i64..100, 0..12)) {
+        let seq = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        let sorted_q = run(&format!("for $x in ({seq}) order by $x return $x"));
+        let mut expected = xs.clone();
+        expected.sort();
+        prop_assert_eq!(
+            sorted_q,
+            expected.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+        );
+    }
+
+    #[test]
+    fn string_functions_respect_rust_semantics(s in "[a-z]{0,12}", t in "[a-z]{0,4}") {
+        prop_assert_eq!(run(&format!("contains(\"{s}\", \"{t}\")")), s.contains(&t).to_string());
+        prop_assert_eq!(
+            run(&format!("string-length(\"{s}\")")),
+            s.chars().count().to_string()
+        );
+        prop_assert_eq!(run(&format!("upper-case(\"{s}\")")), s.to_uppercase());
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests on the store's core invariants.
+//!
+//! Strategy: generate random *scripts* of store operations (build, detach,
+//! move, copy, rename), execute them, and check the structural invariants
+//! the paper's semantics relies on after every script:
+//!
+//! * parent/child links are mutually consistent;
+//! * document order is a strict total order consistent with the tree;
+//! * detached nodes remain alive and queryable (detach semantics);
+//! * deep copies are structurally equal but disjoint in identity;
+//! * reachability accounting adds up.
+
+use proptest::prelude::*;
+use xquery_bang::xqdm::item::deep_equal_nodes;
+use xquery_bang::xqdm::store::InsertAnchor;
+use xquery_bang::xqdm::{NodeId, QName, Store};
+
+/// One scripted operation, with indices resolved modulo the live node set.
+#[derive(Debug, Clone)]
+enum Op {
+    NewElement(u8),
+    NewText(String),
+    AppendChild { parent: usize, child: usize },
+    Detach(usize),
+    Rename { node: usize, name: u8 },
+    DeepCopy(usize),
+    MoveAfter { node: usize, anchor: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..20).prop_map(Op::NewElement),
+        "[a-z]{0,6}".prop_map(Op::NewText),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(parent, child)| Op::AppendChild { parent, child }),
+        any::<usize>().prop_map(Op::Detach),
+        (any::<usize>(), 0u8..20).prop_map(|(node, name)| Op::Rename { node, name }),
+        any::<usize>().prop_map(Op::DeepCopy),
+        (any::<usize>(), any::<usize>()).prop_map(|(node, anchor)| Op::MoveAfter {
+            node,
+            anchor
+        }),
+    ]
+}
+
+/// Execute a script, ignoring operations whose preconditions fail (the
+/// store must reject them gracefully, never corrupt state).
+fn run_script(ops: &[Op]) -> (Store, Vec<NodeId>) {
+    let mut store = Store::new();
+    let mut nodes: Vec<NodeId> = vec![store.new_element(QName::local("root"))];
+    for op in ops {
+        let pick = |i: usize| nodes[i % nodes.len()];
+        match op {
+            Op::NewElement(n) => nodes.push(store.new_element(QName::local(format!("e{n}")))),
+            Op::NewText(t) => nodes.push(store.new_text(t.clone())),
+            Op::AppendChild { parent, child } => {
+                let (p, c) = (pick(*parent), pick(*child));
+                let _ = store.append_child(p, c);
+            }
+            Op::Detach(n) => {
+                let _ = store.detach(pick(*n));
+            }
+            Op::Rename { node, name } => {
+                let _ = store.apply_rename(pick(*node), QName::local(format!("r{name}")));
+            }
+            Op::DeepCopy(n) => {
+                if let Ok(c) = store.deep_copy(pick(*n)) {
+                    nodes.push(c);
+                }
+            }
+            Op::MoveAfter { node, anchor } => {
+                let (n, a) = (pick(*node), pick(*anchor));
+                if n != a && store.parent(a).ok().flatten().is_some() {
+                    let parent = store.parent(a).unwrap().unwrap();
+                    if store.detach(n).is_ok() {
+                        let _ = store.apply_insert(&[n], parent, InsertAnchor::After(a));
+                    }
+                }
+            }
+        }
+    }
+    (store, nodes)
+}
+
+/// Every node is alive, and parent/child links agree both ways.
+fn check_link_consistency(store: &Store, nodes: &[NodeId]) {
+    for &n in nodes {
+        assert!(store.is_alive(n));
+        if let Some(p) = store.parent(n).unwrap() {
+            let in_children = store.children(p).unwrap().contains(&n);
+            let in_attrs = store.attributes(p).unwrap().contains(&n);
+            assert!(in_children || in_attrs, "{n} has parent {p} but is not its child");
+        }
+        for &c in store.children(n).unwrap() {
+            assert_eq!(store.parent(c).unwrap(), Some(n), "child {c} of {n} disagrees");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scripts_preserve_link_consistency(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let (store, nodes) = run_script(&ops);
+        check_link_consistency(&store, &nodes);
+    }
+
+    #[test]
+    fn no_cycles_ever(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let (store, nodes) = run_script(&ops);
+        // Walking up from any node terminates (in at most |nodes| steps).
+        for &n in &nodes {
+            let mut cur = n;
+            let mut steps = 0;
+            while let Some(p) = store.parent(cur).unwrap() {
+                cur = p;
+                steps += 1;
+                prop_assert!(steps <= nodes.len() + 1, "parent cycle at {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn document_order_is_total_and_consistent(
+        ops in proptest::collection::vec(op_strategy(), 0..60)
+    ) {
+        let (store, nodes) = run_script(&ops);
+        // Antisymmetry + totality over a sample of pairs.
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i..] {
+                let ab = store.cmp_doc_order(a, b).unwrap();
+                let ba = store.cmp_doc_order(b, a).unwrap();
+                prop_assert_eq!(ab, ba.reverse());
+                if a == b {
+                    prop_assert_eq!(ab, std::cmp::Ordering::Equal);
+                } else {
+                    prop_assert_ne!(ab, std::cmp::Ordering::Equal);
+                }
+            }
+        }
+        // Consistency: a parent precedes its children.
+        for &n in &nodes {
+            for &c in store.children(n).unwrap() {
+                prop_assert_eq!(store.cmp_doc_order(n, c).unwrap(), std::cmp::Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_and_dedup_is_idempotent_and_ordered(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        picks in proptest::collection::vec(any::<usize>(), 0..30)
+    ) {
+        let (store, nodes) = run_script(&ops);
+        let mut v: Vec<NodeId> = picks.iter().map(|&i| nodes[i % nodes.len()]).collect();
+        store.sort_and_dedup(&mut v).unwrap();
+        // Sorted strictly ascending => no duplicates.
+        for w in v.windows(2) {
+            prop_assert_eq!(
+                store.cmp_doc_order(w[0], w[1]).unwrap(),
+                std::cmp::Ordering::Less
+            );
+        }
+        // Idempotent.
+        let mut again = v.clone();
+        store.sort_and_dedup(&mut again).unwrap();
+        prop_assert_eq!(v, again);
+    }
+
+    #[test]
+    fn deep_copy_is_equal_but_disjoint(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        pick in any::<usize>()
+    ) {
+        let (mut store, nodes) = run_script(&ops);
+        let src = nodes[pick % nodes.len()];
+        let copy = store.deep_copy(src).unwrap();
+        prop_assert!(deep_equal_nodes(src, copy, &store).unwrap());
+        prop_assert!(store.parent(copy).unwrap().is_none());
+        // Identity-disjoint: no copied descendant equals a source node id.
+        let src_set: std::collections::HashSet<_> =
+            store.descendants(src).unwrap().into_iter().chain([src]).collect();
+        for d in store.descendants(copy).unwrap().into_iter().chain([copy]) {
+            prop_assert!(!src_set.contains(&d));
+        }
+    }
+
+    #[test]
+    fn reachability_accounting_adds_up(
+        ops in proptest::collection::vec(op_strategy(), 0..60)
+    ) {
+        let (store, nodes) = run_script(&ops);
+        let stats = store.stats(&nodes[..1]).unwrap();
+        prop_assert_eq!(stats.reachable + stats.garbage, stats.alive);
+        // Rooting everything makes garbage vanish.
+        let all = store.stats(&nodes).unwrap();
+        prop_assert_eq!(all.garbage, 0);
+    }
+
+    #[test]
+    fn detached_nodes_stay_queryable(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        pick in any::<usize>()
+    ) {
+        let (mut store, nodes) = run_script(&ops);
+        let n = nodes[pick % nodes.len()];
+        let before = store.string_value(n).unwrap();
+        store.detach(n).unwrap();
+        // Paper §3.1: detach does not erase.
+        prop_assert!(store.is_alive(n));
+        prop_assert_eq!(store.string_value(n).unwrap(), before);
+        prop_assert_eq!(store.parent(n).unwrap(), None);
+    }
+
+    #[test]
+    fn serialization_round_trips(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let (store, nodes) = run_script(&ops);
+        // Serialize each root and re-parse: string values must survive.
+        for &n in &nodes {
+            if store.parent(n).unwrap().is_none() {
+                if let Ok(xml) = xquery_bang::xqdm::xml::serialize(&store, n) {
+                    if xml.starts_with('<') && !xml.is_empty() {
+                        let mut s2 = Store::new();
+                        if let Ok(frag) = xquery_bang::xqdm::xml::parse_fragment(&mut s2, &xml) {
+                            let sv: String = frag
+                                .iter()
+                                .map(|&f| s2.string_value(f).unwrap())
+                                .collect();
+                            prop_assert_eq!(sv, store.string_value(n).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
