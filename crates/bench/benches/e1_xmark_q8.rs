@@ -17,7 +17,10 @@ use xqbench::{xmark_fixture, Q8_VARIANT};
 fn bench_q8(c: &mut Criterion) {
     let program = xqsyn::compile(Q8_VARIANT).expect("compile Q8");
     let mut group = c.benchmark_group("e1_xmark_q8");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for n in [50usize, 100, 200] {
         let scale = Scale::join_sides(n, n / 2);

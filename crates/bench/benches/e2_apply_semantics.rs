@@ -17,7 +17,10 @@ use xqdm::Store;
 
 fn bench_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_apply_semantics");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for k in [100usize, 1_000, 10_000] {
         group.throughput(Throughput::Elements(k as u64));
@@ -47,8 +50,7 @@ fn bench_apply(c: &mut Criterion) {
                     (store, delta)
                 },
                 |(mut store, delta)| {
-                    apply_delta(&mut store, delta, SnapMode::ConflictDetection, 42)
-                        .expect("apply")
+                    apply_delta(&mut store, delta, SnapMode::ConflictDetection, 42).expect("apply")
                 },
                 criterion::BatchSize::LargeInput,
             );

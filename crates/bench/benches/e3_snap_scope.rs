@@ -23,7 +23,10 @@ fn engine_with_log() -> Engine {
 
 fn bench_snap_scope(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_snap_scope");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for n in [100usize, 1_000, 5_000] {
         group.throughput(Throughput::Elements(n as u64));

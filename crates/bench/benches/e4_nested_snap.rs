@@ -20,7 +20,10 @@ fn nested_snap_query(depth: usize) -> String {
 
 fn bench_nested(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_nested_snap");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for depth in [1usize, 16, 64, 128] {
         group.throughput(Throughput::Elements(depth as u64));

@@ -25,7 +25,10 @@ fn engine_with_tree(t: usize) -> Engine {
 
 fn bench_copy(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_copy_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for t in [10usize, 100, 1_000, 10_000] {
         group.throughput(Throughput::Elements(t as u64));
@@ -36,13 +39,17 @@ fn bench_copy(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
-        group.bench_with_input(BenchmarkId::new("insert-with-implicit-copy", t), &t, |b, &t| {
-            b.iter_batched(
-                || engine_with_tree(t),
-                |mut e| e.run("insert { $src } into { $dst }").expect("insert"),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert-with-implicit-copy", t),
+            &t,
+            |b, &t| {
+                b.iter_batched(
+                    || engine_with_tree(t),
+                    |mut e| e.run("insert { $src } into { $dst }").expect("insert"),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
         group.bench_with_input(BenchmarkId::new("reference-only", t), &t, |b, &t| {
             b.iter_batched(
                 || engine_with_tree(t),

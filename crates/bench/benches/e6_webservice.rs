@@ -49,8 +49,15 @@ get_item("item3", "person1")"#;
 
 fn service_engine() -> Engine {
     let mut e = Engine::new();
-    let scale = Scale { persons: 50, items: 40, closed_auctions: 20, open_auctions: 10 };
-    let auction = XmarkGen::new(6).generate(&mut e.store, &scale).expect("xmark");
+    let scale = Scale {
+        persons: 50,
+        items: 40,
+        closed_auctions: 20,
+        open_auctions: 10,
+    };
+    let auction = XmarkGen::new(6)
+        .generate(&mut e.store, &scale)
+        .expect("xmark");
     e.bind("auction", vec![Item::Node(auction)]);
     e.load_document("log", "<log/>").unwrap();
     e
@@ -58,7 +65,10 @@ fn service_engine() -> Engine {
 
 fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_webservice");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for (label, query) in [
         ("plain-xquery10", GET_ITEM_PLAIN),

@@ -32,7 +32,10 @@ fn detach_heavy_store(n: usize) -> (Store, NodeId) {
 
 fn bench_gc(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_detach_gc");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for n in [1_000usize, 10_000, 50_000] {
         group.throughput(Throughput::Elements(n as u64));

@@ -32,22 +32,29 @@ fn bench_guard(c: &mut Criterion) {
     ));
 
     let mut group = c.benchmark_group("e8_purity_guard");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for n in [50usize, 100, 200] {
         let scale = Scale::join_sides(n, n / 2);
-        group.bench_with_input(BenchmarkId::new("insert-rewritten", n), &scale, |b, scale| {
-            b.iter_batched(
-                || xmark_fixture(8, scale),
-                |(mut store, bindings)| {
-                    let (v, optimized) =
-                        run_optimized(&plain, &mut store, &bindings, 0).expect("plain");
-                    assert!(optimized);
-                    v
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert-rewritten", n),
+            &scale,
+            |b, scale| {
+                b.iter_batched(
+                    || xmark_fixture(8, scale),
+                    |(mut store, bindings)| {
+                        let (v, optimized) =
+                            run_optimized(&plain, &mut store, &bindings, 0).expect("plain");
+                        assert!(optimized);
+                        v
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("snap-insert-fallback", n),
             &scale,

@@ -36,16 +36,23 @@ fn wide_tree(fanout: usize) -> (Store, Vec<NodeId>) {
 
 fn bench_doc_order(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_doc_order");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for fanout in [100usize, 1_000, 10_000] {
         let (store, kids) = wide_tree(fanout);
         // Compare nodes from the middle of the list (worst case for scan).
         let a = kids[fanout / 2 - 1];
         let b = kids[fanout / 2];
-        group.bench_with_input(BenchmarkId::new("cmp-gap-keys", fanout), &fanout, |bch, _| {
-            bch.iter(|| store.cmp_doc_order(a, b).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cmp-gap-keys", fanout),
+            &fanout,
+            |bch, _| {
+                bch.iter(|| store.cmp_doc_order(a, b).unwrap());
+            },
+        );
         group.bench_with_input(BenchmarkId::new("cmp-scan", fanout), &fanout, |bch, _| {
             bch.iter(|| store.cmp_doc_order_scan(a, b).unwrap());
         });

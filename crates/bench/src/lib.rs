@@ -38,7 +38,9 @@ return <item person="{ $p/name }">{ count($a) }</item>"#;
 /// `(store, bindings)` ready for `xqalg::run_naive`/`run_optimized`.
 pub fn xmark_fixture(seed: u64, scale: &Scale) -> (Store, Vec<(String, Sequence)>) {
     let mut store = Store::new();
-    let auction = XmarkGen::new(seed).generate(&mut store, scale).expect("generate xmark");
+    let auction = XmarkGen::new(seed)
+        .generate(&mut store, scale)
+        .expect("generate xmark");
     let purchasers = store.new_element(QName::local("purchasers"));
     (
         store,
@@ -56,7 +58,10 @@ pub fn renames_delta(store: &mut Store, k: usize) -> Delta {
     (0..k)
         .map(|i| {
             let n = store.new_element(QName::local(format!("n{i}")));
-            UpdateRequest::Rename { node: n, name: QName::local(format!("r{i}")) }
+            UpdateRequest::Rename {
+                node: n,
+                name: QName::local(format!("r{i}")),
+            }
         })
         .collect()
 }
@@ -86,8 +91,14 @@ pub fn chained_inserts_delta(store: &mut Store, k: usize) -> (NodeId, Delta) {
 pub fn conflicting_delta(store: &mut Store, k: usize) -> Delta {
     let mut delta = renames_delta(store, k);
     let victim = store.new_element(QName::local("victim"));
-    delta.push(UpdateRequest::Rename { node: victim, name: QName::local("a") });
-    delta.push(UpdateRequest::Rename { node: victim, name: QName::local("b") });
+    delta.push(UpdateRequest::Rename {
+        node: victim,
+        name: QName::local("a"),
+    });
+    delta.push(UpdateRequest::Rename {
+        node: victim,
+        name: QName::local("b"),
+    });
     delta
 }
 

@@ -9,6 +9,12 @@
 //!   ([`crate::conflict::verify_conflict_free`]), then order-independent
 //!   application (we use Δ order, which by verification is equivalent to
 //!   any other).
+//!
+//! Application is **atomic** in every mode: each call runs inside a store
+//! undo frame ([`Store::begin_frame`]), and when any request fails its
+//! precondition the frame is rolled back before the error propagates, so
+//! the paper's `apply Δ to store0` judgment either produces the updated
+//! store or leaves `store0` untouched — never a prefix of Δ.
 
 use crate::conflict::verify_conflict_free;
 use crate::update::Delta;
@@ -19,34 +25,35 @@ use xqdm::{Store, XdmResult};
 
 pub use xqsyn::ast::SnapMode;
 
-/// Apply `delta` to `store` under the given snap mode. `seed` drives the
-/// nondeterministic permutation (callers typically thread a per-engine
-/// counter through so successive snaps use different permutations).
+/// Apply `delta` to `store` under the given snap mode, atomically: on
+/// error the store is rolled back to its state at the call. `seed` drives
+/// the nondeterministic permutation (callers thread a per-engine counter
+/// through so successive snaps use different permutations).
 pub fn apply_delta(store: &mut Store, delta: Delta, mode: SnapMode, seed: u64) -> XdmResult<()> {
-    match mode {
-        SnapMode::Ordered => {
-            for req in delta.requests() {
-                req.apply(store)?;
-            }
-            Ok(())
-        }
+    // Conflict verification reads only the Δ, never the store, so it runs
+    // before the frame opens; a rejected Δ costs no journal traffic.
+    if mode == SnapMode::ConflictDetection {
+        verify_conflict_free(&delta)?;
+    }
+    let requests = match mode {
         SnapMode::Nondeterministic => {
             let mut requests = delta.into_requests();
             let mut rng = StdRng::seed_from_u64(seed);
             requests.shuffle(&mut rng);
-            for req in &requests {
-                req.apply(store)?;
-            }
-            Ok(())
+            requests
         }
-        SnapMode::ConflictDetection => {
-            verify_conflict_free(&delta)?;
-            for req in delta.requests() {
-                req.apply(store)?;
-            }
-            Ok(())
+        SnapMode::Ordered | SnapMode::ConflictDetection => delta.into_requests(),
+    };
+    store.begin_frame();
+    store.journal_reserve(requests.len());
+    for req in &requests {
+        if let Err(e) = req.apply(store) {
+            store.rollback_frame();
+            return Err(e);
         }
     }
+    store.commit_frame();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -104,8 +111,16 @@ mod tests {
         let a = s.new_element(QName::local("a"));
         let b = s.new_element(QName::local("b"));
         let mut d = Delta::new();
-        d.push(UpdateRequest::Insert { nodes: vec![a], parent: p, anchor: InsertAnchor::Last });
-        d.push(UpdateRequest::Insert { nodes: vec![b], parent: p, anchor: InsertAnchor::Last });
+        d.push(UpdateRequest::Insert {
+            nodes: vec![a],
+            parent: p,
+            anchor: InsertAnchor::Last,
+        });
+        d.push(UpdateRequest::Insert {
+            nodes: vec![b],
+            parent: p,
+            anchor: InsertAnchor::Last,
+        });
         let err = apply_delta(&mut s, d, SnapMode::ConflictDetection, 0).unwrap_err();
         assert_eq!(err.code, "XQB0010");
         // Verification failed => nothing was applied.
@@ -118,8 +133,9 @@ mod tests {
         // result, so nondeterministic mode must succeed for any seed.
         for seed in 0..8 {
             let mut s = Store::new();
-            let nodes: Vec<_> =
-                (0..6).map(|i| s.new_element(QName::local(format!("n{i}")))).collect();
+            let nodes: Vec<_> = (0..6)
+                .map(|i| s.new_element(QName::local(format!("n{i}"))))
+                .collect();
             let d: Delta = nodes
                 .iter()
                 .enumerate()
@@ -166,6 +182,10 @@ mod tests {
                 .collect();
             seen.insert(order.join(","));
         }
-        assert_eq!(seen.len(), 2, "expected both application orders, saw {seen:?}");
+        assert_eq!(
+            seen.len(),
+            2,
+            "expected both application orders, saw {seen:?}"
+        );
     }
 }

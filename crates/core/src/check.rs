@@ -37,11 +37,19 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     fn error(code: &'static str, message: String) -> Self {
-        Diagnostic { severity: Severity::Error, code, message }
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message,
+        }
     }
 
     fn warning(code: &'static str, message: String) -> Self {
-        Diagnostic { severity: Severity::Warning, code, message }
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message,
+        }
     }
 }
 
@@ -54,7 +62,9 @@ pub fn check_program(program: &CoreProgram, host_vars: &[&str]) -> Vec<Diagnosti
     // Declared functions, with duplicate detection.
     let mut declared: HashMap<(String, usize), usize> = HashMap::new();
     for f in &program.functions {
-        *declared.entry((f.name.clone(), f.params.len())).or_insert(0) += 1;
+        *declared
+            .entry((f.name.clone(), f.params.len()))
+            .or_insert(0) += 1;
     }
     for ((name, arity), count) in &declared {
         if *count > 1 {
@@ -99,7 +109,10 @@ pub fn check_program(program: &CoreProgram, host_vars: &[&str]) -> Vec<Diagnosti
 
     // Scope/arity/effect checks per expression.
     let mut globals: HashSet<String> = host_vars.iter().map(|s| s.to_string()).collect();
-    let cx = Context { declared: &declared, analysis: &analysis };
+    let cx = Context {
+        declared: &declared,
+        analysis: &analysis,
+    };
     for f in &program.functions {
         let mut scope: Vec<String> = f.params.clone();
         // Function bodies see parameters + globals (all declared globals:
@@ -164,7 +177,12 @@ fn check_expr(
                 check_expr(a, scope, globals, cx, diags);
             }
         }
-        Core::For { var, position, source, body } => {
+        Core::For {
+            var,
+            position,
+            source,
+            body,
+        } => {
             check_expr(source, scope, globals, cx, diags);
             scope.push(var.clone());
             if let Some(p) = position {
@@ -182,7 +200,12 @@ fn check_expr(
             check_expr(body, scope, globals, cx, diags);
             scope.pop();
         }
-        Core::Quantified { var, source, satisfies, .. } => {
+        Core::Quantified {
+            var,
+            source,
+            satisfies,
+            ..
+        } => {
             check_expr(source, scope, globals, cx, diags);
             if cx.analysis.effect(satisfies) == Effect::Effectful {
                 diags.push(Diagnostic::warning(
@@ -196,7 +219,12 @@ fn check_expr(
             check_expr(satisfies, scope, globals, cx, diags);
             scope.pop();
         }
-        Core::SortedFor { var, source, keys, body } => {
+        Core::SortedFor {
+            var,
+            source,
+            keys,
+            body,
+        } => {
             check_expr(source, scope, globals, cx, diags);
             scope.push(var.clone());
             for k in keys {
@@ -205,7 +233,9 @@ fn check_expr(
             check_expr(body, scope, globals, cx, diags);
             scope.pop();
         }
-        Core::MapStep { base, predicates, .. } => {
+        Core::MapStep {
+            base, predicates, ..
+        } => {
             check_expr(base, scope, globals, cx, diags);
             for p in predicates {
                 if cx.analysis.effect(p) == Effect::Effectful {

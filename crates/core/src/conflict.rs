@@ -80,7 +80,9 @@ pub fn verify_conflict_free(delta: &Delta) -> XdmResult<()> {
                 let flags = node_flags.entry(*node).or_default();
                 flags.deleted = true;
                 if flags.inserted {
-                    return Err(conflict(format!("node {node} is both inserted and deleted")));
+                    return Err(conflict(format!(
+                        "node {node} is both inserted and deleted"
+                    )));
                 }
                 if anchors_used.contains(node) {
                     return Err(conflict(format!(
@@ -109,12 +111,19 @@ pub fn verify_conflict_free(delta: &Delta) -> XdmResult<()> {
                             flags.inserted = true;
                         }
                         Entry::Vacant(e) => {
-                            e.insert(NodeFlags { inserted: true, ..Default::default() });
+                            e.insert(NodeFlags {
+                                inserted: true,
+                                ..Default::default()
+                            });
                         }
                     }
                 }
             }
-            UpdateRequest::Insert { nodes, parent, anchor } => {
+            UpdateRequest::Insert {
+                nodes,
+                parent,
+                anchor,
+            } => {
                 let slot = match anchor {
                     InsertAnchor::First => Slot::First(*parent),
                     InsertAnchor::Last => Slot::Last(*parent),
@@ -148,7 +157,10 @@ pub fn verify_conflict_free(delta: &Delta) -> XdmResult<()> {
                             flags.inserted = true;
                         }
                         Entry::Vacant(e) => {
-                            e.insert(NodeFlags { inserted: true, ..Default::default() });
+                            e.insert(NodeFlags {
+                                inserted: true,
+                                ..Default::default()
+                            });
                         }
                     }
                 }
@@ -178,14 +190,21 @@ mod tests {
     }
 
     fn ins(nodes: Vec<NodeId>, parent: NodeId, anchor: InsertAnchor) -> UpdateRequest {
-        UpdateRequest::Insert { nodes, parent, anchor }
+        UpdateRequest::Insert {
+            nodes,
+            parent,
+            anchor,
+        }
     }
 
     #[test]
     fn disjoint_updates_are_conflict_free() {
         let (_, p, a, b) = setup();
         let d: Delta = vec![
-            UpdateRequest::Rename { node: a, name: QName::local("x") },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("x"),
+            },
             UpdateRequest::Delete { node: b },
             ins(vec![], p, InsertAnchor::First),
         ]
@@ -198,15 +217,27 @@ mod tests {
     fn double_rename_same_name_ok_different_name_conflicts() {
         let (_, _, a, _) = setup();
         let same: Delta = vec![
-            UpdateRequest::Rename { node: a, name: QName::local("x") },
-            UpdateRequest::Rename { node: a, name: QName::local("x") },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("x"),
+            },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("x"),
+            },
         ]
         .into_iter()
         .collect();
         assert!(verify_conflict_free(&same).is_ok());
         let diff: Delta = vec![
-            UpdateRequest::Rename { node: a, name: QName::local("x") },
-            UpdateRequest::Rename { node: a, name: QName::local("y") },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("x"),
+            },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("y"),
+            },
         ]
         .into_iter()
         .collect();
@@ -216,10 +247,12 @@ mod tests {
     #[test]
     fn double_delete_is_idempotent_not_conflict() {
         let (_, _, a, _) = setup();
-        let d: Delta =
-            vec![UpdateRequest::Delete { node: a }, UpdateRequest::Delete { node: a }]
-                .into_iter()
-                .collect();
+        let d: Delta = vec![
+            UpdateRequest::Delete { node: a },
+            UpdateRequest::Delete { node: a },
+        ]
+        .into_iter()
+        .collect();
         assert!(verify_conflict_free(&d).is_ok());
     }
 
@@ -227,7 +260,10 @@ mod tests {
     fn rename_plus_delete_commutes() {
         let (_, _, a, _) = setup();
         let d: Delta = vec![
-            UpdateRequest::Rename { node: a, name: QName::local("x") },
+            UpdateRequest::Rename {
+                node: a,
+                name: QName::local("x"),
+            },
             UpdateRequest::Delete { node: a },
         ]
         .into_iter()

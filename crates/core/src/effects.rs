@@ -98,7 +98,9 @@ impl EffectAnalysis {
 
     /// An analysis with no user functions.
     pub fn empty() -> Self {
-        EffectAnalysis { functions: HashMap::new() }
+        EffectAnalysis {
+            functions: HashMap::new(),
+        }
     }
 
     /// The effect of an expression under this program's functions.
@@ -129,7 +131,11 @@ fn effect_with(expr: &Core, funcs: &HashMap<(String, usize), Effect>) -> Effect 
             // produce any, the snap applies an empty Δ and is as benign as
             // its body.
             let b = effect_with(body, funcs);
-            return if b >= Effect::Pending { Effect::Effectful } else { b };
+            return if b >= Effect::Pending {
+                Effect::Effectful
+            } else {
+                b
+            };
         }
         Core::Call(name, args) => {
             let base = if crate::functions::is_builtin(name) {

@@ -57,6 +57,9 @@ pub struct Engine {
     /// XQuery functions organized in a module").
     module_functions: Vec<xqsyn::CoreFunction>,
     seed: u64,
+    /// Per-snap seed counter, persisted across runs so nondeterministic
+    /// application orders are never replayed between successive queries.
+    snap_counter: u64,
     last_stats: Option<EvalStats>,
 }
 
@@ -68,6 +71,7 @@ impl Engine {
             bindings: Vec::new(),
             module_functions: Vec::new(),
             seed: 0x5eed,
+            snap_counter: 0,
             last_stats: None,
         }
     }
@@ -78,19 +82,76 @@ impl Engine {
     /// persistent bindings — so module state like the paper's §2.5
     /// counter survives across service calls. A body, if present, is
     /// evaluated and its value discarded.
+    ///
+    /// Loading is all-or-nothing: if any initializer fails (or panics),
+    /// the store is rolled back and the engine's function table and
+    /// bindings are restored, so no half-loaded module is ever visible.
     pub fn load_module(&mut self, source: &str) -> Result<(), Error> {
         let program = compile(source)?;
+        let saved_functions = self.module_functions.len();
+        let saved_bindings = self.bindings.clone();
         // Functions first, so variable initializers may call them (and
         // functions from earlier modules).
-        self.module_functions.extend(program.functions.iter().cloned());
+        self.module_functions
+            .extend(program.functions.iter().cloned());
         let mut evaluator = self.evaluator_for(&program);
-        for (name, init) in &program.variables {
-            let mut env = DynEnv::new();
-            let value = evaluator.eval_query(&mut self.store, &mut env, init)?;
-            evaluator.bind_global(name.clone(), value.clone());
-            self.bind(name, value);
+        let depth = self.store.frame_depth();
+        self.store.begin_frame();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (name, init) in &program.variables {
+                let mut env = DynEnv::new();
+                let value = evaluator.eval_query(&mut self.store, &mut env, init)?;
+                evaluator.bind_global(name.clone(), value.clone());
+                self.bind(name, value);
+            }
+            Ok(())
+        }));
+        self.snap_counter = evaluator.snap_counter();
+        match outcome {
+            Ok(Ok(())) => {
+                self.store.commit_frame();
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                self.unwind_frames_to(depth);
+                self.module_functions.truncate(saved_functions);
+                self.bindings = saved_bindings;
+                Err(e)
+            }
+            Err(_panic) => {
+                self.unwind_frames_to(depth);
+                self.module_functions.truncate(saved_functions);
+                self.bindings = saved_bindings;
+                Err(Error::Eval(xqdm::XdmError::new(
+                    "XQB0030",
+                    "evaluation panicked; store rolled back to the pre-load state",
+                )))
+            }
         }
-        Ok(())
+    }
+
+    /// Roll back every frame opened at or above `depth` (the innermost
+    /// first), restoring the store to its state when frame `depth + 1`
+    /// was opened. Used on the panic path, where inner `apply_delta`
+    /// frames may still be open.
+    fn unwind_frames_to(&mut self, depth: usize) {
+        while self.store.frame_depth() > depth {
+            self.store.rollback_frame();
+        }
+    }
+
+    /// Node roots currently referenced by host bindings: the liveness root
+    /// set for sweeping orphaned construction nodes after a failed run.
+    fn binding_roots(&self) -> Vec<NodeId> {
+        let mut roots = Vec::new();
+        for (_, seq) in &self.bindings {
+            for item in seq {
+                if let Item::Node(n) = item {
+                    roots.push(*n);
+                }
+            }
+        }
+        roots
     }
 
     /// Statistics from the most recent successful [`Engine::run`] /
@@ -122,7 +183,10 @@ impl Engine {
 
     /// Look up a host binding.
     pub fn binding(&self, name: &str) -> Option<&Sequence> {
-        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Parse, normalize and run an XQuery! program against the store.
@@ -134,16 +198,59 @@ impl Engine {
     }
 
     /// Run an already-compiled program.
+    ///
+    /// Failure isolation: a run that returns an error keeps every snap that
+    /// closed before the error (closing a snap is commitment, §2.3) but
+    /// leaves no other trace — bindings and module functions are untouched,
+    /// and nodes constructed during the run that ended up reachable from no
+    /// host binding are reclaimed, so a failed run cannot leak store slots.
+    /// A *panic* during evaluation is caught and the store is rolled back
+    /// to its exact pre-call state (committed snaps included) before an
+    /// `XQB0030` error is returned: a store that a panicking evaluation was
+    /// mutating is not trusted as commitment.
     pub fn run_program(&mut self, program: &CoreProgram) -> XdmResult<Sequence> {
         let mut evaluator = self.evaluator_for(program);
-        let result = evaluator.eval_program(&mut self.store, program);
-        self.last_stats = Some(evaluator.stats());
-        result
+        let depth = self.store.frame_depth();
+        self.store.begin_frame();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluator.eval_program(&mut self.store, program)
+        }));
+        self.snap_counter = evaluator.snap_counter();
+        match outcome {
+            Ok(result) => {
+                self.last_stats = Some(evaluator.stats());
+                match result {
+                    Ok(value) => {
+                        self.store.commit_frame();
+                        Ok(value)
+                    }
+                    Err(e) => {
+                        // Keep committed snaps, then sweep constructed
+                        // nodes the failed run left unreachable.
+                        let allocs = self.store.frame_allocations();
+                        self.store.commit_frame();
+                        drop(evaluator);
+                        self.store
+                            .reclaim_unreachable(&allocs, &self.binding_roots())?;
+                        Err(e)
+                    }
+                }
+            }
+            Err(_panic) => {
+                self.unwind_frames_to(depth);
+                Err(xqdm::XdmError::new(
+                    "XQB0030",
+                    "evaluation panicked; store rolled back to the pre-run state",
+                ))
+            }
+        }
     }
 
     /// An evaluator seeded with this engine's modules and bindings.
     fn evaluator_for(&self, program: &CoreProgram) -> Evaluator {
-        let mut evaluator = Evaluator::new(program).with_seed(self.seed);
+        let mut evaluator = Evaluator::new(program)
+            .with_seed(self.seed)
+            .with_snap_counter(self.snap_counter);
         for f in &self.module_functions {
             evaluator.register_function(f.clone());
         }
@@ -199,7 +306,9 @@ impl Engine {
     /// Create a fresh evaluator + environment pair for expression-level
     /// work (tests, tools). Bindings are installed as globals.
     pub fn evaluator(&self, program: &CoreProgram) -> (Evaluator, DynEnv) {
-        let mut ev = Evaluator::new(program).with_seed(self.seed);
+        let mut ev = Evaluator::new(program)
+            .with_seed(self.seed)
+            .with_snap_counter(self.snap_counter);
         for (name, value) in &self.bindings {
             ev.bind_global(name.clone(), value.clone());
         }
@@ -221,8 +330,11 @@ mod tests {
     #[test]
     fn load_and_query_document() {
         let mut e = Engine::new();
-        e.load_document("doc", "<site><person id=\"p1\"><name>Ada</name></person></site>")
-            .unwrap();
+        e.load_document(
+            "doc",
+            "<site><person id=\"p1\"><name>Ada</name></person></site>",
+        )
+        .unwrap();
         let r = e.run("$doc//person/name").unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(e.serialize(&r).unwrap(), "<name>Ada</name>");
@@ -277,14 +389,17 @@ declare function log_call($what) {
         for what in ["a", "b", "c"] {
             e.run(&format!("log_call(\"{what}\")")).unwrap();
         }
-        let ids = e.run("for $c in $log/log/call return string($c/@id)").unwrap();
+        let ids = e
+            .run("for $c in $log/log/call return string($c/@id)")
+            .unwrap();
         assert_eq!(e.serialize(&ids).unwrap(), "1 2 3");
     }
 
     #[test]
     fn program_functions_shadow_module_functions() {
         let mut e = Engine::new();
-        e.load_module("declare function f() { \"module\" };").unwrap();
+        e.load_module("declare function f() { \"module\" };")
+            .unwrap();
         let r = e.run("f()").unwrap();
         assert_eq!(e.serialize(&r).unwrap(), "module");
         let r = e.run("declare function f() { \"local\" }; f()").unwrap();
@@ -298,13 +413,66 @@ declare function log_call($what) {
     fn module_variable_initializers_can_update() {
         let mut e = Engine::new();
         e.load_document("doc", "<x/>").unwrap();
-        e.load_module(
-            "declare variable $setup := (insert { <ready/> } into { $doc/x }, 1);",
-        )
-        .unwrap();
+        e.load_module("declare variable $setup := (insert { <ready/> } into { $doc/x }, 1);")
+            .unwrap();
         // The module's implicit snap applied the insert at load time.
         let r = e.run("(count($doc/x/ready), $setup)").unwrap();
         assert_eq!(e.serialize(&r).unwrap(), "1 1");
+    }
+
+    #[test]
+    fn same_engine_seed_reproduces_identical_stores() {
+        // Nondeterministic snaps draw their permutation from the engine
+        // seed plus a per-snap counter; two engines with the same seed
+        // running the same query sequence must end in identical stores.
+        let run_all = |seed: u64| -> String {
+            let mut e = Engine::new().with_seed(seed);
+            e.load_document("doc", "<x/>").unwrap();
+            for _ in 0..4 {
+                e.run(
+                    "snap nondeterministic {
+                       insert { <a/> } into { $doc/x },
+                       insert { <b/> } into { $doc/x },
+                       insert { <c/> } into { $doc/x } }",
+                )
+                .unwrap();
+            }
+            let doc = e.binding("doc").unwrap().clone();
+            e.serialize(&doc).unwrap()
+        };
+        assert_eq!(run_all(7), run_all(7));
+        assert_eq!(run_all(8), run_all(8));
+    }
+
+    #[test]
+    fn snap_seeds_are_not_reused_across_runs() {
+        // The per-snap counter persists across Engine::run calls, so the
+        // same nondeterministic snap executed in successive runs draws
+        // fresh permutations. With per-run counter reset (the old bug),
+        // every run would replay one fixed order and this test would see a
+        // single distinct outcome.
+        let mut e = Engine::new().with_seed(42);
+        e.load_document("doc", "<root/>").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            e.run(&format!("snap insert {{ <x{i}/> }} into {{ $doc/root }}"))
+                .unwrap();
+            e.run(&format!(
+                "snap nondeterministic {{
+                   insert {{ <a/> }} into {{ $doc/root/x{i} }},
+                   insert {{ <b/> }} into {{ $doc/root/x{i} }} }}"
+            ))
+            .unwrap();
+            let order = e
+                .run(&format!("for $c in $doc/root/x{i}/* return name($c)"))
+                .unwrap();
+            seen.insert(e.serialize(&order).unwrap());
+        }
+        assert_eq!(
+            seen.len(),
+            2,
+            "expected both application orders across runs, saw {seen:?}"
+        );
     }
 
     #[test]

@@ -105,8 +105,16 @@ mod tests {
     fn focus_stack() {
         let mut env = DynEnv::new();
         assert_eq!(env.focus().unwrap_err().code, "XPDY0002");
-        env.push_focus(Focus { item: Item::integer(1), position: 1, size: 3 });
-        env.push_focus(Focus { item: Item::integer(2), position: 2, size: 3 });
+        env.push_focus(Focus {
+            item: Item::integer(1),
+            position: 1,
+            size: 3,
+        });
+        env.push_focus(Focus {
+            item: Item::integer(2),
+            position: 2,
+            size: 3,
+        });
         assert_eq!(env.focus().unwrap().position, 2);
         env.pop_focus();
         assert_eq!(env.focus().unwrap().position, 1);

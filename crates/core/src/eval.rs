@@ -124,6 +124,21 @@ impl Evaluator {
         self
     }
 
+    /// Resume the per-snap seed counter from a previous evaluation. The
+    /// engine persists the counter across runs so that two snaps — in the
+    /// same run or in different runs of one engine — never reuse a
+    /// nondeterministic application seed.
+    pub fn with_snap_counter(mut self, counter: u64) -> Self {
+        self.snap_counter = counter;
+        self
+    }
+
+    /// The per-snap seed counter after the snaps closed so far (see
+    /// [`Evaluator::with_snap_counter`]).
+    pub fn snap_counter(&self) -> u64 {
+        self.snap_counter
+    }
+
     /// Define a global variable (module prolog or host binding).
     pub fn bind_global(&mut self, name: impl Into<String>, value: Sequence) {
         self.globals.insert(name.into(), value);
@@ -138,13 +153,19 @@ impl Evaluator {
     /// Does not override a same-name/arity function already present —
     /// program-local declarations take precedence over module ones.
     pub fn register_function(&mut self, func: CoreFunction) {
-        self.functions.entry((func.name.clone(), func.params.len())).or_insert(func);
+        self.functions
+            .entry((func.name.clone(), func.params.len()))
+            .or_insert(func);
     }
 
     /// Evaluate a whole program: globals in order, then the body inside the
     /// **implicit top-level snap** (§2.3: "a snap is always implicitly
     /// present around the top-level query").
-    pub fn eval_program(&mut self, store: &mut Store, program: &CoreProgram) -> XdmResult<Sequence> {
+    pub fn eval_program(
+        &mut self,
+        store: &mut Store,
+        program: &CoreProgram,
+    ) -> XdmResult<Sequence> {
         with_eval_stack(move || {
             // The implicit snap also covers prolog variable initializers, so
             // side-effecting initializers behave like the body.
@@ -215,11 +236,15 @@ impl Evaluator {
 
     fn next_seed(&mut self) -> u64 {
         self.snap_counter += 1;
-        self.base_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(self.snap_counter)
+        self.base_seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(self.snap_counter)
     }
 
     fn pending(&mut self) -> &mut Delta {
-        self.delta_stack.last_mut().expect("update evaluated outside any snap scope")
+        self.delta_stack
+            .last_mut()
+            .expect("update evaluated outside any snap scope")
     }
 
     /// The core judgment. Left-to-right, store-threading, Δ-appending.
@@ -232,7 +257,10 @@ impl Evaluator {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
-            return Err(XdmError::new("XQB0020", "evaluation recursion limit exceeded"));
+            return Err(XdmError::new(
+                "XQB0020",
+                "evaluation recursion limit exceeded",
+            ));
         }
         let r = self.eval_inner(store, env, expr);
         self.depth -= 1;
@@ -261,7 +289,12 @@ impl Evaluator {
                 }
                 Ok(out)
             }
-            Core::For { var, position, source, body } => {
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
                 let src = self.eval(store, env, source)?;
                 let mut out = Vec::new();
                 for (i, it) in src.into_iter().enumerate() {
@@ -293,7 +326,12 @@ impl Evaluator {
                     self.eval(store, env, els)
                 }
             }
-            Core::Quantified { quantifier, var, source, satisfies } => {
+            Core::Quantified {
+                quantifier,
+                var,
+                source,
+                satisfies,
+            } => {
                 let src = self.eval(store, env, source)?;
                 let mut result = matches!(quantifier, Quantifier::Every);
                 for it in src {
@@ -315,7 +353,12 @@ impl Evaluator {
                 }
                 Ok(vec![Item::boolean(result)])
             }
-            Core::SortedFor { var, source, keys, body } => {
+            Core::SortedFor {
+                var,
+                source,
+                keys,
+                body,
+            } => {
                 let src = self.eval(store, env, source)?;
                 // Compute sort keys per binding (left-to-right, so key
                 // expressions may have effects like any other expression).
@@ -355,7 +398,11 @@ impl Evaluator {
                 keyed.sort_by(|(ka, _), (kb, _)| {
                     for (i, (a, b)) in ka.iter().zip(kb).enumerate() {
                         let ord = cmp_keys(a, b);
-                        let ord = if keys[i].ascending { ord } else { ord.reverse() };
+                        let ord = if keys[i].ascending {
+                            ord
+                        } else {
+                            ord.reverse()
+                        };
                         if ord != std::cmp::Ordering::Equal {
                             return ord;
                         }
@@ -374,8 +421,12 @@ impl Evaluator {
             Core::Arith(op, l, r) => {
                 let lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
-                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
-                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                let la = item::zero_or_one(lv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
+                let ra = item::zero_or_one(rv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
                 match (la, ra) {
                     (Some(a), Some(b)) => Ok(vec![Item::Atomic(arithmetic(*op, &a, &b)?)]),
                     _ => Ok(vec![]),
@@ -383,7 +434,10 @@ impl Evaluator {
             }
             Core::Neg(e) => {
                 let v = self.eval(store, env, e)?;
-                match item::zero_or_one(v)?.map(|x| x.atomize(store)).transpose()? {
+                match item::zero_or_one(v)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?
+                {
                     Some(a) => Ok(vec![Item::Atomic(negate(&a)?)]),
                     None => Ok(vec![]),
                 }
@@ -391,13 +445,19 @@ impl Evaluator {
             Core::GeneralComp(op, l, r) => {
                 let lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
-                Ok(vec![Item::boolean(item::general_compare_seqs(*op, &lv, &rv, store)?)])
+                Ok(vec![Item::boolean(item::general_compare_seqs(
+                    *op, &lv, &rv, store,
+                )?)])
             }
             Core::ValueComp(op, l, r) => {
                 let lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
-                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
-                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                let la = item::zero_or_one(lv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
+                let ra = item::zero_or_one(rv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
                 match (la, ra) {
                     (Some(a), Some(b)) => Ok(vec![Item::boolean(value_compare(*op, &a, &b)?)]),
                     _ => Ok(vec![]),
@@ -452,8 +512,12 @@ impl Evaluator {
             Core::Range(l, r) => {
                 let lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
-                let la = item::zero_or_one(lv)?.map(|x| x.atomize(store)).transpose()?;
-                let ra = item::zero_or_one(rv)?.map(|x| x.atomize(store)).transpose()?;
+                let la = item::zero_or_one(lv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
+                let ra = item::zero_or_one(rv)?
+                    .map(|x| x.atomize(store))
+                    .transpose()?;
                 match (la, ra) {
                     (Some(a), Some(b)) => {
                         let (a, b) = (a.to_integer()?, b.to_integer()?);
@@ -462,7 +526,12 @@ impl Evaluator {
                     _ => Ok(vec![]),
                 }
             }
-            Core::MapStep { base, axis, test, predicates } => {
+            Core::MapStep {
+                base,
+                axis,
+                test,
+                predicates,
+            } => {
                 let origins = self.eval(store, env, base)?;
                 let mut out: Sequence = Vec::new();
                 for origin in &origins {
@@ -498,8 +567,10 @@ impl Evaluator {
             Core::AttrCtor { name, content } => {
                 let qname = self.eval_ctor_name(store, env, name)?;
                 let v = self.eval(store, env, content)?;
-                let parts: Vec<String> =
-                    item::atomize(&v, store)?.into_iter().map(|a| a.string_value()).collect();
+                let parts: Vec<String> = item::atomize(&v, store)?
+                    .into_iter()
+                    .map(|a| a.string_value())
+                    .collect();
                 let attr = store.new_attribute(qname, parts.join(" "));
                 Ok(vec![Item::Node(attr)])
             }
@@ -508,8 +579,10 @@ impl Evaluator {
                 if v.is_empty() {
                     return Ok(vec![]);
                 }
-                let parts: Vec<String> =
-                    item::atomize(&v, store)?.into_iter().map(|a| a.string_value()).collect();
+                let parts: Vec<String> = item::atomize(&v, store)?
+                    .into_iter()
+                    .map(|a| a.string_value())
+                    .collect();
                 let t = store.new_text(parts.join(" "));
                 Ok(vec![Item::Node(t)])
             }
@@ -528,7 +601,11 @@ impl Evaluator {
                 let target = self.eval(store, env, location.target())?;
                 let t = item::exactly_one_node(target)?;
                 let (parent, anchor) = resolve_insert_anchor(store, location, t)?;
-                self.pending().push(UpdateRequest::Insert { nodes, parent, anchor });
+                self.pending().push(UpdateRequest::Insert {
+                    nodes,
+                    parent,
+                    anchor,
+                });
                 Ok(vec![])
             }
             Core::Delete(target) => {
@@ -548,9 +625,9 @@ impl Evaluator {
                 let node = item::exactly_one_node(tv)?;
                 let wv = self.eval(store, env, with)?;
                 let nodeseq = content_to_nodes(store, &wv)?;
-                let parent = store.parent(node)?.ok_or_else(|| {
-                    XdmError::precondition("replace target has no parent")
-                })?;
+                let parent = store
+                    .parent(node)?
+                    .ok_or_else(|| XdmError::precondition("replace target has no parent"))?;
                 if matches!(store.kind(node)?, NodeKind::Attribute { .. }) {
                     // Attribute targets: the replacement must be attribute
                     // nodes, attached to the owner element (attribute order
@@ -587,7 +664,8 @@ impl Evaluator {
                 let qname = QName::parse(&name_str).ok_or_else(|| {
                     XdmError::value("XQDY0074", format!("\"{name_str}\" is not a valid QName"))
                 })?;
-                self.pending().push(UpdateRequest::Rename { node, name: qname });
+                self.pending()
+                    .push(UpdateRequest::Rename { node, name: qname });
                 Ok(vec![])
             }
             Core::Copy(e) => {
@@ -695,7 +773,11 @@ impl Evaluator {
         let size = items.len();
         let mut out = Vec::new();
         for (i, it) in items.into_iter().enumerate() {
-            env.push_focus(Focus { item: it.clone(), position: i + 1, size });
+            env.push_focus(Focus {
+                item: it.clone(),
+                position: i + 1,
+                size,
+            });
             let v = self.eval(store, env, pred);
             env.pop_focus();
             let v = v?;
@@ -965,16 +1047,15 @@ fn append_content(
 ) -> XdmResult<()> {
     let mut text_acc: Vec<String> = Vec::new();
     let mut seen_content = false;
-    let flush =
-        |store: &mut Store, acc: &mut Vec<String>, seen: &mut bool| -> XdmResult<()> {
-            if !acc.is_empty() {
-                let t = store.new_text(acc.join(" "));
-                store.append_child(parent, t)?;
-                acc.clear();
-                *seen = true;
-            }
-            Ok(())
-        };
+    let flush = |store: &mut Store, acc: &mut Vec<String>, seen: &mut bool| -> XdmResult<()> {
+        if !acc.is_empty() {
+            let t = store.new_text(acc.join(" "));
+            store.append_child(parent, t)?;
+            acc.clear();
+            *seen = true;
+        }
+        Ok(())
+    };
     for it in content {
         match it {
             Item::Atomic(a) => text_acc.push(a.string_value()),
@@ -983,9 +1064,7 @@ fn append_content(
                 match store.kind(*n)?.clone() {
                     NodeKind::Attribute { .. } => {
                         if !allow_attrs {
-                            return Err(XdmError::type_error(
-                                "attribute node in document content",
-                            ));
+                            return Err(XdmError::type_error("attribute node in document content"));
                         }
                         if seen_content {
                             return Err(XdmError::new(
@@ -1093,8 +1172,9 @@ mod tests {
             (r, InsertAnchor::After(a))
         );
         // before/after a parentless node fails.
-        assert!(resolve_insert_anchor(&s, &CoreInsertLoc::Before(Core::empty().boxed()), r)
-            .is_err());
+        assert!(
+            resolve_insert_anchor(&s, &CoreInsertLoc::Before(Core::empty().boxed()), r).is_err()
+        );
     }
 
     #[test]

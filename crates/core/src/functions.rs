@@ -34,34 +34,84 @@ pub fn dispatch(
 /// Is `name` (possibly `fn:`-prefixed, or a special `fs:`/`xs:` name) a
 /// built-in?
 pub fn is_builtin(name: &str) -> bool {
-    matches!(name, "fs:avt" | "fs:intersect" | "fs:except" | "xs:integer" | "xs:string" | "xs:double" | "xs:boolean")
-        || is_builtin_local(name.strip_prefix("fn:").unwrap_or(name))
+    matches!(
+        name,
+        "fs:avt"
+            | "fs:intersect"
+            | "fs:except"
+            | "xs:integer"
+            | "xs:string"
+            | "xs:double"
+            | "xs:boolean"
+    ) || is_builtin_local(name.strip_prefix("fn:").unwrap_or(name))
 }
 
 fn is_builtin_local(local: &str) -> bool {
     const NAMES: &[&str] = &[
-        "count", "empty", "exists", "not", "boolean", "string", "string-length", "data",
-        "number", "concat", "string-join", "contains", "starts-with", "ends-with", "substring",
-        "substring-before", "substring-after", "upper-case", "lower-case", "normalize-space",
-        "translate", "sum", "avg", "min", "max", "abs", "round", "floor", "ceiling",
-        "distinct-values", "reverse", "subsequence", "insert-before", "remove", "index-of",
-        "exactly-one", "zero-or-one", "one-or-more", "last", "position", "name", "local-name",
-        "root", "true", "false", "deep-equal", "error", "trace", "head", "tail", "parse-xml",
+        "count",
+        "empty",
+        "exists",
+        "not",
+        "boolean",
+        "string",
+        "string-length",
+        "data",
+        "number",
+        "concat",
+        "string-join",
+        "contains",
+        "starts-with",
+        "ends-with",
+        "substring",
+        "substring-before",
+        "substring-after",
+        "upper-case",
+        "lower-case",
+        "normalize-space",
+        "translate",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "abs",
+        "round",
+        "floor",
+        "ceiling",
+        "distinct-values",
+        "reverse",
+        "subsequence",
+        "insert-before",
+        "remove",
+        "index-of",
+        "exactly-one",
+        "zero-or-one",
+        "one-or-more",
+        "last",
+        "position",
+        "name",
+        "local-name",
+        "root",
+        "true",
+        "false",
+        "deep-equal",
+        "error",
+        "trace",
+        "head",
+        "tail",
+        "parse-xml",
         "serialize",
     ];
     NAMES.contains(&local)
 }
 
 fn wrong_arity(name: &str, n: usize) -> XdmError {
-    XdmError::new("XPST0017", format!("wrong number of arguments ({n}) for fn:{name}"))
+    XdmError::new(
+        "XPST0017",
+        format!("wrong number of arguments ({n}) for fn:{name}"),
+    )
 }
 
-fn call(
-    local: &str,
-    args: Vec<Sequence>,
-    store: &mut Store,
-    env: &DynEnv,
-) -> XdmResult<Sequence> {
+fn call(local: &str, args: Vec<Sequence>, store: &mut Store, env: &DynEnv) -> XdmResult<Sequence> {
     let nargs = args.len();
     let mut it = args.into_iter();
     let mut next = move || it.next().unwrap_or_default();
@@ -71,14 +121,21 @@ fn call(
         ("count", 1) => Ok(vec![Item::integer(next().len() as i64)]),
         ("empty", 1) => Ok(vec![Item::boolean(next().is_empty())]),
         ("exists", 1) => Ok(vec![Item::boolean(!next().is_empty())]),
-        ("not", 1) => Ok(vec![Item::boolean(!item::effective_boolean(&next(), store)?)]),
-        ("boolean", 1) => Ok(vec![Item::boolean(item::effective_boolean(&next(), store)?)]),
+        ("not", 1) => Ok(vec![Item::boolean(!item::effective_boolean(
+            &next(),
+            store,
+        )?)]),
+        ("boolean", 1) => Ok(vec![Item::boolean(item::effective_boolean(
+            &next(),
+            store,
+        )?)]),
         ("distinct-values", 1) => {
             let atoms = item::atomize(&next(), store)?;
             let mut out: Vec<Atomic> = Vec::new();
             for a in atoms {
-                let dup =
-                    out.iter().any(|b| matches!(value_compare(CompareOp::Eq, &a, b), Ok(true)));
+                let dup = out
+                    .iter()
+                    .any(|b| matches!(value_compare(CompareOp::Eq, &a, b), Ok(true)));
                 if !dup {
                     out.push(a);
                 }
@@ -141,7 +198,10 @@ fn call(
             if v.len() == 1 {
                 Ok(v)
             } else {
-                Err(XdmError::value("FORG0005", "fn:exactly-one called with a non-singleton"))
+                Err(XdmError::value(
+                    "FORG0005",
+                    "fn:exactly-one called with a non-singleton",
+                ))
             }
         }
         ("zero-or-one", 1) => {
@@ -149,7 +209,10 @@ fn call(
             if v.len() <= 1 {
                 Ok(v)
             } else {
-                Err(XdmError::value("FORG0003", "fn:zero-or-one called with more than one item"))
+                Err(XdmError::value(
+                    "FORG0003",
+                    "fn:zero-or-one called with more than one item",
+                ))
             }
         }
         ("one-or-more", 1) => {
@@ -178,7 +241,10 @@ fn call(
             let s = opt_string(v, store)?;
             Ok(vec![Item::integer(s.chars().count() as i64)])
         }
-        ("data", 1) => Ok(item::atomize(&next(), store)?.into_iter().map(Item::Atomic).collect()),
+        ("data", 1) => Ok(item::atomize(&next(), store)?
+            .into_iter()
+            .map(Item::Atomic)
+            .collect()),
         ("number", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             let d = match item::zero_or_one(v)? {
@@ -201,8 +267,10 @@ fn call(
         ("string-join", 2) => {
             let seq = next();
             let sep = opt_string(next(), store)?;
-            let parts: Vec<String> =
-                seq.iter().map(|i| i.string_value(store)).collect::<XdmResult<_>>()?;
+            let parts: Vec<String> = seq
+                .iter()
+                .map(|i| i.string_value(store))
+                .collect::<XdmResult<_>>()?;
             Ok(vec![Item::string(parts.join(&sep))])
         }
         ("contains", 2) => {
@@ -238,20 +306,30 @@ fn call(
         }
         ("substring-before", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::string(a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default())])
+            Ok(vec![Item::string(
+                a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default(),
+            )])
         }
         ("substring-after", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
             Ok(vec![Item::string(
-                a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
+                a.find(&b)
+                    .map(|i| a[i + b.len()..].to_string())
+                    .unwrap_or_default(),
             )])
         }
-        ("upper-case", 1) => Ok(vec![Item::string(opt_string(next(), store)?.to_uppercase())]),
-        ("lower-case", 1) => Ok(vec![Item::string(opt_string(next(), store)?.to_lowercase())]),
+        ("upper-case", 1) => Ok(vec![Item::string(
+            opt_string(next(), store)?.to_uppercase(),
+        )]),
+        ("lower-case", 1) => Ok(vec![Item::string(
+            opt_string(next(), store)?.to_lowercase(),
+        )]),
         ("normalize-space", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             let s = opt_string(v, store)?;
-            Ok(vec![Item::string(s.split_whitespace().collect::<Vec<_>>().join(" "))])
+            Ok(vec![Item::string(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            )])
         }
         ("translate", 3) => {
             let s = opt_string(next(), store)?;
@@ -270,7 +348,11 @@ fn call(
         ("sum", 1 | 2) => {
             let atoms = item::atomize(&next(), store)?;
             if atoms.is_empty() {
-                return if nargs == 2 { Ok(next()) } else { Ok(vec![Item::integer(0)]) };
+                return if nargs == 2 {
+                    Ok(next())
+                } else {
+                    Ok(vec![Item::integer(0)])
+                };
             }
             sum_numeric(&atoms)
         }
@@ -288,7 +370,11 @@ fn call(
             if atoms.is_empty() {
                 return Ok(vec![]);
             }
-            let op = if local == "max" { CompareOp::Gt } else { CompareOp::Lt };
+            let op = if local == "max" {
+                CompareOp::Gt
+            } else {
+                CompareOp::Lt
+            };
             let mut best = coerce_comparable(atoms[0].clone())?;
             for a in &atoms[1..] {
                 let a = coerce_comparable(a.clone())?;
@@ -301,9 +387,11 @@ fn call(
         ("abs" | "round" | "floor" | "ceiling", 1) => match item::zero_or_one(next())? {
             None => Ok(vec![]),
             Some(x) => match x.atomize(store)? {
-                Atomic::Integer(i) => {
-                    Ok(vec![Item::integer(if local == "abs" { i.abs() } else { i })])
-                }
+                Atomic::Integer(i) => Ok(vec![Item::integer(if local == "abs" {
+                    i.abs()
+                } else {
+                    i
+                })]),
                 a => {
                     let d = a.to_double()?;
                     let r = match local {
@@ -330,9 +418,9 @@ fn call(
                     };
                     Ok(vec![Item::string(s)])
                 }
-                Some(Item::Atomic(_)) => {
-                    Err(XdmError::type_error(format!("fn:{local} expects a node argument")))
-                }
+                Some(Item::Atomic(_)) => Err(XdmError::type_error(format!(
+                    "fn:{local} expects a node argument"
+                ))),
             }
         }
         ("root", 0 | 1) => {
@@ -392,6 +480,12 @@ fn dispatch_prefixed(
     args: &[Sequence],
     store: &mut Store,
 ) -> Option<XdmResult<Sequence>> {
+    if name == "xqb:panic" {
+        // Failure-injection hook: panics mid-evaluation so tests can
+        // exercise the engine's panic isolation (catch + store rollback).
+        // Deliberately a panic, not an error — that is the point.
+        panic!("xqb:panic() called");
+    }
     if matches!(name, "fs:intersect" | "fs:except") {
         // The normalization targets of `intersect` / `except`: node
         // identity semantics, document-order deduplicated result.
@@ -399,16 +493,20 @@ fn dispatch_prefixed(
         let b = args.get(1).cloned().unwrap_or_default();
         return Some((|| {
             let left = item::all_nodes(&a)?;
-            let right: std::collections::HashSet<_> =
-                item::all_nodes(&b)?.into_iter().collect();
+            let right: std::collections::HashSet<_> = item::all_nodes(&b)?.into_iter().collect();
             let keep = name == "fs:intersect";
-            let mut nodes: Vec<_> =
-                left.into_iter().filter(|n| right.contains(n) == keep).collect();
+            let mut nodes: Vec<_> = left
+                .into_iter()
+                .filter(|n| right.contains(n) == keep)
+                .collect();
             store.sort_and_dedup(&mut nodes)?;
             Ok(nodes.into_iter().map(Item::Node).collect())
         })());
     }
-    if !matches!(name, "fs:avt" | "xs:integer" | "xs:string" | "xs:double" | "xs:boolean") {
+    if !matches!(
+        name,
+        "fs:avt" | "xs:integer" | "xs:string" | "xs:double" | "xs:boolean"
+    ) {
         return None;
     }
     let v = args.first().cloned().unwrap_or_default();
@@ -416,8 +514,10 @@ fn dispatch_prefixed(
         "fs:avt" => (|| {
             // Attribute-value-template rule: atomize the enclosed
             // expression's value and join with single spaces.
-            let parts: Vec<String> =
-                item::atomize(&v, store)?.into_iter().map(|a| a.string_value()).collect();
+            let parts: Vec<String> = item::atomize(&v, store)?
+                .into_iter()
+                .map(|a| a.string_value())
+                .collect();
             Ok(vec![Item::string(parts.join(" "))])
         })(),
         "xs:integer" => (|| match item::zero_or_one(v)? {

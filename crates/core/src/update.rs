@@ -6,8 +6,8 @@
 //! ordered list of requests, collected during evaluation inside a `snap`
 //! scope and applied when the scope closes.
 
-use xqdm::{NodeId, QName, Store, XdmResult};
 use xqdm::store::InsertAnchor;
+use xqdm::{NodeId, QName, Store, XdmResult};
 
 /// One update request (the paper's `opname(par1, ..., parn)` tuples).
 ///
@@ -56,9 +56,11 @@ impl UpdateRequest {
     /// failures surface as errors).
     pub fn apply(&self, store: &mut Store) -> XdmResult<()> {
         match self {
-            UpdateRequest::Insert { nodes, parent, anchor } => {
-                store.apply_insert(nodes, *parent, *anchor)
-            }
+            UpdateRequest::Insert {
+                nodes,
+                parent,
+                anchor,
+            } => store.apply_insert(nodes, *parent, *anchor),
             UpdateRequest::InsertAttributes { nodes, element } => {
                 for &a in nodes {
                     store.attach_attribute(*element, a)?;
@@ -128,7 +130,9 @@ impl Delta {
 
 impl FromIterator<UpdateRequest> for Delta {
     fn from_iter<T: IntoIterator<Item = UpdateRequest>>(iter: T) -> Self {
-        Delta { requests: iter.into_iter().collect() }
+        Delta {
+            requests: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -143,8 +147,14 @@ mod tests {
         let a = s.new_element(QName::local("a"));
         let b = s.new_element(QName::local("b"));
         let mut d = Delta::new();
-        d.push(UpdateRequest::Rename { node: a, name: QName::local("x") });
-        d.push(UpdateRequest::Rename { node: b, name: QName::local("y") });
+        d.push(UpdateRequest::Rename {
+            node: a,
+            name: QName::local("x"),
+        });
+        d.push(UpdateRequest::Rename {
+            node: b,
+            name: QName::local("y"),
+        });
         assert_eq!(d.len(), 2);
         assert_eq!(d.requests()[0].opname(), "rename");
     }
@@ -156,7 +166,10 @@ mod tests {
         let mut d1 = Delta::new();
         d1.push(UpdateRequest::Delete { node: a });
         let mut d2 = Delta::new();
-        d2.push(UpdateRequest::Rename { node: a, name: QName::local("x") });
+        d2.push(UpdateRequest::Rename {
+            node: a,
+            name: QName::local("x"),
+        });
         d1.extend(d2);
         assert_eq!(d1.len(), 2);
         assert_eq!(d1.requests()[1].opname(), "rename");
@@ -167,8 +180,11 @@ mod tests {
         let mut s = Store::new();
         let p = s.new_element(QName::local("p"));
         let c = s.new_element(QName::local("c"));
-        let req =
-            UpdateRequest::Insert { nodes: vec![c], parent: p, anchor: InsertAnchor::Last };
+        let req = UpdateRequest::Insert {
+            nodes: vec![c],
+            parent: p,
+            anchor: InsertAnchor::Last,
+        };
         req.apply(&mut s).unwrap();
         assert_eq!(s.children(p).unwrap(), &[c]);
     }

@@ -6,7 +6,9 @@ use xqcore::{Engine, Error};
 
 fn run(q: &str) -> String {
     let mut e = Engine::new();
-    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    let r = e
+        .run(q)
+        .unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
@@ -165,10 +167,7 @@ fn aggregates_over_untyped_node_content() {
 
 #[test]
 fn sum_overflow_detected() {
-    assert_eq!(
-        err_code(&format!("sum(({0}, {0}))", i64::MAX)),
-        "FOAR0002"
-    );
+    assert_eq!(err_code(&format!("sum(({0}, {0}))", i64::MAX)), "FOAR0002");
 }
 
 #[test]
@@ -217,7 +216,9 @@ fn name_functions_on_nameless_nodes() {
 fn root_function_through_levels() {
     let mut e = Engine::new();
     e.load_document("d", "<a><b><c/></b></a>").unwrap();
-    let r = e.run("($d//c)[1]/ancestor-or-self::node()[last()] is root(($d//c)[1])").unwrap();
+    let r = e
+        .run("($d//c)[1]/ancestor-or-self::node()[last()] is root(($d//c)[1])")
+        .unwrap();
     assert_eq!(e.serialize(&r).unwrap(), "true");
     let r = e.run("root(($d//c)[1]) is $d").unwrap();
     assert_eq!(e.serialize(&r).unwrap(), "true");

@@ -6,14 +6,18 @@ use xqdm::item::Item;
 
 fn run(query: &str) -> String {
     let mut e = Engine::new();
-    let r = e.run(query).unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
+    let r = e
+        .run(query)
+        .unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
 fn run_with_doc(xml: &str, query: &str) -> String {
     let mut e = Engine::new();
     e.load_document("doc", xml).unwrap();
-    let r = e.run(query).unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
+    let r = e
+        .run(query)
+        .unwrap_or_else(|err| panic!("query {query:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
@@ -83,7 +87,10 @@ fn quantified() {
     assert_eq!(run("every $x in (1, 2, 3) satisfies $x > 1"), "false");
     assert_eq!(run("some $x in () satisfies $x = 1"), "false");
     assert_eq!(run("every $x in () satisfies $x = 1"), "true");
-    assert_eq!(run("some $x in (1, 2), $y in (2, 3) satisfies $x = $y"), "true");
+    assert_eq!(
+        run("some $x in (1, 2), $y in (2, 3) satisfies $x = $y"),
+        "true"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -111,7 +118,10 @@ fn let_binding() {
 
 #[test]
 fn where_filters() {
-    assert_eq!(run("for $x in 1 to 10 where $x mod 2 = 0 return $x"), "2 4 6 8 10");
+    assert_eq!(
+        run("for $x in 1 to 10 where $x mod 2 = 0 return $x"),
+        "2 4 6 8 10"
+    );
 }
 
 #[test]
@@ -122,7 +132,10 @@ fn positional_variable() {
 #[test]
 fn order_by_ascending_descending() {
     assert_eq!(run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
-    assert_eq!(run("for $x in (3, 1, 2) order by $x descending return $x"), "3 2 1");
+    assert_eq!(
+        run("for $x in (3, 1, 2) order by $x descending return $x"),
+        "3 2 1"
+    );
     // Sort is stable for equal keys.
     assert_eq!(
         run("for $x in (\"bb\", \"a\", \"cc\", \"d\") order by string-length($x) return $x"),
@@ -152,7 +165,10 @@ const SITE: &str = r#"<site>
 fn child_and_descendant_steps() {
     assert_eq!(run_with_doc(SITE, "count($doc/site/people/person)"), "3");
     assert_eq!(run_with_doc(SITE, "count($doc//person)"), "3");
-    assert_eq!(run_with_doc(SITE, "$doc//person[1]/name"), "<name>Ada</name>");
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[1]/name"),
+        "<name>Ada</name>"
+    );
 }
 
 #[test]
@@ -180,24 +196,33 @@ fn positional_predicates_are_per_origin() {
 
 #[test]
 fn last_and_position_functions() {
-    assert_eq!(run_with_doc(SITE, "$doc//person[last()]/name"), "<name>Cyd</name>");
-    assert_eq!(run_with_doc(SITE, "$doc//person[position() = 2]/name"), "<name>Bob</name>");
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[last()]/name"),
+        "<name>Cyd</name>"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[position() = 2]/name"),
+        "<name>Bob</name>"
+    );
 }
 
 #[test]
 fn wildcard_and_kind_tests() {
     assert_eq!(run_with_doc(SITE, "count($doc/site/*)"), "2");
-    assert_eq!(run_with_doc(SITE, "count($doc//person[1]/name/text())"), "1");
+    assert_eq!(
+        run_with_doc(SITE, "count($doc//person[1]/name/text())"),
+        "1"
+    );
     assert_eq!(run_with_doc(SITE, "count($doc//node())"), "27");
 }
 
 #[test]
 fn parent_and_ancestor_axes() {
+    assert_eq!(run_with_doc(SITE, "name($doc//person[1]/..)"), "people");
     assert_eq!(
-        run_with_doc(SITE, "name($doc//person[1]/..)"),
-        "people"
+        run_with_doc(SITE, "count(($doc//name)[1]/ancestor::*)"),
+        "3"
     );
-    assert_eq!(run_with_doc(SITE, "count(($doc//name)[1]/ancestor::*)"), "3");
     assert_eq!(
         run_with_doc(SITE, "name($doc//person[1]/ancestor-or-self::person)"),
         "person"
@@ -261,7 +286,10 @@ fn sibling_axes() {
 #[test]
 fn results_in_document_order_deduplicated() {
     // Both arms hit the same nodes; union dedups in doc order.
-    assert_eq!(run_with_doc(SITE, "count($doc//person | $doc//person)"), "3");
+    assert_eq!(
+        run_with_doc(SITE, "count($doc//person | $doc//person)"),
+        "3"
+    );
     assert_eq!(
         run_with_doc(SITE, "for $n in ($doc//age | $doc//name) return string($n)"),
         "Ada 36 Bob 41 Cyd 36"
@@ -281,7 +309,9 @@ fn root_path() {
     let doc = e.load_document("doc", SITE).unwrap();
     e.bind("ctx", vec![Item::Node(doc)]);
     // Five: name, person, people, site, and the document node.
-    let r = e.run("for $n in ($doc//name)[1] return count($n/ancestor-or-self::node())").unwrap();
+    let r = e
+        .run("for $n in ($doc//name)[1] return count($n/ancestor-or-self::node())")
+        .unwrap();
     assert_eq!(e.serialize(&r).unwrap(), "5");
 }
 
@@ -304,7 +334,10 @@ fn enclosed_expressions_in_content() {
 
 #[test]
 fn attribute_value_templates() {
-    assert_eq!(run("let $n := \"Ada\" return <log user=\"{$n}\"/>"), "<log user=\"Ada\"/>");
+    assert_eq!(
+        run("let $n := \"Ada\" return <log user=\"{$n}\"/>"),
+        "<log user=\"Ada\"/>"
+    );
     assert_eq!(run("<a k=\"pre{1 + 1}post\"/>"), "<a k=\"pre2post\"/>");
     assert_eq!(run("<a k=\"{(1, 2)}\"/>"), "<a k=\"1 2\"/>");
 }
@@ -313,8 +346,10 @@ fn attribute_value_templates() {
 fn constructed_nodes_are_copies() {
     // Inserting an existing node into a constructor copies it: mutating the
     // copy must not touch the original.
-    let out =
-        run_with_doc(SITE, "let $w := <wrap>{($doc//name)[1]}</wrap> return ($w, ($doc//name)[1])");
+    let out = run_with_doc(
+        SITE,
+        "let $w := <wrap>{($doc//name)[1]}</wrap> return ($w, ($doc//name)[1])",
+    );
     assert_eq!(out, "<wrap><name>Ada</name></wrap> <name>Ada</name>");
 }
 
@@ -346,7 +381,9 @@ fn document_constructor() {
 #[test]
 fn attribute_after_content_is_an_error() {
     let mut e = Engine::new();
-    let err = e.run("element a { text { \"t\" }, attribute k { \"v\" } }").unwrap_err();
+    let err = e
+        .run("element a { text { \"t\" }, attribute k { \"v\" } }")
+        .unwrap_err();
     assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQTY0024"));
 }
 
@@ -386,7 +423,9 @@ fn functions_see_globals() {
 #[test]
 fn runaway_recursion_is_caught() {
     let mut e = Engine::new();
-    let err = e.run("declare function loop($n) { loop($n + 1) }; loop(0)").unwrap_err();
+    let err = e
+        .run("declare function loop($n) { loop($n + 1) }; loop(0)")
+        .unwrap_err();
     assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQB0020"));
 }
 
@@ -471,10 +510,22 @@ fn atomization_of_nodes_in_arithmetic() {
 
 #[test]
 fn node_identity_and_order_comparisons() {
-    assert_eq!(run_with_doc(SITE, "$doc//person[1] is $doc//person[1]"), "true");
-    assert_eq!(run_with_doc(SITE, "$doc//person[1] is $doc//person[2]"), "false");
-    assert_eq!(run_with_doc(SITE, "$doc//person[1] << $doc//person[2]"), "true");
-    assert_eq!(run_with_doc(SITE, "$doc//person[2] >> $doc//person[1]"), "true");
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[1] is $doc//person[1]"),
+        "true"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[1] is $doc//person[2]"),
+        "false"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[1] << $doc//person[2]"),
+        "true"
+    );
+    assert_eq!(
+        run_with_doc(SITE, "$doc//person[2] >> $doc//person[1]"),
+        "true"
+    );
 }
 
 #[test]
@@ -521,7 +572,10 @@ fn intersect_and_except_operators() {
         "2"
     );
     assert_eq!(
-        run_with_doc(SITE, "for $n in ($doc//person except ($doc//person)[1]) return string($n/name)"),
+        run_with_doc(
+            SITE,
+            "for $n in ($doc//person except ($doc//person)[1]) return string($n/name)"
+        ),
         "Bob Cyd"
     );
     // Result is in document order even if operands are not.
@@ -538,7 +592,10 @@ fn intersect_and_except_operators() {
     assert_eq!(run_with_doc(SITE, "count($doc//person except ())"), "3");
     // Precedence: intersect binds tighter than union.
     assert_eq!(
-        run_with_doc(SITE, "count($doc//name | $doc//person intersect $doc//person[1])"),
+        run_with_doc(
+            SITE,
+            "count($doc//name | $doc//person intersect $doc//person[1])"
+        ),
         "4"
     );
 }

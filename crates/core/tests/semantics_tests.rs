@@ -11,7 +11,9 @@ fn engine_with(xml: &str) -> Engine {
 }
 
 fn run(e: &mut Engine, q: &str) -> String {
-    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    let r = e
+        .run(q)
+        .unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
@@ -32,7 +34,10 @@ fn updates_in_let_where_and_return_interleave_in_clause_order() {
            return insert { <from-return n="{$i}"/> } into { $doc/trace }"#,
     );
     assert_eq!(
-        run(&mut e, "for $n in $doc/trace/* return concat(name($n), string($n/@n))"),
+        run(
+            &mut e,
+            "for $n in $doc/trace/* return concat(name($n), string($n/@n))"
+        ),
         "from-let1 from-where1 from-return1 from-let2 from-where2 from-return2"
     );
 }
@@ -114,7 +119,10 @@ fn quantifier_short_circuit_limits_effects() {
 #[test]
 fn replace_attribute_with_attribute() {
     let mut e = engine_with("<r><x id=\"old\"/></r>");
-    run(&mut e, "snap replace { $doc/r/x/@id } with { attribute id { \"new\" } }");
+    run(
+        &mut e,
+        "snap replace { $doc/r/x/@id } with { attribute id { \"new\" } }",
+    );
     assert_eq!(run(&mut e, "string($doc/r/x/@id)"), "new");
     assert_eq!(run(&mut e, "count($doc/r/x/@*)"), "1");
 }
@@ -122,7 +130,10 @@ fn replace_attribute_with_attribute() {
 #[test]
 fn replace_attribute_with_differently_named_attribute() {
     let mut e = engine_with("<r><x id=\"v\"/></r>");
-    run(&mut e, "snap replace { $doc/r/x/@id } with { attribute key { \"v2\" } }");
+    run(
+        &mut e,
+        "snap replace { $doc/r/x/@id } with { attribute key { \"v2\" } }",
+    );
     assert_eq!(run(&mut e, "count($doc/r/x/@id)"), "0");
     assert_eq!(run(&mut e, "string($doc/r/x/@key)"), "v2");
 }
@@ -130,7 +141,9 @@ fn replace_attribute_with_differently_named_attribute() {
 #[test]
 fn replace_attribute_with_non_attribute_is_an_error() {
     let mut e = engine_with("<r><x id=\"v\"/></r>");
-    let err = e.run("snap replace { $doc/r/x/@id } with { <y/> }").unwrap_err();
+    let err = e
+        .run("snap replace { $doc/r/x/@id } with { <y/> }")
+        .unwrap_err();
     assert!(matches!(err, Error::Eval(x) if x.code == "XPTY0004"));
 }
 
@@ -200,7 +213,10 @@ fn inserting_a_constructed_tree_then_querying_it() {
 fn position_and_last_in_nested_predicates() {
     let mut e = engine_with("<r><g><v/><v/><v/></g><g><v/></g></r>");
     // Inner predicate's focus is independent of the outer's.
-    assert_eq!(run(&mut e, "count($doc//g[count(v[position() = last()]) = 1])"), "2");
+    assert_eq!(
+        run(&mut e, "count($doc//g[count(v[position() = last()]) = 1])"),
+        "2"
+    );
     assert_eq!(run(&mut e, "count($doc//g[v[2]])"), "1");
 }
 
@@ -208,7 +224,10 @@ fn position_and_last_in_nested_predicates() {
 fn context_item_in_predicates() {
     let mut e = engine_with("<r><n>1</n><n>5</n><n>3</n></r>");
     assert_eq!(run(&mut e, "count($doc/r/n[. > 2])"), "2");
-    assert_eq!(run(&mut e, "for $x in $doc/r/n[. = 5] return string($x)"), "5");
+    assert_eq!(
+        run(&mut e, "for $x in $doc/r/n[. = 5] return string($x)"),
+        "5"
+    );
 }
 
 #[test]
@@ -291,11 +310,17 @@ fn empty_snap_is_a_no_op() {
 fn copy_of_mixed_sequence_copies_nodes_keeps_atomics() {
     let mut e = engine_with("<r><n/></r>");
     assert_eq!(
-        run(&mut e, "let $c := copy { (1, $doc/r/n, \"s\") } return count($c)"),
+        run(
+            &mut e,
+            "let $c := copy { (1, $doc/r/n, \"s\") } return count($c)"
+        ),
         "3"
     );
     assert_eq!(
-        run(&mut e, "let $c := copy { ($doc/r/n) } return $c is $doc/r/n"),
+        run(
+            &mut e,
+            "let $c := copy { ($doc/r/n) } return $c is $doc/r/n"
+        ),
         "false"
     );
 }
@@ -305,7 +330,10 @@ fn insert_before_first_and_after_last() {
     let mut e = engine_with("<r><only/></r>");
     run(&mut e, "snap insert { <pre/> } before { $doc/r/only }");
     run(&mut e, "snap insert { <post/> } after { $doc/r/only }");
-    assert_eq!(run(&mut e, "for $n in $doc/r/* return name($n)"), "pre only post");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/r/* return name($n)"),
+        "pre only post"
+    );
 }
 
 #[test]
@@ -313,7 +341,8 @@ fn deleting_ancestor_and_descendant_together() {
     // Both deletes are fine: detaching the child from an already-detached
     // parent (or vice versa) is well-defined in either order.
     let mut e = engine_with("<r><a><b/></a></r>");
-    e.run("snap { delete { $doc/r/a }, delete { $doc/r/a/b } }").unwrap();
+    e.run("snap { delete { $doc/r/a }, delete { $doc/r/a/b } }")
+        .unwrap();
     assert_eq!(run(&mut e, "count($doc/r/*)"), "0");
 }
 

@@ -10,7 +10,9 @@ fn engine_with(xml: &str) -> Engine {
 }
 
 fn run(e: &mut Engine, q: &str) -> String {
-    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    let r = e
+        .run(q)
+        .unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
@@ -24,7 +26,10 @@ fn updates_invisible_within_their_snap_scope() {
     // count sees the store before application.
     let mut e = engine_with("<log/>");
     assert_eq!(
-        run(&mut e, "(insert { <entry/> } into { $doc/log }, count($doc/log/entry))"),
+        run(
+            &mut e,
+            "(insert { <entry/> } into { $doc/log }, count($doc/log/entry))"
+        ),
         "0"
     );
     // After the query, the top-level snap has closed: the entry exists.
@@ -36,7 +41,10 @@ fn explicit_snap_makes_effects_visible() {
     // §2.3: "the code can decide to see its own effects."
     let mut e = engine_with("<log/>");
     assert_eq!(
-        run(&mut e, "(snap insert { <entry/> } into { $doc/log }, count($doc/log/entry))"),
+        run(
+            &mut e,
+            "(snap insert { <entry/> } into { $doc/log }, count($doc/log/entry))"
+        ),
         "1"
     );
 }
@@ -84,7 +92,10 @@ fn deeply_nested_snaps_close_inside_out() {
                          snap { insert {<l3/>} into $x } } }"#,
     );
     // Innermost applies first.
-    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "l3 l2 l1");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/x/* return name($n)"),
+        "l3 l2 l1"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -95,9 +106,18 @@ fn deeply_nested_snaps_close_inside_out() {
 fn insert_variants_position_correctly() {
     let mut e = engine_with("<list><mid/></list>");
     run(&mut e, "snap insert { <last/> } into { $doc/list }");
-    run(&mut e, "snap insert { <first/> } as first into { $doc/list }");
-    run(&mut e, "snap insert { <before-mid/> } before { $doc/list/mid }");
-    run(&mut e, "snap insert { <after-mid/> } after { $doc/list/mid }");
+    run(
+        &mut e,
+        "snap insert { <first/> } as first into { $doc/list }",
+    );
+    run(
+        &mut e,
+        "snap insert { <before-mid/> } before { $doc/list/mid }",
+    );
+    run(
+        &mut e,
+        "snap insert { <after-mid/> } after { $doc/list/mid }",
+    );
     assert_eq!(
         run(&mut e, "for $n in $doc/list/* return name($n)"),
         "first before-mid mid after-mid last"
@@ -119,8 +139,14 @@ fn insert_copies_source_tree() {
 #[test]
 fn insert_sequence_of_nodes() {
     let mut e = engine_with("<r><dst/></r>");
-    run(&mut e, "snap insert { (<a/>, <b/>, <c/>) } into { $doc/r/dst }");
-    assert_eq!(run(&mut e, "for $n in $doc/r/dst/* return name($n)"), "a b c");
+    run(
+        &mut e,
+        "snap insert { (<a/>, <b/>, <c/>) } into { $doc/r/dst }",
+    );
+    assert_eq!(
+        run(&mut e, "for $n in $doc/r/dst/* return name($n)"),
+        "a b c"
+    );
 }
 
 #[test]
@@ -199,9 +225,15 @@ fn update_operators_return_empty_sequence() {
     // §2.2: "atomic update operations always return the empty sequence."
     let mut e = engine_with("<r><a/><b/></r>");
     assert_eq!(run(&mut e, "count((insert { <x/> } into { $doc/r }))"), "0");
-    assert_eq!(run(&mut e, "count((rename { $doc/r/a } to { \"a2\" }))"), "0");
+    assert_eq!(
+        run(&mut e, "count((rename { $doc/r/a } to { \"a2\" }))"),
+        "0"
+    );
     assert_eq!(run(&mut e, "count((delete { $doc/r/b }))"), "0");
-    assert_eq!(run(&mut e, "count((replace { $doc/r/x } with { <y/> }))"), "0");
+    assert_eq!(
+        run(&mut e, "count((replace { $doc/r/x } with { <y/> }))"),
+        "0"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -211,21 +243,27 @@ fn update_operators_return_empty_sequence() {
 #[test]
 fn insert_into_text_node_fails_at_application() {
     let mut e = engine_with("<r>text</r>");
-    let err = e.run("snap insert { <x/> } into { $doc/r/text() }").unwrap_err();
+    let err = e
+        .run("snap insert { <x/> } into { $doc/r/text() }")
+        .unwrap_err();
     assert!(matches!(err, Error::Eval(x) if x.code == "XQB0002"));
 }
 
 #[test]
 fn replace_of_parentless_node_fails() {
     let mut e = engine_with("<r/>");
-    let err = e.run("snap replace { copy { $doc/r } } with { <x/> }").unwrap_err();
+    let err = e
+        .run("snap replace { copy { $doc/r } } with { <x/> }")
+        .unwrap_err();
     assert!(matches!(err, Error::Eval(x) if x.code == "XQB0002"));
 }
 
 #[test]
 fn rename_to_invalid_qname_fails() {
     let mut e = engine_with("<r><a/></r>");
-    let err = e.run("snap rename { $doc/r/a } to { \"not a name\" }").unwrap_err();
+    let err = e
+        .run("snap rename { $doc/r/a } to { \"not a name\" }")
+        .unwrap_err();
     assert!(matches!(err, Error::Eval(x) if x.code == "XQDY0074"));
 }
 
@@ -288,7 +326,8 @@ fn paper_log_archiving_sees_own_effects() {
     // §2.3: snap makes the insertion visible so the archiving condition
     // can fire within the same program.
     let mut e = Engine::new();
-    e.load_document("logdoc", "<log><logentry/><logentry/></log>").unwrap();
+    e.load_document("logdoc", "<log><logentry/><logentry/></log>")
+        .unwrap();
     e.load_document("archive", "<archive/>").unwrap();
     let q = r#"
 declare variable $maxlog := 3;
@@ -367,7 +406,9 @@ return insert { <buyer person="{$t/buyer/@person}"
     e.run(q).unwrap();
     let n = e.run("count($purchasers//buyer)").unwrap();
     assert_eq!(e.serialize(&n).unwrap(), "3");
-    let items = e.run("$purchasers//buyer[@person = \"p1\"]/@itemid").unwrap();
+    let items = e
+        .run("$purchasers//buyer[@person = \"p1\"]/@itemid")
+        .unwrap();
     assert_eq!(e.serialize(&items).unwrap(), "itemid=\"i1\" itemid=\"i3\"");
 }
 
@@ -410,7 +451,10 @@ fn nondeterministic_mode_applies_all_updates() {
     )
     .unwrap();
     assert_eq!(run(&mut e, "count($doc/x/*) = 3"), "true");
-    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "a2 b2 c2");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/x/* return name($n)"),
+        "a2 b2 c2"
+    );
 }
 
 #[test]
@@ -427,7 +471,11 @@ fn nondeterministic_seed_changes_append_order() {
         let names = e.run("for $n in $doc/x/* return name($n)").unwrap();
         orders.insert(e.serialize(&names).unwrap());
     }
-    assert_eq!(orders.len(), 2, "both orders should occur across seeds: {orders:?}");
+    assert_eq!(
+        orders.len(),
+        2,
+        "both orders should occur across seeds: {orders:?}"
+    );
 }
 
 #[test]
@@ -456,7 +504,10 @@ fn updates_in_for_body_accumulate_in_iteration_order() {
         &mut e,
         "for $i in 1 to 4 return insert { element e { attribute n { $i } } } into { $doc/x }",
     );
-    assert_eq!(run(&mut e, "for $n in $doc/x/e return string($n/@n)"), "1 2 3 4");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/x/e return string($n/@n)"),
+        "1 2 3 4"
+    );
 }
 
 #[test]
@@ -469,7 +520,10 @@ fn updates_in_both_branches_only_taken_branch_counts() {
            then insert { <even/> } into { $doc/x }
            else insert { <odd/> } into { $doc/x }",
     );
-    assert_eq!(run(&mut e, "for $n in $doc/x/* return name($n)"), "odd even odd even");
+    assert_eq!(
+        run(&mut e, "for $n in $doc/x/* return name($n)"),
+        "odd even odd even"
+    );
 }
 
 #[test]

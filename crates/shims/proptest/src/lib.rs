@@ -1,0 +1,779 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this workspace vendors
+//! the API subset its property tests use:
+//!
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] macros;
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * integer-range strategies, tuple strategies, [`arbitrary::any`],
+//!   [`collection::vec`], [`option::of`], and
+//!   [`string::string_regex`] for the `[class]{m,n}` patterns the tests
+//!   rely on (plain `&str` literals are also usable as strategies);
+//! * [`test_runner::ProptestConfig`] / [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream: generation is deterministic per test name and
+//! case index (reruns are exactly reproducible) and there is **no
+//! shrinking** — a failing case reports its full inputs instead.
+
+pub mod test_runner {
+    /// Per-`proptest!` configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// Upstream distinguishes rejection from failure; the shim treats
+        /// both as failures (no strategy here generates rejections).
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-case random source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator keyed on the test path and case index, so every run
+        /// of a test replays the same case sequence.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..bound` (`bound` ≥ 1).
+        pub fn below(&mut self, bound: usize) -> usize {
+            debug_assert!(bound >= 1);
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into a branch strategy. The
+        /// shim ignores the size hints and bounds recursion by `depth`.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        gen: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union of the given arms (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// A strategy generating exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Debug + Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident . $i:tt),+ ))+) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// String literals act as regex strategies (subset; see
+    /// [`crate::string::string_regex`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Its canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for a primitive.
+    pub struct Any<T>(PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+        fn arbitrary() -> Any<bool> {
+            Any(PhantomData)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Option`s of values from `inner` (`None` 1 time in 4).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// A strategy producing `None` or a value from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A compiled `[class]{m,n}`-style pattern (sequence of classes, each
+    /// with a repetition count). This covers every pattern used by the
+    /// workspace's tests; richer regexes are rejected with an error.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        parts: Vec<Part>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Part {
+        Literal(char),
+        Class {
+            chars: Vec<char>,
+            min: usize,
+            max: usize,
+        },
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for part in &self.parts {
+                match part {
+                    Part::Literal(c) => out.push(*c),
+                    Part::Class { chars, min, max } => {
+                        let len = min + rng.below(max - min + 1);
+                        for _ in 0..len {
+                            out.push(chars[rng.below(chars.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Compile a regex subset into a generator: literal characters and
+    /// `[class]` char-classes (with `a-z` ranges) optionally followed by
+    /// `{m}`, `{m,n}`, `*`, `+`, or `?`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let mut parts = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .ok_or_else(|| format!("unterminated class in {pattern:?}"))?;
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let esc = chars
+                                    .next()
+                                    .ok_or_else(|| format!("dangling escape in {pattern:?}"))?;
+                                class.push(esc);
+                                prev = Some(esc);
+                            }
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let hi = chars.next().unwrap();
+                                let lo = prev.take().unwrap();
+                                if lo as u32 > hi as u32 {
+                                    return Err(format!("bad range {lo}-{hi} in {pattern:?}"));
+                                }
+                                // `lo` is already in the class; add the rest.
+                                for u in (lo as u32 + 1)..=(hi as u32) {
+                                    class.push(char::from_u32(u).unwrap());
+                                }
+                            }
+                            other => {
+                                class.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if class.is_empty() {
+                        return Err(format!("empty class in {pattern:?}"));
+                    }
+                    let (min, max) = parse_repeat(&mut chars, pattern)?;
+                    parts.push(Part::Class {
+                        chars: class,
+                        min,
+                        max,
+                    });
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                    return Err(format!("unsupported regex syntax {c:?} in {pattern:?}"));
+                }
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| format!("dangling escape in {pattern:?}"))?;
+                    parts.push(Part::Literal(esc));
+                }
+                other => parts.push(Part::Literal(other)),
+            }
+        }
+        Ok(RegexGeneratorStrategy { parts })
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<(usize, usize), String> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.trim(), hi.trim()),
+                    None => (spec.trim(), spec.trim()),
+                };
+                let lo: usize = lo
+                    .parse()
+                    .map_err(|_| format!("bad repeat {spec:?} in {pattern:?}"))?;
+                let hi: usize = hi
+                    .parse()
+                    .map_err(|_| format!("bad repeat {spec:?} in {pattern:?}"))?;
+                if hi < lo {
+                    return Err(format!("bad repeat {spec:?} in {pattern:?}"));
+                }
+                Ok((lo, hi))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fallible assertion: returns a [`test_runner::TestCaseError`] instead of
+/// panicking, so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("{}\n  both: {:?}", ::std::format!($($fmt)+), l),
+            ));
+        }
+    }};
+}
+
+/// The property-test harness macro. Each `#[test] fn name(arg in strategy,
+/// ...) { body }` expands to a standard `#[test]` running `cases`
+/// deterministic cases; `prop_assert*` failures report the generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!([$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     #[test]
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = ::std::format!(
+                    ::std::concat!($("\n    ", ::std::stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                #[allow(unreachable_code)]
+                let __result = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __result {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\n  inputs:{}",
+                        __case + 1,
+                        __config.cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!([$cfg] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_within_class() {
+        let strat = crate::string::string_regex("[a-c]{2,4}").unwrap();
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..100 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='c').contains(&c)),
+                "bad char: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_space_to_tilde_covers_printable_ascii() {
+        let strat = crate::string::string_regex("[ -~]{0,40}").unwrap();
+        let mut rng = TestRng::for_case("printable", 3);
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("x", 5);
+        let mut b = TestRng::for_case("x", 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 6);
+        assert_ne!(TestRng::for_case("x", 5).next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_runs_generated_cases(
+            xs in crate::collection::vec(0i64..100, 0..10),
+            flag in any::<bool>(),
+            word in "[a-z]{1,5}",
+        ) {
+            prop_assert!(xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| (0..100).contains(&x)));
+            prop_assert!(!word.is_empty() && word.len() <= 5);
+            if flag {
+                // Early return must be accepted by the harness closure.
+                return Ok(());
+            }
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(word.clone() + "x", word);
+        }
+
+        #[test]
+        fn oneof_and_recursive_strategies_work(
+            v in prop_oneof![(0u8..4).prop_map(|x| x as u32), (10u8..14).prop_map(|x| x as u32)]
+        ) {
+            prop_assert!((0..4).contains(&v) || (10..14).contains(&v));
+        }
+    }
+}

@@ -34,12 +34,16 @@ pub struct Compiler {
 impl Compiler {
     /// A compiler for a program (analyzes its functions once).
     pub fn new(program: &CoreProgram) -> Self {
-        Compiler { analysis: EffectAnalysis::new(program) }
+        Compiler {
+            analysis: EffectAnalysis::new(program),
+        }
     }
 
     /// A compiler with no user functions in scope.
     pub fn empty() -> Self {
-        Compiler { analysis: EffectAnalysis::empty() }
+        Compiler {
+            analysis: EffectAnalysis::empty(),
+        }
     }
 
     /// The effect analysis (exposed for diagnostics and tests).
@@ -115,12 +119,21 @@ impl Compiler {
     /// Pattern: for $o in E1 return for $i in E2 return if (k = k) then R
     /// else () — the normalized form of the §2.1 for-for-where query.
     fn try_join(&self, core: &Core) -> Option<QueryPlan> {
-        let Core::For { var: outer_var, position: None, source: outer_source, body } = core
+        let Core::For {
+            var: outer_var,
+            position: None,
+            source: outer_source,
+            body,
+        } = core
         else {
             return None;
         };
-        let Core::For { var: inner_var, position: None, source: inner_source, body: inner_body } =
-            body.as_ref()
+        let Core::For {
+            var: inner_var,
+            position: None,
+            source: inner_source,
+            body: inner_body,
+        } = body.as_ref()
         else {
             return None;
         };
@@ -148,28 +161,35 @@ impl Compiler {
     /// Pattern: for $o in E1 return let $g := (for $i in E2 return
     /// if (k = k) then R else ()) return F — the §4.3 Q8 variant.
     fn try_outer_join_group_by(&self, core: &Core) -> Option<QueryPlan> {
-        let Core::For { var: outer_var, position: None, source: outer_source, body } = core
+        let Core::For {
+            var: outer_var,
+            position: None,
+            source: outer_source,
+            body,
+        } = core
         else {
             return None;
         };
-        let Core::Let { var: group_var, value, body: ret } = body.as_ref() else {
+        let Core::Let {
+            var: group_var,
+            value,
+            body: ret,
+        } = body.as_ref()
+        else {
             return None;
         };
-        let Core::For { var: inner_var, position: None, source: inner_source, body: inner_body } =
-            value.as_ref()
+        let Core::For {
+            var: inner_var,
+            position: None,
+            source: inner_source,
+            body: inner_body,
+        } = value.as_ref()
         else {
             return None;
         };
         let (k1, k2, r) = match_where_eq(inner_body)?;
-        let (outer_key, inner_key) = self.join_guards(
-            outer_var,
-            outer_source,
-            inner_var,
-            inner_source,
-            k1,
-            k2,
-            r,
-        )?;
+        let (outer_key, inner_key) =
+            self.join_guards(outer_var, outer_source, inner_var, inner_source, k1, k2, r)?;
         // The outer return must not apply updates either (it runs once per
         // outer binding in both plans, but an inner snap would let it
         // observe R's effects mid-join).

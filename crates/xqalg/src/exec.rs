@@ -102,28 +102,28 @@ fn for_each_match(
     evaluator: &mut Evaluator,
     store: &mut Store,
     env: &mut DynEnv,
-    mut on_match: impl FnMut(
-        &mut Evaluator,
-        &mut Store,
-        &mut DynEnv,
-        &Item,
-        usize,
-    ) -> XdmResult<()>,
+    mut on_match: impl FnMut(&mut Evaluator, &mut Store, &mut DynEnv, &Item, usize) -> XdmResult<()>,
 ) -> XdmResult<()> {
-    drive_join(join, evaluator, store, env, |ev, store, env, outer, matches, inner| {
-        env.push_var(join.outer_var.clone(), vec![outer.clone()]);
-        let r = (|| {
-            for &idx in matches {
-                env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
-                let r = on_match(ev, store, env, outer, idx);
-                env.pop_var();
-                r?;
-            }
-            Ok(())
-        })();
-        env.pop_var();
-        r
-    })
+    drive_join(
+        join,
+        evaluator,
+        store,
+        env,
+        |ev, store, env, outer, matches, inner| {
+            env.push_var(join.outer_var.clone(), vec![outer.clone()]);
+            let r = (|| {
+                for &idx in matches {
+                    env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                    let r = on_match(ev, store, env, outer, idx);
+                    env.pop_var();
+                    r?;
+                }
+                Ok(())
+            })();
+            env.pop_var();
+            r
+        },
+    )
 }
 
 /// Outer-join + group-by: per outer binding, the grouped sequence is the
@@ -137,25 +137,31 @@ fn execute_group_by(
 ) -> XdmResult<Sequence> {
     let join = &group.join;
     let mut out = Vec::new();
-    drive_join(join, evaluator, store, env, |ev, store, env, outer, matches, inner| {
-        env.push_var(join.outer_var.clone(), vec![outer.clone()]);
-        let r = (|| {
-            let mut grouped: Sequence = Vec::new();
-            for &idx in matches {
-                env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
-                let v = ev.eval(store, env, &join.body);
+    drive_join(
+        join,
+        evaluator,
+        store,
+        env,
+        |ev, store, env, outer, matches, inner| {
+            env.push_var(join.outer_var.clone(), vec![outer.clone()]);
+            let r = (|| {
+                let mut grouped: Sequence = Vec::new();
+                for &idx in matches {
+                    env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                    let v = ev.eval(store, env, &join.body);
+                    env.pop_var();
+                    grouped.extend(v?);
+                }
+                env.push_var(group.group_var.clone(), grouped);
+                let v = ev.eval(store, env, &group.ret);
                 env.pop_var();
-                grouped.extend(v?);
-            }
-            env.push_var(group.group_var.clone(), grouped);
-            let v = ev.eval(store, env, &group.ret);
+                out.extend(v?);
+                Ok(())
+            })();
             env.pop_var();
-            out.extend(v?);
-            Ok(())
-        })();
-        env.pop_var();
-        r
-    })?;
+            r
+        },
+    )?;
     Ok(out)
 }
 

@@ -116,7 +116,9 @@ impl fmt::Display for QueryPlan {
 /// prints as `buyer/@person` after the `Input#t` prefix).
 fn strip_var(key: &Core, var: &str) -> String {
     let s = key.to_string();
-    s.strip_prefix(&format!("${var}/")).map(str::to_string).unwrap_or(s)
+    s.strip_prefix(&format!("${var}/"))
+        .map(str::to_string)
+        .unwrap_or(s)
 }
 
 #[cfg(test)]

@@ -78,14 +78,28 @@ fn rewrite_node(core: Core, a: &EffectAnalysis) -> Core {
             Core::If(cond, then, els)
         }
         // ---- empty-for / singleton-for ----
-        Core::For { var, position, source, body } => {
+        Core::For {
+            var,
+            position,
+            source,
+            body,
+        } => {
             if matches!(&*source, Core::Seq(v) if v.is_empty()) {
                 return Core::empty();
             }
             if position.is_none() && is_singleton(&source) {
-                return Core::Let { var, value: source, body };
+                return Core::Let {
+                    var,
+                    value: source,
+                    body,
+                };
             }
-            Core::For { var, position, source, body }
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            }
         }
         // ---- flatten nested sequences of constants; drop empty items ----
         Core::Seq(items) => {
@@ -109,10 +123,7 @@ fn rewrite_node(core: Core, a: &EffectAnalysis) -> Core {
 fn is_singleton(core: &Core) -> bool {
     matches!(
         core,
-        Core::Const(_)
-            | Core::ElemCtor { .. }
-            | Core::AttrCtor { .. }
-            | Core::DocCtor(_)
+        Core::Const(_) | Core::ElemCtor { .. } | Core::AttrCtor { .. } | Core::DocCtor(_)
     )
 }
 
@@ -120,7 +131,12 @@ fn is_singleton(core: &Core) -> bool {
 fn count_var_uses(body: &Core, var: &str) -> usize {
     match body {
         Core::Var(v) => usize::from(v == var),
-        Core::For { var: v, position, source, body: b } => {
+        Core::For {
+            var: v,
+            position,
+            source,
+            body: b,
+        } => {
             let mut n = count_var_uses(source, var);
             let shadowed = v == var || position.as_deref() == Some(var);
             if !shadowed {
@@ -128,21 +144,35 @@ fn count_var_uses(body: &Core, var: &str) -> usize {
             }
             n
         }
-        Core::Let { var: v, value, body: b } => {
+        Core::Let {
+            var: v,
+            value,
+            body: b,
+        } => {
             let mut n = count_var_uses(value, var);
             if v != var {
                 n += count_var_uses(b, var);
             }
             n
         }
-        Core::Quantified { var: v, source, satisfies, .. } => {
+        Core::Quantified {
+            var: v,
+            source,
+            satisfies,
+            ..
+        } => {
             let mut n = count_var_uses(source, var);
             if v != var {
                 n += count_var_uses(satisfies, var);
             }
             n
         }
-        Core::SortedFor { var: v, source, keys, body: b } => {
+        Core::SortedFor {
+            var: v,
+            source,
+            keys,
+            body: b,
+        } => {
             let mut n = count_var_uses(source, var);
             if v != var {
                 for k in keys {
@@ -167,22 +197,61 @@ fn count_var_uses(body: &Core, var: &str) -> usize {
 fn substitute(body: &Core, var: &str, value: &Core) -> Core {
     match body {
         Core::Var(v) if v == var => value.clone(),
-        Core::For { var: v, position, source, body: b } => {
+        Core::For {
+            var: v,
+            position,
+            source,
+            body: b,
+        } => {
             let source = substitute(source, var, value).boxed();
             let shadowed = v == var || position.as_deref() == Some(var);
-            let b = if shadowed { b.clone() } else { substitute(b, var, value).boxed() };
-            Core::For { var: v.clone(), position: position.clone(), source, body: b }
+            let b = if shadowed {
+                b.clone()
+            } else {
+                substitute(b, var, value).boxed()
+            };
+            Core::For {
+                var: v.clone(),
+                position: position.clone(),
+                source,
+                body: b,
+            }
         }
-        Core::Let { var: v, value: val, body: b } => {
+        Core::Let {
+            var: v,
+            value: val,
+            body: b,
+        } => {
             let val = substitute(val, var, value).boxed();
-            let b = if v == var { b.clone() } else { substitute(b, var, value).boxed() };
-            Core::Let { var: v.clone(), value: val, body: b }
+            let b = if v == var {
+                b.clone()
+            } else {
+                substitute(b, var, value).boxed()
+            };
+            Core::Let {
+                var: v.clone(),
+                value: val,
+                body: b,
+            }
         }
-        Core::Quantified { quantifier, var: v, source, satisfies } => {
+        Core::Quantified {
+            quantifier,
+            var: v,
+            source,
+            satisfies,
+        } => {
             let source = substitute(source, var, value).boxed();
-            let satisfies =
-                if v == var { satisfies.clone() } else { substitute(satisfies, var, value).boxed() };
-            Core::Quantified { quantifier: *quantifier, var: v.clone(), source, satisfies }
+            let satisfies = if v == var {
+                satisfies.clone()
+            } else {
+                substitute(satisfies, var, value).boxed()
+            };
+            Core::Quantified {
+                quantifier: *quantifier,
+                var: v.clone(),
+                source,
+                satisfies,
+            }
         }
         other => map_children(other, &mut |c| substitute(c, var, value)),
     }
@@ -196,7 +265,12 @@ fn map_children(core: &Core, f: &mut impl FnMut(&Core) -> Core) -> Core {
     match core {
         Core::Const(_) | Core::Var(_) | Core::ContextItem => core.clone(),
         Core::Seq(items) => Core::Seq(items.iter().map(|c| f(c)).collect()),
-        Core::For { var, position, source, body } => Core::For {
+        Core::For {
+            var,
+            position,
+            source,
+            body,
+        } => Core::For {
             var: var.clone(),
             position: position.clone(),
             source: f(source).boxed(),
@@ -208,18 +282,31 @@ fn map_children(core: &Core, f: &mut impl FnMut(&Core) -> Core) -> Core {
             body: f(body).boxed(),
         },
         Core::If(c, t, e) => Core::If(f(c).boxed(), f(t).boxed(), f(e).boxed()),
-        Core::Quantified { quantifier, var, source, satisfies } => Core::Quantified {
+        Core::Quantified {
+            quantifier,
+            var,
+            source,
+            satisfies,
+        } => Core::Quantified {
             quantifier: *quantifier,
             var: var.clone(),
             source: f(source).boxed(),
             satisfies: f(satisfies).boxed(),
         },
-        Core::SortedFor { var, source, keys, body } => Core::SortedFor {
+        Core::SortedFor {
+            var,
+            source,
+            keys,
+            body,
+        } => Core::SortedFor {
             var: var.clone(),
             source: f(source).boxed(),
             keys: keys
                 .iter()
-                .map(|k| CoreOrderSpec { key: f(&k.key), ascending: k.ascending })
+                .map(|k| CoreOrderSpec {
+                    key: f(&k.key),
+                    ascending: k.ascending,
+                })
                 .collect(),
             body: f(body).boxed(),
         },
@@ -232,19 +319,23 @@ fn map_children(core: &Core, f: &mut impl FnMut(&Core) -> Core) -> Core {
         Core::Or(a, b) => Core::Or(f(a).boxed(), f(b).boxed()),
         Core::Union(a, b) => Core::Union(f(a).boxed(), f(b).boxed()),
         Core::Range(a, b) => Core::Range(f(a).boxed(), f(b).boxed()),
-        Core::MapStep { base, axis, test, predicates } => Core::MapStep {
+        Core::MapStep {
+            base,
+            axis,
+            test,
+            predicates,
+        } => Core::MapStep {
             base: f(base).boxed(),
             axis: *axis,
             test: test.clone(),
             predicates: predicates.iter().map(|c| f(c)).collect(),
         },
         Core::DocOrder(e) => Core::DocOrder(f(e).boxed()),
-        Core::Predicate { base, pred } => {
-            Core::Predicate { base: f(base).boxed(), pred: f(pred).boxed() }
-        }
-        Core::Call(name, args) => {
-            Core::Call(name.clone(), args.iter().map(|c| f(c)).collect())
-        }
+        Core::Predicate { base, pred } => Core::Predicate {
+            base: f(base).boxed(),
+            pred: f(pred).boxed(),
+        },
+        Core::Call(name, args) => Core::Call(name.clone(), args.iter().map(|c| f(c)).collect()),
         Core::ElemCtor { name, content } => Core::ElemCtor {
             name: map_name(name, f),
             content: f(content).boxed(),
@@ -315,7 +406,10 @@ mod tests {
 
     #[test]
     fn if_folding_via_folded_condition() {
-        assert_eq!(simp("if (1 = 1) then 10 else 20"), simp("if (1 = 1) then 10 else 20"));
+        assert_eq!(
+            simp("if (1 = 1) then 10 else 20"),
+            simp("if (1 = 1) then 10 else 20")
+        );
         // Constant *atomic* conditions fold (comparisons are not folded to
         // constants by design — they carry sequence semantics).
         assert_eq!(simp("let $q := 1 return if ($q) then 10 else 20"), int(10));
@@ -332,7 +426,10 @@ mod tests {
     fn dead_let_with_pending_updates_is_kept() {
         // GUARD: dropping this let would lose an update request.
         let c = simp("let $x := insert { <a/> } into { $t } return 42");
-        assert!(matches!(c, Core::Let { .. }), "must keep updating dead let: {c:?}");
+        assert!(
+            matches!(c, Core::Let { .. }),
+            "must keep updating dead let: {c:?}"
+        );
     }
 
     #[test]
@@ -358,7 +455,10 @@ mod tests {
         // GUARD: the body's snap changes the store between binding and
         // use; inlining would move the read after the effect.
         let c = simp("let $x := count($t/*) return (snap delete { $t/a }, $x)");
-        assert!(matches!(c, Core::Let { .. }), "snap body must block inlining: {c:?}");
+        assert!(
+            matches!(c, Core::Let { .. }),
+            "snap body must block inlining: {c:?}"
+        );
     }
 
     #[test]
@@ -371,7 +471,10 @@ mod tests {
 
     #[test]
     fn empty_for_vanishes() {
-        assert_eq!(simp("for $x in () return insert { <a/> } into { $t }"), Core::empty());
+        assert_eq!(
+            simp("for $x in () return insert { <a/> } into { $t }"),
+            Core::empty()
+        );
     }
 
     #[test]
@@ -384,7 +487,13 @@ mod tests {
     #[test]
     fn positional_for_is_not_rewritten() {
         let c = simp("for $x at $i in <a/> return $i");
-        assert!(matches!(c, Core::For { position: Some(_), .. }));
+        assert!(matches!(
+            c,
+            Core::For {
+                position: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

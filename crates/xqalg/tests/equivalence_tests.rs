@@ -60,7 +60,12 @@ return <item person="{ $p/name }">{ count($a) }</item>"#;
 
 fn check_equivalence(query: &str, expect_optimized: bool) {
     for seed in [1, 7, 42] {
-        let scale = Scale { persons: 30, items: 20, closed_auctions: 25, open_auctions: 5 };
+        let scale = Scale {
+            persons: 30,
+            items: 20,
+            closed_auctions: 25,
+            open_auctions: 5,
+        };
         let program = compile(query);
 
         let (mut store_n, bindings_n, purch_n) = setup(seed, &scale);
@@ -68,7 +73,10 @@ fn check_equivalence(query: &str, expect_optimized: bool) {
 
         let (mut store_o, bindings_o, purch_o) = setup(seed, &scale);
         let (value_o, optimized) = run_optimized(&program, &mut store_o, &bindings_o, 0).unwrap();
-        assert_eq!(optimized, expect_optimized, "optimizer decision for {query}");
+        assert_eq!(
+            optimized, expect_optimized,
+            "optimizer decision for {query}"
+        );
 
         // Same value sequence (serialized — node ids may differ).
         assert_eq!(
@@ -129,7 +137,12 @@ fn outer_join_keeps_unmatched_outers() {
     // Persons with no purchases still produce an <item> with count 0 —
     // the LEFT OUTER semantics. Compare against naive for a scale where
     // some persons are guaranteed unmatched.
-    let scale = Scale { persons: 50, items: 10, closed_auctions: 5, open_auctions: 1 };
+    let scale = Scale {
+        persons: 50,
+        items: 10,
+        closed_auctions: 5,
+        open_auctions: 1,
+    };
     let program = compile(Q8_VARIANT);
     let (mut store_n, bindings_n, _) = setup(3, &scale);
     let value_n = run_naive(&program, &mut store_n, &bindings_n, 0).unwrap();
@@ -138,7 +151,10 @@ fn outer_join_keeps_unmatched_outers() {
     assert!(optimized);
     assert_eq!(value_n.len(), 50);
     assert_eq!(value_o.len(), 50);
-    assert_eq!(serialize_seq(&store_n, &value_n), serialize_seq(&store_o, &value_o));
+    assert_eq!(
+        serialize_seq(&store_n, &value_n),
+        serialize_seq(&store_o, &value_o)
+    );
 }
 
 #[test]
@@ -147,7 +163,10 @@ fn plan_render_matches_paper_shape() {
     let plan = Compiler::new(&program).compile(&program.body);
     let rendered = plan.render();
     for needle in ["Snap {", "MapFromItem", "GroupBy", "LeftOuterJoin", "on {"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
 }
 
@@ -184,8 +203,8 @@ return <m/>"#;
 #[test]
 fn join_handles_empty_sides() {
     let mut store = Store::new();
-    let doc = xqdm::xml::parse_document(&mut store, "<r><left/><right><f k=\"1\"/></right></r>")
-        .unwrap();
+    let doc =
+        xqdm::xml::parse_document(&mut store, "<r><left/><right><f k=\"1\"/></right></r>").unwrap();
     let bindings = vec![("d".to_string(), vec![Item::Node(doc)])];
     let q = "for $x in $d//left/e for $y in $d//right/f where $x/@k = $y/@k return <m/>";
     let program = compile(q);

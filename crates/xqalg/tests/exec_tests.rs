@@ -67,7 +67,10 @@ return insert { <m/> } into { ($d//out)[1] }"#;
     assert!(!xqdm::xml::serialize(&store, doc).unwrap().contains("<m/>"));
     apply_delta(&mut store, delta, SnapMode::Ordered, 0).unwrap();
     assert_eq!(
-        xqdm::xml::serialize(&store, doc).unwrap().matches("<m/>").count(),
+        xqdm::xml::serialize(&store, doc)
+            .unwrap()
+            .matches("<m/>")
+            .count(),
         3
     );
 }

@@ -70,7 +70,9 @@ fn group_query(with_update: bool) -> String {
 fn check(query: &str, left: &SideSpec, right: &SideSpec) -> Result<(), TestCaseError> {
     let program = xqsyn::compile(query).expect("compile");
     // The optimizer must fire on these shapes at all.
-    prop_assert!(Compiler::new(&program).compile(&program.body).is_optimized());
+    prop_assert!(Compiler::new(&program)
+        .compile(&program.body)
+        .is_optimized());
 
     let setup = |spec_l: &SideSpec, spec_r: &SideSpec| {
         let mut store = Store::new();

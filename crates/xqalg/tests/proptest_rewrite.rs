@@ -48,11 +48,7 @@ fn build_data(store: &mut Store, keys: &[u8]) -> xqdm::NodeId {
     data
 }
 
-fn run_body(
-    program: &CoreProgram,
-    body: &xqsyn::core::Core,
-    keys: &[u8],
-) -> (String, String) {
+fn run_body(program: &CoreProgram, body: &xqsyn::core::Core, keys: &[u8]) -> (String, String) {
     let mut store = Store::new();
     let data = build_data(&mut store, keys);
     let out = store.new_element(QName::local("out"));
@@ -68,7 +64,10 @@ fn run_body(
             Item::Atomic(a) => a.string_value(),
         })
         .collect();
-    (rendered.join("|"), xqdm::xml::serialize(&store, out).unwrap())
+    (
+        rendered.join("|"),
+        xqdm::xml::serialize(&store, out).unwrap(),
+    )
 }
 
 proptest! {

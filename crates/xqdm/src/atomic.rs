@@ -76,7 +76,10 @@ impl Atomic {
                 if d.is_finite() {
                     Ok(*d as i64)
                 } else {
-                    Err(XdmError::value("FOCA0002", "cannot cast non-finite double to integer"))
+                    Err(XdmError::value(
+                        "FOCA0002",
+                        "cannot cast non-finite double to integer",
+                    ))
                 }
             }
             Atomic::Boolean(b) => Ok(if *b { 1 } else { 0 }),
@@ -121,7 +124,11 @@ pub fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if d == d.trunc() && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {
@@ -357,9 +364,9 @@ pub fn negate(a: &Atomic) -> XdmResult<Atomic> {
 fn coerce_numeric(a: &Atomic) -> XdmResult<Atomic> {
     match a {
         Atomic::Integer(_) | Atomic::Double(_) => Ok(a.clone()),
-        Atomic::Untyped(s) => parse_double(s)
-            .map(Atomic::Double)
-            .ok_or_else(|| XdmError::value("FORG0001", format!("cannot cast \"{s}\" to xs:double"))),
+        Atomic::Untyped(s) => parse_double(s).map(Atomic::Double).ok_or_else(|| {
+            XdmError::value("FORG0001", format!("cannot cast \"{s}\" to xs:double"))
+        }),
         other => Err(XdmError::type_error(format!(
             "operand of arithmetic must be numeric, got {}",
             other.type_name()
@@ -384,8 +391,12 @@ mod tests {
     #[test]
     fn untyped_vs_numeric_compares_numerically() {
         // XMark-style: @person = "person12" string compare, @id = 12 numeric.
-        assert!(general_compare(CompareOp::Eq, &Atomic::Untyped("12".into()), &Atomic::Integer(12))
-            .unwrap());
+        assert!(general_compare(
+            CompareOp::Eq,
+            &Atomic::Untyped("12".into()),
+            &Atomic::Integer(12)
+        )
+        .unwrap());
         assert!(general_compare(
             CompareOp::Lt,
             &Atomic::Untyped("9".into()),
@@ -465,24 +476,40 @@ mod tests {
 
     #[test]
     fn overflow_is_detected() {
-        let e =
-            arithmetic(ArithOp::Add, &Atomic::Integer(i64::MAX), &Atomic::Integer(1)).unwrap_err();
+        let e = arithmetic(
+            ArithOp::Add,
+            &Atomic::Integer(i64::MAX),
+            &Atomic::Integer(1),
+        )
+        .unwrap_err();
         assert_eq!(e.code, "FOAR0002");
-        assert_eq!(negate(&Atomic::Integer(i64::MIN)).unwrap_err().code, "FOAR0002");
+        assert_eq!(
+            negate(&Atomic::Integer(i64::MIN)).unwrap_err().code,
+            "FOAR0002"
+        );
     }
 
     #[test]
     fn untyped_operands_of_arithmetic_become_double() {
         assert_eq!(
-            arithmetic(ArithOp::Add, &Atomic::Untyped("1".into()), &Atomic::Integer(2)).unwrap(),
+            arithmetic(
+                ArithOp::Add,
+                &Atomic::Untyped("1".into()),
+                &Atomic::Integer(2)
+            )
+            .unwrap(),
             Atomic::Double(3.0)
         );
     }
 
     #[test]
     fn arithmetic_on_strings_is_a_type_error() {
-        let e =
-            arithmetic(ArithOp::Add, &Atomic::String("a".into()), &Atomic::Integer(2)).unwrap_err();
+        let e = arithmetic(
+            ArithOp::Add,
+            &Atomic::String("a".into()),
+            &Atomic::Integer(2),
+        )
+        .unwrap_err();
         assert_eq!(e.code, "XPTY0004");
     }
 
@@ -513,8 +540,8 @@ mod tests {
 
     #[test]
     fn incomparable_types_error() {
-        let e = value_compare(CompareOp::Eq, &Atomic::Boolean(true), &Atomic::Integer(1))
-            .unwrap_err();
+        let e =
+            value_compare(CompareOp::Eq, &Atomic::Boolean(true), &Atomic::Integer(1)).unwrap_err();
         assert_eq!(e.code, "XPTY0004");
     }
 }

@@ -23,7 +23,10 @@ pub struct XdmError {
 impl XdmError {
     /// Create a new error with the given code and message.
     pub fn new(code: &'static str, message: impl Into<String>) -> Self {
-        XdmError { code, message: message.into() }
+        XdmError {
+            code,
+            message: message.into(),
+        }
     }
 
     /// A dangling or dead node id was dereferenced.

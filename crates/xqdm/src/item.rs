@@ -131,7 +131,8 @@ pub fn exactly_one_node(seq: Sequence) -> XdmResult<NodeId> {
 pub fn all_nodes(seq: &[Item]) -> XdmResult<Vec<NodeId>> {
     seq.iter()
         .map(|i| {
-            i.as_node().ok_or_else(|| XdmError::type_error("expected a sequence of nodes"))
+            i.as_node()
+                .ok_or_else(|| XdmError::type_error("expected a sequence of nodes"))
         })
         .collect()
 }
@@ -185,12 +186,24 @@ pub fn deep_equal_nodes(a: NodeId, b: NodeId, store: &Store) -> XdmResult<bool> 
         (NodeKind::Text { content: x }, NodeKind::Text { content: y }) => Ok(x == y),
         (NodeKind::Comment { content: x }, NodeKind::Comment { content: y }) => Ok(x == y),
         (
-            NodeKind::Pi { target: tx, content: cx },
-            NodeKind::Pi { target: ty, content: cy },
+            NodeKind::Pi {
+                target: tx,
+                content: cx,
+            },
+            NodeKind::Pi {
+                target: ty,
+                content: cy,
+            },
         ) => Ok(tx == ty && cx == cy),
         (
-            NodeKind::Attribute { name: nx, value: vx },
-            NodeKind::Attribute { name: ny, value: vy },
+            NodeKind::Attribute {
+                name: nx,
+                value: vx,
+            },
+            NodeKind::Attribute {
+                name: ny,
+                value: vy,
+            },
         ) => Ok(nx == ny && vx == vy),
         (NodeKind::Document { .. }, NodeKind::Document { .. })
         | (NodeKind::Element { .. }, NodeKind::Element { .. }) => {
@@ -260,7 +273,10 @@ mod tests {
         let e = s.new_element(q("e"));
         let t = s.new_text("42");
         s.append_child(e, t).unwrap();
-        assert_eq!(Item::Node(e).atomize(&s).unwrap(), Atomic::Untyped("42".into()));
+        assert_eq!(
+            Item::Node(e).atomize(&s).unwrap(),
+            Atomic::Untyped("42".into())
+        );
         assert_eq!(Item::integer(7).atomize(&s).unwrap(), Atomic::Integer(7));
     }
 
@@ -285,7 +301,10 @@ mod tests {
     #[test]
     fn cardinality_helpers() {
         assert_eq!(zero_or_one(vec![]).unwrap(), None);
-        assert_eq!(zero_or_one(vec![Item::integer(1)]).unwrap(), Some(Item::integer(1)));
+        assert_eq!(
+            zero_or_one(vec![Item::integer(1)]).unwrap(),
+            Some(Item::integer(1))
+        );
         assert!(zero_or_one(vec![Item::integer(1), Item::integer(2)]).is_err());
         assert!(exactly_one(vec![]).is_err());
         assert!(exactly_one_node(vec![Item::integer(1)]).is_err());

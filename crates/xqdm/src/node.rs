@@ -115,10 +115,23 @@ mod tests {
 
     #[test]
     fn kind_names() {
-        assert_eq!(NodeKind::Document { children: vec![] }.kind_name(), "document");
-        assert_eq!(NodeKind::Text { content: "x".into() }.kind_name(), "text");
         assert_eq!(
-            NodeKind::Pi { target: "t".into(), content: "c".into() }.kind_name(),
+            NodeKind::Document { children: vec![] }.kind_name(),
+            "document"
+        );
+        assert_eq!(
+            NodeKind::Text {
+                content: "x".into()
+            }
+            .kind_name(),
+            "text"
+        );
+        assert_eq!(
+            NodeKind::Pi {
+                target: "t".into(),
+                content: "c".into()
+            }
+            .kind_name(),
             "processing-instruction"
         );
     }
@@ -126,7 +139,10 @@ mod tests {
     #[test]
     fn containers() {
         assert!(NodeKind::Document { children: vec![] }.is_container());
-        assert!(!NodeKind::Comment { content: String::new() }.is_container());
+        assert!(!NodeKind::Comment {
+            content: String::new()
+        }
+        .is_container());
     }
 
     #[test]

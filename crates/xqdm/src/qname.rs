@@ -19,12 +19,18 @@ pub struct QName {
 impl QName {
     /// A name with no prefix.
     pub fn local(local: impl Into<String>) -> Self {
-        QName { prefix: None, local: local.into() }
+        QName {
+            prefix: None,
+            local: local.into(),
+        }
     }
 
     /// A prefixed name.
     pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
-        QName { prefix: Some(prefix.into()), local: local.into() }
+        QName {
+            prefix: Some(prefix.into()),
+            local: local.into(),
+        }
     }
 
     /// Parse a lexical QName (`local` or `prefix:local`).
@@ -85,7 +91,10 @@ mod tests {
 
     #[test]
     fn parse_prefixed() {
-        assert_eq!(QName::parse("xs:integer"), Some(QName::prefixed("xs", "integer")));
+        assert_eq!(
+            QName::parse("xs:integer"),
+            Some(QName::prefixed("xs", "integer"))
+        );
     }
 
     #[test]

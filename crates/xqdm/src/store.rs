@@ -44,12 +44,61 @@ pub struct StoreStats {
     pub garbage: usize,
 }
 
+/// One recorded inverse of a primitive store mutation. Entries are replayed
+/// in reverse by [`Store::rollback_frame`]; each replay writes fields
+/// directly (never through the journaled mutators) so rollback itself
+/// records nothing.
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// A node was allocated; `reused` says whether the slot came off the
+    /// free list (so undo can restore the free list exactly).
+    Alloc { id: NodeId, reused: bool },
+    /// An element or attribute was renamed; `name` is the previous name.
+    Name { id: NodeId, name: QName },
+    /// A text node's content was replaced.
+    Text { id: NodeId, content: String },
+    /// An attribute node's value was replaced.
+    AttrValue { id: NodeId, value: String },
+    /// A node's sibling order key was rewritten.
+    Okey { id: NodeId, okey: u64 },
+    /// `count` parentless nodes were spliced into `parent`'s children at
+    /// `index` (an insert); undo removes them and clears their parents.
+    Splice {
+        parent: NodeId,
+        index: usize,
+        count: usize,
+    },
+    /// `node` was detached from `parent` at `index` (child list, or the
+    /// attribute list when `in_attributes`); undo reinserts it.
+    Detach {
+        node: NodeId,
+        parent: NodeId,
+        index: usize,
+        in_attributes: bool,
+    },
+    /// A node's parent link alone was rewritten (detach of a node missing
+    /// from its parent's lists — degenerate but journaled exactly).
+    Parent { id: NodeId, parent: Option<NodeId> },
+    /// An attribute was pushed onto `element`'s attribute list; undo pops
+    /// it and clears its parent.
+    AttrPush { element: NodeId },
+    /// A node was reclaimed by `collect_garbage`; `data` is its full
+    /// pre-collection state. Boxed so this rare, fat payload does not
+    /// inflate the size of every other journal entry.
+    Collected { id: NodeId, data: Box<NodeData> },
+}
+
 /// The mutable XML store.
 #[derive(Debug, Default, Clone)]
 pub struct Store {
     nodes: Vec<NodeData>,
     /// Slots retired by `collect_garbage`, available for reuse.
     free: Vec<NodeId>,
+    /// Undo journal: inverses of every mutation performed while at least
+    /// one frame is open (see [`Store::begin_frame`]).
+    undo: Vec<UndoEntry>,
+    /// Start offsets into `undo`, one per open frame.
+    frames: Vec<usize>,
 }
 
 impl Store {
@@ -68,19 +117,244 @@ impl Store {
         self.len() == 0
     }
 
+    // ------------------------------------------------------------------
+    // Undo journal (failure atomicity)
+    //
+    // Every mutating primitive records its inverse into `undo` while at
+    // least one frame is open. `apply_delta` (crate `xqcore`) opens a frame
+    // around each snap application so a failed update leaves the store
+    // exactly as it was; the engine opens an outer frame around each run so
+    // a panic can be unwound to the pre-call store.
+    // ------------------------------------------------------------------
+
+    /// Open an undo frame: every subsequent mutation records its inverse
+    /// until the frame is closed by [`Store::commit_frame`] or
+    /// [`Store::rollback_frame`]. Frames nest; an inner frame's entries are
+    /// retained for the enclosing frame when the inner one commits, so an
+    /// outer rollback still undoes inner-committed work.
+    pub fn begin_frame(&mut self) {
+        self.frames.push(self.undo.len());
+    }
+
+    /// Close the innermost frame, keeping its effects. O(1) when nested;
+    /// the outermost commit frees the accumulated journal. Panics if no
+    /// frame is open.
+    pub fn commit_frame(&mut self) {
+        self.frames
+            .pop()
+            .expect("commit_frame without an open frame");
+        if self.frames.is_empty() {
+            self.undo.clear();
+        }
+    }
+
+    /// Close the innermost frame, undoing every mutation made since its
+    /// [`Store::begin_frame`] — including mutations of inner frames that
+    /// have already committed. The store is restored exactly: node slots,
+    /// the free list, parent links, sibling positions and order keys all
+    /// return to their pre-frame state. Panics if no frame is open.
+    pub fn rollback_frame(&mut self) {
+        let mark = self
+            .frames
+            .pop()
+            .expect("rollback_frame without an open frame");
+        while self.undo.len() > mark {
+            let entry = self.undo.pop().expect("journal shorter than frame mark");
+            self.undo_entry(entry);
+        }
+    }
+
+    /// Pre-size the journal for roughly `additional` upcoming entries so a
+    /// bulk application does not pay repeated reallocation copies. A no-op
+    /// when no frame is open.
+    pub fn journal_reserve(&mut self, additional: usize) {
+        if self.journaling() {
+            self.undo.reserve(additional);
+        }
+    }
+
+    /// Number of currently open undo frames.
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Ids allocated since the innermost open frame began (empty when no
+    /// frame is open). Used by the engine to sweep constructed-but-orphaned
+    /// nodes after a failed run without touching pre-existing garbage.
+    pub fn frame_allocations(&self) -> Vec<NodeId> {
+        let mark = match self.frames.last() {
+            Some(&m) => m,
+            None => return Vec::new(),
+        };
+        self.undo[mark..]
+            .iter()
+            .filter_map(|e| match e {
+                UndoEntry::Alloc { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reclaim exactly the nodes of `candidates` that are alive and not
+    /// reachable from `roots`. Unlike [`Store::collect_garbage`] this never
+    /// touches other unreachable nodes, so pre-existing detached garbage
+    /// (observable via [`Store::stats`]) is preserved. Returns the number
+    /// of reclaimed slots.
+    pub fn reclaim_unreachable(
+        &mut self,
+        candidates: &[NodeId],
+        roots: &[NodeId],
+    ) -> XdmResult<usize> {
+        let reachable = self.reachable_set(roots)?;
+        let journaling = !self.frames.is_empty();
+        let mut reclaimed = 0;
+        for &id in candidates {
+            let i = id.index();
+            if self.nodes.get(i).map(|d| d.alive).unwrap_or(false) && !reachable.contains(&id) {
+                let okey = self.nodes[i].okey;
+                let dead = NodeData {
+                    parent: None,
+                    kind: NodeKind::Text {
+                        content: String::new(),
+                    },
+                    alive: false,
+                    okey,
+                };
+                let data = std::mem::replace(&mut self.nodes[i], dead);
+                if journaling {
+                    self.undo.push(UndoEntry::Collected {
+                        id,
+                        data: Box::new(data),
+                    });
+                }
+                self.free.push(id);
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    fn journaling(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// Replay one journal entry (reverse order is the caller's job). All
+    /// writes are direct so nothing is re-recorded.
+    fn undo_entry(&mut self, entry: UndoEntry) {
+        match entry {
+            UndoEntry::Alloc { id, reused } => {
+                if !reused && id.index() + 1 == self.nodes.len() {
+                    self.nodes.pop();
+                } else {
+                    let d = &mut self.nodes[id.index()];
+                    d.alive = false;
+                    d.kind = NodeKind::Text {
+                        content: String::new(),
+                    };
+                    d.parent = None;
+                    if reused {
+                        self.free.push(id);
+                    }
+                }
+            }
+            UndoEntry::Name { id, name } => {
+                if let NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } =
+                    &mut self.nodes[id.index()].kind
+                {
+                    *n = name;
+                }
+            }
+            UndoEntry::Text { id, content } => {
+                if let NodeKind::Text { content: c } = &mut self.nodes[id.index()].kind {
+                    *c = content;
+                }
+            }
+            UndoEntry::AttrValue { id, value } => {
+                if let NodeKind::Attribute { value: v, .. } = &mut self.nodes[id.index()].kind {
+                    *v = value;
+                }
+            }
+            UndoEntry::Okey { id, okey } => {
+                self.nodes[id.index()].okey = okey;
+            }
+            UndoEntry::Splice {
+                parent,
+                index,
+                count,
+            } => {
+                let removed: Vec<NodeId> = match &mut self.nodes[parent.index()].kind {
+                    NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                        children.drain(index..index + count).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                for n in removed {
+                    self.nodes[n.index()].parent = None;
+                }
+            }
+            UndoEntry::Detach {
+                node,
+                parent,
+                index,
+                in_attributes,
+            } => {
+                match &mut self.nodes[parent.index()].kind {
+                    NodeKind::Document { children } if !in_attributes => {
+                        children.insert(index, node)
+                    }
+                    NodeKind::Element { attributes, .. } if in_attributes => {
+                        attributes.insert(index, node)
+                    }
+                    NodeKind::Element { children, .. } => children.insert(index, node),
+                    _ => {}
+                }
+                self.nodes[node.index()].parent = Some(parent);
+            }
+            UndoEntry::Parent { id, parent } => {
+                self.nodes[id.index()].parent = parent;
+            }
+            UndoEntry::AttrPush { element } => {
+                let popped = match &mut self.nodes[element.index()].kind {
+                    NodeKind::Element { attributes, .. } => attributes.pop(),
+                    _ => None,
+                };
+                if let Some(a) = popped {
+                    self.nodes[a.index()].parent = None;
+                }
+            }
+            UndoEntry::Collected { id, data } => {
+                self.nodes[id.index()] = *data;
+                if self.free.last() == Some(&id) {
+                    self.free.pop();
+                } else {
+                    self.free.retain(|&f| f != id);
+                }
+            }
+        }
+    }
+
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
-        let data = NodeData { parent: None, kind, alive: true, okey: 0 };
-        match self.free.pop() {
+        let data = NodeData {
+            parent: None,
+            kind,
+            alive: true,
+            okey: 0,
+        };
+        let (id, reused) = match self.free.pop() {
             Some(id) => {
                 self.nodes[id.index()] = data;
-                id
+                (id, true)
             }
             None => {
                 let id = NodeId(self.nodes.len() as u32);
                 self.nodes.push(data);
-                id
+                (id, false)
             }
+        };
+        if self.journaling() {
+            self.undo.push(UndoEntry::Alloc { id, reused });
         }
+        id
     }
 
     fn data(&self, id: NodeId) -> XdmResult<&NodeData> {
@@ -108,32 +382,48 @@ impl Store {
 
     /// Create a new, empty document node.
     pub fn new_document(&mut self) -> NodeId {
-        self.alloc(NodeKind::Document { children: Vec::new() })
+        self.alloc(NodeKind::Document {
+            children: Vec::new(),
+        })
     }
 
     /// Create a new, parentless element node with no content.
     pub fn new_element(&mut self, name: QName) -> NodeId {
-        self.alloc(NodeKind::Element { name, attributes: Vec::new(), children: Vec::new() })
+        self.alloc(NodeKind::Element {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        })
     }
 
     /// Create a new, parentless attribute node.
     pub fn new_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Attribute { name, value: value.into() })
+        self.alloc(NodeKind::Attribute {
+            name,
+            value: value.into(),
+        })
     }
 
     /// Create a new, parentless text node.
     pub fn new_text(&mut self, content: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Text { content: content.into() })
+        self.alloc(NodeKind::Text {
+            content: content.into(),
+        })
     }
 
     /// Create a new, parentless comment node.
     pub fn new_comment(&mut self, content: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Comment { content: content.into() })
+        self.alloc(NodeKind::Comment {
+            content: content.into(),
+        })
     }
 
     /// Create a new, parentless processing-instruction node.
     pub fn new_pi(&mut self, target: impl Into<String>, content: impl Into<String>) -> NodeId {
-        self.alloc(NodeKind::Pi { target: target.into(), content: content.into() })
+        self.alloc(NodeKind::Pi {
+            target: target.into(),
+            content: content.into(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -288,9 +578,20 @@ impl Store {
                 )));
             }
         }
-        let a = self.data_mut(attr)?;
-        a.parent = Some(element);
-        a.okey = next_attr_okey;
+        if self.journaling() {
+            self.undo.push(UndoEntry::AttrPush { element });
+        }
+        let old_okey = {
+            let a = self.data_mut(attr)?;
+            a.parent = Some(element);
+            std::mem::replace(&mut a.okey, next_attr_okey)
+        };
+        if self.journaling() {
+            self.undo.push(UndoEntry::Okey {
+                id: attr,
+                okey: old_okey,
+            });
+        }
         Ok(())
     }
 
@@ -329,7 +630,9 @@ impl Store {
         for &n in seq {
             let d = self.data(n)?;
             if d.parent.is_some() {
-                return Err(XdmError::precondition(format!("inserted node {n} has a parent")));
+                return Err(XdmError::precondition(format!(
+                    "inserted node {n} has a parent"
+                )));
             }
             match d.kind {
                 NodeKind::Attribute { .. } => {
@@ -371,6 +674,13 @@ impl Store {
             }
             _ => unreachable!("checked container above"),
         }
+        if self.journaling() {
+            self.undo.push(UndoEntry::Splice {
+                parent,
+                index,
+                count: seq.len(),
+            });
+        }
         for &n in seq {
             self.data_mut(n)?.parent = Some(parent);
         }
@@ -390,23 +700,41 @@ impl Store {
             return Ok(());
         }
         let children: Vec<NodeId> = self.children(parent)?.to_vec();
-        let lo = if index == 0 { 0 } else { self.data(children[index - 1])?.okey };
+        let lo = if index == 0 {
+            0
+        } else {
+            self.data(children[index - 1])?.okey
+        };
         let hi = if index + count == children.len() {
             u64::MAX
         } else {
             self.data(children[index + count])?.okey
         };
         let span = hi - lo;
+        let journaling = self.journaling();
         if span <= count as u64 {
             // Gap exhausted: renumber every child with fresh stride.
             for (i, &c) in children.iter().enumerate() {
-                self.data_mut(c)?.okey = (i as u64 + 1) * Self::OKEY_STRIDE;
+                let old = std::mem::replace(
+                    &mut self.data_mut(c)?.okey,
+                    (i as u64 + 1) * Self::OKEY_STRIDE,
+                );
+                if journaling {
+                    self.undo.push(UndoEntry::Okey { id: c, okey: old });
+                }
             }
             return Ok(());
         }
-        let step = span / (count as u64 + 1);
+        // Cap the step at one stride: bisecting the full remaining span
+        // would halve the tail gap on every end-anchored insert and force a
+        // full renumber every ~64 appends; with the cap, appends consume the
+        // key space linearly and renumbering stays genuinely rare.
+        let step = (span / (count as u64 + 1)).min(Self::OKEY_STRIDE);
         for (j, &c) in children[index..index + count].iter().enumerate() {
-            self.data_mut(c)?.okey = lo + step * (j as u64 + 1);
+            let old = std::mem::replace(&mut self.data_mut(c)?.okey, lo + step * (j as u64 + 1));
+            if journaling {
+                self.undo.push(UndoEntry::Okey { id: c, okey: old });
+            }
         }
         Ok(())
     }
@@ -419,31 +747,67 @@ impl Store {
             Some(p) => p,
             None => return Ok(()),
         };
-        match &mut self.data_mut(parent)?.kind {
-            NodeKind::Document { children } => children.retain(|&c| c != node),
-            NodeKind::Element { attributes, children, .. } => {
-                children.retain(|&c| c != node);
-                attributes.retain(|&a| a != node);
+        // (index, was-in-attribute-list); found first so the undo journal
+        // can reinsert the node at its exact position.
+        let removed: Option<(usize, bool)> = match &mut self.data_mut(parent)?.kind {
+            NodeKind::Document { children } => children.iter().position(|&c| c == node).map(|i| {
+                children.remove(i);
+                (i, false)
+            }),
+            NodeKind::Element {
+                attributes,
+                children,
+                ..
+            } => {
+                if let Some(i) = children.iter().position(|&c| c == node) {
+                    children.remove(i);
+                    Some((i, false))
+                } else {
+                    attributes.iter().position(|&a| a == node).map(|i| {
+                        attributes.remove(i);
+                        (i, true)
+                    })
+                }
             }
-            _ => {}
-        }
+            _ => None,
+        };
         self.data_mut(node)?.parent = None;
+        if self.journaling() {
+            match removed {
+                Some((index, in_attributes)) => self.undo.push(UndoEntry::Detach {
+                    node,
+                    parent,
+                    index,
+                    in_attributes,
+                }),
+                None => self.undo.push(UndoEntry::Parent {
+                    id: node,
+                    parent: Some(parent),
+                }),
+            }
+        }
         Ok(())
     }
 
     /// Apply `rename(node, name)`. Precondition: the node is an element or
     /// attribute.
     pub fn apply_rename(&mut self, node: NodeId, name: QName) -> XdmResult<()> {
-        match &mut self.data_mut(node)?.kind {
+        let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } => {
-                *n = name;
-                Ok(())
+                std::mem::replace(n, name)
             }
             k => {
                 let k = k.kind_name();
-                Err(XdmError::precondition(format!("cannot rename a {k} node")))
+                return Err(XdmError::precondition(format!("cannot rename a {k} node")));
             }
+        };
+        if self.journaling() {
+            self.undo.push(UndoEntry::Name {
+                id: node,
+                name: old,
+            });
         }
+        Ok(())
     }
 
     /// Replace the textual content of a text node (used by `replace` on
@@ -451,30 +815,42 @@ impl Store {
     /// goes through insert+delete; this direct setter is used by tests and
     /// the data generator).
     pub fn set_text(&mut self, node: NodeId, content: impl Into<String>) -> XdmResult<()> {
-        match &mut self.data_mut(node)?.kind {
-            NodeKind::Text { content: c } => {
-                *c = content.into();
-                Ok(())
-            }
+        let content = content.into();
+        let old = match &mut self.data_mut(node)?.kind {
+            NodeKind::Text { content: c } => std::mem::replace(c, content),
             k => {
                 let k = k.kind_name();
-                Err(XdmError::precondition(format!("set_text on a {k} node")))
+                return Err(XdmError::precondition(format!("set_text on a {k} node")));
             }
+        };
+        if self.journaling() {
+            self.undo.push(UndoEntry::Text {
+                id: node,
+                content: old,
+            });
         }
+        Ok(())
     }
 
     /// Set an attribute node's value.
     pub fn set_attribute_value(&mut self, node: NodeId, value: impl Into<String>) -> XdmResult<()> {
-        match &mut self.data_mut(node)?.kind {
-            NodeKind::Attribute { value: v, .. } => {
-                *v = value.into();
-                Ok(())
-            }
+        let value = value.into();
+        let old = match &mut self.data_mut(node)?.kind {
+            NodeKind::Attribute { value: v, .. } => std::mem::replace(v, value),
             k => {
                 let k = k.kind_name();
-                Err(XdmError::precondition(format!("set_attribute_value on a {k} node")))
+                return Err(XdmError::precondition(format!(
+                    "set_attribute_value on a {k} node"
+                )));
             }
+        };
+        if self.journaling() {
+            self.undo.push(UndoEntry::AttrValue {
+                id: node,
+                value: old,
+            });
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -494,7 +870,11 @@ impl Store {
                 }
                 Ok(copy)
             }
-            NodeKind::Element { name, attributes, children } => {
+            NodeKind::Element {
+                name,
+                attributes,
+                children,
+            } => {
                 let copy = self.new_element(name);
                 for a in attributes {
                     let ac = self.deep_copy(a)?;
@@ -541,7 +921,11 @@ impl Store {
         let mut cur = node;
         while let Some(p) = self.parent(cur)? {
             let d = self.data(cur)?;
-            let rank = if matches!(d.kind, NodeKind::Attribute { .. }) { 0 } else { 1 };
+            let rank = if matches!(d.kind, NodeKind::Attribute { .. }) {
+                0
+            } else {
+                1
+            };
             rev.push((rank, d.okey));
             cur = p;
         }
@@ -587,8 +971,10 @@ impl Store {
     /// Sort a node sequence in document order and remove duplicates (the
     /// `ddo` applied to every path-expression step result).
     pub fn sort_and_dedup(&self, nodes: &mut Vec<NodeId>) -> XdmResult<()> {
-        let mut keyed: Vec<(Vec<(u64, u64)>, NodeId)> =
-            nodes.iter().map(|&n| Ok((self.order_key(n)?, n))).collect::<XdmResult<_>>()?;
+        let mut keyed: Vec<(Vec<(u64, u64)>, NodeId)> = nodes
+            .iter()
+            .map(|&n| Ok((self.order_key(n)?, n)))
+            .collect::<XdmResult<_>>()?;
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         keyed.dedup_by(|a, b| a.1 == b.1);
         *nodes = keyed.into_iter().map(|(_, n)| n).collect();
@@ -604,7 +990,11 @@ impl Store {
     pub fn stats(&self, roots: &[NodeId]) -> XdmResult<StoreStats> {
         let reachable = self.reachable_set(roots)?;
         let alive = self.len();
-        Ok(StoreStats { alive, reachable: reachable.len(), garbage: alive - reachable.len() })
+        Ok(StoreStats {
+            alive,
+            reachable: reachable.len(),
+            garbage: alive - reachable.len(),
+        })
     }
 
     fn reachable_set(&self, roots: &[NodeId]) -> XdmResult<HashSet<NodeId>> {
@@ -636,13 +1026,27 @@ impl Store {
     /// "beyond the scope" remark leaves open, which we make concrete).
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> XdmResult<usize> {
         let reachable = self.reachable_set(roots)?;
+        let journaling = self.journaling();
         let mut reclaimed = 0;
         for i in 0..self.nodes.len() {
             let id = NodeId(i as u32);
             if self.nodes[i].alive && !reachable.contains(&id) {
-                self.nodes[i].alive = false;
-                self.nodes[i].kind = NodeKind::Text { content: String::new() };
-                self.nodes[i].parent = None;
+                let okey = self.nodes[i].okey;
+                let dead = NodeData {
+                    parent: None,
+                    kind: NodeKind::Text {
+                        content: String::new(),
+                    },
+                    alive: false,
+                    okey,
+                };
+                let data = std::mem::replace(&mut self.nodes[i], dead);
+                if journaling {
+                    self.undo.push(UndoEntry::Collected {
+                        id,
+                        data: Box::new(data),
+                    });
+                }
                 self.free.push(id);
                 reclaimed += 1;
             }
@@ -716,7 +1120,9 @@ mod tests {
         let d = s.new_element(q("d"));
         // b already has a parent.
         assert_eq!(
-            s.apply_insert(&[b], d, InsertAnchor::Last).unwrap_err().code,
+            s.apply_insert(&[b], d, InsertAnchor::Last)
+                .unwrap_err()
+                .code,
             "XQB0002"
         );
         // anchor not a child of parent
@@ -973,5 +1379,186 @@ mod tests {
         let a2 = s.new_attribute(q("k"), "2");
         s.attach_attribute(e, a1).unwrap();
         assert!(s.attach_attribute(e, a2).is_err());
+    }
+
+    /// Observable snapshot of a whole store: every alive node's identity,
+    /// kind payload, parent, children, attributes, plus the relative
+    /// document order of all alive pairs. Order keys are compared only
+    /// relatively (renumbering is an invisible implementation detail).
+    fn observable(s: &Store) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let alive: Vec<NodeId> = (0..s.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| s.is_alive(n))
+            .collect();
+        for &n in &alive {
+            writeln!(
+                out,
+                "{n}: kind={:?} parent={:?} children={:?} attrs={:?}",
+                s.kind(n).unwrap(),
+                s.parent(n).unwrap(),
+                s.children(n).unwrap(),
+                s.attributes(n).unwrap()
+            )
+            .unwrap();
+        }
+        for &x in &alive {
+            for &y in &alive {
+                if s.root(x).unwrap() == s.root(y).unwrap() {
+                    writeln!(out, "cmp({x},{y})={:?}", s.cmp_doc_order(x, y).unwrap()).unwrap();
+                }
+            }
+        }
+        writeln!(out, "free={:?}", s.free).unwrap();
+        out
+    }
+
+    #[test]
+    fn rollback_restores_every_mutation_kind() {
+        let (mut s, a, b, c, t) = sample();
+        let before = observable(&s);
+        s.begin_frame();
+        // One of everything: alloc, insert, detach, rename, text, attr
+        // value, attach, deep copy, move.
+        let fresh = s.new_element(q("fresh"));
+        s.apply_insert(&[fresh], a, InsertAnchor::First).unwrap();
+        s.detach(b).unwrap();
+        s.apply_rename(c, q("renamed")).unwrap();
+        s.set_text(t, "changed").unwrap();
+        let x = s.attribute_by_name(c, "x").unwrap();
+        // c was renamed but the attribute is found by its own name.
+        let x = x.or(s.attribute_by_name(c, "x").unwrap()).unwrap();
+        s.set_attribute_value(x, "99").unwrap();
+        let extra = s.new_attribute(q("extra"), "v");
+        s.attach_attribute(c, extra).unwrap();
+        let copy = s.deep_copy(c).unwrap();
+        s.append_child(a, copy).unwrap();
+        s.rollback_frame();
+        assert_eq!(observable(&s), before);
+        assert_eq!(s.frame_depth(), 0);
+    }
+
+    #[test]
+    fn rollback_restores_collected_nodes() {
+        let (mut s, a, b, _c, _t) = sample();
+        s.detach(b).unwrap();
+        let before = observable(&s);
+        s.begin_frame();
+        assert_eq!(s.collect_garbage(&[a]).unwrap(), 2);
+        assert!(!s.is_alive(b));
+        s.rollback_frame();
+        assert!(s.is_alive(b));
+        assert_eq!(observable(&s), before);
+        assert_eq!(s.string_value(b).unwrap(), "hi");
+    }
+
+    #[test]
+    fn rollback_survives_renumbering() {
+        // Force an okey renumber inside the frame: the rollback must
+        // restore a consistent relative order for the survivors.
+        let mut s = Store::new();
+        let p = s.new_element(q("p"));
+        let first = s.new_element(q("first"));
+        let second = s.new_element(q("second"));
+        s.append_child(p, first).unwrap();
+        s.append_child(p, second).unwrap();
+        let before = observable(&s);
+        s.begin_frame();
+        for i in 0..100 {
+            let c = s.new_element(q(&format!("c{i}")));
+            s.apply_insert(&[c], p, InsertAnchor::After(first)).unwrap();
+        }
+        s.rollback_frame();
+        assert_eq!(observable(&s), before);
+    }
+
+    #[test]
+    fn nested_frames_inner_commit_outer_rollback() {
+        let (mut s, a, _b, _c, _t) = sample();
+        let before = observable(&s);
+        s.begin_frame();
+        let n1 = s.new_element(q("n1"));
+        s.append_child(a, n1).unwrap();
+        s.begin_frame();
+        let n2 = s.new_element(q("n2"));
+        s.append_child(a, n2).unwrap();
+        s.commit_frame(); // inner effects survive the inner frame...
+        assert!(s.is_alive(n2));
+        s.rollback_frame(); // ...but the outer rollback undoes everything.
+        assert_eq!(observable(&s), before);
+    }
+
+    #[test]
+    fn nested_frames_inner_rollback_outer_commit() {
+        let (mut s, a, _b, _c, _t) = sample();
+        s.begin_frame();
+        let n1 = s.new_element(q("n1"));
+        s.append_child(a, n1).unwrap();
+        s.begin_frame();
+        let n2 = s.new_element(q("n2"));
+        s.append_child(a, n2).unwrap();
+        s.rollback_frame();
+        assert!(!s.is_alive(n2));
+        s.commit_frame();
+        assert!(s.is_alive(n1));
+        assert_eq!(s.parent(n1).unwrap(), Some(a));
+    }
+
+    #[test]
+    fn commit_clears_journal_and_keeps_state() {
+        let (mut s, a, _b, _c, _t) = sample();
+        s.begin_frame();
+        let n = s.new_element(q("n"));
+        s.append_child(a, n).unwrap();
+        s.commit_frame();
+        assert_eq!(s.frame_depth(), 0);
+        assert!(
+            s.undo.is_empty(),
+            "outermost commit should free the journal"
+        );
+        assert_eq!(s.parent(n).unwrap(), Some(a));
+    }
+
+    #[test]
+    fn frame_allocations_lists_fresh_nodes() {
+        let mut s = Store::new();
+        s.begin_frame();
+        let a = s.new_element(q("a"));
+        let b = s.new_text("t");
+        let mut allocs = s.frame_allocations();
+        allocs.sort();
+        assert_eq!(allocs, vec![a, b]);
+        s.commit_frame();
+        assert!(s.frame_allocations().is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_free_list_for_reused_slots() {
+        let (mut s, a, b, _c, _t) = sample();
+        s.detach(b).unwrap();
+        s.collect_garbage(&[a]).unwrap(); // frees b's subtree (2 slots)
+        let free_before = s.free.clone();
+        s.begin_frame();
+        let n = s.new_element(q("reuses-slot"));
+        assert!(n.index() < 5, "should reuse a freed slot");
+        s.rollback_frame();
+        assert_eq!(s.free, free_before);
+        assert!(!s.is_alive(n));
+    }
+
+    #[test]
+    fn reclaim_unreachable_is_targeted() {
+        let (mut s, a, b, _c, _t) = sample();
+        s.detach(b).unwrap(); // pre-existing garbage: b + its text
+        let orphan = s.new_element(q("orphan"));
+        let kept = s.new_element(q("kept"));
+        s.append_child(a, kept).unwrap();
+        let n = s.reclaim_unreachable(&[orphan, kept], &[a]).unwrap();
+        assert_eq!(n, 1);
+        assert!(!s.is_alive(orphan));
+        assert!(s.is_alive(kept));
+        // Pre-existing garbage outside the candidate set is untouched.
+        assert!(s.is_alive(b));
     }
 }

@@ -14,7 +14,11 @@ use crate::store::Store;
 
 /// Parse an XML document into `store`, returning the new document node.
 pub fn parse_document(store: &mut Store, input: &str) -> XdmResult<NodeId> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, store };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        store,
+    };
     let doc = p.store.new_document();
     p.skip_misc()?;
     if p.peek() != Some(b'<') {
@@ -35,7 +39,11 @@ pub fn parse_document(store: &mut Store, input: &str) -> XdmResult<NodeId> {
 /// Parse an XML *fragment* (possibly multiple top-level elements and text)
 /// into parentless nodes. Useful in tests and the data generator.
 pub fn parse_fragment(store: &mut Store, input: &str) -> XdmResult<Vec<NodeId>> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, store };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        store,
+    };
     let mut out = Vec::new();
     loop {
         match p.peek() {
@@ -97,7 +105,10 @@ impl<'a, 's> Parser<'a, 's> {
         if self.eat(s) {
             Ok(())
         } else {
-            Err(XdmError::parse(format!("expected \"{s}\" at byte {}", self.pos)))
+            Err(XdmError::parse(format!(
+                "expected \"{s}\" at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -137,7 +148,9 @@ impl<'a, 's> Parser<'a, 's> {
             }
             self.pos += 1;
         }
-        Err(XdmError::parse(format!("unterminated construct, expected \"{term}\"")))
+        Err(XdmError::parse(format!(
+            "unterminated construct, expected \"{term}\""
+        )))
     }
 
     fn parse_name(&mut self) -> XdmResult<QName> {
@@ -334,17 +347,19 @@ pub fn decode_entities(s: &str) -> XdmResult<String> {
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let cp = u32::from_str_radix(&ent[2..], 16)
                     .map_err(|_| XdmError::parse(format!("bad character reference &{ent};")))?;
-                out.push(char::from_u32(cp).ok_or_else(|| {
-                    XdmError::parse(format!("invalid code point in &{ent};"))
-                })?);
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| XdmError::parse(format!("invalid code point in &{ent};")))?,
+                );
             }
             _ if ent.starts_with('#') => {
                 let cp = ent[1..]
                     .parse::<u32>()
                     .map_err(|_| XdmError::parse(format!("bad character reference &{ent};")))?;
-                out.push(char::from_u32(cp).ok_or_else(|| {
-                    XdmError::parse(format!("invalid code point in &{ent};"))
-                })?);
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| XdmError::parse(format!("invalid code point in &{ent};")))?,
+                );
             }
             _ => return Err(XdmError::parse(format!("unknown entity &{ent};"))),
         }
@@ -411,9 +426,9 @@ fn pretty_into(store: &Store, node: NodeId, depth: usize, out: &mut String) -> X
         }
         NodeKind::Element { .. } => {
             let children = store.children(node)?.to_vec();
-            let has_text = children.iter().any(|&c| {
-                matches!(store.kind(c), Ok(NodeKind::Text { .. }))
-            });
+            let has_text = children
+                .iter()
+                .any(|&c| matches!(store.kind(c), Ok(NodeKind::Text { .. })));
             if children.is_empty() || has_text {
                 // Leaf or mixed content: single-line, exact.
                 serialize_into(store, node, out)?;
@@ -518,7 +533,10 @@ mod tests {
 
     #[test]
     fn simple_round_trip() {
-        assert_eq!(round_trip("<a><b>hi</b><c x=\"1\"/></a>"), "<a><b>hi</b><c x=\"1\"/></a>");
+        assert_eq!(
+            round_trip("<a><b>hi</b><c x=\"1\"/></a>"),
+            "<a><b>hi</b><c x=\"1\"/></a>"
+        );
     }
 
     #[test]
@@ -529,7 +547,10 @@ mod tests {
 
     #[test]
     fn entities_decode_and_reencode() {
-        assert_eq!(round_trip("<a>x &lt; y &amp; z</a>"), "<a>x &lt; y &amp; z</a>");
+        assert_eq!(
+            round_trip("<a>x &lt; y &amp; z</a>"),
+            "<a>x &lt; y &amp; z</a>"
+        );
         let mut s = Store::new();
         let d = parse_document(&mut s, "<a k=\"&quot;q&quot;\">&#65;&#x42;</a>").unwrap();
         let root = s.children(d).unwrap()[0];
@@ -621,7 +642,10 @@ mod tests {
         let d = parse_document(&mut s, "<p>before <em>mid</em> after</p>").unwrap();
         let root = s.children(d).unwrap()[0];
         // Mixed content stays on one line, byte-identical to compact form.
-        assert_eq!(serialize_pretty(&s, root).unwrap(), serialize(&s, root).unwrap());
+        assert_eq!(
+            serialize_pretty(&s, root).unwrap(),
+            serialize(&s, root).unwrap()
+        );
     }
 
     #[test]

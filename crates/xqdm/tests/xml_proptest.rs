@@ -9,7 +9,11 @@ use xqdm::{NodeId, QName, Store};
 /// A recursive tree description for generation.
 #[derive(Debug, Clone)]
 enum Tree {
-    Element { name: u8, attrs: Vec<(u8, String)>, children: Vec<Tree> },
+    Element {
+        name: u8,
+        attrs: Vec<(u8, String)>,
+        children: Vec<Tree>,
+    },
     Text(String),
     Comment(String),
 }
@@ -23,9 +27,15 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         text_strategy().prop_map(Tree::Text),
         "[a-z ]{0,8}".prop_map(Tree::Comment),
-        (0u8..8, proptest::collection::vec((0u8..4, text_strategy()), 0..3)).prop_map(
-            |(name, attrs)| Tree::Element { name, attrs, children: vec![] }
-        ),
+        (
+            0u8..8,
+            proptest::collection::vec((0u8..4, text_strategy()), 0..3)
+        )
+            .prop_map(|(name, attrs)| Tree::Element {
+                name,
+                attrs,
+                children: vec![]
+            }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         (
@@ -33,7 +43,11 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             proptest::collection::vec((0u8..4, text_strategy()), 0..3),
             proptest::collection::vec(inner, 0..4),
         )
-            .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
+            .prop_map(|(name, attrs, children)| Tree::Element {
+                name,
+                attrs,
+                children,
+            })
     })
 }
 
@@ -47,7 +61,11 @@ fn build(store: &mut Store, tree: &Tree) -> NodeId {
             // "--" terminates a comment; keep the generator honest.
             store.new_comment(c.replace("--", "- -"))
         }
-        Tree::Element { name, attrs, children } => {
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let e = store.new_element(QName::local(format!("e{name}")));
             let mut seen = std::collections::HashSet::new();
             for (an, av) in attrs {

@@ -231,7 +231,9 @@ impl Core {
     pub fn for_each_child(&self, mut f: impl FnMut(&Core)) {
         match self {
             Core::Const(_) | Core::Var(_) | Core::ContextItem => {}
-            Core::MapStep { base, predicates, .. } => {
+            Core::MapStep {
+                base, predicates, ..
+            } => {
                 f(base);
                 predicates.iter().for_each(&mut f);
             }
@@ -249,11 +251,15 @@ impl Core {
                 f(t);
                 f(e);
             }
-            Core::Quantified { source, satisfies, .. } => {
+            Core::Quantified {
+                source, satisfies, ..
+            } => {
                 f(source);
                 f(satisfies);
             }
-            Core::SortedFor { source, keys, body, .. } => {
+            Core::SortedFor {
+                source, keys, body, ..
+            } => {
                 f(source);
                 for k in keys {
                     f(&k.key);
@@ -315,7 +321,12 @@ impl Core {
                     out.insert(v.clone());
                 }
             }
-            Core::For { var, position, source, body } => {
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
                 source.collect_free(bound, out);
                 bound.push(var.clone());
                 if let Some(p) = position {
@@ -333,13 +344,23 @@ impl Core {
                 body.collect_free(bound, out);
                 bound.pop();
             }
-            Core::Quantified { var, source, satisfies, .. } => {
+            Core::Quantified {
+                var,
+                source,
+                satisfies,
+                ..
+            } => {
                 source.collect_free(bound, out);
                 bound.push(var.clone());
                 satisfies.collect_free(bound, out);
                 bound.pop();
             }
-            Core::SortedFor { var, source, keys, body } => {
+            Core::SortedFor {
+                var,
+                source,
+                keys,
+                body,
+            } => {
                 source.collect_free(bound, out);
                 bound.push(var.clone());
                 for k in keys {
@@ -416,7 +437,10 @@ mod tests {
     fn contains_snap_and_update() {
         let e = Core::Seq(vec![
             Core::int(1),
-            Core::Snap(SnapMode::Ordered, Core::Delete(Core::Var("x".into()).boxed()).boxed()),
+            Core::Snap(
+                SnapMode::Ordered,
+                Core::Delete(Core::Var("x".into()).boxed()).boxed(),
+            ),
         ]);
         assert!(e.contains_snap());
         assert!(e.contains_update());

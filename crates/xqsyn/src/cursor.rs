@@ -16,7 +16,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error at a position.
     pub fn new(position: usize, message: impl Into<String>) -> Self {
-        ParseError { position, message: message.into() }
+        ParseError {
+            position,
+            message: message.into(),
+        }
     }
 
     /// The 1-based (line, column) of the error within `input` (which must
@@ -68,7 +71,10 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// A cursor at the start of `input`.
     pub fn new(input: &'a str) -> Self {
-        Cursor { input: input.as_bytes(), pos: 0 }
+        Cursor {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// The byte at the cursor.
@@ -327,7 +333,9 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return self.err("expected a number");
         }
-        let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string();
+        let s = std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .to_string();
         Ok((s, is_double))
     }
 }

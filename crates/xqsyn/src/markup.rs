@@ -8,7 +8,7 @@
 //! `user="{$name}"`.
 
 use crate::ast::{AttrChunk, DirectContent, DirectElement, Expr};
-use crate::cursor::{ParseError, PResult};
+use crate::cursor::{PResult, ParseError};
 use crate::parser::Parser;
 
 impl<'a> Parser<'a> {
@@ -32,7 +32,11 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'/') => {
                     self.cur.expect("/>")?;
-                    return Ok(DirectElement { name, attributes, content: vec![] });
+                    return Ok(DirectElement {
+                        name,
+                        attributes,
+                        content: vec![],
+                    });
                 }
                 Some(_) => {
                     let aname = self.cur.read_name()?;
@@ -65,7 +69,11 @@ impl<'a> Parser<'a> {
                         if self.cur.bump() != Some(b'>') {
                             return self.cur.err("expected '>' in end tag");
                         }
-                        return Ok(DirectElement { name, attributes, content });
+                        return Ok(DirectElement {
+                            name,
+                            attributes,
+                            content,
+                        });
                     }
                     if self.cur.rest().starts_with(b"<!--") {
                         // XML comment inside content: skipped (comments are

@@ -38,7 +38,11 @@ pub fn normalize_program(prog: &ast::Program) -> CoreProgram {
             }),
         }
     }
-    CoreProgram { variables, functions, body: normalize(&prog.body) }
+    CoreProgram {
+        variables,
+        functions,
+        body: normalize(&prog.body),
+    }
 }
 
 /// Normalize one expression.
@@ -61,9 +65,7 @@ pub fn normalize(e: &Expr) -> Core {
         Expr::ValueComp(op, a, b) => {
             Core::ValueComp(*op, normalize(a).boxed(), normalize(b).boxed())
         }
-        Expr::NodeComp(op, a, b) => {
-            Core::NodeComp(*op, normalize(a).boxed(), normalize(b).boxed())
-        }
+        Expr::NodeComp(op, a, b) => Core::NodeComp(*op, normalize(a).boxed(), normalize(b).boxed()),
         Expr::And(a, b) => Core::And(normalize(a).boxed(), normalize(b).boxed()),
         Expr::Or(a, b) => Core::Or(normalize(a).boxed(), normalize(b).boxed()),
         Expr::Union(a, b) => Core::Union(normalize(a).boxed(), normalize(b).boxed()),
@@ -73,11 +75,17 @@ pub fn normalize(e: &Expr) -> Core {
             Core::Call("fs:intersect".into(), vec![normalize(a), normalize(b)])
         }
         Expr::Except(a, b) => Core::Call("fs:except".into(), vec![normalize(a), normalize(b)]),
-        Expr::If(c, t, e) => {
-            Core::If(normalize(c).boxed(), normalize(t).boxed(), normalize(e).boxed())
-        }
+        Expr::If(c, t, e) => Core::If(
+            normalize(c).boxed(),
+            normalize(t).boxed(),
+            normalize(e).boxed(),
+        ),
         Expr::Flwor { clauses, ret } => normalize_flwor(clauses, ret),
-        Expr::Quantified { quantifier, bindings, satisfies } => {
+        Expr::Quantified {
+            quantifier,
+            bindings,
+            satisfies,
+        } => {
             // Multi-binding quantifiers nest: some $x in A, $y in B satisfies P
             // == some $x in A satisfies (some $y in B satisfies P).
             let mut body = normalize(satisfies);
@@ -110,7 +118,10 @@ pub fn normalize(e: &Expr) -> Core {
         Expr::Filter(base, preds) => {
             let mut cur = normalize(base);
             for p in preds {
-                cur = Core::Predicate { base: cur.boxed(), pred: normalize(p).boxed() };
+                cur = Core::Predicate {
+                    base: cur.boxed(),
+                    pred: normalize(p).boxed(),
+                };
             }
             cur
         }
@@ -118,11 +129,19 @@ pub fn normalize(e: &Expr) -> Core {
         Expr::Direct(direct) => normalize_direct(direct),
         Expr::ElementCtor(name, content) => Core::ElemCtor {
             name: normalize_ctor_name(name),
-            content: content.as_ref().map(|c| normalize(c)).unwrap_or_else(Core::empty).boxed(),
+            content: content
+                .as_ref()
+                .map(|c| normalize(c))
+                .unwrap_or_else(Core::empty)
+                .boxed(),
         },
         Expr::AttributeCtor(name, content) => Core::AttrCtor {
             name: normalize_ctor_name(name),
-            content: content.as_ref().map(|c| normalize(c)).unwrap_or_else(Core::empty).boxed(),
+            content: content
+                .as_ref()
+                .map(|c| normalize(c))
+                .unwrap_or_else(Core::empty)
+                .boxed(),
         },
         Expr::TextCtor(content) => Core::TextCtor(normalize(content).boxed()),
         Expr::DocumentCtor(content) => Core::DocCtor(normalize(content).boxed()),
@@ -142,12 +161,18 @@ pub fn normalize(e: &Expr) -> Core {
                 ast::InsertLocation::Before(t) => CoreInsertLoc::Before(normalize(t).boxed()),
                 ast::InsertLocation::After(t) => CoreInsertLoc::After(normalize(t).boxed()),
             };
-            Core::Insert { source: copied.boxed(), location }
+            Core::Insert {
+                source: copied.boxed(),
+                location,
+            }
         }
         Expr::Delete(target) => Core::Delete(normalize(target).boxed()),
         Expr::Replace(target, with) => {
             // The same implicit (idempotent) copy as insert (paper §3.3).
-            Core::Replace(normalize(target).boxed(), copy_wrap(normalize(with)).boxed())
+            Core::Replace(
+                normalize(target).boxed(),
+                copy_wrap(normalize(with)).boxed(),
+            )
         }
         Expr::Rename(target, name) => {
             Core::Rename(normalize(target).boxed(), normalize(name).boxed())
@@ -185,14 +210,21 @@ fn normalize_flwor(clauses: &[FlworClause], ret: &Expr) -> Core {
             FlworClause::OrderBy(specs) => {
                 let keys = specs
                     .iter()
-                    .map(|s| CoreOrderSpec { key: normalize(&s.key), ascending: s.ascending })
+                    .map(|s| CoreOrderSpec {
+                        key: normalize(&s.key),
+                        ascending: s.ascending,
+                    })
                     .collect();
                 pending_order = Some(keys);
             }
             FlworClause::Where(cond) => {
                 body = Core::If(normalize(cond).boxed(), body.boxed(), Core::empty().boxed());
             }
-            FlworClause::For { var, position, source } => {
+            FlworClause::For {
+                var,
+                position,
+                source,
+            } => {
                 if let Some(keys) = pending_order.take() {
                     // `order by` sorts the bindings of this (nearest) for.
                     // Positional variables cannot be combined with sorting.
@@ -233,7 +265,10 @@ fn normalize_flwor(clauses: &[FlworClause], ret: &Expr) -> Core {
 }
 
 fn unsupported(msg: &str) -> Core {
-    Core::Call("fn:error".into(), vec![Core::str(format!("XQST0000: {msg}"))])
+    Core::Call(
+        "fn:error".into(),
+        vec![Core::str(format!("XQST0000: {msg}"))],
+    )
 }
 
 /// Direct constructor lowering: attributes become computed attribute
@@ -260,7 +295,10 @@ fn normalize_direct(d: &ast::DirectElement) -> Core {
             DirectContent::Element(child) => content.push(normalize_direct(child)),
         }
     }
-    Core::ElemCtor { name: CoreName::Fixed(d.name.clone()), content: Core::Seq(content).boxed() }
+    Core::ElemCtor {
+        name: CoreName::Fixed(d.name.clone()),
+        content: Core::Seq(content).boxed(),
+    }
 }
 
 /// Attribute value template: `"a{e}b"` ⇒ `fn:concat("a", fs:avt(e), "b")`.
@@ -367,7 +405,11 @@ mod tests {
         // name <- predicate-bearing person <- descendant-or-self <- $auction
         match c {
             Core::MapStep { base, .. } => match *base {
-                Core::MapStep { ref predicates, ref base, .. } => {
+                Core::MapStep {
+                    ref predicates,
+                    ref base,
+                    ..
+                } => {
                     assert_eq!(predicates.len(), 1);
                     assert!(matches!(**base, Core::MapStep { .. }));
                 }

@@ -20,7 +20,9 @@ pub use crate::cursor::ParseError;
 
 /// Parse a complete main module (prolog + body).
 pub fn parse_program(input: &str) -> PResult<Program> {
-    let mut p = Parser { cur: Cursor::new(input) };
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
     let prog = p.parse_program()?;
     if !p.cur.at_end() {
         return p.cur.err("unexpected trailing input");
@@ -30,7 +32,9 @@ pub fn parse_program(input: &str) -> PResult<Program> {
 
 /// Parse a standalone expression (no prolog).
 pub fn parse_expr(input: &str) -> PResult<Expr> {
-    let mut p = Parser { cur: Cursor::new(input) };
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
     let e = p.parse_expr()?;
     if !p.cur.at_end() {
         return p.cur.err("unexpected trailing input");
@@ -95,8 +99,11 @@ impl<'a> Parser<'a> {
             }
         }
         // A prolog-only input is a library module: its body is `()`.
-        let body =
-            if self.cur.at_end() { Expr::empty() } else { self.parse_expr()? };
+        let body = if self.cur.at_end() {
+            Expr::empty()
+        } else {
+            self.parse_expr()?
+        };
         Ok(Program { declarations, body })
     }
 
@@ -231,7 +238,11 @@ impl<'a> Parser<'a> {
                     }
                     self.cur.expect_keyword("in")?;
                     let source = self.parse_expr_single()?;
-                    clauses.push(FlworClause::For { var, position, source });
+                    clauses.push(FlworClause::For {
+                        var,
+                        position,
+                        source,
+                    });
                     if !self.cur.eat(",") {
                         break;
                     }
@@ -278,7 +289,10 @@ impl<'a> Parser<'a> {
         }
         self.cur.expect_keyword("return")?;
         let ret = self.parse_expr_single()?;
-        Ok(Expr::Flwor { clauses, ret: ret.boxed() })
+        Ok(Expr::Flwor {
+            clauses,
+            ret: ret.boxed(),
+        })
     }
 
     fn parse_quantified(&mut self) -> PResult<Expr> {
@@ -303,7 +317,11 @@ impl<'a> Parser<'a> {
         }
         self.cur.expect_keyword("satisfies")?;
         let satisfies = self.parse_expr_single()?;
-        Ok(Expr::Quantified { quantifier, bindings, satisfies: satisfies.boxed() })
+        Ok(Expr::Quantified {
+            quantifier,
+            bindings,
+            satisfies: satisfies.boxed(),
+        })
     }
 
     fn parse_if(&mut self) -> PResult<Expr> {
@@ -381,7 +399,10 @@ impl<'a> Parser<'a> {
         let mut ok = false;
         if self.cur.eat_keyword(kw) {
             self.cur.skip_trivia();
-            ok = matches!(self.cur.peek(), Some(b'{' | b'$' | b'(' | b'"' | b'\'' | b'/'));
+            ok = matches!(
+                self.cur.peek(),
+                Some(b'{' | b'$' | b'(' | b'"' | b'\'' | b'/')
+            );
         }
         self.cur.pos = save;
         ok
@@ -430,7 +451,8 @@ impl<'a> Parser<'a> {
             let t = self.parse_update_operand()?;
             return Ok(InsertLocation::After(t.boxed()));
         }
-        self.cur.err("expected an insert location (into / before / after)")
+        self.cur
+            .err("expected an insert location (into / before / after)")
     }
 
     // ------------------------------------------------------------------
@@ -462,7 +484,11 @@ impl<'a> Parser<'a> {
         let make = |op, l: Expr, r: Expr| Expr::GeneralComp(op, l.boxed(), r.boxed());
         if self.cur.eat("<<") {
             let r = self.parse_range()?;
-            return Ok(Expr::NodeComp(NodeCompOp::Precedes, left.boxed(), r.boxed()));
+            return Ok(Expr::NodeComp(
+                NodeCompOp::Precedes,
+                left.boxed(),
+                r.boxed(),
+            ));
         }
         if self.cur.eat(">>") {
             let r = self.parse_range()?;
@@ -616,7 +642,10 @@ impl<'a> Parser<'a> {
             }];
             steps.push(self.parse_step()?);
             self.parse_more_steps(&mut steps)?;
-            return Ok(Expr::Path { base: PathBase::Root, steps });
+            return Ok(Expr::Path {
+                base: PathBase::Root,
+                steps,
+            });
         }
         if self.cur.looking_at("/") {
             self.cur.eat("/");
@@ -624,9 +653,15 @@ impl<'a> Parser<'a> {
             if self.starts_step() {
                 let mut steps = vec![self.parse_step()?];
                 self.parse_more_steps(&mut steps)?;
-                return Ok(Expr::Path { base: PathBase::Root, steps });
+                return Ok(Expr::Path {
+                    base: PathBase::Root,
+                    steps,
+                });
             }
-            return Ok(Expr::Path { base: PathBase::Root, steps: vec![] });
+            return Ok(Expr::Path {
+                base: PathBase::Root,
+                steps: vec![],
+            });
         }
         // Relative path: first step may be a primary expression.
         let first = self.parse_step_or_primary()?;
@@ -638,11 +673,17 @@ impl<'a> Parser<'a> {
                 return Ok(first);
             }
             return Ok(match first {
-                Expr::Path { base, steps: mut s0 } => {
+                Expr::Path {
+                    base,
+                    steps: mut s0,
+                } => {
                     s0.extend(steps);
                     Expr::Path { base, steps: s0 }
                 }
-                other => Expr::Path { base: PathBase::Expr(other.boxed()), steps },
+                other => Expr::Path {
+                    base: PathBase::Expr(other.boxed()),
+                    steps,
+                },
             });
         }
         Ok(first)
@@ -693,15 +734,27 @@ impl<'a> Parser<'a> {
         self.cur.skip_trivia();
         if self.cur.eat("@") {
             let test = self.parse_node_test(Axis::Attribute)?;
-            return Ok(Step { axis: Axis::Attribute, test, predicates: vec![] });
+            return Ok(Step {
+                axis: Axis::Attribute,
+                test,
+                predicates: vec![],
+            });
         }
         if self.cur.looking_at("..") {
             self.cur.eat("..");
-            return Ok(Step { axis: Axis::Parent, test: NodeTest::AnyKind, predicates: vec![] });
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyKind,
+                predicates: vec![],
+            });
         }
         if self.cur.looking_at(".") && self.cur.peek_at(1) != Some(b'.') {
             self.cur.eat(".");
-            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::AnyKind, predicates: vec![] });
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyKind,
+                predicates: vec![],
+            });
         }
         // Explicit axis?
         let save = self.cur.pos;
@@ -724,14 +777,22 @@ impl<'a> Parser<'a> {
                     other => return self.cur.err(format!("unsupported axis \"{other}\"")),
                 };
                 let test = self.parse_node_test(axis)?;
-                return Ok(Step { axis, test, predicates: vec![] });
+                return Ok(Step {
+                    axis,
+                    test,
+                    predicates: vec![],
+                });
             }
             self.cur.pos = save;
         } else {
             self.cur.pos = save;
         }
         let test = self.parse_node_test(Axis::Child)?;
-        Ok(Step { axis: Axis::Child, test, predicates: vec![] })
+        Ok(Step {
+            axis: Axis::Child,
+            test,
+            predicates: vec![],
+        })
     }
 
     fn parse_node_test(&mut self, _axis: Axis) -> PResult<NodeTest> {
@@ -814,7 +875,10 @@ impl<'a> Parser<'a> {
             self.cur.pos = save;
         }
         let step = self.parse_step()?;
-        Ok(Expr::Path { base: PathBase::Context, steps: vec![step] })
+        Ok(Expr::Path {
+            base: PathBase::Context,
+            steps: vec![step],
+        })
     }
 
     /// `element foo {`, `element {`, `text {`, ... — computed constructor.
@@ -940,7 +1004,8 @@ impl<'a> Parser<'a> {
             self.cur.expect(")")?;
             return Ok(Expr::Call(name, args));
         }
-        self.cur.err(format!("unexpected name \"{name}\" in primary position"))
+        self.cur
+            .err(format!("unexpected name \"{name}\" in primary position"))
     }
 
     fn peek_name_then_brace(&mut self) -> bool {

@@ -28,7 +28,12 @@ impl fmt::Display for Core {
                 }
                 write!(f, ")")
             }
-            Core::For { var, position, source, body } => {
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
                 write!(f, "for ${var}")?;
                 if let Some(p) = position {
                     write!(f, " at ${p}")?;
@@ -37,20 +42,35 @@ impl fmt::Display for Core {
             }
             Core::Let { var, value, body } => write!(f, "let ${var} := {value} return {body}"),
             Core::If(c, t, e) => write!(f, "if ({c}) then {t} else {e}"),
-            Core::Quantified { quantifier, var, source, satisfies } => {
+            Core::Quantified {
+                quantifier,
+                var,
+                source,
+                satisfies,
+            } => {
                 let q = match quantifier {
                     Quantifier::Some => "some",
                     Quantifier::Every => "every",
                 };
                 write!(f, "{q} ${var} in {source} satisfies {satisfies}")
             }
-            Core::SortedFor { var, source, keys, body } => {
+            Core::SortedFor {
+                var,
+                source,
+                keys,
+                body,
+            } => {
                 write!(f, "for ${var} in {source} order by ")?;
                 for (i, k) in keys.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{}{}", k.key, if k.ascending { "" } else { " descending" })?;
+                    write!(
+                        f,
+                        "{}{}",
+                        k.key,
+                        if k.ascending { "" } else { " descending" }
+                    )?;
                 }
                 write!(f, " return {body}")
             }
@@ -80,7 +100,12 @@ impl fmt::Display for Core {
             Core::Or(a, b) => write!(f, "({a} or {b})"),
             Core::Union(a, b) => write!(f, "({a} | {b})"),
             Core::Range(a, b) => write!(f, "({a} to {b})"),
-            Core::MapStep { base, axis, test, predicates } => {
+            Core::MapStep {
+                base,
+                axis,
+                test,
+                predicates,
+            } => {
                 // Context-relative steps print without the "./" noise.
                 match &**base {
                     Core::ContextItem => write!(f, "{}", step_str(*axis, test))?,
@@ -180,7 +205,10 @@ mod tests {
 
     #[test]
     fn paths_print_compactly() {
-        assert_eq!(pp("$a//person[@id = $u]"), "$a/descendant-or-self::node()/person[@id = $u]");
+        assert_eq!(
+            pp("$a//person[@id = $u]"),
+            "$a/descendant-or-self::node()/person[@id = $u]"
+        );
         assert_eq!(pp("$t/buyer/@person"), "$t/buyer/@person");
     }
 

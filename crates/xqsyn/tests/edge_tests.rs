@@ -4,8 +4,8 @@
 use xqsyn::ast::*;
 use xqsyn::core::{Core, CoreInsertLoc};
 use xqsyn::normalize::normalize;
-use xqsyn::parser::parse_expr;
 use xqsyn::parse_program;
+use xqsyn::parser::parse_expr;
 
 fn p(s: &str) -> Expr {
     parse_expr(s).unwrap_or_else(|e| panic!("parse failed for {s:?}: {e}"))
@@ -22,7 +22,10 @@ fn n(s: &str) -> Core {
 #[test]
 fn comments_are_trivia_everywhere() {
     assert_eq!(p("1 (: c :) + (: c :) 2"), p("1 + 2"));
-    assert_eq!(p("for (: x :) $v (: y :) in $s return $v"), p("for $v in $s return $v"));
+    assert_eq!(
+        p("for (: x :) $v (: y :) in $s return $v"),
+        p("for $v in $s return $v")
+    );
     assert_eq!(p("(: leading :) 42"), p("42"));
     assert_eq!(p("42 (: trailing :)"), p("42"));
 }
@@ -186,11 +189,17 @@ fn copy_is_not_doubled_when_explicit() {
 fn multi_clause_flwor_normalizes_inside_out() {
     let c = n("for $a in $x for $b in $y let $c := $b where $c return ($a, $c)");
     // for a ( for b ( let c ( if where ( seq ) ) ) )
-    let Core::For { var, body, .. } = c else { panic!() };
+    let Core::For { var, body, .. } = c else {
+        panic!()
+    };
     assert_eq!(var, "a");
-    let Core::For { var, body, .. } = *body else { panic!() };
+    let Core::For { var, body, .. } = *body else {
+        panic!()
+    };
     assert_eq!(var, "b");
-    let Core::Let { var, body, .. } = *body else { panic!() };
+    let Core::Let { var, body, .. } = *body else {
+        panic!()
+    };
     assert_eq!(var, "c");
     assert!(matches!(*body, Core::If(..)));
 }
@@ -277,9 +286,25 @@ fn windows_line_endings() {
 #[test]
 fn parser_is_panic_free_on_garbage() {
     for garbage in [
-        "", "$", "{", "}", "<<", ">>", "((((", "for for for", "declare declare",
-        "insert insert", "snap snap snap", "<a", "<a b=", "1 to to 2", "..…", "\u{0}",
-        "]]>", "e1;e2", "$x[",
+        "",
+        "$",
+        "{",
+        "}",
+        "<<",
+        ">>",
+        "((((",
+        "for for for",
+        "declare declare",
+        "insert insert",
+        "snap snap snap",
+        "<a",
+        "<a b=",
+        "1 to to 2",
+        "..…",
+        "\u{0}",
+        "]]>",
+        "e1;e2",
+        "$x[",
     ] {
         let _ = parse_expr(garbage);
         let _ = parse_program(garbage);

@@ -4,8 +4,8 @@
 
 use xqdm::atomic::{ArithOp, CompareOp};
 use xqsyn::ast::*;
-use xqsyn::parser::parse_expr;
 use xqsyn::parse_program;
+use xqsyn::parser::parse_expr;
 
 fn p(s: &str) -> Expr {
     parse_expr(s).unwrap_or_else(|e| panic!("parse failed for {s:?}: {e}"))
@@ -26,8 +26,14 @@ fn literals() {
 
 #[test]
 fn string_escapes() {
-    assert_eq!(p("\"a\"\"b\""), Expr::Literal(Literal::String("a\"b".into())));
-    assert_eq!(p("\"x&amp;y\""), Expr::Literal(Literal::String("x&y".into())));
+    assert_eq!(
+        p("\"a\"\"b\""),
+        Expr::Literal(Literal::String("a\"b".into()))
+    );
+    assert_eq!(
+        p("\"x&amp;y\""),
+        Expr::Literal(Literal::String("x&y".into()))
+    );
 }
 
 #[test]
@@ -85,16 +91,31 @@ fn unary_minus() {
 #[test]
 fn comparisons() {
     assert!(matches!(p("$a = $b"), Expr::GeneralComp(CompareOp::Eq, ..)));
-    assert!(matches!(p("$a != $b"), Expr::GeneralComp(CompareOp::Ne, ..)));
-    assert!(matches!(p("$a <= $b"), Expr::GeneralComp(CompareOp::Le, ..)));
-    assert!(matches!(p("$a >= $b"), Expr::GeneralComp(CompareOp::Ge, ..)));
+    assert!(matches!(
+        p("$a != $b"),
+        Expr::GeneralComp(CompareOp::Ne, ..)
+    ));
+    assert!(matches!(
+        p("$a <= $b"),
+        Expr::GeneralComp(CompareOp::Le, ..)
+    ));
+    assert!(matches!(
+        p("$a >= $b"),
+        Expr::GeneralComp(CompareOp::Ge, ..)
+    ));
     assert!(matches!(p("$a < $b"), Expr::GeneralComp(CompareOp::Lt, ..)));
     assert!(matches!(p("$a > $b"), Expr::GeneralComp(CompareOp::Gt, ..)));
     assert!(matches!(p("$a eq $b"), Expr::ValueComp(CompareOp::Eq, ..)));
     assert!(matches!(p("$a lt $b"), Expr::ValueComp(CompareOp::Lt, ..)));
     assert!(matches!(p("$a is $b"), Expr::NodeComp(NodeCompOp::Is, ..)));
-    assert!(matches!(p("$a << $b"), Expr::NodeComp(NodeCompOp::Precedes, ..)));
-    assert!(matches!(p("$a >> $b"), Expr::NodeComp(NodeCompOp::Follows, ..)));
+    assert!(matches!(
+        p("$a << $b"),
+        Expr::NodeComp(NodeCompOp::Precedes, ..)
+    ));
+    assert!(matches!(
+        p("$a >> $b"),
+        Expr::NodeComp(NodeCompOp::Follows, ..)
+    ));
 }
 
 #[test]
@@ -128,7 +149,10 @@ fn comparison_binds_looser_than_arithmetic() {
 #[test]
 fn relative_path_from_variable() {
     match p("$auction//person") {
-        Expr::Path { base: PathBase::Expr(b), steps } => {
+        Expr::Path {
+            base: PathBase::Expr(b),
+            steps,
+        } => {
             assert!(matches!(*b, Expr::VarRef(_)));
             assert_eq!(steps.len(), 2);
             assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
@@ -142,12 +166,18 @@ fn relative_path_from_variable() {
 #[test]
 fn rooted_paths() {
     match p("/site/people") {
-        Expr::Path { base: PathBase::Root, steps } => assert_eq!(steps.len(), 2),
+        Expr::Path {
+            base: PathBase::Root,
+            steps,
+        } => assert_eq!(steps.len(), 2),
         other => panic!("{other:?}"),
     }
     assert!(matches!(p("/"), Expr::Path { base: PathBase::Root, steps } if steps.is_empty()));
     match p("//person") {
-        Expr::Path { base: PathBase::Root, steps } => assert_eq!(steps.len(), 2),
+        Expr::Path {
+            base: PathBase::Root,
+            steps,
+        } => assert_eq!(steps.len(), 2),
         other => panic!("{other:?}"),
     }
 }
@@ -260,11 +290,17 @@ fn positional_variable() {
 fn quantified_expressions() {
     assert!(matches!(
         p("some $x in $s satisfies $x = 1"),
-        Expr::Quantified { quantifier: Quantifier::Some, .. }
+        Expr::Quantified {
+            quantifier: Quantifier::Some,
+            ..
+        }
     ));
     assert!(matches!(
         p("every $x in $s satisfies $x = 1"),
-        Expr::Quantified { quantifier: Quantifier::Every, .. }
+        Expr::Quantified {
+            quantifier: Quantifier::Every,
+            ..
+        }
     ));
 }
 
@@ -314,7 +350,10 @@ fn direct_nested_content() {
     match p("<item person=\"{ $p/name }\">{ count($a) }</item>") {
         Expr::Direct(d) => {
             assert_eq!(d.content.len(), 1);
-            assert!(matches!(&d.content[0], DirectContent::Enclosed(Expr::Call(..))));
+            assert!(matches!(
+                &d.content[0],
+                DirectContent::Enclosed(Expr::Call(..))
+            ));
         }
         other => panic!("{other:?}"),
     }
@@ -395,7 +434,10 @@ fn delete_braced_and_bare() {
 
 #[test]
 fn replace_and_rename() {
-    assert!(matches!(p("replace { $d/text() } with { $d + 1 }"), Expr::Replace(..)));
+    assert!(matches!(
+        p("replace { $d/text() } with { $d + 1 }"),
+        Expr::Replace(..)
+    ));
     assert!(matches!(p("rename { $x } to { \"n\" }"), Expr::Rename(..)));
 }
 
@@ -407,7 +449,10 @@ fn copy_expression() {
 #[test]
 fn snap_forms() {
     assert!(matches!(p("snap { $x }"), Expr::Snap(SnapMode::Ordered, _)));
-    assert!(matches!(p("snap ordered { $x }"), Expr::Snap(SnapMode::Ordered, _)));
+    assert!(matches!(
+        p("snap ordered { $x }"),
+        Expr::Snap(SnapMode::Ordered, _)
+    ));
     assert!(matches!(
         p("snap nondeterministic { $x }"),
         Expr::Snap(SnapMode::Nondeterministic, _)
@@ -551,5 +596,9 @@ fn parse_errors() {
 #[test]
 fn error_positions_are_reported() {
     let e = parse_expr("1 + $").unwrap_err();
-    assert!(e.position >= 4, "position {} should be at the bad token", e.position);
+    assert!(
+        e.position >= 4,
+        "position {} should be at the bad token",
+        e.position
+    );
 }

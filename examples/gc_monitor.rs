@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::new();
     let log = engine.load_document("log", "<log/>")?;
 
-    println!("{:>6} {:>10} {:>10} {:>10}", "round", "alive", "reachable", "garbage");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "round", "alive", "reachable", "garbage"
+    );
     for round in 1..=5 {
         // Fill the log, then rotate it (snap delete detaches all entries).
         engine.run(

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           into { $library/library },
           count($library//book[year < 1980]))",
     )?;
-    println!("count during the query (update pending): {}", engine.serialize(&during)?);
+    println!(
+        "count during the query (update pending): {}",
+        engine.serialize(&during)?
+    );
 
     // 4. After the query, the implicit top-level snap has applied the
     //    insertion.
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           into { $library/library },
           count($library//book))",
     )?;
-    println!("count right after an explicit snap insert: {}", engine.serialize(&explicit)?);
+    println!(
+        "count right after an explicit snap insert: {}",
+        engine.serialize(&explicit)?
+    );
 
     // 6. The document, serialized back.
     let doc = engine.run("$library")?;

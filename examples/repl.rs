@@ -55,7 +55,10 @@ fn main() {
         }
         if let Some(rest) = line.strip_prefix(":xmark ") {
             let mut parts = rest.split_whitespace();
-            match (parts.next(), parts.next().and_then(|s| s.parse::<usize>().ok())) {
+            match (
+                parts.next(),
+                parts.next().and_then(|s| s.parse::<usize>().ok()),
+            ) {
                 (Some(var), Some(n)) => {
                     let scale = Scale::join_sides(n, n / 2);
                     match XmarkGen::new(42).generate(&mut engine.store, &scale) {

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_err();
     println!("conflicting:       rejected -> {err}");
     let count = e.run("count($doc/x/*)")?;
-    println!("                   store untouched, children = {}", e.serialize(&count)?);
+    println!(
+        "                   store untouched, children = {}",
+        e.serialize(&count)?
+    );
 
     // -------- the paper's §3.4 nested-snap example --------
     let mut e = fresh();

@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::new();
 
     // The server stores the XMark auction document in $auction (§2.2).
-    let scale = Scale { persons: 8, items: 10, closed_auctions: 5, open_auctions: 3 };
+    let scale = Scale {
+        persons: 8,
+        items: 10,
+        closed_auctions: 5,
+        open_auctions: 3,
+    };
     let auction = XmarkGen::new(2026).generate(&mut engine.store, &scale)?;
     engine.bind("auction", vec![Item::Node(auction)]);
     engine.load_document("log", "<log/>")?;
@@ -57,9 +62,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.load_module(SERVICE_MODULE)?;
 
     // Simulate a burst of service calls.
-    for (item, user) in
-        [(0, 1), (3, 2), (1, 1), (7, 4), (2, 2), (5, 3), (0, 6), (8, 1), (4, 5), (6, 0)]
-    {
+    for (item, user) in [
+        (0, 1),
+        (3, 2),
+        (1, 1),
+        (7, 4),
+        (2, 2),
+        (5, 3),
+        (0, 6),
+        (8, 1),
+        (4, 5),
+        (6, 0),
+    ] {
         let call = format!("get_item(\"item{item}\", \"person{user}\")");
         let result = engine.run(&call)?;
         let shown = engine.serialize(&result)?;

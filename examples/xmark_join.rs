@@ -22,9 +22,11 @@ return <item person="{ $p/name }">{ count($a) }</item>"#;
 
 fn setup(scale: &Scale) -> (Store, Vec<(String, Vec<Item>)>) {
     let mut store = Store::new();
-    let auction = XmarkGen::new(8).generate(&mut store, scale).expect("generate");
-    let purchasers = xquery_bang::xqdm::xml::parse_fragment(&mut store, "<purchasers/>")
-        .expect("purchasers")[0];
+    let auction = XmarkGen::new(8)
+        .generate(&mut store, scale)
+        .expect("generate");
+    let purchasers =
+        xquery_bang::xqdm::xml::parse_fragment(&mut store, "<purchasers/>").expect("purchasers")[0];
     (
         store,
         vec![
@@ -39,7 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the optimized plan, in the paper's plan syntax.
     let plan = Compiler::new(&program).compile(&program.body);
-    println!("optimizer decision: {}", if plan.is_optimized() { "REWRITTEN" } else { "naive" });
+    println!(
+        "optimizer decision: {}",
+        if plan.is_optimized() {
+            "REWRITTEN"
+        } else {
+            "naive"
+        }
+    );
     println!("\n{}\n", plan.render());
 
     println!(

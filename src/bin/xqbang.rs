@@ -60,16 +60,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "-d" | "--doc" => {
                 let spec = args.next().ok_or("missing argument for --doc")?;
-                let (var, file) =
-                    spec.split_once('=').ok_or("expected --doc VAR=FILE")?;
+                let (var, file) = spec.split_once('=').ok_or("expected --doc VAR=FILE")?;
                 opts.documents.push((var.to_string(), file.to_string()));
             }
             "--xmark" => {
                 let spec = args.next().ok_or("missing argument for --xmark")?;
-                let (var, factor) =
-                    spec.split_once('=').ok_or("expected --xmark VAR=FACTOR")?;
-                let factor: f64 =
-                    factor.parse().map_err(|_| format!("bad factor \"{factor}\""))?;
+                let (var, factor) = spec.split_once('=').ok_or("expected --xmark VAR=FACTOR")?;
+                let factor: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("bad factor \"{factor}\""))?;
                 opts.xmark.push((var.to_string(), factor));
             }
             other if !other.starts_with('-') && opts.query_file.is_none() => {
@@ -96,9 +95,10 @@ fn run() -> Result<(), String> {
 
     let mut engine = Engine::new();
     for (var, file) in &opts.documents {
-        let xml =
-            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-        engine.load_document(var, &xml).map_err(|e| format!("{file}: {e}"))?;
+        let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        engine
+            .load_document(var, &xml)
+            .map_err(|e| format!("{file}: {e}"))?;
     }
     for (var, factor) in &opts.xmark {
         let scale = Scale::factor(*factor);

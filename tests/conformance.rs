@@ -74,7 +74,10 @@ const CASES: &[(&str, &str)] = &[
     ("let $s := 1 to 4 return count($s)", "4"),
     ("for $i in 1 to 6 where $i mod 3 = 0 return $i", "3 6"),
     ("for $i in (3, 1, 2) order by $i return $i", "1 2 3"),
-    ("for $i in (3, 1, 2) order by $i descending return $i", "3 2 1"),
+    (
+        "for $i in (3, 1, 2) order by $i descending return $i",
+        "3 2 1",
+    ),
     ("some $i in 1 to 5 satisfies $i * $i = 16", "true"),
     ("every $i in 1 to 5 satisfies $i < 6", "true"),
     ("if (2 > 1) then \"yes\" else \"no\"", "yes"),
@@ -87,7 +90,10 @@ const CASES: &[(&str, &str)] = &[
     ("count($doc//@id)", "3"),
     ("name($doc//name[text() = \"Bob\"]/..)", "person"),
     ("sum($doc//n)", "6"),
-    ("for $n in $doc//nums/n order by xs:integer($n) return string($n)", "1 2 3"),
+    (
+        "for $n in $doc//nums/n order by xs:integer($n) return string($n)",
+        "1 2 3",
+    ),
     ("string($doc//mixed)", "alpha beta gamma"),
     ("count($doc//mixed/node())", "3"),
     ("count($doc//person/following-sibling::person)", "2"),
@@ -110,8 +116,14 @@ const CASES: &[(&str, &str)] = &[
     // -------- updates & snap (value-level observations) --------
     ("count((delete { $doc//person[1] }, $doc//person))", "3"), // pending
     ("snap { 40 + 2 }", "42"),
-    ("count((snap insert { <person id=\"p4\"/> } into { ($doc//people)[1] }, $doc//person))", "4"),
-    ("let $c := copy { ($doc//person)[1] } return ($c is ($doc//person)[1])", "false"),
+    (
+        "count((snap insert { <person id=\"p4\"/> } into { ($doc//people)[1] }, $doc//person))",
+        "4",
+    ),
+    (
+        "let $c := copy { ($doc//person)[1] } return ($c is ($doc//person)[1])",
+        "false",
+    ),
     ("string(copy { ($doc//name)[1] })", "Ada"),
 ];
 
@@ -129,10 +141,14 @@ fn conformance_corpus() {
             Ok(v) => {
                 let got = e.serialize(&v).unwrap();
                 if got != *expected {
-                    failures.push(format!("{query}\n  expected: {expected}\n  got:      {got}"));
+                    failures.push(format!(
+                        "{query}\n  expected: {expected}\n  got:      {got}"
+                    ));
                 }
             }
-            Err(err) => failures.push(format!("{query}\n  expected: {expected}\n  error:    {err}")),
+            Err(err) => failures.push(format!(
+                "{query}\n  expected: {expected}\n  error:    {err}"
+            )),
         }
     }
     assert!(

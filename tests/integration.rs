@@ -9,15 +9,18 @@ use xquery_bang::{Engine, Item};
 /// parser, and query it through the engine.
 #[test]
 fn xml_text_to_query_results() {
-    let scale = Scale { persons: 12, items: 9, closed_auctions: 7, open_auctions: 4 };
+    let scale = Scale {
+        persons: 12,
+        items: 9,
+        closed_auctions: 7,
+        open_auctions: 4,
+    };
     let xml = XmarkGen::new(99).generate_xml(&scale).unwrap();
     let mut engine = Engine::new();
     engine.load_document("auction", &xml).unwrap();
     let r = engine.run("count($auction//person)").unwrap();
     assert_eq!(engine.serialize(&r).unwrap(), "12");
-    let r = engine
-        .run("count($auction//closed_auction/buyer)")
-        .unwrap();
+    let r = engine.run("count($auction//closed_auction/buyer)").unwrap();
     assert_eq!(engine.serialize(&r).unwrap(), "7");
     // Every buyer reference joins to exactly one person.
     let r = engine
@@ -36,12 +39,13 @@ fn xml_text_to_query_results() {
 fn full_webservice_scenario() {
     let mut engine = Engine::new();
     let scale = Scale::tiny();
-    let auction = XmarkGen::new(5).generate(&mut engine.store, &scale).unwrap();
+    let auction = XmarkGen::new(5)
+        .generate(&mut engine.store, &scale)
+        .unwrap();
     engine.bind("auction", vec![Item::Node(auction)]);
     engine.load_document("log", "<log/>").unwrap();
     let counter =
-        xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>")
-            .unwrap();
+        xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>").unwrap();
     engine.bind("d", vec![Item::Node(counter[0])]);
 
     let module = r#"
@@ -64,7 +68,9 @@ declare function get_item($itemid, $userid) {
         assert_eq!(r.len(), 1, "call {i} should return the item");
     }
     // Five log entries with counter-issued ids 1..=5.
-    let ids = engine.run("for $e in $log/log/logentry return string($e/@id)").unwrap();
+    let ids = engine
+        .run("for $e in $log/log/logentry return string($e/@id)")
+        .unwrap();
     assert_eq!(engine.serialize(&ids).unwrap(), "1 2 3 4 5");
     // The counter survived across calls.
     let c = engine.run("string($d)").unwrap();
@@ -83,14 +89,15 @@ let $a :=
   return (insert { <buyer person="{$t/buyer/@person}"/> } into { $purchasers }, $t)
 return <item person="{ $p/name }">{ count($a) }</item>"#;
     let program = xquery_bang::xqsyn::compile(q).unwrap();
-    assert!(Compiler::new(&program).compile(&program.body).is_optimized());
+    assert!(Compiler::new(&program)
+        .compile(&program.body)
+        .is_optimized());
 
     let scale = Scale::join_sides(120, 60);
     let setup = || {
         let mut store = xquery_bang::Store::new();
         let auction = XmarkGen::new(31).generate(&mut store, &scale).unwrap();
-        let purchasers =
-            store.new_element(xquery_bang::xqdm::QName::local("purchasers"));
+        let purchasers = store.new_element(xquery_bang::xqdm::QName::local("purchasers"));
         let bindings = vec![
             ("auction".to_string(), vec![Item::Node(auction)]),
             ("purchasers".to_string(), vec![Item::Node(purchasers)]),
@@ -129,8 +136,7 @@ fn counter_under_outer_snap() {
     let mut engine = Engine::new();
     engine.load_document("out", "<out/>").unwrap();
     let counter =
-        xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>")
-            .unwrap();
+        xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>").unwrap();
     engine.bind("d", vec![Item::Node(counter[0])]);
     let q = r#"
 declare function nextid() {
@@ -139,7 +145,9 @@ declare function nextid() {
 snap { for $i in 1 to 4 return
        insert { <e id="{nextid()}"/> } into { $out/out } }"#;
     engine.run(q).unwrap();
-    let ids = engine.run("for $e in $out/out/e return string($e/@id)").unwrap();
+    let ids = engine
+        .run("for $e in $out/out/e return string($e/@id)")
+        .unwrap();
     // The inner snap (nextid) applies immediately even while the outer
     // snap is still collecting the inserts.
     assert_eq!(engine.serialize(&ids).unwrap(), "1 2 3 4");

@@ -49,7 +49,13 @@ fn req_strategy() -> impl Strategy<Value = Req> {
 
 const ARENA: usize = 6;
 
-fn build_arena(store: &mut Store) -> (xquery_bang::xqdm::NodeId, Vec<xquery_bang::xqdm::NodeId>, Vec<xquery_bang::xqdm::NodeId>) {
+fn build_arena(
+    store: &mut Store,
+) -> (
+    xquery_bang::xqdm::NodeId,
+    Vec<xquery_bang::xqdm::NodeId>,
+    Vec<xquery_bang::xqdm::NodeId>,
+) {
     let root = store.new_element(QName::local("root"));
     let children: Vec<_> = (0..ARENA)
         .map(|i| {
@@ -58,8 +64,9 @@ fn build_arena(store: &mut Store) -> (xquery_bang::xqdm::NodeId, Vec<xquery_bang
             c
         })
         .collect();
-    let spares: Vec<_> =
-        (0..ARENA).map(|i| store.new_element(QName::local(format!("s{i}")))).collect();
+    let spares: Vec<_> = (0..ARENA)
+        .map(|i| store.new_element(QName::local(format!("s{i}"))))
+        .collect();
     (root, children, spares)
 }
 
@@ -73,9 +80,9 @@ fn materialize(reqs: &[Req], store: &mut Store) -> (xquery_bang::xqdm::NodeId, D
                 node: children[target % ARENA],
                 name: QName::local(format!("n{name}")),
             }),
-            Req::Delete { target } => {
-                delta.push(UpdateRequest::Delete { node: children[target % ARENA] })
-            }
+            Req::Delete { target } => delta.push(UpdateRequest::Delete {
+                node: children[target % ARENA],
+            }),
             Req::InsertAfter { spare, anchor } => {
                 if used_spares.insert(spare % ARENA) {
                     delta.push(UpdateRequest::Insert {

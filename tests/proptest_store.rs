@@ -8,7 +8,9 @@
 //! * document order is a strict total order consistent with the tree;
 //! * detached nodes remain alive and queryable (detach semantics);
 //! * deep copies are structurally equal but disjoint in identity;
-//! * reachability accounting adds up.
+//! * reachability accounting adds up;
+//! * a Δ containing a failing request leaves the store byte-identical
+//!   (rollback exactness) in all three snap modes.
 
 use proptest::prelude::*;
 use xquery_bang::xqdm::item::deep_equal_nodes;
@@ -36,10 +38,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         any::<usize>().prop_map(Op::Detach),
         (any::<usize>(), 0u8..20).prop_map(|(node, name)| Op::Rename { node, name }),
         any::<usize>().prop_map(Op::DeepCopy),
-        (any::<usize>(), any::<usize>()).prop_map(|(node, anchor)| Op::MoveAfter {
-            node,
-            anchor
-        }),
+        (any::<usize>(), any::<usize>()).prop_map(|(node, anchor)| Op::MoveAfter { node, anchor }),
     ]
 }
 
@@ -89,12 +88,36 @@ fn check_link_consistency(store: &Store, nodes: &[NodeId]) {
         if let Some(p) = store.parent(n).unwrap() {
             let in_children = store.children(p).unwrap().contains(&n);
             let in_attrs = store.attributes(p).unwrap().contains(&n);
-            assert!(in_children || in_attrs, "{n} has parent {p} but is not its child");
+            assert!(
+                in_children || in_attrs,
+                "{n} has parent {p} but is not its child"
+            );
         }
         for &c in store.children(n).unwrap() {
-            assert_eq!(store.parent(c).unwrap(), Some(n), "child {c} of {n} disagrees");
+            assert_eq!(
+                store.parent(c).unwrap(),
+                Some(n),
+                "child {c} of {n} disagrees"
+            );
         }
     }
+}
+
+/// A textual fingerprint of everything observable about the tracked nodes:
+/// per-root serialization outcome (including errors, so a node that fails
+/// to serialize still contributes) plus reachability statistics.
+fn snapshot(store: &Store, tracked: &[NodeId]) -> String {
+    let mut out = String::new();
+    for &n in tracked {
+        if store.is_alive(n) && store.parent(n).unwrap().is_none() {
+            out.push_str(&format!(
+                "{n}={:?};",
+                xquery_bang::xqdm::xml::serialize(store, n)
+            ));
+        }
+    }
+    out.push_str(&format!("{:?}", store.stats(tracked).unwrap()));
+    out
 }
 
 proptest! {
@@ -211,6 +234,90 @@ proptest! {
         prop_assert!(store.is_alive(n));
         prop_assert_eq!(store.string_value(n).unwrap(), before);
         prop_assert_eq!(store.parent(n).unwrap(), None);
+    }
+
+    #[test]
+    fn failed_delta_rolls_back_exactly(
+        ops in proptest::collection::vec(op_strategy(), 0..50),
+        req_specs in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..10),
+        poison_slot in any::<usize>()
+    ) {
+        use xquery_bang::xqcore::{apply_delta, Delta, SnapMode, UpdateRequest};
+        let (mut store, nodes) = run_script(&ops);
+
+        // An element pick: scan forward from the index until a named
+        // (element) node turns up — the root at index 0 guarantees one.
+        let pick_element = |store: &Store, i: usize| -> NodeId {
+            (0..nodes.len())
+                .map(|k| nodes[(i + k) % nodes.len()])
+                .find(|&n| store.name(n).unwrap().is_some())
+                .unwrap_or(nodes[0])
+        };
+
+        // Valid requests (renames, appends of fresh elements) with one
+        // guaranteed-failing poison — an insert into a text node — spliced
+        // in at a random position.
+        let mut requests = Vec::new();
+        for (slot, (i, kind)) in req_specs.iter().enumerate() {
+            if kind % 2 == 0 {
+                requests.push(UpdateRequest::Rename {
+                    node: pick_element(&store, *i),
+                    name: QName::local(format!("q{slot}")),
+                });
+            } else {
+                let fresh = store.new_element(QName::local(format!("f{slot}")));
+                requests.push(UpdateRequest::Insert {
+                    nodes: vec![fresh],
+                    parent: pick_element(&store, *i),
+                    anchor: InsertAnchor::Last,
+                });
+            }
+        }
+        let poison_parent = store.new_text("poison");
+        let poison_child = store.new_element(QName::local("p"));
+        requests.insert(poison_slot % (requests.len() + 1), UpdateRequest::Insert {
+            nodes: vec![poison_child],
+            parent: poison_parent,
+            anchor: InsertAnchor::Last,
+        });
+
+        // Track every node we know about, including the Δ payloads
+        // allocated above: they are pre-state, so rollback preserves them.
+        let mut tracked = nodes.clone();
+        for req in &requests {
+            if let UpdateRequest::Insert { nodes: payload, parent, .. } = req {
+                tracked.extend(payload.iter().copied());
+                tracked.push(*parent);
+            }
+        }
+        tracked.sort();
+        tracked.dedup();
+
+        let before = snapshot(&store, &tracked);
+        for (mode, seed) in [
+            (SnapMode::Ordered, 0u64),
+            (SnapMode::Nondeterministic, poison_slot as u64),
+            (SnapMode::ConflictDetection, 0u64),
+        ] {
+            let delta: Delta = requests.iter().cloned().collect();
+            // The poison always fails its precondition (XQB0002); in
+            // conflict-detection mode verification may reject first
+            // (XQB0010). Either way the store must come back untouched.
+            let err = apply_delta(&mut store, delta, mode, seed).unwrap_err();
+            prop_assert!(
+                err.code == "XQB0002" || err.code == "XQB0010",
+                "unexpected error {:?} in mode {:?}", err, mode
+            );
+            prop_assert_eq!(&snapshot(&store, &tracked), &before, "mode {:?} not atomic", mode);
+        }
+
+        // Rollback left no orphan allocations: rooting everything we ever
+        // created, garbage collection reclaims nothing and kills nothing.
+        let collected = store.collect_garbage(&tracked).unwrap();
+        prop_assert_eq!(collected, 0);
+        for &n in &tracked {
+            prop_assert!(store.is_alive(n));
+        }
     }
 
     #[test]

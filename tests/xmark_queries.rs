@@ -15,12 +15,18 @@ fn engine(scale: &Scale, seed: u64) -> Engine {
 }
 
 fn run(e: &mut Engine, q: &str) -> String {
-    let r = e.run(q).unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
+    let r = e
+        .run(q)
+        .unwrap_or_else(|err| panic!("query {q:?} failed: {err}"));
     e.serialize(&r).unwrap()
 }
 
-const SCALE: Scale =
-    Scale { persons: 40, items: 30, closed_auctions: 25, open_auctions: 15 };
+const SCALE: Scale = Scale {
+    persons: 40,
+    items: 30,
+    closed_auctions: 25,
+    open_auctions: 15,
+};
 
 /// XMark Q1: the name of the person with id "person0".
 #[test]
@@ -78,7 +84,10 @@ fn q5_expensive_items() {
 fn q6_items_per_region() {
     let mut e = engine(&SCALE, 11);
     assert_eq!(
-        run(&mut e, "count(for $b in $auction//site/regions return $b//item)"),
+        run(
+            &mut e,
+            "count(for $b in $auction//site/regions return $b//item)"
+        ),
         SCALE.items.to_string()
     );
 }
@@ -164,7 +173,10 @@ fn q8_update_variant_end_to_end() {
 fn quantified_queries() {
     let mut e = engine(&SCALE, 11);
     assert_eq!(
-        run(&mut e, "every $p in $auction//person satisfies exists($p/@id)"),
+        run(
+            &mut e,
+            "every $p in $auction//person satisfies exists($p/@id)"
+        ),
         "true"
     );
     assert_eq!(
@@ -183,8 +195,11 @@ fn aggregate_queries() {
     let avg = run(&mut e, "avg($auction//closed_auction/price)");
     let min = run(&mut e, "min($auction//closed_auction/price)");
     let max = run(&mut e, "max($auction//closed_auction/price)");
-    let (avg, min, max): (f64, f64, f64) =
-        (avg.parse().unwrap(), min.parse().unwrap(), max.parse().unwrap());
+    let (avg, min, max): (f64, f64, f64) = (
+        avg.parse().unwrap(),
+        min.parse().unwrap(),
+        max.parse().unwrap(),
+    );
     assert!(min <= avg && avg <= max);
     assert!(min >= 1.0 && max <= 500.0, "generator price bounds");
 }
