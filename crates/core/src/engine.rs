@@ -7,6 +7,10 @@
 
 use crate::env::DynEnv;
 use crate::eval::Evaluator;
+use crate::planner::{self, CompiledProgram};
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::Arc;
 use xqdm::item::{Item, Sequence};
 use xqdm::{NodeId, Store, XdmResult};
 use xqsyn::cursor::ParseError;
@@ -46,8 +50,12 @@ impl From<xqdm::XdmError> for Error {
 
 pub use crate::eval::EvalStats;
 
+/// The most plans the cache keeps before it is wholesale cleared — query
+/// workloads repeat a handful of programs; an unbounded cache would leak
+/// under ad-hoc query streams.
+const PLAN_CACHE_CAP: usize = 32;
+
 /// The XQuery! engine.
-#[derive(Default)]
 pub struct Engine {
     /// The node store. Public: hosts may construct data directly.
     pub store: Store,
@@ -61,6 +69,20 @@ pub struct Engine {
     /// application orders are never replayed between successive queries.
     snap_counter: u64,
     last_stats: Option<EvalStats>,
+    /// Compile programs through the installed planner (default). Off via
+    /// [`Engine::set_compile`] or the `XQB_INTERPRET` env var.
+    compile_enabled: bool,
+    /// Compiled plans keyed by a fingerprint of the (module-augmented)
+    /// program, so repeated `run` of the same text recompiles nothing.
+    plan_cache: HashMap<(u64, u64), Arc<dyn CompiledProgram>>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
@@ -73,6 +95,10 @@ impl Engine {
             seed: 0x5eed,
             snap_counter: 0,
             last_stats: None,
+            compile_enabled: std::env::var_os("XQB_INTERPRET").is_none(),
+            plan_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -209,11 +235,18 @@ impl Engine {
     /// `XQB0030` error is returned: a store that a panicking evaluation was
     /// mutating is not trusted as commitment.
     pub fn run_program(&mut self, program: &CoreProgram) -> XdmResult<Sequence> {
+        let compiled = self.plan_for(program);
         let mut evaluator = self.evaluator_for(program);
         let depth = self.store.frame_depth();
         self.store.begin_frame();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            evaluator.eval_program(&mut self.store, program)
+            // Compiled and interpreted paths share the evaluator (and
+            // hence the Δ-stack, seed counter, and statistics), and run
+            // inside the same panic/undo frame.
+            match &compiled {
+                Some(plan) => plan.execute(&mut evaluator, &mut self.store),
+                None => evaluator.eval_program(&mut self.store, program),
+            }
         }));
         self.snap_counter = evaluator.snap_counter();
         match outcome {
@@ -246,6 +279,73 @@ impl Engine {
         }
     }
 
+    /// Plan `program` through the installed planner, consulting the plan
+    /// cache first. `None` means "interpret": compilation disabled, or no
+    /// planner installed (bare `xqcore` without the facade).
+    fn plan_for(&mut self, program: &CoreProgram) -> Option<Arc<dyn CompiledProgram>> {
+        if !self.compile_enabled {
+            return None;
+        }
+        let planner = planner::default_planner()?;
+        let augmented = self.augment(program.clone());
+        let key = fingerprint(&augmented);
+        if let Some(plan) = self.plan_cache.get(&key) {
+            self.cache_hits += 1;
+            return Some(plan.clone());
+        }
+        self.cache_misses += 1;
+        let plan = planner.plan(&augmented);
+        if self.plan_cache.len() >= PLAN_CACHE_CAP {
+            self.plan_cache.clear();
+        }
+        self.plan_cache.insert(key, plan.clone());
+        Some(plan)
+    }
+
+    /// Extend a program with this engine's module functions (minus those
+    /// the program shadows), so planning and checking see the same world
+    /// the evaluator does.
+    fn augment(&self, mut program: CoreProgram) -> CoreProgram {
+        for f in &self.module_functions {
+            if !program
+                .functions
+                .iter()
+                .any(|g| g.name == f.name && g.params.len() == f.params.len())
+            {
+                program.functions.push(f.clone());
+            }
+        }
+        program
+    }
+
+    /// Enable or disable compiled execution (enabled by default unless the
+    /// `XQB_INTERPRET` environment variable is set at engine construction).
+    pub fn set_compile(&mut self, enabled: bool) {
+        self.compile_enabled = enabled;
+    }
+
+    /// Is compiled execution currently enabled?
+    pub fn compile_enabled(&self) -> bool {
+        self.compile_enabled
+    }
+
+    /// Plan-cache hits and misses since construction.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// The paper-style compiled plan for `query` (with effect
+    /// annotations), without running it — `EXPLAIN` for XQuery!. Module
+    /// functions participate as they would in [`Engine::run`]. With no
+    /// planner installed the whole program is one `Iterate` node.
+    pub fn explain(&self, query: &str) -> Result<String, Error> {
+        let program = self.augment(compile(query)?);
+        Ok(match planner::default_planner() {
+            Some(planner) => planner.plan(&program).explain(),
+            None => planner::render_unoptimized(&program),
+        })
+    }
+
     /// An evaluator seeded with this engine's modules and bindings.
     fn evaluator_for(&self, program: &CoreProgram) -> Evaluator {
         let mut evaluator = Evaluator::new(program)
@@ -269,18 +369,9 @@ impl Engine {
     /// variables/functions, duplicate declarations, and the effect lints
     /// (see [`crate::check`]). Module functions count as declared.
     pub fn check(&self, query: &str) -> Result<Vec<crate::check::Diagnostic>, Error> {
-        let mut program = compile(query)?;
         // Module functions participate exactly as program-level ones do
         // (minus shadowing, which register_function already resolves).
-        for f in &self.module_functions {
-            if !program
-                .functions
-                .iter()
-                .any(|g| g.name == f.name && g.params.len() == f.params.len())
-            {
-                program.functions.push(f.clone());
-            }
-        }
+        let program = self.augment(compile(query)?);
         let host_vars: Vec<&str> = self.bindings.iter().map(|(n, _)| n.as_str()).collect();
         Ok(crate::check::check_program(&program, &host_vars))
     }
@@ -314,6 +405,31 @@ impl Engine {
         }
         (ev, DynEnv::new())
     }
+}
+
+/// Fingerprint a program for the plan cache by streaming its debug
+/// representation through two independently-seeded hashers — no
+/// allocation of the full repr, and 128 bits make accidental collisions
+/// (which would silently run the wrong plan) implausible. `Core` holds
+/// `f64` literals, so it cannot derive `Hash` directly.
+fn fingerprint(program: &CoreProgram) -> (u64, u64) {
+    use std::collections::hash_map::DefaultHasher;
+    use std::fmt::Write as _;
+
+    struct HashWriter<'a>(&'a mut DefaultHasher);
+    impl std::fmt::Write for HashWriter<'_> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    let _ = write!(HashWriter(&mut h1), "{program:?}");
+    let _ = write!(HashWriter(&mut h2), "{program:?}");
+    (h1.finish(), h2.finish())
 }
 
 #[cfg(test)]

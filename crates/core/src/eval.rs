@@ -21,8 +21,10 @@
 use crate::apply::apply_delta;
 use crate::env::{DynEnv, Focus};
 use crate::functions;
+use crate::planner::FunctionExecutor;
 use crate::update::{Delta, UpdateRequest};
 use std::collections::HashMap;
+use std::sync::Arc;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::store::InsertAnchor;
@@ -66,6 +68,10 @@ pub struct EvalStats {
     pub requests_applied: u64,
     /// Deepest simultaneous Δ-stack nesting observed.
     pub max_snap_depth: usize,
+    /// Compiled plan nodes executed (0 under pure interpretation).
+    pub plan_nodes_executed: u64,
+    /// Hash-join / outer-join-group-by operators executed.
+    pub joins_executed: u64,
 }
 
 /// The evaluator: function table, globals, and the Δ stack.
@@ -78,6 +84,9 @@ pub struct Evaluator {
     base_seed: u64,
     depth: usize,
     stats: EvalStats,
+    /// Hook running calls to functions whose bodies compiled to a plan
+    /// (installed by a `CompiledProgram` for the duration of its run).
+    function_executor: Option<Arc<dyn FunctionExecutor>>,
 }
 
 impl Evaluator {
@@ -95,6 +104,7 @@ impl Evaluator {
             base_seed: 0x5eed,
             depth: 0,
             stats: EvalStats::default(),
+            function_executor: None,
         }
     }
 
@@ -109,6 +119,7 @@ impl Evaluator {
             base_seed: 0x5eed,
             depth: 0,
             stats: EvalStats::default(),
+            function_executor: None,
         }
     }
 
@@ -166,27 +177,41 @@ impl Evaluator {
         store: &mut Store,
         program: &CoreProgram,
     ) -> XdmResult<Sequence> {
+        self.run_in_program_scope(store, move |ev, store, env| {
+            for (name, init) in &program.variables {
+                let v = ev.eval(store, env, init)?;
+                ev.globals.insert(name.clone(), v);
+            }
+            ev.eval(store, env, &program.body)
+        })
+    }
+
+    /// Run `f` the way a whole program runs: on the dedicated big-stack
+    /// thread, inside the implicit top-level snap (§2.3), whose Δ is
+    /// applied in ordered mode with the next snap seed on success and
+    /// discarded on error. This is the shared program-scope harness for
+    /// both the interpreter ([`Evaluator::eval_program`]) and compiled
+    /// plans (`xqalg`'s `CompiledProgram::execute`) — sharing it is what
+    /// guarantees the two paths agree on stats, seeds, and Δ discipline.
+    pub fn run_in_program_scope<F>(&mut self, store: &mut Store, f: F) -> XdmResult<Sequence>
+    where
+        F: FnOnce(&mut Evaluator, &mut Store, &mut DynEnv) -> XdmResult<Sequence> + Send,
+    {
         with_eval_stack(move || {
             // The implicit snap also covers prolog variable initializers, so
-            // side-effecting initializers behave like the body.
+            // side-effecting initializers behave like the body. It is not
+            // counted toward max_snap_depth (only explicit snaps are).
             self.delta_stack.push(Delta::new());
-            let result = (|| {
-                let mut env = DynEnv::new();
-                for (name, init) in &program.variables {
-                    let v = self.eval(store, &mut env, init)?;
-                    self.globals.insert(name.clone(), v);
-                }
-                self.eval(store, &mut env, &program.body)
-            })();
-            let delta = self.delta_stack.pop().expect("top-level delta");
-            match result {
+            let mut env = DynEnv::new();
+            match f(&mut *self, store, &mut env) {
                 Ok(value) => {
-                    self.stats.snaps_closed += 1;
-                    self.stats.requests_applied += delta.len() as u64;
-                    apply_delta(store, delta, SnapMode::Ordered, self.next_seed())?;
+                    self.apply_snap_scope(store, SnapMode::Ordered)?;
                     Ok(value)
                 }
-                Err(e) => Err(e),
+                Err(e) => {
+                    self.end_snap_scope();
+                    Err(e)
+                }
             }
         })
     }
@@ -201,31 +226,80 @@ impl Evaluator {
     ) -> XdmResult<Sequence> {
         with_eval_stack(move || {
             self.delta_stack.push(Delta::new());
-            let result = self.eval(store, env, expr);
-            let delta = self.delta_stack.pop().expect("top-level delta");
-            match result {
+            match self.eval(store, env, expr) {
                 Ok(value) => {
-                    self.stats.snaps_closed += 1;
-                    self.stats.requests_applied += delta.len() as u64;
-                    apply_delta(store, delta, SnapMode::Ordered, self.next_seed())?;
+                    self.apply_snap_scope(store, SnapMode::Ordered)?;
                     Ok(value)
                 }
-                Err(e) => Err(e),
+                Err(e) => {
+                    self.end_snap_scope();
+                    Err(e)
+                }
             }
         })
     }
 
     /// Open a Δ scope (as `snap` does) without evaluating anything. For
     /// plan executors (`xqalg`) that drive `eval` directly and need a
-    /// surrounding snapshot scope; pair with [`Evaluator::end_snap_scope`].
+    /// surrounding snapshot scope; pair with [`Evaluator::end_snap_scope`]
+    /// or [`Evaluator::apply_snap_scope`]. Counts toward the max-snap-depth
+    /// statistic exactly as an explicit `snap` does.
     pub fn begin_snap_scope(&mut self) {
         self.delta_stack.push(Delta::new());
+        self.stats.max_snap_depth = self.stats.max_snap_depth.max(self.delta_stack.len());
     }
 
     /// Close the scope opened by [`Evaluator::begin_snap_scope`], returning
-    /// the collected Δ (not yet applied).
+    /// the collected Δ (not yet applied). Use on error paths, where the Δ
+    /// is discarded without counting as a closed snap.
     pub fn end_snap_scope(&mut self) -> Delta {
         self.delta_stack.pop().expect("unbalanced end_snap_scope")
+    }
+
+    /// Close the current Δ scope **and apply it** under `mode` with the
+    /// next snap seed, updating the snap statistics — the exact tail of
+    /// the `Core::Snap` evaluation rule. Compiled `Snap` plan nodes go
+    /// through here so their seed draw and stats match interpretation.
+    pub fn apply_snap_scope(&mut self, store: &mut Store, mode: SnapMode) -> XdmResult<()> {
+        let delta = self.delta_stack.pop().expect("unbalanced apply_snap_scope");
+        self.stats.snaps_closed += 1;
+        self.stats.requests_applied += delta.len() as u64;
+        apply_delta(store, delta, mode, self.next_seed())
+    }
+
+    /// Install (or clear) the hook that executes compiled function bodies.
+    pub fn set_function_executor(&mut self, executor: Option<Arc<dyn FunctionExecutor>>) {
+        self.function_executor = executor;
+    }
+
+    /// Enter a nested evaluation frame from outside `eval` (plan executors
+    /// calling back into compiled function bodies), enforcing the same
+    /// recursion limit. Pair with [`Evaluator::exit_nested`] on success.
+    pub fn enter_nested(&mut self) -> XdmResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(XdmError::new(
+                "XQB0020",
+                "evaluation recursion limit exceeded",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Leave the frame entered by [`Evaluator::enter_nested`].
+    pub fn exit_nested(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Record the execution of one compiled plan node.
+    pub fn note_plan_node(&mut self) {
+        self.stats.plan_nodes_executed += 1;
+    }
+
+    /// Record the execution of one join operator.
+    pub fn note_join(&mut self) {
+        self.stats.joins_executed += 1;
     }
 
     /// Draw the next per-snap seed (public so plan executors apply deltas
@@ -683,15 +757,17 @@ impl Evaluator {
                 // The snap rule: evaluate the body with a fresh Δ on top of
                 // the stack, pop it, apply it. Nested snaps close first —
                 // the recursion gives the paper's stack behavior for free.
-                self.delta_stack.push(Delta::new());
-                self.stats.max_snap_depth = self.stats.max_snap_depth.max(self.delta_stack.len());
-                let result = self.eval(store, env, body);
-                let delta = self.delta_stack.pop().expect("snap delta");
-                let value = result?;
-                self.stats.snaps_closed += 1;
-                self.stats.requests_applied += delta.len() as u64;
-                apply_delta(store, delta, *mode, self.next_seed())?;
-                Ok(value)
+                self.begin_snap_scope();
+                match self.eval(store, env, body) {
+                    Ok(value) => {
+                        self.apply_snap_scope(store, *mode)?;
+                        Ok(value)
+                    }
+                    Err(e) => {
+                        self.end_snap_scope();
+                        Err(e)
+                    }
+                }
             }
         }
     }
@@ -711,6 +787,14 @@ impl Evaluator {
         }
         if let Some(result) = functions::dispatch(name, values.clone(), store, env) {
             return result;
+        }
+        // Compiled function bodies run through the installed executor; a
+        // miss hands the evaluated arguments back for interpretation.
+        if let Some(executor) = self.function_executor.clone() {
+            match executor.try_call(self, store, name, values) {
+                Ok(result) => return result,
+                Err(returned) => values = returned,
+            }
         }
         let key = (name.to_string(), args.len());
         let func = match self.functions.get(&key) {

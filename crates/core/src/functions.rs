@@ -43,6 +43,7 @@ pub fn is_builtin(name: &str) -> bool {
             | "xs:string"
             | "xs:double"
             | "xs:boolean"
+            | "xqb:explain"
     ) || is_builtin_local(name.strip_prefix("fn:").unwrap_or(name))
 }
 
@@ -485,6 +486,22 @@ fn dispatch_prefixed(
         // exercise the engine's panic isolation (catch + store rollback).
         // Deliberately a panic, not an error — that is the point.
         panic!("xqb:panic() called");
+    }
+    if name == "xqb:explain" {
+        // EXPLAIN from inside the language: compile the argument query
+        // through the installed planner and return the paper-style plan.
+        let arg = args.first().cloned().unwrap_or_default();
+        return Some((|| {
+            let query = item::exactly_one(arg)?.string_value(store)?;
+            let program = xqsyn::compile(&query).map_err(|e| {
+                XdmError::new("XQB0040", format!("xqb:explain: cannot parse query: {e}"))
+            })?;
+            let text = match crate::planner::default_planner() {
+                Some(planner) => planner.plan(&program).explain(),
+                None => crate::planner::render_unoptimized(&program),
+            };
+            Ok(vec![Item::string(text)])
+        })());
     }
     if matches!(name, "fs:intersect" | "fs:except") {
         // The normalization targets of `intersect` / `except`: node

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod env;
 pub mod eval;
 pub mod functions;
+pub mod planner;
 pub mod update;
 
 pub use apply::apply_delta;
@@ -50,6 +51,7 @@ pub use conflict::verify_conflict_free;
 pub use effects::{Effect, EffectAnalysis};
 pub use engine::{Engine, Error};
 pub use env::{DynEnv, Focus};
-pub use eval::Evaluator;
+pub use eval::{EvalStats, Evaluator};
+pub use planner::{CompiledProgram, FunctionExecutor, Planner};
 pub use update::{Delta, UpdateRequest};
 pub use xqsyn::ast::SnapMode;

@@ -1,0 +1,92 @@
+//! The planner seam between the engine and the algebraic compiler.
+//!
+//! The optimizer lives in `xqalg`, which depends on this crate — so the
+//! engine cannot name the compiler's types directly. Instead the engine
+//! consumes the optimizer through the object-safe traits below, and the
+//! facade crate installs `xqalg`'s implementation into the process-wide
+//! registry at startup. When nothing is installed (e.g. `xqcore` used on
+//! its own), the engine transparently falls back to pure interpretation.
+//!
+//! The contract every implementation must honor is the paper's: a compiled
+//! program produces **the same value sequence, the same final store, and
+//! the same Δ ordering per snap mode** as the interpreted program. The
+//! compiler only changes complexity, never semantics — the differential
+//! suite (`tests/differential.rs`) enforces this.
+
+use crate::eval::Evaluator;
+use std::sync::{Arc, OnceLock};
+use xqdm::item::Sequence;
+use xqdm::{Store, XdmResult};
+use xqsyn::CoreProgram;
+
+/// A program compiled to an executable plan. Execution drives the given
+/// evaluator (its Δ-stack, snap-seed counter, globals, and statistics), so
+/// compiled and interpreted subtrees share one store/Δ discipline.
+pub trait CompiledProgram: Send + Sync {
+    /// Run the plan: prolog variables first, then the body, inside the
+    /// implicit top-level snap — the compiled counterpart of
+    /// [`Evaluator::eval_program`].
+    fn execute(&self, evaluator: &mut Evaluator, store: &mut Store) -> XdmResult<Sequence>;
+
+    /// The paper-style plan printout with effect annotations.
+    fn explain(&self) -> String;
+
+    /// Did any rewrite fire anywhere in the program (body, prolog
+    /// variable, or declared function)?
+    fn is_optimized(&self) -> bool;
+}
+
+/// A plan compiler: turns a core program into an executable plan.
+pub trait Planner: Send + Sync {
+    /// Compile `program` (including its declared functions) to a plan.
+    fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram>;
+}
+
+/// Executes calls to user-declared functions whose bodies compiled to an
+/// optimized plan. The evaluator consults this hook after built-in
+/// dispatch and before falling back to interpreting the declaration.
+pub trait FunctionExecutor: Send + Sync {
+    /// Try to run `name(args)` as a compiled plan. Returns `Err(args)` —
+    /// handing the (already evaluated) arguments back — when this executor
+    /// has no plan for that function, so the caller can interpret it.
+    fn try_call(
+        &self,
+        evaluator: &mut Evaluator,
+        store: &mut Store,
+        name: &str,
+        args: Vec<Sequence>,
+    ) -> Result<XdmResult<Sequence>, Vec<Sequence>>;
+}
+
+static DEFAULT_PLANNER: OnceLock<Arc<dyn Planner>> = OnceLock::new();
+
+/// Install the process-wide default planner. The first installation wins;
+/// later calls are no-ops (installation is idempotent by design — every
+/// facade `Engine::new()` calls this).
+pub fn install(planner: Arc<dyn Planner>) {
+    let _ = DEFAULT_PLANNER.set(planner);
+}
+
+/// The installed default planner, if any.
+pub fn default_planner() -> Option<Arc<dyn Planner>> {
+    DEFAULT_PLANNER.get().cloned()
+}
+
+/// The fallback "plan" rendering used when no planner is installed: the
+/// whole program is one `Iterate` under the implicit snap.
+pub fn render_unoptimized(program: &CoreProgram) -> String {
+    format!("Snap {{\n  Iterate {{ {} }}\n}}", program.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_unoptimized_shows_iterate_under_snap() {
+        let program = xqsyn::compile("1 + 2").unwrap();
+        let s = render_unoptimized(&program);
+        assert!(s.starts_with("Snap {"));
+        assert!(s.contains("Iterate"));
+    }
+}

@@ -22,13 +22,23 @@
 //!    the nested loop would have produced, in the same order).
 
 use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
+use std::cell::RefCell;
 use xqcore::{Effect, EffectAnalysis};
 use xqdm::atomic::CompareOp;
 use xqsyn::core::{Core, CoreProgram};
 
+/// How many `(input, simplified)` pairs [`Compiler::compile_simplified`]
+/// memoizes. A program compiles a handful of distinct expressions (body,
+/// prolog initializers, function bodies); a small bound suffices.
+const SIMPLIFY_MEMO_CAP: usize = 8;
+
 /// The plan compiler: effect analysis + rewrite rules.
 pub struct Compiler {
     analysis: EffectAnalysis,
+    /// Memo for the simplify pass: re-running `run_program` (or compiling
+    /// the same expression twice within one program) does no redundant
+    /// rewriting.
+    simplified: RefCell<Vec<(Core, Core)>>,
 }
 
 impl Compiler {
@@ -36,6 +46,7 @@ impl Compiler {
     pub fn new(program: &CoreProgram) -> Self {
         Compiler {
             analysis: EffectAnalysis::new(program),
+            simplified: RefCell::new(Vec::new()),
         }
     }
 
@@ -43,6 +54,7 @@ impl Compiler {
     pub fn empty() -> Self {
         Compiler {
             analysis: EffectAnalysis::empty(),
+            simplified: RefCell::new(Vec::new()),
         }
     }
 
@@ -51,8 +63,15 @@ impl Compiler {
         &self.analysis
     }
 
-    /// Compile a core expression to a plan. Falls back to
-    /// [`QueryPlan::Iterate`] whenever a guard fails.
+    /// Compile a core expression to a plan. Join recognition is attempted
+    /// at **every** subtree: first the two join rewrites on the node
+    /// itself, then structural recursion through the control operators
+    /// (`let`/`for`/`if`/sequence/`snap`) so joins nested inside snap
+    /// bodies, let-bound values, and branches are still found. A
+    /// structural subtree in which no rewrite fired collapses back to a
+    /// single [`QueryPlan::Iterate`] of the original expression — the
+    /// per-subtree fallback that keeps unoptimizable code on the strict
+    /// interpreted path.
     pub fn compile(&self, core: &Core) -> QueryPlan {
         if let Some(plan) = self.try_outer_join_group_by(core) {
             return plan;
@@ -60,14 +79,87 @@ impl Compiler {
         if let Some(plan) = self.try_join(core) {
             return plan;
         }
+        match core {
+            Core::Seq(items) if !items.is_empty() => {
+                let plans: Vec<QueryPlan> = items.iter().map(|e| self.compile(e)).collect();
+                if plans.iter().any(QueryPlan::is_optimized) {
+                    return QueryPlan::Seq(plans);
+                }
+            }
+            Core::Let { var, value, body } => {
+                let value_plan = self.compile(value);
+                let body_plan = self.compile(body);
+                if value_plan.is_optimized() || body_plan.is_optimized() {
+                    return QueryPlan::Let {
+                        var: var.clone(),
+                        value: Box::new(value_plan),
+                        body: Box::new(body_plan),
+                    };
+                }
+            }
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
+                let source_plan = self.compile(source);
+                let body_plan = self.compile(body);
+                if source_plan.is_optimized() || body_plan.is_optimized() {
+                    return QueryPlan::For {
+                        var: var.clone(),
+                        position: position.clone(),
+                        source: Box::new(source_plan),
+                        body: Box::new(body_plan),
+                    };
+                }
+            }
+            Core::If(cond, then, els) => {
+                let cond_plan = self.compile(cond);
+                let then_plan = self.compile(then);
+                let els_plan = self.compile(els);
+                if cond_plan.is_optimized() || then_plan.is_optimized() || els_plan.is_optimized() {
+                    return QueryPlan::If {
+                        cond: Box::new(cond_plan),
+                        then: Box::new(then_plan),
+                        els: Box::new(els_plan),
+                    };
+                }
+            }
+            Core::Snap(mode, body) => {
+                let body_plan = self.compile(body);
+                if body_plan.is_optimized() {
+                    return QueryPlan::Snap {
+                        mode: *mode,
+                        body: Box::new(body_plan),
+                    };
+                }
+            }
+            _ => {}
+        }
         QueryPlan::Iterate(core.clone())
     }
 
     /// Run the guarded syntactic rewriting phase (§4.2) first, then
-    /// compile — the full Galax-style pipeline.
+    /// compile — the full Galax-style pipeline. The simplified form is
+    /// memoized per input expression.
     pub fn compile_simplified(&self, core: &Core) -> QueryPlan {
+        if let Some((_, cached)) = self
+            .simplified
+            .borrow()
+            .iter()
+            .find(|(input, _)| input == core)
+        {
+            return self.compile(cached);
+        }
         let simplified = crate::rewrite::simplify(core, &self.analysis);
-        self.compile(&simplified)
+        let plan = self.compile(&simplified);
+        let mut memo = self.simplified.borrow_mut();
+        if memo.len() >= SIMPLIFY_MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push((core.clone(), simplified));
+        plan
     }
 
     /// Shared guards for both rewrites; returns the (outer_key, inner_key)

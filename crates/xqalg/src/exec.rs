@@ -20,23 +20,28 @@
 
 use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
 use std::collections::HashMap;
-use xqcore::{apply_delta, DynEnv, Evaluator, SnapMode};
+use xqcore::{DynEnv, Evaluator};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::{Store, XdmResult};
 use xqsyn::core::{Core, CoreProgram};
 
 /// Execute a plan inside the caller's current Δ scope. Pending updates the
 /// plan body produces are appended to the evaluator's current scope,
-/// exactly as if the original core expression had been evaluated.
+/// exactly as if the original core expression had been evaluated: the
+/// structural nodes mirror the evaluator's rules operator-for-operator
+/// (same binding discipline, same evaluation order, same Δ/seed draws), so
+/// compiled and interpreted subtrees interleave freely.
 pub fn execute(
     plan: &QueryPlan,
     evaluator: &mut Evaluator,
     store: &mut Store,
     env: &mut DynEnv,
 ) -> XdmResult<Sequence> {
+    evaluator.note_plan_node();
     match plan {
         QueryPlan::Iterate(core) => evaluator.eval(store, env, core),
         QueryPlan::HashJoin(join) => {
+            evaluator.note_join();
             let mut out = Vec::new();
             for_each_match(join, evaluator, store, env, |ev, store, env, _outer, _| {
                 let v = ev.eval(store, env, &join.body)?;
@@ -45,51 +50,88 @@ pub fn execute(
             })?;
             Ok(out)
         }
-        QueryPlan::OuterJoinGroupBy(group) => execute_group_by(group, evaluator, store, env),
+        QueryPlan::OuterJoinGroupBy(group) => {
+            evaluator.note_join();
+            execute_group_by(group, evaluator, store, env)
+        }
+        QueryPlan::Seq(items) => {
+            let mut out = Vec::new();
+            for p in items {
+                out.extend(execute(p, evaluator, store, env)?);
+            }
+            Ok(out)
+        }
+        QueryPlan::Let { var, value, body } => {
+            let v = execute(value, evaluator, store, env)?;
+            env.push_var(var.clone(), v);
+            let r = execute(body, evaluator, store, env);
+            env.pop_var();
+            r
+        }
+        QueryPlan::For {
+            var,
+            position,
+            source,
+            body,
+        } => {
+            let src = execute(source, evaluator, store, env)?;
+            let mut out = Vec::new();
+            for (i, it) in src.into_iter().enumerate() {
+                env.push_var(var.clone(), vec![it]);
+                if let Some(p) = position {
+                    env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                }
+                let r = execute(body, evaluator, store, env);
+                if position.is_some() {
+                    env.pop_var();
+                }
+                env.pop_var();
+                out.extend(r?);
+            }
+            Ok(out)
+        }
+        QueryPlan::If { cond, then, els } => {
+            let c = execute(cond, evaluator, store, env)?;
+            if item::effective_boolean(&c, store)? {
+                execute(then, evaluator, store, env)
+            } else {
+                execute(els, evaluator, store, env)
+            }
+        }
+        QueryPlan::Snap { mode, body } => {
+            // The plan twin of the `Core::Snap` rule: same scope push, same
+            // apply (and seed draw) on success, same discard on error.
+            evaluator.begin_snap_scope();
+            match execute(body, evaluator, store, env) {
+                Ok(value) => {
+                    evaluator.apply_snap_scope(store, *mode)?;
+                    Ok(value)
+                }
+                Err(e) => {
+                    evaluator.end_snap_scope();
+                    Err(e)
+                }
+            }
+        }
     }
 }
 
 /// Run a compiled plan as a full query: prolog variables first, then the
 /// plan body, all inside the implicit top-level snap. The plan-level
-/// counterpart of `Evaluator::eval_program`.
+/// counterpart of `Evaluator::eval_program`, built on the same
+/// program-scope harness.
 pub fn run_plan(
     plan: &QueryPlan,
     program: &CoreProgram,
     evaluator: &mut Evaluator,
     store: &mut Store,
 ) -> XdmResult<Sequence> {
-    run_on_big_stack(move || {
-        let mut env = DynEnv::new();
-        evaluator.begin_snap_scope();
-        let result = (|| {
-            for (name, init) in &program.variables {
-                let v = evaluator.eval(store, &mut env, init)?;
-                evaluator.bind_global(name.clone(), v);
-            }
-            execute(plan, evaluator, store, &mut env)
-        })();
-        let delta = evaluator.end_snap_scope();
-        match result {
-            Ok(value) => {
-                let seed = evaluator.next_apply_seed();
-                apply_delta(store, delta, SnapMode::Ordered, seed)?;
-                Ok(value)
-            }
-            Err(e) => Err(e),
+    evaluator.run_in_program_scope(store, move |ev, store, env| {
+        for (name, init) in &program.variables {
+            let v = ev.eval(store, env, init)?;
+            ev.bind_global(name.clone(), v);
         }
-    })
-}
-
-/// Mirror of the evaluator's big-stack discipline for deep plan bodies.
-fn run_on_big_stack<R: Send>(f: impl FnOnce() -> R + Send) -> R {
-    std::thread::scope(|scope| {
-        std::thread::Builder::new()
-            .name("xqalg-exec".into())
-            .stack_size(64 << 20)
-            .spawn_scoped(scope, f)
-            .expect("spawn plan-execution thread")
-            .join()
-            .unwrap_or_else(|p| std::panic::resume_unwind(p))
+        execute(plan, ev, store, env)
     })
 }
 

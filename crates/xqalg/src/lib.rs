@@ -27,37 +27,50 @@
 
 pub mod compile;
 pub mod exec;
+pub mod pipeline;
 pub mod plan;
 pub mod rewrite;
 
 pub use compile::Compiler;
 pub use exec::{execute, run_plan};
+pub use pipeline::{compile_program, AlgPlanner, PlannedProgram};
 pub use plan::{GroupByPlan, JoinPlan, QueryPlan};
 pub use rewrite::simplify;
 
+use std::sync::Arc;
+use xqcore::planner::CompiledProgram;
 use xqcore::Evaluator;
 use xqdm::item::Sequence;
 use xqdm::{Store, XdmResult};
 use xqsyn::CoreProgram;
 
-/// One-call convenience: compile a program's body to a plan and run it
-/// with the given host bindings. Returns the value sequence and whether
-/// the optimizer managed to rewrite the query.
+/// Register [`AlgPlanner`] as the process-wide default planner, making
+/// `xqcore::Engine::run_program` compile through this crate. Idempotent;
+/// the facade crate calls this from `Engine::new()`.
+pub fn install() {
+    xqcore::planner::install(Arc::new(AlgPlanner));
+}
+
+/// One-call convenience: compile a whole program (body, prolog variables,
+/// declared functions) and run it with the given host bindings. Returns
+/// the value sequence and whether the optimizer rewrote anything.
+///
+/// This is a thin wrapper over the [`pipeline`] the engine uses by
+/// default — kept for benchmarks and tests that need an explicit
+/// compiled-vs-naive comparison with a fixed seed.
 pub fn run_optimized(
     program: &CoreProgram,
     store: &mut Store,
     bindings: &[(String, Sequence)],
     seed: u64,
 ) -> XdmResult<(Sequence, bool)> {
-    // The full §4 pipeline: guarded syntactic rewriting, then plan
-    // compilation with the join rules.
-    let plan = Compiler::new(program).compile_simplified(&program.body);
+    let planned = compile_program(program);
     let mut evaluator = Evaluator::new(program).with_seed(seed);
     for (name, value) in bindings {
         evaluator.bind_global(name.clone(), value.clone());
     }
-    let optimized = plan.is_optimized();
-    let value = run_plan(&plan, program, &mut evaluator, store)?;
+    let optimized = planned.is_optimized();
+    let value = planned.execute(&mut evaluator, store)?;
     Ok((value, optimized))
 }
 

@@ -1,0 +1,247 @@
+//! The compiled execution pipeline: whole programs (body, prolog
+//! variables, declared functions) compiled to plans, runnable behind
+//! `xqcore`'s [`CompiledProgram`] seam — this is what the engine executes
+//! by default once [`crate::install`] has run.
+//!
+//! A [`PlannedProgram`] owns one plan per program part. Function bodies
+//! whose plan actually optimized something are collected into a
+//! [`FnTable`] and installed as the evaluator's function executor for the
+//! duration of the run, so a join inside a declared function runs as a
+//! hash join no matter where the call site sits. Functions whose bodies
+//! compiled to a bare `Iterate` are left to the interpreter — the plan
+//! would add indirection without changing a single instruction.
+
+use crate::compile::Compiler;
+use crate::exec;
+use crate::plan::QueryPlan;
+use std::sync::Arc;
+use xqcore::planner::{CompiledProgram, FunctionExecutor, Planner};
+use xqcore::{DynEnv, Evaluator};
+use xqdm::item::Sequence;
+use xqdm::{Store, XdmResult};
+use xqsyn::CoreProgram;
+
+/// Compiled plans for the declared functions that benefited from
+/// compilation, consulted by the evaluator on every user-function call.
+#[derive(Default)]
+pub struct FnTable {
+    /// `(name, params, body plan)` — linear scan; programs declare few
+    /// functions and only the optimized ones land here.
+    entries: Vec<(String, Vec<String>, QueryPlan)>,
+}
+
+impl FnTable {
+    /// No compiled functions at all?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of functions with compiled bodies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl FunctionExecutor for FnTable {
+    fn try_call(
+        &self,
+        evaluator: &mut Evaluator,
+        store: &mut Store,
+        name: &str,
+        args: Vec<Sequence>,
+    ) -> Result<XdmResult<Sequence>, Vec<Sequence>> {
+        let Some((_, params, plan)) = self
+            .entries
+            .iter()
+            .find(|(n, p, _)| n == name && p.len() == args.len())
+        else {
+            return Err(args);
+        };
+        Ok((|| {
+            // Same recursion accounting as an interpreted call.
+            evaluator.enter_nested()?;
+            // Function bodies see only their parameters and globals — a
+            // fresh environment, exactly like the interpreter's call rule.
+            let mut fenv = DynEnv::new();
+            for (p, v) in params.iter().zip(args) {
+                fenv.push_var(p.clone(), v);
+            }
+            let r = exec::execute(plan, evaluator, store, &mut fenv);
+            evaluator.exit_nested();
+            r
+        })())
+    }
+}
+
+/// A whole program compiled to plans: the [`CompiledProgram`] the engine
+/// caches and executes.
+pub struct PlannedProgram {
+    variables: Vec<(String, QueryPlan)>,
+    body: QueryPlan,
+    functions: Arc<FnTable>,
+    explain: String,
+    optimized: bool,
+}
+
+impl PlannedProgram {
+    /// The body plan (diagnostics and tests).
+    pub fn body_plan(&self) -> &QueryPlan {
+        &self.body
+    }
+
+    /// Number of declared functions whose bodies compiled to an optimized
+    /// plan.
+    pub fn compiled_functions(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+impl CompiledProgram for PlannedProgram {
+    fn execute(&self, evaluator: &mut Evaluator, store: &mut Store) -> XdmResult<Sequence> {
+        if !self.functions.is_empty() {
+            evaluator.set_function_executor(Some(self.functions.clone()));
+        }
+        let result = evaluator.run_in_program_scope(store, |ev, store, env| {
+            // Prolog variables in order, then the body — all inside the
+            // implicit top-level snap, like `Evaluator::eval_program`.
+            for (name, plan) in &self.variables {
+                let v = exec::execute(plan, ev, store, env)?;
+                ev.bind_global(name.clone(), v);
+            }
+            exec::execute(&self.body, ev, store, env)
+        });
+        evaluator.set_function_executor(None);
+        result
+    }
+
+    fn explain(&self) -> String {
+        self.explain.clone()
+    }
+
+    fn is_optimized(&self) -> bool {
+        self.optimized
+    }
+}
+
+/// Compile a whole program: simplify + plan the body, every prolog
+/// variable initializer, and every declared function body, with join
+/// recognition attempted at each subtree of each part.
+pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
+    let compiler = Compiler::new(program);
+    let body = compiler.compile_simplified(&program.body);
+    let variables: Vec<(String, QueryPlan)> = program
+        .variables
+        .iter()
+        .map(|(name, init)| (name.clone(), compiler.compile_simplified(init)))
+        .collect();
+
+    let mut fn_table = FnTable::default();
+    let mut fn_explains = Vec::new();
+    for f in &program.functions {
+        let plan = compiler.compile_simplified(&f.body);
+        if plan.is_optimized() {
+            fn_explains.push(format!(
+                "declare function {}({}):\n{}",
+                f.name,
+                f.params
+                    .iter()
+                    .map(|p| format!("${p}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                plan.render_annotated(compiler.analysis()),
+            ));
+            fn_table
+                .entries
+                .push((f.name.clone(), f.params.clone(), plan));
+        }
+    }
+
+    let optimized = body.is_optimized()
+        || variables.iter().any(|(_, p)| p.is_optimized())
+        || !fn_table.is_empty();
+
+    let mut explain = body.render_annotated(compiler.analysis());
+    for (name, plan) in &variables {
+        if plan.is_optimized() {
+            explain.push_str(&format!(
+                "\n\ndeclare variable ${name}:\n{}",
+                plan.render_annotated(compiler.analysis())
+            ));
+        }
+    }
+    for fe in fn_explains {
+        explain.push_str("\n\n");
+        explain.push_str(&fe);
+    }
+
+    PlannedProgram {
+        variables,
+        body,
+        functions: Arc::new(fn_table),
+        explain,
+        optimized,
+    }
+}
+
+/// The [`Planner`] implementation the facade installs as the process-wide
+/// default.
+pub struct AlgPlanner;
+
+impl Planner for AlgPlanner {
+    fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {
+        Arc::new(compile_program(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_in_function_body_compiles() {
+        let program = xqsyn::compile(
+            r#"
+            declare function pairs($ls, $rs) {
+              for $l in $ls/e
+              for $r in $rs/e
+              where $l/@k = $r/@k
+              return <m/>
+            };
+            pairs($left, $right)"#,
+        )
+        .unwrap();
+        let planned = compile_program(&program);
+        assert!(planned.is_optimized());
+        assert_eq!(planned.compiled_functions(), 1);
+        assert!(planned.explain().contains("declare function pairs"));
+        assert!(planned.explain().contains("Join"));
+    }
+
+    #[test]
+    fn join_in_snap_body_compiles() {
+        let program = xqsyn::compile(
+            r#"
+            snap {
+              for $l in $left/e
+              for $r in $right/e
+              where $l/@k = $r/@k
+              return insert { <m/> } into { $out }
+            }"#,
+        )
+        .unwrap();
+        let planned = compile_program(&program);
+        assert!(planned.is_optimized());
+        assert!(matches!(planned.body_plan(), QueryPlan::Snap { .. }));
+        assert!(planned.explain().contains("Snap(ordered)"));
+        assert!(planned.explain().contains("Join"));
+    }
+
+    #[test]
+    fn plain_programs_stay_single_iterate() {
+        let program = xqsyn::compile("for $i in 1 to 3 return $i * $i").unwrap();
+        let planned = compile_program(&program);
+        assert!(!planned.is_optimized());
+        assert!(matches!(planned.body_plan(), QueryPlan::Iterate(_)));
+        assert_eq!(planned.compiled_functions(), 0);
+    }
+}

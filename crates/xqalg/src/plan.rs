@@ -1,20 +1,29 @@
 //! Logical query plans (paper §4.2–4.3).
 //!
 //! The plan language mirrors the operators the paper's compiled plan uses —
-//! `MapFromItem`, `GroupBy`, `LeftOuterJoin`, `Snap` — specialized to the
-//! two unnesting shapes the paper's rewrites produce:
+//! `MapFromItem`, `GroupBy`, `LeftOuterJoin`, `Snap` — with two families of
+//! nodes:
 //!
-//! * [`QueryPlan::HashJoin`]: a nested for-for-where loop recognized as a
-//!   join (the §2.1 purchasers query);
-//! * [`QueryPlan::OuterJoinGroupBy`]: the for/let/where shape of the §4.3
-//!   XMark Q8 variant, compiled to an outer join followed by a group-by.
+//! * **Join nodes**, produced by the guarded rewrites:
+//!   [`QueryPlan::HashJoin`] (the §2.1 purchasers query) and
+//!   [`QueryPlan::OuterJoinGroupBy`] (the §4.3 XMark Q8 variant).
+//! * **Structural nodes** ([`QueryPlan::Seq`], [`QueryPlan::Let`],
+//!   [`QueryPlan::For`], [`QueryPlan::If`], [`QueryPlan::Snap`]), which
+//!   mirror the core control operators one-for-one so that join
+//!   recognition reaches *into* snap bodies, let-bound subqueries, and
+//!   branches — the paper's point that the effect-free interior of an
+//!   innermost snap is where classical optimization is recovered.
 //!
 //! Anything the rewrites cannot prove safe stays [`QueryPlan::Iterate`]
 //! (the naive nested-loop evaluation of the core expression) — that is
 //! exactly the paper's guard story: the preconditions, not the rewrite,
-//! carry the semantics.
+//! carry the semantics. The compiler collapses any structural subtree with
+//! no join descendant back to a single `Iterate`, so structural nodes only
+//! appear on the spine that leads to an optimized operator.
 
 use std::fmt;
+use xqcore::EffectAnalysis;
+use xqcore::SnapMode;
 use xqsyn::core::Core;
 
 /// A compiled query plan.
@@ -29,6 +38,47 @@ pub enum QueryPlan {
     /// `for $o in outer let $g := (for $i in inner where k(o)=k(i) return
     /// item) return body` as LeftOuterJoin + GroupBy + MapFromItem.
     OuterJoinGroupBy(GroupByPlan),
+    /// A sequence whose elements execute left to right, values and Δs
+    /// concatenated — the plan mirror of `Core::Seq`.
+    Seq(Vec<QueryPlan>),
+    /// `let $var := value return body` with compiled subplans.
+    Let {
+        /// The bound variable.
+        var: String,
+        /// The bound value's plan (executed once).
+        value: Box<QueryPlan>,
+        /// The body's plan, with `var` in scope.
+        body: Box<QueryPlan>,
+    },
+    /// `for $var [at $position] in source return body` with compiled
+    /// subplans; the body executes once per source item, in order.
+    For {
+        /// The loop variable.
+        var: String,
+        /// The positional variable, if declared.
+        position: Option<String>,
+        /// The source's plan (executed once).
+        source: Box<QueryPlan>,
+        /// The body's plan, executed per binding.
+        body: Box<QueryPlan>,
+    },
+    /// `if (cond) then … else …` with compiled subplans.
+    If {
+        /// The condition's plan (effective boolean value decides).
+        cond: Box<QueryPlan>,
+        /// The then-branch plan.
+        then: Box<QueryPlan>,
+        /// The else-branch plan.
+        els: Box<QueryPlan>,
+    },
+    /// An explicit `snap` scope: push a fresh Δ, execute the body plan,
+    /// apply under `mode` — identical Δ discipline to the interpreter.
+    Snap {
+        /// The Δ-application mode.
+        mode: SnapMode,
+        /// The body's plan.
+        body: Box<QueryPlan>,
+    },
 }
 
 /// The join core shared by both optimized shapes.
@@ -66,20 +116,64 @@ pub struct GroupByPlan {
 }
 
 impl QueryPlan {
-    /// Was any rewrite applied?
+    /// Was any rewrite applied anywhere in the plan?
     pub fn is_optimized(&self) -> bool {
-        !matches!(self, QueryPlan::Iterate(_))
+        match self {
+            QueryPlan::Iterate(_) => false,
+            QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => true,
+            QueryPlan::Seq(items) => items.iter().any(QueryPlan::is_optimized),
+            QueryPlan::Let { value, body, .. } => value.is_optimized() || body.is_optimized(),
+            QueryPlan::For { source, body, .. } => source.is_optimized() || body.is_optimized(),
+            QueryPlan::If { cond, then, els } => {
+                cond.is_optimized() || then.is_optimized() || els.is_optimized()
+            }
+            QueryPlan::Snap { body, .. } => body.is_optimized(),
+        }
+    }
+
+    /// Number of plan nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            QueryPlan::Iterate(_) | QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => 0,
+            QueryPlan::Seq(items) => items.iter().map(QueryPlan::node_count).sum(),
+            QueryPlan::Let { value, body, .. } => value.node_count() + body.node_count(),
+            QueryPlan::For { source, body, .. } => source.node_count() + body.node_count(),
+            QueryPlan::If { cond, then, els } => {
+                cond.node_count() + then.node_count() + els.node_count()
+            }
+            QueryPlan::Snap { body, .. } => body.node_count(),
+        }
     }
 
     /// The paper-style plan printout (§4.3 prints
     /// `Snap { MapFromItem {...} (GroupBy [...] (LeftOuterJoin(...))) }`).
+    /// The outermost `Snap` is the implicit top-level one.
     pub fn render(&self) -> String {
+        format!("Snap {{\n{}\n}}", indent(&self.render_node(None), 2))
+    }
+
+    /// [`QueryPlan::render`] with effect annotations: every `Iterate` leaf
+    /// and join body carries its place on the effect lattice, showing
+    /// *why* each guard admitted (or would reject) a rewrite.
+    pub fn render_annotated(&self, analysis: &EffectAnalysis) -> String {
+        format!(
+            "Snap {{\n{}\n}}",
+            indent(&self.render_node(Some(analysis)), 2)
+        )
+    }
+
+    fn render_node(&self, analysis: Option<&EffectAnalysis>) -> String {
+        let eff = |core: &Core| match analysis {
+            Some(a) => format!("[{:?}]", a.effect(core)),
+            None => String::new(),
+        };
         match self {
-            QueryPlan::Iterate(core) => format!("Snap {{\n  Iterate {{ {core} }}\n}}"),
+            QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff(core)),
             QueryPlan::HashJoin(j) => format!(
-                "Snap {{\n  MapFromItem {{ {body} }}\n  (Join( MapFromItem{{[{o}:Input]}}\n \
-                 ({osrc} ),\n         MapFromItem{{[{i}:Input]}}\n \
-                 ({isrc}))\n    on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n  )\n}}",
+                "MapFromItem{eb} {{ {body} }}\n(Join( MapFromItem{{[{o}:Input]}}\n   \
+                 ({osrc}),\n       MapFromItem{{[{i}:Input]}}\n   ({isrc}))\n  on {{ \
+                 Input#{i}/{ikey} = Input#{o}/{okey} }}\n)",
+                eb = eff(&j.body),
                 body = j.body,
                 o = j.outer_var,
                 osrc = j.outer_source,
@@ -89,19 +183,66 @@ impl QueryPlan {
                 okey = strip_var(&j.outer_key, &j.outer_var),
             ),
             QueryPlan::OuterJoinGroupBy(g) => format!(
-                "Snap {{\n  MapFromItem {{\n    {ret}\n  }}\n  (GroupBy [ Input#{o}, {{ {body} \
-                 }}]\n    ( LeftOuterJoin( MapFromItem{{[{o}:Input]}}\n \
-                 ({osrc} ),\n                     MapFromItem{{[{i}:Input]}}\n \
-                 ({isrc}))\n      on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n    )\n  )\n}}",
+                "MapFromItem{er} {{\n  {ret}\n}}\n(GroupBy [ Input#{o}, {{ {body} }}{eb} \
+                 ]\n  ( LeftOuterJoin( MapFromItem{{[{o}:Input]}}\n     \
+                 ({osrc}),\n                   MapFromItem{{[{i}:Input]}}\n     \
+                 ({isrc}))\n    on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n  )\n)",
+                er = eff(&g.ret),
                 ret = g.ret,
                 o = g.join.outer_var,
                 body = g.join.body,
+                eb = eff(&g.join.body),
                 osrc = g.join.outer_source,
                 i = g.join.inner_var,
                 isrc = g.join.inner_source,
                 ikey = strip_var(&g.join.inner_key, &g.join.inner_var),
                 okey = strip_var(&g.join.outer_key, &g.join.outer_var),
             ),
+            QueryPlan::Seq(items) => {
+                let parts: Vec<String> = items
+                    .iter()
+                    .map(|p| indent(&p.render_node(analysis), 2))
+                    .collect();
+                format!("Seq [\n{}\n]", parts.join(",\n"))
+            }
+            QueryPlan::Let { var, value, body } => format!(
+                "Let ${var} := {{\n{}\n}} In {{\n{}\n}}",
+                indent(&value.render_node(analysis), 2),
+                indent(&body.render_node(analysis), 2),
+            ),
+            QueryPlan::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
+                let pos = position
+                    .as_ref()
+                    .map(|p| format!(" at ${p}"))
+                    .unwrap_or_default();
+                format!(
+                    "For ${var}{pos} In {{\n{}\n}} Do {{\n{}\n}}",
+                    indent(&source.render_node(analysis), 2),
+                    indent(&body.render_node(analysis), 2),
+                )
+            }
+            QueryPlan::If { cond, then, els } => format!(
+                "If {{\n{}\n}} Then {{\n{}\n}} Else {{\n{}\n}}",
+                indent(&cond.render_node(analysis), 2),
+                indent(&then.render_node(analysis), 2),
+                indent(&els.render_node(analysis), 2),
+            ),
+            QueryPlan::Snap { mode, body } => {
+                let label = match mode {
+                    SnapMode::Ordered => "ordered",
+                    SnapMode::Nondeterministic => "nondeterministic",
+                    SnapMode::ConflictDetection => "conflict-detection",
+                };
+                format!(
+                    "Snap({label}) {{\n{}\n}}",
+                    indent(&body.render_node(analysis), 2)
+                )
+            }
         }
     }
 }
@@ -110,6 +251,15 @@ impl fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// Indent every line of `s` by `n` spaces.
+fn indent(s: &str, n: usize) -> String {
+    let pad = " ".repeat(n);
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Render a key expression relative to its variable (`$t/buyer/@person`
@@ -131,5 +281,30 @@ mod tests {
         let p = QueryPlan::Iterate(Core::int(1));
         assert!(p.render().starts_with("Snap {"));
         assert!(!p.is_optimized());
+    }
+
+    #[test]
+    fn structural_nodes_report_optimization_recursively() {
+        let join = QueryPlan::HashJoin(JoinPlan {
+            outer_var: "o".into(),
+            outer_source: Core::int(1),
+            inner_var: "i".into(),
+            inner_source: Core::int(2),
+            outer_key: Core::int(3),
+            inner_key: Core::int(4),
+            body: Core::int(5),
+        });
+        let snap = QueryPlan::Snap {
+            mode: SnapMode::Ordered,
+            body: Box::new(join),
+        };
+        assert!(snap.is_optimized());
+        let seq = QueryPlan::Seq(vec![QueryPlan::Iterate(Core::int(1)), snap]);
+        assert!(seq.is_optimized());
+        assert_eq!(seq.node_count(), 4);
+        let rendered = seq.render();
+        assert!(rendered.starts_with("Snap {"));
+        assert!(rendered.contains("Snap(ordered)"));
+        assert!(rendered.contains("Join"));
     }
 }

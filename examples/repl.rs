@@ -12,7 +12,6 @@
 
 use std::io::{BufRead, Write};
 use xmarkgen::{Scale, XmarkGen};
-use xquery_bang::xqalg::Compiler;
 use xquery_bang::{Engine, Item};
 
 fn main() {
@@ -74,11 +73,10 @@ fn main() {
             continue;
         }
         if let Some(query) = line.strip_prefix(":plan ") {
-            match xquery_bang::xqsyn::compile(query) {
-                Ok(program) => {
-                    let plan = Compiler::new(&program).compile(&program.body);
-                    println!("{}", plan.render());
-                }
+            // The annotated plan the engine's compiled pipeline would
+            // execute, module functions included.
+            match engine.explain(query) {
+                Ok(plan) => println!("{plan}"),
                 Err(e) => eprintln!("error: {e}"),
             }
             continue;

@@ -12,7 +12,6 @@
 
 use std::process::ExitCode;
 use xquery_bang::xmarkgen::{Scale, XmarkGen};
-use xquery_bang::xqalg::Compiler;
 use xquery_bang::{Engine, Item};
 
 struct Options {
@@ -132,9 +131,9 @@ fn run() -> Result<(), String> {
     }
 
     if opts.show_plan {
-        let program = xquery_bang::xqsyn::compile(&query).map_err(|e| e.to_string())?;
-        let plan = Compiler::new(&program).compile(&program.body);
-        println!("{}", plan.render());
+        // The engine's EXPLAIN: the annotated plan the compiled pipeline
+        // would execute, including declared-function sections.
+        println!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
         return Ok(());
     }
 

@@ -36,8 +36,51 @@ pub use xqcore;
 pub use xqdm;
 pub use xqsyn;
 
-pub use xqcore::{Engine, Error, SnapMode};
+pub use xqcore::{Error, SnapMode};
 pub use xqdm::{Atomic, Item, Sequence, Store};
+
+/// The full engine: [`xqcore::Engine`] with the [`xqalg`] compiled
+/// execution pipeline installed.
+///
+/// Constructing this type registers the algebraic planner as the
+/// process-wide default, so `run`/`run_program` compile queries to plans
+/// (joins, structural nodes) with per-subtree interpretation fallback.
+/// Derefs to [`xqcore::Engine`] — every engine method is available
+/// directly. Set the `XQB_INTERPRET` env var (or call
+/// `set_compile(false)`) to force pure interpretation.
+pub struct Engine(pub xqcore::Engine);
+
+impl Engine {
+    /// Create an engine with the compiled pipeline installed.
+    pub fn new() -> Self {
+        xqalg::install();
+        Engine(xqcore::Engine::new())
+    }
+
+    /// Set the base seed for nondeterministic snap ordering.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Engine(self.0.with_seed(seed))
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl std::ops::Deref for Engine {
+    type Target = xqcore::Engine;
+    fn deref(&self) -> &xqcore::Engine {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Engine {
+    fn deref_mut(&mut self) -> &mut xqcore::Engine {
+        &mut self.0
+    }
+}
 
 /// Convenience: run a standalone query with no documents bound.
 pub fn eval(query: &str) -> Result<Sequence, Error> {

@@ -1,0 +1,528 @@
+//! Differential testing: every query runs through BOTH pipelines — the
+//! engine-default compiled path and pure interpretation
+//! (`set_compile(false)`) — and must produce the identical value
+//! sequence, the identical serialized store, and the identical snap/Δ
+//! statistics (`snaps_closed`, `requests_applied`, `max_snap_depth`,
+//! which pin the Δ ordering and the per-snap seed draws), in all three
+//! snap application modes. Errors must match by code.
+//!
+//! A `proptest` section generalizes the fixed corpus with randomly
+//! generated join-shaped programs and data, additionally asserting the
+//! compiled engine really did execute a hash join (`joins_executed > 0`)
+//! so the equivalence is not vacuous.
+
+use proptest::prelude::*;
+use xquery_bang::xmarkgen::{Scale, XmarkGen};
+use xquery_bang::{Engine, Error, Item};
+
+/// Run `queries` in order on a compiled and an interpreted engine (same
+/// seed, same documents, same preloaded modules) and assert observable
+/// equivalence after every step.
+fn differential(docs: &[(&str, &str)], modules: &[&str], queries: &[&str]) {
+    let mut compiled = Engine::new().with_seed(0xd1ff);
+    let mut interpreted = Engine::new().with_seed(0xd1ff);
+    interpreted.set_compile(false);
+    assert!(compiled.compile_enabled());
+    assert!(!interpreted.compile_enabled());
+
+    for (name, xml) in docs {
+        compiled.load_document(name, xml).unwrap();
+        interpreted.load_document(name, xml).unwrap();
+    }
+    for m in modules {
+        compiled.load_module(m).unwrap();
+        interpreted.load_module(m).unwrap();
+    }
+
+    for q in queries {
+        let rc = compiled.run(q);
+        let ri = interpreted.run(q);
+        match (rc, ri) {
+            (Ok(vc), Ok(vi)) => {
+                assert_eq!(
+                    compiled.serialize(&vc).unwrap(),
+                    interpreted.serialize(&vi).unwrap(),
+                    "value mismatch for {q}"
+                );
+                let (sc, si) = (
+                    compiled.last_stats().unwrap(),
+                    interpreted.last_stats().unwrap(),
+                );
+                assert_eq!(sc.snaps_closed, si.snaps_closed, "snaps_closed for {q}");
+                assert_eq!(
+                    sc.requests_applied, si.requests_applied,
+                    "requests_applied for {q}"
+                );
+                assert_eq!(
+                    sc.max_snap_depth, si.max_snap_depth,
+                    "max_snap_depth for {q}"
+                );
+            }
+            (Err(ec), Err(ei)) => {
+                let code = |e: &Error| match e {
+                    Error::Parse(_) => "parse".to_string(),
+                    Error::Eval(x) => x.code.to_string(),
+                };
+                assert_eq!(code(&ec), code(&ei), "error code mismatch for {q}");
+            }
+            (rc, ri) => panic!("pipeline divergence for {q}: compiled={rc:?} interpreted={ri:?}"),
+        }
+    }
+
+    // The stores must have converged to the same state: serialize every
+    // loaded document from both engines.
+    for (name, _) in docs {
+        let vc = compiled.binding(name).unwrap().clone();
+        let vi = interpreted.binding(name).unwrap().clone();
+        assert_eq!(
+            compiled.serialize(&vc).unwrap(),
+            interpreted.serialize(&vi).unwrap(),
+            "final store mismatch for document {name}"
+        );
+    }
+}
+
+#[test]
+fn conformance_style_queries_agree() {
+    let doc = r#"<site>
+        <people>
+            <person id="p0"><name>Ada</name><age>36</age></person>
+            <person id="p1"><name>Grace</name><age>45</age></person>
+            <person id="p2"><name>Alan</name></person>
+        </people>
+        <items><item ref="p1"/><item ref="p0"/><item ref="p1"/></items>
+    </site>"#;
+    differential(
+        &[("doc", doc)],
+        &[],
+        &[
+            "1 + 2 * 3",
+            "sum(1 to 100)",
+            "count($doc//person)",
+            "for $p in $doc//person return string($p/name)",
+            "for $p at $i in $doc//person return concat($i, \":\", string($p/name))",
+            "let $adults := for $p in $doc//person where $p/age > 40 return $p \
+             return count($adults)",
+            "if (count($doc//item) > 2) then \"many\" else \"few\"",
+            "(1, 2, (3, 4), ())",
+            // A join over person ids — compiles to a hash join on the
+            // compiled engine, nested loop on the interpreter.
+            "for $i in $doc//item
+             for $p in $doc//person
+             where $i/@ref = $p/@id
+             return string($p/name)",
+            // Errors must agree too.
+            "1 div 0",
+            "$no_such_variable",
+        ],
+    );
+}
+
+#[test]
+fn updates_agree_in_all_snap_modes() {
+    for mode in ["", "ordered ", "nondeterministic ", "conflict-detection "] {
+        differential(
+            &[("doc", "<root><log/></root>")],
+            &[],
+            &[
+                &format!(
+                    "snap {mode}{{
+                       insert {{ <a/> }} into {{ $doc/root/log }},
+                       insert {{ <b/> }} into {{ $doc/root/log }},
+                       insert {{ <c/> }} into {{ $doc/root/log }} }}"
+                ),
+                "for $e in $doc/root/log/* return name($e)",
+                // Nested snaps: inner commits before outer.
+                &format!(
+                    "snap {mode}{{
+                       insert {{ <outer/> }} into {{ $doc/root/log }},
+                       snap {mode}{{ insert {{ <inner/> }} into {{ $doc/root/log }} }},
+                       count($doc/root/log/inner) }}"
+                ),
+                "count($doc/root/log/*)",
+            ],
+        );
+    }
+}
+
+#[test]
+fn join_inside_snap_agrees() {
+    let left = r#"<left><e n="l0" k="k1"/><e n="l1" k="k2"/><e n="l2" k="k1"/></left>"#;
+    let right = r#"<right><e n="r0" k="k1"/><e n="r1" k="k3"/><e n="r2" k="k1"/></right>"#;
+    for mode in ["", "nondeterministic ", "conflict-detection "] {
+        differential(
+            &[("left", left), ("right", right), ("out", "<out/>")],
+            &[],
+            &[&format!(
+                "snap {mode}{{
+                   for $l in $left/left/e
+                   for $r in $right/right/e
+                   where $l/@k = $r/@k
+                   return insert {{ <m l=\"{{$l/@n}}\" r=\"{{$r/@n}}\"/> }} into {{ $out/out }} }}"
+            )],
+        );
+    }
+}
+
+#[test]
+fn join_inside_declared_function_agrees() {
+    let left = r#"<left><e n="l0" k="k1"/><e n="l1" k="k2"/></left>"#;
+    let right = r#"<right><e n="r0" k="k2"/><e n="r1" k="k1"/><e n="r2" k="k2"/></right>"#;
+    differential(
+        &[("left", left), ("right", right)],
+        &[],
+        &["declare function pairs($ls, $rs) {
+               for $l in $ls/e
+               for $r in $rs/e
+               where $l/@k = $r/@k
+               return concat(string($l/@n), \"-\", string($r/@n))
+             };
+             pairs($left/left, $right/right)"],
+    );
+}
+
+#[test]
+fn module_functions_agree() {
+    differential(
+        &[("log", "<log/>")],
+        &[r#"
+            declare variable $d := element counter { 0 };
+            declare function nextid() {
+              snap { replace { $d/text() } with { $d + 1 }, $d }
+            };
+            declare function log_call($what) {
+              snap insert { <call id="{nextid()}" what="{$what}"/> } into { $log/log }
+            };"#],
+        &[
+            "log_call(\"a\")",
+            "log_call(\"b\")",
+            "for $c in $log/log/call return string($c/@id)",
+        ],
+    );
+}
+
+#[test]
+fn group_by_shape_agrees() {
+    let doc = r#"<site>
+        <people><person id="p0"/><person id="p1"/><person id="p2"/></people>
+        <items><item ref="p0"/><item ref="p0"/><item ref="p2"/></items>
+    </site>"#;
+    differential(
+        &[("doc", doc)],
+        &[],
+        &["for $p in $doc//person
+             let $sold := for $i in $doc//item
+                          where $i/@ref = $p/@id
+                          return $i
+             return <histo id=\"{$p/@id}\">{ count($sold) }</histo>"],
+    );
+}
+
+#[test]
+fn xmark_queries_agree() {
+    let scale = Scale {
+        persons: 25,
+        items: 20,
+        closed_auctions: 15,
+        open_auctions: 10,
+    };
+    // Same generated document on both engines via the same generator seed.
+    let mut compiled = Engine::new().with_seed(99);
+    let mut interpreted = Engine::new().with_seed(99);
+    interpreted.set_compile(false);
+    let d1 = XmarkGen::new(17)
+        .generate(&mut compiled.store, &scale)
+        .unwrap();
+    let d2 = XmarkGen::new(17)
+        .generate(&mut interpreted.store, &scale)
+        .unwrap();
+    compiled.bind("auction", vec![Item::Node(d1)]);
+    interpreted.bind("auction", vec![Item::Node(d2)]);
+
+    let queries = [
+        // Q1-style lookup.
+        r#"for $b in $auction/site/people/person[@id = "person0"] return string($b/name)"#,
+        // Q8: purchase counts per person — the paper's join benchmark.
+        r#"for $p in $auction/site/people/person
+           let $a := for $t in $auction/site/closed_auctions/closed_auction
+                     where $t/buyer/@person = $p/@id
+                     return $t
+           return <item person="{$p/name}">{ count($a) }</item>"#,
+        // Q8 nested inside an updating snap.
+        r#"snap {
+             for $p in $auction/site/people/person
+             for $t in $auction/site/closed_auctions/closed_auction
+             where $t/buyer/@person = $p/@id
+             return insert { <sale person="{$p/@id}"/> } into { $auction/site }
+           }"#,
+        "count($auction/site/sale)",
+    ];
+    for q in &queries {
+        let vc = compiled.run(q).unwrap();
+        let vi = interpreted.run(q).unwrap();
+        assert_eq!(
+            compiled.serialize(&vc).unwrap(),
+            interpreted.serialize(&vi).unwrap(),
+            "value mismatch for {q}"
+        );
+        assert_eq!(
+            compiled.last_stats().unwrap().snaps_closed,
+            interpreted.last_stats().unwrap().snaps_closed
+        );
+        assert_eq!(
+            compiled.last_stats().unwrap().requests_applied,
+            interpreted.last_stats().unwrap().requests_applied
+        );
+    }
+    // The compiled engine must actually have joined.
+    assert!(compiled.last_stats().is_some(), "compiled engine never ran");
+    let doc_c = compiled.serialize(&[Item::Node(d1)]).unwrap();
+    let doc_i = interpreted.serialize(&[Item::Node(d2)]).unwrap();
+    assert_eq!(doc_c, doc_i, "final XMark store mismatch");
+}
+
+#[test]
+fn compiled_engine_counts_joins_and_plan_nodes() {
+    let mut e = Engine::new();
+    e.load_document(
+        "doc",
+        r#"<site>
+            <people><person id="p0"/><person id="p1"/></people>
+            <items><item ref="p0"/><item ref="p1"/><item ref="p0"/></items>
+        </site>"#,
+    )
+    .unwrap();
+    e.run(
+        "for $i in $doc//item
+         for $p in $doc//person
+         where $i/@ref = $p/@id
+         return $p",
+    )
+    .unwrap();
+    let stats = e.last_stats().unwrap();
+    assert!(stats.joins_executed > 0, "expected a hash join: {stats:?}");
+    assert!(stats.plan_nodes_executed > 0);
+
+    // Interpreted engine: no plans, no joins.
+    let mut i = Engine::new();
+    i.set_compile(false);
+    i.load_document("doc", "<x/>").unwrap();
+    i.run("count($doc/x)").unwrap();
+    let stats = i.last_stats().unwrap();
+    assert_eq!(stats.plan_nodes_executed, 0);
+    assert_eq!(stats.joins_executed, 0);
+}
+
+#[test]
+fn plan_cache_hits_on_repeated_queries() {
+    let mut e = Engine::new();
+    e.load_document("doc", "<root/>").unwrap();
+    for _ in 0..3 {
+        e.run("count($doc/root)").unwrap();
+    }
+    let (hits, misses) = e.plan_cache_stats();
+    assert_eq!(misses, 1, "same program text should compile once");
+    assert_eq!(hits, 2);
+    // A different query misses.
+    e.run("1 + 1").unwrap();
+    let (_, misses) = e.plan_cache_stats();
+    assert_eq!(misses, 2);
+    // Loading a module changes the augmented program => new cache entry.
+    e.load_module("declare function f() { 1 };").unwrap();
+    e.run("count($doc/root)").unwrap();
+    let (_, misses) = e.plan_cache_stats();
+    assert_eq!(misses, 3, "module load must invalidate by fingerprint");
+}
+
+#[test]
+fn explain_shows_joins_everywhere() {
+    let e = Engine::new();
+    // Top level.
+    let plan = e
+        .explain(
+            "for $l in $ls/e for $r in $rs/e
+             where $l/@k = $r/@k return $r",
+        )
+        .unwrap();
+    assert!(plan.contains("Join"), "top-level join missing:\n{plan}");
+    // Inside a snap body.
+    let plan = e
+        .explain(
+            "snap nondeterministic {
+               for $l in $ls/e for $r in $rs/e
+               where $l/@k = $r/@k
+               return insert { <m/> } into { $out } }",
+        )
+        .unwrap();
+    assert!(
+        plan.contains("Snap(nondeterministic)") && plan.contains("Join"),
+        "snap-nested join missing:\n{plan}"
+    );
+    // Inside a declared function.
+    let plan = e
+        .explain(
+            "declare function pairs($ls, $rs) {
+               for $l in $ls/e for $r in $rs/e
+               where $l/@k = $r/@k return $r
+             };
+             pairs($a, $b)",
+        )
+        .unwrap();
+    assert!(
+        plan.contains("declare function pairs") && plan.contains("Join"),
+        "function-body join missing:\n{plan}"
+    );
+    // xqb:explain surfaces the same plan from inside the language.
+    let mut e = Engine::new();
+    let r = e
+        .run(r#"xqb:explain("for $l in $ls/e for $r in $rs/e where $l/@k = $r/@k return $r")"#)
+        .unwrap();
+    assert!(e.serialize(&r).unwrap().contains("Join"));
+}
+
+#[test]
+fn interpret_escape_hatch_still_correct() {
+    let mut e = Engine::new();
+    e.set_compile(false);
+    e.load_document("doc", "<x/>").unwrap();
+    e.run("snap insert { <y/> } into { $doc/x }").unwrap();
+    let r = e.run("count($doc/x/y)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "1");
+    let (hits, misses) = e.plan_cache_stats();
+    assert_eq!((hits, misses), (0, 0), "interpreter must not touch cache");
+}
+
+// ---------------------------------------------------------------------------
+// Property-based differential testing over join-shaped programs
+// ---------------------------------------------------------------------------
+
+/// Key list per side; `None` = element without the key attribute.
+#[derive(Debug, Clone)]
+struct SideSpec {
+    keys: Vec<Option<u8>>,
+}
+
+fn side_strategy(max: usize) -> impl Strategy<Value = SideSpec> {
+    proptest::collection::vec(proptest::option::of(0u8..5), 0..max)
+        .prop_map(|keys| SideSpec { keys })
+}
+
+fn side_xml(name: &str, spec: &SideSpec) -> String {
+    let mut s = format!("<{name}>");
+    for (i, k) in spec.keys.iter().enumerate() {
+        match k {
+            Some(k) => s.push_str(&format!(r#"<e n="{name}{i}" k="k{k}"/>"#)),
+            None => s.push_str(&format!(r#"<e n="{name}{i}"/>"#)),
+        }
+    }
+    s.push_str(&format!("</{name}>"));
+    s
+}
+
+fn prop_differential(
+    left: &SideSpec,
+    right: &SideSpec,
+    query: &str,
+    expect_join: bool,
+) -> Result<(), TestCaseError> {
+    let docs = [
+        ("left".to_string(), side_xml("left", left)),
+        ("right".to_string(), side_xml("right", right)),
+        ("out".to_string(), "<out/>".to_string()),
+    ];
+    let mut compiled = Engine::new().with_seed(7);
+    let mut interpreted = Engine::new().with_seed(7);
+    interpreted.set_compile(false);
+    for (n, x) in &docs {
+        compiled.load_document(n, x).unwrap();
+        interpreted.load_document(n, x).unwrap();
+    }
+    let vc = compiled.run(query).expect("compiled run");
+    let vi = interpreted.run(query).expect("interpreted run");
+    prop_assert_eq!(
+        compiled.serialize(&vc).unwrap(),
+        interpreted.serialize(&vi).unwrap(),
+        "value mismatch"
+    );
+    for (n, _) in &docs {
+        let bc = compiled.binding(n).unwrap().clone();
+        let bi = interpreted.binding(n).unwrap().clone();
+        prop_assert_eq!(
+            compiled.serialize(&bc).unwrap(),
+            interpreted.serialize(&bi).unwrap(),
+            "store mismatch"
+        );
+    }
+    let (sc, si) = (
+        compiled.last_stats().unwrap(),
+        interpreted.last_stats().unwrap(),
+    );
+    prop_assert_eq!(sc.snaps_closed, si.snaps_closed);
+    prop_assert_eq!(sc.requests_applied, si.requests_applied);
+    if expect_join {
+        prop_assert!(
+            sc.joins_executed > 0,
+            "compiled engine fell back to interpretation"
+        );
+    }
+    prop_assert_eq!(si.joins_executed, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_pure_joins_differential(
+        left in side_strategy(10),
+        right in side_strategy(10),
+    ) {
+        prop_differential(
+            &left,
+            &right,
+            r#"for $l in $left/left/e
+               for $r in $right/right/e
+               where $l/@k = $r/@k
+               return <m l="{$l/@n}" r="{$r/@n}"/>"#,
+            true,
+        )?;
+    }
+
+    #[test]
+    fn random_updating_joins_in_snap_differential(
+        left in side_strategy(8),
+        right in side_strategy(8),
+    ) {
+        prop_differential(
+            &left,
+            &right,
+            r#"snap {
+                 for $l in $left/left/e
+                 for $r in $right/right/e
+                 where $l/@k = $r/@k
+                 return insert { <m l="{$l/@n}" r="{$r/@n}"/> } into { $out/out }
+               }"#,
+            true,
+        )?;
+    }
+
+    #[test]
+    fn random_group_by_differential(
+        left in side_strategy(8),
+        right in side_strategy(8),
+    ) {
+        prop_differential(
+            &left,
+            &right,
+            // `$g` is used twice so the simplifier cannot inline the
+            // `let` away — the outer-join + group-by shape survives to
+            // plan recognition.
+            r#"for $l in $left/left/e
+               let $g := for $r in $right/right/e
+                         where $l/@k = $r/@k
+                         return $r
+               return <grp l="{$l/@n}" n="{count($g)}">{ $g }</grp>"#,
+            true,
+        )?;
+    }
+}
