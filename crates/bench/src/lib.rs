@@ -22,6 +22,21 @@ let $a :=
           into { $purchasers }, $t)
 return <item person="{ $p/name }">{ count($a) }</item>"#;
 
+/// The Q8 variant stripped of its updates: the same join/group shape,
+/// but the per-person work is pure (no constructors, no pending
+/// updates), so the parallel gate (DESIGN.md §9) admits the loop body.
+/// `$a` is used twice so the simplifier cannot inline the `let` away —
+/// the outer-join/group-by shape survives to plan recognition.
+/// Workload for experiment E11.
+pub const Q8_PURE_VARIANT: &str = r#"
+for $p in $auction//person
+let $a :=
+  for $t in $auction//closed_auction
+  where $t/buyer/@person = $p/@id
+  return $t
+return concat(string($p/name), ":", string(count($a)), ":",
+              string(count($a/itemref)))"#;
+
 /// The same query with `snap insert` in the inner branch — the §4.3
 /// variation that must suppress the join rewrite (experiment E8).
 pub const Q8_SNAP_VARIANT: &str = r#"

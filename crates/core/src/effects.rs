@@ -27,7 +27,7 @@
 //! updating function is updating as well).
 
 use std::collections::HashMap;
-use xqsyn::core::{Core, CoreProgram};
+use xqsyn::core::{Core, CoreFunction, CoreProgram};
 
 /// The effect lattice (derives `Ord`: variants are declared bottom-up).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,8 +72,18 @@ pub struct EffectAnalysis {
 impl EffectAnalysis {
     /// Analyze a program's function declarations to a fixpoint.
     pub fn new(program: &CoreProgram) -> Self {
-        let mut functions: HashMap<(String, usize), Effect> = program
-            .functions
+        Self::for_functions(&program.functions)
+    }
+
+    /// Analyze an explicit function set to a fixpoint — the evaluator uses
+    /// this for its registered-function table, which may hold module
+    /// functions beyond any single program's declarations.
+    pub fn for_functions<'a, I>(funcs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a CoreFunction>,
+    {
+        let funcs: Vec<&CoreFunction> = funcs.into_iter().collect();
+        let mut functions: HashMap<(String, usize), Effect> = funcs
             .iter()
             .map(|f| ((f.name.clone(), f.params.len()), Effect::Pure))
             .collect();
@@ -81,7 +91,7 @@ impl EffectAnalysis {
         // so this terminates quickly.
         loop {
             let mut changed = false;
-            for f in &program.functions {
+            for f in &funcs {
                 let key = (f.name.clone(), f.params.len());
                 let e = effect_with(&f.body, &functions);
                 let cur = functions.get_mut(&key).expect("registered");

@@ -77,6 +77,9 @@ pub struct Engine {
     plan_cache: HashMap<(u64, u64), Arc<dyn CompiledProgram>>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Worker-thread budget for effect-free regions (1 = sequential).
+    /// Defaults to `XQB_THREADS`; override with [`Engine::set_threads`].
+    threads: usize,
 }
 
 impl Default for Engine {
@@ -99,7 +102,20 @@ impl Engine {
             plan_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            threads: crate::par::threads_from_env(),
         }
+    }
+
+    /// Set the worker-thread budget for effect-free regions (see
+    /// DESIGN.md §9); 1 disables parallelism. Clamped to
+    /// [`crate::par::MAX_THREADS`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.clamp(1, crate::par::MAX_THREADS);
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Register a module: its `declare function`s become available to
@@ -350,7 +366,8 @@ impl Engine {
     fn evaluator_for(&self, program: &CoreProgram) -> Evaluator {
         let mut evaluator = Evaluator::new(program)
             .with_seed(self.seed)
-            .with_snap_counter(self.snap_counter);
+            .with_snap_counter(self.snap_counter)
+            .with_threads(self.threads);
         for f in &self.module_functions {
             evaluator.register_function(f.clone());
         }
@@ -399,7 +416,8 @@ impl Engine {
     pub fn evaluator(&self, program: &CoreProgram) -> (Evaluator, DynEnv) {
         let mut ev = Evaluator::new(program)
             .with_seed(self.seed)
-            .with_snap_counter(self.snap_counter);
+            .with_snap_counter(self.snap_counter)
+            .with_threads(self.threads);
         for (name, value) in &self.bindings {
             ev.bind_global(name.clone(), value.clone());
         }

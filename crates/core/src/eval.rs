@@ -38,7 +38,7 @@ use xqsyn::core::{Core, CoreFunction, CoreInsertLoc, CoreName, CoreProgram};
 /// [`Evaluator::eval_program`] and [`Evaluator::eval_query`] run on a
 /// dedicated thread whose stack ([`EVAL_STACK_BYTES`]) comfortably fits
 /// this depth even with debug-build frame sizes.
-const MAX_DEPTH: usize = 512;
+pub(crate) const MAX_DEPTH: usize = 512;
 
 /// Stack size for the evaluation thread (see [`MAX_DEPTH`]).
 const EVAL_STACK_BYTES: usize = 64 << 20;
@@ -72,6 +72,12 @@ pub struct EvalStats {
     pub plan_nodes_executed: u64,
     /// Hash-join / outer-join-group-by operators executed.
     pub joins_executed: u64,
+    /// Effect-free regions that actually fanned out over worker threads.
+    /// A *strategy* counter (like `plan_nodes_executed`): it varies with
+    /// the thread setting and is excluded from determinism comparisons.
+    pub par_regions: u64,
+    /// Items evaluated inside those regions (strategy counter).
+    pub par_items: u64,
 }
 
 /// The evaluator: function table, globals, and the Δ stack.
@@ -87,6 +93,11 @@ pub struct Evaluator {
     /// Hook running calls to functions whose bodies compiled to a plan
     /// (installed by a `CompiledProgram` for the duration of its run).
     function_executor: Option<Arc<dyn FunctionExecutor>>,
+    /// Worker-thread budget for effect-free regions; 1 = sequential.
+    threads: usize,
+    /// Lazily computed effect analysis over the registered functions,
+    /// backing the parallel gate. Invalidated when functions change.
+    effects: Option<crate::effects::EffectAnalysis>,
 }
 
 impl Evaluator {
@@ -105,6 +116,8 @@ impl Evaluator {
             depth: 0,
             stats: EvalStats::default(),
             function_executor: None,
+            threads: crate::par::threads_from_env(),
+            effects: None,
         }
     }
 
@@ -120,6 +133,8 @@ impl Evaluator {
             depth: 0,
             stats: EvalStats::default(),
             function_executor: None,
+            threads: crate::par::threads_from_env(),
+            effects: None,
         }
     }
 
@@ -133,6 +148,57 @@ impl Evaluator {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
         self
+    }
+
+    /// Set the worker-thread budget for effect-free regions (1 =
+    /// sequential; clamped to [`crate::par::MAX_THREADS`]). The default
+    /// comes from `XQB_THREADS` ([`crate::par::threads_from_env`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, crate::par::MAX_THREADS);
+        self
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The read-only context parallel workers evaluate under.
+    pub fn pure_ctx(&self) -> crate::par::PureCtx<'_> {
+        crate::par::PureCtx {
+            functions: &self.functions,
+            globals: &self.globals,
+        }
+    }
+
+    /// The current `eval` nesting depth — parallel workers start their
+    /// recursion counter here so the XQB0020 limit fires at the same
+    /// nesting a sequential evaluation would report.
+    pub fn nesting_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Record one fanned-out region of `items` iterations.
+    pub fn note_par_region(&mut self, items: usize) {
+        self.stats.par_regions += 1;
+        self.stats.par_items += items as u64;
+    }
+
+    /// The parallel gate: is fan-out enabled (threads ≥ 2) *and* is `body`
+    /// provably safe to evaluate on workers sharing `&Store`? Consults the
+    /// lazily-cached effect analysis over the registered functions; see
+    /// [`crate::par::par_safe`] for the judgment itself.
+    pub fn par_candidate(&mut self, body: &Core) -> bool {
+        if self.threads < 2 {
+            return false;
+        }
+        if self.effects.is_none() {
+            self.effects = Some(crate::effects::EffectAnalysis::for_functions(
+                self.functions.values(),
+            ));
+        }
+        let analysis = self.effects.as_ref().expect("just computed");
+        crate::par::par_safe(body, analysis, &self.functions)
     }
 
     /// Resume the per-snap seed counter from a previous evaluation. The
@@ -164,6 +230,8 @@ impl Evaluator {
     /// Does not override a same-name/arity function already present —
     /// program-local declarations take precedence over module ones.
     pub fn register_function(&mut self, func: CoreFunction) {
+        // The function table feeds the parallel gate's effect analysis.
+        self.effects = None;
         self.functions
             .entry((func.name.clone(), func.params.len()))
             .or_insert(func);
@@ -370,6 +438,13 @@ impl Evaluator {
                 body,
             } => {
                 let src = self.eval(store, env, source)?;
+                // Parallel fan-out for effect-free bodies (DESIGN.md §9):
+                // the source was evaluated sequentially above (it may have
+                // effects); the body runs on workers sharing `&Store` only
+                // when the purity gate proves that indistinguishable.
+                if src.len() >= crate::par::PAR_MIN_ITEMS && self.par_candidate(body) {
+                    return self.par_for(store, env, var, position.as_deref(), &src, body);
+                }
                 let mut out = Vec::new();
                 for (i, it) in src.into_iter().enumerate() {
                     env.push_var(var.clone(), vec![it]);
@@ -772,6 +847,43 @@ impl Evaluator {
         }
     }
 
+    /// Fan a pure `for` body out over the worker pool. Caller guarantees
+    /// [`Evaluator::par_candidate`] admitted `body`. Values come back in
+    /// input order ([`crate::par::par_map`]) and the first failing
+    /// iteration's error wins ([`crate::par::merge_in_order`]) — exactly
+    /// the sequential loop's observable behavior, since a pure body can
+    /// leave no other trace.
+    fn par_for(
+        &mut self,
+        store: &Store,
+        env: &DynEnv,
+        var: &str,
+        position: Option<&str>,
+        src: &[Item],
+        body: &Core,
+    ) -> XdmResult<Sequence> {
+        self.note_par_region(src.len());
+        let depth = self.depth;
+        let threads = self.threads;
+        let ctx = crate::par::PureCtx {
+            functions: &self.functions,
+            globals: &self.globals,
+        };
+        let results = crate::par::par_map(threads, env, src, |wenv, i, it| {
+            wenv.push_var(var.to_string(), vec![it.clone()]);
+            if let Some(p) = position {
+                wenv.push_var(p.to_string(), vec![Item::integer((i + 1) as i64)]);
+            }
+            let r = crate::par::eval_pure(&ctx, store, wenv, depth, body);
+            if position.is_some() {
+                wenv.pop_var();
+            }
+            wenv.pop_var();
+            r
+        });
+        crate::par::merge_in_order(results)
+    }
+
     fn eval_call(
         &mut self,
         store: &mut Store,
@@ -904,14 +1016,14 @@ fn content_to_nodes(store: &mut Store, seq: &[Item]) -> XdmResult<Vec<NodeId>> {
     Ok(out)
 }
 
-fn require_node(it: Item) -> XdmResult<NodeId> {
+pub(crate) fn require_node(it: Item) -> XdmResult<NodeId> {
     it.as_node()
         .ok_or_else(|| XdmError::type_error("expected a node, got an atomic value"))
 }
 
 /// Compare order-by keys: the empty sequence sorts least ("empty least"
 /// default); NaN sorts just above empty; otherwise value comparison.
-fn cmp_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
+pub(crate) fn cmp_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (a, b) {
         (None, None) => Ordering::Equal,

@@ -20,6 +20,35 @@ pub fn dispatch(
     store: &mut Store,
     env: &DynEnv,
 ) -> Option<XdmResult<Sequence>> {
+    // `fn:parse-xml` is the one built-in that needs `&mut Store` (the
+    // parsed document's nodes are allocated in it); everything else lives
+    // in the shared read-only table below.
+    if name.strip_prefix("fn:").unwrap_or(name) == "parse-xml" {
+        let mut it = args.into_iter();
+        return Some(if it.len() == 1 {
+            (|| {
+                let s = opt_string(it.next().unwrap(), store)?;
+                let doc = xqdm::xml::parse_document(store, &s)?;
+                Ok(vec![Item::Node(doc)])
+            })()
+        } else {
+            Err(wrong_arity("parse-xml", it.len()))
+        });
+    }
+    dispatch_readonly(name, args, store, env)
+}
+
+/// Dispatch a built-in call through shared (`&Store`) access only — the
+/// entry point parallel workers use (every built-in except `fn:parse-xml`
+/// merely reads the store). `fn:parse-xml` reports `XQB0050` here: the
+/// parallel gate excludes it statically, so reaching that error indicates
+/// a gate bug rather than a user mistake.
+pub fn dispatch_readonly(
+    name: &str,
+    args: Vec<Sequence>,
+    store: &Store,
+    env: &DynEnv,
+) -> Option<XdmResult<Sequence>> {
     // Internal / constructor functions keyed on the full prefixed name.
     if let Some(r) = dispatch_prefixed(name, &args, store) {
         return Some(r);
@@ -28,7 +57,24 @@ pub fn dispatch(
     if !is_builtin_local(local) {
         return None;
     }
+    if local == "parse-xml" {
+        return Some(Err(XdmError::new(
+            "XQB0050",
+            "fn:parse-xml mutates the store and cannot run in a parallel region",
+        )));
+    }
     Some(call(local, args, store, env))
+}
+
+/// Built-ins the effect lattice rates `Pure` but which the parallel gate
+/// must still reject: `fn:parse-xml` allocates store nodes behind its
+/// read-only rating, and `fn:trace` writes to stderr, whose line order a
+/// fan-out would scramble.
+pub fn is_par_opaque(name: &str) -> bool {
+    matches!(
+        name.strip_prefix("fn:").unwrap_or(name),
+        "parse-xml" | "trace"
+    )
 }
 
 /// Is `name` (possibly `fn:`-prefixed, or a special `fs:`/`xs:` name) a
@@ -112,7 +158,7 @@ fn wrong_arity(name: &str, n: usize) -> XdmError {
     )
 }
 
-fn call(local: &str, args: Vec<Sequence>, store: &mut Store, env: &DynEnv) -> XdmResult<Sequence> {
+fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmResult<Sequence> {
     let nargs = args.len();
     let mut it = args.into_iter();
     let mut next = move || it.next().unwrap_or_default();
@@ -438,11 +484,6 @@ fn call(local: &str, args: Vec<Sequence>, store: &mut Store, env: &DynEnv) -> Xd
             let (a, b) = (next(), next());
             Ok(vec![Item::boolean(item::deep_equal(&a, &b, store)?)])
         }
-        ("parse-xml", 1) => {
-            let s = opt_string(next(), store)?;
-            let doc = xqdm::xml::parse_document(store, &s)?;
-            Ok(vec![Item::Node(doc)])
-        }
         ("serialize", 1) => {
             let v = next();
             let mut out = String::new();
@@ -476,11 +517,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &mut Store, env: &DynEnv) -> Xd
 }
 
 /// Internal / constructor functions keyed on the full prefixed name.
-fn dispatch_prefixed(
-    name: &str,
-    args: &[Sequence],
-    store: &mut Store,
-) -> Option<XdmResult<Sequence>> {
+fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<XdmResult<Sequence>> {
     if name == "xqb:panic" {
         // Failure-injection hook: panics mid-evaluation so tests can
         // exercise the engine's panic isolation (catch + store rollback).

@@ -1,0 +1,724 @@
+//! Parallel evaluation of effect-free regions (DESIGN.md §9).
+//!
+//! The paper's §4.2 observation — evaluation inside an innermost `snap` is
+//! effect-free, so "both the pure subexpressions and the update operations
+//! can be evaluated in any order" — is exactly the precondition for data
+//! parallelism. This module supplies the three pieces the evaluator and
+//! the plan executor share:
+//!
+//! * the **gate** ([`par_safe`]): a loop body may fan out only when the
+//!   effect lattice rates it `Pure` *and* a structural walk (transitive
+//!   through called functions) finds no construct the rating hides —
+//!   `fn:parse-xml` allocates store nodes behind its read-only rating,
+//!   `fn:trace` has observable output order, and a `snap` over pure code
+//!   draws seeds and bumps snap statistics;
+//! * the **pure evaluator** ([`eval_pure`]): the `Pure` subset of the
+//!   dynamic semantics over a *shared* `&Store`, so workers need no store
+//!   locking at all (the store has no interior mutability; see the
+//!   `Send + Sync` assertions in `xqdm`);
+//! * the **fan-out driver** ([`par_map`]): contiguous chunks over a scoped
+//!   worker pool (`std::thread::scope`, no dependencies), per-item results
+//!   collected in input order.
+//!
+//! Sequential semantics are preserved bit-for-bit: values and their order
+//! (chunks are contiguous and reassembled in input order), Δ statistics
+//! (a `Pure` body touches neither the Δ stack nor the snap counters), and
+//! error codes ([`merge_in_order`] surfaces the error of the *first*
+//! failing iteration, which is the one the sequential loop would have
+//! raised; later iterations may run wastefully but — being pure — leave no
+//! trace).
+
+use crate::effects::{Effect, EffectAnalysis};
+use crate::env::{DynEnv, Focus};
+use crate::eval::{cmp_keys, gather_axis, require_node, MAX_DEPTH};
+use crate::functions;
+use std::collections::{HashMap, HashSet};
+use xqdm::atomic::{arithmetic, negate, value_compare, Atomic};
+use xqdm::item::{self, Item, Sequence};
+use xqdm::{Store, XdmError, XdmResult};
+use xqsyn::ast::{NodeCompOp, Quantifier};
+use xqsyn::core::{Core, CoreFunction};
+
+/// Fewest source items worth fanning out — below this, spawn cost
+/// dominates any conceivable body.
+pub const PAR_MIN_ITEMS: usize = 4;
+
+/// Stack size for parallel workers: pure evaluation recurses like the main
+/// evaluation thread (same [`MAX_DEPTH`]), so workers get the same
+/// headroom. The reservation is virtual; pages commit lazily.
+const PAR_STACK_BYTES: usize = 64 << 20;
+
+/// Upper bound on configured worker counts (a typo like `XQB_THREADS=800`
+/// should not try to spawn 800 threads per loop).
+pub const MAX_THREADS: usize = 64;
+
+/// The thread count the `XQB_THREADS` environment variable requests, or 1
+/// (sequential) when unset or unparsable. Read at engine/evaluator
+/// construction; override per engine with `Engine::set_threads`.
+pub fn threads_from_env() -> usize {
+    std::env::var("XQB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, MAX_THREADS))
+        .unwrap_or(1)
+}
+
+/// May `body` be evaluated by parallel workers sharing `&Store`? Requires
+/// the effect rating `Pure` (so the body neither allocates, nor appends
+/// update requests, nor applies them) **and** structural transparency
+/// ([`par_transparent`]) transitively through every user function the body
+/// can call. This is the single safety judgment every layer (interpreter
+/// loop, plan executor, join sides) consults — the E8 purity guard,
+/// reused and sharpened.
+pub fn par_safe(
+    body: &Core,
+    analysis: &EffectAnalysis,
+    funcs: &HashMap<(String, usize), CoreFunction>,
+) -> bool {
+    if analysis.effect(body) != Effect::Pure {
+        return false;
+    }
+    let mut visited: HashSet<(String, usize)> = HashSet::new();
+    transparent_rec(body, funcs, &mut visited)
+}
+
+fn transparent_rec(
+    expr: &Core,
+    funcs: &HashMap<(String, usize), CoreFunction>,
+    visited: &mut HashSet<(String, usize)>,
+) -> bool {
+    if !par_transparent(expr) {
+        return false;
+    }
+    let mut callees: Vec<(String, usize)> = Vec::new();
+    expr.walk(&mut |e| {
+        if let Core::Call(name, args) = e {
+            callees.push((name.clone(), args.len()));
+        }
+    });
+    for key in callees {
+        if let Some(f) = funcs.get(&key) {
+            if visited.insert(key) && !transparent_rec(&f.body, funcs, visited) {
+                return false;
+            }
+        }
+        // Unknown non-builtins were already rated Effectful by the
+        // analysis, so par_safe rejected them before reaching here.
+    }
+    true
+}
+
+/// Expression-level transparency: no call to a par-opaque built-in
+/// ([`functions::is_par_opaque`]) and no `snap` (even over pure code a
+/// snap draws an application seed and counts toward the snap statistics,
+/// which must match the sequential run exactly). Does **not** chase user
+/// function calls — [`par_safe`] does.
+pub fn par_transparent(expr: &Core) -> bool {
+    let mut ok = true;
+    expr.walk(&mut |e| match e {
+        Core::Call(name, _) if functions::is_par_opaque(name) => ok = false,
+        Core::Snap(..) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Would `body` be admitted by the parallel gate, judged from the effect
+/// analysis alone? Used by EXPLAIN to annotate join bodies; advisory in
+/// the rare case where a called pure function hides a par-opaque built-in
+/// (the runtime gate still rejects it).
+pub fn body_par(body: &Core, analysis: &EffectAnalysis) -> bool {
+    analysis.effect(body) == Effect::Pure && par_transparent(body)
+}
+
+/// Does `core` contain a `for` loop whose body the parallel gate would
+/// admit (see [`body_par`] for the advisory caveat)? Used by EXPLAIN to
+/// put the `par` marker on `Iterate` leaves.
+pub fn marks_par_loop(core: &Core, analysis: &EffectAnalysis) -> bool {
+    let mut found = false;
+    core.walk(&mut |e| {
+        if let Core::For { body, .. } = e {
+            if body_par(body, analysis) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// The read-only slice of an `Evaluator` that pure workers need: the
+/// function table and the globals. Obtain one from
+/// `Evaluator::pure_ctx()`.
+#[derive(Clone, Copy)]
+pub struct PureCtx<'a> {
+    /// Registered user functions (program + modules).
+    pub functions: &'a HashMap<(String, usize), CoreFunction>,
+    /// Global variable bindings.
+    pub globals: &'a HashMap<String, Sequence>,
+}
+
+/// Fan `items` out over at most `threads` scoped workers and collect the
+/// per-item results **in input order**. Each worker receives a clone of
+/// `env` (workers never see each other's bindings) and processes one
+/// contiguous chunk, so within-chunk evaluation order equals sequential
+/// order. A panicking worker propagates its panic to the caller after the
+/// scope joins every thread — identical blast radius to a panic in a
+/// sequential loop (the engine's catch/rollback sees the same thing).
+pub fn par_map<T, F>(threads: usize, env: &DynEnv, items: &[T], f: F) -> Vec<XdmResult<Sequence>>
+where
+    T: Sync,
+    F: Fn(&mut DynEnv, usize, &T) -> XdmResult<Sequence> + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, MAX_THREADS).min(n);
+    if workers <= 1 {
+        let mut env = env.clone();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| f(&mut env, i, it))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<XdmResult<Sequence>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest: &mut [Option<XdmResult<Sequence>>] = &mut results;
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let (slot, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let chunk_items = &items[lo..hi];
+            let f = &f;
+            let mut wenv = env.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("xqb-par-{w}"))
+                    .stack_size(PAR_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        for (j, it) in chunk_items.iter().enumerate() {
+                            slot[j] = Some(f(&mut wenv, lo + j, it));
+                        }
+                    })
+                    .expect("spawn parallel worker"),
+            );
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+    // Order preservation: the chunks partition 0..n exactly, so every slot
+    // must be filled — a hole would mean dropped or reordered work.
+    debug_assert!(
+        results.iter().all(Option::is_some),
+        "parallel worker left an item slot unfilled"
+    );
+    results
+        .into_iter()
+        .map(|r| r.expect("parallel worker left an item slot unfilled"))
+        .collect()
+}
+
+/// Concatenate per-item results in input order; the first error — the one
+/// the sequential loop would have raised — wins.
+pub fn merge_in_order(results: Vec<XdmResult<Sequence>>) -> XdmResult<Sequence> {
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+fn non_pure(what: &str) -> XdmError {
+    XdmError::new(
+        "XQB0051",
+        format!("internal: parallel worker reached a non-pure operator ({what})"),
+    )
+}
+
+/// The `Pure` subset of the dynamic semantics over a shared `&Store`.
+/// `depth` is the evaluator's recursion depth at the fan-out point, so the
+/// `XQB0020` recursion limit fires at exactly the nesting the sequential
+/// evaluation would have reported. Operators outside the subset (updates,
+/// constructors, `copy`, `snap`) report `XQB0051`: the gate excludes them
+/// statically, so reaching one is a gate bug, never a user error.
+pub fn eval_pure(
+    ctx: &PureCtx<'_>,
+    store: &Store,
+    env: &mut DynEnv,
+    depth: usize,
+    expr: &Core,
+) -> XdmResult<Sequence> {
+    let depth = depth + 1;
+    if depth > MAX_DEPTH {
+        return Err(XdmError::new(
+            "XQB0020",
+            "evaluation recursion limit exceeded",
+        ));
+    }
+    match expr {
+        Core::Const(a) => Ok(vec![Item::Atomic(a.clone())]),
+        Core::Var(name) => match env.var(name) {
+            Ok(v) => Ok(v.clone()),
+            Err(e) => ctx.globals.get(name).cloned().ok_or(e),
+        },
+        Core::ContextItem => Ok(vec![env.focus()?.item.clone()]),
+        Core::Seq(items) => {
+            let mut out = Vec::new();
+            for e in items {
+                out.extend(eval_pure(ctx, store, env, depth, e)?);
+            }
+            Ok(out)
+        }
+        Core::For {
+            var,
+            position,
+            source,
+            body,
+        } => {
+            // Sequential inside a worker: one level of fan-out is enough,
+            // and nesting scoped pools would multiply thread counts.
+            let src = eval_pure(ctx, store, env, depth, source)?;
+            let mut out = Vec::new();
+            for (i, it) in src.into_iter().enumerate() {
+                env.push_var(var.clone(), vec![it]);
+                if let Some(p) = position {
+                    env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                }
+                let r = eval_pure(ctx, store, env, depth, body);
+                if position.is_some() {
+                    env.pop_var();
+                }
+                env.pop_var();
+                out.extend(r?);
+            }
+            Ok(out)
+        }
+        Core::Let { var, value, body } => {
+            let v = eval_pure(ctx, store, env, depth, value)?;
+            env.push_var(var.clone(), v);
+            let r = eval_pure(ctx, store, env, depth, body);
+            env.pop_var();
+            r
+        }
+        Core::If(cond, then, els) => {
+            let c = eval_pure(ctx, store, env, depth, cond)?;
+            if item::effective_boolean(&c, store)? {
+                eval_pure(ctx, store, env, depth, then)
+            } else {
+                eval_pure(ctx, store, env, depth, els)
+            }
+        }
+        Core::Quantified {
+            quantifier,
+            var,
+            source,
+            satisfies,
+        } => {
+            let src = eval_pure(ctx, store, env, depth, source)?;
+            let mut result = matches!(quantifier, Quantifier::Every);
+            for it in src {
+                env.push_var(var.clone(), vec![it]);
+                let s = eval_pure(ctx, store, env, depth, satisfies);
+                env.pop_var();
+                let holds = item::effective_boolean(&s?, store)?;
+                match quantifier {
+                    Quantifier::Some if holds => {
+                        result = true;
+                        break;
+                    }
+                    Quantifier::Every if !holds => {
+                        result = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(vec![Item::boolean(result)])
+        }
+        Core::SortedFor {
+            var,
+            source,
+            keys,
+            body,
+        } => {
+            let src = eval_pure(ctx, store, env, depth, source)?;
+            let mut keyed: Vec<(Vec<Option<Atomic>>, Item)> = Vec::with_capacity(src.len());
+            for it in src {
+                env.push_var(var.clone(), vec![it.clone()]);
+                let ks = (|env: &mut DynEnv| {
+                    let mut ks = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        let kv = eval_pure(ctx, store, env, depth, &k.key)?;
+                        let a = item::zero_or_one(kv)?
+                            .map(|x| x.atomize(store))
+                            .transpose()?;
+                        ks.push(a);
+                    }
+                    Ok(ks)
+                })(env);
+                env.pop_var();
+                keyed.push((ks?, it));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (a, b)) in ka.iter().zip(kb).enumerate() {
+                    let ord = cmp_keys(a, b);
+                    let ord = if keys[i].ascending {
+                        ord
+                    } else {
+                        ord.reverse()
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out = Vec::new();
+            for (_, it) in keyed {
+                env.push_var(var.clone(), vec![it]);
+                let r = eval_pure(ctx, store, env, depth, body);
+                env.pop_var();
+                out.extend(r?);
+            }
+            Ok(out)
+        }
+        Core::Arith(op, l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            let la = item::zero_or_one(lv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            let ra = item::zero_or_one(rv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            match (la, ra) {
+                (Some(a), Some(b)) => Ok(vec![Item::Atomic(arithmetic(*op, &a, &b)?)]),
+                _ => Ok(vec![]),
+            }
+        }
+        Core::Neg(e) => {
+            let v = eval_pure(ctx, store, env, depth, e)?;
+            match item::zero_or_one(v)?
+                .map(|x| x.atomize(store))
+                .transpose()?
+            {
+                Some(a) => Ok(vec![Item::Atomic(negate(&a)?)]),
+                None => Ok(vec![]),
+            }
+        }
+        Core::GeneralComp(op, l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            Ok(vec![Item::boolean(item::general_compare_seqs(
+                *op, &lv, &rv, store,
+            )?)])
+        }
+        Core::ValueComp(op, l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            let la = item::zero_or_one(lv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            let ra = item::zero_or_one(rv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            match (la, ra) {
+                (Some(a), Some(b)) => Ok(vec![Item::boolean(value_compare(*op, &a, &b)?)]),
+                _ => Ok(vec![]),
+            }
+        }
+        Core::NodeComp(op, l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            let ln = item::zero_or_one(lv)?;
+            let rn = item::zero_or_one(rv)?;
+            match (ln, rn) {
+                (Some(a), Some(b)) => {
+                    let (a, b) = (require_node(a)?, require_node(b)?);
+                    let res = match op {
+                        NodeCompOp::Is => a == b,
+                        NodeCompOp::Precedes => {
+                            store.cmp_doc_order(a, b)? == std::cmp::Ordering::Less
+                        }
+                        NodeCompOp::Follows => {
+                            store.cmp_doc_order(a, b)? == std::cmp::Ordering::Greater
+                        }
+                    };
+                    Ok(vec![Item::boolean(res)])
+                }
+                _ => Ok(vec![]),
+            }
+        }
+        Core::And(l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            if !item::effective_boolean(&lv, store)? {
+                return Ok(vec![Item::boolean(false)]);
+            }
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+        }
+        Core::Or(l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            if item::effective_boolean(&lv, store)? {
+                return Ok(vec![Item::boolean(true)]);
+            }
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+        }
+        Core::Union(l, r) => {
+            let mut lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            lv.extend(rv);
+            let mut nodes = item::all_nodes(&lv)?;
+            store.sort_and_dedup(&mut nodes)?;
+            Ok(nodes.into_iter().map(Item::Node).collect())
+        }
+        Core::Range(l, r) => {
+            let lv = eval_pure(ctx, store, env, depth, l)?;
+            let rv = eval_pure(ctx, store, env, depth, r)?;
+            let la = item::zero_or_one(lv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            let ra = item::zero_or_one(rv)?
+                .map(|x| x.atomize(store))
+                .transpose()?;
+            match (la, ra) {
+                (Some(a), Some(b)) => {
+                    let (a, b) = (a.to_integer()?, b.to_integer()?);
+                    Ok((a..=b).map(Item::integer).collect())
+                }
+                _ => Ok(vec![]),
+            }
+        }
+        Core::MapStep {
+            base,
+            axis,
+            test,
+            predicates,
+        } => {
+            let origins = eval_pure(ctx, store, env, depth, base)?;
+            let mut out: Sequence = Vec::new();
+            for origin in &origins {
+                let n = require_node(origin.clone())?;
+                let axis_nodes = gather_axis(store, n, *axis, test)?;
+                let mut items: Sequence = axis_nodes.into_iter().map(Item::Node).collect();
+                for pred in predicates {
+                    items = filter_positional_pure(ctx, store, env, depth, items, pred)?;
+                }
+                out.extend(items);
+            }
+            let mut nodes = item::all_nodes(&out)?;
+            store.sort_and_dedup(&mut nodes)?;
+            Ok(nodes.into_iter().map(Item::Node).collect())
+        }
+        Core::DocOrder(e) => {
+            let v = eval_pure(ctx, store, env, depth, e)?;
+            let mut nodes = item::all_nodes(&v)?;
+            store.sort_and_dedup(&mut nodes)?;
+            Ok(nodes.into_iter().map(Item::Node).collect())
+        }
+        Core::Predicate { base, pred } => {
+            let v = eval_pure(ctx, store, env, depth, base)?;
+            filter_positional_pure(ctx, store, env, depth, v, pred)
+        }
+        Core::Call(name, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_pure(ctx, store, env, depth, a)?);
+            }
+            if let Some(result) = functions::dispatch_readonly(name, values.clone(), store, env) {
+                return result;
+            }
+            let key = (name.to_string(), args.len());
+            let Some(func) = ctx.functions.get(&key) else {
+                return Err(XdmError::new(
+                    "XPST0017",
+                    format!("undefined function {name}#{}", args.len()),
+                ));
+            };
+            // Function bodies see only their parameters and globals.
+            let mut fenv = DynEnv::new();
+            for (p, v) in func.params.iter().zip(values) {
+                fenv.push_var(p.clone(), v);
+            }
+            eval_pure(ctx, store, &mut fenv, depth, &func.body)
+        }
+        Core::ElemCtor { .. }
+        | Core::AttrCtor { .. }
+        | Core::TextCtor(_)
+        | Core::DocCtor(_)
+        | Core::Copy(_) => Err(non_pure("node constructor")),
+        Core::Insert { .. } | Core::Delete(_) | Core::Replace(..) | Core::Rename(..) => {
+            Err(non_pure("update operator"))
+        }
+        Core::Snap(..) => Err(non_pure("snap")),
+    }
+}
+
+/// Positional predicate filtering — the pure twin of the evaluator's rule.
+fn filter_positional_pure(
+    ctx: &PureCtx<'_>,
+    store: &Store,
+    env: &mut DynEnv,
+    depth: usize,
+    items: Sequence,
+    pred: &Core,
+) -> XdmResult<Sequence> {
+    if let Core::Const(a) = pred {
+        if a.is_numeric() {
+            let wanted = a.to_double()?;
+            let idx = wanted as usize;
+            if wanted.fract() == 0.0 && idx >= 1 && idx <= items.len() {
+                return Ok(vec![items[idx - 1].clone()]);
+            }
+            return Ok(vec![]);
+        }
+    }
+    let size = items.len();
+    let mut out = Vec::new();
+    for (i, it) in items.into_iter().enumerate() {
+        env.push_focus(Focus {
+            item: it.clone(),
+            position: i + 1,
+            size,
+        });
+        let v = eval_pure(ctx, store, env, depth, pred);
+        env.pop_focus();
+        let v = v?;
+        let keep = match v.as_slice() {
+            [Item::Atomic(a)] if a.is_numeric() => a.to_double()? == (i + 1) as f64,
+            other => item::effective_boolean(other, store)?,
+        };
+        if keep {
+            out.push(it);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use xqsyn::compile;
+
+    fn gate(src: &str) -> bool {
+        let prog = compile(src).expect("compile");
+        let analysis = EffectAnalysis::new(&prog);
+        let funcs: HashMap<(String, usize), CoreFunction> = prog
+            .functions
+            .iter()
+            .map(|f| ((f.name.clone(), f.params.len()), f.clone()))
+            .collect();
+        // Gate judged on the whole body expression, as a loop body would be.
+        par_safe(&prog.body, &analysis, &funcs)
+    }
+
+    #[test]
+    fn gate_admits_pure_rejects_impure() {
+        assert!(gate("$x/a[@id = 3] + count($y)"));
+        assert!(gate("for $i in 1 to 9 return $i * $i"));
+        // Alloc, Pending, Effectful: all rejected.
+        assert!(!gate("<a/>"));
+        assert!(!gate("insert { <a/> } into { $x }"));
+        assert!(!gate("snap { delete { $x } }"));
+        // Pure-rated but par-opaque.
+        assert!(!gate("parse-xml(\"<a/>\")"));
+        assert!(!gate("trace($x, \"label\")"));
+        // A snap over pure code is Pure on the lattice but draws seeds.
+        assert!(!gate("snap { 1 + 2 }"));
+    }
+
+    #[test]
+    fn gate_chases_function_bodies() {
+        assert!(gate(
+            "declare function f($n) { $n * 2 }; for $i in $s return f($i)"
+        ));
+        // parse-xml hides behind a pure-rated function body.
+        assert!(!gate(
+            "declare function f($n) { parse-xml(\"<a/>\") }; for $i in $s return f($i)"
+        ));
+        // ...and behind one more level of calls.
+        assert!(!gate(
+            "declare function g() { parse-xml(\"<a/>\") };
+             declare function f($n) { g() };
+             f(1)"
+        ));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_and_first_error() {
+        let env = DynEnv::new();
+        let items: Vec<i64> = (0..100).collect();
+        let results = par_map(8, &env, &items, |_env, i, it| {
+            assert_eq!(*it as usize, i);
+            Ok(vec![Item::integer(*it * 2)])
+        });
+        let merged = merge_in_order(results).unwrap();
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged[41], Item::integer(82));
+
+        // Two failing items: the earlier one's error surfaces.
+        let results = par_map(8, &env, &items, |_env, _i, it| {
+            if *it == 97 {
+                Err(XdmError::new("E-LATE", "late"))
+            } else if *it == 13 {
+                Err(XdmError::new("E-EARLY", "early"))
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(merge_in_order(results).unwrap_err().code, "E-EARLY");
+    }
+
+    #[test]
+    fn eval_pure_matches_sequential_evaluator() {
+        let mut store = Store::new();
+        let doc =
+            xqdm::xml::parse_document(&mut store, "<r><e k=\"1\"/><e k=\"2\"/><e k=\"3\"/></r>")
+                .unwrap();
+        let prog = compile(
+            "for $e in $doc//e order by -number($e/@k) return concat(\"k\", string($e/@k))",
+        )
+        .unwrap();
+        let mut ev = Evaluator::new(&prog);
+        ev.bind_global("doc", vec![Item::Node(doc)]);
+        let mut env = DynEnv::new();
+        let sequential = ev.eval_query(&mut store, &mut env, &prog.body).unwrap();
+
+        let ctx = ev.pure_ctx();
+        let mut penv = DynEnv::new();
+        let parallel_path = eval_pure(&ctx, &store, &mut penv, 0, &prog.body).unwrap();
+        assert_eq!(sequential, parallel_path);
+    }
+
+    #[test]
+    fn eval_pure_rejects_non_pure_operators_defensively() {
+        let prog = compile("insert { <a/> } into { $x }").unwrap();
+        let ev = Evaluator::new(&prog);
+        let ctx = ev.pure_ctx();
+        let store = Store::new();
+        let mut env = DynEnv::new();
+        let err = eval_pure(&ctx, &store, &mut env, 0, &prog.body).unwrap_err();
+        assert_eq!(err.code, "XQB0051");
+    }
+
+    #[test]
+    fn threads_env_parsing_is_defensive() {
+        // Not asserting on the live environment (tests run concurrently);
+        // just the clamp logic via par_map worker counts.
+        let env = DynEnv::new();
+        let items = [1i64, 2, 3];
+        let r = par_map(usize::MAX, &env, &items, |_e, _i, it| {
+            Ok(vec![Item::integer(*it)])
+        });
+        assert_eq!(merge_in_order(r).unwrap().len(), 3);
+    }
+}

@@ -20,9 +20,10 @@
 
 use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
 use std::collections::HashMap;
+use xqcore::par::{eval_pure, merge_in_order, par_map, PAR_MIN_ITEMS};
 use xqcore::{DynEnv, Evaluator};
 use xqdm::item::{self, Item, Sequence};
-use xqdm::{Store, XdmResult};
+use xqdm::{Store, XdmError, XdmResult};
 use xqsyn::core::{Core, CoreProgram};
 
 /// Execute a plan inside the caller's current Δ scope. Pending updates the
@@ -42,6 +43,9 @@ pub fn execute(
         QueryPlan::Iterate(core) => evaluator.eval(store, env, core),
         QueryPlan::HashJoin(join) => {
             evaluator.note_join();
+            if evaluator.par_candidate(&join.body) {
+                return par_hash_join(join, evaluator, store, env);
+            }
             let mut out = Vec::new();
             for_each_match(join, evaluator, store, env, |ev, store, env, _outer, _| {
                 let v = ev.eval(store, env, &join.body)?;
@@ -52,6 +56,9 @@ pub fn execute(
         }
         QueryPlan::OuterJoinGroupBy(group) => {
             evaluator.note_join();
+            if evaluator.par_candidate(&group.join.body) && evaluator.par_candidate(&group.ret) {
+                return par_group_by(group, evaluator, store, env);
+            }
             execute_group_by(group, evaluator, store, env)
         }
         QueryPlan::Seq(items) => {
@@ -75,6 +82,22 @@ pub fn execute(
             body,
         } => {
             let src = execute(source, evaluator, store, env)?;
+            // Pure bodies fan out like the interpreter's `Core::For` rule
+            // (they collapsed to an `Iterate` leaf at compile time, so the
+            // same gate applies to the same core expression).
+            if let QueryPlan::Iterate(core) = body.as_ref() {
+                if src.len() >= PAR_MIN_ITEMS && evaluator.par_candidate(core) {
+                    return par_plan_for(
+                        evaluator,
+                        store,
+                        env,
+                        var,
+                        position.as_deref(),
+                        &src,
+                        core,
+                    );
+                }
+            }
             let mut out = Vec::new();
             for (i, it) in src.into_iter().enumerate() {
                 env.push_var(var.clone(), vec![it]);
@@ -254,6 +277,168 @@ fn drive_join(
         per_outer(evaluator, store, env, o, &matches, &inner)?;
     }
     Ok(())
+}
+
+/// Parallel twin of the plan-level `For` execution, for pure `Iterate`
+/// bodies. Mirrors the interpreter's fan-out: input-order results, first
+/// failing iteration's error, workers share `&Store`.
+fn par_plan_for(
+    evaluator: &mut Evaluator,
+    store: &Store,
+    env: &DynEnv,
+    var: &str,
+    position: Option<&str>,
+    src: &[Item],
+    body: &Core,
+) -> XdmResult<Sequence> {
+    evaluator.note_par_region(src.len());
+    let depth = evaluator.nesting_depth();
+    let threads = evaluator.threads();
+    let ctx = evaluator.pure_ctx();
+    let results = par_map(threads, env, src, |wenv, i, it| {
+        wenv.push_var(var.to_string(), vec![it.clone()]);
+        if let Some(p) = position {
+            wenv.push_var(p.to_string(), vec![Item::integer((i + 1) as i64)]);
+        }
+        let r = eval_pure(&ctx, store, wenv, depth, body);
+        if position.is_some() {
+            wenv.pop_var();
+        }
+        wenv.pop_var();
+        r
+    });
+    merge_in_order(results)
+}
+
+/// One outer binding's probe result, collected before fan-out.
+struct ProbeRow {
+    outer: Item,
+    /// Sorted, deduplicated inner match indices (nested-loop order).
+    matches: Vec<usize>,
+}
+
+/// Evaluate both join sides, hash the inner side, and probe — stopping at
+/// the first outer-key error. The rows collected *precede* that error in
+/// the sequential evaluation order, so running their (pure) bodies first
+/// and surfacing the key error only if every body succeeds reproduces the
+/// sequential first-error exactly. Inner-key errors surface immediately:
+/// sequentially, the whole build finishes before any probe body runs.
+fn probe_rows(
+    join: &JoinPlan,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<(Vec<ProbeRow>, Sequence, Option<XdmError>)> {
+    let outer = evaluator.eval(store, env, &join.outer_source)?;
+    let inner = evaluator.eval(store, env, &join.inner_source)?;
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    for (idx, it) in inner.iter().enumerate() {
+        let keys = eval_key(evaluator, store, env, &join.inner_var, it, &join.inner_key)?;
+        for k in keys {
+            table.entry(k).or_default().push(idx);
+        }
+    }
+    let mut rows = Vec::with_capacity(outer.len());
+    let mut key_err = None;
+    for o in outer {
+        let keys = match eval_key(evaluator, store, env, &join.outer_var, &o, &join.outer_key) {
+            Ok(keys) => keys,
+            Err(e) => {
+                key_err = Some(e);
+                break;
+            }
+        };
+        let mut matches: Vec<usize> = Vec::new();
+        for k in &keys {
+            if let Some(idxs) = table.get(k) {
+                matches.extend_from_slice(idxs);
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        rows.push(ProbeRow { outer: o, matches });
+    }
+    Ok((rows, inner, key_err))
+}
+
+/// Hash join with a pure body: probe rows collected sequentially (key
+/// expressions may error; bodies cannot leave a trace), then every
+/// (outer, inner) match pair evaluated on the worker pool in nested-loop
+/// order.
+fn par_hash_join(
+    join: &JoinPlan,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
+    let (rows, inner, key_err) = probe_rows(join, evaluator, store, env)?;
+    let store: &Store = store;
+    let inner = &inner;
+    let pairs: Vec<(&Item, &Item)> = rows
+        .iter()
+        .flat_map(|row| {
+            let outer = &row.outer;
+            row.matches.iter().map(move |&idx| (outer, &inner[idx]))
+        })
+        .collect();
+    evaluator.note_par_region(pairs.len());
+    let depth = evaluator.nesting_depth();
+    let threads = evaluator.threads();
+    let ctx = evaluator.pure_ctx();
+    let results = par_map(threads, env, &pairs, |wenv, _i, (o, inn)| {
+        wenv.push_var(join.outer_var.clone(), vec![(*o).clone()]);
+        wenv.push_var(join.inner_var.clone(), vec![(*inn).clone()]);
+        let r = eval_pure(&ctx, store, wenv, depth, &join.body);
+        wenv.pop_var();
+        wenv.pop_var();
+        r
+    });
+    let merged = merge_in_order(results)?;
+    match key_err {
+        Some(e) => Err(e),
+        None => Ok(merged),
+    }
+}
+
+/// Outer-join/group-by with pure body *and* return: one worker task per
+/// outer binding (body over its matches, grouped sequence bound for the
+/// return), results concatenated in outer order.
+fn par_group_by(
+    group: &GroupByPlan,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
+    let join = &group.join;
+    let (rows, inner, key_err) = probe_rows(join, evaluator, store, env)?;
+    let store: &Store = store;
+    evaluator.note_par_region(rows.len());
+    let depth = evaluator.nesting_depth();
+    let threads = evaluator.threads();
+    let ctx = evaluator.pure_ctx();
+    let results = par_map(threads, env, &rows, |wenv, _i, row| {
+        wenv.push_var(join.outer_var.clone(), vec![row.outer.clone()]);
+        let r = (|wenv: &mut DynEnv| {
+            let mut grouped: Sequence = Vec::new();
+            for &idx in &row.matches {
+                wenv.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                let v = eval_pure(&ctx, store, wenv, depth, &join.body);
+                wenv.pop_var();
+                grouped.extend(v?);
+            }
+            wenv.push_var(group.group_var.clone(), grouped);
+            let v = eval_pure(&ctx, store, wenv, depth, &group.ret);
+            wenv.pop_var();
+            v
+        })(wenv);
+        wenv.pop_var();
+        r
+    });
+    let merged = merge_in_order(results)?;
+    match key_err {
+        Some(e) => Err(e),
+        None => Ok(merged),
+    }
 }
 
 /// Evaluate a join key for one binding: the atomized string values.

@@ -163,17 +163,29 @@ impl QueryPlan {
     }
 
     fn render_node(&self, analysis: Option<&EffectAnalysis>) -> String {
-        let eff = |core: &Core| match analysis {
+        // `par` marks a region the parallel gate admits for fan-out
+        // (DESIGN.md §9): effect-free and par-transparent. Impure bodies
+        // (an inner snap or update) suppress the marker — the E8 guard
+        // reused.
+        let eff_loop = |core: &Core| match analysis {
+            Some(a) if xqcore::par::marks_par_loop(core, a) => {
+                format!("[{:?},par]", a.effect(core))
+            }
+            Some(a) => format!("[{:?}]", a.effect(core)),
+            None => String::new(),
+        };
+        let eff_body = |core: &Core| match analysis {
+            Some(a) if xqcore::par::body_par(core, a) => format!("[{:?},par]", a.effect(core)),
             Some(a) => format!("[{:?}]", a.effect(core)),
             None => String::new(),
         };
         match self {
-            QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff(core)),
+            QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff_loop(core)),
             QueryPlan::HashJoin(j) => format!(
                 "MapFromItem{eb} {{ {body} }}\n(Join( MapFromItem{{[{o}:Input]}}\n   \
                  ({osrc}),\n       MapFromItem{{[{i}:Input]}}\n   ({isrc}))\n  on {{ \
                  Input#{i}/{ikey} = Input#{o}/{okey} }}\n)",
-                eb = eff(&j.body),
+                eb = eff_body(&j.body),
                 body = j.body,
                 o = j.outer_var,
                 osrc = j.outer_source,
@@ -187,11 +199,11 @@ impl QueryPlan {
                  ]\n  ( LeftOuterJoin( MapFromItem{{[{o}:Input]}}\n     \
                  ({osrc}),\n                   MapFromItem{{[{i}:Input]}}\n     \
                  ({isrc}))\n    on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n  )\n)",
-                er = eff(&g.ret),
+                er = eff_body(&g.ret),
                 ret = g.ret,
                 o = g.join.outer_var,
                 body = g.join.body,
-                eb = eff(&g.join.body),
+                eb = eff_body(&g.join.body),
                 osrc = g.join.outer_source,
                 i = g.join.inner_var,
                 isrc = g.join.inner_source,

@@ -35,3 +35,20 @@ pub use item::{Item, Sequence};
 pub use node::{NodeId, NodeKind};
 pub use qname::QName;
 pub use store::Store;
+
+// Parallel evaluation of effect-free regions (xqcore's DESIGN.md §9
+// feature) shares the store across scoped worker threads as `&Store`.
+// That is sound only while these types stay plain data — no `Rc`, no
+// `Cell`/`RefCell`, no raw pointers. These assertions turn any future
+// interior-mutability regression into a compile error at its source.
+const _: () = {
+    const fn assert_send_sync<T: ?Sized + Send + Sync>() {}
+    assert_send_sync::<Store>();
+    assert_send_sync::<NodeId>();
+    assert_send_sync::<NodeKind>();
+    assert_send_sync::<QName>();
+    assert_send_sync::<Atomic>();
+    assert_send_sync::<Item>();
+    assert_send_sync::<Sequence>();
+    assert_send_sync::<XdmError>();
+};

@@ -60,6 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              return $r",
         ),
         (
+            "pure loop body: par marker (parallel fan-out eligible)",
+            "for $p in $people/person
+             return concat(string($p/name), \":\", count($p/watches))",
+        ),
+        (
+            "snap inside the loop body: par suppressed, stays sequential",
+            "for $p in $people/person
+             return snap insert { <seen id=\"{$p/@id}\"/> } into { $log }",
+        ),
+        (
             "structural mix: let / if / sequence around an inner join",
             "let $pairs := for $l in $left/e
                            for $r in $right/e

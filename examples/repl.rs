@@ -6,6 +6,7 @@
 //!   :load <var> <file>   parse an XML file and bind its document to $var
 //!   :xmark <var> <n>     bind an XMark document with n persons to $var
 //!   :plan <query>        show the optimizer's plan for a query
+//!   :threads [n]         show or set worker threads for pure regions
 //!   :quit                exit
 //! Anything else is evaluated as an XQuery! program. Updates persist in
 //! the session store between queries.
@@ -18,7 +19,7 @@ fn main() {
     let mut engine = Engine::new();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("XQuery! shell — :load, :xmark, :plan, :quit");
+    println!("XQuery! shell — :load, :xmark, :plan, :threads, :quit");
     loop {
         print!("xq!> ");
         out.flush().ok();
@@ -69,6 +70,20 @@ fn main() {
                     }
                 }
                 _ => eprintln!("usage: :xmark <var> <persons>"),
+            }
+            continue;
+        }
+        if line == ":threads" {
+            println!("{}", engine.threads());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":threads ") {
+            match rest.trim().parse::<usize>() {
+                Ok(n) => {
+                    engine.set_threads(n);
+                    println!("threads = {}", engine.threads());
+                }
+                Err(_) => eprintln!("usage: :threads <n>"),
             }
             continue;
         }

@@ -22,6 +22,7 @@ struct Options {
     show_plan: bool,
     pretty: bool,
     check_only: bool,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -34,6 +35,8 @@ fn usage() -> &'static str {
        --plan                    print the compiled plan instead of running\n\
        --pretty                  indent XML output\n\
        --check                   static-check the query, do not run it\n\
+       --threads <N>             worker threads for effect-free regions\n\
+                                 (default: $XQB_THREADS or 1)\n\
        -h, --help                this message"
 }
 
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         show_plan: false,
         pretty: false,
         check_only: false,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +60,10 @@ fn parse_args() -> Result<Options, String> {
             "--check" => opts.check_only = true,
             "-q" | "--query" => {
                 opts.query = Some(args.next().ok_or("missing argument for --query")?);
+            }
+            "--threads" => {
+                let n = args.next().ok_or("missing argument for --threads")?;
+                opts.threads = Some(n.parse().map_err(|_| format!("bad thread count \"{n}\""))?);
             }
             "-d" | "--doc" => {
                 let spec = args.next().ok_or("missing argument for --doc")?;
@@ -93,6 +101,9 @@ fn run() -> Result<(), String> {
     };
 
     let mut engine = Engine::new();
+    if let Some(n) = opts.threads {
+        engine.set_threads(n);
+    }
     for (var, file) in &opts.documents {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
         engine

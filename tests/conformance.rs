@@ -1,8 +1,14 @@
-//! Data-driven conformance corpus: one-line query → expected serialization,
-//! against a fixed document. The cheapest place to pin a behaviour or add
-//! a regression case — append a row.
+//! Data-driven conformance corpus, split per language area: one-line
+//! query → expected serialization, against a fixed document. The
+//! cheapest place to pin a behaviour or add a regression case — append
+//! a row to the area it belongs to.
+//!
+//! Beyond the value tables there are: an error-code table (checked at
+//! 1 and 8 worker threads — codes are part of the observable
+//! semantics), and negative tests for `XQB0030` engine isolation /
+//! rollback with parallel evaluation enabled.
 
-use xquery_bang::Engine;
+use xquery_bang::{Engine, Error};
 
 const DOC: &str = r#"<site>
   <people>
@@ -14,127 +20,11 @@ const DOC: &str = r#"<site>
   <mixed>alpha <b>beta</b> gamma</mixed>
 </site>"#;
 
-/// (query, expected-serialization) pairs.
-const CASES: &[(&str, &str)] = &[
-    // -------- literals, arithmetic, logic --------
-    ("2 + 3 * 4", "14"),
-    ("(2 + 3) * 4", "20"),
-    ("10 idiv 3", "3"),
-    ("10 mod 3", "1"),
-    ("10 div 4", "2.5"),
-    ("-(2 + 3)", "-5"),
-    ("1.5e2", "150"),
-    ("\"a\" = \"a\"", "true"),
-    ("true() and false()", "false"),
-    ("true() or false()", "true"),
-    ("not(())", "true"),
-    ("() = ()", "false"),
-    ("(1, 2) != (1, 2)", "true"), // existential: 1 != 2
-    ("3 eq 3.0", "true"),
-    ("\"b\" gt \"a\"", "true"),
-    // -------- sequences --------
-    ("count(())", "0"),
-    ("count((1, (2, 3)))", "3"),
-    ("(1 to 3, 5)", "1 2 3 5"),
-    ("reverse(1 to 3)", "3 2 1"),
-    ("subsequence(1 to 10, 3, 2)", "3 4"),
-    ("distinct-values((1, 2, 1))", "1 2"),
-    ("string-join((\"x\", \"y\", \"z\"), \",\")", "x,y,z"),
-    ("head(1 to 5)", "1"),
-    ("tail(1 to 3)", "2 3"),
-    ("insert-before((\"a\", \"c\"), 2, \"b\")", "a b c"),
-    ("remove((\"a\", \"b\", \"c\"), 2)", "a c"),
-    ("index-of((5, 10, 5), 5)", "1 3"),
-    // -------- strings --------
-    ("upper-case(\"mixed\")", "MIXED"),
-    ("substring(\"conformance\", 4, 4)", "form"),
-    ("contains(\"conformance\", \"forma\")", "true"),
-    ("starts-with(\"abc\", \"ab\")", "true"),
-    ("ends-with(\"abc\", \"bc\")", "true"),
-    ("substring-before(\"key=value\", \"=\")", "key"),
-    ("substring-after(\"key=value\", \"=\")", "value"),
-    ("normalize-space(\" a   b \")", "a b"),
-    ("translate(\"abc\", \"ac\", \"xz\")", "xbz"),
-    ("string-length(\"héllo\")", "5"),
-    ("concat(\"a\", 1, true())", "a1true"),
-    // -------- numerics --------
-    ("abs(-7)", "7"),
-    ("floor(3.7)", "3"),
-    ("ceiling(3.2)", "4"),
-    ("round(3.5)", "4"),
-    ("sum(1 to 4)", "10"),
-    ("avg((2, 4))", "3"),
-    ("min((3, 1, 2))", "1"),
-    ("max((3, 1, 2))", "3"),
-    ("number(\"5\") + 5", "10"),
-    ("xs:integer(\"08\")", "8"),
-    // -------- FLWOR & quantifiers --------
-    ("for $i in 1 to 3 return $i * $i", "1 4 9"),
-    ("for $i at $p in (\"a\", \"b\") return $p", "1 2"),
-    ("let $s := 1 to 4 return count($s)", "4"),
-    ("for $i in 1 to 6 where $i mod 3 = 0 return $i", "3 6"),
-    ("for $i in (3, 1, 2) order by $i return $i", "1 2 3"),
-    (
-        "for $i in (3, 1, 2) order by $i descending return $i",
-        "3 2 1",
-    ),
-    ("some $i in 1 to 5 satisfies $i * $i = 16", "true"),
-    ("every $i in 1 to 5 satisfies $i < 6", "true"),
-    ("if (2 > 1) then \"yes\" else \"no\"", "yes"),
-    // -------- paths over $doc --------
-    ("count($doc//person)", "3"),
-    ("string($doc//person[1]/name)", "Ada"),
-    ("string($doc//person[@id = \"p3\"]/name)", "Cyd"),
-    ("count($doc//person[@age = 36])", "2"),
-    ("$doc//person[last()]/name", "<name>Cyd</name>"),
-    ("count($doc//@id)", "3"),
-    ("name($doc//name[text() = \"Bob\"]/..)", "person"),
-    ("sum($doc//n)", "6"),
-    (
-        "for $n in $doc//nums/n order by xs:integer($n) return string($n)",
-        "1 2 3",
-    ),
-    ("string($doc//mixed)", "alpha beta gamma"),
-    ("count($doc//mixed/node())", "3"),
-    ("count($doc//person/following-sibling::person)", "2"),
-    ("name(($doc//b)[1]/preceding::person[1])", "person"),
-    ("count($doc//person | $doc//n)", "6"),
-    ("count($doc//person intersect $doc//person[@age = 36])", "2"),
-    ("count($doc//person except $doc//person[2])", "2"),
-    // -------- unicode (regression: UTF-8 in literals/AVTs) --------
-    ("string-length(\"naïve\")", "5"),
-    ("<t v=\"schön\"/>", "<t v=\"schön\"/>"),
-    ("upper-case(\"héllo\")", "HÉLLO"),
-    // -------- constructors --------
-    ("<x>{1 + 1}</x>", "<x>2</x>"),
-    ("<x a=\"{1 + 1}\"/>", "<x a=\"2\"/>"),
-    ("element y { attribute k { \"v\" } }", "<y k=\"v\"/>"),
-    ("string(text { \"plain\" })", "plain"),
-    ("serialize(<a><b/></a>)", "<a><b/></a>"),
-    ("count(parse-xml(\"<a><b/><b/></a>\")//b)", "2"),
-    ("deep-equal(<a>1</a>, <a>1</a>)", "true"),
-    // -------- updates & snap (value-level observations) --------
-    ("count((delete { $doc//person[1] }, $doc//person))", "3"), // pending
-    ("snap { 40 + 2 }", "42"),
-    (
-        "count((snap insert { <person id=\"p4\"/> } into { ($doc//people)[1] }, $doc//person))",
-        "4",
-    ),
-    (
-        "let $c := copy { ($doc//person)[1] } return ($c is ($doc//person)[1])",
-        "false",
-    ),
-    ("string(copy { ($doc//name)[1] })", "Ada"),
-];
-
-#[test]
-fn conformance_corpus() {
+/// Run a table of (query, expected-serialization) rows, fresh engine per
+/// case so update cases cannot leak.
+fn run_cases(area: &str, cases: &[(&str, &str)]) {
     let mut failures = Vec::new();
-    for (query, expected) in CASES {
-        if *expected == "__SKIP__" {
-            continue;
-        }
-        // Fresh engine per case: update cases must not leak.
+    for (query, expected) in cases {
         let mut e = Engine::new();
         e.load_document("doc", DOC).unwrap();
         match e.run(query) {
@@ -153,8 +43,360 @@ fn conformance_corpus() {
     }
     assert!(
         failures.is_empty(),
-        "{} conformance failure(s):\n{}",
+        "{} {area} failure(s):\n{}",
         failures.len(),
         failures.join("\n")
     );
+}
+
+#[test]
+fn literals_arithmetic_logic() {
+    run_cases(
+        "literals/arithmetic/logic",
+        &[
+            ("2 + 3 * 4", "14"),
+            ("(2 + 3) * 4", "20"),
+            ("10 idiv 3", "3"),
+            ("10 mod 3", "1"),
+            ("10 div 4", "2.5"),
+            ("-(2 + 3)", "-5"),
+            ("1.5e2", "150"),
+            ("\"a\" = \"a\"", "true"),
+            ("true() and false()", "false"),
+            ("true() or false()", "true"),
+            ("not(())", "true"),
+            ("() = ()", "false"),
+            ("(1, 2) != (1, 2)", "true"), // existential: 1 != 2
+            ("3 eq 3.0", "true"),
+            ("\"b\" gt \"a\"", "true"),
+        ],
+    );
+}
+
+#[test]
+fn sequences() {
+    run_cases(
+        "sequence",
+        &[
+            ("count(())", "0"),
+            ("count((1, (2, 3)))", "3"),
+            ("(1 to 3, 5)", "1 2 3 5"),
+            ("reverse(1 to 3)", "3 2 1"),
+            ("subsequence(1 to 10, 3, 2)", "3 4"),
+            ("distinct-values((1, 2, 1))", "1 2"),
+            ("string-join((\"x\", \"y\", \"z\"), \",\")", "x,y,z"),
+            ("head(1 to 5)", "1"),
+            ("tail(1 to 3)", "2 3"),
+            ("insert-before((\"a\", \"c\"), 2, \"b\")", "a b c"),
+            ("remove((\"a\", \"b\", \"c\"), 2)", "a c"),
+            ("index-of((5, 10, 5), 5)", "1 3"),
+        ],
+    );
+}
+
+#[test]
+fn strings() {
+    run_cases(
+        "string",
+        &[
+            ("upper-case(\"mixed\")", "MIXED"),
+            ("substring(\"conformance\", 4, 4)", "form"),
+            ("contains(\"conformance\", \"forma\")", "true"),
+            ("starts-with(\"abc\", \"ab\")", "true"),
+            ("ends-with(\"abc\", \"bc\")", "true"),
+            ("substring-before(\"key=value\", \"=\")", "key"),
+            ("substring-after(\"key=value\", \"=\")", "value"),
+            ("normalize-space(\" a   b \")", "a b"),
+            ("translate(\"abc\", \"ac\", \"xz\")", "xbz"),
+            ("string-length(\"héllo\")", "5"),
+            ("concat(\"a\", 1, true())", "a1true"),
+            // unicode (regression: UTF-8 in literals/AVTs)
+            ("string-length(\"naïve\")", "5"),
+            ("<t v=\"schön\"/>", "<t v=\"schön\"/>"),
+            ("upper-case(\"héllo\")", "HÉLLO"),
+        ],
+    );
+}
+
+#[test]
+fn numerics() {
+    run_cases(
+        "numeric",
+        &[
+            ("abs(-7)", "7"),
+            ("floor(3.7)", "3"),
+            ("ceiling(3.2)", "4"),
+            ("round(3.5)", "4"),
+            ("sum(1 to 4)", "10"),
+            ("avg((2, 4))", "3"),
+            ("min((3, 1, 2))", "1"),
+            ("max((3, 1, 2))", "3"),
+            ("number(\"5\") + 5", "10"),
+            ("xs:integer(\"08\")", "8"),
+        ],
+    );
+}
+
+#[test]
+fn flwor_and_quantifiers() {
+    run_cases(
+        "FLWOR/quantifier",
+        &[
+            ("for $i in 1 to 3 return $i * $i", "1 4 9"),
+            ("for $i at $p in (\"a\", \"b\") return $p", "1 2"),
+            ("let $s := 1 to 4 return count($s)", "4"),
+            ("for $i in 1 to 6 where $i mod 3 = 0 return $i", "3 6"),
+            ("for $i in (3, 1, 2) order by $i return $i", "1 2 3"),
+            (
+                "for $i in (3, 1, 2) order by $i descending return $i",
+                "3 2 1",
+            ),
+            ("some $i in 1 to 5 satisfies $i * $i = 16", "true"),
+            ("every $i in 1 to 5 satisfies $i < 6", "true"),
+            ("if (2 > 1) then \"yes\" else \"no\"", "yes"),
+        ],
+    );
+}
+
+#[test]
+fn paths() {
+    run_cases(
+        "path",
+        &[
+            ("count($doc//person)", "3"),
+            ("string($doc//person[1]/name)", "Ada"),
+            ("string($doc//person[@id = \"p3\"]/name)", "Cyd"),
+            ("count($doc//person[@age = 36])", "2"),
+            ("$doc//person[last()]/name", "<name>Cyd</name>"),
+            ("count($doc//@id)", "3"),
+            ("name($doc//name[text() = \"Bob\"]/..)", "person"),
+            ("sum($doc//n)", "6"),
+            (
+                "for $n in $doc//nums/n order by xs:integer($n) return string($n)",
+                "1 2 3",
+            ),
+            ("string($doc//mixed)", "alpha beta gamma"),
+            ("count($doc//mixed/node())", "3"),
+            ("count($doc//person/following-sibling::person)", "2"),
+            ("name(($doc//b)[1]/preceding::person[1])", "person"),
+            ("count($doc//person | $doc//n)", "6"),
+            ("count($doc//person intersect $doc//person[@age = 36])", "2"),
+            ("count($doc//person except $doc//person[2])", "2"),
+        ],
+    );
+}
+
+#[test]
+fn constructors() {
+    run_cases(
+        "constructor",
+        &[
+            ("<x>{1 + 1}</x>", "<x>2</x>"),
+            ("<x a=\"{1 + 1}\"/>", "<x a=\"2\"/>"),
+            ("element y { attribute k { \"v\" } }", "<y k=\"v\"/>"),
+            ("string(text { \"plain\" })", "plain"),
+            ("serialize(<a><b/></a>)", "<a><b/></a>"),
+            ("count(parse-xml(\"<a><b/><b/></a>\")//b)", "2"),
+            ("deep-equal(<a>1</a>, <a>1</a>)", "true"),
+        ],
+    );
+}
+
+#[test]
+fn updates() {
+    run_cases(
+        "update",
+        &[
+            ("count((delete { $doc//person[1] }, $doc//person))", "3"), // pending
+            (
+                "count((snap insert { <person id=\"p4\"/> } into { ($doc//people)[1] }, $doc//person))",
+                "4",
+            ),
+            (
+                "let $c := copy { ($doc//person)[1] } return ($c is ($doc//person)[1])",
+                "false",
+            ),
+            ("string(copy { ($doc//name)[1] })", "Ada"),
+        ],
+    );
+}
+
+#[test]
+fn snap_nesting() {
+    run_cases(
+        "snap-nesting",
+        &[
+            ("snap { 40 + 2 }", "42"),
+            // `snap { … }` is a primary expression, not an operand — bind
+            // it with `let` to use its value.
+            ("snap { let $x := snap { 40 } return $x + 2 }", "42"),
+            // A pending update is invisible until its snap closes…
+            (
+                "snap { insert { <y/> } into { ($doc//nums)[1] }, count($doc//nums/y) }",
+                "0",
+            ),
+            // …but an *inner* snap applies its Δ on close, so the outer
+            // continuation observes it.
+            (
+                "count((snap { insert { <y/> } into { ($doc//nums)[1] } }, $doc//nums/y))",
+                "1",
+            ),
+            (
+                "snap { snap insert { <y/> } into { ($doc//nums)[1] }, count($doc//nums/y) }",
+                "1",
+            ),
+            // Three levels deep: innermost applies first.
+            (
+                "snap { let $x := snap { snap insert { <y/> } into { ($doc//nums)[1] }, \
+                 count($doc//nums/y) } return $x + 10 }",
+                "11",
+            ),
+        ],
+    );
+}
+
+/// Error codes are observable semantics: the same code must surface at
+/// 1 and 8 worker threads (the parallel gate may fan the enclosing loop
+/// out, but first-error-in-input-order is preserved).
+#[test]
+fn error_codes() {
+    const CASES: &[(&str, &str)] = &[
+        ("1 div 0", "FOAR0001"),
+        ("0 idiv 0", "FOAR0001"),
+        ("$nope", "XPST0008"),
+        ("no-such-fn()", "XPST0017"),
+        ("1 + \"a\"", "XPTY0004"),
+        ("xs:integer(\"zz\")", "FORG0001"),
+        ("sum((\"a\", \"b\"))", "FORG0001"),
+        ("snap { snap { 1 div 0 } }", "FOAR0001"),
+        // Errors inside a (parallelizable) pure loop body.
+        (
+            "for $n in $doc//nums/n return 10 div (xs:integer($n) - 1)",
+            "FOAR0001",
+        ),
+        ("for $i in 1 to 8 return 1 + \"a\"", "XPTY0004"),
+    ];
+    for threads in [1usize, 8] {
+        for (query, code) in CASES {
+            let mut e = Engine::new();
+            e.set_threads(threads);
+            e.load_document("doc", DOC).unwrap();
+            match e.run(query) {
+                Err(Error::Eval(x)) => assert_eq!(
+                    x.code, *code,
+                    "wrong code for {query} at {threads} thread(s)"
+                ),
+                other => panic!("{query} at {threads} thread(s): expected {code}, got {other:?}"),
+            }
+        }
+    }
+}
+
+fn doc_xml(e: &Engine) -> String {
+    let b = e.binding("doc").unwrap().clone();
+    e.serialize(&b).unwrap()
+}
+
+/// XQB0030 isolation with parallel mode ON: a panic after a committed
+/// snap and a parallel region must roll the store back to the exact
+/// pre-run state and leave the engine usable — including for further
+/// parallel queries.
+#[test]
+fn xqb0030_rollback_with_parallel_mode_enabled() {
+    let mut e = Engine::new();
+    e.set_threads(8);
+    e.load_document("doc", DOC).unwrap();
+
+    // Warm the parallel path so the failure really happens in a run
+    // that fans out.
+    e.run("for $p in $doc//person | $doc//n return string($p)")
+        .unwrap();
+    assert!(
+        e.last_stats().unwrap().par_regions > 0,
+        "warm-up loop should have fanned out"
+    );
+
+    let before = doc_xml(&e);
+    let err = e.run(
+        "(snap insert { <committed/> } into { ($doc//people)[1] },
+          for $p in $doc//person return string($p/name),
+          xqb:panic())",
+    );
+    assert!(
+        matches!(err, Err(Error::Eval(ref x)) if x.code == "XQB0030"),
+        "got {err:?}"
+    );
+    assert_eq!(doc_xml(&e), before, "rollback must undo the committed snap");
+
+    // Engine not poisoned: sequential and parallel queries still work.
+    e.run("snap insert { <ok/> } into { ($doc//people)[1] }")
+        .unwrap();
+    let r = e.run("count($doc//ok)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "1");
+    // ≥ PAR_MIN_ITEMS items so the loop fans out again.
+    let r = e
+        .run("for $p in $doc//person | $doc//n return name($p)")
+        .unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "person person person n n n");
+    assert!(e.last_stats().unwrap().par_regions > 0);
+}
+
+/// A panic raised *from a loop body* with parallel mode on must also
+/// surface as XQB0030 with full rollback — whether the gate ran the
+/// loop sequentially (calls to unknown-effect builtins are rejected) or
+/// a worker's unwind was forwarded to the engine's isolation frame.
+#[test]
+fn xqb0030_panic_in_loop_body_under_parallel_mode() {
+    let mut e = Engine::new();
+    e.set_threads(8);
+    e.load_document("doc", DOC).unwrap();
+    let before = doc_xml(&e);
+    let err = e.run(
+        "(snap insert { <committed/> } into { ($doc//people)[1] },
+          for $p in $doc//person return xqb:panic())",
+    );
+    assert!(
+        matches!(err, Err(Error::Eval(ref x)) if x.code == "XQB0030"),
+        "got {err:?}"
+    );
+    assert_eq!(doc_xml(&e), before);
+    let r = e.run("count($doc//person)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "3");
+}
+
+/// Divergence check: an error inside a parallel region must be the
+/// *same* error the sequential engine reports (first in input order),
+/// and the store must be identically rolled back.
+#[test]
+fn parallel_region_error_matches_sequential() {
+    // 8 items (≥ PAR_MIN_ITEMS, so the loop fans out) with the poison
+    // value in the middle of the input.
+    let data = r#"<root><e v="1"/><e v="2"/><e v="3"/><e v="4"/>
+                  <e v="0"/><e v="5"/><e v="0"/><e v="6"/></root>"#;
+    let query = "for $e in $data/root/e return 10 idiv xs:integer($e/@v)";
+    let mut results = Vec::new();
+    for threads in [1usize, 8] {
+        let mut e = Engine::new();
+        e.set_threads(threads);
+        e.load_document("data", data).unwrap();
+        let err = e.run(query);
+        let code = match err {
+            Err(Error::Eval(x)) => x.code.to_string(),
+            other => panic!("expected eval error at {threads} thread(s), got {other:?}"),
+        };
+        let b = e.binding("data").unwrap().clone();
+        let store = e.serialize(&b).unwrap();
+        if threads > 1 {
+            assert!(
+                e.last_stats().unwrap().par_regions > 0,
+                "loop with pure body must have fanned out before erroring"
+            );
+        }
+        results.push((code, store));
+    }
+    assert_eq!(
+        results[0], results[1],
+        "parallel error diverges from sequential"
+    );
+    assert_eq!(results[0].0, "FOAR0001");
 }

@@ -1,10 +1,18 @@
-//! Differential testing: every query runs through BOTH pipelines — the
-//! engine-default compiled path and pure interpretation
-//! (`set_compile(false)`) — and must produce the identical value
-//! sequence, the identical serialized store, and the identical snap/Δ
-//! statistics (`snaps_closed`, `requests_applied`, `max_snap_depth`,
-//! which pin the Δ ordering and the per-snap seed draws), in all three
-//! snap application modes. Errors must match by code.
+//! Differential determinism harness: every query runs through a matrix
+//! of engine configurations — {compiled, interpreted} × {1, 2, 8} worker
+//! threads — and each variant must produce the identical value sequence,
+//! the identical serialized store, the identical snap/Δ statistics
+//! (`snaps_closed`, `requests_applied`, `max_snap_depth`, which pin the
+//! Δ ordering and the per-snap seed draws), and identical error codes,
+//! in all three snap application modes. The sequential interpreter
+//! (threads = 1, `set_compile(false)`) is the reference semantics;
+//! everything else is an evaluation strategy that must be observably
+//! indistinguishable from it.
+//!
+//! `plan_nodes_executed` / `joins_executed` / `par_regions` / `par_items`
+//! are *strategy* counters — they legitimately differ across the matrix
+//! and are excluded from the comparison (a separate non-vacuity test
+//! asserts the parallel path really runs).
 //!
 //! A `proptest` section generalizes the fixed corpus with randomly
 //! generated join-shaped programs and data, additionally asserting the
@@ -15,70 +23,124 @@ use proptest::prelude::*;
 use xquery_bang::xmarkgen::{Scale, XmarkGen};
 use xquery_bang::{Engine, Error, Item};
 
-/// Run `queries` in order on a compiled and an interpreted engine (same
-/// seed, same documents, same preloaded modules) and assert observable
-/// equivalence after every step.
-fn differential(docs: &[(&str, &str)], modules: &[&str], queries: &[&str]) {
-    let mut compiled = Engine::new().with_seed(0xd1ff);
-    let mut interpreted = Engine::new().with_seed(0xd1ff);
-    interpreted.set_compile(false);
-    assert!(compiled.compile_enabled());
-    assert!(!interpreted.compile_enabled());
+/// The thread counts the determinism matrix exercises.
+const THREAD_MATRIX: &[usize] = &[1, 2, 8];
 
-    for (name, xml) in docs {
-        compiled.load_document(name, xml).unwrap();
-        interpreted.load_document(name, xml).unwrap();
+/// One engine configuration under test.
+struct Variant {
+    label: String,
+    engine: Engine,
+}
+
+/// The full matrix: {interpreted, compiled} × [`THREAD_MATRIX`], all with
+/// the same seed. The first variant (interpreted × 1 thread) is the
+/// reference.
+fn matrix(seed: u64) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for &compile in &[false, true] {
+        for &threads in THREAD_MATRIX {
+            let mut engine = Engine::new().with_seed(seed);
+            engine.set_compile(compile);
+            engine.set_threads(threads);
+            variants.push(Variant {
+                label: format!(
+                    "{}×{threads}",
+                    if compile { "compiled" } else { "interpreted" }
+                ),
+                engine,
+            });
+        }
     }
-    for m in modules {
-        compiled.load_module(m).unwrap();
-        interpreted.load_module(m).unwrap();
+    variants
+}
+
+fn error_code(e: &Error) -> String {
+    match e {
+        Error::Parse(_) => "parse".to_string(),
+        Error::Eval(x) => x.code.to_string(),
+    }
+}
+
+/// Run `queries` in order on every matrix variant (same seed, same
+/// documents, same preloaded modules) and assert observable equivalence
+/// with the sequential-interpreter reference after every step.
+fn differential(docs: &[(&str, &str)], modules: &[&str], queries: &[&str]) {
+    let mut variants = matrix(0xd1ff);
+    for v in &mut variants {
+        for (name, xml) in docs {
+            v.engine.load_document(name, xml).unwrap();
+        }
+        for m in modules {
+            v.engine.load_module(m).unwrap();
+        }
     }
 
     for q in queries {
-        let rc = compiled.run(q);
-        let ri = interpreted.run(q);
-        match (rc, ri) {
-            (Ok(vc), Ok(vi)) => {
-                assert_eq!(
-                    compiled.serialize(&vc).unwrap(),
-                    interpreted.serialize(&vi).unwrap(),
-                    "value mismatch for {q}"
-                );
-                let (sc, si) = (
-                    compiled.last_stats().unwrap(),
-                    interpreted.last_stats().unwrap(),
-                );
-                assert_eq!(sc.snaps_closed, si.snaps_closed, "snaps_closed for {q}");
-                assert_eq!(
-                    sc.requests_applied, si.requests_applied,
-                    "requests_applied for {q}"
-                );
-                assert_eq!(
-                    sc.max_snap_depth, si.max_snap_depth,
-                    "max_snap_depth for {q}"
-                );
+        let (reference, rest) = variants.split_first_mut().unwrap();
+        let rr = reference.engine.run(q);
+        for v in rest.iter_mut() {
+            let rv = v.engine.run(q);
+            match (&rr, &rv) {
+                (Ok(vr), Ok(vv)) => {
+                    assert_eq!(
+                        reference.engine.serialize(vr).unwrap(),
+                        v.engine.serialize(vv).unwrap(),
+                        "value mismatch for {q} ({} vs {})",
+                        reference.label,
+                        v.label
+                    );
+                    let (sr, sv) = (
+                        reference.engine.last_stats().unwrap(),
+                        v.engine.last_stats().unwrap(),
+                    );
+                    // Semantic statistics only — strategy counters
+                    // (plan_nodes/joins/par_*) vary by design.
+                    assert_eq!(
+                        sr.snaps_closed, sv.snaps_closed,
+                        "snaps_closed for {q} ({})",
+                        v.label
+                    );
+                    assert_eq!(
+                        sr.requests_applied, sv.requests_applied,
+                        "requests_applied for {q} ({})",
+                        v.label
+                    );
+                    assert_eq!(
+                        sr.max_snap_depth, sv.max_snap_depth,
+                        "max_snap_depth for {q} ({})",
+                        v.label
+                    );
+                }
+                (Err(er), Err(ev)) => {
+                    assert_eq!(
+                        error_code(er),
+                        error_code(ev),
+                        "error code mismatch for {q} ({})",
+                        v.label
+                    );
+                }
+                _ => panic!(
+                    "divergence for {q}: {}={rr:?} {}={rv:?}",
+                    reference.label, v.label
+                ),
             }
-            (Err(ec), Err(ei)) => {
-                let code = |e: &Error| match e {
-                    Error::Parse(_) => "parse".to_string(),
-                    Error::Eval(x) => x.code.to_string(),
-                };
-                assert_eq!(code(&ec), code(&ei), "error code mismatch for {q}");
-            }
-            (rc, ri) => panic!("pipeline divergence for {q}: compiled={rc:?} interpreted={ri:?}"),
         }
     }
 
     // The stores must have converged to the same state: serialize every
-    // loaded document from both engines.
+    // loaded document from every engine.
     for (name, _) in docs {
-        let vc = compiled.binding(name).unwrap().clone();
-        let vi = interpreted.binding(name).unwrap().clone();
-        assert_eq!(
-            compiled.serialize(&vc).unwrap(),
-            interpreted.serialize(&vi).unwrap(),
-            "final store mismatch for document {name}"
-        );
+        let reference = variants[0].engine.binding(name).unwrap().clone();
+        let reference = variants[0].engine.serialize(&reference).unwrap();
+        for v in &variants[1..] {
+            let b = v.engine.binding(name).unwrap().clone();
+            assert_eq!(
+                reference,
+                v.engine.serialize(&b).unwrap(),
+                "final store mismatch for document {name} ({})",
+                v.label
+            );
+        }
     }
 }
 
@@ -226,18 +288,14 @@ fn xmark_queries_agree() {
         closed_auctions: 15,
         open_auctions: 10,
     };
-    // Same generated document on both engines via the same generator seed.
-    let mut compiled = Engine::new().with_seed(99);
-    let mut interpreted = Engine::new().with_seed(99);
-    interpreted.set_compile(false);
-    let d1 = XmarkGen::new(17)
-        .generate(&mut compiled.store, &scale)
-        .unwrap();
-    let d2 = XmarkGen::new(17)
-        .generate(&mut interpreted.store, &scale)
-        .unwrap();
-    compiled.bind("auction", vec![Item::Node(d1)]);
-    interpreted.bind("auction", vec![Item::Node(d2)]);
+    // Same generated document on every engine via the same generator seed.
+    let mut variants = matrix(99);
+    for v in &mut variants {
+        let doc = XmarkGen::new(17)
+            .generate(&mut v.engine.store, &scale)
+            .unwrap();
+        v.engine.bind("auction", vec![Item::Node(doc)]);
+    }
 
     let queries = [
         // Q1-style lookup.
@@ -258,27 +316,86 @@ fn xmark_queries_agree() {
         "count($auction/site/sale)",
     ];
     for q in &queries {
-        let vc = compiled.run(q).unwrap();
-        let vi = interpreted.run(q).unwrap();
+        let (reference, rest) = variants.split_first_mut().unwrap();
+        let vr = reference.engine.run(q).unwrap();
+        let sref = reference.engine.serialize(&vr).unwrap();
+        let stats_ref = reference.engine.last_stats().unwrap();
+        for v in rest.iter_mut() {
+            let vv = v.engine.run(q).unwrap();
+            assert_eq!(
+                sref,
+                v.engine.serialize(&vv).unwrap(),
+                "value mismatch for {q} ({})",
+                v.label
+            );
+            let sv = v.engine.last_stats().unwrap();
+            assert_eq!(stats_ref.snaps_closed, sv.snaps_closed, "{q} ({})", v.label);
+            assert_eq!(
+                stats_ref.requests_applied, sv.requests_applied,
+                "{q} ({})",
+                v.label
+            );
+        }
+    }
+    // Final stores must agree across the whole matrix.
+    let reference = variants[0].engine.binding("auction").unwrap().clone();
+    let reference = variants[0].engine.serialize(&reference).unwrap();
+    for v in &variants[1..] {
+        let b = v.engine.binding("auction").unwrap().clone();
         assert_eq!(
-            compiled.serialize(&vc).unwrap(),
-            interpreted.serialize(&vi).unwrap(),
-            "value mismatch for {q}"
-        );
-        assert_eq!(
-            compiled.last_stats().unwrap().snaps_closed,
-            interpreted.last_stats().unwrap().snaps_closed
-        );
-        assert_eq!(
-            compiled.last_stats().unwrap().requests_applied,
-            interpreted.last_stats().unwrap().requests_applied
+            reference,
+            v.engine.serialize(&b).unwrap(),
+            "final XMark store mismatch ({})",
+            v.label
         );
     }
-    // The compiled engine must actually have joined.
-    assert!(compiled.last_stats().is_some(), "compiled engine never ran");
-    let doc_c = compiled.serialize(&[Item::Node(d1)]).unwrap();
-    let doc_i = interpreted.serialize(&[Item::Node(d2)]).unwrap();
-    assert_eq!(doc_c, doc_i, "final XMark store mismatch");
+}
+
+/// The determinism matrix must not be vacuous: on a pure loop over
+/// enough items, every `threads ≥ 2` variant has to actually fan out
+/// (`par_regions > 0`), and the sequential variants must not.
+#[test]
+fn thread_matrix_actually_parallelizes() {
+    let mut variants = matrix(5);
+    let doc: String = std::iter::once("<root>".to_string())
+        .chain((0..40).map(|i| format!("<e v=\"{i}\"/>")))
+        .chain(std::iter::once("</root>".to_string()))
+        .collect();
+    for v in &mut variants {
+        v.engine.load_document("doc", &doc).unwrap();
+        let r = v
+            .engine
+            .run("for $e in $doc/root/e return number($e/@v) * 2")
+            .unwrap();
+        assert_eq!(r.len(), 40, "{}", v.label);
+        let stats = v.engine.last_stats().unwrap();
+        if v.engine.threads() >= 2 {
+            assert!(
+                stats.par_regions > 0,
+                "{}: pure loop did not fan out: {stats:?}",
+                v.label
+            );
+            assert!(stats.par_items >= 40, "{}: {stats:?}", v.label);
+        } else {
+            assert_eq!(stats.par_regions, 0, "{}: {stats:?}", v.label);
+        }
+    }
+
+    // An impure loop body (snap inside) must stay sequential at any
+    // thread count.
+    let mut eight = Engine::new();
+    eight.set_threads(8);
+    eight.load_document("doc", &doc).unwrap();
+    eight.load_document("log", "<log/>").unwrap();
+    eight
+        .run("for $e in $doc/root/e return snap insert { <seen/> } into { $log/log }")
+        .unwrap();
+    let stats = eight.last_stats().unwrap();
+    assert_eq!(
+        stats.par_regions, 0,
+        "snap-in-body loop must not parallelize: {stats:?}"
+    );
+    assert_eq!(stats.snaps_closed, 41, "40 inner snaps + top level");
 }
 
 #[test]
@@ -433,32 +550,51 @@ fn prop_differential(
     let mut compiled = Engine::new().with_seed(7);
     let mut interpreted = Engine::new().with_seed(7);
     interpreted.set_compile(false);
+    // A parallel compiled engine rides along: same observables required.
+    let mut parallel = Engine::new().with_seed(7);
+    parallel.set_threads(8);
     for (n, x) in &docs {
         compiled.load_document(n, x).unwrap();
         interpreted.load_document(n, x).unwrap();
+        parallel.load_document(n, x).unwrap();
     }
     let vc = compiled.run(query).expect("compiled run");
     let vi = interpreted.run(query).expect("interpreted run");
+    let vp = parallel.run(query).expect("parallel run");
     prop_assert_eq!(
         compiled.serialize(&vc).unwrap(),
         interpreted.serialize(&vi).unwrap(),
         "value mismatch"
     );
+    prop_assert_eq!(
+        compiled.serialize(&vc).unwrap(),
+        parallel.serialize(&vp).unwrap(),
+        "parallel value mismatch"
+    );
     for (n, _) in &docs {
         let bc = compiled.binding(n).unwrap().clone();
         let bi = interpreted.binding(n).unwrap().clone();
+        let bp = parallel.binding(n).unwrap().clone();
         prop_assert_eq!(
             compiled.serialize(&bc).unwrap(),
             interpreted.serialize(&bi).unwrap(),
             "store mismatch"
         );
+        prop_assert_eq!(
+            compiled.serialize(&bc).unwrap(),
+            parallel.serialize(&bp).unwrap(),
+            "parallel store mismatch"
+        );
     }
-    let (sc, si) = (
+    let (sc, si, sp) = (
         compiled.last_stats().unwrap(),
         interpreted.last_stats().unwrap(),
+        parallel.last_stats().unwrap(),
     );
     prop_assert_eq!(sc.snaps_closed, si.snaps_closed);
     prop_assert_eq!(sc.requests_applied, si.requests_applied);
+    prop_assert_eq!(sc.snaps_closed, sp.snaps_closed);
+    prop_assert_eq!(sc.requests_applied, sp.requests_applied);
     if expect_join {
         prop_assert!(
             sc.joins_executed > 0,
