@@ -7,10 +7,12 @@
 
 use crate::env::DynEnv;
 use crate::eval::Evaluator;
+use crate::obs;
 use crate::planner::{self, CompiledProgram};
 use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xqdm::item::{Item, Sequence};
 use xqdm::{NodeId, Store, XdmResult};
 use xqsyn::cursor::ParseError;
@@ -80,6 +82,20 @@ pub struct Engine {
     /// Worker-thread budget for effect-free regions (1 = sequential).
     /// Defaults to `XQB_THREADS`; override with [`Engine::set_threads`].
     threads: usize,
+    /// Pre-resolved global-registry handles for the per-run metrics flush.
+    metrics: obs::EngineMetrics,
+    /// Trace-span sink (from `XQB_TRACE` or [`Engine::set_trace`]).
+    trace: Option<Arc<obs::TraceSink>>,
+    /// Slow-query threshold in milliseconds (from `XQB_SLOW_MS` or
+    /// [`Engine::set_slow_query_threshold`]); `None` disables the log.
+    slow_ms: Option<f64>,
+    /// Per-node profile of the most recent `explain_analyze` run.
+    last_profile: Option<obs::Profile>,
+    /// The plan the most recent `explain_analyze` executed (for profile
+    /// verification in tests).
+    last_plan: Option<Arc<dyn CompiledProgram>>,
+    /// Wall time of the most recent run, nanoseconds.
+    last_run_ns: Option<u64>,
 }
 
 impl Default for Engine {
@@ -103,7 +119,28 @@ impl Engine {
             cache_hits: 0,
             cache_misses: 0,
             threads: crate::par::threads_from_env(),
+            metrics: obs::EngineMetrics::from_global(),
+            trace: obs::TraceSink::from_env(),
+            slow_ms: std::env::var("XQB_SLOW_MS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            last_profile: None,
+            last_plan: None,
+            last_run_ns: None,
         }
+    }
+
+    /// Attach a trace-span sink (normally set from `XQB_TRACE` at
+    /// construction; tests and hosts may install one directly).
+    pub fn set_trace(&mut self, sink: Arc<obs::TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Set (or with `None` disable) the slow-query threshold in
+    /// milliseconds. Runs at or above it are recorded in the global
+    /// registry's slow-query ring and logged as JSON to stderr.
+    pub fn set_slow_query_threshold(&mut self, millis: Option<f64>) {
+        self.slow_ms = millis;
     }
 
     /// Set the worker-thread budget for effect-free regions (see
@@ -251,10 +288,35 @@ impl Engine {
     /// `XQB0030` error is returned: a store that a panicking evaluation was
     /// mutating is not trusted as commitment.
     pub fn run_program(&mut self, program: &CoreProgram) -> XdmResult<Sequence> {
+        let hits_before = self.cache_hits;
         let compiled = self.plan_for(program);
+        let cache = cache_outcome(&compiled, self.cache_hits > hits_before);
+        self.execute_program(compiled, program, false, cache)
+    }
+
+    /// Run `program` inside the PR-1 panic/undo frame, flushing run
+    /// metrics (and the slow-query log) whatever the outcome. With
+    /// `profile` set, per-node counters are captured into
+    /// [`Engine::last_profile`]. The shared body of [`Engine::run_program`]
+    /// and [`Engine::explain_analyze`].
+    fn execute_program(
+        &mut self,
+        compiled: Option<Arc<dyn CompiledProgram>>,
+        program: &CoreProgram,
+        profile: bool,
+        cache: &'static str,
+    ) -> XdmResult<Sequence> {
         let mut evaluator = self.evaluator_for(program);
+        let run_span = self.trace.as_ref().map(|sink| sink.begin("run", None));
+        if let Some(sink) = &self.trace {
+            evaluator.set_trace(sink.clone(), run_span);
+        }
+        if profile {
+            evaluator.enable_profiling();
+        }
         let depth = self.store.frame_depth();
         self.store.begin_frame();
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Compiled and interpreted paths share the evaluator (and
             // hence the Δ-stack, seed counter, and statistics), and run
@@ -264,10 +326,26 @@ impl Engine {
                 None => evaluator.eval_program(&mut self.store, program),
             }
         }));
+        let elapsed = started.elapsed();
+        if let (Some(sink), Some(id)) = (&self.trace, run_span) {
+            sink.end(id);
+            sink.flush();
+        }
         self.snap_counter = evaluator.snap_counter();
-        match outcome {
+        let mut run_stats = None;
+        let result = match outcome {
             Ok(result) => {
-                self.last_stats = Some(evaluator.stats());
+                let stats = evaluator.stats();
+                run_stats = Some(stats);
+                self.last_stats = Some(stats);
+                // `last_profile`/`last_plan` always describe the most
+                // recent run — a plain run clears any stale analyze state.
+                self.last_profile = if profile {
+                    evaluator.take_profile()
+                } else {
+                    None
+                };
+                self.last_plan = if profile { compiled.clone() } else { None };
                 match result {
                     Ok(value) => {
                         self.store.commit_frame();
@@ -279,9 +357,13 @@ impl Engine {
                         let allocs = self.store.frame_allocations();
                         self.store.commit_frame();
                         drop(evaluator);
-                        self.store
-                            .reclaim_unreachable(&allocs, &self.binding_roots())?;
-                        Err(e)
+                        match self
+                            .store
+                            .reclaim_unreachable(&allocs, &self.binding_roots())
+                        {
+                            Ok(_) => Err(e),
+                            Err(sweep) => Err(sweep),
+                        }
                     }
                 }
             }
@@ -292,7 +374,129 @@ impl Engine {
                     "evaluation panicked; store rolled back to the pre-run state",
                 ))
             }
+        };
+        self.finish_run(program, run_stats, elapsed, result.is_err(), cache);
+        result
+    }
+
+    /// Flush one run's statistics into the global registry and, when the
+    /// run crossed the slow-query threshold, record a [`obs::SlowQuery`].
+    /// Runs on every outcome — success, error, and panic (where `stats`
+    /// is `None` because the evaluator's state is not trusted).
+    fn finish_run(
+        &mut self,
+        program: &CoreProgram,
+        stats: Option<EvalStats>,
+        elapsed: Duration,
+        errored: bool,
+        cache: &'static str,
+    ) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.last_run_ns = Some(ns);
+        let m = &self.metrics;
+        m.runs.add(1);
+        if errored {
+            m.errors.add(1);
         }
+        m.run_ns.record(ns);
+        if let Some(s) = stats {
+            m.snaps_closed.add(s.snaps_closed);
+            m.requests_emitted.add(s.requests_emitted);
+            m.requests_applied.add(s.requests_applied);
+            m.plan_nodes.add(s.plan_nodes_executed);
+            m.joins.add(s.joins_executed);
+            m.par_regions.add(s.par_regions);
+            m.par_items.add(s.par_items);
+        }
+        let millis = elapsed.as_secs_f64() * 1e3;
+        if let Some(threshold) = self.slow_ms {
+            if millis >= threshold {
+                // The fingerprint is only computed on this (rare) path.
+                let (h1, h2) = fingerprint(&self.augment(program.clone()));
+                obs::global().record_slow(obs::SlowQuery {
+                    fingerprint: format!("{h1:016x}{h2:016x}"),
+                    millis,
+                    cache,
+                    snap_mode: "ordered",
+                    threads: self.threads,
+                    snaps_closed: stats.map_or(0, |s| s.snaps_closed),
+                    requests_applied: stats.map_or(0, |s| s.requests_applied),
+                });
+            }
+        }
+    }
+
+    /// Run `query` with per-plan-node instrumentation and render the
+    /// EXPLAIN tree annotated with live counters plus a totals line —
+    /// `EXPLAIN ANALYZE` for XQuery!. The query *really runs* (effects
+    /// apply exactly as under [`Engine::run`]).
+    ///
+    /// In compiled mode this analyzes the optimized plan; with compilation
+    /// disabled it runs a structural (unoptimized) plan whose operators
+    /// mirror interpretation one-for-one, so both modes report per-node
+    /// counters. Without any planner installed the program runs
+    /// uninstrumented and only the totals line is live.
+    pub fn explain_analyze(&mut self, query: &str) -> Result<String, Error> {
+        let program = compile(query)?;
+        self.last_profile = None;
+        self.last_plan = None;
+        let (compiled, cache) = if self.compile_enabled {
+            let hits_before = self.cache_hits;
+            let plan = self.plan_for(&program);
+            (
+                plan.clone(),
+                cache_outcome(&plan, self.cache_hits > hits_before),
+            )
+        } else {
+            let plan = planner::default_planner()
+                .map(|p| p.plan_structural(&self.augment(program.clone())));
+            (plan, "uncompiled")
+        };
+        let mode = match (&compiled, self.compile_enabled) {
+            (Some(_), true) => "compiled",
+            (Some(_), false) => "interpreted",
+            (None, _) => "uninstrumented",
+        };
+        let value = self.execute_program(compiled, &program, true, cache)?;
+        let profile = self.last_profile.clone().unwrap_or_default();
+        let tree = match &self.last_plan {
+            Some(plan) => plan.explain_analyzed(&profile),
+            None => planner::render_unoptimized(&self.augment(program.clone())),
+        };
+        let stats = self.last_stats.unwrap_or_default();
+        let totals = format!(
+            "totals: time={} rows={} snaps={} Δ={}/{} plan_nodes={} joins={} \
+             par={}/{} cache={cache} threads={} mode={mode}",
+            obs::fmt_ns(self.last_run_ns.unwrap_or(0)),
+            value.len(),
+            stats.snaps_closed,
+            stats.requests_emitted,
+            stats.requests_applied,
+            stats.plan_nodes_executed,
+            stats.joins_executed,
+            stats.par_regions,
+            stats.par_items,
+            self.threads,
+        );
+        Ok(format!("{tree}\n{totals}"))
+    }
+
+    /// The per-node profile captured by the most recent
+    /// [`Engine::explain_analyze`].
+    pub fn last_profile(&self) -> Option<&obs::Profile> {
+        self.last_profile.as_ref()
+    }
+
+    /// The plan the most recent [`Engine::explain_analyze`] executed
+    /// (used by the obs-invariants suite to cross-check the profile
+    /// against the plan shape).
+    pub fn analyzed_plan(&self) -> Option<&Arc<dyn CompiledProgram>> {
+        self.last_plan.as_ref()
+    }
+
+    /// Wall time of the most recent run, in nanoseconds.
+    pub fn last_run_ns(&self) -> Option<u64> {
+        self.last_run_ns
     }
 
     /// Plan `program` through the installed planner, consulting the plan
@@ -307,10 +511,16 @@ impl Engine {
         let key = fingerprint(&augmented);
         if let Some(plan) = self.plan_cache.get(&key) {
             self.cache_hits += 1;
+            self.metrics.cache_hits.add(1);
             return Some(plan.clone());
         }
         self.cache_misses += 1;
+        self.metrics.cache_misses.add(1);
+        let span = self.trace.as_ref().map(|sink| sink.begin("plan", None));
         let plan = planner.plan(&augmented);
+        if let (Some(sink), Some(id)) = (&self.trace, span) {
+            sink.end(id);
+        }
         if self.plan_cache.len() >= PLAN_CACHE_CAP {
             self.plan_cache.clear();
         }
@@ -422,6 +632,17 @@ impl Engine {
             ev.bind_global(name.clone(), value.clone());
         }
         (ev, DynEnv::new())
+    }
+}
+
+/// Label a planning outcome for the slow-query log and EXPLAIN ANALYZE
+/// totals: `"uncompiled"` when no plan ran, else whether the plan cache
+/// hit.
+fn cache_outcome(plan: &Option<Arc<dyn CompiledProgram>>, hit: bool) -> &'static str {
+    match (plan, hit) {
+        (None, _) => "uncompiled",
+        (Some(_), true) => "hit",
+        (Some(_), false) => "miss",
     }
 }
 

@@ -21,10 +21,12 @@
 use crate::apply::apply_delta;
 use crate::env::{DynEnv, Focus};
 use crate::functions;
+use crate::obs;
 use crate::planner::FunctionExecutor;
 use crate::update::{Delta, UpdateRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::store::InsertAnchor;
@@ -64,6 +66,12 @@ fn with_eval_stack<R: Send>(f: impl FnOnce() -> R + Send) -> R {
 pub struct EvalStats {
     /// Snap scopes closed (including the implicit top-level one).
     pub snaps_closed: u64,
+    /// Update requests *emitted* (appended to some Δ). A semantic counter:
+    /// identical across interpreted/compiled/parallel execution. On a
+    /// successful run it equals [`EvalStats::requests_applied`] — every
+    /// pending request is applied exactly once when its snap closes; the
+    /// two diverge only on error paths, where open scopes discard their Δ.
+    pub requests_emitted: u64,
     /// Update requests applied to the store.
     pub requests_applied: u64,
     /// Deepest simultaneous Δ-stack nesting observed.
@@ -98,6 +106,50 @@ pub struct Evaluator {
     /// Lazily computed effect analysis over the registered functions,
     /// backing the parallel gate. Invalidated when functions change.
     effects: Option<crate::effects::EffectAnalysis>,
+    /// Observability state (trace spans, per-node profiling). `None` — the
+    /// default — is the zero-cost-when-off fast path: every hook below is
+    /// a single `Option` discriminant check.
+    obs: Option<Box<EvalObs>>,
+}
+
+/// One open profiled plan node: enough to compute inclusive wall time and
+/// the self-vs-children split of Δ emissions on exit.
+struct NodeFrame {
+    start: Instant,
+    /// `stats.requests_emitted` at entry.
+    emitted0: u64,
+    /// Sum of the *inclusive* emissions of direct profiled children.
+    child_emitted: u64,
+    /// `stats.par_regions` / `stats.par_items` at entry.
+    par_regions0: u64,
+    par_items0: u64,
+    /// Input cardinality reported via [`Evaluator::note_input`].
+    input_rows: u64,
+}
+
+/// Trace + profiling state, boxed behind `Evaluator::obs` so the common
+/// (observability off) case pays one pointer of space and one branch of
+/// time.
+struct EvalObs {
+    /// Span sink plus the engine-level parent span id, when tracing.
+    trace: Option<(Arc<obs::TraceSink>, Option<u64>)>,
+    /// Open span ids, innermost last.
+    span_stack: Vec<u64>,
+    /// Per-node counters, when profiling (`explain_analyze`).
+    profile: Option<obs::Profile>,
+    /// Open profiled-node frames, innermost last.
+    frames: Vec<NodeFrame>,
+}
+
+impl EvalObs {
+    fn new() -> Box<EvalObs> {
+        Box::new(EvalObs {
+            trace: None,
+            span_stack: Vec::new(),
+            profile: None,
+            frames: Vec::new(),
+        })
+    }
 }
 
 impl Evaluator {
@@ -118,6 +170,7 @@ impl Evaluator {
             function_executor: None,
             threads: crate::par::threads_from_env(),
             effects: None,
+            obs: None,
         }
     }
 
@@ -135,6 +188,7 @@ impl Evaluator {
             function_executor: None,
             threads: crate::par::threads_from_env(),
             effects: None,
+            obs: None,
         }
     }
 
@@ -270,6 +324,7 @@ impl Evaluator {
             // side-effecting initializers behave like the body. It is not
             // counted toward max_snap_depth (only explicit snaps are).
             self.delta_stack.push(Delta::new());
+            self.obs_span_begin("snap:implicit");
             let mut env = DynEnv::new();
             match f(&mut *self, store, &mut env) {
                 Ok(value) => {
@@ -294,6 +349,7 @@ impl Evaluator {
     ) -> XdmResult<Sequence> {
         with_eval_stack(move || {
             self.delta_stack.push(Delta::new());
+            self.obs_span_begin("snap:implicit");
             match self.eval(store, env, expr) {
                 Ok(value) => {
                     self.apply_snap_scope(store, SnapMode::Ordered)?;
@@ -314,6 +370,7 @@ impl Evaluator {
     /// statistic exactly as an explicit `snap` does.
     pub fn begin_snap_scope(&mut self) {
         self.delta_stack.push(Delta::new());
+        self.obs_span_begin("snap");
         self.stats.max_snap_depth = self.stats.max_snap_depth.max(self.delta_stack.len());
     }
 
@@ -321,6 +378,7 @@ impl Evaluator {
     /// the collected Δ (not yet applied). Use on error paths, where the Δ
     /// is discarded without counting as a closed snap.
     pub fn end_snap_scope(&mut self) -> Delta {
+        self.obs_span_end();
         self.delta_stack.pop().expect("unbalanced end_snap_scope")
     }
 
@@ -332,7 +390,12 @@ impl Evaluator {
         let delta = self.delta_stack.pop().expect("unbalanced apply_snap_scope");
         self.stats.snaps_closed += 1;
         self.stats.requests_applied += delta.len() as u64;
-        apply_delta(store, delta, mode, self.next_seed())
+        let seed = self.next_seed();
+        self.obs_span_begin("apply");
+        let r = apply_delta(store, delta, mode, seed);
+        self.obs_span_end(); // apply
+        self.obs_span_end(); // the enclosing snap span
+        r
     }
 
     /// Install (or clear) the hook that executes compiled function bodies.
@@ -370,6 +433,118 @@ impl Evaluator {
         self.stats.joins_executed += 1;
     }
 
+    // ------------------------------------------------------------------
+    // observability hooks (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Attach a trace sink: snap scopes evaluated from here on emit
+    /// begin/end span events, parented under `parent` (typically the
+    /// engine's per-run span).
+    pub fn set_trace(&mut self, sink: Arc<obs::TraceSink>, parent: Option<u64>) {
+        self.obs.get_or_insert_with(EvalObs::new).trace = Some((sink, parent));
+    }
+
+    /// Turn on per-plan-node profiling: [`Evaluator::node_enter`] /
+    /// [`Evaluator::node_exit`] record into a fresh [`obs::Profile`],
+    /// retrievable with [`Evaluator::take_profile`].
+    pub fn enable_profiling(&mut self) {
+        self.obs.get_or_insert_with(EvalObs::new).profile = Some(obs::Profile::default());
+    }
+
+    /// Is per-node profiling on? Plan executors check this once per node
+    /// and skip the enter/exit bookkeeping entirely when it is off.
+    pub fn profiling(&self) -> bool {
+        self.obs.as_ref().is_some_and(|o| o.profile.is_some())
+    }
+
+    /// The profile recorded since [`Evaluator::enable_profiling`], if any.
+    pub fn take_profile(&mut self) -> Option<obs::Profile> {
+        self.obs.as_mut().and_then(|o| o.profile.take())
+    }
+
+    /// Open a profiled-node frame. Pair with [`Evaluator::node_exit`] on
+    /// *every* path out of the node, success or error, or the self/child
+    /// attribution of enclosing frames skews.
+    pub fn node_enter(&mut self) {
+        let emitted0 = self.stats.requests_emitted;
+        let par_regions0 = self.stats.par_regions;
+        let par_items0 = self.stats.par_items;
+        if let Some(o) = self.obs.as_mut() {
+            if o.profile.is_some() {
+                o.frames.push(NodeFrame {
+                    start: Instant::now(),
+                    emitted0,
+                    child_emitted: 0,
+                    par_regions0,
+                    par_items0,
+                    input_rows: 0,
+                });
+            }
+        }
+    }
+
+    /// Report the input cardinality of the innermost open profiled node
+    /// (loop source length, join outer length, condition rows).
+    pub fn note_input(&mut self, rows: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some(frame) = o.frames.last_mut() {
+                frame.input_rows += rows;
+            }
+        }
+    }
+
+    /// Close the innermost profiled-node frame and record it under plan
+    /// node `id`: one call, inclusive wall time, input/output cardinality,
+    /// inclusive and self Δ emissions, and par attribution.
+    pub fn node_exit(&mut self, id: usize, output_rows: u64) {
+        let emitted_now = self.stats.requests_emitted;
+        let par_regions_now = self.stats.par_regions;
+        let par_items_now = self.stats.par_items;
+        let Some(o) = self.obs.as_mut() else { return };
+        let Some(frame) = o.frames.pop() else { return };
+        let wall_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let delta_incl = emitted_now - frame.emitted0;
+        let delta_self = delta_incl - frame.child_emitted;
+        if let Some(parent) = o.frames.last_mut() {
+            parent.child_emitted += delta_incl;
+        }
+        if let Some(profile) = o.profile.as_mut() {
+            let n = profile.node_mut(id);
+            n.calls += 1;
+            n.wall_ns += wall_ns;
+            n.input_rows += frame.input_rows;
+            n.output_rows += output_rows;
+            n.delta_incl += delta_incl;
+            n.delta_self += delta_self;
+            n.par_regions += par_regions_now - frame.par_regions0;
+            n.par_items += par_items_now - frame.par_items0;
+        }
+    }
+
+    /// Begin a trace span (no-op without a sink). Balanced by
+    /// [`Evaluator::obs_span_end`]; the snap-scope helpers below call these
+    /// symmetrically, so the span stack mirrors the Δ stack.
+    fn obs_span_begin(&mut self, name: &str) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some((sink, root)) = &o.trace {
+                let parent = o.span_stack.last().copied().or(*root);
+                let id = sink.begin(name, parent);
+                o.span_stack.push(id);
+            }
+        }
+    }
+
+    /// End the innermost open trace span (no-op without a sink).
+    fn obs_span_end(&mut self) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some((sink, _)) = &o.trace {
+                if let Some(id) = o.span_stack.pop() {
+                    sink.end(id);
+                }
+            }
+        }
+    }
+
     /// Draw the next per-snap seed (public so plan executors apply deltas
     /// with the same seed discipline as the evaluator itself).
     pub fn next_apply_seed(&mut self) -> u64 {
@@ -383,10 +558,15 @@ impl Evaluator {
             .wrapping_add(self.snap_counter)
     }
 
-    fn pending(&mut self) -> &mut Delta {
+    /// Append an update request to the innermost Δ — the single chokepoint
+    /// for every update operator, so `requests_emitted` counts every
+    /// request exactly once regardless of execution strategy.
+    fn push_request(&mut self, req: UpdateRequest) {
+        self.stats.requests_emitted += 1;
         self.delta_stack
             .last_mut()
             .expect("update evaluated outside any snap scope")
+            .push(req);
     }
 
     /// The core judgment. Left-to-right, store-threading, Δ-appending.
@@ -750,7 +930,7 @@ impl Evaluator {
                 let target = self.eval(store, env, location.target())?;
                 let t = item::exactly_one_node(target)?;
                 let (parent, anchor) = resolve_insert_anchor(store, location, t)?;
-                self.pending().push(UpdateRequest::Insert {
+                self.push_request(UpdateRequest::Insert {
                     nodes,
                     parent,
                     anchor,
@@ -763,7 +943,7 @@ impl Evaluator {
                 // deletes a whole sequence ($log/logentry), so we accept a
                 // node sequence and emit one request per node, in order.
                 for n in item::all_nodes(&v)? {
-                    self.pending().push(UpdateRequest::Delete { node: n });
+                    self.push_request(UpdateRequest::Delete { node: n });
                 }
                 Ok(vec![])
             }
@@ -790,18 +970,18 @@ impl Evaluator {
                             ));
                         }
                     }
-                    self.pending().push(UpdateRequest::Delete { node });
-                    self.pending().push(UpdateRequest::InsertAttributes {
+                    self.push_request(UpdateRequest::Delete { node });
+                    self.push_request(UpdateRequest::InsertAttributes {
                         nodes: nodeseq,
                         element: parent,
                     });
                 } else {
-                    self.pending().push(UpdateRequest::Insert {
+                    self.push_request(UpdateRequest::Insert {
                         nodes: nodeseq,
                         parent,
                         anchor: InsertAnchor::After(node),
                     });
-                    self.pending().push(UpdateRequest::Delete { node });
+                    self.push_request(UpdateRequest::Delete { node });
                 }
                 Ok(vec![])
             }
@@ -813,8 +993,7 @@ impl Evaluator {
                 let qname = QName::parse(&name_str).ok_or_else(|| {
                     XdmError::value("XQDY0074", format!("\"{name_str}\" is not a valid QName"))
                 })?;
-                self.pending()
-                    .push(UpdateRequest::Rename { node, name: qname });
+                self.push_request(UpdateRequest::Rename { node, name: qname });
                 Ok(vec![])
             }
             Core::Copy(e) => {

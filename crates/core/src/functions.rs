@@ -68,12 +68,13 @@ pub fn dispatch_readonly(
 
 /// Built-ins the effect lattice rates `Pure` but which the parallel gate
 /// must still reject: `fn:parse-xml` allocates store nodes behind its
-/// read-only rating, and `fn:trace` writes to stderr, whose line order a
-/// fan-out would scramble.
+/// read-only rating, `fn:trace` writes to stderr, whose line order a
+/// fan-out would scramble, and `xqb:stats`/`xqb:reset-stats` read or
+/// clear ambient registry state a fan-out would make nondeterministic.
 pub fn is_par_opaque(name: &str) -> bool {
     matches!(
         name.strip_prefix("fn:").unwrap_or(name),
-        "parse-xml" | "trace"
+        "parse-xml" | "trace" | "xqb:stats" | "xqb:reset-stats"
     )
 }
 
@@ -90,6 +91,8 @@ pub fn is_builtin(name: &str) -> bool {
             | "xs:double"
             | "xs:boolean"
             | "xqb:explain"
+            | "xqb:stats"
+            | "xqb:reset-stats"
     ) || is_builtin_local(name.strip_prefix("fn:").unwrap_or(name))
 }
 
@@ -523,6 +526,37 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
         // exercise the engine's panic isolation (catch + store rollback).
         // Deliberately a panic, not an error — that is the point.
         panic!("xqb:panic() called");
+    }
+    if name == "xqb:stats" {
+        // Snapshot the process-wide metrics registry as one JSON string.
+        // Reads ambient mutable state, so the parallel gate rejects it
+        // (is_par_opaque) even though the effect lattice rates it Pure.
+        return Some(if args.is_empty() {
+            Ok(vec![Item::string(
+                crate::obs::global().snapshot().to_json(),
+            )])
+        } else {
+            Err(XdmError::new(
+                "XPST0017",
+                format!("wrong number of arguments ({}) for xqb:stats", args.len()),
+            ))
+        });
+    }
+    if name == "xqb:reset-stats" {
+        // Zero every global counter/histogram and clear the slow-query
+        // ring; returns the empty sequence.
+        return Some(if args.is_empty() {
+            crate::obs::global().reset();
+            Ok(vec![])
+        } else {
+            Err(XdmError::new(
+                "XPST0017",
+                format!(
+                    "wrong number of arguments ({}) for xqb:reset-stats",
+                    args.len()
+                ),
+            ))
+        });
     }
     if name == "xqb:explain" {
         // EXPLAIN from inside the language: compile the argument query

@@ -34,12 +34,39 @@ pub trait CompiledProgram: Send + Sync {
     /// Did any rewrite fire anywhere in the program (body, prolog
     /// variable, or declared function)?
     fn is_optimized(&self) -> bool;
+
+    /// The plan printout annotated with live per-node counters from an
+    /// analyzed run (`Engine::explain_analyze`). The default — for
+    /// implementations predating observability — falls back to the plain
+    /// printout.
+    fn explain_analyzed(&self, profile: &crate::obs::Profile) -> String {
+        let _ = profile;
+        self.explain()
+    }
+
+    /// Cross-check a captured profile against this plan's shape (node-id
+    /// assignment, parent/child call and cardinality relations). Used by
+    /// the obs-invariants suite; the default accepts anything.
+    fn verify_profile(&self, profile: &crate::obs::Profile) -> Result<(), String> {
+        let _ = profile;
+        Ok(())
+    }
 }
 
 /// A plan compiler: turns a core program into an executable plan.
 pub trait Planner: Send + Sync {
     /// Compile `program` (including its declared functions) to a plan.
     fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram>;
+
+    /// Compile `program` to a *structural* plan: the operator tree mirrors
+    /// the interpreter's evaluation shape one-for-one (no join recognition,
+    /// no rewrites), so an analyzed interpreted run reports per-node
+    /// counters for exactly the operators interpretation would execute.
+    /// The default — for planners predating observability — returns the
+    /// optimized plan.
+    fn plan_structural(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {
+        self.plan(program)
+    }
 }
 
 /// Executes calls to user-declared functions whose bodies compiled to an

@@ -63,6 +63,13 @@ impl Compiler {
         &self.analysis
     }
 
+    /// Consume the compiler, keeping its effect analysis (a
+    /// [`crate::pipeline::PlannedProgram`] holds it for analyzed
+    /// re-rendering).
+    pub fn into_analysis(self) -> EffectAnalysis {
+        self.analysis
+    }
+
     /// Compile a core expression to a plan. Join recognition is attempted
     /// at **every** subtree: first the two join rewrites on the node
     /// itself, then structural recursion through the control operators
@@ -301,6 +308,47 @@ impl Compiler {
             group_var: group_var.clone(),
             ret: (**ret).clone(),
         }))
+    }
+}
+
+/// Compile an expression to a *structural* plan: the control operators
+/// (`Seq`/`Let`/`For`/`If`/`Snap`) map to plan nodes one-for-one and every
+/// other expression stays an [`QueryPlan::Iterate`] leaf — no rewriting,
+/// no simplification, no collapse-back. Executing this plan is
+/// operator-for-operator identical to interpreting the expression, which
+/// is exactly what `explain_analyze` needs in interpreted mode: per-node
+/// counters for the evaluation that would have happened anyway.
+pub fn compile_structural(core: &Core) -> QueryPlan {
+    match core {
+        Core::Seq(items) if !items.is_empty() => {
+            QueryPlan::Seq(items.iter().map(compile_structural).collect())
+        }
+        Core::Let { var, value, body } => QueryPlan::Let {
+            var: var.clone(),
+            value: Box::new(compile_structural(value)),
+            body: Box::new(compile_structural(body)),
+        },
+        Core::For {
+            var,
+            position,
+            source,
+            body,
+        } => QueryPlan::For {
+            var: var.clone(),
+            position: position.clone(),
+            source: Box::new(compile_structural(source)),
+            body: Box::new(compile_structural(body)),
+        },
+        Core::If(cond, then, els) => QueryPlan::If {
+            cond: Box::new(compile_structural(cond)),
+            then: Box::new(compile_structural(then)),
+            els: Box::new(compile_structural(els)),
+        },
+        Core::Snap(mode, body) => QueryPlan::Snap {
+            mode: *mode,
+            body: Box::new(compile_structural(body)),
+        },
+        _ => QueryPlan::Iterate(core.clone()),
     }
 }
 

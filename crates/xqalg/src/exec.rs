@@ -38,7 +38,42 @@ pub fn execute(
     store: &mut Store,
     env: &mut DynEnv,
 ) -> XdmResult<Sequence> {
+    execute_at(plan, 0, evaluator, store, env)
+}
+
+/// [`execute`] with explicit profile node ids: `base` is this node's
+/// pre-order index within its plan tree (child ids are `base + 1 +` the
+/// node counts of earlier siblings — pure arithmetic, no per-node state).
+/// When the evaluator is profiling, every node is bracketed by
+/// `node_enter`/`node_exit` on both success and error paths so frames
+/// stay balanced; when it is not, the only overhead is one boolean check.
+pub fn execute_at(
+    plan: &QueryPlan,
+    base: usize,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
     evaluator.note_plan_node();
+    if !evaluator.profiling() {
+        return run_node(plan, base, evaluator, store, env);
+    }
+    evaluator.node_enter();
+    let r = run_node(plan, base, evaluator, store, env);
+    let output_rows = r.as_ref().map_or(0, |v| v.len() as u64);
+    evaluator.node_exit(base, output_rows);
+    r
+}
+
+/// The per-operator execution rules shared by the profiled and
+/// unprofiled paths.
+fn run_node(
+    plan: &QueryPlan,
+    base: usize,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
     match plan {
         QueryPlan::Iterate(core) => evaluator.eval(store, env, core),
         QueryPlan::HashJoin(join) => {
@@ -63,15 +98,20 @@ pub fn execute(
         }
         QueryPlan::Seq(items) => {
             let mut out = Vec::new();
+            let mut child = base + 1;
             for p in items {
-                out.extend(execute(p, evaluator, store, env)?);
+                out.extend(execute_at(p, child, evaluator, store, env)?);
+                child += p.node_count();
             }
             Ok(out)
         }
         QueryPlan::Let { var, value, body } => {
-            let v = execute(value, evaluator, store, env)?;
+            let value_id = base + 1;
+            let body_id = value_id + value.node_count();
+            let v = execute_at(value, value_id, evaluator, store, env)?;
+            evaluator.note_input(v.len() as u64);
             env.push_var(var.clone(), v);
-            let r = execute(body, evaluator, store, env);
+            let r = execute_at(body, body_id, evaluator, store, env);
             env.pop_var();
             r
         }
@@ -81,10 +121,15 @@ pub fn execute(
             source,
             body,
         } => {
-            let src = execute(source, evaluator, store, env)?;
+            let source_id = base + 1;
+            let body_id = source_id + source.node_count();
+            let src = execute_at(source, source_id, evaluator, store, env)?;
+            evaluator.note_input(src.len() as u64);
             // Pure bodies fan out like the interpreter's `Core::For` rule
             // (they collapsed to an `Iterate` leaf at compile time, so the
-            // same gate applies to the same core expression).
+            // same gate applies to the same core expression). Fanned-out
+            // iterations attribute to *this* node's profile frame: the
+            // body node records no calls, exactly as in the interpreter.
             if let QueryPlan::Iterate(core) = body.as_ref() {
                 if src.len() >= PAR_MIN_ITEMS && evaluator.par_candidate(core) {
                     return par_plan_for(
@@ -104,7 +149,7 @@ pub fn execute(
                 if let Some(p) = position {
                     env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
                 }
-                let r = execute(body, evaluator, store, env);
+                let r = execute_at(body, body_id, evaluator, store, env);
                 if position.is_some() {
                     env.pop_var();
                 }
@@ -114,18 +159,22 @@ pub fn execute(
             Ok(out)
         }
         QueryPlan::If { cond, then, els } => {
-            let c = execute(cond, evaluator, store, env)?;
+            let cond_id = base + 1;
+            let then_id = cond_id + cond.node_count();
+            let els_id = then_id + then.node_count();
+            let c = execute_at(cond, cond_id, evaluator, store, env)?;
+            evaluator.note_input(c.len() as u64);
             if item::effective_boolean(&c, store)? {
-                execute(then, evaluator, store, env)
+                execute_at(then, then_id, evaluator, store, env)
             } else {
-                execute(els, evaluator, store, env)
+                execute_at(els, els_id, evaluator, store, env)
             }
         }
         QueryPlan::Snap { mode, body } => {
             // The plan twin of the `Core::Snap` rule: same scope push, same
             // apply (and seed draw) on success, same discard on error.
             evaluator.begin_snap_scope();
-            match execute(body, evaluator, store, env) {
+            match execute_at(body, base + 1, evaluator, store, env) {
                 Ok(value) => {
                     evaluator.apply_snap_scope(store, *mode)?;
                     Ok(value)
@@ -249,6 +298,8 @@ fn drive_join(
     // Each side evaluated exactly once (guards ensured this is sound).
     let outer = evaluator.eval(store, env, &join.outer_source)?;
     let inner = evaluator.eval(store, env, &join.inner_source)?;
+    // The join node's profile frame is innermost here: input = outer rows.
+    evaluator.note_input(outer.len() as u64);
 
     // Build: key string -> inner indices, in inner order.
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
@@ -331,6 +382,7 @@ fn probe_rows(
 ) -> XdmResult<(Vec<ProbeRow>, Sequence, Option<XdmError>)> {
     let outer = evaluator.eval(store, env, &join.outer_source)?;
     let inner = evaluator.eval(store, env, &join.inner_source)?;
+    evaluator.note_input(outer.len() as u64);
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (idx, it) in inner.iter().enumerate() {
         let keys = eval_key(evaluator, store, env, &join.inner_var, it, &join.inner_key)?;

@@ -11,12 +11,12 @@
 //! compiled to a bare `Iterate` are left to the interpreter — the plan
 //! would add indirection without changing a single instruction.
 
-use crate::compile::Compiler;
+use crate::compile::{compile_structural, Compiler};
 use crate::exec;
 use crate::plan::QueryPlan;
 use std::sync::Arc;
 use xqcore::planner::{CompiledProgram, FunctionExecutor, Planner};
-use xqcore::{DynEnv, Evaluator};
+use xqcore::{DynEnv, EffectAnalysis, Evaluator};
 use xqdm::item::Sequence;
 use xqdm::{Store, XdmResult};
 use xqsyn::CoreProgram;
@@ -25,9 +25,10 @@ use xqsyn::CoreProgram;
 /// compilation, consulted by the evaluator on every user-function call.
 #[derive(Default)]
 pub struct FnTable {
-    /// `(name, params, body plan)` — linear scan; programs declare few
-    /// functions and only the optimized ones land here.
-    entries: Vec<(String, Vec<String>, QueryPlan)>,
+    /// `(name, params, body plan, profile node-id base)` — linear scan;
+    /// programs declare few functions and only the optimized ones land
+    /// here.
+    entries: Vec<(String, Vec<String>, QueryPlan, usize)>,
 }
 
 impl FnTable {
@@ -50,10 +51,10 @@ impl FunctionExecutor for FnTable {
         name: &str,
         args: Vec<Sequence>,
     ) -> Result<XdmResult<Sequence>, Vec<Sequence>> {
-        let Some((_, params, plan)) = self
+        let Some((_, params, plan, base)) = self
             .entries
             .iter()
-            .find(|(n, p, _)| n == name && p.len() == args.len())
+            .find(|(n, p, _, _)| n == name && p.len() == args.len())
         else {
             return Err(args);
         };
@@ -66,7 +67,7 @@ impl FunctionExecutor for FnTable {
             for (p, v) in params.iter().zip(args) {
                 fenv.push_var(p.clone(), v);
             }
-            let r = exec::execute(plan, evaluator, store, &mut fenv);
+            let r = exec::execute_at(plan, *base, evaluator, store, &mut fenv);
             evaluator.exit_nested();
             r
         })())
@@ -75,10 +76,19 @@ impl FunctionExecutor for FnTable {
 
 /// A whole program compiled to plans: the [`CompiledProgram`] the engine
 /// caches and executes.
+///
+/// Profile node ids are assigned per program section, in pre-order within
+/// each plan: the body starts at 0, each prolog variable's plan follows,
+/// then each compiled function's — so one flat
+/// [`Profile`](xqcore::obs::Profile) covers the whole program.
 pub struct PlannedProgram {
-    variables: Vec<(String, QueryPlan)>,
+    /// `(name, plan, profile node-id base)` per prolog variable.
+    variables: Vec<(String, QueryPlan, usize)>,
     body: QueryPlan,
     functions: Arc<FnTable>,
+    /// Kept for analyzed re-rendering (effect annotations are part of the
+    /// EXPLAIN tree, analyzed or not).
+    analysis: EffectAnalysis,
     explain: String,
     optimized: bool,
 }
@@ -104,11 +114,11 @@ impl CompiledProgram for PlannedProgram {
         let result = evaluator.run_in_program_scope(store, |ev, store, env| {
             // Prolog variables in order, then the body — all inside the
             // implicit top-level snap, like `Evaluator::eval_program`.
-            for (name, plan) in &self.variables {
-                let v = exec::execute(plan, ev, store, env)?;
+            for (name, plan, base) in &self.variables {
+                let v = exec::execute_at(plan, *base, ev, store, env)?;
                 ev.bind_global(name.clone(), v);
             }
-            exec::execute(&self.body, ev, store, env)
+            exec::execute_at(&self.body, 0, ev, store, env)
         });
         evaluator.set_function_executor(None);
         result
@@ -121,24 +131,90 @@ impl CompiledProgram for PlannedProgram {
     fn is_optimized(&self) -> bool {
         self.optimized
     }
+
+    fn explain_analyzed(&self, profile: &xqcore::obs::Profile) -> String {
+        // Unlike the plain EXPLAIN (which shows only optimized prolog
+        // variables), the analyzed tree shows every variable: each one
+        // executed and has counters worth reading.
+        let mut out = self.body.render_analyzed(&self.analysis, profile, 0);
+        for (name, plan, base) in &self.variables {
+            out.push_str(&format!(
+                "\n\ndeclare variable ${name}:\n{}",
+                plan.render_analyzed(&self.analysis, profile, *base)
+            ));
+        }
+        for (name, params, plan, base) in &self.functions.entries {
+            out.push_str(&format!(
+                "\n\ndeclare function {}({}):\n{}",
+                name,
+                params
+                    .iter()
+                    .map(|p| format!("${p}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                plan.render_analyzed(&self.analysis, profile, *base)
+            ));
+        }
+        out
+    }
+
+    fn verify_profile(&self, profile: &xqcore::obs::Profile) -> Result<(), String> {
+        self.body.verify_profile(profile, 0)?;
+        for (name, plan, base) in &self.variables {
+            plan.verify_profile(profile, *base)
+                .map_err(|e| format!("declare variable ${name}: {e}"))?;
+        }
+        for (name, _, plan, base) in &self.functions.entries {
+            plan.verify_profile(profile, *base)
+                .map_err(|e| format!("declare function {name}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 /// Compile a whole program: simplify + plan the body, every prolog
 /// variable initializer, and every declared function body, with join
 /// recognition attempted at each subtree of each part.
 pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
+    assemble(program, |compiler, core| compiler.compile_simplified(core))
+}
+
+/// Compile a whole program to *structural* plans only (see
+/// [`compile_structural`]): no rewrites, no function table — declared
+/// functions stay interpreted, exactly as a plain interpreted run would
+/// treat them. This is the plan `explain_analyze` executes when
+/// compilation is disabled.
+pub fn compile_structural_program(program: &CoreProgram) -> PlannedProgram {
+    assemble(program, |_, core| compile_structural(core))
+}
+
+/// The shared program-assembly skeleton: plan the body and every prolog
+/// variable with `plan_expr`, assign pre-order profile node-id bases
+/// (body, then variables, then compiled functions), collect optimized
+/// function bodies, and pre-render the plain EXPLAIN text.
+fn assemble(
+    program: &CoreProgram,
+    plan_expr: impl Fn(&Compiler, &xqsyn::core::Core) -> QueryPlan,
+) -> PlannedProgram {
     let compiler = Compiler::new(program);
-    let body = compiler.compile_simplified(&program.body);
-    let variables: Vec<(String, QueryPlan)> = program
+    let body = plan_expr(&compiler, &program.body);
+    let mut next_base = body.node_count();
+
+    let variables: Vec<(String, QueryPlan, usize)> = program
         .variables
         .iter()
-        .map(|(name, init)| (name.clone(), compiler.compile_simplified(init)))
+        .map(|(name, init)| {
+            let plan = plan_expr(&compiler, init);
+            let base = next_base;
+            next_base += plan.node_count();
+            (name.clone(), plan, base)
+        })
         .collect();
 
     let mut fn_table = FnTable::default();
     let mut fn_explains = Vec::new();
     for f in &program.functions {
-        let plan = compiler.compile_simplified(&f.body);
+        let plan = plan_expr(&compiler, &f.body);
         if plan.is_optimized() {
             fn_explains.push(format!(
                 "declare function {}({}):\n{}",
@@ -150,18 +226,20 @@ pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
                     .join(", "),
                 plan.render_annotated(compiler.analysis()),
             ));
+            let base = next_base;
+            next_base += plan.node_count();
             fn_table
                 .entries
-                .push((f.name.clone(), f.params.clone(), plan));
+                .push((f.name.clone(), f.params.clone(), plan, base));
         }
     }
 
     let optimized = body.is_optimized()
-        || variables.iter().any(|(_, p)| p.is_optimized())
+        || variables.iter().any(|(_, p, _)| p.is_optimized())
         || !fn_table.is_empty();
 
     let mut explain = body.render_annotated(compiler.analysis());
-    for (name, plan) in &variables {
+    for (name, plan, _) in &variables {
         if plan.is_optimized() {
             explain.push_str(&format!(
                 "\n\ndeclare variable ${name}:\n{}",
@@ -178,6 +256,7 @@ pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
         variables,
         body,
         functions: Arc::new(fn_table),
+        analysis: compiler.into_analysis(),
         explain,
         optimized,
     }
@@ -190,6 +269,10 @@ pub struct AlgPlanner;
 impl Planner for AlgPlanner {
     fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {
         Arc::new(compile_program(program))
+    }
+
+    fn plan_structural(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {
+        Arc::new(compile_structural_program(program))
     }
 }
 

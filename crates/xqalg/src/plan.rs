@@ -149,7 +149,10 @@ impl QueryPlan {
     /// `Snap { MapFromItem {...} (GroupBy [...] (LeftOuterJoin(...))) }`).
     /// The outermost `Snap` is the implicit top-level one.
     pub fn render(&self) -> String {
-        format!("Snap {{\n{}\n}}", indent(&self.render_node(None), 2))
+        format!(
+            "Snap {{\n{}\n}}",
+            indent(&self.render_node(None, None, 0), 2)
+        )
     }
 
     /// [`QueryPlan::render`] with effect annotations: every `Iterate` leaf
@@ -158,11 +161,33 @@ impl QueryPlan {
     pub fn render_annotated(&self, analysis: &EffectAnalysis) -> String {
         format!(
             "Snap {{\n{}\n}}",
-            indent(&self.render_node(Some(analysis)), 2)
+            indent(&self.render_node(Some(analysis), None, 0), 2)
         )
     }
 
-    fn render_node(&self, analysis: Option<&EffectAnalysis>) -> String {
+    /// [`QueryPlan::render_annotated`] plus live per-node counters from an
+    /// analyzed run: every operator's head line gains
+    /// `(calls=… time=… rows=in→out Δ=incl/self)` (or `(never executed)`).
+    /// `base` is this plan's first node id in the profile (plans for prolog
+    /// variables and compiled functions are numbered after the body's).
+    pub fn render_analyzed(
+        &self,
+        analysis: &EffectAnalysis,
+        profile: &xqcore::obs::Profile,
+        base: usize,
+    ) -> String {
+        format!(
+            "Snap {{\n{}\n}}",
+            indent(&self.render_node(Some(analysis), Some(profile), base), 2)
+        )
+    }
+
+    fn render_node(
+        &self,
+        analysis: Option<&EffectAnalysis>,
+        profile: Option<&xqcore::obs::Profile>,
+        base: usize,
+    ) -> String {
         // `par` marks a region the parallel gate admits for fan-out
         // (DESIGN.md §9): effect-free and par-transparent. Impure bodies
         // (an inner snap or update) suppress the marker — the E8 guard
@@ -179,7 +204,7 @@ impl QueryPlan {
             Some(a) => format!("[{:?}]", a.effect(core)),
             None => String::new(),
         };
-        match self {
+        let text = match self {
             QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff_loop(core)),
             QueryPlan::HashJoin(j) => format!(
                 "MapFromItem{eb} {{ {body} }}\n(Join( MapFromItem{{[{o}:Input]}}\n   \
@@ -211,17 +236,23 @@ impl QueryPlan {
                 okey = strip_var(&g.join.outer_key, &g.join.outer_var),
             ),
             QueryPlan::Seq(items) => {
-                let parts: Vec<String> = items
-                    .iter()
-                    .map(|p| indent(&p.render_node(analysis), 2))
-                    .collect();
+                let mut child = base + 1;
+                let mut parts: Vec<String> = Vec::with_capacity(items.len());
+                for p in items {
+                    parts.push(indent(&p.render_node(analysis, profile, child), 2));
+                    child += p.node_count();
+                }
                 format!("Seq [\n{}\n]", parts.join(",\n"))
             }
-            QueryPlan::Let { var, value, body } => format!(
-                "Let ${var} := {{\n{}\n}} In {{\n{}\n}}",
-                indent(&value.render_node(analysis), 2),
-                indent(&body.render_node(analysis), 2),
-            ),
+            QueryPlan::Let { var, value, body } => {
+                let value_id = base + 1;
+                let body_id = value_id + value.node_count();
+                format!(
+                    "Let ${var} := {{\n{}\n}} In {{\n{}\n}}",
+                    indent(&value.render_node(analysis, profile, value_id), 2),
+                    indent(&body.render_node(analysis, profile, body_id), 2),
+                )
+            }
             QueryPlan::For {
                 var,
                 position,
@@ -232,18 +263,25 @@ impl QueryPlan {
                     .as_ref()
                     .map(|p| format!(" at ${p}"))
                     .unwrap_or_default();
+                let source_id = base + 1;
+                let body_id = source_id + source.node_count();
                 format!(
                     "For ${var}{pos} In {{\n{}\n}} Do {{\n{}\n}}",
-                    indent(&source.render_node(analysis), 2),
-                    indent(&body.render_node(analysis), 2),
+                    indent(&source.render_node(analysis, profile, source_id), 2),
+                    indent(&body.render_node(analysis, profile, body_id), 2),
                 )
             }
-            QueryPlan::If { cond, then, els } => format!(
-                "If {{\n{}\n}} Then {{\n{}\n}} Else {{\n{}\n}}",
-                indent(&cond.render_node(analysis), 2),
-                indent(&then.render_node(analysis), 2),
-                indent(&els.render_node(analysis), 2),
-            ),
+            QueryPlan::If { cond, then, els } => {
+                let cond_id = base + 1;
+                let then_id = cond_id + cond.node_count();
+                let els_id = then_id + then.node_count();
+                format!(
+                    "If {{\n{}\n}} Then {{\n{}\n}} Else {{\n{}\n}}",
+                    indent(&cond.render_node(analysis, profile, cond_id), 2),
+                    indent(&then.render_node(analysis, profile, then_id), 2),
+                    indent(&els.render_node(analysis, profile, els_id), 2),
+                )
+            }
             QueryPlan::Snap { mode, body } => {
                 let label = match mode {
                     SnapMode::Ordered => "ordered",
@@ -252,10 +290,204 @@ impl QueryPlan {
                 };
                 format!(
                     "Snap({label}) {{\n{}\n}}",
-                    indent(&body.render_node(analysis), 2)
+                    indent(&body.render_node(analysis, profile, base + 1), 2)
                 )
             }
+        };
+        match profile {
+            Some(p) => annotate_head(&text, p.node(base)),
+            None => text,
         }
+    }
+}
+
+impl QueryPlan {
+    /// Cross-check an analyzed run's profile against this plan's shape:
+    /// node-id assignment and the parent/child call & cardinality
+    /// relations every structural operator guarantees. Only sound for
+    /// *successful* runs (an error aborts mid-operator, legitimately
+    /// leaving later siblings with fewer calls) and for nodes that did not
+    /// fan out (`par_regions > 0` skips the node's relations: fanned-out
+    /// iterations attribute to the parent, so child counters legitimately
+    /// lag). The obs-invariants suite drives this.
+    pub fn verify_profile(
+        &self,
+        profile: &xqcore::obs::Profile,
+        base: usize,
+    ) -> Result<(), String> {
+        let n = profile.node(base);
+        let label = match self {
+            QueryPlan::Iterate(_) => "Iterate",
+            QueryPlan::HashJoin(_) => "HashJoin",
+            QueryPlan::OuterJoinGroupBy(_) => "OuterJoinGroupBy",
+            QueryPlan::Seq(_) => "Seq",
+            QueryPlan::Let { .. } => "Let",
+            QueryPlan::For { .. } => "For",
+            QueryPlan::If { .. } => "If",
+            QueryPlan::Snap { .. } => "Snap",
+        };
+        let fail = |what: String| Err(format!("node {base} ({label}): {what}"));
+        let check = n.calls > 0 && n.par_regions == 0;
+        match self {
+            QueryPlan::Iterate(_) | QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => {
+                Ok(())
+            }
+            QueryPlan::Seq(items) => {
+                let mut child = base + 1;
+                let mut out_sum = 0u64;
+                for p in items {
+                    let c = profile.node(child);
+                    if check && c.calls != n.calls {
+                        return fail(format!(
+                            "seq child {child} ran {} times, parent {}",
+                            c.calls, n.calls
+                        ));
+                    }
+                    out_sum += c.output_rows;
+                    p.verify_profile(profile, child)?;
+                    child += p.node_count();
+                }
+                if check && out_sum != n.output_rows {
+                    return fail(format!(
+                        "seq children output {out_sum} rows, parent {}",
+                        n.output_rows
+                    ));
+                }
+                Ok(())
+            }
+            QueryPlan::Let { value, body, .. } => {
+                let value_id = base + 1;
+                let body_id = value_id + value.node_count();
+                let (v, b) = (profile.node(value_id), profile.node(body_id));
+                if check {
+                    if v.calls != n.calls || b.calls != n.calls {
+                        return fail(format!(
+                            "let ran {} times, value {} / body {}",
+                            n.calls, v.calls, b.calls
+                        ));
+                    }
+                    if n.input_rows != v.output_rows {
+                        return fail(format!(
+                            "let bound {} rows, value produced {}",
+                            n.input_rows, v.output_rows
+                        ));
+                    }
+                    if n.output_rows != b.output_rows {
+                        return fail(format!(
+                            "let output {} rows, body produced {}",
+                            n.output_rows, b.output_rows
+                        ));
+                    }
+                }
+                value.verify_profile(profile, value_id)?;
+                body.verify_profile(profile, body_id)
+            }
+            QueryPlan::For { source, body, .. } => {
+                let source_id = base + 1;
+                let body_id = source_id + source.node_count();
+                let (s, b) = (profile.node(source_id), profile.node(body_id));
+                if check {
+                    if s.calls != n.calls {
+                        return fail(format!("for ran {} times, source {}", n.calls, s.calls));
+                    }
+                    if n.input_rows != s.output_rows {
+                        return fail(format!(
+                            "for consumed {} rows, source produced {}",
+                            n.input_rows, s.output_rows
+                        ));
+                    }
+                    if b.calls != n.input_rows {
+                        return fail(format!(
+                            "for iterated {} times, body ran {}",
+                            n.input_rows, b.calls
+                        ));
+                    }
+                    if n.output_rows != b.output_rows {
+                        return fail(format!(
+                            "for output {} rows, body produced {}",
+                            n.output_rows, b.output_rows
+                        ));
+                    }
+                }
+                source.verify_profile(profile, source_id)?;
+                body.verify_profile(profile, body_id)
+            }
+            QueryPlan::If { cond, then, els } => {
+                let cond_id = base + 1;
+                let then_id = cond_id + cond.node_count();
+                let els_id = then_id + then.node_count();
+                let c = profile.node(cond_id);
+                let t = profile.node(then_id);
+                let e = profile.node(els_id);
+                if check {
+                    if c.calls != n.calls {
+                        return fail(format!("if ran {} times, cond {}", n.calls, c.calls));
+                    }
+                    if n.input_rows != c.output_rows {
+                        return fail(format!(
+                            "if consumed {} rows, cond produced {}",
+                            n.input_rows, c.output_rows
+                        ));
+                    }
+                    if t.calls + e.calls != n.calls {
+                        return fail(format!(
+                            "if ran {} times, branches ran {} + {}",
+                            n.calls, t.calls, e.calls
+                        ));
+                    }
+                    if n.output_rows != t.output_rows + e.output_rows {
+                        return fail(format!(
+                            "if output {} rows, branches produced {} + {}",
+                            n.output_rows, t.output_rows, e.output_rows
+                        ));
+                    }
+                }
+                cond.verify_profile(profile, cond_id)?;
+                then.verify_profile(profile, then_id)?;
+                els.verify_profile(profile, els_id)
+            }
+            QueryPlan::Snap { body, .. } => {
+                let b = profile.node(base + 1);
+                if check {
+                    if b.calls != n.calls {
+                        return fail(format!("snap ran {} times, body {}", n.calls, b.calls));
+                    }
+                    if n.output_rows != b.output_rows {
+                        return fail(format!(
+                            "snap output {} rows, body produced {}",
+                            n.output_rows, b.output_rows
+                        ));
+                    }
+                }
+                body.verify_profile(profile, base + 1)
+            }
+        }
+    }
+}
+
+/// Append a node's live counters to the first line of its rendered text.
+fn annotate_head(text: &str, n: xqcore::obs::NodeStats) -> String {
+    let note = if n.calls == 0 {
+        " (never executed)".to_string()
+    } else {
+        let mut note = format!(
+            " (calls={} time={} rows={}→{} Δ={}/{}",
+            n.calls,
+            xqcore::obs::fmt_ns(n.wall_ns),
+            n.input_rows,
+            n.output_rows,
+            n.delta_incl,
+            n.delta_self,
+        );
+        if n.par_regions > 0 {
+            note.push_str(&format!(" par={}/{}", n.par_regions, n.par_items));
+        }
+        note.push(')');
+        note
+    };
+    match text.find('\n') {
+        Some(i) => format!("{}{}{}", &text[..i], note, &text[i..]),
+        None => format!("{text}{note}"),
     }
 }
 

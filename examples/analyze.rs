@@ -1,0 +1,14 @@
+//! EXPLAIN ANALYZE for XQuery!: run representative queries and print the
+//! plan annotated with live per-node counters (calls, wall time, input →
+//! output cardinality, Δ requests) plus a totals line.
+//!
+//! Wall-clock timings are masked to `<t>` so the output is deterministic;
+//! CI diffs it against `docs/analyze.golden` to catch renderer or counter
+//! drift. The same generator backs `tests/analyze_golden.rs`.
+//!
+//! Run with: `cargo run --example analyze`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", xquery_bang::analyze_golden::report()?);
+    Ok(())
+}

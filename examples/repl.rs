@@ -6,6 +6,7 @@
 //!   :load <var> <file>   parse an XML file and bind its document to $var
 //!   :xmark <var> <n>     bind an XMark document with n persons to $var
 //!   :plan <query>        show the optimizer's plan for a query
+//!   :analyze <query>     run a query and show the plan with live counters
 //!   :threads [n]         show or set worker threads for pure regions
 //!   :quit                exit
 //! Anything else is evaluated as an XQuery! program. Updates persist in
@@ -19,7 +20,7 @@ fn main() {
     let mut engine = Engine::new();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("XQuery! shell — :load, :xmark, :plan, :threads, :quit");
+    println!("XQuery! shell — :load, :xmark, :plan, :analyze, :threads, :quit");
     loop {
         print!("xq!> ");
         out.flush().ok();
@@ -92,6 +93,15 @@ fn main() {
             // execute, module functions included.
             match engine.explain(query) {
                 Ok(plan) => println!("{plan}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(query) = line.strip_prefix(":analyze ") {
+            // EXPLAIN ANALYZE: the query really runs (updates persist),
+            // then the plan prints with live per-node counters.
+            match engine.explain_analyze(query) {
+                Ok(report) => println!("{report}"),
                 Err(e) => eprintln!("error: {e}"),
             }
             continue;

@@ -20,6 +20,7 @@ struct Options {
     documents: Vec<(String, String)>,
     xmark: Vec<(String, f64)>,
     show_plan: bool,
+    analyze: bool,
     pretty: bool,
     check_only: bool,
     threads: Option<usize>,
@@ -33,6 +34,8 @@ fn usage() -> &'static str {
        -d, --doc <VAR>=<FILE>    parse FILE and bind its document to $VAR\n\
        --xmark <VAR>=<FACTOR>    bind $VAR to a generated XMark document\n\
        --plan                    print the compiled plan instead of running\n\
+       --analyze                 run the query and print the plan annotated\n\
+                                 with live per-node counters (EXPLAIN ANALYZE)\n\
        --pretty                  indent XML output\n\
        --check                   static-check the query, do not run it\n\
        --threads <N>             worker threads for effect-free regions\n\
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         documents: Vec::new(),
         xmark: Vec::new(),
         show_plan: false,
+        analyze: false,
         pretty: false,
         check_only: false,
         threads: None,
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "-h" | "--help" => return Err(usage().to_string()),
             "--plan" => opts.show_plan = true,
+            "--analyze" => opts.analyze = true,
             "--pretty" => opts.pretty = true,
             "--check" => opts.check_only = true,
             "-q" | "--query" => {
@@ -145,6 +150,16 @@ fn run() -> Result<(), String> {
         // The engine's EXPLAIN: the annotated plan the compiled pipeline
         // would execute, including declared-function sections.
         println!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+
+    if opts.analyze {
+        // EXPLAIN ANALYZE: the query really runs (effects apply), then the
+        // plan prints with live per-node counters and a totals line.
+        println!(
+            "{}",
+            engine.explain_analyze(&query).map_err(|e| e.to_string())?
+        );
         return Ok(());
     }
 

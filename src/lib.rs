@@ -30,6 +30,9 @@
 //! assert_eq!(engine.serialize(&out).unwrap(), "1");
 //! ```
 
+#[doc(hidden)]
+pub mod analyze_golden;
+
 pub use xmarkgen;
 pub use xqalg;
 pub use xqcore;

@@ -258,6 +258,60 @@ fn snap_nesting() {
 /// Error codes are observable semantics: the same code must surface at
 /// 1 and 8 worker threads (the parallel gate may fan the enclosing loop
 /// out, but first-error-in-input-order is preserved).
+/// `xqb:stats()` / `xqb:reset-stats()` — metrics introspection from
+/// inside the language. The registry is process-global (other tests in
+/// this binary bump it concurrently), so assertions are shape-based
+/// (`contains`), never exact counter values.
+#[test]
+fn stats_builtins() {
+    run_cases(
+        "stats builtins",
+        &[
+            // The snapshot is a single JSON string.
+            ("count(xqb:stats())", "1"),
+            // Reset returns the empty sequence.
+            ("xqb:reset-stats()", ""),
+            ("(xqb:reset-stats(), count(xqb:stats()))", "1"),
+            // Both are callable inside a snap body: stats reads are
+            // impure (par-opaque) but not *pending* — no Δ involved.
+            ("count(snap { xqb:stats() })", "1"),
+            ("(snap { xqb:reset-stats() }, \"done\")", "done"),
+        ],
+    );
+
+    // The snapshot names the engine counters and histograms.
+    let mut e = Engine::new();
+    e.load_document("doc", DOC).unwrap();
+    e.run("count($doc//person)").unwrap();
+    let snapshot = e.run("xqb:stats()").unwrap();
+    let json = e.serialize(&snapshot).unwrap();
+    for key in [
+        "\"counters\"",
+        "\"histograms\"",
+        "engine.runs",
+        "engine.run_ns",
+    ] {
+        assert!(json.contains(key), "xqb:stats() missing {key}: {json}");
+    }
+
+    // Inside a pure-looking loop body the stats read suppresses the
+    // parallel gate — same observable output at any thread count.
+    for threads in [1usize, 8] {
+        let mut e = Engine::new();
+        e.set_threads(threads);
+        e.load_document("doc", DOC).unwrap();
+        let v = e
+            .run("for $p in $doc//person return count(xqb:stats())")
+            .unwrap();
+        assert_eq!(e.serialize(&v).unwrap(), "1 1 1", "at {threads} thread(s)");
+        let stats = e.last_stats().unwrap();
+        assert_eq!(
+            stats.par_regions, 0,
+            "stats read in loop body must stay sequential at {threads} thread(s)"
+        );
+    }
+}
+
 #[test]
 fn error_codes() {
     const CASES: &[(&str, &str)] = &[
@@ -265,6 +319,10 @@ fn error_codes() {
         ("0 idiv 0", "FOAR0001"),
         ("$nope", "XPST0008"),
         ("no-such-fn()", "XPST0017"),
+        // Introspection builtins are nullary — wrong arity is a static
+        // error, same code as an unknown function.
+        ("xqb:stats(1)", "XPST0017"),
+        ("xqb:reset-stats(\"x\")", "XPST0017"),
         ("1 + \"a\"", "XPTY0004"),
         ("xs:integer(\"zz\")", "FORG0001"),
         ("sum((\"a\", \"b\"))", "FORG0001"),

@@ -2,8 +2,9 @@
 //! of engine configurations — {compiled, interpreted} × {1, 2, 8} worker
 //! threads — and each variant must produce the identical value sequence,
 //! the identical serialized store, the identical snap/Δ statistics
-//! (`snaps_closed`, `requests_applied`, `max_snap_depth`, which pin the
-//! Δ ordering and the per-snap seed draws), and identical error codes,
+//! (`snaps_closed`, `requests_emitted`, `requests_applied`,
+//! `max_snap_depth`, which pin the Δ ordering and the per-snap seed
+//! draws), and identical error codes,
 //! in all three snap application modes. The sequential interpreter
 //! (threads = 1, `set_compile(false)`) is the reference semantics;
 //! everything else is an evaluation strategy that must be observably
@@ -98,6 +99,11 @@ fn differential(docs: &[(&str, &str)], modules: &[&str], queries: &[&str]) {
                     assert_eq!(
                         sr.snaps_closed, sv.snaps_closed,
                         "snaps_closed for {q} ({})",
+                        v.label
+                    );
+                    assert_eq!(
+                        sr.requests_emitted, sv.requests_emitted,
+                        "requests_emitted for {q} ({})",
                         v.label
                     );
                     assert_eq!(
@@ -330,6 +336,11 @@ fn xmark_queries_agree() {
             );
             let sv = v.engine.last_stats().unwrap();
             assert_eq!(stats_ref.snaps_closed, sv.snaps_closed, "{q} ({})", v.label);
+            assert_eq!(
+                stats_ref.requests_emitted, sv.requests_emitted,
+                "{q} ({})",
+                v.label
+            );
             assert_eq!(
                 stats_ref.requests_applied, sv.requests_applied,
                 "{q} ({})",
@@ -592,8 +603,10 @@ fn prop_differential(
         parallel.last_stats().unwrap(),
     );
     prop_assert_eq!(sc.snaps_closed, si.snaps_closed);
+    prop_assert_eq!(sc.requests_emitted, si.requests_emitted);
     prop_assert_eq!(sc.requests_applied, si.requests_applied);
     prop_assert_eq!(sc.snaps_closed, sp.snaps_closed);
+    prop_assert_eq!(sc.requests_emitted, sp.requests_emitted);
     prop_assert_eq!(sc.requests_applied, sp.requests_applied);
     if expect_join {
         prop_assert!(

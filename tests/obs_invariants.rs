@@ -1,0 +1,271 @@
+//! Observability invariants (ISSUE 4 satellite): the counters produced by
+//! `explain_analyze` must be *internally consistent* — not just plausible
+//! numbers, but numbers that obey the dataflow relations of the plan that
+//! produced them:
+//!
+//! 1. Per-node cardinalities satisfy the structural relations checked by
+//!    `CompiledProgram::verify_profile` (a `Seq`'s children run as often
+//!    as the `Seq`, a `For` body runs once per source row, child output
+//!    cardinalities sum to parent outputs, …).
+//! 2. Σ per-node `delta_self` over the whole profile equals the run's
+//!    `EvalStats::requests_emitted` — every Δ request is attributed to
+//!    exactly one plan node.
+//! 3. On a successful run, `requests_emitted == requests_applied` (snap
+//!    scopes apply exactly what was collected).
+//! 4. The semantic counters are an *observable* of the program, not of
+//!    the evaluation strategy: identical across
+//!    {compiled, interpreted} × {1, 8} worker threads.
+//!
+//! A proptest section generalizes 1–4 over randomly generated join-shaped
+//! updating programs.
+
+use proptest::prelude::*;
+use xquery_bang::Engine;
+
+/// Queries that exercise every structural plan node plus joins and Δ
+/// emission. Each entry is (documents, query).
+fn corpus() -> Vec<(Vec<(&'static str, &'static str)>, &'static str)> {
+    vec![
+        (vec![], "1 + 2 * 3"),
+        (vec![], "for $i in 1 to 10 return $i * $i"),
+        (
+            vec![("log", "<log/>")],
+            "snap { insert { <a/> } into { $log/log },
+                    insert { <b/> } into { $log/log } }",
+        ),
+        (
+            vec![("log", "<log/>")],
+            "let $n := 4
+             return if ($n > 2)
+                    then for $i in 1 to $n
+                         return snap insert { <e v=\"{$i}\"/> } into { $log/log }
+                    else ()",
+        ),
+        (
+            vec![
+                ("left", r#"<left><e k="k1"/><e k="k2"/><e k="k1"/></left>"#),
+                ("right", r#"<right><e k="k1"/><e k="k3"/></right>"#),
+                ("out", "<out/>"),
+            ],
+            "snap {
+               for $l in $left/left/e
+               for $r in $right/right/e
+               where $l/@k = $r/@k
+               return insert { <m/> } into { $out/out } }",
+        ),
+        (
+            vec![
+                ("people", r#"<ps><p id="a"/><p id="b"/></ps>"#),
+                ("sales", r#"<ss><s ref="a"/><s ref="a"/><s ref="c"/></ss>"#),
+                ("hits", "<hits/>"),
+            ],
+            "for $p in $people/ps/p
+             let $g := for $s in $sales/ss/s
+                       where $s/@ref = $p/@id
+                       return (insert { <hit/> } into { $hits }, $s)
+             return <row id=\"{$p/@id}\">{ count($g) }</row>",
+        ),
+    ]
+}
+
+fn engine_with(docs: &[(&str, &str)], compile: bool, threads: usize) -> Engine {
+    let mut e = Engine::new().with_seed(0x0b5);
+    e.set_compile(compile);
+    e.set_threads(threads);
+    for (name, xml) in docs {
+        e.load_document(name, xml).unwrap();
+    }
+    e
+}
+
+/// Run `explain_analyze` and check invariants 1–3 on the captured
+/// profile. Returns `requests_emitted` for cross-variant comparison.
+fn analyze_and_check(engine: &mut Engine, query: &str, label: &str) -> u64 {
+    engine.explain_analyze(query).unwrap_or_else(|e| {
+        panic!("explain_analyze failed ({label}) for {query}: {e}");
+    });
+    let stats = engine.last_stats().expect("stats after analyze");
+    let profile = engine.last_profile().expect("profile after analyze");
+    let plan = engine.analyzed_plan().expect("plan after analyze");
+
+    // 1. Structural dataflow relations hold.
+    if let Err(e) = plan.verify_profile(profile) {
+        panic!("profile inconsistent ({label}) for {query}: {e}");
+    }
+    // 2. Every Δ request is attributed to exactly one node.
+    assert_eq!(
+        profile.total_delta_self(),
+        stats.requests_emitted,
+        "Σ delta_self != requests_emitted ({label}) for {query}"
+    );
+    // 3. Snap scopes apply what they collected.
+    assert_eq!(
+        stats.requests_emitted, stats.requests_applied,
+        "emitted != applied on success ({label}) for {query}"
+    );
+    assert!(profile.total_calls() > 0, "empty profile ({label})");
+    stats.requests_emitted
+}
+
+#[test]
+fn analyze_counters_consistent_in_both_modes() {
+    for (docs, query) in corpus() {
+        let compiled = analyze_and_check(&mut engine_with(&docs, true, 1), query, "compiled");
+        let interpreted =
+            analyze_and_check(&mut engine_with(&docs, false, 1), query, "interpreted");
+        // 4. Semantic counter agreement across plan modes.
+        assert_eq!(compiled, interpreted, "requests_emitted differ for {query}");
+    }
+}
+
+/// Invariant 4, thread axis: the PR-3 determinism matrix extended with a
+/// counter column — `requests_emitted` must not depend on the worker
+/// thread count, with or without compilation.
+#[test]
+fn analyze_counters_thread_invariant() {
+    for (docs, query) in corpus() {
+        let mut seen = Vec::new();
+        for compile in [true, false] {
+            for threads in [1usize, 8] {
+                let label = format!(
+                    "{}×{threads}",
+                    if compile { "compiled" } else { "interpreted" }
+                );
+                let emitted =
+                    analyze_and_check(&mut engine_with(&docs, compile, threads), query, &label);
+                seen.push((label, emitted));
+            }
+        }
+        let reference = seen[0].1;
+        for (label, emitted) in &seen {
+            assert_eq!(
+                *emitted, reference,
+                "requests_emitted for {query} diverged at {label}: {seen:?}"
+            );
+        }
+    }
+}
+
+/// Fanned-out pure loops still produce a coherent profile: the `For`
+/// node records its par attribution, `verify_profile` skips the relations
+/// the fan-out makes unknowable, and the Δ ledger stays exact.
+#[test]
+fn analyze_profile_coherent_under_parallel_fanout() {
+    let doc: String = std::iter::once("<root>".to_string())
+        .chain((0..40).map(|i| format!("<e v=\"{i}\"/>")))
+        .chain(std::iter::once("</root>".to_string()))
+        .collect();
+    let mut e = Engine::new();
+    e.set_compile(false); // structural plan: the For survives as a node
+    e.set_threads(8);
+    e.load_document("doc", &doc).unwrap();
+    let report = e
+        .explain_analyze("for $e in $doc/root/e return number($e/@v) * 2")
+        .unwrap();
+    let stats = e.last_stats().unwrap();
+    assert!(
+        stats.par_regions > 0,
+        "pure loop did not fan out: {stats:?}"
+    );
+    assert!(
+        report.contains("par="),
+        "par attribution missing from analyzed tree:\n{report}"
+    );
+    let plan = e.analyzed_plan().unwrap().clone();
+    let profile = e.last_profile().unwrap();
+    plan.verify_profile(profile).unwrap();
+    assert_eq!(profile.total_delta_self(), stats.requests_emitted);
+}
+
+/// `explain_analyze` really executes the query: effects land in the
+/// store, and a second analyze of a reading query sees them.
+#[test]
+fn analyze_executes_for_real() {
+    let mut e = Engine::new();
+    e.load_document("log", "<log/>").unwrap();
+    e.explain_analyze("snap insert { <x/> } into { $log/log }")
+        .unwrap();
+    let r = e.run("count($log/log/x)").unwrap();
+    assert_eq!(e.serialize(&r).unwrap(), "1");
+}
+
+/// Profiling is scoped to `explain_analyze`: a plain `run` right after
+/// leaves no profile behind (zero-cost-when-off discipline).
+#[test]
+fn plain_runs_do_not_profile() {
+    let mut e = Engine::new();
+    e.explain_analyze("1 + 1").unwrap();
+    assert!(e.last_profile().is_some());
+    e.run("2 + 2").unwrap();
+    assert!(
+        e.last_profile().is_none(),
+        "plain run must clear/skip profiling"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property-based generalization over join-shaped updating programs
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SideSpec {
+    keys: Vec<Option<u8>>,
+}
+
+fn side_strategy(max: usize) -> impl Strategy<Value = SideSpec> {
+    proptest::collection::vec(proptest::option::of(0u8..4), 0..max)
+        .prop_map(|keys| SideSpec { keys })
+}
+
+fn side_xml(name: &str, spec: &SideSpec) -> String {
+    let mut s = format!("<{name}>");
+    for (i, k) in spec.keys.iter().enumerate() {
+        match k {
+            Some(k) => s.push_str(&format!(r#"<e n="{name}{i}" k="k{k}"/>"#)),
+            None => s.push_str(&format!(r#"<e n="{name}{i}"/>"#)),
+        }
+    }
+    s.push_str(&format!("</{name}>"));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_updating_joins_have_consistent_profiles(
+        left in side_strategy(8),
+        right in side_strategy(8),
+    ) {
+        let docs = [
+            ("left".to_string(), side_xml("left", &left)),
+            ("right".to_string(), side_xml("right", &right)),
+            ("out".to_string(), "<out/>".to_string()),
+        ];
+        let query = r#"snap {
+            for $l in $left/left/e
+            for $r in $right/right/e
+            where $l/@k = $r/@k
+            return insert { <m l="{$l/@n}" r="{$r/@n}"/> } into { $out/out } }"#;
+
+        let mut emitted = Vec::new();
+        for compile in [true, false] {
+            let mut e = Engine::new().with_seed(7);
+            e.set_compile(compile);
+            for (n, x) in &docs {
+                e.load_document(n, x).unwrap();
+            }
+            e.explain_analyze(query).expect("analyze");
+            let stats = e.last_stats().unwrap();
+            let profile = e.last_profile().unwrap();
+            let plan = e.analyzed_plan().unwrap();
+            prop_assert!(plan.verify_profile(profile).is_ok(),
+                "inconsistent profile (compile={}): {:?}",
+                compile, plan.verify_profile(profile));
+            prop_assert_eq!(profile.total_delta_self(), stats.requests_emitted);
+            prop_assert_eq!(stats.requests_emitted, stats.requests_applied);
+            emitted.push(stats.requests_emitted);
+        }
+        prop_assert_eq!(emitted[0], emitted[1], "Δ count differs across plan modes");
+    }
+}

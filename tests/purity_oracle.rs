@@ -72,6 +72,13 @@ fn body_strategy() -> impl Strategy<Value = Body> {
             text: "element hit { string($e/@v) }".to_string(),
             gate_admits: false,
         }),
+        // Metrics introspection: reads the shared registry mid-flight,
+        // so the gate refuses it (the *value* stays deterministic — the
+        // snapshot is a single string, so the count is always 1).
+        Just(Body {
+            text: "number($e/@v) + count(xqb:stats()) - 1".to_string(),
+            gate_admits: false,
+        }),
     ]
 }
 
@@ -222,6 +229,14 @@ fn gate_is_strictly_tighter_than_the_effect_lattice() {
             "trace has observable output order",
         ),
         ("parse-xml(\"<x/>\")", "parse-xml allocates store nodes"),
+        (
+            "count(xqb:stats())",
+            "stats reads the shared metrics registry mid-flight",
+        ),
+        (
+            "(xqb:reset-stats(), number($e/@v))",
+            "reset-stats mutates the shared metrics registry",
+        ),
     ] {
         let plan = e
             .explain(&format!("for $e in $doc/root/e return {body}"))
