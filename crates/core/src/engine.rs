@@ -7,6 +7,7 @@
 
 use crate::env::DynEnv;
 use crate::eval::Evaluator;
+use crate::limits::Limits;
 use crate::obs;
 use crate::planner::{self, CompiledProgram};
 use std::collections::HashMap;
@@ -16,7 +17,7 @@ use std::time::{Duration, Instant};
 use xqdm::item::{Item, Sequence};
 use xqdm::{NodeId, Store, XdmResult};
 use xqsyn::cursor::ParseError;
-use xqsyn::{compile, CoreProgram};
+use xqsyn::CoreProgram;
 
 /// Engine errors: parse-time or evaluation-time.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,11 @@ pub struct Engine {
     /// Worker-thread budget for effect-free regions (1 = sequential).
     /// Defaults to `XQB_THREADS`; override with [`Engine::set_threads`].
     threads: usize,
+    /// Resource limits applied to every run, parse, and document load
+    /// (DESIGN.md §12). Defaults from the `XQB_MAX_DEPTH` / `XQB_FUEL` /
+    /// `XQB_DEADLINE_MS` / `XQB_MEMORY_ITEMS` env vars; override with
+    /// [`Engine::set_limits`].
+    limits: Limits,
     /// Pre-resolved global-registry handles for the per-run metrics flush.
     metrics: obs::EngineMetrics,
     /// Trace-span sink (from `XQB_TRACE` or [`Engine::set_trace`]).
@@ -119,6 +125,7 @@ impl Engine {
             cache_hits: 0,
             cache_misses: 0,
             threads: crate::par::threads_from_env(),
+            limits: Limits::from_env(),
             metrics: obs::EngineMetrics::from_global(),
             trace: obs::TraceSink::from_env(),
             slow_ms: std::env::var("XQB_SLOW_MS")
@@ -155,6 +162,39 @@ impl Engine {
         self.threads
     }
 
+    /// Install resource limits (depth, fuel, deadline, memory; DESIGN.md
+    /// §12). They apply to every subsequent run, parse, and document load.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Builder form of [`Engine::set_limits`].
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The resource limits in force.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Parse a query under this engine's expression-nesting limit.
+    fn compile_source(&self, query: &str) -> Result<CoreProgram, Error> {
+        match xqsyn::compile_with_limit(query, self.limits.max_parse_depth) {
+            Ok(p) => Ok(p),
+            Err(e) => {
+                // A parser depth trip is a resource-governance event like
+                // any other; the code is embedded in the message because
+                // ParseError carries no code field.
+                if e.message.contains("XQB0040") {
+                    self.metrics.limit_depth.add(1);
+                }
+                Err(Error::Parse(e))
+            }
+        }
+    }
+
     /// Register a module: its `declare function`s become available to
     /// every subsequent [`Engine::run`], and its `declare variable`s are
     /// evaluated *now* (inside their own implicit snap) and installed as
@@ -166,7 +206,7 @@ impl Engine {
     /// the store is rolled back and the engine's function table and
     /// bindings are restored, so no half-loaded module is ever visible.
     pub fn load_module(&mut self, source: &str) -> Result<(), Error> {
-        let program = compile(source)?;
+        let program = self.compile_source(source)?;
         let saved_functions = self.module_functions.len();
         let saved_bindings = self.bindings.clone();
         // Functions first, so variable initializers may call them (and
@@ -249,7 +289,9 @@ impl Engine {
     /// Parse an XML document into the store and bind its document node to
     /// `$name`. Returns the document node.
     pub fn load_document(&mut self, name: &str, xml: &str) -> XdmResult<NodeId> {
-        let doc = xqdm::xml::parse_document(&mut self.store, xml)?;
+        let doc =
+            xqdm::xml::parse_document_with_limit(&mut self.store, xml, self.limits.max_xml_depth)
+                .inspect_err(|e| self.metrics.note_limit_trip(e.code))?;
         self.bind(name, vec![Item::Node(doc)]);
         Ok(doc)
     }
@@ -272,7 +314,7 @@ impl Engine {
     /// The query body (and prolog variable initializers) run inside the
     /// implicit top-level snap; all effects are applied when this returns.
     pub fn run(&mut self, query: &str) -> Result<Sequence, Error> {
-        let program = compile(query)?;
+        let program = self.compile_source(query)?;
         Ok(self.run_program(&program)?)
     }
 
@@ -375,6 +417,11 @@ impl Engine {
                 ))
             }
         };
+        if let Err(e) = &result {
+            // Resource-governance trips get their own counters on top of
+            // the generic engine.errors bump in finish_run.
+            self.metrics.note_limit_trip(e.code);
+        }
         self.finish_run(program, run_stats, elapsed, result.is_err(), cache);
         result
     }
@@ -437,7 +484,7 @@ impl Engine {
     /// counters. Without any planner installed the program runs
     /// uninstrumented and only the totals line is live.
     pub fn explain_analyze(&mut self, query: &str) -> Result<String, Error> {
-        let program = compile(query)?;
+        let program = self.compile_source(query)?;
         self.last_profile = None;
         self.last_plan = None;
         let (compiled, cache) = if self.compile_enabled {
@@ -565,7 +612,7 @@ impl Engine {
     /// functions participate as they would in [`Engine::run`]. With no
     /// planner installed the whole program is one `Iterate` node.
     pub fn explain(&self, query: &str) -> Result<String, Error> {
-        let program = self.augment(compile(query)?);
+        let program = self.augment(self.compile_source(query)?);
         Ok(match planner::default_planner() {
             Some(planner) => planner.plan(&program).explain(),
             None => planner::render_unoptimized(&program),
@@ -577,7 +624,8 @@ impl Engine {
         let mut evaluator = Evaluator::new(program)
             .with_seed(self.seed)
             .with_snap_counter(self.snap_counter)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_limits(self.limits);
         for f in &self.module_functions {
             evaluator.register_function(f.clone());
         }
@@ -589,7 +637,7 @@ impl Engine {
 
     /// Compile a query without running it (for repeated execution).
     pub fn compile(&self, query: &str) -> Result<CoreProgram, Error> {
-        Ok(compile(query)?)
+        self.compile_source(query)
     }
 
     /// Statically check a query against this engine's bindings: undefined
@@ -598,7 +646,7 @@ impl Engine {
     pub fn check(&self, query: &str) -> Result<Vec<crate::check::Diagnostic>, Error> {
         // Module functions participate exactly as program-level ones do
         // (minus shadowing, which register_function already resolves).
-        let program = self.augment(compile(query)?);
+        let program = self.augment(self.compile_source(query)?);
         let host_vars: Vec<&str> = self.bindings.iter().map(|(n, _)| n.as_str()).collect();
         Ok(crate::check::check_program(&program, &host_vars))
     }
@@ -627,7 +675,8 @@ impl Engine {
         let mut ev = Evaluator::new(program)
             .with_seed(self.seed)
             .with_snap_counter(self.snap_counter)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_limits(self.limits);
         for (name, value) in &self.bindings {
             ev.bind_global(name.clone(), value.clone());
         }

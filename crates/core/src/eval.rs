@@ -21,6 +21,7 @@
 use crate::apply::apply_delta;
 use crate::env::{DynEnv, Focus};
 use crate::functions;
+use crate::limits::{self, LimitGuard, Limits, TripKind};
 use crate::obs;
 use crate::planner::FunctionExecutor;
 use crate::update::{Delta, UpdateRequest};
@@ -34,15 +35,14 @@ use xqdm::{NodeId, NodeKind, QName, Store, XdmError, XdmResult};
 use xqsyn::ast::{Axis, NodeCompOp, NodeTest, Quantifier, SnapMode};
 use xqsyn::core::{Core, CoreFunction, CoreInsertLoc, CoreName, CoreProgram};
 
-/// Hard recursion limit: user functions may recurse, and a runaway
-/// recursion should surface as an error, not a stack overflow. The limit
-/// counts `eval` nesting (a user-function call costs a handful of levels).
-/// [`Evaluator::eval_program`] and [`Evaluator::eval_query`] run on a
-/// dedicated thread whose stack ([`EVAL_STACK_BYTES`]) comfortably fits
-/// this depth even with debug-build frame sizes.
-pub(crate) const MAX_DEPTH: usize = 512;
-
-/// Stack size for the evaluation thread (see [`MAX_DEPTH`]).
+/// Stack size for the evaluation thread. User functions may recurse, and
+/// a runaway recursion should surface as an error (`XQB0040`), not a stack
+/// overflow: the configurable depth limit ([`Limits::max_depth`], default
+/// [`limits::DEFAULT_MAX_DEPTH`]) counts `eval` nesting, and
+/// [`Evaluator::eval_program`] / [`Evaluator::eval_query`] run on a
+/// dedicated thread whose stack comfortably fits the default depth even
+/// with debug-build frame sizes. Raising the limit far beyond the default
+/// needs a correspondingly larger stack.
 const EVAL_STACK_BYTES: usize = 64 << 20;
 
 /// Run `f` on a scoped thread with a large stack, so deep (but bounded)
@@ -110,6 +110,11 @@ pub struct Evaluator {
     /// default — is the zero-cost-when-off fast path: every hook below is
     /// a single `Option` discriminant check.
     obs: Option<Box<EvalObs>>,
+    /// Resource limits in force (DESIGN.md §12). `guard` is the armed
+    /// runtime check, re-armed at each program-scope entry so fuel and
+    /// deadline measure one run.
+    limits: Limits,
+    guard: LimitGuard,
 }
 
 /// One open profiled plan node: enough to compute inclusive wall time and
@@ -159,6 +164,7 @@ impl Evaluator {
         for f in &program.functions {
             functions.insert((f.name.clone(), f.params.len()), f.clone());
         }
+        let limits = Limits::from_env();
         Evaluator {
             functions,
             globals: HashMap::new(),
@@ -171,12 +177,15 @@ impl Evaluator {
             threads: crate::par::threads_from_env(),
             effects: None,
             obs: None,
+            limits,
+            guard: LimitGuard::new(&limits),
         }
     }
 
     /// An evaluator with no user functions (for direct expression
     /// evaluation in tests and tools).
     pub fn bare() -> Self {
+        let limits = Limits::from_env();
         Evaluator {
             functions: HashMap::new(),
             globals: HashMap::new(),
@@ -189,6 +198,8 @@ impl Evaluator {
             threads: crate::par::threads_from_env(),
             effects: None,
             obs: None,
+            limits,
+            guard: LimitGuard::new(&limits),
         }
     }
 
@@ -217,16 +228,46 @@ impl Evaluator {
         self.threads
     }
 
+    /// Install resource limits (DESIGN.md §12) and arm a fresh guard. The
+    /// default comes from `XQB_MAX_DEPTH` / `XQB_FUEL` / `XQB_DEADLINE_MS`
+    /// / `XQB_MEMORY_ITEMS` ([`Limits::from_env`]).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self.guard = LimitGuard::new(&limits);
+        self
+    }
+
+    /// The resource limits in force.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// The armed cooperative limit guard (shared with parallel workers).
+    pub fn guard(&self) -> &LimitGuard {
+        &self.guard
+    }
+
+    /// One cooperative limit check: a unit of fuel, a periodic deadline
+    /// poll, and trip observation. Plan executors call this once per plan
+    /// node; the interpreter once per `eval` step. A single branch when no
+    /// fuel/deadline/memory limit is armed.
+    #[inline]
+    pub fn limit_tick(&self) -> XdmResult<()> {
+        self.guard.tick()
+    }
+
     /// The read-only context parallel workers evaluate under.
     pub fn pure_ctx(&self) -> crate::par::PureCtx<'_> {
         crate::par::PureCtx {
             functions: &self.functions,
             globals: &self.globals,
+            guard: &self.guard,
+            max_depth: self.limits.max_depth,
         }
     }
 
     /// The current `eval` nesting depth — parallel workers start their
-    /// recursion counter here so the XQB0020 limit fires at the same
+    /// recursion counter here so the XQB0040 limit fires at the same
     /// nesting a sequential evaluation would report.
     pub fn nesting_depth(&self) -> usize {
         self.depth
@@ -319,6 +360,10 @@ impl Evaluator {
     where
         F: FnOnce(&mut Evaluator, &mut Store, &mut DynEnv) -> XdmResult<Sequence> + Send,
     {
+        // Re-arm the guard so fuel, memory, and the wall-clock deadline
+        // measure this run alone (and a trip from a previous run on the
+        // same evaluator does not leak into this one).
+        self.guard = LimitGuard::new(&self.limits);
         with_eval_stack(move || {
             // The implicit snap also covers prolog variable initializers, so
             // side-effecting initializers behave like the body. It is not
@@ -347,6 +392,7 @@ impl Evaluator {
         env: &mut DynEnv,
         expr: &Core,
     ) -> XdmResult<Sequence> {
+        self.guard = LimitGuard::new(&self.limits);
         with_eval_stack(move || {
             self.delta_stack.push(Delta::new());
             self.obs_span_begin("snap:implicit");
@@ -408,12 +454,10 @@ impl Evaluator {
     /// recursion limit. Pair with [`Evaluator::exit_nested`] on success.
     pub fn enter_nested(&mut self) -> XdmResult<()> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
+        if self.depth > self.limits.max_depth {
             self.depth -= 1;
-            return Err(XdmError::new(
-                "XQB0020",
-                "evaluation recursion limit exceeded",
-            ));
+            self.guard.note_trip(TripKind::Depth);
+            return Err(limits::depth_error(self.limits.max_depth));
         }
         Ok(())
     }
@@ -561,12 +605,16 @@ impl Evaluator {
     /// Append an update request to the innermost Δ — the single chokepoint
     /// for every update operator, so `requests_emitted` counts every
     /// request exactly once regardless of execution strategy.
-    fn push_request(&mut self, req: UpdateRequest) {
+    fn push_request(&mut self, req: UpdateRequest) -> XdmResult<()> {
+        // Pending-update lists are the other unbounded buffer a runaway
+        // query can grow; each entry costs one unit of memory budget.
+        self.guard.charge(1)?;
         self.stats.requests_emitted += 1;
         self.delta_stack
             .last_mut()
             .expect("update evaluated outside any snap scope")
             .push(req);
+        Ok(())
     }
 
     /// The core judgment. Left-to-right, store-threading, Δ-appending.
@@ -577,12 +625,14 @@ impl Evaluator {
         expr: &Core,
     ) -> XdmResult<Sequence> {
         self.depth += 1;
-        if self.depth > MAX_DEPTH {
+        if self.depth > self.limits.max_depth {
             self.depth -= 1;
-            return Err(XdmError::new(
-                "XQB0020",
-                "evaluation recursion limit exceeded",
-            ));
+            self.guard.note_trip(TripKind::Depth);
+            return Err(limits::depth_error(self.limits.max_depth));
+        }
+        if let Err(e) = self.guard.tick() {
+            self.depth -= 1;
+            return Err(e);
         }
         let r = self.eval_inner(store, env, expr);
         self.depth -= 1;
@@ -607,7 +657,9 @@ impl Evaluator {
             Core::Seq(items) => {
                 let mut out = Vec::new();
                 for e in items {
-                    out.extend(self.eval(store, env, e)?);
+                    let v = self.eval(store, env, e)?;
+                    self.guard.charge(v.len() as u64)?;
+                    out.extend(v);
                 }
                 Ok(out)
             }
@@ -636,7 +688,9 @@ impl Evaluator {
                         env.pop_var();
                     }
                     env.pop_var();
-                    out.extend(r?);
+                    let v = r?;
+                    self.guard.charge(v.len() as u64)?;
+                    out.extend(v);
                 }
                 Ok(out)
             }
@@ -850,6 +904,14 @@ impl Evaluator {
                 match (la, ra) {
                     (Some(a), Some(b)) => {
                         let (a, b) = (a.to_integer()?, b.to_integer()?);
+                        // Pre-charge the span before materializing: `1 to
+                        // 10000000000` must trip XQB0043, not exhaust RAM.
+                        let span = b
+                            .checked_sub(a)
+                            .and_then(|d| d.checked_add(1))
+                            .unwrap_or(i64::MAX)
+                            .max(0) as u64;
+                        self.guard.charge(span)?;
                         Ok((a..=b).map(Item::integer).collect())
                     }
                     _ => Ok(vec![]),
@@ -934,7 +996,7 @@ impl Evaluator {
                     nodes,
                     parent,
                     anchor,
-                });
+                })?;
                 Ok(vec![])
             }
             Core::Delete(target) => {
@@ -943,7 +1005,7 @@ impl Evaluator {
                 // deletes a whole sequence ($log/logentry), so we accept a
                 // node sequence and emit one request per node, in order.
                 for n in item::all_nodes(&v)? {
-                    self.push_request(UpdateRequest::Delete { node: n });
+                    self.push_request(UpdateRequest::Delete { node: n })?;
                 }
                 Ok(vec![])
             }
@@ -970,18 +1032,18 @@ impl Evaluator {
                             ));
                         }
                     }
-                    self.push_request(UpdateRequest::Delete { node });
+                    self.push_request(UpdateRequest::Delete { node })?;
                     self.push_request(UpdateRequest::InsertAttributes {
                         nodes: nodeseq,
                         element: parent,
-                    });
+                    })?;
                 } else {
                     self.push_request(UpdateRequest::Insert {
                         nodes: nodeseq,
                         parent,
                         anchor: InsertAnchor::After(node),
-                    });
-                    self.push_request(UpdateRequest::Delete { node });
+                    })?;
+                    self.push_request(UpdateRequest::Delete { node })?;
                 }
                 Ok(vec![])
             }
@@ -993,7 +1055,7 @@ impl Evaluator {
                 let qname = QName::parse(&name_str).ok_or_else(|| {
                     XdmError::value("XQDY0074", format!("\"{name_str}\" is not a valid QName"))
                 })?;
-                self.push_request(UpdateRequest::Rename { node, name: qname });
+                self.push_request(UpdateRequest::Rename { node, name: qname })?;
                 Ok(vec![])
             }
             Core::Copy(e) => {
@@ -1047,6 +1109,8 @@ impl Evaluator {
         let ctx = crate::par::PureCtx {
             functions: &self.functions,
             globals: &self.globals,
+            guard: &self.guard,
+            max_depth: self.limits.max_depth,
         };
         let results = crate::par::par_map(threads, env, src, |wenv, i, it| {
             wenv.push_var(var.to_string(), vec![it.clone()]);

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod env;
 pub mod eval;
 pub mod functions;
+pub mod limits;
 pub mod obs;
 pub mod par;
 pub mod planner;
@@ -54,6 +55,7 @@ pub use effects::{Effect, EffectAnalysis};
 pub use engine::{Engine, Error};
 pub use env::{DynEnv, Focus};
 pub use eval::{EvalStats, Evaluator};
+pub use limits::{LimitGuard, Limits, TripKind};
 pub use obs::{MetricsSnapshot, NodeStats, Profile, Registry, TraceSink};
 pub use par::{par_safe, threads_from_env, PureCtx, MAX_THREADS, PAR_MIN_ITEMS};
 pub use planner::{CompiledProgram, FunctionExecutor, Planner};

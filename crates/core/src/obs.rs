@@ -299,6 +299,18 @@ pub struct EngineMetrics {
     pub cache_hits: Arc<Counter>,
     /// `engine.cache_misses` — plan-cache misses.
     pub cache_misses: Arc<Counter>,
+    /// `engine.limit_trips.depth` — runs stopped by the recursion-depth
+    /// limit (`XQB0040`; DESIGN.md §12).
+    pub limit_depth: Arc<Counter>,
+    /// `engine.limit_trips.fuel` — runs stopped by fuel exhaustion
+    /// (`XQB0041`).
+    pub limit_fuel: Arc<Counter>,
+    /// `engine.limit_trips.deadline` — runs stopped by the wall-clock
+    /// deadline (`XQB0042`).
+    pub limit_deadline: Arc<Counter>,
+    /// `engine.limit_trips.memory` — runs stopped by the memory budget
+    /// (`XQB0043`).
+    pub limit_memory: Arc<Counter>,
     /// `engine.run_ns` — per-run wall time histogram (nanoseconds).
     pub run_ns: Arc<Histogram>,
 }
@@ -319,7 +331,23 @@ impl EngineMetrics {
             par_items: g.counter("engine.par_items"),
             cache_hits: g.counter("engine.cache_hits"),
             cache_misses: g.counter("engine.cache_misses"),
+            limit_depth: g.counter("engine.limit_trips.depth"),
+            limit_fuel: g.counter("engine.limit_trips.fuel"),
+            limit_deadline: g.counter("engine.limit_trips.deadline"),
+            limit_memory: g.counter("engine.limit_trips.memory"),
             run_ns: g.histogram("engine.run_ns"),
+        }
+    }
+
+    /// Bump the limit-trip counter matching `code`, if it is one of the
+    /// `XQB004x` resource-governance codes.
+    pub fn note_limit_trip(&self, code: &str) {
+        match code {
+            "XQB0040" => self.limit_depth.add(1),
+            "XQB0041" => self.limit_fuel.add(1),
+            "XQB0042" => self.limit_deadline.add(1),
+            "XQB0043" => self.limit_memory.add(1),
+            _ => {}
         }
     }
 }

@@ -30,8 +30,9 @@
 
 use crate::effects::{Effect, EffectAnalysis};
 use crate::env::{DynEnv, Focus};
-use crate::eval::{cmp_keys, gather_axis, require_node, MAX_DEPTH};
+use crate::eval::{cmp_keys, gather_axis, require_node};
 use crate::functions;
+use crate::limits::{self, LimitGuard, TripKind};
 use std::collections::{HashMap, HashSet};
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic};
 use xqdm::item::{self, Item, Sequence};
@@ -44,8 +45,9 @@ use xqsyn::core::{Core, CoreFunction};
 pub const PAR_MIN_ITEMS: usize = 4;
 
 /// Stack size for parallel workers: pure evaluation recurses like the main
-/// evaluation thread (same [`MAX_DEPTH`]), so workers get the same
-/// headroom. The reservation is virtual; pages commit lazily.
+/// evaluation thread (same depth limit, [`crate::limits::Limits::max_depth`]),
+/// so workers get the same headroom. The reservation is virtual; pages
+/// commit lazily.
 const PAR_STACK_BYTES: usize = 64 << 20;
 
 /// Upper bound on configured worker counts (a typo like `XQB_THREADS=800`
@@ -155,6 +157,12 @@ pub struct PureCtx<'a> {
     pub functions: &'a HashMap<(String, usize), CoreFunction>,
     /// Global variable bindings.
     pub globals: &'a HashMap<String, Sequence>,
+    /// The evaluator's armed limit guard, shared by every worker: the
+    /// first worker to exceed a limit trips it and every sibling's next
+    /// tick unwinds with the same error class (DESIGN.md §12).
+    pub guard: &'a LimitGuard,
+    /// The evaluator's recursion-depth limit (`XQB0040`).
+    pub max_depth: usize,
 }
 
 /// Fan `items` out over at most `threads` scoped workers and collect the
@@ -164,6 +172,12 @@ pub struct PureCtx<'a> {
 /// order. A panicking worker propagates its panic to the caller after the
 /// scope joins every thread — identical blast radius to a panic in a
 /// sequential loop (the engine's catch/rollback sees the same thing).
+///
+/// Thread-spawn failure (an OS resource limit, not a query error) degrades
+/// gracefully: chunks whose worker could not be spawned are evaluated
+/// sequentially on the calling thread after the spawned workers join, and
+/// the `engine.par_spawn_fallback` counter records the event. A pure body
+/// cannot observe the difference.
 pub fn par_map<T, F>(threads: usize, env: &DynEnv, items: &[T], f: F) -> Vec<XdmResult<Sequence>>
 where
     T: Sync,
@@ -181,6 +195,7 @@ where
     }
     let chunk = n.div_ceil(workers);
     let mut results: Vec<Option<XdmResult<Sequence>>> = (0..n).map(|_| None).collect();
+    let mut spawn_failed = false;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         let mut rest: &mut [Option<XdmResult<Sequence>>] = &mut results;
@@ -195,17 +210,21 @@ where
             let chunk_items = &items[lo..hi];
             let f = &f;
             let mut wenv = env.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("xqb-par-{w}"))
-                    .stack_size(PAR_STACK_BYTES)
-                    .spawn_scoped(scope, move || {
-                        for (j, it) in chunk_items.iter().enumerate() {
-                            slot[j] = Some(f(&mut wenv, lo + j, it));
-                        }
-                    })
-                    .expect("spawn parallel worker"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("xqb-par-{w}"))
+                .stack_size(PAR_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    for (j, it) in chunk_items.iter().enumerate() {
+                        slot[j] = Some(f(&mut wenv, lo + j, it));
+                    }
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                // An OS thread limit is not the query's fault: the dropped
+                // closure releases its slots (still `None`), and the
+                // sequential sweep below fills them.
+                Err(_) => spawn_failed = true,
+            }
         }
         for h in handles {
             if let Err(p) = h.join() {
@@ -213,6 +232,17 @@ where
             }
         }
     });
+    if spawn_failed {
+        crate::obs::global()
+            .counter("engine.par_spawn_fallback")
+            .add(1);
+        let mut fenv = env.clone();
+        for (i, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(f(&mut fenv, i, &items[i]));
+            }
+        }
+    }
     // Order preservation: the chunks partition 0..n exactly, so every slot
     // must be filled — a hole would mean dropped or reordered work.
     debug_assert!(
@@ -244,10 +274,12 @@ fn non_pure(what: &str) -> XdmError {
 
 /// The `Pure` subset of the dynamic semantics over a shared `&Store`.
 /// `depth` is the evaluator's recursion depth at the fan-out point, so the
-/// `XQB0020` recursion limit fires at exactly the nesting the sequential
-/// evaluation would have reported. Operators outside the subset (updates,
-/// constructors, `copy`, `snap`) report `XQB0051`: the gate excludes them
-/// statically, so reaching one is a gate bug, never a user error.
+/// `XQB0040` recursion limit fires at exactly the nesting the sequential
+/// evaluation would have reported. Every step ticks the shared
+/// [`LimitGuard`], so fuel/deadline trips cancel sibling workers
+/// cooperatively. Operators outside the subset (updates, constructors,
+/// `copy`, `snap`) report `XQB0051`: the gate excludes them statically, so
+/// reaching one is a gate bug, never a user error.
 pub fn eval_pure(
     ctx: &PureCtx<'_>,
     store: &Store,
@@ -256,12 +288,11 @@ pub fn eval_pure(
     expr: &Core,
 ) -> XdmResult<Sequence> {
     let depth = depth + 1;
-    if depth > MAX_DEPTH {
-        return Err(XdmError::new(
-            "XQB0020",
-            "evaluation recursion limit exceeded",
-        ));
+    if depth > ctx.max_depth {
+        ctx.guard.note_trip(TripKind::Depth);
+        return Err(limits::depth_error(ctx.max_depth));
     }
+    ctx.guard.tick()?;
     match expr {
         Core::Const(a) => Ok(vec![Item::Atomic(a.clone())]),
         Core::Var(name) => match env.var(name) {
@@ -492,6 +523,12 @@ pub fn eval_pure(
             match (la, ra) {
                 (Some(a), Some(b)) => {
                     let (a, b) = (a.to_integer()?, b.to_integer()?);
+                    let span = b
+                        .checked_sub(a)
+                        .and_then(|d| d.checked_add(1))
+                        .unwrap_or(i64::MAX)
+                        .max(0) as u64;
+                    ctx.guard.charge(span)?;
                     Ok((a..=b).map(Item::integer).collect())
                 }
                 _ => Ok(vec![]),

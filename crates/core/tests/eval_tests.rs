@@ -426,7 +426,7 @@ fn runaway_recursion_is_caught() {
     let err = e
         .run("declare function loop($n) { loop($n + 1) }; loop(0)")
         .unwrap_err();
-    assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQB0020"));
+    assert!(matches!(err, xqcore::Error::Eval(x) if x.code == "XQB0040"));
 }
 
 #[test]

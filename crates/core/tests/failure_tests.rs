@@ -289,7 +289,7 @@ fn recursion_limit_error_leaves_clean_state() {
         "declare function spin($n) { (insert { <s/> } into { $doc/x }, spin($n + 1)) };
          spin(0)",
     );
-    assert!(matches!(err, Err(Error::Eval(x)) if x.code == "XQB0020"));
+    assert!(matches!(err, Err(Error::Eval(x)) if x.code == "XQB0040"));
     assert_eq!(run(&mut e, "count($doc/x/*)"), "0");
 }
 

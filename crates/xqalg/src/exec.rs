@@ -55,6 +55,11 @@ pub fn execute_at(
     env: &mut DynEnv,
 ) -> XdmResult<Sequence> {
     evaluator.note_plan_node();
+    // The compiled path's cooperative limit check (DESIGN.md §12): one
+    // unit of fuel and a periodic deadline poll per plan node, mirroring
+    // the interpreter's per-eval-step tick. Iterate leaves re-enter the
+    // interpreter, whose own ticks then take over.
+    evaluator.limit_tick()?;
     if !evaluator.profiling() {
         return run_node(plan, base, evaluator, store, env);
     }

@@ -12,12 +12,40 @@ use crate::node::{NodeId, NodeKind};
 use crate::qname::QName;
 use crate::store::Store;
 
+/// Default cap on XML element nesting depth (`XQB_MAX_XML_DEPTH` overrides).
+///
+/// The element parser is iterative, so the cap is not about the thread
+/// stack — it is a resource-governance bound: a maliciously deep document
+/// is reported as `XQB0040` instead of ballooning the open-element stack.
+pub const DEFAULT_MAX_XML_DEPTH: usize = 4096;
+
+/// Read the XML depth cap from `XQB_MAX_XML_DEPTH`, falling back to
+/// [`DEFAULT_MAX_XML_DEPTH`]. Zero and unparsable values are ignored.
+pub fn max_xml_depth_from_env() -> usize {
+    std::env::var("XQB_MAX_XML_DEPTH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(DEFAULT_MAX_XML_DEPTH)
+}
+
 /// Parse an XML document into `store`, returning the new document node.
 pub fn parse_document(store: &mut Store, input: &str) -> XdmResult<NodeId> {
+    parse_document_with_limit(store, input, max_xml_depth_from_env())
+}
+
+/// [`parse_document`] with an explicit element-nesting depth limit.
+/// Exceeding it yields an `XQB0040` error.
+pub fn parse_document_with_limit(
+    store: &mut Store,
+    input: &str,
+    max_depth: usize,
+) -> XdmResult<NodeId> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
         store,
+        max_depth,
     };
     let doc = p.store.new_document();
     p.skip_misc()?;
@@ -39,10 +67,20 @@ pub fn parse_document(store: &mut Store, input: &str) -> XdmResult<NodeId> {
 /// Parse an XML *fragment* (possibly multiple top-level elements and text)
 /// into parentless nodes. Useful in tests and the data generator.
 pub fn parse_fragment(store: &mut Store, input: &str) -> XdmResult<Vec<NodeId>> {
+    parse_fragment_with_limit(store, input, max_xml_depth_from_env())
+}
+
+/// [`parse_fragment`] with an explicit element-nesting depth limit.
+pub fn parse_fragment_with_limit(
+    store: &mut Store,
+    input: &str,
+    max_depth: usize,
+) -> XdmResult<Vec<NodeId>> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
         store,
+        max_depth,
     };
     let mut out = Vec::new();
     loop {
@@ -73,6 +111,7 @@ struct Parser<'a, 's> {
     input: &'a [u8],
     pos: usize,
     store: &'s mut Store,
+    max_depth: usize,
 }
 
 impl<'a, 's> Parser<'a, 's> {
@@ -170,21 +209,22 @@ impl<'a, 's> Parser<'a, 's> {
         QName::parse(s).ok_or_else(|| XdmError::parse(format!("invalid QName \"{s}\"")))
     }
 
-    fn parse_element(&mut self) -> XdmResult<NodeId> {
+    /// Parse a start tag beginning at `<`: name, attributes, and either
+    /// `>` (returns `open = true`) or `/>` (`open = false`).
+    fn parse_start_tag(&mut self) -> XdmResult<(NodeId, QName, bool)> {
         self.expect("<")?;
         let name = self.parse_name()?;
         let elem = self.store.new_element(name.clone());
-        // Attributes.
         loop {
             self.skip_ws();
             match self.peek() {
                 Some(b'>') => {
                     self.pos += 1;
-                    break;
+                    return Ok((elem, name, true));
                 }
                 Some(b'/') => {
                     self.expect("/>")?;
-                    return Ok(elem);
+                    return Ok((elem, name, false));
                 }
                 Some(_) => {
                     let aname = self.parse_name()?;
@@ -215,45 +255,80 @@ impl<'a, 's> Parser<'a, 's> {
                 None => return Err(XdmError::parse("unexpected end of input in start tag")),
             }
         }
-        // Content.
+    }
+
+    /// Parse one element subtree (cursor at `<`).
+    ///
+    /// Iterative: the open elements live on an explicit `Vec` rather than
+    /// the call stack, so arbitrarily deep input cannot overflow the thread
+    /// stack — it trips the `max_depth` bound with `XQB0040` instead.
+    fn parse_element(&mut self) -> XdmResult<NodeId> {
+        // Open (started, not yet closed) ancestor elements, innermost last.
+        let mut stack: Vec<(NodeId, QName)> = Vec::new();
         loop {
-            match self.peek() {
-                None => {
-                    return Err(XdmError::parse(format!(
-                        "unexpected end of input inside <{name}>"
-                    )))
-                }
-                Some(b'<') => {
-                    if self.rest().starts_with(b"</") {
-                        self.expect("</")?;
-                        let close = self.parse_name()?;
-                        if close != name {
-                            return Err(XdmError::parse(format!(
-                                "mismatched end tag </{close}> for <{name}>"
-                            )));
-                        }
-                        self.skip_ws();
-                        self.expect(">")?;
-                        return Ok(elem);
-                    } else if self.rest().starts_with(b"<!--") {
-                        let c = self.parse_comment()?;
-                        self.store.append_child(elem, c)?;
-                    } else if self.rest().starts_with(b"<![CDATA[") {
-                        let t = self.parse_cdata()?;
-                        self.store.append_child(elem, t)?;
-                    } else if self.rest().starts_with(b"<?") {
-                        let pi = self.parse_pi()?;
-                        self.store.append_child(elem, pi)?;
-                    } else {
-                        let child = self.parse_element()?;
-                        self.store.append_child(elem, child)?;
+            // The cursor is at the `<` of a start tag. The new element sits
+            // at nesting depth stack.len() + 1 (root = 1).
+            if stack.len() >= self.max_depth {
+                return Err(XdmError::new(
+                    "XQB0040",
+                    format!(
+                        "XML element nesting depth limit exceeded (max {})",
+                        self.max_depth
+                    ),
+                ));
+            }
+            let (elem, name, open) = self.parse_start_tag()?;
+            if let Some(&(parent, _)) = stack.last() {
+                self.store.append_child(parent, elem)?;
+            }
+            if open {
+                stack.push((elem, name));
+            } else if stack.is_empty() {
+                return Ok(elem); // self-closing root
+            }
+            // Content of the innermost open element, until a child start
+            // tag (back to the outer loop) or an end tag (pop).
+            while let Some((cur, cur_name)) = stack.last().cloned() {
+                match self.peek() {
+                    None => {
+                        return Err(XdmError::parse(format!(
+                            "unexpected end of input inside <{cur_name}>"
+                        )))
                     }
-                }
-                Some(_) => {
-                    let text = self.parse_text()?;
-                    if !text.is_empty() {
-                        let t = self.store.new_text(text);
-                        self.store.append_child(elem, t)?;
+                    Some(b'<') => {
+                        if self.rest().starts_with(b"</") {
+                            self.expect("</")?;
+                            let close = self.parse_name()?;
+                            if close != cur_name {
+                                return Err(XdmError::parse(format!(
+                                    "mismatched end tag </{close}> for <{cur_name}>"
+                                )));
+                            }
+                            self.skip_ws();
+                            self.expect(">")?;
+                            stack.pop();
+                            if stack.is_empty() {
+                                return Ok(cur);
+                            }
+                        } else if self.rest().starts_with(b"<!--") {
+                            let c = self.parse_comment()?;
+                            self.store.append_child(cur, c)?;
+                        } else if self.rest().starts_with(b"<![CDATA[") {
+                            let t = self.parse_cdata()?;
+                            self.store.append_child(cur, t)?;
+                        } else if self.rest().starts_with(b"<?") {
+                            let pi = self.parse_pi()?;
+                            self.store.append_child(cur, pi)?;
+                        } else {
+                            break; // child element: outer loop parses it
+                        }
+                    }
+                    Some(_) => {
+                        let text = self.parse_text()?;
+                        if !text.is_empty() {
+                            let t = self.store.new_text(text);
+                            self.store.append_child(cur, t)?;
+                        }
                     }
                 }
             }
@@ -414,109 +489,163 @@ pub fn serialize_pretty(store: &Store, node: NodeId) -> XdmResult<String> {
     Ok(out)
 }
 
+// Like the parser, the serializers are iterative with an explicit work
+// stack: a document nested to the (configurable) depth limit must
+// serialize without exhausting the native stack, same as it parses.
 fn pretty_into(store: &Store, node: NodeId, depth: usize, out: &mut String) -> XdmResult<()> {
-    match store.kind(node)? {
-        NodeKind::Document { children } => {
-            for (i, &c) in children.iter().enumerate() {
-                if i > 0 {
-                    out.push('\n');
-                }
-                pretty_into(store, c, depth, out)?;
-            }
-        }
-        NodeKind::Element { .. } => {
-            let children = store.children(node)?.to_vec();
-            let has_text = children
-                .iter()
-                .any(|&c| matches!(store.kind(c), Ok(NodeKind::Text { .. })));
-            if children.is_empty() || has_text {
-                // Leaf or mixed content: single-line, exact.
-                serialize_into(store, node, out)?;
-                return Ok(());
-            }
-            // Element-only content: open tag, indented children, close.
-            out.push('<');
-            out.push_str(&store.name(node)?.expect("element has a name").to_string());
-            for &a in store.attributes(node)? {
-                if let NodeKind::Attribute { name, value } = store.kind(a)? {
-                    out.push(' ');
-                    out.push_str(&name.to_string());
-                    out.push_str("=\"");
-                    out.push_str(&escape_attribute(value));
-                    out.push('"');
-                }
-            }
-            out.push('>');
-            for &c in &children {
+    enum Work {
+        Node(NodeId, usize),
+        /// `'\n'` between document-level children.
+        Sep,
+        /// `'\n'` plus indentation before a nested child.
+        Line(usize),
+        /// `'\n'`, indentation, and the close tag of an open element.
+        Close(NodeId, usize),
+    }
+    let mut stack = vec![Work::Node(node, depth)];
+    while let Some(w) = stack.pop() {
+        let (node, depth) = match w {
+            Work::Sep => {
                 out.push('\n');
-                out.push_str(&"  ".repeat(depth + 1));
-                pretty_into(store, c, depth + 1, out)?;
+                continue;
             }
-            out.push('\n');
-            out.push_str(&"  ".repeat(depth));
-            out.push_str("</");
-            out.push_str(&store.name(node)?.expect("element has a name").to_string());
-            out.push('>');
+            Work::Line(d) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(d));
+                continue;
+            }
+            Work::Close(n, d) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(d));
+                out.push_str("</");
+                out.push_str(&store.name(n)?.expect("element has a name").to_string());
+                out.push('>');
+                continue;
+            }
+            Work::Node(n, d) => (n, d),
+        };
+        match store.kind(node)? {
+            NodeKind::Document { children } => {
+                for (i, &c) in children.iter().enumerate().rev() {
+                    stack.push(Work::Node(c, depth));
+                    if i > 0 {
+                        stack.push(Work::Sep);
+                    }
+                }
+            }
+            NodeKind::Element { .. } => {
+                let children = store.children(node)?;
+                let has_text = children
+                    .iter()
+                    .any(|&c| matches!(store.kind(c), Ok(NodeKind::Text { .. })));
+                if children.is_empty() || has_text {
+                    // Leaf or mixed content: single-line, exact.
+                    serialize_into(store, node, out)?;
+                    continue;
+                }
+                // Element-only content: open tag, indented children, close.
+                out.push('<');
+                out.push_str(&store.name(node)?.expect("element has a name").to_string());
+                for &a in store.attributes(node)? {
+                    if let NodeKind::Attribute { name, value } = store.kind(a)? {
+                        out.push(' ');
+                        out.push_str(&name.to_string());
+                        out.push_str("=\"");
+                        out.push_str(&escape_attribute(value));
+                        out.push('"');
+                    }
+                }
+                out.push('>');
+                stack.push(Work::Close(node, depth));
+                for &c in children.iter().rev() {
+                    stack.push(Work::Node(c, depth + 1));
+                    stack.push(Work::Line(depth + 1));
+                }
+            }
+            _ => serialize_into(store, node, out)?,
         }
-        _ => serialize_into(store, node, out)?,
     }
     Ok(())
 }
 
 fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()> {
-    match store.kind(node)? {
-        NodeKind::Document { children } => {
-            for &c in children {
-                serialize_into(store, c, out)?;
-            }
-        }
-        NodeKind::Element { name, .. } => {
-            out.push('<');
-            out.push_str(&name.to_string());
-            for &a in store.attributes(node)? {
-                if let NodeKind::Attribute { name, value } = store.kind(a)? {
-                    out.push(' ');
-                    out.push_str(&name.to_string());
-                    out.push_str("=\"");
-                    out.push_str(&escape_attribute(value));
-                    out.push('"');
+    enum Work {
+        Node(NodeId),
+        Close(NodeId),
+    }
+    fn serialize_node(
+        store: &Store,
+        node: NodeId,
+        stack: &mut Vec<Work>,
+        out: &mut String,
+    ) -> XdmResult<()> {
+        match store.kind(node)? {
+            NodeKind::Document { children } => {
+                for &c in children.iter().rev() {
+                    stack.push(Work::Node(c));
                 }
             }
-            let children = store.children(node)?.to_vec();
-            if children.is_empty() {
-                out.push_str("/>");
-            } else {
-                out.push('>');
-                for c in children {
-                    serialize_into(store, c, out)?;
+            NodeKind::Element { name, .. } => {
+                out.push('<');
+                out.push_str(&name.to_string());
+                for &a in store.attributes(node)? {
+                    if let NodeKind::Attribute { name, value } = store.kind(a)? {
+                        out.push(' ');
+                        out.push_str(&name.to_string());
+                        out.push_str("=\"");
+                        out.push_str(&escape_attribute(value));
+                        out.push('"');
+                    }
                 }
-                out.push_str("</");
-                out.push_str(&store.name(node)?.unwrap().to_string());
-                out.push('>');
+                let children = store.children(node)?;
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    stack.push(Work::Close(node));
+                    for &c in children.iter().rev() {
+                        stack.push(Work::Node(c));
+                    }
+                }
             }
-        }
-        NodeKind::Attribute { name, value } => {
-            // A bare attribute serializes as name="value" (useful for debug).
-            out.push_str(&name.to_string());
-            out.push_str("=\"");
-            out.push_str(&escape_attribute(value));
-            out.push('"');
-        }
-        NodeKind::Text { content } => out.push_str(&escape_text(content)),
-        NodeKind::Comment { content } => {
-            out.push_str("<!--");
-            out.push_str(content);
-            out.push_str("-->");
-        }
-        NodeKind::Pi { target, content } => {
-            out.push_str("<?");
-            out.push_str(target);
-            if !content.is_empty() {
-                out.push(' ');
+            NodeKind::Attribute { name, value } => {
+                // A bare attribute serializes as name="value" (useful for debug).
+                out.push_str(&name.to_string());
+                out.push_str("=\"");
+                out.push_str(&escape_attribute(value));
+                out.push('"');
+            }
+            NodeKind::Text { content } => out.push_str(&escape_text(content)),
+            NodeKind::Comment { content } => {
+                out.push_str("<!--");
                 out.push_str(content);
+                out.push_str("-->");
             }
-            out.push_str("?>");
+            NodeKind::Pi { target, content } => {
+                out.push_str("<?");
+                out.push_str(target);
+                if !content.is_empty() {
+                    out.push(' ');
+                    out.push_str(content);
+                }
+                out.push_str("?>");
+            }
         }
+        Ok(())
+    }
+
+    let mut stack = vec![Work::Node(node)];
+    while let Some(w) = stack.pop() {
+        let node = match w {
+            Work::Close(n) => {
+                out.push_str("</");
+                out.push_str(&store.name(n)?.unwrap().to_string());
+                out.push('>');
+                continue;
+            }
+            Work::Node(n) => n,
+        };
+        serialize_node(store, node, &mut stack, out)?;
     }
     Ok(())
 }
@@ -670,6 +799,63 @@ mod tests {
                 .collect()
         };
         assert_eq!(texts(&s, &b1), texts(&s2, &b2));
+    }
+
+    #[test]
+    fn million_deep_document_is_an_error_not_an_abort() {
+        // Before the iterative rewrite this overflowed the thread stack and
+        // aborted the whole process; now it must surface as XQB0040.
+        let n = 1_000_000;
+        let mut xml = String::with_capacity(n * 8);
+        for _ in 0..n {
+            xml.push_str("<a>");
+        }
+        xml.push('x');
+        for _ in 0..n {
+            xml.push_str("</a>");
+        }
+        let mut s = Store::new();
+        let err = parse_document(&mut s, &xml).unwrap_err();
+        assert_eq!(err.code, "XQB0040");
+    }
+
+    #[test]
+    fn xml_depth_limit_is_configurable() {
+        let mut s = Store::new();
+        let err = parse_document_with_limit(&mut s, "<a><b><c/></b></a>", 2).unwrap_err();
+        assert_eq!(err.code, "XQB0040");
+        assert!(parse_document_with_limit(&mut s, "<a><b><c/></b></a>", 3).is_ok());
+        // Fragments honour the limit too.
+        assert!(parse_fragment_with_limit(&mut s, "<a><b/></a><c><d/></c>", 2).is_ok());
+        assert_eq!(
+            parse_fragment_with_limit(&mut s, "<a><b><c/></b></a>", 2)
+                .unwrap_err()
+                .code,
+            "XQB0040"
+        );
+    }
+
+    #[test]
+    fn deep_but_legal_document_round_trips() {
+        // Depth well past the old recursive parser's comfort zone but under
+        // the default limit: must parse and serialize correctly.
+        let n = 2000;
+        let mut xml = String::new();
+        for _ in 0..n {
+            xml.push_str("<d>");
+        }
+        xml.push('x');
+        for _ in 0..n {
+            xml.push_str("</d>");
+        }
+        let mut s = Store::new();
+        let doc = parse_document(&mut s, &xml).unwrap();
+        assert_eq!(serialize(&s, doc).unwrap(), xml);
+        // The pretty serializer is iterative too: element-only nesting at
+        // this depth must indent, not overflow.
+        let pretty = serialize_pretty(&s, doc).unwrap();
+        assert!(pretty.starts_with("<d>\n  <d>"));
+        assert!(pretty.ends_with("</d>\n</d>"));
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct Cursor<'a> {
     input: &'a [u8],
     /// Current byte offset.
     pub pos: usize,
+    /// Byte offset of the first `(:` whose comment ran to end of input
+    /// without a closing `:)`. Recorded (not raised) by [`skip_trivia`],
+    /// which is infallible; the top-level parse entry points turn it into
+    /// a proper error instead of silently treating the tail as trivia.
+    ///
+    /// [`skip_trivia`]: Cursor::skip_trivia
+    unterminated_comment: Option<usize>,
 }
 
 impl<'a> Cursor<'a> {
@@ -74,7 +81,14 @@ impl<'a> Cursor<'a> {
         Cursor {
             input: input.as_bytes(),
             pos: 0,
+            unterminated_comment: None,
         }
+    }
+
+    /// Position of the first unterminated `(:` comment skipped so far, if
+    /// any (see the field doc).
+    pub fn unterminated_comment(&self) -> Option<usize> {
+        self.unterminated_comment
     }
 
     /// The byte at the cursor.
@@ -142,6 +156,7 @@ impl<'a> Cursor<'a> {
                 self.pos += 1;
             }
             if self.rest().starts_with(b"(:") {
+                let open = self.pos;
                 let mut depth = 0usize;
                 while self.pos < self.input.len() {
                     if self.rest().starts_with(b"(:") {
@@ -156,6 +171,9 @@ impl<'a> Cursor<'a> {
                     } else {
                         self.pos += 1;
                     }
+                }
+                if depth > 0 && self.unterminated_comment.is_none() {
+                    self.unterminated_comment = Some(open);
                 }
             } else {
                 return;

@@ -30,10 +30,22 @@ pub mod pretty;
 pub use ast::{Declaration, Expr, Program};
 pub use core::{Core, CoreFunction, CoreProgram};
 pub use normalize::normalize_program;
-pub use parser::{parse_expr, parse_program, ParseError};
+pub use parser::{
+    max_parse_depth_from_env, parse_expr, parse_expr_with_limit, parse_program,
+    parse_program_with_limit, ParseError, DEFAULT_MAX_PARSE_DEPTH,
+};
 
 /// Parse and normalize a full XQuery! program (prolog + body) in one step.
 pub fn compile(input: &str) -> Result<CoreProgram, ParseError> {
-    let prog = parse_program(input)?;
+    compile_with_limit(input, max_parse_depth_from_env())
+}
+
+/// [`compile`] with an explicit expression-nesting depth limit.
+///
+/// Exceeding the limit yields a `ParseError` whose message carries the
+/// `XQB0040` code, so runaway nesting is a reported error rather than a
+/// parser stack overflow.
+pub fn compile_with_limit(input: &str, max_depth: usize) -> Result<CoreProgram, ParseError> {
+    let prog = parse_program_with_limit(input, max_depth)?;
     Ok(normalize_program(&prog))
 }

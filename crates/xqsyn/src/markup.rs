@@ -87,8 +87,10 @@ impl<'a> Parser<'a> {
                         self.cur.expect("-->")?;
                         continue;
                     }
-                    let child = self.parse_direct_element()?;
-                    content.push(DirectContent::Element(child));
+                    self.enter()?;
+                    let child = self.parse_direct_element();
+                    self.leave();
+                    content.push(DirectContent::Element(child?));
                 }
                 Some(b'{') => {
                     if self.cur.rest().starts_with(b"{{") {

@@ -18,33 +18,133 @@ use xqdm::atomic::{ArithOp, CompareOp};
 
 pub use crate::cursor::ParseError;
 
+/// Default maximum expression nesting depth. The parser recurses once per
+/// nesting level (through the whole precedence tower, so one paren level
+/// costs several native frames); a malicious `((((…1…))))` must become a
+/// parse error (`XQB0040`), not a stack overflow. Deep enough for any
+/// realistic query, shallow enough for a 2 MiB thread stack. Override per
+/// call with [`parse_program_with_limit`] / [`parse_expr_with_limit`], or
+/// process-wide with the `XQB_MAX_PARSE_DEPTH` env var.
+pub const DEFAULT_MAX_PARSE_DEPTH: usize = 200;
+
+/// [`DEFAULT_MAX_PARSE_DEPTH`], overridden by `XQB_MAX_PARSE_DEPTH`.
+pub fn max_parse_depth_from_env() -> usize {
+    std::env::var("XQB_MAX_PARSE_DEPTH")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|d| d.max(1))
+        .unwrap_or(DEFAULT_MAX_PARSE_DEPTH)
+}
+
+/// Stack size for the dedicated parse thread. The recursive-descent tower
+/// costs several native frames per nesting level (tens of KiB each in
+/// debug builds), so [`DEFAULT_MAX_PARSE_DEPTH`] levels need far more
+/// headroom than the 2 MiB default of test threads. 16 MiB fits the
+/// default limit with a wide margin; raising `XQB_MAX_PARSE_DEPTH` far
+/// beyond the default needs a correspondingly larger value here.
+const PARSE_STACK_BYTES: usize = 16 << 20;
+
+/// Run `f` on a scoped thread with a parse-sized stack (mirrors the
+/// evaluator's `with_eval_stack`). If the OS refuses to spawn a thread,
+/// fall back to parsing inline on the caller's stack — the depth limit
+/// still bounds recursion, just with less native headroom.
+fn with_parse_stack<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    // `spawn_scoped` consumes its closure even when it fails, so the
+    // function and result travel through Options the worker borrows; after
+    // the scope the borrows are back and we can tell what happened.
+    let mut func = Some(f);
+    let mut slot: Option<R> = None;
+    let mut panic_payload = None;
+    {
+        let func_ref = &mut func;
+        let slot_ref = &mut slot;
+        std::thread::scope(|scope| {
+            let worker = move || {
+                if let Some(g) = func_ref.take() {
+                    *slot_ref = Some(g());
+                }
+            };
+            if let Ok(handle) = std::thread::Builder::new()
+                .name("xquery-parse".into())
+                .stack_size(PARSE_STACK_BYTES)
+                .spawn_scoped(scope, worker)
+            {
+                if let Err(p) = handle.join() {
+                    panic_payload = Some(p);
+                }
+            }
+        });
+    }
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+    match (slot, func) {
+        (Some(r), _) => r,
+        // Spawn failed: parse inline on the caller's stack. The depth
+        // limit still bounds recursion, just with less native headroom.
+        (None, Some(g)) => g(),
+        (None, None) => unreachable!("parse worker neither returned nor panicked"),
+    }
+}
+
 /// Parse a complete main module (prolog + body).
 pub fn parse_program(input: &str) -> PResult<Program> {
-    let mut p = Parser {
-        cur: Cursor::new(input),
-    };
-    let prog = p.parse_program()?;
-    if !p.cur.at_end() {
-        return p.cur.err("unexpected trailing input");
-    }
-    Ok(prog)
+    parse_program_with_limit(input, max_parse_depth_from_env())
+}
+
+/// [`parse_program`] with an explicit nesting-depth limit.
+pub fn parse_program_with_limit(input: &str, max_depth: usize) -> PResult<Program> {
+    with_parse_stack(move || {
+        let mut p = Parser {
+            cur: Cursor::new(input),
+            depth: 0,
+            max_depth,
+        };
+        let r = p.parse_program();
+        let r = match r {
+            Ok(_) if !p.cur.at_end() => p.cur.err("unexpected trailing input"),
+            other => other,
+        };
+        // An unterminated `(:` swallows the rest of the input, so whatever
+        // error the parser hit afterwards is a symptom — report the cause.
+        p.check_comments()?;
+        r
+    })
 }
 
 /// Parse a standalone expression (no prolog).
 pub fn parse_expr(input: &str) -> PResult<Expr> {
-    let mut p = Parser {
-        cur: Cursor::new(input),
-    };
-    let e = p.parse_expr()?;
-    if !p.cur.at_end() {
-        return p.cur.err("unexpected trailing input");
-    }
-    Ok(e)
+    parse_expr_with_limit(input, max_parse_depth_from_env())
+}
+
+/// [`parse_expr`] with an explicit nesting-depth limit.
+pub fn parse_expr_with_limit(input: &str, max_depth: usize) -> PResult<Expr> {
+    with_parse_stack(move || {
+        let mut p = Parser {
+            cur: Cursor::new(input),
+            depth: 0,
+            max_depth,
+        };
+        let r = p.parse_expr();
+        let r = match r {
+            Ok(_) if !p.cur.at_end() => p.cur.err("unexpected trailing input"),
+            other => other,
+        };
+        // See parse_program_with_limit: the comment diagnosis is the root
+        // cause of any error past the unterminated `(:` — prefer it.
+        p.check_comments()?;
+        r
+    })
 }
 
 /// The parser state.
 pub(crate) struct Parser<'a> {
     pub(crate) cur: Cursor<'a>,
+    /// Current expression nesting depth (one level per
+    /// [`Parser::parse_expr_single`] or direct-element nesting).
+    depth: usize,
+    /// Depth at which parsing stops with an `XQB0040` error.
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -151,6 +251,52 @@ impl<'a> Parser<'a> {
     }
 
     pub(crate) fn parse_expr_single(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.parse_expr_single_inner();
+        self.leave();
+        r
+    }
+
+    /// One level of expression nesting: every `ExprSingle` and every direct
+    /// element constructor descends through here, so the recursion of the
+    /// precedence tower is bounded by [`Parser::max_depth`] native frames
+    /// (times a small constant) — a hostile input errors with `XQB0040`
+    /// instead of overflowing the stack. The code lives in the message
+    /// because [`ParseError`] has no code field; callers that classify
+    /// resource trips (the engine's limit counters) match on it there.
+    pub(crate) fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(ParseError::new(
+                self.cur.pos,
+                format!(
+                    "XQB0040: expression nesting depth limit exceeded (max {})",
+                    self.max_depth
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Balance [`Parser::enter`].
+    pub(crate) fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Error out if an unterminated `(: …` comment was silently skipped
+    /// (recorded by the cursor; see [`Cursor::unterminated_comment`]).
+    fn check_comments(&self) -> PResult<()> {
+        match self.cur.unterminated_comment() {
+            Some(pos) => Err(ParseError::new(
+                pos,
+                "unterminated comment (missing \":)\")",
+            )),
+            None => Ok(()),
+        }
+    }
+
+    fn parse_expr_single_inner(&mut self) -> PResult<Expr> {
         self.cur.skip_trivia();
         if self.looking_at_flwor_start() {
             return self.parse_flwor();

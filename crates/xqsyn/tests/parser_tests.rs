@@ -602,3 +602,97 @@ fn error_positions_are_reported() {
         e.position
     );
 }
+
+// ---------------------------------------------------------------------
+// Resource governance: nesting depth limits and unterminated comments
+// ---------------------------------------------------------------------
+
+#[test]
+fn hundred_k_deep_expression_is_an_error_not_an_abort() {
+    // Pre-limit parsers recursed once per nesting level and blew the thread
+    // stack; the depth guard must turn this into a reported XQB0040.
+    let n = 100_000;
+    let mut q = String::with_capacity(2 * n + 1);
+    for _ in 0..n {
+        q.push('(');
+    }
+    q.push('1');
+    for _ in 0..n {
+        q.push(')');
+    }
+    let err = parse_expr(&q).unwrap_err();
+    assert!(
+        err.message.contains("XQB0040"),
+        "expected XQB0040 in: {}",
+        err.message
+    );
+}
+
+#[test]
+fn deep_direct_constructors_hit_the_depth_limit_too() {
+    let n = 100_000;
+    let mut q = String::with_capacity(8 * n);
+    for _ in 0..n {
+        q.push_str("<a>");
+    }
+    for _ in 0..n {
+        q.push_str("</a>");
+    }
+    let err = parse_expr(&q).unwrap_err();
+    assert!(err.message.contains("XQB0040"), "got: {}", err.message);
+}
+
+#[test]
+fn parse_depth_limit_is_configurable() {
+    use xqsyn::parse_expr_with_limit;
+    // (((1))) nests three parenthesized expressions.
+    assert!(parse_expr_with_limit("(((1)))", 64).is_ok());
+    let err = parse_expr_with_limit("(((1)))", 2).unwrap_err();
+    assert!(err.message.contains("XQB0040"), "got: {}", err.message);
+}
+
+#[test]
+fn reasonable_nesting_parses_under_the_default_limit() {
+    let n = 100;
+    let mut q = String::new();
+    for _ in 0..n {
+        q.push('(');
+    }
+    q.push('1');
+    for _ in 0..n {
+        q.push(')');
+    }
+    assert!(parse_expr(&q).is_ok());
+}
+
+#[test]
+fn unterminated_comment_is_a_parse_error() {
+    // `(:` opens a comment that never closes: the old skip_trivia silently
+    // consumed to end of input, leaving a confusing downstream error.
+    let err = parse_expr("1 (: oops").unwrap_err();
+    assert!(
+        err.message.contains("unterminated comment"),
+        "got: {}",
+        err.message
+    );
+    // Nested-open variant.
+    let err = parse_expr("(: a (: b :)").unwrap_err();
+    assert!(
+        err.message.contains("unterminated comment"),
+        "got: {}",
+        err.message
+    );
+    // Programs report it too.
+    let err = parse_program("declare variable $x := 1; (: dangling").unwrap_err();
+    assert!(
+        err.message.contains("unterminated comment"),
+        "got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn terminated_comments_still_work() {
+    assert!(parse_expr("1 (: ok :) + 2").is_ok());
+    assert!(parse_expr("(: outer (: inner :) still outer :) 42").is_ok());
+}

@@ -8,6 +8,8 @@
 //!   :plan <query>        show the optimizer's plan for a query
 //!   :analyze <query>     run a query and show the plan with live counters
 //!   :threads [n]         show or set worker threads for pure regions
+//!   :limits [k v]        show resource limits, or set one knob: depth,
+//!                        fuel, deadline-ms, memory-items ("off" disarms)
 //!   :quit                exit
 //! Anything else is evaluated as an XQuery! program. Updates persist in
 //! the session store between queries.
@@ -16,11 +18,54 @@ use std::io::{BufRead, Write};
 use xmarkgen::{Scale, XmarkGen};
 use xquery_bang::{Engine, Item};
 
+fn print_limits(engine: &Engine) {
+    let l = engine.limits();
+    let opt = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
+    println!(
+        "depth = {}, fuel = {}, deadline-ms = {}, memory-items = {}",
+        l.max_depth,
+        opt(l.fuel),
+        opt(l.deadline_ms),
+        opt(l.memory_items)
+    );
+}
+
+fn set_limit(engine: &mut Engine, knob: &str, value: &str) -> Result<(), String> {
+    let mut l = *engine.limits();
+    let parse_opt = |v: &str| -> Result<Option<u64>, String> {
+        if v == "off" {
+            Ok(None)
+        } else {
+            v.parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("bad value \"{v}\" (expected a number or \"off\")"))
+        }
+    };
+    match knob {
+        "depth" => {
+            l.max_depth = value
+                .parse::<usize>()
+                .map_err(|_| format!("bad value \"{value}\" (depth is always finite)"))?
+                .max(1);
+        }
+        "fuel" => l.fuel = parse_opt(value)?,
+        "deadline-ms" => l.deadline_ms = parse_opt(value)?,
+        "memory-items" => l.memory_items = parse_opt(value)?,
+        other => {
+            return Err(format!(
+                "unknown limit \"{other}\" (depth, fuel, deadline-ms, memory-items)"
+            ))
+        }
+    }
+    engine.set_limits(l);
+    Ok(())
+}
+
 fn main() {
     let mut engine = Engine::new();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("XQuery! shell — :load, :xmark, :plan, :analyze, :threads, :quit");
+    println!("XQuery! shell — :load, :xmark, :plan, :analyze, :threads, :limits, :quit");
     loop {
         print!("xq!> ");
         out.flush().ok();
@@ -85,6 +130,21 @@ fn main() {
                     println!("threads = {}", engine.threads());
                 }
                 Err(_) => eprintln!("usage: :threads <n>"),
+            }
+            continue;
+        }
+        if line == ":limits" {
+            print_limits(&engine);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":limits ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(knob), Some(value)) => match set_limit(&mut engine, knob, value) {
+                    Ok(()) => print_limits(&engine),
+                    Err(msg) => eprintln!("{msg}"),
+                },
+                _ => eprintln!("usage: :limits <depth|fuel|deadline-ms|memory-items> <n|off>"),
             }
             continue;
         }

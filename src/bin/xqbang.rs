@@ -12,6 +12,7 @@
 
 use std::process::ExitCode;
 use xquery_bang::xmarkgen::{Scale, XmarkGen};
+use xquery_bang::xqcore::Limits;
 use xquery_bang::{Engine, Item};
 
 struct Options {
@@ -24,6 +25,10 @@ struct Options {
     pretty: bool,
     check_only: bool,
     threads: Option<usize>,
+    max_depth: Option<usize>,
+    fuel: Option<u64>,
+    deadline_ms: Option<u64>,
+    memory_items: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -40,6 +45,14 @@ fn usage() -> &'static str {
        --check                   static-check the query, do not run it\n\
        --threads <N>             worker threads for effect-free regions\n\
                                  (default: $XQB_THREADS or 1)\n\
+       --max-depth <N>           recursion-depth limit (XQB0040;\n\
+                                 default: $XQB_MAX_DEPTH or 512)\n\
+       --fuel <N>                evaluation-step budget (XQB0041;\n\
+                                 default: $XQB_FUEL or unlimited)\n\
+       --deadline-ms <N>         wall-clock deadline in ms (XQB0042;\n\
+                                 default: $XQB_DEADLINE_MS or unlimited)\n\
+       --memory-items <N>        materialized-item budget (XQB0043;\n\
+                                 default: $XQB_MEMORY_ITEMS or unlimited)\n\
        -h, --help                this message"
 }
 
@@ -54,7 +67,21 @@ fn parse_args() -> Result<Options, String> {
         pretty: false,
         check_only: false,
         threads: None,
+        max_depth: None,
+        fuel: None,
+        deadline_ms: None,
+        memory_items: None,
     };
+    fn parse_num<T: std::str::FromStr>(
+        args: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = args
+            .next()
+            .ok_or_else(|| format!("missing argument for {flag}"))?;
+        v.parse()
+            .map_err(|_| format!("bad value \"{v}\" for {flag}"))
+    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +97,10 @@ fn parse_args() -> Result<Options, String> {
                 let n = args.next().ok_or("missing argument for --threads")?;
                 opts.threads = Some(n.parse().map_err(|_| format!("bad thread count \"{n}\""))?);
             }
+            "--max-depth" => opts.max_depth = Some(parse_num(&mut args, "--max-depth")?),
+            "--fuel" => opts.fuel = Some(parse_num(&mut args, "--fuel")?),
+            "--deadline-ms" => opts.deadline_ms = Some(parse_num(&mut args, "--deadline-ms")?),
+            "--memory-items" => opts.memory_items = Some(parse_num(&mut args, "--memory-items")?),
             "-d" | "--doc" => {
                 let spec = args.next().ok_or("missing argument for --doc")?;
                 let (var, file) = spec.split_once('=').ok_or("expected --doc VAR=FILE")?;
@@ -109,6 +140,21 @@ fn run() -> Result<(), String> {
     if let Some(n) = opts.threads {
         engine.set_threads(n);
     }
+    // Flags override the env-derived defaults knob by knob.
+    let mut limits: Limits = *engine.limits();
+    if let Some(d) = opts.max_depth {
+        limits.max_depth = d.max(1);
+    }
+    if opts.fuel.is_some() {
+        limits.fuel = opts.fuel;
+    }
+    if opts.deadline_ms.is_some() {
+        limits.deadline_ms = opts.deadline_ms;
+    }
+    if opts.memory_items.is_some() {
+        limits.memory_items = opts.memory_items;
+    }
+    engine.set_limits(limits);
     for (var, file) in &opts.documents {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
         engine
