@@ -12,10 +12,11 @@ use crate::obs;
 use crate::planner::{self, CompiledProgram};
 use std::collections::HashMap;
 use std::hash::Hasher;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xqdm::item::{Item, Sequence};
-use xqdm::{NodeId, Store, XdmResult};
+use xqdm::{NodeId, RecoveryReport, Store, SyncMode, XdmResult};
 use xqsyn::cursor::ParseError;
 use xqsyn::CoreProgram;
 
@@ -102,6 +103,13 @@ pub struct Engine {
     last_plan: Option<Arc<dyn CompiledProgram>>,
     /// Wall time of the most recent run, nanoseconds.
     last_run_ns: Option<u64>,
+    /// fsync policy for the durable store (from `XQB_DURABILITY`; applied
+    /// when a store is opened/saved, and live-switchable via
+    /// [`Engine::set_durability`]).
+    durability: SyncMode,
+    /// (records, bytes) of the most recent durable commit — `(0, 0)`
+    /// after a read-only run. `None` until a commit happens.
+    last_wal: Option<(u64, u64)>,
 }
 
 impl Default for Engine {
@@ -111,9 +119,12 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// A fresh engine with an empty store.
+    /// A fresh engine with an empty store. With `XQB_STORE_PATH` set, the
+    /// durable store at that directory is recovered and attached (a
+    /// failure warns and falls back to in-memory — a bad store file must
+    /// not brick the engine).
     pub fn new() -> Self {
-        Engine {
+        let mut engine = Engine {
             store: Store::new(),
             bindings: Vec::new(),
             module_functions: Vec::new(),
@@ -134,7 +145,109 @@ impl Engine {
             last_profile: None,
             last_plan: None,
             last_run_ns: None,
+            durability: std::env::var("XQB_DURABILITY")
+                .ok()
+                .and_then(|v| SyncMode::parse(&v))
+                .unwrap_or_default(),
+            last_wal: None,
+        };
+        if let Ok(path) = std::env::var("XQB_STORE_PATH") {
+            if !path.is_empty() {
+                if let Err(e) = engine.open_store(&path) {
+                    eprintln!(
+                        "warning: cannot open durable store at {path}: {e}; \
+                         continuing in-memory"
+                    );
+                }
+            }
         }
+        engine
+    }
+
+    /// Recover (or create) the durable store at `dir` and attach it: every
+    /// subsequent run's committed snaps are flushed to its redo log. The
+    /// recovered document roots are bound to `$doc`, `$doc2`, `$doc3`, …
+    /// in slot order (bindings are per-session state and do not survive a
+    /// restart). Replaces this engine's store and bindings.
+    pub fn open_store(&mut self, dir: impl AsRef<Path>) -> XdmResult<RecoveryReport> {
+        let (store, report) = Store::open_durable(dir, self.durability)?;
+        self.store = store;
+        self.bindings.clear();
+        for (i, root) in self.store.document_roots().into_iter().enumerate() {
+            let name = if i == 0 {
+                "doc".to_string()
+            } else {
+                format!("doc{}", i + 1)
+            };
+            self.bindings.push((name, vec![Item::Node(root)]));
+        }
+        self.metrics.wal_replayed.add(report.replayed_commits);
+        self.metrics.wal_tail_dropped.add(report.tail_dropped);
+        for w in &report.warnings {
+            eprintln!("warning: durable store recovery: {w}");
+        }
+        Ok(report)
+    }
+
+    /// Persist this engine's current store to `dir` and keep it attached
+    /// (the REPL's `:save`): the store contents become the initial
+    /// checkpoint and later commits append to the redo log there.
+    pub fn save_store(&mut self, dir: impl AsRef<Path>) -> XdmResult<()> {
+        self.store.save_durable(dir, self.durability)
+    }
+
+    /// Set the fsync-on-commit policy (`always` / `batch` / `off`; also
+    /// settable via the `XQB_DURABILITY` env var at construction).
+    /// Applies immediately to an attached store and to stores opened
+    /// later.
+    pub fn set_durability(&mut self, sync: SyncMode) {
+        self.durability = sync;
+        self.store.set_durability(sync);
+    }
+
+    /// The fsync-on-commit policy in force.
+    pub fn durability(&self) -> SyncMode {
+        self.durability
+    }
+
+    /// Flush redo ops recorded since the last durable point. Called at
+    /// every engine commit point (end of a run — success *or* error,
+    /// since closed snaps are commitment either way — and after document
+    /// and module loads); a no-op without an attached store. Installs a
+    /// compacted checkpoint when one is due.
+    fn commit_wal(&mut self) -> XdmResult<()> {
+        if !self.store.has_wal() || self.store.frame_depth() != 0 {
+            return Ok(());
+        }
+        let span = self
+            .trace
+            .as_ref()
+            .map(|sink| sink.begin("wal_commit", None));
+        let started = Instant::now();
+        let committed = self.store.wal_commit();
+        if let (Some(sink), Some(id)) = (&self.trace, span) {
+            sink.end(id);
+        }
+        match committed? {
+            Some(receipt) => {
+                let m = &self.metrics;
+                m.wal_commits.add(1);
+                m.wal_records.add(receipt.records);
+                m.wal_bytes.add(receipt.bytes);
+                if receipt.fsynced {
+                    m.wal_fsyncs.add(1);
+                }
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                m.wal_commit_ns.record(ns);
+                self.last_wal = Some((receipt.records, receipt.bytes));
+                if self.store.checkpoint_due() {
+                    self.store.checkpoint()?;
+                    self.metrics.wal_checkpoints.add(1);
+                }
+            }
+            None => self.last_wal = Some((0, 0)),
+        }
+        Ok(())
     }
 
     /// Attach a trace-span sink (normally set from `XQB_TRACE` at
@@ -229,6 +342,9 @@ impl Engine {
         match outcome {
             Ok(Ok(())) => {
                 self.store.commit_frame();
+                // Module loads are engine commit points too (their
+                // variable initializers may have updated the store).
+                self.commit_wal().map_err(Error::Eval)?;
                 Ok(())
             }
             Ok(Err(e)) => {
@@ -289,9 +405,15 @@ impl Engine {
     /// Parse an XML document into the store and bind its document node to
     /// `$name`. Returns the document node.
     pub fn load_document(&mut self, name: &str, xml: &str) -> XdmResult<NodeId> {
-        let doc =
+        let parsed =
             xqdm::xml::parse_document_with_limit(&mut self.store, xml, self.limits.max_xml_depth)
-                .inspect_err(|e| self.metrics.note_limit_trip(e.code))?;
+                .inspect_err(|e| self.metrics.note_limit_trip(e.code));
+        // Loading a document is an engine commit point: flush its nodes
+        // to the redo log even when the parse failed partway, so a
+        // recovered store always matches the in-memory one.
+        let flushed = self.commit_wal();
+        let doc = parsed?;
+        flushed?;
         self.bind(name, vec![Item::Node(doc)]);
         Ok(doc)
     }
@@ -375,7 +497,7 @@ impl Engine {
         }
         self.snap_counter = evaluator.snap_counter();
         let mut run_stats = None;
-        let result = match outcome {
+        let mut result = match outcome {
             Ok(result) => {
                 let stats = evaluator.stats();
                 run_stats = Some(stats);
@@ -417,6 +539,16 @@ impl Engine {
                 ))
             }
         };
+        // Durable point: whatever this run committed (on error, every snap
+        // closed before the failure; on panic, nothing — the rollback
+        // already discarded the pending redo ops) is flushed to the log
+        // now. A flush failure becomes the run's error, but never masks
+        // an evaluation error that is already being reported.
+        if let Err(wal) = self.commit_wal() {
+            if result.is_ok() {
+                result = Err(wal);
+            }
+        }
         if let Err(e) = &result {
             // Resource-governance trips get their own counters on top of
             // the generic engine.errors bump in finish_run.
@@ -511,7 +643,7 @@ impl Engine {
             None => planner::render_unoptimized(&self.augment(program.clone())),
         };
         let stats = self.last_stats.unwrap_or_default();
-        let totals = format!(
+        let mut totals = format!(
             "totals: time={} rows={} snaps={} Δ={}/{} plan_nodes={} joins={} \
              par={}/{} cache={cache} threads={} mode={mode}",
             obs::fmt_ns(self.last_run_ns.unwrap_or(0)),
@@ -525,6 +657,12 @@ impl Engine {
             stats.par_items,
             self.threads,
         );
+        // Only durable sessions carry the WAL token, so the goldens for
+        // in-memory runs are unchanged.
+        if self.store.has_wal() {
+            let (records, bytes) = self.last_wal.unwrap_or((0, 0));
+            totals.push_str(&format!(" wal={records}r/{bytes}B"));
+        }
         Ok(format!("{tree}\n{totals}"))
     }
 

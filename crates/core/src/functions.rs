@@ -93,6 +93,7 @@ pub fn is_builtin(name: &str) -> bool {
             | "xqb:explain"
             | "xqb:stats"
             | "xqb:reset-stats"
+            | "xqb:fingerprint"
     ) || is_builtin_local(name.strip_prefix("fn:").unwrap_or(name))
 }
 
@@ -553,6 +554,23 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
                 "XPST0017",
                 format!(
                     "wrong number of arguments ({}) for xqb:reset-stats",
+                    args.len()
+                ),
+            ))
+        });
+    }
+    if name == "xqb:fingerprint" {
+        // The canonical store hash (Store::fingerprint, hex-rendered):
+        // recovery tests, the REPL, and differential tests compare the
+        // same value. Pure over the store argument, so the parallel gate
+        // does not need to reject it.
+        return Some(if args.is_empty() {
+            Ok(vec![Item::string(format!("{:016x}", store.fingerprint()))])
+        } else {
+            Err(XdmError::new(
+                "XPST0017",
+                format!(
+                    "wrong number of arguments ({}) for xqb:fingerprint",
                     args.len()
                 ),
             ))

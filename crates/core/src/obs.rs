@@ -313,6 +313,25 @@ pub struct EngineMetrics {
     pub limit_memory: Arc<Counter>,
     /// `engine.run_ns` — per-run wall time histogram (nanoseconds).
     pub run_ns: Arc<Histogram>,
+    /// `engine.wal.commits` — durable commits flushed to the redo log
+    /// (docs/DURABILITY.md).
+    pub wal_commits: Arc<Counter>,
+    /// `engine.wal.records` — redo records across those commits.
+    pub wal_records: Arc<Counter>,
+    /// `engine.wal.bytes` — bytes appended to the log, framing included.
+    pub wal_bytes: Arc<Counter>,
+    /// `engine.wal.fsyncs` — commits that fsynced (sync-mode dependent).
+    pub wal_fsyncs: Arc<Counter>,
+    /// `engine.wal.checkpoints` — compacted checkpoints installed.
+    pub wal_checkpoints: Arc<Counter>,
+    /// `engine.wal.tail_dropped` — corrupt log tails dropped during
+    /// recovery (each one a graceful degradation, never an abort).
+    pub wal_tail_dropped: Arc<Counter>,
+    /// `engine.wal.replayed_commits` — committed batches replayed at
+    /// startup recovery.
+    pub wal_replayed: Arc<Counter>,
+    /// `engine.wal.commit_ns` — per-commit flush latency histogram.
+    pub wal_commit_ns: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -336,6 +355,14 @@ impl EngineMetrics {
             limit_deadline: g.counter("engine.limit_trips.deadline"),
             limit_memory: g.counter("engine.limit_trips.memory"),
             run_ns: g.histogram("engine.run_ns"),
+            wal_commits: g.counter("engine.wal.commits"),
+            wal_records: g.counter("engine.wal.records"),
+            wal_bytes: g.counter("engine.wal.bytes"),
+            wal_fsyncs: g.counter("engine.wal.fsyncs"),
+            wal_checkpoints: g.counter("engine.wal.checkpoints"),
+            wal_tail_dropped: g.counter("engine.wal.tail_dropped"),
+            wal_replayed: g.counter("engine.wal.replayed_commits"),
+            wal_commit_ns: g.histogram("engine.wal.commit_ns"),
         }
     }
 

@@ -27,6 +27,7 @@ pub mod item;
 pub mod node;
 pub mod qname;
 pub mod store;
+pub mod wal;
 pub mod xml;
 
 pub use atomic::Atomic;
@@ -35,6 +36,7 @@ pub use item::{Item, Sequence};
 pub use node::{NodeId, NodeKind};
 pub use qname::QName;
 pub use store::Store;
+pub use wal::{CommitReceipt, RecoveryReport, SyncMode};
 
 // Parallel evaluation of effect-free regions (xqcore's DESIGN.md §9
 // feature) shares the store across scoped worker threads as `&Store`.

@@ -16,8 +16,10 @@
 use crate::error::{XdmError, XdmResult};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::qname::QName;
+use crate::wal::{self, CommitReceipt, Cursor, Fnv64, RecoveryReport, RedoOp, SyncMode, Wal};
 use std::cmp::Ordering;
 use std::collections::HashSet;
+use std::path::Path;
 
 /// Where an insertion lands among a parent's children (paper §3.1's
 /// `as first into` / `as last into` / `into` / `after` / `before` forms are
@@ -89,7 +91,7 @@ enum UndoEntry {
 }
 
 /// The mutable XML store.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Store {
     nodes: Vec<NodeData>,
     /// Slots retired by `collect_garbage`, available for reuse.
@@ -99,7 +101,51 @@ pub struct Store {
     undo: Vec<UndoEntry>,
     /// Start offsets into `undo`, one per open frame.
     frames: Vec<usize>,
+    /// Attached durable redo log (see [`Store::open_durable`]). While
+    /// present, every successful mutation records a forward redo op;
+    /// [`Store::wal_commit`] makes them durable.
+    wal: Option<Box<Wal>>,
 }
+
+impl Clone for Store {
+    /// A cloned store is an in-memory fork: node slots, free list and
+    /// journal state are copied, but the redo log stays with the
+    /// original (two writers on one log would interleave histories).
+    fn clone(&self) -> Self {
+        Store {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            undo: self.undo.clone(),
+            frames: self.frames.clone(),
+            wal: None,
+        }
+    }
+}
+
+impl Drop for Store {
+    /// Clean shutdown of a durable store: flush any pending redo ops as
+    /// a final commit and append a seal record carrying the fingerprint,
+    /// so the next recovery can verify it rebuilt the identical store.
+    /// Best-effort — a drop mid-unwind (open frames) seals nothing.
+    fn drop(&mut self) {
+        if self.wal.is_some() && self.frames.is_empty() {
+            let _ = self.wal_commit();
+            let fp = self.fingerprint();
+            if let Some(w) = &mut self.wal {
+                if w.dirty_since_open() {
+                    let _ = w.seal(fp);
+                }
+            }
+        }
+    }
+}
+
+/// Journal capacity retained across outermost commits: the journal is
+/// cleared on every outermost [`Store::commit_frame`], and any backing
+/// allocation beyond this many entries is released too, so a long-lived
+/// session's journal memory stays bounded by its largest recent frame,
+/// not its largest-ever frame.
+const UNDO_RETAIN_CAP: usize = 4096;
 
 impl Store {
     /// An empty store.
@@ -134,6 +180,9 @@ impl Store {
     /// outer rollback still undoes inner-committed work.
     pub fn begin_frame(&mut self) {
         self.frames.push(self.undo.len());
+        if let Some(w) = &mut self.wal {
+            w.note_begin_frame();
+        }
     }
 
     /// Close the innermost frame, keeping its effects. O(1) when nested;
@@ -145,6 +194,15 @@ impl Store {
             .expect("commit_frame without an open frame");
         if self.frames.is_empty() {
             self.undo.clear();
+            // Bound the journal's retained memory: clear() keeps the
+            // backing allocation, so one huge frame would otherwise pin
+            // its high-water capacity for the session's lifetime.
+            if self.undo.capacity() > UNDO_RETAIN_CAP {
+                self.undo.shrink_to(UNDO_RETAIN_CAP);
+            }
+        }
+        if let Some(w) = &mut self.wal {
+            w.note_commit_frame();
         }
     }
 
@@ -162,6 +220,17 @@ impl Store {
             let entry = self.undo.pop().expect("journal shorter than frame mark");
             self.undo_entry(entry);
         }
+        // The frame's redo ops never become durable: they are dropped
+        // from the in-memory buffer before any commit marker is written.
+        if let Some(w) = &mut self.wal {
+            w.note_rollback_frame();
+        }
+    }
+
+    /// Current backing capacity of the undo journal, in entries (for the
+    /// boundedness test pinning [`UNDO_RETAIN_CAP`]).
+    pub fn journal_capacity(&self) -> usize {
+        self.undo.capacity()
     }
 
     /// Pre-size the journal for roughly `additional` upcoming entries so a
@@ -207,6 +276,8 @@ impl Store {
     ) -> XdmResult<usize> {
         let reachable = self.reachable_set(roots)?;
         let journaling = !self.frames.is_empty();
+        let logging = self.wal.is_some();
+        let mut collected = Vec::new();
         let mut reclaimed = 0;
         for &id in candidates {
             let i = id.index();
@@ -227,9 +298,17 @@ impl Store {
                         data: Box::new(data),
                     });
                 }
+                if logging {
+                    collected.push(id);
+                }
                 self.free.push(id);
                 reclaimed += 1;
             }
+        }
+        if !collected.is_empty() {
+            // The recorded order fixes the replayed free list, hence
+            // every future allocation's id.
+            self.wal_record(RedoOp::Collect { ids: collected });
         }
         Ok(reclaimed)
     }
@@ -354,7 +433,20 @@ impl Store {
         if self.journaling() {
             self.undo.push(UndoEntry::Alloc { id, reused });
         }
+        if self.wal.is_some() {
+            // At birth every container is empty, so the at-alloc kind is
+            // the complete forward image.
+            let kind = self.nodes[id.index()].kind.clone();
+            self.wal_record(RedoOp::Alloc { id, kind });
+        }
         id
+    }
+
+    /// Append a redo op to the attached log's buffer (no-op without one).
+    fn wal_record(&mut self, op: RedoOp) {
+        if let Some(w) = &mut self.wal {
+            w.record(op);
+        }
     }
 
     fn data(&self, id: NodeId) -> XdmResult<&NodeData> {
@@ -592,6 +684,9 @@ impl Store {
                 okey: old_okey,
             });
         }
+        if self.wal.is_some() {
+            self.wal_record(RedoOp::AttachAttr { element, attr });
+        }
         Ok(())
     }
 
@@ -685,6 +780,15 @@ impl Store {
             self.data_mut(n)?.parent = Some(parent);
         }
         self.assign_order_keys(parent, index, seq.len())?;
+        if self.wal.is_some() {
+            // Order keys are not logged: replay re-runs this very method,
+            // which recomputes them (and any renumbering) identically.
+            self.wal_record(RedoOp::Insert {
+                seq: seq.to_vec(),
+                parent,
+                anchor,
+            });
+        }
         Ok(())
     }
 
@@ -786,12 +890,16 @@ impl Store {
                 }),
             }
         }
+        if self.wal.is_some() {
+            self.wal_record(RedoOp::Detach { node });
+        }
         Ok(())
     }
 
     /// Apply `rename(node, name)`. Precondition: the node is an element or
     /// attribute.
     pub fn apply_rename(&mut self, node: NodeId, name: QName) -> XdmResult<()> {
+        let logged = self.wal.is_some().then(|| name.clone());
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } => {
                 std::mem::replace(n, name)
@@ -807,6 +915,9 @@ impl Store {
                 name: old,
             });
         }
+        if let Some(name) = logged {
+            self.wal_record(RedoOp::Rename { node, name });
+        }
         Ok(())
     }
 
@@ -816,6 +927,7 @@ impl Store {
     /// the data generator).
     pub fn set_text(&mut self, node: NodeId, content: impl Into<String>) -> XdmResult<()> {
         let content = content.into();
+        let logged = self.wal.is_some().then(|| content.clone());
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Text { content: c } => std::mem::replace(c, content),
             k => {
@@ -829,12 +941,16 @@ impl Store {
                 content: old,
             });
         }
+        if let Some(content) = logged {
+            self.wal_record(RedoOp::SetText { node, content });
+        }
         Ok(())
     }
 
     /// Set an attribute node's value.
     pub fn set_attribute_value(&mut self, node: NodeId, value: impl Into<String>) -> XdmResult<()> {
         let value = value.into();
+        let logged = self.wal.is_some().then(|| value.clone());
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Attribute { value: v, .. } => std::mem::replace(v, value),
             k => {
@@ -849,6 +965,9 @@ impl Store {
                 id: node,
                 value: old,
             });
+        }
+        if let Some(value) = logged {
+            self.wal_record(RedoOp::SetAttrValue { node, value });
         }
         Ok(())
     }
@@ -1027,6 +1146,8 @@ impl Store {
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> XdmResult<usize> {
         let reachable = self.reachable_set(roots)?;
         let journaling = self.journaling();
+        let logging = self.wal.is_some();
+        let mut collected = Vec::new();
         let mut reclaimed = 0;
         for i in 0..self.nodes.len() {
             let id = NodeId(i as u32);
@@ -1047,11 +1168,438 @@ impl Store {
                         data: Box::new(data),
                     });
                 }
+                if logging {
+                    collected.push(id);
+                }
                 self.free.push(id);
                 reclaimed += 1;
             }
         }
+        if !collected.is_empty() {
+            self.wal_record(RedoOp::Collect { ids: collected });
+        }
         Ok(reclaimed)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (ISSUE 6; docs/DURABILITY.md). The redo log records the
+    // forward image of every committed mutation; replay reconstructs the
+    // store — node ids, order keys and free list included — by re-running
+    // the same mutators over the same history.
+    // ------------------------------------------------------------------
+
+    /// Open (or create) a durable store rooted at `dir`: load the
+    /// checkpoint snapshot if one exists (CRC- and fingerprint-verified),
+    /// replay the redo log's committed batches, drop any corrupt tail
+    /// with a warning, and re-attach the log for appending. See
+    /// docs/DURABILITY.md for the recovery algorithm.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        sync: SyncMode,
+    ) -> XdmResult<(Store, RecoveryReport)> {
+        wal::recover(dir.as_ref(), sync)
+    }
+
+    /// Attach a fresh durable log at `dir` to *this* store, persisting
+    /// its current contents as the initial checkpoint (the REPL's
+    /// `:save`). Any previous store files in `dir` are replaced.
+    /// Precondition: no undo frame is open.
+    pub fn save_durable(&mut self, dir: impl AsRef<Path>, sync: SyncMode) -> XdmResult<()> {
+        if !self.frames.is_empty() {
+            return Err(XdmError::precondition(
+                "save_durable inside an open undo frame",
+            ));
+        }
+        let w = Wal::open(dir.as_ref(), sync, 0, Some(0))?;
+        self.wal = Some(Box::new(w));
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    pub(crate) fn attach_wal(&mut self, wal: Box<Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// Detach the durable log, if any: the store becomes purely
+    /// in-memory again and the files in the store directory keep their
+    /// last committed state.
+    pub fn detach_wal(&mut self) {
+        self.wal = None;
+    }
+
+    /// Is a durable log attached?
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The attached store directory, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.wal.as_deref().map(Wal::dir)
+    }
+
+    /// Set the fsync policy of the attached log (no-op without one).
+    pub fn set_durability(&mut self, sync: SyncMode) {
+        if let Some(w) = &mut self.wal {
+            w.set_sync(sync);
+        }
+    }
+
+    /// The attached log's fsync policy, if any.
+    pub fn durability(&self) -> Option<SyncMode> {
+        self.wal.as_deref().map(Wal::sync_mode)
+    }
+
+    /// Make every redo op recorded since the last commit durable: flush
+    /// them with a commit marker and fsync per the sync policy. Returns
+    /// `Ok(None)` when there is nothing to commit, no log is attached,
+    /// or an undo frame is still open (an open frame means the ops are
+    /// not yet commitment — the paper's §2.3 rule).
+    pub fn wal_commit(&mut self) -> XdmResult<Option<CommitReceipt>> {
+        if !self.frames.is_empty() {
+            return Ok(None);
+        }
+        match &mut self.wal {
+            Some(w) => w.commit_pending(),
+            None => Ok(None),
+        }
+    }
+
+    /// Is an automatic checkpoint due (commit count since the last one
+    /// reached `XQB_CHECKPOINT_EVERY`)?
+    pub fn checkpoint_due(&self) -> bool {
+        self.wal.as_deref().is_some_and(Wal::checkpoint_due)
+    }
+
+    /// Write a compacted checkpoint: commit anything pending, snapshot
+    /// the full store (with its fingerprint and the current LSN) to
+    /// `checkpoint.tmp`, fsync, rename over `checkpoint.bin`, then
+    /// truncate the log — recovery time becomes bounded by data size,
+    /// not history length. Returns the snapshot size in bytes, or `None`
+    /// when no log is attached or a frame is open.
+    pub fn checkpoint(&mut self) -> XdmResult<Option<u64>> {
+        if self.wal.is_none() || !self.frames.is_empty() {
+            return Ok(None);
+        }
+        self.wal_commit()?;
+        let fp = self.fingerprint();
+        let lsn = self.wal.as_deref().map(Wal::lsn).unwrap_or(0);
+        let snapshot = self.snapshot_bytes(lsn, fp);
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .install_checkpoint(&snapshot)?;
+        Ok(Some(snapshot.len() as u64))
+    }
+
+    /// A deterministic 64-bit fingerprint of the observable store state:
+    /// every alive slot's id, kind payload, parent link, child order and
+    /// attribute order, plus the free list (which fixes future node-id
+    /// allocation). Sibling order *keys* are excluded — they are an
+    /// implementation detail whose renumbering is invisible; the child
+    /// lists already carry the order. FNV-1a, stable across processes
+    /// and toolchains — the canonical store hash shared by recovery
+    /// verification, the `xqb:fingerprint()` builtin, and the crash
+    /// harness.
+    pub fn fingerprint(&self) -> u64 {
+        fn qname(h: &mut Fnv64, q: &QName) {
+            match &q.prefix {
+                Some(p) => {
+                    h.u8(1);
+                    h.str(p);
+                }
+                None => h.u8(0),
+            }
+            h.str(&q.local);
+        }
+        fn ids(h: &mut Fnv64, list: &[NodeId]) {
+            h.u32(list.len() as u32);
+            for n in list {
+                h.u32(n.index() as u32);
+            }
+        }
+        let mut h = Fnv64::new();
+        for (i, d) in self.nodes.iter().enumerate() {
+            if !d.alive {
+                continue;
+            }
+            h.u32(i as u32);
+            match d.parent {
+                Some(p) => {
+                    h.u8(1);
+                    h.u32(p.index() as u32);
+                }
+                None => h.u8(0),
+            }
+            match &d.kind {
+                NodeKind::Document { children } => {
+                    h.u8(0);
+                    ids(&mut h, children);
+                }
+                NodeKind::Element {
+                    name,
+                    attributes,
+                    children,
+                } => {
+                    h.u8(1);
+                    qname(&mut h, name);
+                    ids(&mut h, attributes);
+                    ids(&mut h, children);
+                }
+                NodeKind::Attribute { name, value } => {
+                    h.u8(2);
+                    qname(&mut h, name);
+                    h.str(value);
+                }
+                NodeKind::Text { content } => {
+                    h.u8(3);
+                    h.str(content);
+                }
+                NodeKind::Comment { content } => {
+                    h.u8(4);
+                    h.str(content);
+                }
+                NodeKind::Pi { target, content } => {
+                    h.u8(5);
+                    h.str(target);
+                    h.str(content);
+                }
+            }
+        }
+        h.u8(0xFF);
+        for f in &self.free {
+            h.u32(f.index() as u32);
+        }
+        h.finish()
+    }
+
+    /// Alive document nodes with no parent, in slot order — the roots a
+    /// host rebinds after recovery (bindings are per-session state and
+    /// do not survive a restart).
+    pub fn document_roots(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| {
+                let d = &self.nodes[i];
+                d.alive && d.parent.is_none() && matches!(d.kind, NodeKind::Document { .. })
+            })
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Apply one replayed redo op through the regular mutators (the
+    /// caller wraps each committed batch in an undo frame so a failing
+    /// batch rolls back and is treated as a corrupt tail).
+    pub(crate) fn apply_redo(&mut self, op: &RedoOp) -> XdmResult<()> {
+        match op {
+            RedoOp::Alloc { id, kind } => {
+                // Same history ⇒ same free-list state ⇒ alloc reproduces
+                // the logged id; a mismatch means the log is corrupt.
+                let got = self.alloc(kind.clone());
+                if got != *id {
+                    return Err(XdmError::new(
+                        "XQB0060",
+                        format!("redo allocation mismatch: log says {id}, store allocated {got}"),
+                    ));
+                }
+                Ok(())
+            }
+            RedoOp::Insert {
+                seq,
+                parent,
+                anchor,
+            } => self.apply_insert(seq, *parent, *anchor),
+            RedoOp::AttachAttr { element, attr } => self.attach_attribute(*element, *attr),
+            RedoOp::Detach { node } => self.detach(*node),
+            RedoOp::Rename { node, name } => self.apply_rename(*node, name.clone()),
+            RedoOp::SetText { node, content } => self.set_text(*node, content.clone()),
+            RedoOp::SetAttrValue { node, value } => self.set_attribute_value(*node, value.clone()),
+            RedoOp::Collect { ids } => self.kill_slots(ids),
+        }
+    }
+
+    /// Replay of a [`RedoOp::Collect`]: retire exactly `ids`, in order,
+    /// mirroring what the recording collection did (including the undo
+    /// journal entries, so a failing batch still rolls back exactly).
+    fn kill_slots(&mut self, ids: &[NodeId]) -> XdmResult<()> {
+        let journaling = self.journaling();
+        for &id in ids {
+            let i = id.index();
+            if !self.nodes.get(i).map(|d| d.alive).unwrap_or(false) {
+                return Err(XdmError::new(
+                    "XQB0060",
+                    format!("redo collect of non-alive slot {id}"),
+                ));
+            }
+            let okey = self.nodes[i].okey;
+            let dead = NodeData {
+                parent: None,
+                kind: NodeKind::Text {
+                    content: String::new(),
+                },
+                alive: false,
+                okey,
+            };
+            let data = std::mem::replace(&mut self.nodes[i], dead);
+            if journaling {
+                self.undo.push(UndoEntry::Collected {
+                    id,
+                    data: Box::new(data),
+                });
+            }
+            self.free.push(id);
+        }
+        Ok(())
+    }
+
+    // Checkpoint snapshot format: SNAP_MAGIC, CRC32 of the body, then the
+    // body — last LSN, fingerprint, every slot (alive flag, parent, order
+    // key, full kind payload including child/attribute lists), and the
+    // free list. Unlike the redo log this is a *physical* image: order
+    // keys are stored exactly.
+
+    pub(crate) fn snapshot_bytes(&self, last_lsn: u64, fingerprint: u64) -> Vec<u8> {
+        use wal::{put_qname, put_str, put_u32, put_u64};
+        fn put_ids(out: &mut Vec<u8>, list: &[NodeId]) {
+            put_u32(out, list.len() as u32);
+            for n in list {
+                put_u32(out, n.index() as u32);
+            }
+        }
+        let mut body = Vec::new();
+        put_u64(&mut body, last_lsn);
+        put_u64(&mut body, fingerprint);
+        put_u32(&mut body, self.nodes.len() as u32);
+        for d in &self.nodes {
+            body.push(u8::from(d.alive));
+            match d.parent {
+                Some(p) => {
+                    body.push(1);
+                    put_u32(&mut body, p.index() as u32);
+                }
+                None => body.push(0),
+            }
+            put_u64(&mut body, d.okey);
+            match &d.kind {
+                NodeKind::Document { children } => {
+                    body.push(0);
+                    put_ids(&mut body, children);
+                }
+                NodeKind::Element {
+                    name,
+                    attributes,
+                    children,
+                } => {
+                    body.push(1);
+                    put_qname(&mut body, name);
+                    put_ids(&mut body, attributes);
+                    put_ids(&mut body, children);
+                }
+                NodeKind::Attribute { name, value } => {
+                    body.push(2);
+                    put_qname(&mut body, name);
+                    put_str(&mut body, value);
+                }
+                NodeKind::Text { content } => {
+                    body.push(3);
+                    put_str(&mut body, content);
+                }
+                NodeKind::Comment { content } => {
+                    body.push(4);
+                    put_str(&mut body, content);
+                }
+                NodeKind::Pi { target, content } => {
+                    body.push(5);
+                    put_str(&mut body, target);
+                    put_str(&mut body, content);
+                }
+            }
+        }
+        put_u32(&mut body, self.free.len() as u32);
+        for f in &self.free {
+            put_u32(&mut body, f.index() as u32);
+        }
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(wal::SNAP_MAGIC);
+        put_u32(&mut out, wal::crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Rebuild a store from a checkpoint snapshot, verifying the CRC and
+    /// the embedded fingerprint. Returns the store and the snapshot's
+    /// last LSN (replay skips log commits at or below it).
+    pub(crate) fn from_snapshot(bytes: &[u8]) -> XdmResult<(Store, u64)> {
+        let corrupt = |what: &str| XdmError::new("XQB0060", format!("corrupt checkpoint: {what}"));
+        let header = wal::SNAP_MAGIC.len() + 4;
+        if bytes.len() < header || &bytes[..wal::SNAP_MAGIC.len()] != wal::SNAP_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let crc = u32::from_le_bytes(
+            bytes[wal::SNAP_MAGIC.len()..header]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let body = &bytes[header..];
+        if wal::crc32(body) != crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut c = Cursor::new(body);
+        let last_lsn = c.u64()?;
+        let fingerprint = c.u64()?;
+        let n = c.u32()? as usize;
+        if n > body.len() {
+            return Err(corrupt("implausible slot count"));
+        }
+        fn read_ids(c: &mut Cursor<'_>) -> XdmResult<Vec<NodeId>> {
+            c.nodes()
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let alive = c.u8()? != 0;
+            let parent = if c.u8()? == 1 { Some(c.node()?) } else { None };
+            let okey = c.u64()?;
+            let kind = match c.u8()? {
+                0 => NodeKind::Document {
+                    children: read_ids(&mut c)?,
+                },
+                1 => NodeKind::Element {
+                    name: c.qname()?,
+                    attributes: read_ids(&mut c)?,
+                    children: read_ids(&mut c)?,
+                },
+                2 => NodeKind::Attribute {
+                    name: c.qname()?,
+                    value: c.str()?,
+                },
+                3 => NodeKind::Text { content: c.str()? },
+                4 => NodeKind::Comment { content: c.str()? },
+                5 => NodeKind::Pi {
+                    target: c.str()?,
+                    content: c.str()?,
+                },
+                _ => return Err(corrupt("unknown node kind")),
+            };
+            nodes.push(NodeData {
+                parent,
+                kind,
+                alive,
+                okey,
+            });
+        }
+        let free = read_ids(&mut c)?;
+        if !c.done() {
+            return Err(corrupt("trailing bytes"));
+        }
+        let store = Store {
+            nodes,
+            free,
+            undo: Vec::new(),
+            frames: Vec::new(),
+            wal: None,
+        };
+        if store.fingerprint() != fingerprint {
+            return Err(corrupt("fingerprint mismatch"));
+        }
+        Ok((store, last_lsn))
     }
 }
 

@@ -1,0 +1,1074 @@
+//! Durable redo log for the store (ISSUE 6; docs/DURABILITY.md).
+//!
+//! The paper's snap semantics gives every update a well-defined atomic
+//! commit point; this module persists exactly those committed transitions.
+//! While a durable store is attached, every successful mutation primitive
+//! appends one logical [`RedoOp`] to an in-memory buffer; at each engine
+//! commit point the buffer is flushed to `wal.log` as length-prefixed,
+//! CRC32-checksummed records followed by a commit marker, optionally
+//! fsynced ([`SyncMode`]). Rollback of an undo frame truncates the buffer
+//! — nothing uncommitted ever reaches the file as a committed batch.
+//!
+//! Recovery replays the log through the very same store mutators, so
+//! order-key assignment, free-list reuse and hence every [`NodeId`] are
+//! reproduced bit-for-bit; anything after the last valid commit marker
+//! (a torn record, a failed checksum, trailing unmarked ops) is dropped
+//! with a warning, never an abort. Periodic checkpoints write a full
+//! snapshot (`checkpoint.bin`) and truncate the log so recovery time is
+//! bounded by data size, not history length.
+
+use crate::error::{XdmError, XdmResult};
+use crate::node::{NodeId, NodeKind};
+use crate::qname::QName;
+use crate::store::{InsertAnchor, Store};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic header of `wal.log`.
+pub const LOG_MAGIC: &[u8; 8] = b"XQWAL001";
+/// Magic header of `checkpoint.bin`.
+pub const SNAP_MAGIC: &[u8; 8] = b"XQSNAP01";
+/// Upper bound on a single record's payload; a corrupted length field
+/// must not trigger a giant allocation during recovery.
+const MAX_RECORD: u32 = 64 << 20;
+/// `SyncMode::Batch` fsyncs at most once per this many commits.
+const BATCH_EVERY: u64 = 32;
+
+/// When to fsync the redo log (set via `Engine::set_durability`, the
+/// `XQB_DURABILITY` env var, or [`Store::open_durable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// fsync after every commit marker: a completed commit survives both
+    /// process crash and OS crash.
+    #[default]
+    Always,
+    /// fsync every [`BATCH_EVERY`] commits (and on seal/checkpoint):
+    /// bounded data loss on OS crash, full safety on process crash.
+    Batch,
+    /// Never fsync explicitly; the OS flushes at its leisure.
+    Off,
+}
+
+impl SyncMode {
+    /// Parse `"always"` / `"batch"` / `"off"` (the `XQB_DURABILITY`
+    /// values); `None` for anything else.
+    pub fn parse(s: &str) -> Option<SyncMode> {
+        match s {
+            "always" => Some(SyncMode::Always),
+            "batch" => Some(SyncMode::Batch),
+            "off" => Some(SyncMode::Off),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncMode::Always => "always",
+            SyncMode::Batch => "batch",
+            SyncMode::Off => "off",
+        })
+    }
+}
+
+/// One logical redo operation: the forward image of a successful store
+/// mutation, at the same granularity as the undo journal. Order keys are
+/// deliberately *not* logged — replay goes through the real mutators,
+/// which recompute them (and the free list, and therefore every node id)
+/// deterministically from the same history.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RedoOp {
+    /// A slot was allocated (`kind` is the at-birth payload: containers
+    /// are always born empty).
+    Alloc { id: NodeId, kind: NodeKind },
+    /// `seq` was spliced into `parent` at `anchor`.
+    Insert {
+        seq: Vec<NodeId>,
+        parent: NodeId,
+        anchor: InsertAnchor,
+    },
+    /// `attr` was pushed onto `element`'s attribute list.
+    AttachAttr { element: NodeId, attr: NodeId },
+    /// `node` was detached from its parent.
+    Detach { node: NodeId },
+    /// `node` was renamed to `name`.
+    Rename { node: NodeId, name: QName },
+    /// A text node's content was replaced.
+    SetText { node: NodeId, content: String },
+    /// An attribute node's value was replaced.
+    SetAttrValue { node: NodeId, value: String },
+    /// Garbage collection reclaimed exactly these slots, in this order
+    /// (the order fixes the free list, hence future allocation).
+    Collect { ids: Vec<NodeId> },
+}
+
+// ----------------------------------------------------------------------
+// CRC32 (IEEE, table-driven — the offline dependency set has no digest
+// crate) and FNV-1a 64 for the store fingerprint.
+// ----------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Incremental FNV-1a 64-bit hasher: fully deterministic across processes
+/// and toolchain versions (unlike `DefaultHasher`), which recovery
+/// equivalence checks require.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binary encoding helpers (little-endian throughout)
+// ----------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_qname(out: &mut Vec<u8>, q: &QName) {
+    match &q.prefix {
+        Some(p) => {
+            out.push(1);
+            put_str(out, p);
+        }
+        None => out.push(0),
+    }
+    put_str(out, &q.local);
+}
+
+/// A bounds-checked little-endian reader over a record payload.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn corrupt() -> XdmError {
+        XdmError::new("XQB0060", "corrupt WAL record payload")
+    }
+
+    pub(crate) fn u8(&mut self) -> XdmResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(Self::corrupt)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn u32(&mut self) -> XdmResult<u32> {
+        let end = self.pos.checked_add(4).ok_or_else(Self::corrupt)?;
+        let b = self.buf.get(self.pos..end).ok_or_else(Self::corrupt)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> XdmResult<u64> {
+        let end = self.pos.checked_add(8).ok_or_else(Self::corrupt)?;
+        let b = self.buf.get(self.pos..end).ok_or_else(Self::corrupt)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> XdmResult<String> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or_else(Self::corrupt)?;
+        let b = self.buf.get(self.pos..end).ok_or_else(Self::corrupt)?;
+        self.pos = end;
+        String::from_utf8(b.to_vec()).map_err(|_| Self::corrupt())
+    }
+
+    pub(crate) fn qname(&mut self) -> XdmResult<QName> {
+        let prefix = if self.u8()? == 1 {
+            Some(self.str()?)
+        } else {
+            None
+        };
+        let local = self.str()?;
+        Ok(QName { prefix, local })
+    }
+
+    pub(crate) fn node(&mut self) -> XdmResult<NodeId> {
+        Ok(NodeId(self.u32()?))
+    }
+
+    pub(crate) fn nodes(&mut self) -> XdmResult<Vec<NodeId>> {
+        let n = self.u32()? as usize;
+        // A corrupt count must not preallocate unbounded memory.
+        if n > self.buf.len().saturating_sub(self.pos) / 4 + 1 {
+            return Err(Self::corrupt());
+        }
+        (0..n).map(|_| self.node()).collect()
+    }
+}
+
+fn put_nodes(out: &mut Vec<u8>, ids: &[NodeId]) {
+    put_u32(out, ids.len() as u32);
+    for id in ids {
+        put_u32(out, id.0);
+    }
+}
+
+// Record payload tags.
+const TAG_OP: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_SEAL: u8 = 3;
+
+// Op tags (first byte after TAG_OP).
+const OP_ALLOC: u8 = 1;
+const OP_INSERT: u8 = 2;
+const OP_ATTACH_ATTR: u8 = 3;
+const OP_DETACH: u8 = 4;
+const OP_RENAME: u8 = 5;
+const OP_SET_TEXT: u8 = 6;
+const OP_SET_ATTR_VALUE: u8 = 7;
+const OP_COLLECT: u8 = 8;
+
+// At-birth node kind tags (containers are born empty, so Alloc never
+// serializes child/attribute lists; the checkpoint format has its own
+// full encoding in store.rs).
+const KIND_DOCUMENT: u8 = 0;
+const KIND_ELEMENT: u8 = 1;
+const KIND_ATTRIBUTE: u8 = 2;
+const KIND_TEXT: u8 = 3;
+const KIND_COMMENT: u8 = 4;
+const KIND_PI: u8 = 5;
+
+impl RedoOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RedoOp::Alloc { id, kind } => {
+                out.push(OP_ALLOC);
+                put_u32(out, id.0);
+                match kind {
+                    NodeKind::Document { .. } => out.push(KIND_DOCUMENT),
+                    NodeKind::Element { name, .. } => {
+                        out.push(KIND_ELEMENT);
+                        put_qname(out, name);
+                    }
+                    NodeKind::Attribute { name, value } => {
+                        out.push(KIND_ATTRIBUTE);
+                        put_qname(out, name);
+                        put_str(out, value);
+                    }
+                    NodeKind::Text { content } => {
+                        out.push(KIND_TEXT);
+                        put_str(out, content);
+                    }
+                    NodeKind::Comment { content } => {
+                        out.push(KIND_COMMENT);
+                        put_str(out, content);
+                    }
+                    NodeKind::Pi { target, content } => {
+                        out.push(KIND_PI);
+                        put_str(out, target);
+                        put_str(out, content);
+                    }
+                }
+            }
+            RedoOp::Insert {
+                seq,
+                parent,
+                anchor,
+            } => {
+                out.push(OP_INSERT);
+                put_u32(out, parent.0);
+                match anchor {
+                    InsertAnchor::First => out.push(0),
+                    InsertAnchor::Last => out.push(1),
+                    InsertAnchor::After(n) => {
+                        out.push(2);
+                        put_u32(out, n.0);
+                    }
+                }
+                put_nodes(out, seq);
+            }
+            RedoOp::AttachAttr { element, attr } => {
+                out.push(OP_ATTACH_ATTR);
+                put_u32(out, element.0);
+                put_u32(out, attr.0);
+            }
+            RedoOp::Detach { node } => {
+                out.push(OP_DETACH);
+                put_u32(out, node.0);
+            }
+            RedoOp::Rename { node, name } => {
+                out.push(OP_RENAME);
+                put_u32(out, node.0);
+                put_qname(out, name);
+            }
+            RedoOp::SetText { node, content } => {
+                out.push(OP_SET_TEXT);
+                put_u32(out, node.0);
+                put_str(out, content);
+            }
+            RedoOp::SetAttrValue { node, value } => {
+                out.push(OP_SET_ATTR_VALUE);
+                put_u32(out, node.0);
+                put_str(out, value);
+            }
+            RedoOp::Collect { ids } => {
+                out.push(OP_COLLECT);
+                put_nodes(out, ids);
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> XdmResult<RedoOp> {
+        let op = match c.u8()? {
+            OP_ALLOC => {
+                let id = c.node()?;
+                let kind = match c.u8()? {
+                    KIND_DOCUMENT => NodeKind::Document {
+                        children: Vec::new(),
+                    },
+                    KIND_ELEMENT => NodeKind::Element {
+                        name: c.qname()?,
+                        attributes: Vec::new(),
+                        children: Vec::new(),
+                    },
+                    KIND_ATTRIBUTE => NodeKind::Attribute {
+                        name: c.qname()?,
+                        value: c.str()?,
+                    },
+                    KIND_TEXT => NodeKind::Text { content: c.str()? },
+                    KIND_COMMENT => NodeKind::Comment { content: c.str()? },
+                    KIND_PI => NodeKind::Pi {
+                        target: c.str()?,
+                        content: c.str()?,
+                    },
+                    _ => return Err(Cursor::corrupt()),
+                };
+                RedoOp::Alloc { id, kind }
+            }
+            OP_INSERT => {
+                let parent = c.node()?;
+                let anchor = match c.u8()? {
+                    0 => InsertAnchor::First,
+                    1 => InsertAnchor::Last,
+                    2 => InsertAnchor::After(c.node()?),
+                    _ => return Err(Cursor::corrupt()),
+                };
+                RedoOp::Insert {
+                    parent,
+                    anchor,
+                    seq: c.nodes()?,
+                }
+            }
+            OP_ATTACH_ATTR => RedoOp::AttachAttr {
+                element: c.node()?,
+                attr: c.node()?,
+            },
+            OP_DETACH => RedoOp::Detach { node: c.node()? },
+            OP_RENAME => RedoOp::Rename {
+                node: c.node()?,
+                name: c.qname()?,
+            },
+            OP_SET_TEXT => RedoOp::SetText {
+                node: c.node()?,
+                content: c.str()?,
+            },
+            OP_SET_ATTR_VALUE => RedoOp::SetAttrValue {
+                node: c.node()?,
+                value: c.str()?,
+            },
+            OP_COLLECT => RedoOp::Collect { ids: c.nodes()? },
+            _ => return Err(Cursor::corrupt()),
+        };
+        Ok(op)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The writer
+// ----------------------------------------------------------------------
+
+/// Receipt of one durable commit (returned by `Store::wal_commit`; the
+/// engine turns these into `engine.wal.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// Log sequence number of the commit marker.
+    pub lsn: u64,
+    /// Redo records the batch flushed (the marker excluded).
+    pub records: u64,
+    /// Bytes appended to the log, framing included.
+    pub bytes: u64,
+    /// Whether this commit fsynced the log.
+    pub fsynced: bool,
+}
+
+/// What recovery found (returned by [`Store::open_durable`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Committed batches replayed from the log.
+    pub replayed_commits: u64,
+    /// Redo records applied across those batches.
+    pub replayed_records: u64,
+    /// Corrupt-tail events: each one dropped a torn/unchecksummable/
+    /// unmarked suffix of the log (0 on a clean log).
+    pub tail_dropped: u64,
+    /// Whether the store was seeded from `checkpoint.bin`.
+    pub from_checkpoint: bool,
+    /// Human-readable warnings, one per graceful degradation.
+    pub warnings: Vec<String>,
+}
+
+/// The attached redo-log writer. Owned by [`Store`]; never cloned (a
+/// cloned store is a fork and gets `wal: None`).
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    sync: SyncMode,
+    /// LSN of the last commit marker written.
+    lsn: u64,
+    /// Ops recorded since the last flushed commit marker.
+    pending: Vec<RedoOp>,
+    /// `pending.len()` at each open undo frame; rollback truncates.
+    marks: Vec<usize>,
+    commits_since_sync: u64,
+    commits_since_checkpoint: u64,
+    /// Checkpoint after this many commits (`XQB_CHECKPOINT_EVERY`;
+    /// 0 disables automatic checkpoints).
+    checkpoint_every: u64,
+    /// Fault injection (`XQB_WAL_CRASH_AT`): abort the process once this
+    /// many cumulative log bytes have been written, leaving a genuinely
+    /// torn record behind. Counted across truncations, so offsets are
+    /// stable even when checkpoints shrink the file.
+    crash_after: Option<u64>,
+    bytes_written: u64,
+    /// Fault injection (`XQB_WAL_CRASH_CHECKPOINT`): 1 aborts between
+    /// checkpoint rename and log truncation; 2 aborts mid-snapshot-write.
+    crash_checkpoint: u8,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> XdmError {
+    XdmError::new(
+        "XQB0060",
+        format!("durable store I/O error ({context}): {e}"),
+    )
+}
+
+impl Wal {
+    /// Path of the redo log inside `dir`.
+    pub fn log_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    /// Path of the checkpoint snapshot inside `dir`.
+    pub fn checkpoint_path(dir: &Path) -> PathBuf {
+        dir.join("checkpoint.bin")
+    }
+
+    fn env_knobs() -> (u64, Option<u64>, u8) {
+        let every = std::env::var("XQB_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let crash_at = std::env::var("XQB_WAL_CRASH_AT")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let crash_ckpt = std::env::var("XQB_WAL_CRASH_CHECKPOINT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        (every, crash_at, crash_ckpt)
+    }
+
+    /// Open (creating or appending to) the log in `dir`; `existing_lsn`
+    /// is the last committed LSN recovery observed, and the file is
+    /// truncated to `valid_len` first (dropping any corrupt tail so new
+    /// records append to a clean prefix).
+    pub(crate) fn open(
+        dir: &Path,
+        sync: SyncMode,
+        existing_lsn: u64,
+        valid_len: Option<u64>,
+    ) -> XdmResult<Wal> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+        let path = Self::log_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open log", e))?;
+        let len = file.metadata().map_err(|e| io_err("stat log", e))?.len();
+        let mut start = len;
+        if let Some(v) = valid_len {
+            if v < len {
+                file.set_len(v).map_err(|e| io_err("truncate tail", e))?;
+                start = v;
+            }
+        }
+        if start < LOG_MAGIC.len() as u64 {
+            file.set_len(0).map_err(|e| io_err("reset log", e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seek", e))?;
+            file.write_all(LOG_MAGIC)
+                .map_err(|e| io_err("write header", e))?;
+        } else {
+            file.seek(SeekFrom::Start(start))
+                .map_err(|e| io_err("seek", e))?;
+        }
+        let (checkpoint_every, crash_after, crash_checkpoint) = Self::env_knobs();
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            sync,
+            lsn: existing_lsn,
+            pending: Vec::new(),
+            marks: Vec::new(),
+            commits_since_sync: 0,
+            commits_since_checkpoint: 0,
+            checkpoint_every,
+            crash_after,
+            bytes_written: 0,
+            crash_checkpoint,
+        })
+    }
+
+    /// The store directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The last committed log sequence number.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    pub(crate) fn set_sync(&mut self, sync: SyncMode) {
+        self.sync = sync;
+    }
+
+    pub(crate) fn sync_mode(&self) -> SyncMode {
+        self.sync
+    }
+
+    pub(crate) fn record(&mut self, op: RedoOp) {
+        self.pending.push(op);
+    }
+
+    pub(crate) fn note_begin_frame(&mut self) {
+        self.marks.push(self.pending.len());
+    }
+
+    pub(crate) fn note_commit_frame(&mut self) {
+        self.marks.pop();
+    }
+
+    pub(crate) fn note_rollback_frame(&mut self) {
+        if let Some(mark) = self.marks.pop() {
+            self.pending.truncate(mark);
+        }
+    }
+
+    /// Has anything been appended since this log was opened? (Gates the
+    /// shutdown seal: re-opening a store read-only must not dirty it.)
+    pub(crate) fn dirty_since_open(&self) -> bool {
+        self.bytes_written > 0
+    }
+
+    /// Write one framed record, honoring the crash-injection threshold:
+    /// if this write would cross `crash_after` cumulative bytes, only the
+    /// prefix up to the threshold reaches the file (a genuinely torn
+    /// record) and the process aborts.
+    fn write_record(&mut self, payload: &[u8]) -> XdmResult<()> {
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut framed, payload.len() as u32);
+        put_u32(&mut framed, crc32(payload));
+        framed.extend_from_slice(payload);
+        if let Some(limit) = self.crash_after {
+            let remaining = limit.saturating_sub(self.bytes_written) as usize;
+            if framed.len() > remaining {
+                let _ = self.file.write_all(&framed[..remaining]);
+                let _ = self.file.sync_data();
+                std::process::abort();
+            }
+        }
+        self.file
+            .write_all(&framed)
+            .map_err(|e| io_err("append record", e))?;
+        self.bytes_written += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Flush pending ops and a commit marker; fsync per the sync mode.
+    /// A no-op (returns `None`) when nothing was recorded since the last
+    /// marker — read-only runs cost nothing.
+    pub(crate) fn commit_pending(&mut self) -> XdmResult<Option<CommitReceipt>> {
+        debug_assert!(self.marks.is_empty(), "wal commit inside an open frame");
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let ops = std::mem::take(&mut self.pending);
+        let before = self.bytes_written;
+        for op in &ops {
+            let mut payload = vec![TAG_OP];
+            op.encode(&mut payload);
+            self.write_record(&payload)?;
+        }
+        self.lsn += 1;
+        let mut marker = vec![TAG_COMMIT];
+        put_u64(&mut marker, self.lsn);
+        self.write_record(&marker)?;
+        self.commits_since_sync += 1;
+        self.commits_since_checkpoint += 1;
+        let fsynced = match self.sync {
+            SyncMode::Always => true,
+            SyncMode::Batch => self.commits_since_sync >= BATCH_EVERY,
+            SyncMode::Off => false,
+        };
+        if fsynced {
+            self.file.sync_data().map_err(|e| io_err("fsync", e))?;
+            self.commits_since_sync = 0;
+        }
+        Ok(Some(CommitReceipt {
+            lsn: self.lsn,
+            records: ops.len() as u64,
+            bytes: self.bytes_written - before,
+            fsynced,
+        }))
+    }
+
+    /// Append a seal record carrying the store fingerprint (written on
+    /// clean shutdown; recovery verifies it when present).
+    pub(crate) fn seal(&mut self, fingerprint: u64) -> XdmResult<()> {
+        debug_assert!(self.pending.is_empty(), "seal with pending ops");
+        let mut payload = vec![TAG_SEAL];
+        put_u64(&mut payload, fingerprint);
+        self.write_record(&payload)?;
+        if !matches!(self.sync, SyncMode::Off) {
+            self.file.sync_data().map_err(|e| io_err("fsync seal", e))?;
+        }
+        Ok(())
+    }
+
+    /// Is an automatic checkpoint due?
+    pub(crate) fn checkpoint_due(&self) -> bool {
+        self.checkpoint_every > 0 && self.commits_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Install `snapshot` as the new checkpoint and truncate the log:
+    /// write to `checkpoint.tmp`, fsync, rename over `checkpoint.bin`,
+    /// then cut the log back to its header. A crash between rename and
+    /// truncation is safe: replay skips commits with `lsn ≤` the
+    /// snapshot's, so nothing is applied twice.
+    pub(crate) fn install_checkpoint(&mut self, snapshot: &[u8]) -> XdmResult<()> {
+        debug_assert!(self.pending.is_empty(), "checkpoint with pending ops");
+        let tmp = self.dir.join("checkpoint.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create checkpoint.tmp", e))?;
+            if self.crash_checkpoint == 2 {
+                // Torn snapshot write: half the body, then abort.
+                let _ = f.write_all(&snapshot[..snapshot.len() / 2]);
+                let _ = f.sync_data();
+                std::process::abort();
+            }
+            f.write_all(snapshot)
+                .map_err(|e| io_err("write checkpoint", e))?;
+            f.sync_data().map_err(|e| io_err("fsync checkpoint", e))?;
+        }
+        std::fs::rename(&tmp, Self::checkpoint_path(&self.dir))
+            .map_err(|e| io_err("rename checkpoint", e))?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        if self.crash_checkpoint == 1 {
+            // Crash in the checkpoint-crossing window: snapshot installed,
+            // log not yet truncated.
+            std::process::abort();
+        }
+        self.file
+            .set_len(LOG_MAGIC.len() as u64)
+            .map_err(|e| io_err("truncate log", e))?;
+        self.file
+            .seek(SeekFrom::Start(LOG_MAGIC.len() as u64))
+            .map_err(|e| io_err("seek", e))?;
+        if !matches!(self.sync, SyncMode::Off) {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("fsync truncated log", e))?;
+        }
+        self.commits_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Recovery
+// ----------------------------------------------------------------------
+
+/// Rebuild a store from `dir`: load `checkpoint.bin` if present (its
+/// CRC and fingerprint are verified), then replay `wal.log` through the
+/// real store mutators, applying each batch only when a valid commit
+/// marker follows it. A corrupt tail — torn record, failed checksum,
+/// trailing ops with no marker — is dropped with a warning and counted,
+/// never an abort. Returns the store (log re-attached for appending),
+/// the recovery report.
+pub(crate) fn recover(dir: &Path, sync: SyncMode) -> XdmResult<(Store, RecoveryReport)> {
+    let mut report = RecoveryReport::default();
+    let mut store = Store::new();
+    let mut base_lsn = 0u64;
+
+    let ckpt_path = Wal::checkpoint_path(dir);
+    if ckpt_path.exists() {
+        let bytes = std::fs::read(&ckpt_path).map_err(|e| io_err("read checkpoint", e))?;
+        let (s, lsn) = Store::from_snapshot(&bytes)?;
+        store = s;
+        base_lsn = lsn;
+        report.from_checkpoint = true;
+    }
+
+    let log_path = Wal::log_path(dir);
+    let mut last_lsn = base_lsn;
+    let mut valid_len: Option<u64> = None;
+    if log_path.exists() {
+        let bytes = std::fs::read(&log_path).map_err(|e| io_err("read log", e))?;
+        let (applied_lsn, vlen) = replay_log(&bytes, &mut store, base_lsn, &mut report)?;
+        last_lsn = applied_lsn;
+        valid_len = Some(vlen);
+    }
+
+    let wal = Wal::open(dir, sync, last_lsn, valid_len)?;
+    store.attach_wal(Box::new(wal));
+    Ok((store, report))
+}
+
+/// Replay `bytes` (the whole log file) into `store`. Returns the last
+/// applied LSN and the byte offset after the last valid record (the
+/// length the file should be truncated to before appending).
+fn replay_log(
+    bytes: &[u8],
+    store: &mut Store,
+    base_lsn: u64,
+    report: &mut RecoveryReport,
+) -> XdmResult<(u64, u64)> {
+    let drop_tail = |report: &mut RecoveryReport, why: String| {
+        report.tail_dropped += 1;
+        report.warnings.push(why);
+    };
+
+    if bytes.len() < LOG_MAGIC.len() || &bytes[..LOG_MAGIC.len()] != LOG_MAGIC {
+        if !bytes.is_empty() {
+            drop_tail(
+                report,
+                format!("redo log header invalid ({} bytes dropped)", bytes.len()),
+            );
+        }
+        return Ok((base_lsn, 0));
+    }
+
+    let mut pos = LOG_MAGIC.len();
+    let mut valid_len = pos as u64;
+    let mut last_lsn = base_lsn;
+    // Ops seen since the last commit marker, with the count of records
+    // they span (for the warning message).
+    let mut batch: Vec<RedoOp> = Vec::new();
+
+    loop {
+        if pos == bytes.len() {
+            break; // clean end
+        }
+        if pos + 8 > bytes.len() {
+            drop_tail(report, "torn record framing at log tail".to_string());
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD {
+            drop_tail(
+                report,
+                format!("implausible record length {len} at offset {pos}"),
+            );
+            break;
+        }
+        let body_start = pos + 8;
+        let body_end = match body_start.checked_add(len as usize) {
+            Some(e) if e <= bytes.len() => e,
+            _ => {
+                drop_tail(report, format!("torn record at offset {pos}"));
+                break;
+            }
+        };
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            drop_tail(report, format!("checksum mismatch at offset {pos}"));
+            break;
+        }
+        let mut c = Cursor::new(payload);
+        let tag = match c.u8() {
+            Ok(t) => t,
+            Err(_) => {
+                drop_tail(report, format!("empty record at offset {pos}"));
+                break;
+            }
+        };
+        match tag {
+            TAG_OP => match RedoOp::decode(&mut c) {
+                Ok(op) if c.done() => batch.push(op),
+                _ => {
+                    drop_tail(report, format!("undecodable redo op at offset {pos}"));
+                    break;
+                }
+            },
+            TAG_COMMIT => {
+                let lsn = match c.u64() {
+                    Ok(l) if c.done() => l,
+                    _ => {
+                        drop_tail(report, format!("malformed commit marker at offset {pos}"));
+                        break;
+                    }
+                };
+                if lsn <= base_lsn {
+                    // Pre-checkpoint commit left behind by a crash between
+                    // checkpoint install and log truncation: the snapshot
+                    // already contains it.
+                    batch.clear();
+                } else {
+                    store.begin_frame();
+                    let n = batch.len() as u64;
+                    let mut failed = None;
+                    for op in batch.drain(..) {
+                        if let Err(e) = store.apply_redo(&op) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    match failed {
+                        None => {
+                            store.commit_frame();
+                            report.replayed_commits += 1;
+                            report.replayed_records += n;
+                            last_lsn = lsn;
+                        }
+                        Some(e) => {
+                            store.rollback_frame();
+                            drop_tail(
+                                report,
+                                format!("redo batch for lsn {lsn} failed to apply: {e}"),
+                            );
+                            break;
+                        }
+                    }
+                }
+                valid_len = body_end as u64;
+            }
+            TAG_SEAL => {
+                let fp = match c.u64() {
+                    Ok(f) if c.done() => f,
+                    _ => {
+                        drop_tail(report, format!("malformed seal record at offset {pos}"));
+                        break;
+                    }
+                };
+                if !batch.is_empty() {
+                    drop_tail(report, "seal record follows unmarked ops".to_string());
+                    break;
+                }
+                if store.fingerprint() != fp {
+                    drop_tail(
+                        report,
+                        format!(
+                            "seal fingerprint mismatch at offset {pos}: log says {fp:016x}, \
+                             recovered store is {:016x}",
+                            store.fingerprint()
+                        ),
+                    );
+                } // state itself is CRC-verified per record; keep it either way
+                valid_len = body_end as u64;
+            }
+            other => {
+                drop_tail(
+                    report,
+                    format!("unknown record tag {other} at offset {pos}"),
+                );
+                break;
+            }
+        }
+        pos = body_end;
+    }
+
+    if !batch.is_empty() {
+        drop_tail(
+            report,
+            format!(
+                "{} uncommitted trailing redo op(s) dropped (no commit marker)",
+                batch.len()
+            ),
+        );
+    }
+    Ok((last_lsn, valid_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sync_mode_parse_roundtrip() {
+        for m in [SyncMode::Always, SyncMode::Batch, SyncMode::Off] {
+            assert_eq!(SyncMode::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(SyncMode::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn redo_op_encoding_roundtrip() {
+        let ops = vec![
+            RedoOp::Alloc {
+                id: NodeId(7),
+                kind: NodeKind::Element {
+                    name: QName::prefixed("p", "x"),
+                    attributes: Vec::new(),
+                    children: Vec::new(),
+                },
+            },
+            RedoOp::Alloc {
+                id: NodeId(8),
+                kind: NodeKind::Pi {
+                    target: "t".into(),
+                    content: "c".into(),
+                },
+            },
+            RedoOp::Insert {
+                seq: vec![NodeId(1), NodeId(2)],
+                parent: NodeId(0),
+                anchor: InsertAnchor::After(NodeId(9)),
+            },
+            RedoOp::AttachAttr {
+                element: NodeId(3),
+                attr: NodeId(4),
+            },
+            RedoOp::Detach { node: NodeId(5) },
+            RedoOp::Rename {
+                node: NodeId(6),
+                name: QName::local("renamed"),
+            },
+            RedoOp::SetText {
+                node: NodeId(1),
+                content: "héllo".into(),
+            },
+            RedoOp::SetAttrValue {
+                node: NodeId(2),
+                value: String::new(),
+            },
+            RedoOp::Collect {
+                ids: vec![NodeId(2), NodeId(1)],
+            },
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            op.encode(&mut buf);
+            let mut c = Cursor::new(&buf);
+            let back = RedoOp::decode(&mut c).unwrap();
+            assert!(c.done());
+            assert_eq!(&back, op);
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_truncation() {
+        let mut buf = Vec::new();
+        RedoOp::SetText {
+            node: NodeId(1),
+            content: "abcdef".into(),
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut c = Cursor::new(&buf[..cut]);
+            assert!(RedoOp::decode(&mut c).is_err() || !c.done(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = Fnv64::new();
+        h.str("hello");
+        h.u32(42);
+        // Pinned: the fingerprint must be deterministic across processes
+        // and toolchains (recovery equivalence depends on it).
+        let first = h.finish();
+        let mut h2 = Fnv64::new();
+        h2.str("hello");
+        h2.u32(42);
+        assert_eq!(first, h2.finish());
+        assert_ne!(first, Fnv64::new().finish());
+    }
+}

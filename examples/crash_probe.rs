@@ -1,0 +1,249 @@
+//! Crash-point fault-injection harness for the durable store (ISSUE 6).
+//!
+//! The probe runs a scripted multi-snap workload against a durable store
+//! and attacks it three ways:
+//!
+//! 1. **Kill sweep** — re-runs the workload in a child process with
+//!    `XQB_WAL_CRASH_AT=<bytes>`, so the child aborts mid-write after
+//!    exactly that many cumulative log bytes, leaving a genuinely torn
+//!    record on disk.
+//! 2. **Offline corruption** — takes a cleanly written log and either
+//!    truncates it at an arbitrary offset or flips a single bit.
+//! 3. **Checkpoint crossing** — `XQB_WAL_CRASH_CHECKPOINT=1|2` aborts the
+//!    child between checkpoint install and log truncation, or mid-way
+//!    through writing the snapshot itself.
+//!
+//! After every attack the store is recovered and its fingerprint must
+//! equal some committed prefix of the workload — never a torn, reordered,
+//! or invented state. Exit code 0 iff every probe holds.
+//!
+//! Run with: `cargo run --example crash_probe`
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+use xquery_bang::xqdm::SyncMode;
+use xquery_bang::{Engine, Store};
+
+/// The scripted workload: deterministic (ordered snaps only), multi-snap,
+/// with committed-then-failing runs, nested snaps, and an orphan sweep —
+/// every redo-op kind is exercised. Runs identically on a durable engine
+/// (the child) and an in-memory replica (the parent's oracle); returns
+/// the store fingerprint after every engine commit point.
+fn run_workload(e: &mut Engine) -> Vec<u64> {
+    let mut prefixes = vec![e.store.fingerprint()];
+    e.load_document("doc", "<site><open_auctions/></site>")
+        .unwrap();
+    prefixes.push(e.store.fingerprint());
+    let queries = [
+        // Plain inserts, with attributes and nested structure.
+        "insert { <item id=\"1\"><name>alpha</name></item> } into { $doc/site }",
+        "insert { <item id=\"2\"><name>beta</name><price>17</price></item> } into { $doc/site }",
+        // A nested snap inside the implicit one.
+        "snap { insert { <auction n=\"1\"/> } into { $doc/site/open_auctions },
+                snap insert { <bid v=\"10\"/> } into { $doc/site/open_auctions/auction } }",
+        // Rename and replace (text mutation).
+        "rename { ($doc/site/item)[1] } to { \"lot\" }",
+        "replace { ($doc/site/item/name/text())[1] } with { \"gamma\" }",
+        // A failing run whose explicit snap committed first: the snap
+        // must persist, the error must not.
+        "(snap insert { <kept/> } into { $doc/site }, 1 div 0)",
+        // A failing run that constructed an orphan: the engine sweeps it
+        // (reclaim -> Collect redo op) at the commit point.
+        "(element orphan { \"zzz\" }, 1 div 0)",
+        // Delete, then refill so the freed slots get reused (free-list
+        // order must replay exactly).
+        "delete { ($doc/site/lot)[1] }",
+        "insert { <item id=\"3\"><name>delta</name></item> } into { $doc/site }",
+        "insert { <closed/> } into { $doc/site/open_auctions }",
+    ];
+    for q in queries {
+        let _ = e.run(q); // the 1-div-0 runs error by design
+        prefixes.push(e.store.fingerprint());
+    }
+    prefixes
+}
+
+/// Child mode: open the durable store at `dir` and run the workload.
+/// The parent injects crashes via XQB_WAL_CRASH_AT / _CHECKPOINT /
+/// XQB_CHECKPOINT_EVERY in our environment (read at store open).
+fn child(dir: &str) -> ExitCode {
+    let mut e = Engine::new();
+    if let Err(err) = e.open_store(dir) {
+        eprintln!("child: cannot open store: {err}");
+        return ExitCode::FAILURE;
+    }
+    run_workload(&mut e);
+    ExitCode::SUCCESS
+}
+
+struct Probe {
+    exe: PathBuf,
+    base: PathBuf,
+    prefixes: Vec<u64>,
+    failures: u64,
+    probes: u64,
+    tails_dropped: u64,
+}
+
+impl Probe {
+    fn fresh_dir(&self, tag: &str) -> PathBuf {
+        let dir = self.base.join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Spawn the workload child against `dir` with extra env vars.
+    fn spawn_child(&self, dir: &Path, env: &[(&str, String)]) {
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg("child")
+            .arg(dir)
+            .env_remove("XQB_WAL_CRASH_AT")
+            .env_remove("XQB_WAL_CRASH_CHECKPOINT")
+            .env("XQB_CHECKPOINT_EVERY", "0");
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        // An aborting child is the point; ignore its status and let
+        // recovery judge the on-disk state.
+        let _ = cmd.output().expect("spawn child");
+    }
+
+    /// Recover `dir` and check the central invariant; a clean (uncrashed)
+    /// run must recover to the *final* workload state, not merely some
+    /// prefix — a harness that lost committed tail bytes silently would
+    /// otherwise still pass.
+    fn check_recovery(&mut self, dir: &Path, what: &str, expect_final: bool) {
+        self.probes += 1;
+        match Store::open_durable(dir, SyncMode::Always) {
+            Ok((store, report)) => {
+                self.tails_dropped += report.tail_dropped;
+                let fp = store.fingerprint();
+                let ok = if expect_final {
+                    Some(&fp) == self.prefixes.last()
+                } else {
+                    self.prefixes.contains(&fp)
+                };
+                if ok {
+                    let commits = report.replayed_commits;
+                    println!(
+                        "  ok: {what} -> prefix fingerprint {fp:016x} ({commits} commits replayed)"
+                    );
+                } else if expect_final {
+                    self.failures += 1;
+                    eprintln!(
+                        "  FAIL: {what} -> fingerprint {fp:016x} is not the final workload state"
+                    );
+                } else {
+                    self.failures += 1;
+                    eprintln!("  FAIL: {what} -> fingerprint {fp:016x} is not a committed prefix");
+                }
+            }
+            Err(e) => {
+                // Corrupt tails must degrade, never abort recovery.
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> recovery errored: {e}");
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "child" {
+        return child(&args[2]);
+    }
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let base = std::env::temp_dir().join(format!("xqb_crash_probe_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Oracle: the committed-prefix fingerprints of the workload, computed
+    // in-memory (the workload is deterministic, so the durable child
+    // lands on exactly these states).
+    let prefixes = run_workload(&mut Engine::new());
+    let mut probe = Probe {
+        exe,
+        base,
+        prefixes,
+        failures: 0,
+        probes: 0,
+        tails_dropped: 0,
+    };
+
+    // A clean reference run: its final log tells us the total bytes the
+    // workload writes (record bytes; the 8-byte header is not counted by
+    // the crash threshold), which bounds the kill sweep.
+    let clean = probe.fresh_dir("clean");
+    probe.spawn_child(&clean, &[]);
+    probe.check_recovery(&clean, "clean run", true);
+    let log_bytes = std::fs::metadata(clean.join("wal.log"))
+        .expect("clean wal.log")
+        .len();
+    let total = log_bytes.saturating_sub(8);
+    println!("workload writes {total} log bytes; sweeping kill offsets");
+
+    // 1. Kill sweep: abort the child after N cumulative log bytes.
+    let step = (total / 24).max(1);
+    let mut offsets: Vec<u64> = (0..=total).step_by(step as usize).collect();
+    // Byte-level edges around the very first record are the classic torn
+    // cases; make sure they are always probed.
+    offsets.extend([1, 2, 7, 9, total.saturating_sub(1)]);
+    offsets.sort_unstable();
+    offsets.dedup();
+    for off in &offsets {
+        let dir = probe.fresh_dir(&format!("kill_{off}"));
+        probe.spawn_child(&dir, &[("XQB_WAL_CRASH_AT", off.to_string())]);
+        probe.check_recovery(&dir, &format!("kill at byte {off}"), false);
+    }
+
+    // 2. Offline corruption of a cleanly written log: truncation at an
+    // arbitrary offset, and single-bit flips.
+    let clean_log = std::fs::read(clean.join("wal.log")).expect("read clean log");
+    for i in 0..24u64 {
+        let cut = (clean_log.len() as u64 * i / 24).max(1);
+        let dir = probe.fresh_dir(&format!("trunc_{cut}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("wal.log"), &clean_log[..cut as usize]).unwrap();
+        probe.check_recovery(&dir, &format!("truncate at byte {cut}"), false);
+    }
+    for i in 0..24u64 {
+        let pos = (clean_log.len() as u64 * i / 24) as usize % clean_log.len();
+        let bit = (i % 8) as u8;
+        let mut bytes = clean_log.clone();
+        bytes[pos] ^= 1 << bit;
+        let dir = probe.fresh_dir(&format!("flip_{pos}_{bit}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("wal.log"), &bytes).unwrap();
+        probe.check_recovery(&dir, &format!("flip bit {bit} of byte {pos}"), false);
+    }
+
+    // 3. Checkpoint-crossing crashes: frequent checkpoints, aborting (a)
+    // between checkpoint install and log truncation, (b) mid-snapshot.
+    for mode in ["1", "2"] {
+        let dir = probe.fresh_dir(&format!("ckpt_{mode}"));
+        probe.spawn_child(
+            &dir,
+            &[
+                ("XQB_CHECKPOINT_EVERY", "3".to_string()),
+                ("XQB_WAL_CRASH_CHECKPOINT", mode.to_string()),
+            ],
+        );
+        probe.check_recovery(&dir, &format!("checkpoint crash mode {mode}"), false);
+    }
+    // And a full run with frequent checkpoints but no crash: recovery
+    // from snapshot + short log must land on the final state.
+    let dir = probe.fresh_dir("ckpt_clean");
+    probe.spawn_child(&dir, &[("XQB_CHECKPOINT_EVERY", "3".to_string())]);
+    probe.check_recovery(&dir, "frequent checkpoints, clean exit", true);
+
+    println!(
+        "crash probe: {} probes, {} failures, {} corrupt tails dropped gracefully",
+        probe.probes, probe.failures, probe.tails_dropped
+    );
+    let _ = std::fs::remove_dir_all(&probe.base);
+    if probe.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

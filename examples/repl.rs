@@ -5,6 +5,10 @@
 //! Commands:
 //!   :load <var> <file>   parse an XML file and bind its document to $var
 //!   :xmark <var> <n>     bind an XMark document with n persons to $var
+//!   :open <dir>          recover the durable store at <dir> and attach it
+//!                        (recovered documents bind to $doc, $doc2, ...)
+//!   :save <dir>          persist the current store to <dir> and keep it
+//!                        attached (later updates append to its redo log)
 //!   :plan <query>        show the optimizer's plan for a query
 //!   :analyze <query>     run a query and show the plan with live counters
 //!   :threads [n]         show or set worker threads for pure regions
@@ -65,7 +69,9 @@ fn main() {
     let mut engine = Engine::new();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("XQuery! shell — :load, :xmark, :plan, :analyze, :threads, :limits, :quit");
+    println!(
+        "XQuery! shell — :load, :xmark, :open, :save, :plan, :analyze, :threads, :limits, :quit"
+    );
     loop {
         print!("xq!> ");
         out.flush().ok();
@@ -116,6 +122,46 @@ fn main() {
                     }
                 }
                 _ => eprintln!("usage: :xmark <var> <persons>"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":open ") {
+            let dir = rest.trim();
+            if dir.is_empty() {
+                eprintln!("usage: :open <dir>");
+                continue;
+            }
+            match engine.open_store(dir) {
+                Ok(report) => {
+                    let roots = engine.store.document_roots().len();
+                    println!(
+                        "opened {dir}: {} commit(s) replayed{}, {roots} document(s) bound, \
+                         fingerprint {:016x}",
+                        report.replayed_commits,
+                        if report.from_checkpoint {
+                            " from checkpoint"
+                        } else {
+                            ""
+                        },
+                        engine.store.fingerprint()
+                    );
+                }
+                Err(e) => eprintln!("cannot open store: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":save ") {
+            let dir = rest.trim();
+            if dir.is_empty() {
+                eprintln!("usage: :save <dir>");
+                continue;
+            }
+            match engine.save_store(dir) {
+                Ok(()) => println!(
+                    "saved to {dir} (fingerprint {:016x}); updates now persist there",
+                    engine.store.fingerprint()
+                ),
+                Err(e) => eprintln!("cannot save store: {e}"),
             }
             continue;
         }

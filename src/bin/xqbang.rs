@@ -24,6 +24,7 @@ struct Options {
     analyze: bool,
     pretty: bool,
     check_only: bool,
+    store: Option<String>,
     threads: Option<usize>,
     max_depth: Option<usize>,
     fuel: Option<u64>,
@@ -38,6 +39,11 @@ fn usage() -> &'static str {
        -q, --query <XQUERY>      run an inline query instead of a file\n\
        -d, --doc <VAR>=<FILE>    parse FILE and bind its document to $VAR\n\
        --xmark <VAR>=<FACTOR>    bind $VAR to a generated XMark document\n\
+       --store <DIR>             open (or create) the durable store at DIR:\n\
+                                 committed updates persist in its redo log,\n\
+                                 recovered documents bind to $doc, $doc2, ...\n\
+                                 (default: $XQB_STORE_PATH; fsync policy from\n\
+                                 $XQB_DURABILITY = always|batch|off)\n\
        --plan                    print the compiled plan instead of running\n\
        --analyze                 run the query and print the plan annotated\n\
                                  with live per-node counters (EXPLAIN ANALYZE)\n\
@@ -62,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
         query_file: None,
         documents: Vec::new(),
         xmark: Vec::new(),
+        store: None,
         show_plan: false,
         analyze: false,
         pretty: false,
@@ -90,6 +97,9 @@ fn parse_args() -> Result<Options, String> {
             "--analyze" => opts.analyze = true,
             "--pretty" => opts.pretty = true,
             "--check" => opts.check_only = true,
+            "--store" => {
+                opts.store = Some(args.next().ok_or("missing argument for --store")?);
+            }
             "-q" | "--query" => {
                 opts.query = Some(args.next().ok_or("missing argument for --query")?);
             }
@@ -137,6 +147,11 @@ fn run() -> Result<(), String> {
     };
 
     let mut engine = Engine::new();
+    if let Some(dir) = &opts.store {
+        engine
+            .open_store(dir)
+            .map_err(|e| format!("cannot open store {dir}: {e}"))?;
+    }
     if let Some(n) = opts.threads {
         engine.set_threads(n);
     }

@@ -40,7 +40,7 @@ pub use xqdm;
 pub use xqsyn;
 
 pub use xqcore::{Error, SnapMode};
-pub use xqdm::{Atomic, Item, Sequence, Store};
+pub use xqdm::{Atomic, Item, RecoveryReport, Sequence, Store, SyncMode};
 
 /// The full engine: [`xqcore::Engine`] with the [`xqalg`] compiled
 /// execution pipeline installed.

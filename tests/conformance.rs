@@ -323,6 +323,7 @@ fn error_codes() {
         // error, same code as an unknown function.
         ("xqb:stats(1)", "XPST0017"),
         ("xqb:reset-stats(\"x\")", "XPST0017"),
+        ("xqb:fingerprint(1)", "XPST0017"),
         ("1 + \"a\"", "XPTY0004"),
         ("xs:integer(\"zz\")", "FORG0001"),
         ("sum((\"a\", \"b\"))", "FORG0001"),
