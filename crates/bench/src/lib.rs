@@ -60,8 +60,8 @@ pub fn xmark_fixture(seed: u64, scale: &Scale) -> (Store, Vec<(String, Sequence)
     (
         store,
         vec![
-            ("auction".to_string(), vec![Item::Node(auction)]),
-            ("purchasers".to_string(), vec![Item::Node(purchasers)]),
+            ("auction".to_string(), xqdm::seq![Item::Node(auction)]),
+            ("purchasers".to_string(), xqdm::seq![Item::Node(purchasers)]),
         ],
     )
 }

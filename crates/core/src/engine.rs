@@ -15,6 +15,7 @@ use std::hash::Hasher;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xqdm::seq;
 use xqdm::item::{Item, Sequence};
 use xqdm::{NodeId, RecoveryReport, Store, SyncMode, XdmResult};
 use xqsyn::cursor::ParseError;
@@ -179,7 +180,7 @@ impl Engine {
             } else {
                 format!("doc{}", i + 1)
             };
-            self.bindings.push((name, vec![Item::Node(root)]));
+            self.bindings.push((name, seq![Item::Node(root)]));
         }
         self.metrics.wal_replayed.add(report.replayed_commits);
         self.metrics.wal_tail_dropped.add(report.tail_dropped);
@@ -414,7 +415,7 @@ impl Engine {
         let flushed = self.commit_wal();
         let doc = parsed?;
         flushed?;
-        self.bind(name, vec![Item::Node(doc)]);
+        self.bind(name, seq![Item::Node(doc)]);
         Ok(doc)
     }
 
@@ -586,6 +587,8 @@ impl Engine {
             m.joins.add(s.joins_executed);
             m.par_regions.add(s.par_regions);
             m.par_items.add(s.par_items);
+            m.batch_steps.add(s.batch_steps);
+            m.batch_nodes.add(s.batch_nodes);
         }
         let millis = elapsed.as_secs_f64() * 1e3;
         if let Some(threshold) = self.slow_ms {
@@ -898,8 +901,8 @@ mod tests {
     #[test]
     fn bindings_shadow_and_persist() {
         let mut e = Engine::new();
-        e.bind("x", vec![Item::integer(1)]);
-        e.bind("x", vec![Item::integer(2)]);
+        e.bind("x", seq![Item::integer(1)]);
+        e.bind("x", seq![Item::integer(2)]);
         assert_eq!(e.run("$x + 1").unwrap(), vec![Item::integer(3)]);
     }
 

@@ -88,8 +88,8 @@ mod tests {
     #[test]
     fn shadowing_and_restore() {
         let mut env = DynEnv::new();
-        env.push_var("x", vec![Item::integer(1)]);
-        env.push_var("x", vec![Item::integer(2)]);
+        env.push_var("x", xqdm::seq![Item::integer(1)]);
+        env.push_var("x", xqdm::seq![Item::integer(2)]);
         assert_eq!(env.var("x").unwrap(), &vec![Item::integer(2)]);
         env.pop_var();
         assert_eq!(env.var("x").unwrap(), &vec![Item::integer(1)]);

@@ -28,10 +28,11 @@ use crate::update::{Delta, UpdateRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use xqdm::seq;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::store::InsertAnchor;
-use xqdm::{NodeId, NodeKind, QName, Store, XdmError, XdmResult};
+use xqdm::{KernelTest, NodeId, NodeKind, QName, Scratch, Store, XdmError, XdmResult};
 use xqsyn::ast::{Axis, NodeCompOp, NodeTest, Quantifier, SnapMode};
 use xqsyn::core::{Core, CoreFunction, CoreInsertLoc, CoreName, CoreProgram};
 
@@ -86,6 +87,12 @@ pub struct EvalStats {
     pub par_regions: u64,
     /// Items evaluated inside those regions (strategy counter).
     pub par_items: u64,
+    /// Batch path-step kernel invocations (strategy counter: 0 under
+    /// pure interpretation).
+    pub batch_steps: u64,
+    /// Nodes produced by those kernel invocations, pre-dedup (strategy
+    /// counter).
+    pub batch_nodes: u64,
 }
 
 /// The evaluator: function table, globals, and the Δ stack.
@@ -115,6 +122,11 @@ pub struct Evaluator {
     /// deadline measure one run.
     limits: Limits,
     guard: LimitGuard,
+    /// Reusable buffers for document-order sorting and the batch step
+    /// kernels (DESIGN.md §14): one arena per evaluation, threaded into
+    /// every `sort_and_dedup_with` call so steady-state path evaluation
+    /// stops allocating.
+    scratch: Scratch,
 }
 
 /// One open profiled plan node: enough to compute inclusive wall time and
@@ -128,6 +140,9 @@ struct NodeFrame {
     /// `stats.par_regions` / `stats.par_items` at entry.
     par_regions0: u64,
     par_items0: u64,
+    /// `stats.batch_steps` / `stats.batch_nodes` at entry.
+    batch_steps0: u64,
+    batch_nodes0: u64,
     /// Input cardinality reported via [`Evaluator::note_input`].
     input_rows: u64,
 }
@@ -179,6 +194,7 @@ impl Evaluator {
             obs: None,
             limits,
             guard: LimitGuard::new(&limits),
+            scratch: Scratch::new(),
         }
     }
 
@@ -200,6 +216,7 @@ impl Evaluator {
             obs: None,
             limits,
             guard: LimitGuard::new(&limits),
+            scratch: Scratch::new(),
         }
     }
 
@@ -477,6 +494,21 @@ impl Evaluator {
         self.stats.joins_executed += 1;
     }
 
+    /// Record one batch step-kernel invocation that produced `nodes`
+    /// nodes (pre-dedup). Feeds both the run statistics and, when
+    /// profiling, the innermost plan node's `batch=` counters.
+    pub fn note_batch(&mut self, nodes: u64) {
+        self.stats.batch_steps += 1;
+        self.stats.batch_nodes += nodes;
+    }
+
+    /// The evaluation's scratch arena (document-order sort workspace and
+    /// batch-kernel buffers), for plan executors that call the store
+    /// kernels directly.
+    pub fn scratch_mut(&mut self) -> &mut Scratch {
+        &mut self.scratch
+    }
+
     // ------------------------------------------------------------------
     // observability hooks (DESIGN.md §10)
     // ------------------------------------------------------------------
@@ -513,6 +545,8 @@ impl Evaluator {
         let emitted0 = self.stats.requests_emitted;
         let par_regions0 = self.stats.par_regions;
         let par_items0 = self.stats.par_items;
+        let batch_steps0 = self.stats.batch_steps;
+        let batch_nodes0 = self.stats.batch_nodes;
         if let Some(o) = self.obs.as_mut() {
             if o.profile.is_some() {
                 o.frames.push(NodeFrame {
@@ -521,6 +555,8 @@ impl Evaluator {
                     child_emitted: 0,
                     par_regions0,
                     par_items0,
+                    batch_steps0,
+                    batch_nodes0,
                     input_rows: 0,
                 });
             }
@@ -544,6 +580,8 @@ impl Evaluator {
         let emitted_now = self.stats.requests_emitted;
         let par_regions_now = self.stats.par_regions;
         let par_items_now = self.stats.par_items;
+        let batch_steps_now = self.stats.batch_steps;
+        let batch_nodes_now = self.stats.batch_nodes;
         let Some(o) = self.obs.as_mut() else { return };
         let Some(frame) = o.frames.pop() else { return };
         let wall_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -562,6 +600,8 @@ impl Evaluator {
             n.delta_self += delta_self;
             n.par_regions += par_regions_now - frame.par_regions0;
             n.par_items += par_items_now - frame.par_items0;
+            n.batch_steps += batch_steps_now - frame.batch_steps0;
+            n.batch_nodes += batch_nodes_now - frame.batch_nodes0;
         }
     }
 
@@ -646,16 +686,16 @@ impl Evaluator {
         expr: &Core,
     ) -> XdmResult<Sequence> {
         match expr {
-            Core::Const(a) => Ok(vec![Item::Atomic(a.clone())]),
+            Core::Const(a) => Ok(seq![Item::Atomic(a.clone())]),
             Core::Var(name) => match env.var(name) {
                 Ok(v) => Ok(v.clone()),
                 Err(e) => self.globals.get(name).cloned().ok_or(e),
             },
-            Core::ContextItem => Ok(vec![env.focus()?.item.clone()]),
+            Core::ContextItem => Ok(seq![env.focus()?.item.clone()]),
             // The paper's sequence rule: e1 fully evaluated before e2,
             // values and Δs concatenated in order.
             Core::Seq(items) => {
-                let mut out = Vec::new();
+                let mut out = Sequence::new();
                 for e in items {
                     let v = self.eval(store, env, e)?;
                     self.guard.charge(v.len() as u64)?;
@@ -677,11 +717,11 @@ impl Evaluator {
                 if src.len() >= crate::par::PAR_MIN_ITEMS && self.par_candidate(body) {
                     return self.par_for(store, env, var, position.as_deref(), &src, body);
                 }
-                let mut out = Vec::new();
+                let mut out = Sequence::new();
                 for (i, it) in src.into_iter().enumerate() {
-                    env.push_var(var.clone(), vec![it]);
+                    env.push_var(var.clone(), seq![it]);
                     if let Some(p) = position {
-                        env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                        env.push_var(p.clone(), seq![Item::integer((i + 1) as i64)]);
                     }
                     let r = self.eval(store, env, body);
                     if position.is_some() {
@@ -718,7 +758,7 @@ impl Evaluator {
                 let src = self.eval(store, env, source)?;
                 let mut result = matches!(quantifier, Quantifier::Every);
                 for it in src {
-                    env.push_var(var.clone(), vec![it]);
+                    env.push_var(var.clone(), seq![it]);
                     let s = self.eval(store, env, satisfies);
                     env.pop_var();
                     let holds = item::effective_boolean(&s?, store)?;
@@ -734,7 +774,7 @@ impl Evaluator {
                         _ => {}
                     }
                 }
-                Ok(vec![Item::boolean(result)])
+                Ok(seq![Item::boolean(result)])
             }
             Core::SortedFor {
                 var,
@@ -747,7 +787,7 @@ impl Evaluator {
                 // expressions may have effects like any other expression).
                 let mut keyed: Vec<(Vec<Option<Atomic>>, Item)> = Vec::with_capacity(src.len());
                 for it in src {
-                    env.push_var(var.clone(), vec![it.clone()]);
+                    env.push_var(var.clone(), seq![it.clone()]);
                     let mut ks = Vec::with_capacity(keys.len());
                     for k in keys {
                         let kv = self.eval(store, env, &k.key);
@@ -792,9 +832,9 @@ impl Evaluator {
                     }
                     std::cmp::Ordering::Equal
                 });
-                let mut out = Vec::new();
+                let mut out = Sequence::new();
                 for (_, it) in keyed {
-                    env.push_var(var.clone(), vec![it]);
+                    env.push_var(var.clone(), seq![it]);
                     let r = self.eval(store, env, body);
                     env.pop_var();
                     out.extend(r?);
@@ -811,8 +851,8 @@ impl Evaluator {
                     .map(|x| x.atomize(store))
                     .transpose()?;
                 match (la, ra) {
-                    (Some(a), Some(b)) => Ok(vec![Item::Atomic(arithmetic(*op, &a, &b)?)]),
-                    _ => Ok(vec![]),
+                    (Some(a), Some(b)) => Ok(seq![Item::Atomic(arithmetic(*op, &a, &b)?)]),
+                    _ => Ok(seq![]),
                 }
             }
             Core::Neg(e) => {
@@ -821,14 +861,14 @@ impl Evaluator {
                     .map(|x| x.atomize(store))
                     .transpose()?
                 {
-                    Some(a) => Ok(vec![Item::Atomic(negate(&a)?)]),
-                    None => Ok(vec![]),
+                    Some(a) => Ok(seq![Item::Atomic(negate(&a)?)]),
+                    None => Ok(seq![]),
                 }
             }
             Core::GeneralComp(op, l, r) => {
                 let lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
-                Ok(vec![Item::boolean(item::general_compare_seqs(
+                Ok(seq![Item::boolean(item::general_compare_seqs(
                     *op, &lv, &rv, store,
                 )?)])
             }
@@ -842,8 +882,8 @@ impl Evaluator {
                     .map(|x| x.atomize(store))
                     .transpose()?;
                 match (la, ra) {
-                    (Some(a), Some(b)) => Ok(vec![Item::boolean(value_compare(*op, &a, &b)?)]),
-                    _ => Ok(vec![]),
+                    (Some(a), Some(b)) => Ok(seq![Item::boolean(value_compare(*op, &a, &b)?)]),
+                    _ => Ok(seq![]),
                 }
             }
             Core::NodeComp(op, l, r) => {
@@ -863,33 +903,33 @@ impl Evaluator {
                                 store.cmp_doc_order(a, b)? == std::cmp::Ordering::Greater
                             }
                         };
-                        Ok(vec![Item::boolean(res)])
+                        Ok(seq![Item::boolean(res)])
                     }
-                    _ => Ok(vec![]),
+                    _ => Ok(seq![]),
                 }
             }
             Core::And(l, r) => {
                 let lv = self.eval(store, env, l)?;
                 if !item::effective_boolean(&lv, store)? {
-                    return Ok(vec![Item::boolean(false)]);
+                    return Ok(seq![Item::boolean(false)]);
                 }
                 let rv = self.eval(store, env, r)?;
-                Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+                Ok(seq![Item::boolean(item::effective_boolean(&rv, store)?)])
             }
             Core::Or(l, r) => {
                 let lv = self.eval(store, env, l)?;
                 if item::effective_boolean(&lv, store)? {
-                    return Ok(vec![Item::boolean(true)]);
+                    return Ok(seq![Item::boolean(true)]);
                 }
                 let rv = self.eval(store, env, r)?;
-                Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+                Ok(seq![Item::boolean(item::effective_boolean(&rv, store)?)])
             }
             Core::Union(l, r) => {
                 let mut lv = self.eval(store, env, l)?;
                 let rv = self.eval(store, env, r)?;
                 lv.extend(rv);
                 let mut nodes = item::all_nodes(&lv)?;
-                store.sort_and_dedup(&mut nodes)?;
+                store.sort_and_dedup_with(&mut nodes, &mut self.scratch)?;
                 Ok(nodes.into_iter().map(Item::Node).collect())
             }
             Core::Range(l, r) => {
@@ -914,7 +954,7 @@ impl Evaluator {
                         self.guard.charge(span)?;
                         Ok((a..=b).map(Item::integer).collect())
                     }
-                    _ => Ok(vec![]),
+                    _ => Ok(seq![]),
                 }
             }
             Core::MapStep {
@@ -924,7 +964,7 @@ impl Evaluator {
                 predicates,
             } => {
                 let origins = self.eval(store, env, base)?;
-                let mut out: Sequence = Vec::new();
+                let mut out = Sequence::new();
                 for origin in &origins {
                     let n = require_node(origin.clone())?;
                     let axis_nodes = gather_axis(store, n, *axis, test)?;
@@ -935,13 +975,13 @@ impl Evaluator {
                     out.extend(items);
                 }
                 let mut nodes = item::all_nodes(&out)?;
-                store.sort_and_dedup(&mut nodes)?;
+                store.sort_and_dedup_with(&mut nodes, &mut self.scratch)?;
                 Ok(nodes.into_iter().map(Item::Node).collect())
             }
             Core::DocOrder(e) => {
                 let v = self.eval(store, env, e)?;
                 let mut nodes = item::all_nodes(&v)?;
-                store.sort_and_dedup(&mut nodes)?;
+                store.sort_and_dedup_with(&mut nodes, &mut self.scratch)?;
                 Ok(nodes.into_iter().map(Item::Node).collect())
             }
             Core::Predicate { base, pred } => {
@@ -953,7 +993,7 @@ impl Evaluator {
                 let qname = self.eval_ctor_name(store, env, name)?;
                 let content = self.eval(store, env, content)?;
                 let node = construct_element(store, qname, &content)?;
-                Ok(vec![Item::Node(node)])
+                Ok(seq![Item::Node(node)])
             }
             Core::AttrCtor { name, content } => {
                 let qname = self.eval_ctor_name(store, env, name)?;
@@ -963,25 +1003,25 @@ impl Evaluator {
                     .map(|a| a.string_value())
                     .collect();
                 let attr = store.new_attribute(qname, parts.join(" "));
-                Ok(vec![Item::Node(attr)])
+                Ok(seq![Item::Node(attr)])
             }
             Core::TextCtor(content) => {
                 let v = self.eval(store, env, content)?;
                 if v.is_empty() {
-                    return Ok(vec![]);
+                    return Ok(seq![]);
                 }
                 let parts: Vec<String> = item::atomize(&v, store)?
                     .into_iter()
                     .map(|a| a.string_value())
                     .collect();
                 let t = store.new_text(parts.join(" "));
-                Ok(vec![Item::Node(t)])
+                Ok(seq![Item::Node(t)])
             }
             Core::DocCtor(content) => {
                 let v = self.eval(store, env, content)?;
                 let doc = store.new_document();
                 append_content(store, doc, &v, /*allow_attrs=*/ false)?;
-                Ok(vec![Item::Node(doc)])
+                Ok(seq![Item::Node(doc)])
             }
             // ---------------- update operators (Appendix B) ----------------
             Core::Insert { source, location } => {
@@ -997,7 +1037,7 @@ impl Evaluator {
                     parent,
                     anchor,
                 })?;
-                Ok(vec![])
+                Ok(seq![])
             }
             Core::Delete(target) => {
                 let v = self.eval(store, env, target)?;
@@ -1007,7 +1047,7 @@ impl Evaluator {
                 for n in item::all_nodes(&v)? {
                     self.push_request(UpdateRequest::Delete { node: n })?;
                 }
-                Ok(vec![])
+                Ok(seq![])
             }
             Core::Replace(target, with) => {
                 // Appendix B: Δ3 = (Δ1, Δ2, insert(nodeseq, nodepar, node),
@@ -1045,7 +1085,7 @@ impl Evaluator {
                     })?;
                     self.push_request(UpdateRequest::Delete { node })?;
                 }
-                Ok(vec![])
+                Ok(seq![])
             }
             Core::Rename(target, name) => {
                 let tv = self.eval(store, env, target)?;
@@ -1056,11 +1096,11 @@ impl Evaluator {
                     XdmError::value("XQDY0074", format!("\"{name_str}\" is not a valid QName"))
                 })?;
                 self.push_request(UpdateRequest::Rename { node, name: qname })?;
-                Ok(vec![])
+                Ok(seq![])
             }
             Core::Copy(e) => {
                 let v = self.eval(store, env, e)?;
-                let mut out = Vec::with_capacity(v.len());
+                let mut out = Sequence::with_capacity(v.len());
                 for it in v {
                     out.push(match it {
                         Item::Node(n) => Item::Node(store.deep_copy(n)?),
@@ -1113,9 +1153,9 @@ impl Evaluator {
             max_depth: self.limits.max_depth,
         };
         let results = crate::par::par_map(threads, env, src, |wenv, i, it| {
-            wenv.push_var(var.to_string(), vec![it.clone()]);
+            wenv.push_var(var.to_string(), seq![it.clone()]);
             if let Some(p) = position {
-                wenv.push_var(p.to_string(), vec![Item::integer((i + 1) as i64)]);
+                wenv.push_var(p.to_string(), seq![Item::integer((i + 1) as i64)]);
             }
             let r = crate::par::eval_pure(&ctx, store, wenv, depth, body);
             if position.is_some() {
@@ -1204,13 +1244,13 @@ impl Evaluator {
                 let wanted = a.to_double()?;
                 let idx = wanted as usize;
                 if wanted.fract() == 0.0 && idx >= 1 && idx <= items.len() {
-                    return Ok(vec![items[idx - 1].clone()]);
+                    return Ok(seq![items[idx - 1].clone()]);
                 }
-                return Ok(vec![]);
+                return Ok(seq![]);
             }
         }
         let size = items.len();
-        let mut out = Vec::new();
+        let mut out = Sequence::new();
         for (i, it) in items.into_iter().enumerate() {
             env.push_focus(Focus {
                 item: it.clone(),
@@ -1326,8 +1366,13 @@ pub fn gather_axis(
     test: &NodeTest,
 ) -> XdmResult<Vec<NodeId>> {
     let mut out = Vec::new();
+    // Resolve the test against the interner once per gather, not once per
+    // node: the hot per-node check is then integer-only (no name
+    // materialization, no string compare).
+    let ktest = resolve_test(store, test);
+    let principal_attr = axis == Axis::Attribute;
     let push = |store: &Store, n: NodeId, out: &mut Vec<NodeId>| -> XdmResult<()> {
-        if test_matches(store, n, axis, test)? {
+        if store.kernel_matches(n, principal_attr, ktest)? {
             out.push(n);
         }
         Ok(())
@@ -1430,42 +1475,21 @@ pub fn gather_axis(
     Ok(out)
 }
 
-/// Does `node` satisfy `test` on `axis`? The principal node kind is
-/// attribute on the attribute axis and element elsewhere.
-fn test_matches(store: &Store, node: NodeId, axis: Axis, test: &NodeTest) -> XdmResult<bool> {
-    let kind = store.kind(node)?;
-    let principal_attr = axis == Axis::Attribute;
-    Ok(match test {
-        NodeTest::AnyKind => true,
-        NodeTest::Text => matches!(kind, NodeKind::Text { .. }),
-        NodeTest::Comment => matches!(kind, NodeKind::Comment { .. }),
-        NodeTest::Pi => matches!(kind, NodeKind::Pi { .. }),
-        NodeTest::Element => matches!(kind, NodeKind::Element { .. }),
-        NodeTest::AttributeTest => matches!(kind, NodeKind::Attribute { .. }),
-        NodeTest::Document => matches!(kind, NodeKind::Document { .. }),
-        NodeTest::Wildcard => {
-            if principal_attr {
-                matches!(kind, NodeKind::Attribute { .. })
-            } else {
-                matches!(kind, NodeKind::Element { .. })
-            }
-        }
-        NodeTest::Name(wanted) => {
-            let is_principal = if principal_attr {
-                matches!(kind, NodeKind::Attribute { .. })
-            } else {
-                matches!(kind, NodeKind::Element { .. })
-            };
-            if !is_principal {
-                false
-            } else {
-                match store.name(node)? {
-                    Some(q) => q.to_string() == *wanted,
-                    None => false,
-                }
-            }
-        }
-    })
+/// Resolve a syntactic [`NodeTest`] to a [`KernelTest`] against `store`'s
+/// interner. Valid only for that store; an interner miss on a name test
+/// yields `Name(None)`, which matches nothing.
+pub(crate) fn resolve_test(store: &Store, test: &NodeTest) -> KernelTest {
+    match test {
+        NodeTest::Name(wanted) => KernelTest::name(store.symbols(), wanted),
+        NodeTest::Wildcard => KernelTest::Wildcard,
+        NodeTest::Text => KernelTest::Text,
+        NodeTest::AnyKind => KernelTest::AnyKind,
+        NodeTest::Comment => KernelTest::Comment,
+        NodeTest::Pi => KernelTest::Pi,
+        NodeTest::Element => KernelTest::Element,
+        NodeTest::AttributeTest => KernelTest::AttributeTest,
+        NodeTest::Document => KernelTest::Document,
+    }
 }
 
 /// XQuery 1.0 element-construction semantics for a content sequence:

@@ -8,6 +8,7 @@
 //! right, per the paper's function-call rule.
 
 use crate::env::DynEnv;
+use xqdm::seq;
 use xqdm::atomic::{value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::{Store, XdmError, XdmResult};
@@ -29,7 +30,7 @@ pub fn dispatch(
             (|| {
                 let s = opt_string(it.next().unwrap(), store)?;
                 let doc = xqdm::xml::parse_document(store, &s)?;
-                Ok(vec![Item::Node(doc)])
+                Ok(seq![Item::Node(doc)])
             })()
         } else {
             Err(wrong_arity("parse-xml", it.len()))
@@ -169,14 +170,14 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
 
     match (local, nargs) {
         // ---------- sequences ----------
-        ("count", 1) => Ok(vec![Item::integer(next().len() as i64)]),
-        ("empty", 1) => Ok(vec![Item::boolean(next().is_empty())]),
-        ("exists", 1) => Ok(vec![Item::boolean(!next().is_empty())]),
-        ("not", 1) => Ok(vec![Item::boolean(!item::effective_boolean(
+        ("count", 1) => Ok(seq![Item::integer(next().len() as i64)]),
+        ("empty", 1) => Ok(seq![Item::boolean(next().is_empty())]),
+        ("exists", 1) => Ok(seq![Item::boolean(!next().is_empty())]),
+        ("not", 1) => Ok(seq![Item::boolean(!item::effective_boolean(
             &next(),
             store,
         )?)]),
-        ("boolean", 1) => Ok(vec![Item::boolean(item::effective_boolean(
+        ("boolean", 1) => Ok(seq![Item::boolean(item::effective_boolean(
             &next(),
             store,
         )?)]),
@@ -217,12 +218,13 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                 .collect())
         }
         ("insert-before", 3) => {
-            let mut seq = next();
+            let seq = next();
             let pos = one_integer(next(), store)?.max(1) as usize;
             let ins = next();
             let at = (pos - 1).min(seq.len());
-            seq.splice(at..at, ins);
-            Ok(seq)
+            let mut out = seq.into_vec();
+            out.splice(at..at, ins);
+            Ok(out.into())
         }
         ("remove", 2) => {
             let seq = next();
@@ -277,20 +279,20 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
         ("head", 1) => Ok(next().into_iter().take(1).collect()),
         ("tail", 1) => Ok(next().into_iter().skip(1).collect()),
         // ---------- focus ----------
-        ("position", 0) => Ok(vec![Item::integer(env.focus()?.position as i64)]),
-        ("last", 0) => Ok(vec![Item::integer(env.focus()?.size as i64)]),
+        ("position", 0) => Ok(seq![Item::integer(env.focus()?.position as i64)]),
+        ("last", 0) => Ok(seq![Item::integer(env.focus()?.size as i64)]),
         // ---------- strings ----------
         ("string", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             match item::zero_or_one(v)? {
-                None => Ok(vec![Item::string("")]),
-                Some(x) => Ok(vec![Item::string(x.string_value(store)?)]),
+                None => Ok(seq![Item::string("")]),
+                Some(x) => Ok(seq![Item::string(x.string_value(store)?)]),
             }
         }
         ("string-length", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             let s = opt_string(v, store)?;
-            Ok(vec![Item::integer(s.chars().count() as i64)])
+            Ok(seq![Item::integer(s.chars().count() as i64)])
         }
         ("data", 1) => Ok(item::atomize(&next(), store)?
             .into_iter()
@@ -302,7 +304,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                 None => f64::NAN,
                 Some(x) => x.atomize(store)?.to_double().unwrap_or(f64::NAN),
             };
-            Ok(vec![Item::double(d)])
+            Ok(seq![Item::double(d)])
         }
         ("concat", n) if n >= 2 => {
             let mut out = String::new();
@@ -313,7 +315,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                     Some(x) => out.push_str(&x.string_value(store)?),
                 }
             }
-            Ok(vec![Item::string(out)])
+            Ok(seq![Item::string(out)])
         }
         ("string-join", 2) => {
             let seq = next();
@@ -322,19 +324,19 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                 .iter()
                 .map(|i| i.string_value(store))
                 .collect::<XdmResult<_>>()?;
-            Ok(vec![Item::string(parts.join(&sep))])
+            Ok(seq![Item::string(parts.join(&sep))])
         }
         ("contains", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::boolean(a.contains(&b))])
+            Ok(seq![Item::boolean(a.contains(&b))])
         }
         ("starts-with", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::boolean(a.starts_with(&b))])
+            Ok(seq![Item::boolean(a.starts_with(&b))])
         }
         ("ends-with", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::boolean(a.ends_with(&b))])
+            Ok(seq![Item::boolean(a.ends_with(&b))])
         }
         ("substring", 2 | 3) => {
             let s = opt_string(next(), store)?;
@@ -353,32 +355,32 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                 })
                 .map(|(_, c)| c)
                 .collect();
-            Ok(vec![Item::string(out)])
+            Ok(seq![Item::string(out)])
         }
         ("substring-before", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::string(
+            Ok(seq![Item::string(
                 a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default(),
             )])
         }
         ("substring-after", 2) => {
             let (a, b) = (opt_string(next(), store)?, opt_string(next(), store)?);
-            Ok(vec![Item::string(
+            Ok(seq![Item::string(
                 a.find(&b)
                     .map(|i| a[i + b.len()..].to_string())
                     .unwrap_or_default(),
             )])
         }
-        ("upper-case", 1) => Ok(vec![Item::string(
+        ("upper-case", 1) => Ok(seq![Item::string(
             opt_string(next(), store)?.to_uppercase(),
         )]),
-        ("lower-case", 1) => Ok(vec![Item::string(
+        ("lower-case", 1) => Ok(seq![Item::string(
             opt_string(next(), store)?.to_lowercase(),
         )]),
         ("normalize-space", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             let s = opt_string(v, store)?;
-            Ok(vec![Item::string(
+            Ok(seq![Item::string(
                 s.split_whitespace().collect::<Vec<_>>().join(" "),
             )])
         }
@@ -393,7 +395,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                     None => Some(c),
                 })
                 .collect();
-            Ok(vec![Item::string(out)])
+            Ok(seq![Item::string(out)])
         }
         // ---------- numerics / aggregates ----------
         ("sum", 1 | 2) => {
@@ -402,7 +404,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                 return if nargs == 2 {
                     Ok(next())
                 } else {
-                    Ok(vec![Item::integer(0)])
+                    Ok(seq![Item::integer(0)])
                 };
             }
             sum_numeric(&atoms)
@@ -410,16 +412,16 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
         ("avg", 1) => {
             let atoms = item::atomize(&next(), store)?;
             if atoms.is_empty() {
-                return Ok(vec![]);
+                return Ok(seq![]);
             }
             let n = atoms.len() as f64;
             let total = sum_numeric(&atoms)?[0].atomize(store)?.to_double()?;
-            Ok(vec![Item::double(total / n)])
+            Ok(seq![Item::double(total / n)])
         }
         ("min" | "max", 1) => {
             let atoms = item::atomize(&next(), store)?;
             if atoms.is_empty() {
-                return Ok(vec![]);
+                return Ok(seq![]);
             }
             let op = if local == "max" {
                 CompareOp::Gt
@@ -433,12 +435,12 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                     best = a;
                 }
             }
-            Ok(vec![Item::Atomic(best)])
+            Ok(seq![Item::Atomic(best)])
         }
         ("abs" | "round" | "floor" | "ceiling", 1) => match item::zero_or_one(next())? {
-            None => Ok(vec![]),
+            None => Ok(seq![]),
             Some(x) => match x.atomize(store)? {
-                Atomic::Integer(i) => Ok(vec![Item::integer(if local == "abs" {
+                Atomic::Integer(i) => Ok(seq![Item::integer(if local == "abs" {
                     i.abs()
                 } else {
                     i
@@ -452,7 +454,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                         "ceiling" => d.ceil(),
                         _ => unreachable!(),
                     };
-                    Ok(vec![Item::double(r)])
+                    Ok(seq![Item::double(r)])
                 }
             },
         },
@@ -460,14 +462,14 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
         ("name" | "local-name", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             match item::zero_or_one(v)? {
-                None => Ok(vec![Item::string("")]),
+                None => Ok(seq![Item::string("")]),
                 Some(Item::Node(n)) => {
                     let s = match store.name(n)? {
                         None => String::new(),
-                        Some(q) if local == "local-name" => q.local.clone(),
+                        Some(q) if local == "local-name" => q.local,
                         Some(q) => q.to_string(),
                     };
-                    Ok(vec![Item::string(s)])
+                    Ok(seq![Item::string(s)])
                 }
                 Some(Item::Atomic(_)) => Err(XdmError::type_error(format!(
                     "fn:{local} expects a node argument"
@@ -477,8 +479,8 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
         ("root", 0 | 1) => {
             let v = if nargs == 0 { focus_seq(env)? } else { next() };
             match item::zero_or_one(v)? {
-                None => Ok(vec![]),
-                Some(Item::Node(n)) => Ok(vec![Item::Node(store.root(n)?)]),
+                None => Ok(seq![]),
+                Some(Item::Node(n)) => Ok(seq![Item::Node(store.root(n)?)]),
                 Some(Item::Atomic(_)) => {
                     Err(XdmError::type_error("fn:root expects a node argument"))
                 }
@@ -486,7 +488,7 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
         }
         ("deep-equal", 2) => {
             let (a, b) = (next(), next());
-            Ok(vec![Item::boolean(item::deep_equal(&a, &b, store)?)])
+            Ok(seq![Item::boolean(item::deep_equal(&a, &b, store)?)])
         }
         ("serialize", 1) => {
             let v = next();
@@ -497,11 +499,11 @@ fn call(local: &str, args: Vec<Sequence>, store: &Store, env: &DynEnv) -> XdmRes
                     Item::Atomic(a) => out.push_str(&a.string_value()),
                 }
             }
-            Ok(vec![Item::string(out)])
+            Ok(seq![Item::string(out)])
         }
         // ---------- misc ----------
-        ("true", 0) => Ok(vec![Item::boolean(true)]),
-        ("false", 0) => Ok(vec![Item::boolean(false)]),
+        ("true", 0) => Ok(seq![Item::boolean(true)]),
+        ("false", 0) => Ok(seq![Item::boolean(false)]),
         ("error", 0 | 1) => {
             let msg = if nargs == 0 {
                 "fn:error called".to_string()
@@ -533,7 +535,7 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
         // Reads ambient mutable state, so the parallel gate rejects it
         // (is_par_opaque) even though the effect lattice rates it Pure.
         return Some(if args.is_empty() {
-            Ok(vec![Item::string(
+            Ok(seq![Item::string(
                 crate::obs::global().snapshot().to_json(),
             )])
         } else {
@@ -548,7 +550,7 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
         // ring; returns the empty sequence.
         return Some(if args.is_empty() {
             crate::obs::global().reset();
-            Ok(vec![])
+            Ok(seq![])
         } else {
             Err(XdmError::new(
                 "XPST0017",
@@ -565,7 +567,7 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
         // same value. Pure over the store argument, so the parallel gate
         // does not need to reject it.
         return Some(if args.is_empty() {
-            Ok(vec![Item::string(format!("{:016x}", store.fingerprint()))])
+            Ok(seq![Item::string(format!("{:016x}", store.fingerprint()))])
         } else {
             Err(XdmError::new(
                 "XPST0017",
@@ -589,7 +591,7 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
                 Some(planner) => planner.plan(&program).explain(),
                 None => crate::planner::render_unoptimized(&program),
             };
-            Ok(vec![Item::string(text)])
+            Ok(seq![Item::string(text)])
         })());
     }
     if matches!(name, "fs:intersect" | "fs:except") {
@@ -624,23 +626,23 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
                 .into_iter()
                 .map(|a| a.string_value())
                 .collect();
-            Ok(vec![Item::string(parts.join(" "))])
+            Ok(seq![Item::string(parts.join(" "))])
         })(),
         "xs:integer" => (|| match item::zero_or_one(v)? {
-            None => Ok(vec![]),
-            Some(x) => Ok(vec![Item::integer(x.atomize(store)?.to_integer()?)]),
+            None => Ok(seq![]),
+            Some(x) => Ok(seq![Item::integer(x.atomize(store)?.to_integer()?)]),
         })(),
         "xs:double" => (|| match item::zero_or_one(v)? {
-            None => Ok(vec![]),
-            Some(x) => Ok(vec![Item::double(x.atomize(store)?.to_double()?)]),
+            None => Ok(seq![]),
+            Some(x) => Ok(seq![Item::double(x.atomize(store)?.to_double()?)]),
         })(),
         "xs:string" => (|| match item::zero_or_one(v)? {
-            None => Ok(vec![]),
-            Some(x) => Ok(vec![Item::string(x.string_value(store)?)]),
+            None => Ok(seq![]),
+            Some(x) => Ok(seq![Item::string(x.string_value(store)?)]),
         })(),
         "xs:boolean" => (|| match item::zero_or_one(v)? {
-            None => Ok(vec![]),
-            Some(x) => Ok(vec![Item::boolean(x.atomize(store)?.to_boolean()?)]),
+            None => Ok(seq![]),
+            Some(x) => Ok(seq![Item::boolean(x.atomize(store)?.to_boolean()?)]),
         })(),
         _ => unreachable!(),
     };
@@ -652,7 +654,7 @@ fn dispatch_prefixed(name: &str, args: &[Sequence], store: &Store) -> Option<Xdm
 // ----------------------------------------------------------------------
 
 fn focus_seq(env: &DynEnv) -> XdmResult<Sequence> {
-    Ok(vec![env.focus()?.item.clone()])
+    Ok(seq![env.focus()?.item.clone()])
 }
 
 fn opt_string(v: Sequence, store: &Store) -> XdmResult<String> {
@@ -695,7 +697,7 @@ fn sum_numeric(atoms: &[Atomic]) -> XdmResult<Sequence> {
                     .ok_or_else(|| XdmError::value("FOAR0002", "integer overflow in sum"))?;
             }
         }
-        return Ok(vec![Item::integer(acc)]);
+        return Ok(seq![Item::integer(acc)]);
     }
     let mut acc = 0.0;
     for a in atoms {
@@ -704,5 +706,5 @@ fn sum_numeric(atoms: &[Atomic]) -> XdmResult<Sequence> {
             other => other.to_double()?,
         };
     }
-    Ok(vec![Item::double(acc)])
+    Ok(seq![Item::double(acc)])
 }

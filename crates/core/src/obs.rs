@@ -295,6 +295,10 @@ pub struct EngineMetrics {
     pub par_regions: Arc<Counter>,
     /// `engine.par_items` — items evaluated inside those regions.
     pub par_items: Arc<Counter>,
+    /// `engine.batch_steps` — batch step-kernel invocations.
+    pub batch_steps: Arc<Counter>,
+    /// `engine.batch_nodes` — nodes those kernels produced (pre-dedup).
+    pub batch_nodes: Arc<Counter>,
     /// `engine.cache_hits` — plan-cache hits.
     pub cache_hits: Arc<Counter>,
     /// `engine.cache_misses` — plan-cache misses.
@@ -348,6 +352,8 @@ impl EngineMetrics {
             joins: g.counter("engine.joins"),
             par_regions: g.counter("engine.par_regions"),
             par_items: g.counter("engine.par_items"),
+            batch_steps: g.counter("engine.batch_steps"),
+            batch_nodes: g.counter("engine.batch_nodes"),
             cache_hits: g.counter("engine.cache_hits"),
             cache_misses: g.counter("engine.cache_misses"),
             limit_depth: g.counter("engine.limit_trips.depth"),
@@ -450,6 +456,10 @@ pub struct NodeStats {
     pub par_regions: u64,
     /// Items fanned out in those regions (inclusive).
     pub par_items: u64,
+    /// Batch step-kernel invocations while the node ran (inclusive).
+    pub batch_steps: u64,
+    /// Nodes those kernels produced, pre-dedup (inclusive).
+    pub batch_nodes: u64,
 }
 
 /// Per-node statistics for one analyzed run, indexed by plan-node id.

@@ -34,6 +34,7 @@ use crate::eval::{cmp_keys, gather_axis, require_node};
 use crate::functions;
 use crate::limits::{self, LimitGuard, TripKind};
 use std::collections::{HashMap, HashSet};
+use xqdm::seq;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic};
 use xqdm::item::{self, Item, Sequence};
 use xqdm::{Store, XdmError, XdmResult};
@@ -258,7 +259,7 @@ where
 /// Concatenate per-item results in input order; the first error — the one
 /// the sequential loop would have raised — wins.
 pub fn merge_in_order(results: Vec<XdmResult<Sequence>>) -> XdmResult<Sequence> {
-    let mut out = Vec::new();
+    let mut out = Sequence::new();
     for r in results {
         out.extend(r?);
     }
@@ -294,14 +295,14 @@ pub fn eval_pure(
     }
     ctx.guard.tick()?;
     match expr {
-        Core::Const(a) => Ok(vec![Item::Atomic(a.clone())]),
+        Core::Const(a) => Ok(seq![Item::Atomic(a.clone())]),
         Core::Var(name) => match env.var(name) {
             Ok(v) => Ok(v.clone()),
             Err(e) => ctx.globals.get(name).cloned().ok_or(e),
         },
-        Core::ContextItem => Ok(vec![env.focus()?.item.clone()]),
+        Core::ContextItem => Ok(seq![env.focus()?.item.clone()]),
         Core::Seq(items) => {
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             for e in items {
                 out.extend(eval_pure(ctx, store, env, depth, e)?);
             }
@@ -316,11 +317,11 @@ pub fn eval_pure(
             // Sequential inside a worker: one level of fan-out is enough,
             // and nesting scoped pools would multiply thread counts.
             let src = eval_pure(ctx, store, env, depth, source)?;
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             for (i, it) in src.into_iter().enumerate() {
-                env.push_var(var.clone(), vec![it]);
+                env.push_var(var.clone(), seq![it]);
                 if let Some(p) = position {
-                    env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                    env.push_var(p.clone(), seq![Item::integer((i + 1) as i64)]);
                 }
                 let r = eval_pure(ctx, store, env, depth, body);
                 if position.is_some() {
@@ -355,7 +356,7 @@ pub fn eval_pure(
             let src = eval_pure(ctx, store, env, depth, source)?;
             let mut result = matches!(quantifier, Quantifier::Every);
             for it in src {
-                env.push_var(var.clone(), vec![it]);
+                env.push_var(var.clone(), seq![it]);
                 let s = eval_pure(ctx, store, env, depth, satisfies);
                 env.pop_var();
                 let holds = item::effective_boolean(&s?, store)?;
@@ -371,7 +372,7 @@ pub fn eval_pure(
                     _ => {}
                 }
             }
-            Ok(vec![Item::boolean(result)])
+            Ok(seq![Item::boolean(result)])
         }
         Core::SortedFor {
             var,
@@ -382,7 +383,7 @@ pub fn eval_pure(
             let src = eval_pure(ctx, store, env, depth, source)?;
             let mut keyed: Vec<(Vec<Option<Atomic>>, Item)> = Vec::with_capacity(src.len());
             for it in src {
-                env.push_var(var.clone(), vec![it.clone()]);
+                env.push_var(var.clone(), seq![it.clone()]);
                 let ks = (|env: &mut DynEnv| {
                     let mut ks = Vec::with_capacity(keys.len());
                     for k in keys {
@@ -411,9 +412,9 @@ pub fn eval_pure(
                 }
                 std::cmp::Ordering::Equal
             });
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             for (_, it) in keyed {
-                env.push_var(var.clone(), vec![it]);
+                env.push_var(var.clone(), seq![it]);
                 let r = eval_pure(ctx, store, env, depth, body);
                 env.pop_var();
                 out.extend(r?);
@@ -430,8 +431,8 @@ pub fn eval_pure(
                 .map(|x| x.atomize(store))
                 .transpose()?;
             match (la, ra) {
-                (Some(a), Some(b)) => Ok(vec![Item::Atomic(arithmetic(*op, &a, &b)?)]),
-                _ => Ok(vec![]),
+                (Some(a), Some(b)) => Ok(seq![Item::Atomic(arithmetic(*op, &a, &b)?)]),
+                _ => Ok(seq![]),
             }
         }
         Core::Neg(e) => {
@@ -440,14 +441,14 @@ pub fn eval_pure(
                 .map(|x| x.atomize(store))
                 .transpose()?
             {
-                Some(a) => Ok(vec![Item::Atomic(negate(&a)?)]),
-                None => Ok(vec![]),
+                Some(a) => Ok(seq![Item::Atomic(negate(&a)?)]),
+                None => Ok(seq![]),
             }
         }
         Core::GeneralComp(op, l, r) => {
             let lv = eval_pure(ctx, store, env, depth, l)?;
             let rv = eval_pure(ctx, store, env, depth, r)?;
-            Ok(vec![Item::boolean(item::general_compare_seqs(
+            Ok(seq![Item::boolean(item::general_compare_seqs(
                 *op, &lv, &rv, store,
             )?)])
         }
@@ -461,8 +462,8 @@ pub fn eval_pure(
                 .map(|x| x.atomize(store))
                 .transpose()?;
             match (la, ra) {
-                (Some(a), Some(b)) => Ok(vec![Item::boolean(value_compare(*op, &a, &b)?)]),
-                _ => Ok(vec![]),
+                (Some(a), Some(b)) => Ok(seq![Item::boolean(value_compare(*op, &a, &b)?)]),
+                _ => Ok(seq![]),
             }
         }
         Core::NodeComp(op, l, r) => {
@@ -482,26 +483,26 @@ pub fn eval_pure(
                             store.cmp_doc_order(a, b)? == std::cmp::Ordering::Greater
                         }
                     };
-                    Ok(vec![Item::boolean(res)])
+                    Ok(seq![Item::boolean(res)])
                 }
-                _ => Ok(vec![]),
+                _ => Ok(seq![]),
             }
         }
         Core::And(l, r) => {
             let lv = eval_pure(ctx, store, env, depth, l)?;
             if !item::effective_boolean(&lv, store)? {
-                return Ok(vec![Item::boolean(false)]);
+                return Ok(seq![Item::boolean(false)]);
             }
             let rv = eval_pure(ctx, store, env, depth, r)?;
-            Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+            Ok(seq![Item::boolean(item::effective_boolean(&rv, store)?)])
         }
         Core::Or(l, r) => {
             let lv = eval_pure(ctx, store, env, depth, l)?;
             if item::effective_boolean(&lv, store)? {
-                return Ok(vec![Item::boolean(true)]);
+                return Ok(seq![Item::boolean(true)]);
             }
             let rv = eval_pure(ctx, store, env, depth, r)?;
-            Ok(vec![Item::boolean(item::effective_boolean(&rv, store)?)])
+            Ok(seq![Item::boolean(item::effective_boolean(&rv, store)?)])
         }
         Core::Union(l, r) => {
             let mut lv = eval_pure(ctx, store, env, depth, l)?;
@@ -531,7 +532,7 @@ pub fn eval_pure(
                     ctx.guard.charge(span)?;
                     Ok((a..=b).map(Item::integer).collect())
                 }
-                _ => Ok(vec![]),
+                _ => Ok(seq![]),
             }
         }
         Core::MapStep {
@@ -541,7 +542,7 @@ pub fn eval_pure(
             predicates,
         } => {
             let origins = eval_pure(ctx, store, env, depth, base)?;
-            let mut out: Sequence = Vec::new();
+            let mut out = Sequence::new();
             for origin in &origins {
                 let n = require_node(origin.clone())?;
                 let axis_nodes = gather_axis(store, n, *axis, test)?;
@@ -613,13 +614,13 @@ fn filter_positional_pure(
             let wanted = a.to_double()?;
             let idx = wanted as usize;
             if wanted.fract() == 0.0 && idx >= 1 && idx <= items.len() {
-                return Ok(vec![items[idx - 1].clone()]);
+                return Ok(seq![items[idx - 1].clone()]);
             }
-            return Ok(vec![]);
+            return Ok(seq![]);
         }
     }
     let size = items.len();
-    let mut out = Vec::new();
+    let mut out = Sequence::new();
     for (i, it) in items.into_iter().enumerate() {
         env.push_focus(Focus {
             item: it.clone(),
@@ -696,7 +697,7 @@ mod tests {
         let items: Vec<i64> = (0..100).collect();
         let results = par_map(8, &env, &items, |_env, i, it| {
             assert_eq!(*it as usize, i);
-            Ok(vec![Item::integer(*it * 2)])
+            Ok(seq![Item::integer(*it * 2)])
         });
         let merged = merge_in_order(results).unwrap();
         assert_eq!(merged.len(), 100);
@@ -709,7 +710,7 @@ mod tests {
             } else if *it == 13 {
                 Err(XdmError::new("E-EARLY", "early"))
             } else {
-                Ok(vec![])
+                Ok(seq![])
             }
         });
         assert_eq!(merge_in_order(results).unwrap_err().code, "E-EARLY");
@@ -726,7 +727,7 @@ mod tests {
         )
         .unwrap();
         let mut ev = Evaluator::new(&prog);
-        ev.bind_global("doc", vec![Item::Node(doc)]);
+        ev.bind_global("doc", seq![Item::Node(doc)]);
         let mut env = DynEnv::new();
         let sequential = ev.eval_query(&mut store, &mut env, &prog.body).unwrap();
 
@@ -754,7 +755,7 @@ mod tests {
         let env = DynEnv::new();
         let items = [1i64, 2, 3];
         let r = par_map(usize::MAX, &env, &items, |_e, _i, it| {
-            Ok(vec![Item::integer(*it)])
+            Ok(seq![Item::integer(*it)])
         });
         assert_eq!(merge_in_order(r).unwrap().len(), 3);
     }

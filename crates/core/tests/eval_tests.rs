@@ -307,7 +307,7 @@ fn root_path() {
     // Leading "/" resolves against the context item's tree: bind one.
     let mut e = Engine::new();
     let doc = e.load_document("doc", SITE).unwrap();
-    e.bind("ctx", vec![Item::Node(doc)]);
+    e.bind("ctx", xqdm::seq![Item::Node(doc)]);
     // Five: name, person, people, site, and the document node.
     let r = e
         .run("for $n in ($doc//name)[1] return count($n/ancestor-or-self::node())")

@@ -21,10 +21,11 @@
 //!    value (F may mention `$g` freely — it receives exactly the sequence
 //!    the nested loop would have produced, in the same order).
 
-use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
+use crate::plan::{BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
 use std::cell::RefCell;
 use xqcore::{Effect, EffectAnalysis};
 use xqdm::atomic::CompareOp;
+use xqsyn::ast::Axis;
 use xqsyn::core::{Core, CoreProgram};
 
 /// How many `(input, simplified)` pairs [`Compiler::compile_simplified`]
@@ -89,14 +90,14 @@ impl Compiler {
         match core {
             Core::Seq(items) if !items.is_empty() => {
                 let plans: Vec<QueryPlan> = items.iter().map(|e| self.compile(e)).collect();
-                if plans.iter().any(QueryPlan::is_optimized) {
+                if plans.iter().any(QueryPlan::is_specialized) {
                     return QueryPlan::Seq(plans);
                 }
             }
             Core::Let { var, value, body } => {
                 let value_plan = self.compile(value);
                 let body_plan = self.compile(body);
-                if value_plan.is_optimized() || body_plan.is_optimized() {
+                if value_plan.is_specialized() || body_plan.is_specialized() {
                     return QueryPlan::Let {
                         var: var.clone(),
                         value: Box::new(value_plan),
@@ -112,7 +113,7 @@ impl Compiler {
             } => {
                 let source_plan = self.compile(source);
                 let body_plan = self.compile(body);
-                if source_plan.is_optimized() || body_plan.is_optimized() {
+                if source_plan.is_specialized() || body_plan.is_specialized() {
                     return QueryPlan::For {
                         var: var.clone(),
                         position: position.clone(),
@@ -125,7 +126,7 @@ impl Compiler {
                 let cond_plan = self.compile(cond);
                 let then_plan = self.compile(then);
                 let els_plan = self.compile(els);
-                if cond_plan.is_optimized() || then_plan.is_optimized() || els_plan.is_optimized() {
+                if cond_plan.is_specialized() || then_plan.is_specialized() || els_plan.is_specialized() {
                     return QueryPlan::If {
                         cond: Box::new(cond_plan),
                         then: Box::new(then_plan),
@@ -135,7 +136,7 @@ impl Compiler {
             }
             Core::Snap(mode, body) => {
                 let body_plan = self.compile(body);
-                if body_plan.is_optimized() {
+                if body_plan.is_specialized() {
                     return QueryPlan::Snap {
                         mode: *mode,
                         body: Box::new(body_plan),
@@ -144,9 +145,18 @@ impl Compiler {
             }
             _ => {}
         }
-        QueryPlan::Iterate(core.clone())
+        self.leaf(core)
     }
 
+    /// The leaf fallback: a pure path-step chain lowers to a
+    /// [`QueryPlan::BatchPath`] (batch-at-a-time kernels, DESIGN.md §14);
+    /// anything else stays a strict [`QueryPlan::Iterate`].
+    fn leaf(&self, core: &Core) -> QueryPlan {
+        match try_batch_path(core) {
+            Some(bp) => QueryPlan::BatchPath(bp),
+            None => QueryPlan::Iterate(core.clone()),
+        }
+    }
     /// Run the guarded syntactic rewriting phase (§4.2) first, then
     /// compile — the full Galax-style pipeline. The simplified form is
     /// memoized per input expression.
@@ -246,7 +256,7 @@ impl Compiler {
             k2,
             ret,
         )?;
-        Some(QueryPlan::HashJoin(JoinPlan {
+        Some(QueryPlan::HashJoin(batch_join(JoinPlan {
             outer_var: outer_var.clone(),
             outer_source: (**outer_source).clone(),
             inner_var: inner_var.clone(),
@@ -254,7 +264,11 @@ impl Compiler {
             outer_key,
             inner_key,
             body: ret.clone(),
-        }))
+            outer_batch: None,
+            inner_batch: None,
+            outer_key_steps: None,
+            inner_key_steps: None,
+        })))
     }
 
     /// Pattern: for $o in E1 return let $g := (for $i in E2 return
@@ -296,7 +310,7 @@ impl Compiler {
             return None;
         }
         Some(QueryPlan::OuterJoinGroupBy(GroupByPlan {
-            join: JoinPlan {
+            join: batch_join(JoinPlan {
                 outer_var: outer_var.clone(),
                 outer_source: (**outer_source).clone(),
                 inner_var: inner_var.clone(),
@@ -304,11 +318,117 @@ impl Compiler {
                 outer_key,
                 inner_key,
                 body: r.clone(),
-            },
+                outer_batch: None,
+                inner_batch: None,
+                outer_key_steps: None,
+                inner_key_steps: None,
+            }),
             group_var: group_var.clone(),
             ret: (**ret).clone(),
         }))
     }
+}
+
+/// Fill a join's batch lowerings: each source that is a pure step chain,
+/// and each key that is a pure step chain rooted at its own side's
+/// variable, gets the batch-kernel path at execution time. Purely
+/// physical — the join's semantics and guards are untouched.
+fn batch_join(mut j: JoinPlan) -> JoinPlan {
+    j.outer_batch = try_batch_path(&j.outer_source);
+    j.inner_batch = try_batch_path(&j.inner_source);
+    j.outer_key_steps = key_steps(&j.outer_key, &j.outer_var);
+    j.inner_key_steps = key_steps(&j.inner_key, &j.inner_var);
+    j
+}
+
+/// The batch lowering of a join key: a pure step chain whose input is
+/// exactly the side's loop variable (the probe/build loops then run the
+/// kernels straight off each bound node).
+fn key_steps(key: &Core, var: &str) -> Option<Vec<BatchStep>> {
+    let bp = try_batch_path(key)?;
+    (bp.input == Core::Var(var.to_string())).then_some(bp.steps)
+}
+
+/// Recognize a path-step chain whose every step has a store kernel
+/// (child / descendant / descendant-or-self / attribute axis) and whose
+/// predicates are all pure existence paths. Returns the lowered plan, or
+/// `None` to stay on the interpreted path. The chain's base can be any
+/// expression (it is evaluated once either way); an unsupported step
+/// simply becomes part of the base.
+fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
+    // A `DocOrder` wrapper is absorbed: every batch step already
+    // doc-order-normalizes its output, so ddo-of-chain ≡ chain.
+    let chain = match core {
+        Core::DocOrder(inner) => inner,
+        other => other,
+    };
+    let mut steps_rev: Vec<BatchStep> = Vec::new();
+    let mut cur = chain;
+    while let Core::MapStep {
+        base,
+        axis: axis @ (Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute),
+        test,
+        predicates,
+    } = cur
+    {
+        let filters: Option<Vec<Vec<BatchStep>>> =
+            predicates.iter().map(existence_chain).collect();
+        match filters {
+            Some(filters) => {
+                steps_rev.push(BatchStep {
+                    axis: *axis,
+                    test: test.clone(),
+                    filters,
+                });
+                cur = base;
+            }
+            // A non-path predicate (positional, comparison, call): this
+            // and everything below it stays interpreted as the chain's
+            // input.
+            None => break,
+        }
+    }
+    if steps_rev.is_empty() {
+        return None;
+    }
+    steps_rev.reverse();
+    // Peephole: the `//` desugaring `descendant-or-self::node()/child::T`
+    // is exactly `descendant::T` (a node is a person-child of $a-or-below
+    // iff it is a person descendant of $a). Fusing drops the step that
+    // materializes — and doc-order-sorts — every node under the origin.
+    let mut steps: Vec<BatchStep> = Vec::with_capacity(steps_rev.len());
+    for s in steps_rev {
+        if s.axis == Axis::Child
+            && steps.last().is_some_and(|p: &BatchStep| {
+                p.axis == Axis::DescendantOrSelf
+                    && matches!(p.test, xqsyn::ast::NodeTest::AnyKind)
+                    && p.filters.is_empty()
+            })
+        {
+            steps.pop();
+            steps.push(BatchStep {
+                axis: Axis::Descendant,
+                test: s.test,
+                filters: s.filters,
+            });
+        } else {
+            steps.push(s);
+        }
+    }
+    Some(BatchPathPlan {
+        input: cur.clone(),
+        steps,
+        core: core.clone(),
+    })
+}
+
+/// A predicate admissible as a batch existence filter: a pure step chain
+/// rooted at the context item. Such predicates always yield nodes (never
+/// numbers), so the interpreter's positional semantics degenerate to the
+/// non-empty test the kernels apply.
+fn existence_chain(pred: &Core) -> Option<Vec<BatchStep>> {
+    let bp = try_batch_path(pred)?;
+    matches!(bp.input, Core::ContextItem).then_some(bp.steps)
 }
 
 /// Compile an expression to a *structural* plan: the control operators
@@ -437,7 +557,10 @@ mod tests {
               where $t/buyer/@person = $p/@id
               return (snap insert { <buyer/> } into { $purchasers }, $t)
             return <item>{ count($a) }</item>"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        // No join — but the path sources still lower to batch chains.
+        let plan = plan_for(q);
+        assert!(!plan.is_optimized());
+        assert!(plan.is_batched());
     }
 
     #[test]
@@ -453,7 +576,7 @@ mod tests {
             for $t in $p//closed_auction
             where $t/buyer/@person = $p/@id
             return $t"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        assert!(!plan_for(q).is_optimized());
     }
 
     #[test]
@@ -464,7 +587,7 @@ mod tests {
             for $t in $auction//closed_auction
             where $t/buyer/@person = $p/@id
             return $t"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        assert!(!plan_for(q).is_optimized());
     }
 
     #[test]
@@ -475,7 +598,7 @@ mod tests {
             for $t in $auction//closed_auction
             where $p/@id = $p/@name
             return $t"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        assert!(!plan_for(q).is_optimized());
     }
 
     #[test]
@@ -485,7 +608,7 @@ mod tests {
             for $t in $auction//closed_auction
             where $t/buyer/@person < $p/@id
             return $t"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        assert!(!plan_for(q).is_optimized());
     }
 
     #[test]
@@ -497,7 +620,7 @@ mod tests {
             for $t in $auction//closed_auction
             where $t/buyer/@person = $p/@id
             return log_it($t)"#;
-        assert!(matches!(plan_for(q), QueryPlan::Iterate(_)));
+        assert!(!plan_for(q).is_optimized());
     }
 
     #[test]
@@ -510,4 +633,75 @@ mod tests {
             return fmt($t)"#;
         assert!(plan_for(q).is_optimized());
     }
+
+    #[test]
+    fn path_chains_lower_to_batch_steps() {
+        // A pure child/descendant chain becomes one BatchPath leaf whose
+        // steps mirror the source path left-to-right.
+        let plan = plan_for("$auction//person/name");
+        match &plan {
+            QueryPlan::BatchPath(bp) => {
+                // `//` desugars to descendant-or-self::node()/child::*,
+                // which the peephole fuses back to one descendant step.
+                assert_eq!(bp.steps.len(), 2);
+                assert!(matches!(bp.steps[0].axis, Axis::Descendant));
+                assert!(matches!(bp.steps[1].axis, Axis::Child));
+                assert!(bp.steps.iter().all(|s| s.filters.is_empty()));
+            }
+            other => panic!("expected batch path, got {other:?}"),
+        }
+        assert!(plan.is_batched());
+        assert!(!plan.is_optimized());
+    }
+
+    #[test]
+    fn existence_predicates_become_batch_filters() {
+        let plan = plan_for("$auction//person[address/city]");
+        match &plan {
+            QueryPlan::BatchPath(bp) => {
+                assert_eq!(bp.steps.len(), 1);
+                assert!(matches!(bp.steps[0].axis, Axis::Descendant));
+                assert_eq!(bp.steps[0].filters.len(), 1);
+                assert_eq!(bp.steps[0].filters[0].len(), 2);
+            }
+            other => panic!("expected batch path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_predicates_stay_interpreted() {
+        // A numeric predicate is position-sensitive: the chain must not
+        // lower to the existence-filter kernels.
+        let plan = plan_for("$auction//person[1]/name");
+        match &plan {
+            QueryPlan::BatchPath(bp) => {
+                // Only the tail step past the predicate is batched; the
+                // predicated step stays inside the interpreted input.
+                assert_eq!(bp.steps.len(), 1);
+                assert!(matches!(bp.steps[0].axis, Axis::Child));
+            }
+            QueryPlan::Iterate(_) => {}
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q8_join_sides_and_keys_are_batched() {
+        let plan = plan_for(Q8_VARIANT);
+        let QueryPlan::OuterJoinGroupBy(g) = &plan else {
+            panic!("expected outer-join/group-by");
+        };
+        assert!(g.join.outer_batch.is_some(), "outer source should batch");
+        assert!(g.join.inner_batch.is_some(), "inner source should batch");
+        let okey = g.join.outer_key_steps.as_ref().expect("outer key steps");
+        let ikey = g.join.inner_key_steps.as_ref().expect("inner key steps");
+        // $t/buyer/@person and $p/@id respectively.
+        assert_eq!(okey.len(), 1);
+        assert_eq!(ikey.len(), 2);
+        assert!(matches!(okey[0].axis, Axis::Attribute));
+        assert!(matches!(ikey[1].axis, Axis::Attribute));
+        assert!(g.join.is_batched());
+        assert!(plan.render().contains(",batch"));
+    }
 }
+

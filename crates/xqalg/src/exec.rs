@@ -18,12 +18,14 @@
 //!   general `=` over path keys, and untyped-vs-untyped general comparison
 //!   is string equality.
 
-use crate::plan::{GroupByPlan, JoinPlan, QueryPlan};
+use crate::plan::{BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
 use std::collections::HashMap;
 use xqcore::par::{eval_pure, merge_in_order, par_map, PAR_MIN_ITEMS};
 use xqcore::{DynEnv, Evaluator};
+use xqdm::seq;
 use xqdm::item::{self, Item, Sequence};
-use xqdm::{Store, XdmError, XdmResult};
+use xqdm::{KernelTest, NodeId, Store, XdmError, XdmResult};
+use xqsyn::ast::{Axis, NodeTest};
 use xqsyn::core::{Core, CoreProgram};
 
 /// Execute a plan inside the caller's current Δ scope. Pending updates the
@@ -81,12 +83,13 @@ fn run_node(
 ) -> XdmResult<Sequence> {
     match plan {
         QueryPlan::Iterate(core) => evaluator.eval(store, env, core),
+        QueryPlan::BatchPath(bp) => exec_batch_path(bp, true, evaluator, store, env),
         QueryPlan::HashJoin(join) => {
             evaluator.note_join();
             if evaluator.par_candidate(&join.body) {
                 return par_hash_join(join, evaluator, store, env);
             }
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             for_each_match(join, evaluator, store, env, |ev, store, env, _outer, _| {
                 let v = ev.eval(store, env, &join.body)?;
                 out.extend(v);
@@ -102,7 +105,7 @@ fn run_node(
             execute_group_by(group, evaluator, store, env)
         }
         QueryPlan::Seq(items) => {
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             let mut child = base + 1;
             for p in items {
                 out.extend(execute_at(p, child, evaluator, store, env)?);
@@ -148,11 +151,11 @@ fn run_node(
                     );
                 }
             }
-            let mut out = Vec::new();
+            let mut out = Sequence::new();
             for (i, it) in src.into_iter().enumerate() {
-                env.push_var(var.clone(), vec![it]);
+                env.push_var(var.clone(), seq![it]);
                 if let Some(p) = position {
-                    env.push_var(p.clone(), vec![Item::integer((i + 1) as i64)]);
+                    env.push_var(p.clone(), seq![Item::integer((i + 1) as i64)]);
                 }
                 let r = execute_at(body, body_id, evaluator, store, env);
                 if position.is_some() {
@@ -212,6 +215,133 @@ pub fn run_plan(
     })
 }
 
+/// Execute a batched path chain: evaluate the input once, then map the
+/// whole node batch through one store kernel per step, doc-order sorting
+/// and deduplicating after each — the exact per-step `ddo` the
+/// interpreter applies, so results are observably identical.
+fn exec_batch_path(
+    bp: &BatchPathPlan,
+    note_input: bool,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
+    let origins = evaluator.eval(store, env, &bp.input)?;
+    // Only attribute input cardinality when this chain IS the profiled
+    // plan node — as a join source, the join's own frame reports it.
+    if note_input {
+        evaluator.note_input(origins.len() as u64);
+    }
+    // Same type error (and message) `Core::MapStep` raises per origin.
+    let mut cur: Vec<NodeId> = origins
+        .iter()
+        .map(|it| {
+            it.as_node()
+                .ok_or_else(|| XdmError::type_error("expected a node, got an atomic value"))
+        })
+        .collect::<XdmResult<_>>()?;
+    let mut next: Vec<NodeId> = Vec::new();
+    run_batch_steps(&bp.steps, evaluator, store, &mut cur, &mut next)?;
+    Ok(cur.into_iter().map(Item::Node).collect())
+}
+
+/// Resolve a syntactic node test against the store's interner: one hash
+/// lookup per *step*, integer compares per *node*.
+fn kernel_test(store: &Store, test: &NodeTest) -> KernelTest {
+    match test {
+        NodeTest::Name(wanted) => KernelTest::name(store.symbols(), wanted),
+        NodeTest::Wildcard => KernelTest::Wildcard,
+        NodeTest::Text => KernelTest::Text,
+        NodeTest::AnyKind => KernelTest::AnyKind,
+        NodeTest::Comment => KernelTest::Comment,
+        NodeTest::Pi => KernelTest::Pi,
+        NodeTest::Element => KernelTest::Element,
+        NodeTest::AttributeTest => KernelTest::AttributeTest,
+        NodeTest::Document => KernelTest::Document,
+    }
+}
+
+/// Drive a step chain over `cur` in place, using `next` as the step
+/// output buffer (both are caller-owned so key probes can recycle them).
+fn run_batch_steps(
+    steps: &[BatchStep],
+    evaluator: &mut Evaluator,
+    store: &Store,
+    cur: &mut Vec<NodeId>,
+    next: &mut Vec<NodeId>,
+) -> XdmResult<()> {
+    for step in steps {
+        next.clear();
+        // From at most one origin, every kernel emits in DFS order:
+        // already document-ordered and duplicate-free, so the per-step
+        // normalization sort can be skipped. (With several origins,
+        // nesting lets outputs interleave or repeat, so we must sort.)
+        let sorted = cur.len() <= 1;
+        let test = kernel_test(store, &step.test);
+        match step.axis {
+            Axis::Child => store.batch_children_into(cur, test, next)?,
+            Axis::Descendant => {
+                store.batch_descendants_into(cur, test, false, evaluator.scratch_mut(), next)?
+            }
+            Axis::DescendantOrSelf => {
+                store.batch_descendants_into(cur, test, true, evaluator.scratch_mut(), next)?
+            }
+            Axis::Attribute => store.batch_attributes_into(cur, test, next)?,
+            // The compiler only lowers the four kernel axes.
+            _ => {
+                return Err(XdmError::precondition(
+                    "batch step on an axis without a kernel",
+                ))
+            }
+        }
+        for chain in &step.filters {
+            let mut keep = 0;
+            for i in 0..next.len() {
+                if exists_chain(chain, evaluator, store, next[i])? {
+                    next[keep] = next[i];
+                    keep += 1;
+                }
+            }
+            next.truncate(keep);
+        }
+        evaluator.note_batch(next.len() as u64);
+        if !sorted {
+            store.sort_and_dedup_with(next, evaluator.scratch_mut())?;
+        }
+        std::mem::swap(cur, next);
+    }
+    Ok(())
+}
+
+/// An existence filter: run the nested chain from one candidate node and
+/// test non-emptiness.
+fn exists_chain(
+    chain: &[BatchStep],
+    evaluator: &mut Evaluator,
+    store: &Store,
+    origin: NodeId,
+) -> XdmResult<bool> {
+    let mut cur = vec![origin];
+    let mut next = Vec::new();
+    run_batch_steps(chain, evaluator, store, &mut cur, &mut next)?;
+    Ok(!cur.is_empty())
+}
+
+/// Evaluate one join side: through its batch lowering when present,
+/// through the interpreter otherwise.
+fn eval_join_source(
+    source: &Core,
+    batch: Option<&BatchPathPlan>,
+    evaluator: &mut Evaluator,
+    store: &mut Store,
+    env: &mut DynEnv,
+) -> XdmResult<Sequence> {
+    match batch {
+        Some(bp) => exec_batch_path(bp, false, evaluator, store, env),
+        None => evaluator.eval(store, env, source),
+    }
+}
+
 /// The hash-join driver shared by both optimized plans: evaluates both
 /// sides once, hashes the inner side, then invokes `on_match` for every
 /// (outer, inner) pair in nested-loop order. The callback receives the
@@ -229,10 +359,10 @@ fn for_each_match(
         store,
         env,
         |ev, store, env, outer, matches, inner| {
-            env.push_var(join.outer_var.clone(), vec![outer.clone()]);
+            env.push_var(join.outer_var.clone(), seq![outer.clone()]);
             let r = (|| {
                 for &idx in matches {
-                    env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                    env.push_var(join.inner_var.clone(), seq![inner[idx].clone()]);
                     let r = on_match(ev, store, env, outer, idx);
                     env.pop_var();
                     r?;
@@ -255,18 +385,18 @@ fn execute_group_by(
     env: &mut DynEnv,
 ) -> XdmResult<Sequence> {
     let join = &group.join;
-    let mut out = Vec::new();
+    let mut out = Sequence::new();
     drive_join(
         join,
         evaluator,
         store,
         env,
         |ev, store, env, outer, matches, inner| {
-            env.push_var(join.outer_var.clone(), vec![outer.clone()]);
+            env.push_var(join.outer_var.clone(), seq![outer.clone()]);
             let r = (|| {
-                let mut grouped: Sequence = Vec::new();
+                let mut grouped = Sequence::new();
                 for &idx in matches {
-                    env.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                    env.push_var(join.inner_var.clone(), seq![inner[idx].clone()]);
                     let v = ev.eval(store, env, &join.body);
                     env.pop_var();
                     grouped.extend(v?);
@@ -301,15 +431,23 @@ fn drive_join(
     ) -> XdmResult<()>,
 ) -> XdmResult<()> {
     // Each side evaluated exactly once (guards ensured this is sound).
-    let outer = evaluator.eval(store, env, &join.outer_source)?;
-    let inner = evaluator.eval(store, env, &join.inner_source)?;
+    let outer = eval_join_source(&join.outer_source, join.outer_batch.as_ref(), evaluator, store, env)?;
+    let inner = eval_join_source(&join.inner_source, join.inner_batch.as_ref(), evaluator, store, env)?;
     // The join node's profile frame is innermost here: input = outer rows.
     evaluator.note_input(outer.len() as u64);
 
     // Build: key string -> inner indices, in inner order.
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (idx, it) in inner.iter().enumerate() {
-        let keys = eval_key(evaluator, store, env, &join.inner_var, it, &join.inner_key)?;
+        let keys = eval_key(
+            evaluator,
+            store,
+            env,
+            &join.inner_var,
+            it,
+            &join.inner_key,
+            join.inner_key_steps.as_deref(),
+        )?;
         for k in keys {
             table.entry(k).or_default().push(idx);
         }
@@ -318,7 +456,15 @@ fn drive_join(
     // Probe.
     let mut matches: Vec<usize> = Vec::new();
     for o in &outer {
-        let keys = eval_key(evaluator, store, env, &join.outer_var, o, &join.outer_key)?;
+        let keys = eval_key(
+            evaluator,
+            store,
+            env,
+            &join.outer_var,
+            o,
+            &join.outer_key,
+            join.outer_key_steps.as_deref(),
+        )?;
         matches.clear();
         for k in &keys {
             if let Some(idxs) = table.get(k) {
@@ -352,9 +498,9 @@ fn par_plan_for(
     let threads = evaluator.threads();
     let ctx = evaluator.pure_ctx();
     let results = par_map(threads, env, src, |wenv, i, it| {
-        wenv.push_var(var.to_string(), vec![it.clone()]);
+        wenv.push_var(var.to_string(), seq![it.clone()]);
         if let Some(p) = position {
-            wenv.push_var(p.to_string(), vec![Item::integer((i + 1) as i64)]);
+            wenv.push_var(p.to_string(), seq![Item::integer((i + 1) as i64)]);
         }
         let r = eval_pure(&ctx, store, wenv, depth, body);
         if position.is_some() {
@@ -385,12 +531,20 @@ fn probe_rows(
     store: &mut Store,
     env: &mut DynEnv,
 ) -> XdmResult<(Vec<ProbeRow>, Sequence, Option<XdmError>)> {
-    let outer = evaluator.eval(store, env, &join.outer_source)?;
-    let inner = evaluator.eval(store, env, &join.inner_source)?;
+    let outer = eval_join_source(&join.outer_source, join.outer_batch.as_ref(), evaluator, store, env)?;
+    let inner = eval_join_source(&join.inner_source, join.inner_batch.as_ref(), evaluator, store, env)?;
     evaluator.note_input(outer.len() as u64);
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (idx, it) in inner.iter().enumerate() {
-        let keys = eval_key(evaluator, store, env, &join.inner_var, it, &join.inner_key)?;
+        let keys = eval_key(
+            evaluator,
+            store,
+            env,
+            &join.inner_var,
+            it,
+            &join.inner_key,
+            join.inner_key_steps.as_deref(),
+        )?;
         for k in keys {
             table.entry(k).or_default().push(idx);
         }
@@ -398,7 +552,15 @@ fn probe_rows(
     let mut rows = Vec::with_capacity(outer.len());
     let mut key_err = None;
     for o in outer {
-        let keys = match eval_key(evaluator, store, env, &join.outer_var, &o, &join.outer_key) {
+        let keys = match eval_key(
+            evaluator,
+            store,
+            env,
+            &join.outer_var,
+            &o,
+            &join.outer_key,
+            join.outer_key_steps.as_deref(),
+        ) {
             Ok(keys) => keys,
             Err(e) => {
                 key_err = Some(e);
@@ -443,8 +605,8 @@ fn par_hash_join(
     let threads = evaluator.threads();
     let ctx = evaluator.pure_ctx();
     let results = par_map(threads, env, &pairs, |wenv, _i, (o, inn)| {
-        wenv.push_var(join.outer_var.clone(), vec![(*o).clone()]);
-        wenv.push_var(join.inner_var.clone(), vec![(*inn).clone()]);
+        wenv.push_var(join.outer_var.clone(), seq![(*o).clone()]);
+        wenv.push_var(join.inner_var.clone(), seq![(*inn).clone()]);
         let r = eval_pure(&ctx, store, wenv, depth, &join.body);
         wenv.pop_var();
         wenv.pop_var();
@@ -474,11 +636,11 @@ fn par_group_by(
     let threads = evaluator.threads();
     let ctx = evaluator.pure_ctx();
     let results = par_map(threads, env, &rows, |wenv, _i, row| {
-        wenv.push_var(join.outer_var.clone(), vec![row.outer.clone()]);
+        wenv.push_var(join.outer_var.clone(), seq![row.outer.clone()]);
         let r = (|wenv: &mut DynEnv| {
-            let mut grouped: Sequence = Vec::new();
+            let mut grouped = Sequence::new();
             for &idx in &row.matches {
-                wenv.push_var(join.inner_var.clone(), vec![inner[idx].clone()]);
+                wenv.push_var(join.inner_var.clone(), seq![inner[idx].clone()]);
                 let v = eval_pure(&ctx, store, wenv, depth, &join.body);
                 wenv.pop_var();
                 grouped.extend(v?);
@@ -499,6 +661,11 @@ fn par_group_by(
 }
 
 /// Evaluate a join key for one binding: the atomized string values.
+///
+/// With `batch` steps available and a node binding, the key path runs
+/// directly through the store kernels from that node — no environment
+/// push, no interpreter dispatch, no intermediate sequence. Atomizing an
+/// untyped node is exactly its string value, so the two paths agree.
 fn eval_key(
     evaluator: &mut Evaluator,
     store: &mut Store,
@@ -506,8 +673,15 @@ fn eval_key(
     var: &str,
     item: &Item,
     key: &Core,
+    batch: Option<&[BatchStep]>,
 ) -> XdmResult<Vec<String>> {
-    env.push_var(var.to_string(), vec![item.clone()]);
+    if let (Some(steps), Item::Node(n)) = (batch, item) {
+        let mut cur = vec![*n];
+        let mut next = Vec::new();
+        run_batch_steps(steps, evaluator, store, &mut cur, &mut next)?;
+        return cur.into_iter().map(|n| store.string_value(n)).collect();
+    }
+    env.push_var(var.to_string(), seq![item.clone()]);
     let r = evaluator.eval(store, env, key);
     env.pop_var();
     let atoms = item::atomize(&r?, store)?;

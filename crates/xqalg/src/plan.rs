@@ -24,6 +24,7 @@
 use std::fmt;
 use xqcore::EffectAnalysis;
 use xqcore::SnapMode;
+use xqsyn::ast::{Axis, NodeTest};
 use xqsyn::core::Core;
 
 /// A compiled query plan.
@@ -79,6 +80,41 @@ pub enum QueryPlan {
         /// The body's plan.
         body: Box<QueryPlan>,
     },
+    /// A pure path-step chain lowered to batch-at-a-time execution
+    /// (DESIGN.md §14): each step maps the whole `Vec<NodeId>` batch
+    /// through a store kernel with the name test resolved to interned
+    /// symbol ids, then doc-order sorts and dedups — observably identical
+    /// to step-at-a-time interpretation of the same chain.
+    BatchPath(BatchPathPlan),
+}
+
+/// The batch lowering of a path-step chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPathPlan {
+    /// The chain's origin expression (anything; evaluated once by the
+    /// interpreter, exactly as `Core::MapStep` evaluates its base).
+    pub input: Core,
+    /// The steps, applied left to right over the whole batch.
+    pub steps: Vec<BatchStep>,
+    /// The original core expression (rendering and effect annotation).
+    pub core: Core,
+}
+
+/// One batched path step. Only the axes with store kernels appear here
+/// (child, descendant, descendant-or-self, attribute); the compiler
+/// leaves chains using other axes on the interpreted path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStep {
+    /// The axis (kernel dispatch).
+    pub axis: Axis,
+    /// The node test, resolved against the store's interner at run time.
+    pub test: NodeTest,
+    /// Existence filters: each is a nested pure step chain applied to the
+    /// candidate node, which survives iff the chain's result is non-empty.
+    /// Pure path predicates are position-insensitive, so per-candidate
+    /// filtering coincides with the interpreter's per-origin positional
+    /// semantics.
+    pub filters: Vec<Vec<BatchStep>>,
 }
 
 /// The join core shared by both optimized shapes.
@@ -100,6 +136,26 @@ pub struct JoinPlan {
     /// variables in scope. May carry pending updates — the guards only
     /// exclude `snap`.
     pub body: Core,
+    /// Batch lowering of `outer_source`, when it is a pure step chain.
+    pub outer_batch: Option<BatchPathPlan>,
+    /// Batch lowering of `inner_source`, when it is a pure step chain.
+    pub inner_batch: Option<BatchPathPlan>,
+    /// Batch lowering of `outer_key` relative to `outer_var`: the probe
+    /// runs these steps from each outer node instead of re-entering the
+    /// interpreter per binding.
+    pub outer_key_steps: Option<Vec<BatchStep>>,
+    /// Batch lowering of `inner_key` relative to `inner_var` (build side).
+    pub inner_key_steps: Option<Vec<BatchStep>>,
+}
+
+impl JoinPlan {
+    /// Is any side's source or key batch-lowered?
+    pub fn is_batched(&self) -> bool {
+        self.outer_batch.is_some()
+            || self.inner_batch.is_some()
+            || self.outer_key_steps.is_some()
+            || self.inner_key_steps.is_some()
+    }
 }
 
 /// The outer-join/group-by shape: joins like [`JoinPlan`], then groups the
@@ -116,10 +172,13 @@ pub struct GroupByPlan {
 }
 
 impl QueryPlan {
-    /// Was any rewrite applied anywhere in the plan?
+    /// Was a *join* rewrite applied anywhere in the plan? Batch path
+    /// lowering is deliberately excluded: it is a physical execution
+    /// strategy, not the paper's guarded algebraic rewriting — see
+    /// [`QueryPlan::is_batched`].
     pub fn is_optimized(&self) -> bool {
         match self {
-            QueryPlan::Iterate(_) => false,
+            QueryPlan::Iterate(_) | QueryPlan::BatchPath(_) => false,
             QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => true,
             QueryPlan::Seq(items) => items.iter().any(QueryPlan::is_optimized),
             QueryPlan::Let { value, body, .. } => value.is_optimized() || body.is_optimized(),
@@ -131,10 +190,38 @@ impl QueryPlan {
         }
     }
 
+    /// Does any node execute batch-at-a-time — a [`QueryPlan::BatchPath`]
+    /// leaf, or a join with batched sources/keys?
+    pub fn is_batched(&self) -> bool {
+        match self {
+            QueryPlan::Iterate(_) => false,
+            QueryPlan::BatchPath(_) => true,
+            QueryPlan::HashJoin(j) => j.is_batched(),
+            QueryPlan::OuterJoinGroupBy(g) => g.join.is_batched(),
+            QueryPlan::Seq(items) => items.iter().any(QueryPlan::is_batched),
+            QueryPlan::Let { value, body, .. } => value.is_batched() || body.is_batched(),
+            QueryPlan::For { source, body, .. } => source.is_batched() || body.is_batched(),
+            QueryPlan::If { cond, then, els } => {
+                cond.is_batched() || then.is_batched() || els.is_batched()
+            }
+            QueryPlan::Snap { body, .. } => body.is_batched(),
+        }
+    }
+
+    /// Did compilation specialize anything here — a join rewrite or a
+    /// batch lowering? The compiler keeps a structural spine only above
+    /// specialized nodes.
+    pub fn is_specialized(&self) -> bool {
+        self.is_optimized() || self.is_batched()
+    }
+
     /// Number of plan nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         1 + match self {
-            QueryPlan::Iterate(_) | QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => 0,
+            QueryPlan::Iterate(_)
+            | QueryPlan::BatchPath(_)
+            | QueryPlan::HashJoin(_)
+            | QueryPlan::OuterJoinGroupBy(_) => 0,
             QueryPlan::Seq(items) => items.iter().map(QueryPlan::node_count).sum(),
             QueryPlan::Let { value, body, .. } => value.node_count() + body.node_count(),
             QueryPlan::For { source, body, .. } => source.node_count() + body.node_count(),
@@ -204,36 +291,55 @@ impl QueryPlan {
             Some(a) => format!("[{:?}]", a.effect(core)),
             None => String::new(),
         };
+        // `batch` marks a subexpression lowered to the batch step kernels
+        // (DESIGN.md §14): a whole chain leaf, a join source, or a join
+        // key evaluated by symbol-id compare instead of interpretation.
+        let mark = |on: bool| if on { ",batch" } else { "" };
         let text = match self {
             QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff_loop(core)),
+            QueryPlan::BatchPath(bp) => {
+                let eff = match analysis {
+                    Some(a) => format!("[{:?},batch]", a.effect(&bp.core)),
+                    None => "[batch]".to_string(),
+                };
+                format!("BatchPath{eff} {{ {} }}", bp.core)
+            }
             QueryPlan::HashJoin(j) => format!(
-                "MapFromItem{eb} {{ {body} }}\n(Join( MapFromItem{{[{o}:Input]}}\n   \
-                 ({osrc}),\n       MapFromItem{{[{i}:Input]}}\n   ({isrc}))\n  on {{ \
-                 Input#{i}/{ikey} = Input#{o}/{okey} }}\n)",
+                "MapFromItem{eb} {{ {body} }}\n(Join( MapFromItem{{[{o}:Input]{ob}}}\n   \
+                 ({osrc}),\n       MapFromItem{{[{i}:Input]{ib}}}\n   ({isrc}))\n  on {{ \
+                 Input#{i}/{ikey}{ikb} = Input#{o}/{okey}{okb} }}\n)",
                 eb = eff_body(&j.body),
                 body = j.body,
                 o = j.outer_var,
+                ob = mark(j.outer_batch.is_some()),
                 osrc = j.outer_source,
                 i = j.inner_var,
+                ib = mark(j.inner_batch.is_some()),
                 isrc = j.inner_source,
                 ikey = strip_var(&j.inner_key, &j.inner_var),
+                ikb = mark(j.inner_key_steps.is_some()),
                 okey = strip_var(&j.outer_key, &j.outer_var),
+                okb = mark(j.outer_key_steps.is_some()),
             ),
             QueryPlan::OuterJoinGroupBy(g) => format!(
                 "MapFromItem{er} {{\n  {ret}\n}}\n(GroupBy [ Input#{o}, {{ {body} }}{eb} \
-                 ]\n  ( LeftOuterJoin( MapFromItem{{[{o}:Input]}}\n     \
-                 ({osrc}),\n                   MapFromItem{{[{i}:Input]}}\n     \
-                 ({isrc}))\n    on {{ Input#{i}/{ikey} = Input#{o}/{okey} }}\n  )\n)",
+                 ]\n  ( LeftOuterJoin( MapFromItem{{[{o}:Input]{ob}}}\n     \
+                 ({osrc}),\n                   MapFromItem{{[{i}:Input]{ib}}}\n     \
+                 ({isrc}))\n    on {{ Input#{i}/{ikey}{ikb} = Input#{o}/{okey}{okb} }}\n  )\n)",
                 er = eff_body(&g.ret),
                 ret = g.ret,
                 o = g.join.outer_var,
+                ob = mark(g.join.outer_batch.is_some()),
                 body = g.join.body,
                 eb = eff_body(&g.join.body),
                 osrc = g.join.outer_source,
                 i = g.join.inner_var,
+                ib = mark(g.join.inner_batch.is_some()),
                 isrc = g.join.inner_source,
                 ikey = strip_var(&g.join.inner_key, &g.join.inner_var),
+                ikb = mark(g.join.inner_key_steps.is_some()),
                 okey = strip_var(&g.join.outer_key, &g.join.outer_var),
+                okb = mark(g.join.outer_key_steps.is_some()),
             ),
             QueryPlan::Seq(items) => {
                 let mut child = base + 1;
@@ -263,10 +369,19 @@ impl QueryPlan {
                     .as_ref()
                     .map(|p| format!(" at ${p}"))
                     .unwrap_or_default();
+                // A plan-level `For` with a pure Iterate body fans out
+                // exactly like the interpreter loop the leaf used to show
+                // the marker on — keep the marker visible on the spine.
+                let par = match (analysis, body.as_ref()) {
+                    (Some(a), QueryPlan::Iterate(core)) if xqcore::par::body_par(core, a) => {
+                        "[par]"
+                    }
+                    _ => "",
+                };
                 let source_id = base + 1;
                 let body_id = source_id + source.node_count();
                 format!(
-                    "For ${var}{pos} In {{\n{}\n}} Do {{\n{}\n}}",
+                    "For ${var}{pos}{par} In {{\n{}\n}} Do {{\n{}\n}}",
                     indent(&source.render_node(analysis, profile, source_id), 2),
                     indent(&body.render_node(analysis, profile, body_id), 2),
                 )
@@ -318,6 +433,7 @@ impl QueryPlan {
         let n = profile.node(base);
         let label = match self {
             QueryPlan::Iterate(_) => "Iterate",
+            QueryPlan::BatchPath(_) => "BatchPath",
             QueryPlan::HashJoin(_) => "HashJoin",
             QueryPlan::OuterJoinGroupBy(_) => "OuterJoinGroupBy",
             QueryPlan::Seq(_) => "Seq",
@@ -329,9 +445,10 @@ impl QueryPlan {
         let fail = |what: String| Err(format!("node {base} ({label}): {what}"));
         let check = n.calls > 0 && n.par_regions == 0;
         match self {
-            QueryPlan::Iterate(_) | QueryPlan::HashJoin(_) | QueryPlan::OuterJoinGroupBy(_) => {
-                Ok(())
-            }
+            QueryPlan::Iterate(_)
+            | QueryPlan::BatchPath(_)
+            | QueryPlan::HashJoin(_)
+            | QueryPlan::OuterJoinGroupBy(_) => Ok(()),
             QueryPlan::Seq(items) => {
                 let mut child = base + 1;
                 let mut out_sum = 0u64;
@@ -482,6 +599,9 @@ fn annotate_head(text: &str, n: xqcore::obs::NodeStats) -> String {
         if n.par_regions > 0 {
             note.push_str(&format!(" par={}/{}", n.par_regions, n.par_items));
         }
+        if n.batch_steps > 0 {
+            note.push_str(&format!(" batch={}/{}", n.batch_steps, n.batch_nodes));
+        }
         note.push(')');
         note
     };
@@ -537,6 +657,10 @@ mod tests {
             outer_key: Core::int(3),
             inner_key: Core::int(4),
             body: Core::int(5),
+            outer_batch: None,
+            inner_batch: None,
+            outer_key_steps: None,
+            inner_key_steps: None,
         });
         let snap = QueryPlan::Snap {
             mode: SnapMode::Ordered,

@@ -15,8 +15,8 @@ fn setup(seed: u64, scale: &Scale) -> (Store, Vec<(String, Sequence)>, NodeId) {
     let auction = XmarkGen::new(seed).generate(&mut store, scale).unwrap();
     let purchasers = xqdm::xml::parse_document(&mut store, "<purchasers/>").unwrap();
     let bindings = vec![
-        ("auction".to_string(), vec![Item::Node(auction)]),
-        ("purchasers".to_string(), vec![Item::Node(purchasers)]),
+        ("auction".to_string(), xqdm::seq![Item::Node(auction)]),
+        ("purchasers".to_string(), xqdm::seq![Item::Node(purchasers)]),
     ];
     (store, bindings, purchasers)
 }
@@ -184,7 +184,7 @@ fn multi_valued_keys_match_existentially_once() {
 </r>"#,
     )
     .unwrap();
-    let bindings = vec![("d".to_string(), vec![Item::Node(doc)])];
+    let bindings = vec![("d".to_string(), xqdm::seq![Item::Node(doc)])];
     let q = r#"
 for $x in $d//left/e
 for $y in $d//right/f
@@ -205,7 +205,7 @@ fn join_handles_empty_sides() {
     let mut store = Store::new();
     let doc =
         xqdm::xml::parse_document(&mut store, "<r><left/><right><f k=\"1\"/></right></r>").unwrap();
-    let bindings = vec![("d".to_string(), vec![Item::Node(doc)])];
+    let bindings = vec![("d".to_string(), xqdm::seq![Item::Node(doc)])];
     let q = "for $x in $d//left/e for $y in $d//right/f where $x/@k = $y/@k return <m/>";
     let program = compile(q);
     let (v, optimized) = run_optimized(&program, &mut store, &bindings, 0).unwrap();

@@ -6,7 +6,7 @@ use xqcore::{apply_delta, DynEnv, Evaluator, SnapMode};
 use xqdm::item::Item;
 use xqdm::Store;
 
-fn two_sided_store() -> (Store, Vec<(String, Vec<Item>)>) {
+fn two_sided_store() -> (Store, Vec<(String, xqdm::Sequence)>) {
     let mut store = Store::new();
     let doc = xqdm::xml::parse_document(
         &mut store,
@@ -17,7 +17,7 @@ fn two_sided_store() -> (Store, Vec<(String, Vec<Item>)>) {
 </r>"#,
     )
     .unwrap();
-    (store, vec![("d".to_string(), vec![Item::Node(doc)])])
+    (store, vec![("d".to_string(), xqdm::seq![Item::Node(doc)])])
 }
 
 #[test]

@@ -80,9 +80,9 @@ fn check(query: &str, left: &SideSpec, right: &SideSpec) -> Result<(), TestCaseE
         let r = build_side(&mut store, "right", spec_r);
         let out = store.new_element(QName::local("out"));
         let bindings = vec![
-            ("left".to_string(), vec![Item::Node(l)]),
-            ("right".to_string(), vec![Item::Node(r)]),
-            ("out".to_string(), vec![Item::Node(out)]),
+            ("left".to_string(), xqdm::seq![Item::Node(l)]),
+            ("right".to_string(), xqdm::seq![Item::Node(r)]),
+            ("out".to_string(), xqdm::seq![Item::Node(out)]),
         ];
         (store, bindings, out)
     };

@@ -53,8 +53,8 @@ fn run_body(program: &CoreProgram, body: &xqsyn::core::Core, keys: &[u8]) -> (St
     let data = build_data(&mut store, keys);
     let out = store.new_element(QName::local("out"));
     let mut ev = Evaluator::new(program).with_seed(7);
-    ev.bind_global("data", vec![Item::Node(data)]);
-    ev.bind_global("out", vec![Item::Node(out)]);
+    ev.bind_global("data", xqdm::seq![Item::Node(data)]);
+    ev.bind_global("out", xqdm::seq![Item::Node(out)]);
     let mut env = DynEnv::new();
     let value = ev.eval_query(&mut store, &mut env, body).expect("eval");
     let rendered: Vec<String> = value

@@ -69,16 +69,291 @@ impl Item {
 }
 
 /// A sequence of items — the universal value shape of XQuery.
-pub type Sequence = Vec<Item>;
+///
+/// Small-vector layout (DESIGN.md §14): XQuery evaluation is dominated
+/// by empty and one-or-two-item values (every arithmetic operand, every
+/// predicate result, every path step over a single node), so sequences
+/// of up to two items are stored inline and only longer ones spill to a
+/// heap `Vec`. The representation is private; the sequence presents
+/// itself as a slice (`Deref<Target = [Item]>`) plus `push`/`extend`/
+/// iterator impls, so most code is representation-oblivious.
+#[derive(Clone, Default)]
+pub struct Sequence(Repr);
+
+#[derive(Clone, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    One(Item),
+    Two([Item; 2]),
+    Many(Vec<Item>),
+}
+
+impl Sequence {
+    /// The empty sequence.
+    pub const fn new() -> Sequence {
+        Sequence(Repr::Empty)
+    }
+
+    /// A singleton sequence.
+    pub fn one(item: Item) -> Sequence {
+        Sequence(Repr::One(item))
+    }
+
+    /// An empty sequence expecting `n` items. Spills straight to the
+    /// heap representation past the inline capacity so the fill loop
+    /// does not re-box the first two items.
+    pub fn with_capacity(n: usize) -> Sequence {
+        if n > 2 {
+            Sequence(Repr::Many(Vec::with_capacity(n)))
+        } else {
+            Sequence::new()
+        }
+    }
+
+    /// View the items as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[Item] {
+        match &self.0 {
+            Repr::Empty => &[],
+            Repr::One(item) => std::slice::from_ref(item),
+            Repr::Two(pair) => &pair[..],
+            Repr::Many(v) => v,
+        }
+    }
+
+    /// View the items as a mutable slice (length cannot change).
+    pub fn as_mut_slice(&mut self) -> &mut [Item] {
+        match &mut self.0 {
+            Repr::Empty => &mut [],
+            Repr::One(item) => std::slice::from_mut(item),
+            Repr::Two(pair) => &mut pair[..],
+            Repr::Many(v) => v,
+        }
+    }
+
+    /// Append one item, spilling inline storage to the heap on the
+    /// third.
+    pub fn push(&mut self, item: Item) {
+        self.0 = match std::mem::take(&mut self.0) {
+            Repr::Empty => Repr::One(item),
+            Repr::One(a) => Repr::Two([a, item]),
+            Repr::Two([a, b]) => Repr::Many(vec![a, b, item]),
+            Repr::Many(mut v) => {
+                v.push(item);
+                Repr::Many(v)
+            }
+        };
+    }
+
+    /// Remove and return the last item.
+    pub fn pop(&mut self) -> Option<Item> {
+        let (next, popped) = match std::mem::take(&mut self.0) {
+            Repr::Empty => (Repr::Empty, None),
+            Repr::One(a) => (Repr::Empty, Some(a)),
+            Repr::Two([a, b]) => (Repr::One(a), Some(b)),
+            Repr::Many(mut v) => {
+                let last = v.pop();
+                (Repr::Many(v), last)
+            }
+        };
+        self.0 = next;
+        popped
+    }
+
+    /// Drop all items.
+    pub fn clear(&mut self) {
+        // Keep a spilled Vec's capacity: a cleared sequence is usually
+        // about to be refilled to a similar length.
+        if let Repr::Many(v) = &mut self.0 {
+            v.clear();
+        } else {
+            self.0 = Repr::Empty;
+        }
+    }
+
+    /// Convert into a plain `Vec` (allocates only if still inline).
+    pub fn into_vec(self) -> Vec<Item> {
+        match self.0 {
+            Repr::Empty => Vec::new(),
+            Repr::One(a) => vec![a],
+            Repr::Two([a, b]) => vec![a, b],
+            Repr::Many(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for Sequence {
+    type Target = [Item];
+    fn deref(&self) -> &[Item] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Sequence {
+    fn deref_mut(&mut self) -> &mut [Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for Sequence {
+    fn eq(&self, other: &Sequence) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<Item>> for Sequence {
+    fn eq(&self, other: &Vec<Item>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Sequence> for Vec<Item> {
+    fn eq(&self, other: &Sequence) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<Item>> for Sequence {
+    fn from(v: Vec<Item>) -> Sequence {
+        match v.len() {
+            0 => Sequence::new(),
+            1 | 2 => v.into_iter().collect(),
+            _ => Sequence(Repr::Many(v)),
+        }
+    }
+}
+
+impl From<Item> for Sequence {
+    fn from(item: Item) -> Sequence {
+        Sequence::one(item)
+    }
+}
+
+impl From<Sequence> for Vec<Item> {
+    fn from(s: Sequence) -> Vec<Item> {
+        s.into_vec()
+    }
+}
+
+impl FromIterator<Item> for Sequence {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Sequence {
+        let mut s = Sequence::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<Item> for Sequence {
+    fn extend<I: IntoIterator<Item = Item>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        if let Repr::Many(v) = &mut self.0 {
+            v.extend(iter);
+            return;
+        }
+        let (lower, _) = iter.size_hint();
+        if self.len() + lower > 2 {
+            // Will spill anyway: go to the heap once, with a capacity
+            // hint, instead of re-boxing through the inline states.
+            let mut v = std::mem::take(self).into_vec();
+            v.reserve(lower);
+            v.extend(iter);
+            self.0 = Repr::Many(v);
+        } else {
+            for item in iter {
+                self.push(item);
+            }
+        }
+    }
+}
+
+/// Owned iterator over a [`Sequence`].
+pub struct IntoIter(IterRepr);
+
+enum IterRepr {
+    Inline(std::array::IntoIter<Item, 2>, u8),
+    Many(std::vec::IntoIter<Item>),
+}
+
+impl Iterator for IntoIter {
+    type Item = Item;
+    fn next(&mut self) -> Option<Item> {
+        match &mut self.0 {
+            IterRepr::Inline(it, live) => {
+                if *live == 0 {
+                    return None;
+                }
+                *live -= 1;
+                it.next()
+            }
+            IterRepr::Many(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.0 {
+            IterRepr::Inline(_, live) => *live as usize,
+            IterRepr::Many(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IntoIter {}
+
+impl IntoIterator for Sequence {
+    type Item = Item;
+    type IntoIter = IntoIter;
+    fn into_iter(self) -> IntoIter {
+        // Dummy fill for the unused inline slot: a cheap no-payload item.
+        const PAD: Item = Item::Atomic(Atomic::Boolean(false));
+        IntoIter(match self.0 {
+            Repr::Empty => IterRepr::Inline([PAD, PAD].into_iter(), 0),
+            Repr::One(a) => IterRepr::Inline([a, PAD].into_iter(), 1),
+            Repr::Two(pair) => IterRepr::Inline(pair.into_iter(), 2),
+            Repr::Many(v) => IterRepr::Many(v.into_iter()),
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = &'a Item;
+    type IntoIter = std::slice::Iter<'a, Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Sequence {
+    type Item = &'a mut Item;
+    type IntoIter = std::slice::IterMut<'a, Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Build a [`Sequence`] from item expressions, like `vec!` — but small
+/// literals stay in the inline representation with no heap allocation.
+#[macro_export]
+macro_rules! seq {
+    () => { $crate::Sequence::new() };
+    ($($x:expr),+ $(,)?) => {
+        [$($x),+].into_iter().collect::<$crate::Sequence>()
+    };
+}
 
 /// The empty sequence.
 pub fn empty() -> Sequence {
-    Vec::new()
+    Sequence::new()
 }
 
 /// A singleton sequence.
 pub fn singleton(item: Item) -> Sequence {
-    vec![item]
+    Sequence::one(item)
 }
 
 /// Atomize a whole sequence.
@@ -300,14 +575,14 @@ mod tests {
 
     #[test]
     fn cardinality_helpers() {
-        assert_eq!(zero_or_one(vec![]).unwrap(), None);
+        assert_eq!(zero_or_one(crate::seq![]).unwrap(), None);
         assert_eq!(
-            zero_or_one(vec![Item::integer(1)]).unwrap(),
+            zero_or_one(crate::seq![Item::integer(1)]).unwrap(),
             Some(Item::integer(1))
         );
-        assert!(zero_or_one(vec![Item::integer(1), Item::integer(2)]).is_err());
-        assert!(exactly_one(vec![]).is_err());
-        assert!(exactly_one_node(vec![Item::integer(1)]).is_err());
+        assert!(zero_or_one(crate::seq![Item::integer(1), Item::integer(2)]).is_err());
+        assert!(exactly_one(crate::seq![]).is_err());
+        assert!(exactly_one_node(crate::seq![Item::integer(1)]).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod item;
 pub mod node;
 pub mod qname;
 pub mod store;
+pub mod symbols;
 pub mod wal;
 pub mod xml;
 
@@ -35,7 +36,8 @@ pub use error::{XdmError, XdmResult};
 pub use item::{Item, Sequence};
 pub use node::{NodeId, NodeKind};
 pub use qname::QName;
-pub use store::Store;
+pub use store::{KernelTest, Scratch, Store};
+pub use symbols::{QNameId, SymbolId, Symbols};
 pub use wal::{CommitReceipt, RecoveryReport, SyncMode};
 
 // Parallel evaluation of effect-free regions (xqcore's DESIGN.md §9
@@ -49,6 +51,9 @@ const _: () = {
     assert_send_sync::<NodeId>();
     assert_send_sync::<NodeKind>();
     assert_send_sync::<QName>();
+    assert_send_sync::<QNameId>();
+    assert_send_sync::<SymbolId>();
+    assert_send_sync::<Symbols>();
     assert_send_sync::<Atomic>();
     assert_send_sync::<Item>();
     assert_send_sync::<Sequence>();

@@ -5,7 +5,7 @@
 //! ids must stay valid across arbitrary store mutations (including
 //! detachment — the paper's `delete` detaches rather than erases, §3.1).
 
-use crate::qname::QName;
+use crate::symbols::{QNameId, SymbolId};
 use std::fmt;
 
 /// A stable identifier for a node in a [`crate::Store`].
@@ -30,6 +30,14 @@ impl fmt::Display for NodeId {
 }
 
 /// The kind of a node, with kind-specific payload.
+///
+/// Names are stored *interned* (DESIGN.md §14): an element slot carries
+/// an 8-byte [`QNameId`] instead of up to two heap `String`s, so name
+/// tests compare integers and slots stay compact. The owning store's
+/// [`crate::Symbols`] table resolves ids back to lexical names; every
+/// serialized form (WAL records, checkpoint snapshots, fingerprints)
+/// resolves at the byte boundary, keeping the on-disk formats identical
+/// to the pre-interning layout.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {
     /// A document node (root of a tree loaded from an XML document).
@@ -39,8 +47,8 @@ pub enum NodeKind {
     },
     /// An element node.
     Element {
-        /// The element name.
-        name: QName,
+        /// The interned element name.
+        name: QNameId,
         /// Attribute nodes (unordered per XDM; we keep insertion order).
         attributes: Vec<NodeId>,
         /// Child nodes in document order.
@@ -48,8 +56,8 @@ pub enum NodeKind {
     },
     /// An attribute node.
     Attribute {
-        /// The attribute name.
-        name: QName,
+        /// The interned attribute name.
+        name: QNameId,
         /// The attribute value.
         value: String,
     },
@@ -65,8 +73,8 @@ pub enum NodeKind {
     },
     /// A processing-instruction node.
     Pi {
-        /// The PI target.
-        target: String,
+        /// The interned PI target.
+        target: SymbolId,
         /// The PI content.
         content: String,
     },
@@ -112,6 +120,7 @@ pub(crate) struct NodeData {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbols::Symbols;
 
     #[test]
     fn kind_names() {
@@ -126,9 +135,10 @@ mod tests {
             .kind_name(),
             "text"
         );
+        let mut syms = Symbols::new();
         assert_eq!(
             NodeKind::Pi {
-                target: "t".into(),
+                target: syms.intern("t"),
                 content: "c".into()
             }
             .kind_name(),

@@ -16,7 +16,10 @@
 use crate::error::{XdmError, XdmResult};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::qname::QName;
-use crate::wal::{self, CommitReceipt, Cursor, Fnv64, RecoveryReport, RedoOp, SyncMode, Wal};
+use crate::symbols::{QNameId, Symbols};
+use crate::wal::{
+    self, BirthKind, CommitReceipt, Cursor, Fnv64, RecoveryReport, RedoOp, SyncMode, Wal,
+};
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::path::Path;
@@ -46,6 +49,65 @@ pub struct StoreStats {
     pub garbage: usize,
 }
 
+/// Reusable scratch buffers for document-order sorting and the batch
+/// step kernels (DESIGN.md §14). The hot loops — `sort_and_dedup` after
+/// every path step, the kernels' per-origin gathers — previously
+/// allocated fresh buffers per call; an evaluation owns one `Scratch`
+/// and threads it through, so steady-state evaluation reuses the same
+/// backing allocations. Pinned by an allocation-count assertion in
+/// `tests/obs_invariants.rs`.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Keyed-sort workspace: one `(order-key, node)` pair per input node.
+    /// Entries are recycled, so each pair's key `Vec` keeps its capacity
+    /// across calls.
+    keyed: Vec<(Vec<(u64, u64)>, NodeId)>,
+    /// Per-origin gather buffer for the batch step kernels.
+    pub(crate) gather: Vec<NodeId>,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// A node test pre-resolved against a store's interner, consumed by the
+/// batch step kernels and the evaluator's per-node test. Resolution
+/// happens once per step (not once per node), so the hot match is pure
+/// integer work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTest {
+    /// A name test. `None` records an interner miss: the lexical name
+    /// appears on no node in this store, so the test matches nothing.
+    Name(Option<QNameId>),
+    /// `*` — any name on the principal axis.
+    Wildcard,
+    /// `text()`
+    Text,
+    /// `node()`
+    AnyKind,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    Pi,
+    /// `element()`
+    Element,
+    /// `attribute()`
+    AttributeTest,
+    /// `document-node()`
+    Document,
+}
+
+impl KernelTest {
+    /// Resolve a lexical name test. The returned test is only valid
+    /// against the same store's interner (ids are per-store).
+    pub fn name(symbols: &Symbols, lexical: &str) -> KernelTest {
+        KernelTest::Name(symbols.lookup_lexical(lexical))
+    }
+}
+
 /// One recorded inverse of a primitive store mutation. Entries are replayed
 /// in reverse by [`Store::rollback_frame`]; each replay writes fields
 /// directly (never through the journaled mutators) so rollback itself
@@ -55,8 +117,10 @@ enum UndoEntry {
     /// A node was allocated; `reused` says whether the slot came off the
     /// free list (so undo can restore the free list exactly).
     Alloc { id: NodeId, reused: bool },
-    /// An element or attribute was renamed; `name` is the previous name.
-    Name { id: NodeId, name: QName },
+    /// An element or attribute was renamed; `name` is the previous
+    /// (interned) name — symbol ids stay valid forever, the table being
+    /// append-only, so the journal can hold them safely.
+    Name { id: NodeId, name: QNameId },
     /// A text node's content was replaced.
     Text { id: NodeId, content: String },
     /// An attribute node's value was replaced.
@@ -105,12 +169,16 @@ pub struct Store {
     /// present, every successful mutation records a forward redo op;
     /// [`Store::wal_commit`] makes them durable.
     wal: Option<Box<Wal>>,
+    /// Interned names: node slots hold [`QNameId`]s/[`crate::SymbolId`]s
+    /// into this append-only table (DESIGN.md §14).
+    symbols: Symbols,
 }
 
 impl Clone for Store {
-    /// A cloned store is an in-memory fork: node slots, free list and
-    /// journal state are copied, but the redo log stays with the
-    /// original (two writers on one log would interleave histories).
+    /// A cloned store is an in-memory fork: node slots, free list,
+    /// journal state and the symbol table are copied, but the redo log
+    /// stays with the original (two writers on one log would interleave
+    /// histories).
     fn clone(&self) -> Self {
         Store {
             nodes: self.nodes.clone(),
@@ -118,6 +186,7 @@ impl Clone for Store {
             undo: self.undo.clone(),
             frames: self.frames.clone(),
             wal: None,
+            symbols: self.symbols.clone(),
         }
     }
 }
@@ -435,11 +504,37 @@ impl Store {
         }
         if self.wal.is_some() {
             // At birth every container is empty, so the at-alloc kind is
-            // the complete forward image.
-            let kind = self.nodes[id.index()].kind.clone();
+            // the complete forward image. Logged lexically: the on-disk
+            // record format predates interning and must not change.
+            let kind = self.birth_kind(id);
             self.wal_record(RedoOp::Alloc { id, kind });
         }
         id
+    }
+
+    /// The lexical at-birth image of a just-allocated slot (for the redo
+    /// log; see [`BirthKind`]).
+    fn birth_kind(&self, id: NodeId) -> BirthKind {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Document { .. } => BirthKind::Document,
+            NodeKind::Element { name, .. } => BirthKind::Element {
+                name: self.symbols.resolve_qname(*name),
+            },
+            NodeKind::Attribute { name, value } => BirthKind::Attribute {
+                name: self.symbols.resolve_qname(*name),
+                value: value.clone(),
+            },
+            NodeKind::Text { content } => BirthKind::Text {
+                content: content.clone(),
+            },
+            NodeKind::Comment { content } => BirthKind::Comment {
+                content: content.clone(),
+            },
+            NodeKind::Pi { target, content } => BirthKind::Pi {
+                target: self.symbols.resolve(*target).to_string(),
+                content: content.clone(),
+            },
+        }
     }
 
     /// Append a redo op to the attached log's buffer (no-op without one).
@@ -481,6 +576,7 @@ impl Store {
 
     /// Create a new, parentless element node with no content.
     pub fn new_element(&mut self, name: QName) -> NodeId {
+        let name = self.symbols.intern_qname(&name);
         self.alloc(NodeKind::Element {
             name,
             attributes: Vec::new(),
@@ -490,6 +586,7 @@ impl Store {
 
     /// Create a new, parentless attribute node.
     pub fn new_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
+        let name = self.symbols.intern_qname(&name);
         self.alloc(NodeKind::Attribute {
             name,
             value: value.into(),
@@ -512,10 +609,16 @@ impl Store {
 
     /// Create a new, parentless processing-instruction node.
     pub fn new_pi(&mut self, target: impl Into<String>, content: impl Into<String>) -> NodeId {
+        let target = self.symbols.intern(&target.into());
         self.alloc(NodeKind::Pi {
-            target: target.into(),
+            target,
             content: content.into(),
         })
+    }
+
+    /// The store's symbol table (read access: name lookups, resolution).
+    pub fn symbols(&self) -> &Symbols {
+        &self.symbols
     }
 
     // ------------------------------------------------------------------
@@ -548,19 +651,36 @@ impl Store {
         })
     }
 
-    /// The node's name (elements and attributes; `None` otherwise).
-    pub fn name(&self, id: NodeId) -> XdmResult<Option<&QName>> {
+    /// The node's name (elements and attributes; `None` otherwise),
+    /// materialized lexically. Hot paths should prefer
+    /// [`Store::name_id`], which is alloc-free.
+    pub fn name(&self, id: NodeId) -> XdmResult<Option<QName>> {
+        Ok(self.name_id(id)?.map(|q| self.symbols.resolve_qname(q)))
+    }
+
+    /// The node's interned name (elements and attributes; `None`
+    /// otherwise). Within one store, equal ids ⇔ equal lexical names.
+    pub fn name_id(&self, id: NodeId) -> XdmResult<Option<QNameId>> {
         Ok(match &self.data(id)?.kind {
-            NodeKind::Element { name, .. } | NodeKind::Attribute { name, .. } => Some(name),
+            NodeKind::Element { name, .. } | NodeKind::Attribute { name, .. } => Some(*name),
             _ => None,
         })
     }
 
-    /// Look up an attribute of `element` by name; returns the attribute node.
+    /// Look up an attribute of `element` by (unprefixed) name; returns
+    /// the attribute node. An interner miss means no node anywhere bears
+    /// the name, so the attribute list is not even scanned.
     pub fn attribute_by_name(&self, element: NodeId, name: &str) -> XdmResult<Option<NodeId>> {
+        let wanted = match self.symbols.lookup(name) {
+            Some(s) => s,
+            None => {
+                self.data(element)?; // preserve dangling-id errors
+                return Ok(None);
+            }
+        };
         for &a in self.attributes(element)? {
             if let NodeKind::Attribute { name: n, .. } = self.kind(a)? {
-                if n.local == name && n.prefix.is_none() {
+                if n.prefix().is_none() && n.local() == wanted {
                     return Ok(Some(a));
                 }
             }
@@ -583,15 +703,20 @@ impl Store {
         }
     }
 
+    /// Concatenate descendant text into `out`. Iterative with an
+    /// explicit stack: `string_value` on a pathologically deep document
+    /// must error or succeed, never abort the process on stack overflow
+    /// (same treatment the parsers and serializers got).
     fn collect_text(&self, id: NodeId, out: &mut String) -> XdmResult<()> {
-        match &self.data(id)?.kind {
-            NodeKind::Text { content } => out.push_str(content),
-            NodeKind::Document { children } | NodeKind::Element { children, .. } => {
-                for &c in children {
-                    self.collect_text(c, out)?;
+        let mut stack: Vec<NodeId> = vec![id];
+        while let Some(n) = stack.pop() {
+            match &self.data(n)?.kind {
+                NodeKind::Text { content } => out.push_str(content),
+                NodeKind::Document { children } | NodeKind::Element { children, .. } => {
+                    stack.extend(children.iter().rev().copied());
                 }
+                _ => {}
             }
-            _ => {}
         }
         Ok(())
     }
@@ -621,6 +746,122 @@ impl Store {
     }
 
     // ------------------------------------------------------------------
+    // Batch step kernels (DESIGN.md §14): one call per path step over a
+    // whole batch of origin nodes, with the node test pre-resolved to
+    // interned ids so the per-node check is a couple of integer compares.
+    // ------------------------------------------------------------------
+
+    /// Does `node` satisfy `test`? `principal_attr` selects the principal
+    /// node kind (attribute on the attribute axis, element elsewhere).
+    /// Alloc-free: name tests compare interned ids.
+    #[inline]
+    pub fn kernel_matches(
+        &self,
+        node: NodeId,
+        principal_attr: bool,
+        test: KernelTest,
+    ) -> XdmResult<bool> {
+        let kind = &self.data(node)?.kind;
+        Ok(match test {
+            KernelTest::AnyKind => true,
+            KernelTest::Text => matches!(kind, NodeKind::Text { .. }),
+            KernelTest::Comment => matches!(kind, NodeKind::Comment { .. }),
+            KernelTest::Pi => matches!(kind, NodeKind::Pi { .. }),
+            KernelTest::Element => matches!(kind, NodeKind::Element { .. }),
+            KernelTest::AttributeTest => matches!(kind, NodeKind::Attribute { .. }),
+            KernelTest::Document => matches!(kind, NodeKind::Document { .. }),
+            KernelTest::Wildcard => {
+                if principal_attr {
+                    matches!(kind, NodeKind::Attribute { .. })
+                } else {
+                    matches!(kind, NodeKind::Element { .. })
+                }
+            }
+            KernelTest::Name(wanted) => {
+                let name = match kind {
+                    NodeKind::Element { name, .. } if !principal_attr => Some(*name),
+                    NodeKind::Attribute { name, .. } if principal_attr => Some(*name),
+                    _ => None,
+                };
+                match (name, wanted) {
+                    (Some(n), Some(w)) => n == w,
+                    _ => false,
+                }
+            }
+        })
+    }
+
+    /// Child-axis kernel: append to `out` every child of every node in
+    /// `input` that satisfies `test`. `out` is *not* cleared — callers
+    /// own the buffer lifecycle — and is *not* doc-order normalized
+    /// (when an input node is an ancestor of another, child batches can
+    /// interleave); the driver applies `sort_and_dedup_with` per step.
+    pub fn batch_children_into(
+        &self,
+        input: &[NodeId],
+        test: KernelTest,
+        out: &mut Vec<NodeId>,
+    ) -> XdmResult<()> {
+        for &origin in input {
+            for &c in self.children(origin)? {
+                if self.kernel_matches(c, false, test)? {
+                    out.push(c);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Descendant-axis kernel (`or_self` widens to descendant-or-self).
+    /// Uses the scratch gather buffer as the DFS stack, so steady-state
+    /// traversal allocates nothing. Same output contract as
+    /// [`Store::batch_children_into`].
+    pub fn batch_descendants_into(
+        &self,
+        input: &[NodeId],
+        test: KernelTest,
+        or_self: bool,
+        scratch: &mut Scratch,
+        out: &mut Vec<NodeId>,
+    ) -> XdmResult<()> {
+        let stack = &mut scratch.gather;
+        for &origin in input {
+            if or_self && self.kernel_matches(origin, false, test)? {
+                out.push(origin);
+            }
+            stack.clear();
+            stack.extend(self.children(origin)?.iter().rev());
+            while let Some(n) = stack.pop() {
+                if self.kernel_matches(n, false, test)? {
+                    out.push(n);
+                }
+                for &c in self.children(n)?.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attribute-axis kernel: the principal node kind is attribute. Same
+    /// output contract as [`Store::batch_children_into`].
+    pub fn batch_attributes_into(
+        &self,
+        input: &[NodeId],
+        test: KernelTest,
+        out: &mut Vec<NodeId>,
+    ) -> XdmResult<()> {
+        for &origin in input {
+            for &a in self.attributes(origin)? {
+                if self.kernel_matches(a, true, test)? {
+                    out.push(a);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Tree building (used during construction/parsing, before any node id
     // escapes into query values; same preconditions as insertion)
     // ------------------------------------------------------------------
@@ -646,7 +887,7 @@ impl Store {
             }
         };
         let attr_name = match self.kind(attr)? {
-            NodeKind::Attribute { name, .. } => name.clone(),
+            NodeKind::Attribute { name, .. } => *name,
             k => {
                 return Err(XdmError::precondition(format!(
                     "attach_attribute expects an attribute node, got {}",
@@ -655,9 +896,10 @@ impl Store {
             }
         };
         for &existing in self.attributes(element)? {
-            if self.name(existing)? == Some(&attr_name) {
+            if self.name_id(existing)? == Some(attr_name) {
                 return Err(XdmError::precondition(format!(
-                    "duplicate attribute \"{attr_name}\""
+                    "duplicate attribute \"{}\"",
+                    self.symbols.qname_string(attr_name)
                 )));
             }
         }
@@ -715,13 +957,14 @@ impl Store {
                 self.kind(parent)?.kind_name()
             )));
         }
-        // Ancestor set of parent, for cycle detection.
-        let mut ancestors = HashSet::new();
-        let mut cur = Some(parent);
-        while let Some(n) = cur {
-            ancestors.insert(n);
-            cur = self.parent(n)?;
-        }
+        // Cycle detection without an eager ancestor walk: a strict
+        // ancestor of `parent` necessarily has at least one child (the
+        // one on the path down to `parent`), so a childless inserted
+        // node can never close a cycle. Fresh nodes — the overwhelming
+        // majority of inserts, and every append in a deep-tree build —
+        // therefore skip the O(depth) walk entirely; we only collect
+        // the ancestor set once some inserted node already has children.
+        let mut ancestors: Option<HashSet<NodeId>> = None;
         for &n in seq {
             let d = self.data(n)?;
             if d.parent.is_some() {
@@ -729,7 +972,7 @@ impl Store {
                     "inserted node {n} has a parent"
                 )));
             }
-            match d.kind {
+            let has_children = match &d.kind {
                 NodeKind::Attribute { .. } => {
                     return Err(XdmError::precondition(
                         "cannot insert an attribute node as a child",
@@ -740,12 +983,29 @@ impl Store {
                         "cannot insert a document node as a child",
                     ))
                 }
-                _ => {}
-            }
-            if ancestors.contains(&n) {
+                NodeKind::Element { children, .. } => !children.is_empty(),
+                _ => false,
+            };
+            if n == parent {
                 return Err(XdmError::precondition(format!(
                     "inserting {n} under {parent} would create a cycle"
                 )));
+            }
+            if has_children {
+                if ancestors.is_none() {
+                    let mut set = HashSet::new();
+                    let mut cur = Some(parent);
+                    while let Some(a) = cur {
+                        set.insert(a);
+                        cur = self.parent(a)?;
+                    }
+                    ancestors = Some(set);
+                }
+                if ancestors.as_ref().is_some_and(|set| set.contains(&n)) {
+                    return Err(XdmError::precondition(format!(
+                        "inserting {n} under {parent} would create a cycle"
+                    )));
+                }
             }
         }
         let index = {
@@ -900,6 +1160,7 @@ impl Store {
     /// attribute.
     pub fn apply_rename(&mut self, node: NodeId, name: QName) -> XdmResult<()> {
         let logged = self.wal.is_some().then(|| name.clone());
+        let name = self.symbols.intern_qname(&name);
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } => {
                 std::mem::replace(n, name)
@@ -979,6 +1240,8 @@ impl Store {
     /// Deep-copy the subtree rooted at `node`, returning the parentless
     /// copy's id. Attributes are copied along with elements.
     pub fn deep_copy(&mut self, node: NodeId) -> XdmResult<NodeId> {
+        // Names are already interned in this store, so copies alloc with
+        // the source's ids directly — no resolve/re-intern round trip.
         let kind = self.data(node)?.kind.clone();
         match kind {
             NodeKind::Document { children } => {
@@ -994,7 +1257,11 @@ impl Store {
                 attributes,
                 children,
             } => {
-                let copy = self.new_element(name);
+                let copy = self.alloc(NodeKind::Element {
+                    name,
+                    attributes: Vec::new(),
+                    children: Vec::new(),
+                });
                 for a in attributes {
                     let ac = self.deep_copy(a)?;
                     self.attach_attribute(copy, ac)?;
@@ -1005,10 +1272,12 @@ impl Store {
                 }
                 Ok(copy)
             }
-            NodeKind::Attribute { name, value } => Ok(self.new_attribute(name, value)),
+            NodeKind::Attribute { name, value } => {
+                Ok(self.alloc(NodeKind::Attribute { name, value }))
+            }
             NodeKind::Text { content } => Ok(self.new_text(content)),
             NodeKind::Comment { content } => Ok(self.new_comment(content)),
-            NodeKind::Pi { target, content } => Ok(self.new_pi(target, content)),
+            NodeKind::Pi { target, content } => Ok(self.alloc(NodeKind::Pi { target, content })),
         }
     }
 
@@ -1036,7 +1305,15 @@ impl Store {
     /// (the XDM rule); other nodes rank 1 with their gap-based order key.
     /// O(depth) — no sibling scanning (see [`NodeData::okey`]).
     fn order_key(&self, node: NodeId) -> XdmResult<Vec<(u64, u64)>> {
-        let mut rev: Vec<(u64, u64)> = Vec::new();
+        let mut key = Vec::new();
+        self.order_key_into(node, &mut key)?;
+        Ok(key)
+    }
+
+    /// [`Store::order_key`] into a caller-owned buffer (cleared first),
+    /// so keyed sorting can recycle its key allocations.
+    fn order_key_into(&self, node: NodeId, key: &mut Vec<(u64, u64)>) -> XdmResult<()> {
+        key.clear();
         let mut cur = node;
         while let Some(p) = self.parent(cur)? {
             let d = self.data(cur)?;
@@ -1045,13 +1322,12 @@ impl Store {
             } else {
                 1
             };
-            rev.push((rank, d.okey));
+            key.push((rank, d.okey));
             cur = p;
         }
-        let mut key = vec![(u64::from(cur.0), 0)];
-        rev.reverse();
-        key.extend(rev);
-        Ok(key)
+        key.push((u64::from(cur.0), 0));
+        key.reverse();
+        Ok(())
     }
 
     /// The pre-optimization document-order comparison: recomputes sibling
@@ -1088,15 +1364,47 @@ impl Store {
     }
 
     /// Sort a node sequence in document order and remove duplicates (the
-    /// `ddo` applied to every path-expression step result).
+    /// `ddo` applied to every path-expression step result). Allocates
+    /// fresh scratch space; hot loops should hold a [`Scratch`] and call
+    /// [`Store::sort_and_dedup_with`].
     pub fn sort_and_dedup(&self, nodes: &mut Vec<NodeId>) -> XdmResult<()> {
-        let mut keyed: Vec<(Vec<(u64, u64)>, NodeId)> = nodes
-            .iter()
-            .map(|&n| Ok((self.order_key(n)?, n)))
-            .collect::<XdmResult<_>>()?;
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        keyed.dedup_by(|a, b| a.1 == b.1);
-        *nodes = keyed.into_iter().map(|(_, n)| n).collect();
+        self.sort_and_dedup_with(nodes, &mut Scratch::new())
+    }
+
+    /// [`Store::sort_and_dedup`] reusing the caller's scratch buffers:
+    /// in steady state (sequence length not exceeding any prior call's)
+    /// this performs no allocation at all.
+    pub fn sort_and_dedup_with(&self, nodes: &mut Vec<NodeId>, scratch: &mut Scratch) -> XdmResult<()> {
+        match nodes[..] {
+            [] => return Ok(()),
+            [n] => {
+                // Keep the dangling-id error the keyed path would raise.
+                self.data(n)?;
+                return Ok(());
+            }
+            _ => {}
+        }
+        while scratch.keyed.len() < nodes.len() {
+            scratch.keyed.push((Vec::new(), NodeId(0)));
+        }
+        let keyed = &mut scratch.keyed[..nodes.len()];
+        for (slot, &n) in keyed.iter_mut().zip(nodes.iter()) {
+            self.order_key_into(n, &mut slot.0)?;
+            slot.1 = n;
+        }
+        // Unstable sort: a node's order key is unique, and duplicates of
+        // the same node are bitwise-equal pairs, so instability is
+        // unobservable — and unlike the stable sort it allocates no merge
+        // buffer, which the steady-state allocation pin relies on.
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        nodes.clear();
+        for (_, n) in keyed.iter() {
+            // Duplicates are adjacent after the sort (a node's key is
+            // unique), so dedup is a last-pushed check.
+            if nodes.last() != Some(n) {
+                nodes.push(*n);
+            }
+        }
         Ok(())
     }
 
@@ -1301,15 +1609,18 @@ impl Store {
     /// verification, the `xqb:fingerprint()` builtin, and the crash
     /// harness.
     pub fn fingerprint(&self) -> u64 {
-        fn qname(h: &mut Fnv64, q: &QName) {
-            match &q.prefix {
+        // Names hash lexically (resolved through the interner): the
+        // fingerprint predates interning and must stay byte-identical.
+        fn qname(h: &mut Fnv64, syms: &Symbols, q: QNameId) {
+            let (prefix, local) = syms.qname_parts(q);
+            match prefix {
                 Some(p) => {
                     h.u8(1);
                     h.str(p);
                 }
                 None => h.u8(0),
             }
-            h.str(&q.local);
+            h.str(local);
         }
         fn ids(h: &mut Fnv64, list: &[NodeId]) {
             h.u32(list.len() as u32);
@@ -1341,13 +1652,13 @@ impl Store {
                     children,
                 } => {
                     h.u8(1);
-                    qname(&mut h, name);
+                    qname(&mut h, &self.symbols, *name);
                     ids(&mut h, attributes);
                     ids(&mut h, children);
                 }
                 NodeKind::Attribute { name, value } => {
                     h.u8(2);
-                    qname(&mut h, name);
+                    qname(&mut h, &self.symbols, *name);
                     h.str(value);
                 }
                 NodeKind::Text { content } => {
@@ -1360,7 +1671,7 @@ impl Store {
                 }
                 NodeKind::Pi { target, content } => {
                     h.u8(5);
-                    h.str(target);
+                    h.str(self.symbols.resolve(*target));
                     h.str(content);
                 }
             }
@@ -1391,9 +1702,33 @@ impl Store {
     pub(crate) fn apply_redo(&mut self, op: &RedoOp) -> XdmResult<()> {
         match op {
             RedoOp::Alloc { id, kind } => {
+                // The log records births lexically; intern back into this
+                // store's symbol table before allocating the slot.
+                let kind = match kind {
+                    BirthKind::Document => NodeKind::Document { children: vec![] },
+                    BirthKind::Element { name } => NodeKind::Element {
+                        name: self.symbols.intern_qname(name),
+                        attributes: vec![],
+                        children: vec![],
+                    },
+                    BirthKind::Attribute { name, value } => NodeKind::Attribute {
+                        name: self.symbols.intern_qname(name),
+                        value: value.clone(),
+                    },
+                    BirthKind::Text { content } => NodeKind::Text {
+                        content: content.clone(),
+                    },
+                    BirthKind::Comment { content } => NodeKind::Comment {
+                        content: content.clone(),
+                    },
+                    BirthKind::Pi { target, content } => NodeKind::Pi {
+                        target: self.symbols.intern(target),
+                        content: content.clone(),
+                    },
+                };
                 // Same history ⇒ same free-list state ⇒ alloc reproduces
                 // the logged id; a mismatch means the log is corrupt.
-                let got = self.alloc(kind.clone());
+                let got = self.alloc(kind);
                 if got != *id {
                     return Err(XdmError::new(
                         "XQB0060",
@@ -1489,13 +1824,13 @@ impl Store {
                     children,
                 } => {
                     body.push(1);
-                    put_qname(&mut body, name);
+                    put_qname(&mut body, &self.symbols.resolve_qname(*name));
                     put_ids(&mut body, attributes);
                     put_ids(&mut body, children);
                 }
                 NodeKind::Attribute { name, value } => {
                     body.push(2);
-                    put_qname(&mut body, name);
+                    put_qname(&mut body, &self.symbols.resolve_qname(*name));
                     put_str(&mut body, value);
                 }
                 NodeKind::Text { content } => {
@@ -1508,7 +1843,7 @@ impl Store {
                 }
                 NodeKind::Pi { target, content } => {
                     body.push(5);
-                    put_str(&mut body, target);
+                    put_str(&mut body, self.symbols.resolve(*target));
                     put_str(&mut body, content);
                 }
             }
@@ -1552,6 +1887,7 @@ impl Store {
         fn read_ids(c: &mut Cursor<'_>) -> XdmResult<Vec<NodeId>> {
             c.nodes()
         }
+        let mut symbols = Symbols::new();
         let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
             let alive = c.u8()? != 0;
@@ -1562,18 +1898,18 @@ impl Store {
                     children: read_ids(&mut c)?,
                 },
                 1 => NodeKind::Element {
-                    name: c.qname()?,
+                    name: symbols.intern_qname(&c.qname()?),
                     attributes: read_ids(&mut c)?,
                     children: read_ids(&mut c)?,
                 },
                 2 => NodeKind::Attribute {
-                    name: c.qname()?,
+                    name: symbols.intern_qname(&c.qname()?),
                     value: c.str()?,
                 },
                 3 => NodeKind::Text { content: c.str()? },
                 4 => NodeKind::Comment { content: c.str()? },
                 5 => NodeKind::Pi {
-                    target: c.str()?,
+                    target: symbols.intern(&c.str()?),
                     content: c.str()?,
                 },
                 _ => return Err(corrupt("unknown node kind")),
@@ -1594,6 +1930,7 @@ impl Store {
             free,
             undo: Vec::new(),
             frames: Vec::new(),
+            symbols,
             wal: None,
         };
         if store.fingerprint() != fingerprint {
@@ -2093,6 +2430,25 @@ mod tests {
         s.rollback_frame();
         assert_eq!(s.free, free_before);
         assert!(!s.is_alive(n));
+    }
+
+    #[test]
+    fn string_value_survives_million_deep_chain() {
+        // Hostile input: a 1M-element single chain. The old recursive
+        // collect_text overflowed the thread stack (an abort, not an
+        // error); the iterative rewrite must walk it and find the one
+        // text leaf at the bottom.
+        let mut s = Store::new();
+        let root = s.new_element(q("d"));
+        let mut cur = root;
+        for _ in 0..1_000_000 {
+            let next = s.new_element(q("d"));
+            s.append_child(cur, next).unwrap();
+            cur = next;
+        }
+        let leaf = s.new_text("bottom");
+        s.append_child(cur, leaf).unwrap();
+        assert_eq!(s.string_value(root).unwrap(), "bottom");
     }
 
     #[test]

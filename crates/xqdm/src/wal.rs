@@ -18,7 +18,7 @@
 //! bounded by data size, not history length.
 
 use crate::error::{XdmError, XdmResult};
-use crate::node::{NodeId, NodeKind};
+use crate::node::NodeId;
 use crate::qname::QName;
 use crate::store::{InsertAnchor, Store};
 use std::fs::{File, OpenOptions};
@@ -82,7 +82,7 @@ impl std::fmt::Display for SyncMode {
 pub(crate) enum RedoOp {
     /// A slot was allocated (`kind` is the at-birth payload: containers
     /// are always born empty).
-    Alloc { id: NodeId, kind: NodeKind },
+    Alloc { id: NodeId, kind: BirthKind },
     /// `seq` was spliced into `parent` at `anchor`.
     Insert {
         seq: Vec<NodeId>,
@@ -102,6 +102,22 @@ pub(crate) enum RedoOp {
     /// Garbage collection reclaimed exactly these slots, in this order
     /// (the order fixes the free list, hence future allocation).
     Collect { ids: Vec<NodeId> },
+}
+
+/// The *lexical* at-birth payload of an allocated node. Node slots store
+/// interned [`crate::symbols::SymbolId`]s, but the log must stay readable
+/// without any interner state (and bit-compatible with logs written
+/// before interning existed), so the store resolves names when recording
+/// an alloc and re-interns them when replaying one. Encodes to exactly
+/// the bytes the pre-interning `NodeKind` encoding produced.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum BirthKind {
+    Document,
+    Element { name: QName },
+    Attribute { name: QName, value: String },
+    Text { content: String },
+    Comment { content: String },
+    Pi { target: String, content: String },
 }
 
 // ----------------------------------------------------------------------
@@ -308,25 +324,25 @@ impl RedoOp {
                 out.push(OP_ALLOC);
                 put_u32(out, id.0);
                 match kind {
-                    NodeKind::Document { .. } => out.push(KIND_DOCUMENT),
-                    NodeKind::Element { name, .. } => {
+                    BirthKind::Document => out.push(KIND_DOCUMENT),
+                    BirthKind::Element { name } => {
                         out.push(KIND_ELEMENT);
                         put_qname(out, name);
                     }
-                    NodeKind::Attribute { name, value } => {
+                    BirthKind::Attribute { name, value } => {
                         out.push(KIND_ATTRIBUTE);
                         put_qname(out, name);
                         put_str(out, value);
                     }
-                    NodeKind::Text { content } => {
+                    BirthKind::Text { content } => {
                         out.push(KIND_TEXT);
                         put_str(out, content);
                     }
-                    NodeKind::Comment { content } => {
+                    BirthKind::Comment { content } => {
                         out.push(KIND_COMMENT);
                         put_str(out, content);
                     }
-                    NodeKind::Pi { target, content } => {
+                    BirthKind::Pi { target, content } => {
                         out.push(KIND_PI);
                         put_str(out, target);
                         put_str(out, content);
@@ -386,21 +402,15 @@ impl RedoOp {
             OP_ALLOC => {
                 let id = c.node()?;
                 let kind = match c.u8()? {
-                    KIND_DOCUMENT => NodeKind::Document {
-                        children: Vec::new(),
-                    },
-                    KIND_ELEMENT => NodeKind::Element {
-                        name: c.qname()?,
-                        attributes: Vec::new(),
-                        children: Vec::new(),
-                    },
-                    KIND_ATTRIBUTE => NodeKind::Attribute {
+                    KIND_DOCUMENT => BirthKind::Document,
+                    KIND_ELEMENT => BirthKind::Element { name: c.qname()? },
+                    KIND_ATTRIBUTE => BirthKind::Attribute {
                         name: c.qname()?,
                         value: c.str()?,
                     },
-                    KIND_TEXT => NodeKind::Text { content: c.str()? },
-                    KIND_COMMENT => NodeKind::Comment { content: c.str()? },
-                    KIND_PI => NodeKind::Pi {
+                    KIND_TEXT => BirthKind::Text { content: c.str()? },
+                    KIND_COMMENT => BirthKind::Comment { content: c.str()? },
+                    KIND_PI => BirthKind::Pi {
                         target: c.str()?,
                         content: c.str()?,
                     },
@@ -994,15 +1004,13 @@ mod tests {
         let ops = vec![
             RedoOp::Alloc {
                 id: NodeId(7),
-                kind: NodeKind::Element {
+                kind: BirthKind::Element {
                     name: QName::prefixed("p", "x"),
-                    attributes: Vec::new(),
-                    children: Vec::new(),
                 },
             },
             RedoOp::Alloc {
                 id: NodeId(8),
-                kind: NodeKind::Pi {
+                kind: BirthKind::Pi {
                     target: "t".into(),
                     content: "c".into(),
                 },

@@ -518,7 +518,8 @@ fn pretty_into(store: &Store, node: NodeId, depth: usize, out: &mut String) -> X
                 out.push('\n');
                 out.push_str(&"  ".repeat(d));
                 out.push_str("</");
-                out.push_str(&store.name(n)?.expect("element has a name").to_string());
+                let name = store.name_id(n)?.expect("element has a name");
+                store.symbols().push_qname(name, out);
                 out.push('>');
                 continue;
             }
@@ -545,11 +546,12 @@ fn pretty_into(store: &Store, node: NodeId, depth: usize, out: &mut String) -> X
                 }
                 // Element-only content: open tag, indented children, close.
                 out.push('<');
-                out.push_str(&store.name(node)?.expect("element has a name").to_string());
+                let name = store.name_id(node)?.expect("element has a name");
+                store.symbols().push_qname(name, out);
                 for &a in store.attributes(node)? {
                     if let NodeKind::Attribute { name, value } = store.kind(a)? {
                         out.push(' ');
-                        out.push_str(&name.to_string());
+                        store.symbols().push_qname(*name, out);
                         out.push_str("=\"");
                         out.push_str(&escape_attribute(value));
                         out.push('"');
@@ -587,11 +589,11 @@ fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()
             }
             NodeKind::Element { name, .. } => {
                 out.push('<');
-                out.push_str(&name.to_string());
+                store.symbols().push_qname(*name, out);
                 for &a in store.attributes(node)? {
                     if let NodeKind::Attribute { name, value } = store.kind(a)? {
                         out.push(' ');
-                        out.push_str(&name.to_string());
+                        store.symbols().push_qname(*name, out);
                         out.push_str("=\"");
                         out.push_str(&escape_attribute(value));
                         out.push('"');
@@ -610,7 +612,7 @@ fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()
             }
             NodeKind::Attribute { name, value } => {
                 // A bare attribute serializes as name="value" (useful for debug).
-                out.push_str(&name.to_string());
+                store.symbols().push_qname(*name, out);
                 out.push_str("=\"");
                 out.push_str(&escape_attribute(value));
                 out.push('"');
@@ -623,7 +625,7 @@ fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()
             }
             NodeKind::Pi { target, content } => {
                 out.push_str("<?");
-                out.push_str(target);
+                out.push_str(store.symbols().resolve(*target));
                 if !content.is_empty() {
                     out.push(' ');
                     out.push_str(content);
@@ -639,7 +641,8 @@ fn serialize_into(store: &Store, node: NodeId, out: &mut String) -> XdmResult<()
         let node = match w {
             Work::Close(n) => {
                 out.push_str("</");
-                out.push_str(&store.name(n)?.unwrap().to_string());
+                let name = store.name_id(n)?.expect("element has a name");
+                store.symbols().push_qname(name, out);
                 out.push('>');
                 continue;
             }

@@ -115,7 +115,7 @@ fn main() {
                     let scale = Scale::join_sides(n, n / 2);
                     match XmarkGen::new(42).generate(&mut engine.store, &scale) {
                         Ok(doc) => {
-                            engine.bind(var, vec![Item::Node(doc)]);
+                            engine.bind(var, xqdm::seq![Item::Node(doc)]);
                             println!("bound ${var} to an XMark document ({n} persons)");
                         }
                         Err(e) => eprintln!("generation failed: {e}"),

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         open_auctions: 3,
     };
     let auction = XmarkGen::new(2026).generate(&mut engine.store, &scale)?;
-    engine.bind("auction", vec![Item::Node(auction)]);
+    engine.bind("auction", xqdm::seq![Item::Node(auction)]);
     engine.load_document("log", "<log/>")?;
     engine.load_document("archive", "<archive/>")?;
     engine.load_module(SERVICE_MODULE)?;

@@ -39,7 +39,7 @@ snap {
   return insert { <buyer person="{$t/buyer/@person}"/> } into { $purchasers }
 }"#;
 
-fn setup(scale: &Scale) -> (Store, Vec<(String, Vec<Item>)>) {
+fn setup(scale: &Scale) -> (Store, Vec<(String, xqdm::Sequence)>) {
     let mut store = Store::new();
     let auction = XmarkGen::new(8)
         .generate(&mut store, scale)
@@ -49,8 +49,8 @@ fn setup(scale: &Scale) -> (Store, Vec<(String, Vec<Item>)>) {
     (
         store,
         vec![
-            ("auction".to_string(), vec![Item::Node(auction)]),
-            ("purchasers".to_string(), vec![Item::Node(purchasers)]),
+            ("auction".to_string(), xqdm::seq![Item::Node(auction)]),
+            ("purchasers".to_string(), xqdm::seq![Item::Node(purchasers)]),
         ],
     )
 }
@@ -63,8 +63,8 @@ fn setup_engine(scale: &Scale) -> Engine {
         .expect("generate");
     let purchasers = xquery_bang::xqdm::xml::parse_fragment(&mut e.store, "<purchasers/>")
         .expect("purchasers")[0];
-    e.bind("auction", vec![Item::Node(auction)]);
-    e.bind("purchasers", vec![Item::Node(purchasers)]);
+    e.bind("auction", xqdm::seq![Item::Node(auction)]);
+    e.bind("purchasers", xqdm::seq![Item::Node(purchasers)]);
     e
 }
 

@@ -42,9 +42,9 @@ fn q8_engine() -> Engine {
     let doc = XmarkGen::new(42)
         .generate(&mut engine.store, &Scale::join_sides(12, 8))
         .expect("generate xmark fixture");
-    engine.bind("auction", vec![Item::Node(doc)]);
+    engine.bind("auction", xqdm::seq![Item::Node(doc)]);
     let purchasers = engine.store.new_element(QName::local("purchasers"));
-    engine.bind("purchasers", vec![Item::Node(purchasers)]);
+    engine.bind("purchasers", xqdm::seq![Item::Node(purchasers)]);
     engine
 }
 
@@ -52,7 +52,7 @@ fn sink_engine() -> Engine {
     let mut engine = Engine::new();
     engine.set_threads(1);
     let sink = engine.store.new_element(QName::local("sink"));
-    engine.bind("sink", vec![Item::Node(sink)]);
+    engine.bind("sink", xqdm::seq![Item::Node(sink)]);
     engine
 }
 

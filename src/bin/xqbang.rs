@@ -181,7 +181,7 @@ fn run() -> Result<(), String> {
         let doc = XmarkGen::new(42)
             .generate(&mut engine.store, &scale)
             .map_err(|e| e.to_string())?;
-        engine.bind(var, vec![Item::Node(doc)]);
+        engine.bind(var, xqdm::seq![Item::Node(doc)]);
     }
 
     if opts.check_only {

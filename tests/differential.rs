@@ -300,7 +300,7 @@ fn xmark_queries_agree() {
         let doc = XmarkGen::new(17)
             .generate(&mut v.engine.store, &scale)
             .unwrap();
-        v.engine.bind("auction", vec![Item::Node(doc)]);
+        v.engine.bind("auction", xqdm::seq![Item::Node(doc)]);
     }
 
     let queries = [

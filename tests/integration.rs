@@ -42,11 +42,11 @@ fn full_webservice_scenario() {
     let auction = XmarkGen::new(5)
         .generate(&mut engine.store, &scale)
         .unwrap();
-    engine.bind("auction", vec![Item::Node(auction)]);
+    engine.bind("auction", xqdm::seq![Item::Node(auction)]);
     engine.load_document("log", "<log/>").unwrap();
     let counter =
         xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>").unwrap();
-    engine.bind("d", vec![Item::Node(counter[0])]);
+    engine.bind("d", xqdm::seq![Item::Node(counter[0])]);
 
     let module = r#"
 declare function nextid() {
@@ -99,8 +99,8 @@ return <item person="{ $p/name }">{ count($a) }</item>"#;
         let auction = XmarkGen::new(31).generate(&mut store, &scale).unwrap();
         let purchasers = store.new_element(xquery_bang::xqdm::QName::local("purchasers"));
         let bindings = vec![
-            ("auction".to_string(), vec![Item::Node(auction)]),
-            ("purchasers".to_string(), vec![Item::Node(purchasers)]),
+            ("auction".to_string(), xqdm::seq![Item::Node(auction)]),
+            ("purchasers".to_string(), xqdm::seq![Item::Node(purchasers)]),
         ];
         (store, bindings, purchasers)
     };
@@ -137,7 +137,7 @@ fn counter_under_outer_snap() {
     engine.load_document("out", "<out/>").unwrap();
     let counter =
         xquery_bang::xqdm::xml::parse_fragment(&mut engine.store, "<counter>0</counter>").unwrap();
-    engine.bind("d", vec![Item::Node(counter[0])]);
+    engine.bind("d", xqdm::seq![Item::Node(counter[0])]);
     let q = r#"
 declare function nextid() {
   snap { replace { $d/text() } with { $d + 1 }, $d }

@@ -269,3 +269,104 @@ proptest! {
         prop_assert_eq!(emitted[0], emitted[1], "Δ count differs across plan modes");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Allocation pin for scratch-buffer reuse (PR 7 satellite)
+// ---------------------------------------------------------------------------
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator with a per-thread allocation counter. Thread-local so
+/// concurrently running tests in this binary cannot pollute the count.
+struct CountingAlloc;
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    TL_ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// The PR 7 data-model contract: once the scratch buffers are warm, the
+/// document-order sort and the batch step kernels run allocation-free.
+/// This is what makes per-step `sort_and_dedup` affordable in the
+/// batch-at-a-time path (DESIGN.md §14) — without reuse, every path step
+/// would pay O(n) key-vector allocations.
+#[test]
+fn warm_scratch_sort_and_kernels_allocate_nothing() {
+    use xquery_bang::xqdm::qname::QName;
+    use xquery_bang::xqdm::{KernelTest, NodeId, Scratch};
+    use xquery_bang::Store;
+
+    // A two-level tree: root -> 64 sections -> 8 entries each.
+    let mut store = Store::new();
+    let root = store.new_element(QName::local("root"));
+    let mut pool: Vec<NodeId> = Vec::new();
+    for _ in 0..64 {
+        let sec = store.new_element(QName::local("sec"));
+        store.append_child(root, sec).unwrap();
+        for j in 0..8 {
+            let e = store.new_element(QName::local("entry"));
+            store.append_child(sec, e).unwrap();
+            if j % 2 == 0 {
+                pool.push(e);
+            }
+        }
+        pool.push(sec);
+    }
+    // An unsorted, duplicated workload (deterministic shuffle).
+    let shuffled: Vec<NodeId> = (0..pool.len() * 2)
+        .map(|i| pool[(i * 7 + 3) % pool.len()])
+        .collect();
+
+    let mut scratch = Scratch::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut out: Vec<NodeId> = Vec::new();
+    let entry_test = KernelTest::name(store.symbols(), "entry");
+
+    let run = |store: &Store, scratch: &mut Scratch, nodes: &mut Vec<NodeId>, out: &mut Vec<NodeId>| {
+        nodes.clear();
+        nodes.extend_from_slice(&shuffled);
+        store.sort_and_dedup_with(nodes, scratch).unwrap();
+        out.clear();
+        store.batch_children_into(&[root], entry_test, out).unwrap();
+        out.clear();
+        store
+            .batch_descendants_into(&[root], entry_test, false, scratch, out)
+            .unwrap();
+        store.sort_and_dedup_with(out, scratch).unwrap();
+    };
+
+    // Warm-up: grows nodes, scratch.keyed (and its per-slot key vecs),
+    // the kernel output buffer, and the DFS stack to their final sizes.
+    run(&store, &mut scratch, &mut nodes, &mut out);
+
+    let before = thread_allocs();
+    for _ in 0..10 {
+        run(&store, &mut scratch, &mut nodes, &mut out);
+    }
+    let grew = thread_allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state sort/kernel pass allocated {grew} times; scratch reuse regressed"
+    );
+}

@@ -10,7 +10,7 @@ use xquery_bang::{Engine, Item};
 fn engine(scale: &Scale, seed: u64) -> Engine {
     let mut e = Engine::new();
     let doc = XmarkGen::new(seed).generate(&mut e.store, scale).unwrap();
-    e.bind("auction", vec![Item::Node(doc)]);
+    e.bind("auction", xqdm::seq![Item::Node(doc)]);
     e
 }
 
