@@ -11,12 +11,11 @@ use crate::limits::Limits;
 use crate::obs;
 use crate::planner::{self, CompiledProgram};
 use std::collections::HashMap;
-use std::hash::Hasher;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xqdm::seq;
 use xqdm::item::{Item, Sequence};
+use xqdm::seq;
 use xqdm::{NodeId, RecoveryReport, Store, SyncMode, XdmResult};
 use xqsyn::cursor::ParseError;
 use xqsyn::CoreProgram;
@@ -80,6 +79,10 @@ pub struct Engine {
     /// Compiled plans keyed by a fingerprint of the (module-augmented)
     /// program, so repeated `run` of the same text recompiles nothing.
     plan_cache: HashMap<(u64, u64), Arc<dyn CompiledProgram>>,
+    /// A cross-session plan cache (ISSUE 8). When installed, it is
+    /// consulted *instead of* the per-engine `plan_cache`, so every
+    /// session sharing it sees every other session's plans.
+    shared_cache: Option<Arc<planner::SharedPlanCache>>,
     cache_hits: u64,
     cache_misses: u64,
     /// Worker-thread budget for effect-free regions (1 = sequential).
@@ -134,6 +137,7 @@ impl Engine {
             last_stats: None,
             compile_enabled: std::env::var_os("XQB_INTERPRET").is_none(),
             plan_cache: HashMap::new(),
+            shared_cache: None,
             cache_hits: 0,
             cache_misses: 0,
             threads: crate::par::threads_from_env(),
@@ -697,7 +701,16 @@ impl Engine {
         let planner = planner::default_planner()?;
         let augmented = self.augment(program.clone());
         let key = fingerprint(&augmented);
-        if let Some(plan) = self.plan_cache.get(&key) {
+        // The shared cross-session cache, when installed, replaces the
+        // per-engine map entirely (one cache, one source of truth — the
+        // hit/miss counters of both layers stay coherent).
+        if let Some(shared) = &self.shared_cache {
+            if let Some(plan) = shared.get(key) {
+                self.cache_hits += 1;
+                self.metrics.cache_hits.add(1);
+                return Some(plan);
+            }
+        } else if let Some(plan) = self.plan_cache.get(&key) {
             self.cache_hits += 1;
             self.metrics.cache_hits.add(1);
             return Some(plan.clone());
@@ -709,10 +722,15 @@ impl Engine {
         if let (Some(sink), Some(id)) = (&self.trace, span) {
             sink.end(id);
         }
-        if self.plan_cache.len() >= PLAN_CACHE_CAP {
-            self.plan_cache.clear();
+        match &self.shared_cache {
+            Some(shared) => shared.insert(key, plan.clone()),
+            None => {
+                if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                    self.plan_cache.clear();
+                }
+                self.plan_cache.insert(key, plan.clone());
+            }
         }
-        self.plan_cache.insert(key, plan.clone());
         Some(plan)
     }
 
@@ -746,6 +764,19 @@ impl Engine {
     /// Plan-cache hits and misses since construction.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
+    }
+
+    /// Install a cross-session plan cache (see
+    /// [`planner::SharedPlanCache`]): this engine plans into and hits
+    /// from `cache` instead of its private map, so plans compiled here
+    /// are visible to every other session holding the same cache.
+    pub fn set_shared_plan_cache(&mut self, cache: Arc<planner::SharedPlanCache>) {
+        self.shared_cache = Some(cache);
+    }
+
+    /// The installed cross-session plan cache, if any.
+    pub fn shared_plan_cache(&self) -> Option<&Arc<planner::SharedPlanCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The paper-style compiled plan for `query` (with effect
@@ -810,6 +841,36 @@ impl Engine {
         Ok(parts.join(" "))
     }
 
+    /// A point-in-time snapshot of this engine's queryable state: the
+    /// COW-forked store plus the session-visible bindings and module
+    /// functions (DESIGN.md §15). Taking one costs O(pages) `Arc` bumps,
+    /// not a deep copy; the snapshot is immutable and `Send + Sync`, so a
+    /// server can publish it to concurrent readers. Must be called
+    /// between runs (no open undo frame).
+    pub fn snapshot_state(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            store: self.store.snapshot(),
+            bindings: self.bindings.clone(),
+            module_functions: self.module_functions.clone(),
+            seed: self.seed,
+            snap_counter: self.snap_counter,
+            threads: self.threads,
+            limits: self.limits,
+            compile_enabled: self.compile_enabled,
+        }
+    }
+
+    /// Would `program` run with no store effect at all? True iff the body
+    /// *and* every prolog variable initializer pass the `par_safe`
+    /// judgment (DESIGN.md §9) under this engine's module functions —
+    /// `Effect::Pure` plus transitive structural transparency, which also
+    /// rejects `snap`, tracing, and the par-opaque builtins. This is the
+    /// server's snapshot-read gate: a query that passes may execute
+    /// against a pinned snapshot instead of the serialized writer.
+    pub fn is_read_only(&self, program: &CoreProgram) -> bool {
+        read_only_with(&self.module_functions, program)
+    }
+
     /// Create a fresh evaluator + environment pair for expression-level
     /// work (tests, tools). Bindings are installed as globals.
     pub fn evaluator(&self, program: &CoreProgram) -> (Evaluator, DynEnv) {
@@ -825,6 +886,86 @@ impl Engine {
     }
 }
 
+/// A frozen copy of an engine's queryable state, published by a server
+/// after every commit (see [`Engine::snapshot_state`]). Readers fork
+/// private engines from it with [`EngineSnapshot::reader`]; the shared
+/// COW pages make both the snapshot and each fork cheap.
+pub struct EngineSnapshot {
+    store: Store,
+    bindings: Vec<(String, Sequence)>,
+    module_functions: Vec<xqsyn::CoreFunction>,
+    seed: u64,
+    snap_counter: u64,
+    threads: usize,
+    limits: Limits,
+    compile_enabled: bool,
+}
+
+impl EngineSnapshot {
+    /// Fork a private engine over this snapshot. The fork sees exactly
+    /// the snapshotted store, bindings, and module functions; it carries
+    /// no WAL (reads are never durable events) and a fresh plan cache —
+    /// install a [`planner::SharedPlanCache`] to share plans across
+    /// forks. Pure queries leave the forked store untouched; even a
+    /// mutating run could only ever touch the fork's private pages.
+    pub fn reader(&self) -> Engine {
+        Engine {
+            store: self.store.snapshot(),
+            bindings: self.bindings.clone(),
+            module_functions: self.module_functions.clone(),
+            seed: self.seed,
+            snap_counter: self.snap_counter,
+            last_stats: None,
+            compile_enabled: self.compile_enabled,
+            plan_cache: HashMap::new(),
+            shared_cache: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            threads: self.threads,
+            limits: self.limits,
+            metrics: obs::EngineMetrics::from_global(),
+            trace: None,
+            slow_ms: None,
+            last_profile: None,
+            last_plan: None,
+            last_run_ns: None,
+            durability: SyncMode::default(),
+            last_wal: None,
+        }
+    }
+
+    /// The snapshotted store (for fingerprinting in isolation tests).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// [`Engine::is_read_only`], judged against the snapshot's module
+    /// functions — so classification needs no engine lock.
+    pub fn is_read_only(&self, program: &CoreProgram) -> bool {
+        read_only_with(&self.module_functions, program)
+    }
+}
+
+/// The shared body of the two `is_read_only` entry points: augment the
+/// program with `modules` (minus shadowed declarations, as
+/// [`Engine::augment`] does) and require `par_safe` of the body and every
+/// prolog variable initializer.
+fn read_only_with(modules: &[xqsyn::CoreFunction], program: &CoreProgram) -> bool {
+    let mut functions: HashMap<(String, usize), xqsyn::CoreFunction> = modules
+        .iter()
+        .map(|f| ((f.name.clone(), f.params.len()), f.clone()))
+        .collect();
+    for f in &program.functions {
+        functions.insert((f.name.clone(), f.params.len()), f.clone());
+    }
+    let analysis = crate::effects::EffectAnalysis::for_functions(functions.values());
+    crate::par::par_safe(&program.body, &analysis, &functions)
+        && program
+            .variables
+            .iter()
+            .all(|(_, init)| crate::par::par_safe(init, &analysis, &functions))
+}
+
 /// Label a planning outcome for the slow-query log and EXPLAIN ANALYZE
 /// totals: `"uncompiled"` when no plan ran, else whether the plan cache
 /// hit.
@@ -836,30 +977,7 @@ fn cache_outcome(plan: &Option<Arc<dyn CompiledProgram>>, hit: bool) -> &'static
     }
 }
 
-/// Fingerprint a program for the plan cache by streaming its debug
-/// representation through two independently-seeded hashers — no
-/// allocation of the full repr, and 128 bits make accidental collisions
-/// (which would silently run the wrong plan) implausible. `Core` holds
-/// `f64` literals, so it cannot derive `Hash` directly.
-fn fingerprint(program: &CoreProgram) -> (u64, u64) {
-    use std::collections::hash_map::DefaultHasher;
-    use std::fmt::Write as _;
-
-    struct HashWriter<'a>(&'a mut DefaultHasher);
-    impl std::fmt::Write for HashWriter<'_> {
-        fn write_str(&mut self, s: &str) -> std::fmt::Result {
-            self.0.write(s.as_bytes());
-            Ok(())
-        }
-    }
-
-    let mut h1 = DefaultHasher::new();
-    let mut h2 = DefaultHasher::new();
-    h2.write_u64(0x9e37_79b9_7f4a_7c15);
-    let _ = write!(HashWriter(&mut h1), "{program:?}");
-    let _ = write!(HashWriter(&mut h2), "{program:?}");
-    (h1.finish(), h2.finish())
-}
+use crate::planner::program_fingerprint as fingerprint;
 
 #[cfg(test)]
 mod tests {

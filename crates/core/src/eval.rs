@@ -28,9 +28,9 @@ use crate::update::{Delta, UpdateRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use xqdm::seq;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
+use xqdm::seq;
 use xqdm::store::InsertAnchor;
 use xqdm::{KernelTest, NodeId, NodeKind, QName, Scratch, Store, XdmError, XdmResult};
 use xqsyn::ast::{Axis, NodeCompOp, NodeTest, Quantifier, SnapMode};

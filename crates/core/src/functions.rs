@@ -8,9 +8,9 @@
 //! right, per the paper's function-call rule.
 
 use crate::env::DynEnv;
-use xqdm::seq;
 use xqdm::atomic::{value_compare, Atomic, CompareOp};
 use xqdm::item::{self, Item, Sequence};
+use xqdm::seq;
 use xqdm::{Store, XdmError, XdmResult};
 
 /// Dispatch a built-in call. Returns `None` when `name` is not a built-in

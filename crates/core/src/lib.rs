@@ -46,18 +46,22 @@ pub mod limits;
 pub mod obs;
 pub mod par;
 pub mod planner;
+pub mod server;
 pub mod update;
 
 pub use apply::apply_delta;
 pub use check::{check_program, Diagnostic, Severity};
 pub use conflict::verify_conflict_free;
 pub use effects::{Effect, EffectAnalysis};
-pub use engine::{Engine, Error};
+pub use engine::{Engine, EngineSnapshot, Error};
 pub use env::{DynEnv, Focus};
 pub use eval::{EvalStats, Evaluator};
 pub use limits::{LimitGuard, Limits, TripKind};
-pub use obs::{MetricsSnapshot, NodeStats, Profile, Registry, TraceSink};
+pub use obs::{Gauge, MetricsSnapshot, NodeStats, Profile, Registry, TraceSink};
 pub use par::{par_safe, threads_from_env, PureCtx, MAX_THREADS, PAR_MIN_ITEMS};
-pub use planner::{CompiledProgram, FunctionExecutor, Planner};
+pub use planner::{
+    program_fingerprint, CompiledProgram, FunctionExecutor, Planner, SharedPlanCache,
+};
+pub use server::{CommitRecord, RequestKind, Response, Server, ServerConfig, ServerStats, Session};
 pub use update::{Delta, UpdateRequest};
 pub use xqsyn::ast::SnapMode;

@@ -56,6 +56,38 @@ impl Counter {
     }
 }
 
+/// An instantaneous level — in-flight requests, open sessions, snapshot
+/// pins. Unlike a [`Counter`] it moves both ways and may be overwritten;
+/// the snapshot reports its current value, not an accumulation.
+#[derive(Default)]
+pub struct Gauge(std::sync::atomic::AtomicI64);
+
+impl Gauge {
+    /// Raise the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Number of log₂ buckets a [`Histogram`] keeps: bucket *i* counts values
 /// `v` with `⌊log₂ v⌋ = i` (bucket 0 also takes `v = 0`), covering the
 /// full `u64` range.
@@ -93,6 +125,32 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Estimate the `q`-quantile (0 < q ≤ 1) from the log₂ buckets: the
+    /// upper bound of the bucket where the cumulative count first reaches
+    /// `q` of the total — within 2× of the true quantile. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                // The observed max is a tighter bound than the top
+                // bucket's open upper edge.
+                let edge = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return edge.min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of the aggregates.
@@ -137,6 +195,7 @@ pub const SLOW_LOG_CAP: usize = 64;
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     slow_log: Mutex<VecDeque<SlowQuery>>,
 }
@@ -151,6 +210,12 @@ impl Registry {
     /// Callers on hot paths should resolve once and keep the handle.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = self.counters.lock().expect("counter registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
         map.entry(name.to_string()).or_default().clone()
     }
 
@@ -192,6 +257,13 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
         let histograms = self
             .histograms
             .lock()
@@ -201,6 +273,7 @@ impl Registry {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -215,6 +288,14 @@ impl Registry {
             .values()
         {
             c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .values()
+        {
+            g.reset();
         }
         for h in self
             .histograms
@@ -233,13 +314,17 @@ impl Registry {
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
     /// Histogram aggregates by name.
     pub histograms: BTreeMap<String, HistSnapshot>,
 }
 
 impl MetricsSnapshot {
     /// Render as a single JSON object (`xqb:stats()` returns this string):
-    /// `{"counters":{...},"histograms":{"name":{"count":..,"sum":..,"max":..}}}`.
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,"sum":..,"max":..}}}`.
+    /// The `gauges` member is omitted while no gauge is registered, so
+    /// engine-only stats keep their original shape.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -247,6 +332,15 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("},\"gauges\":{");
+            for (i, (k, v)) in self.gauges.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{}:{v}", json_string(k)));
+            }
         }
         s.push_str("},\"histograms\":{");
         for (i, (k, h)) in self.histograms.iter().enumerate() {
@@ -800,6 +894,40 @@ mod tests {
         // The handle stays live across reset.
         c.add(1);
         assert_eq!(r.snapshot().counters["x.count"], 1);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_render() {
+        let r = Registry::new();
+        let g = r.gauge("x.level");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(r.snapshot().gauges["x.level"], 3);
+        assert!(r
+            .snapshot()
+            .to_json()
+            .contains("\"gauges\":{\"x.level\":3}"));
+        r.reset();
+        assert_eq!(g.get(), 0);
+        g.set(-1);
+        assert_eq!(r.snapshot().gauges["x.level"], -1);
+        // Gauge-free snapshots keep the original two-member shape.
+        assert!(!Registry::new().snapshot().to_json().contains("gauges"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper edge 127
+        }
+        h.record(1_000_000); // bucket 19
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.99), 127);
+        // The top-most populated bucket is clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
     }
 
     #[test]

@@ -34,9 +34,9 @@ use crate::eval::{cmp_keys, gather_axis, require_node};
 use crate::functions;
 use crate::limits::{self, LimitGuard, TripKind};
 use std::collections::{HashMap, HashSet};
-use xqdm::seq;
 use xqdm::atomic::{arithmetic, negate, value_compare, Atomic};
 use xqdm::item::{self, Item, Sequence};
+use xqdm::seq;
 use xqdm::{Store, XdmError, XdmResult};
 use xqsyn::ast::{NodeCompOp, Quantifier};
 use xqsyn::core::{Core, CoreFunction};

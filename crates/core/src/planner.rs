@@ -85,6 +85,103 @@ pub trait FunctionExecutor: Send + Sync {
     ) -> Result<XdmResult<Sequence>, Vec<Sequence>>;
 }
 
+/// Fingerprint a program for the plan caches by streaming its debug
+/// representation through two independently-seeded hashers — no
+/// allocation of the full repr, and 128 bits make accidental collisions
+/// (which would silently run the wrong plan) implausible. `Core` holds
+/// `f64` literals, so it cannot derive `Hash` directly.
+pub fn program_fingerprint(program: &CoreProgram) -> (u64, u64) {
+    use std::collections::hash_map::DefaultHasher;
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+
+    struct HashWriter<'a>(&'a mut DefaultHasher);
+    impl std::fmt::Write for HashWriter<'_> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    h2.write_u64(0x9e37_79b9_7f4a_7c15);
+    let _ = write!(HashWriter(&mut h1), "{program:?}");
+    let _ = write!(HashWriter(&mut h2), "{program:?}");
+    (h1.finish(), h2.finish())
+}
+
+/// The most plans a [`SharedPlanCache`] keeps before it is wholesale
+/// cleared. A server's query workload repeats a bounded set of programs;
+/// an unbounded cache would leak under ad-hoc query streams. Larger than
+/// the per-engine cap because many sessions share this one.
+pub const SHARED_PLAN_CACHE_CAP: usize = 256;
+
+/// A thread-safe, fingerprint-keyed plan cache shared across sessions
+/// (ISSUE 8): every session — the serialized write path and each
+/// concurrent snapshot reader — consults the same map, so a query planned
+/// by one session is a cache hit for every other. Plans are immutable
+/// (`Arc<dyn CompiledProgram>`, `Send + Sync`), so sharing them across
+/// threads is free of locking beyond the map probe itself.
+#[derive(Default)]
+pub struct SharedPlanCache {
+    plans: std::sync::Mutex<std::collections::HashMap<(u64, u64), Arc<dyn CompiledProgram>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl SharedPlanCache {
+    /// A fresh, empty shared cache.
+    pub fn new() -> Arc<SharedPlanCache> {
+        Arc::new(SharedPlanCache::default())
+    }
+
+    /// The plan for `key`, counting a hit or a miss.
+    pub fn get(&self, key: (u64, u64)) -> Option<Arc<dyn CompiledProgram>> {
+        use std::sync::atomic::Ordering;
+        let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        match plans.get(&key) {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Install the plan for `key` (idempotent: concurrent planners of the
+    /// same program insert identical plans; first wins).
+    pub fn insert(&self, key: (u64, u64), plan: Arc<dyn CompiledProgram>) {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if plans.len() >= SHARED_PLAN_CACHE_CAP {
+            plans.clear();
+        }
+        plans.entry(key).or_insert(plan);
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 static DEFAULT_PLANNER: OnceLock<Arc<dyn Planner>> = OnceLock::new();
 
 /// Install the process-wide default planner. The first installation wins;

@@ -1,0 +1,661 @@
+//! The multi-session server core (DESIGN.md §15): one durable engine,
+//! many concurrent sessions, snapshot-isolated reads.
+//!
+//! The concurrency contract:
+//!
+//! * **Writes serialize.** Every query that might touch the store runs
+//!   under the single engine mutex, through the unchanged PR-1/PR-6
+//!   pipeline — undo frames, Δ application, WAL commit — so durability
+//!   and crash recovery hold exactly as for an embedded engine. After
+//!   each write the engine's state is COW-snapshotted and published as a
+//!   new epoch ([`xqdm::VersionSet`]).
+//! * **Reads run concurrently.** A query proven effect-free by the PR-3
+//!   purity judgment ([`Engine::is_read_only`]) pins the latest epoch and
+//!   executes against a private fork of that snapshot — it never takes
+//!   the engine lock, and commits landing meanwhile cannot move the data
+//!   under it. The pin is released when the request finishes; superseded
+//!   epochs retire as soon as their last pin drops.
+//! * **Admission is bounded.** Opening a session past `max_sessions` is
+//!   rejected with `XQB0050`; a request past `max_inflight` concurrent
+//!   requests is rejected with `XQB0051` (backpressure — the client
+//!   retries, the server never queues unboundedly).
+//!
+//! Sessions share one fingerprint-keyed [`SharedPlanCache`], so a query
+//! planned by any session is a plan-cache hit for every other. Request
+//! accounting lands in the global metrics registry under `server.*`
+//! (counters, gauges, latency histograms); [`Server::stats`] reads them
+//! back as one struct.
+
+use crate::engine::{Engine, EngineSnapshot, Error};
+use crate::limits::Limits;
+use crate::obs;
+use crate::planner::SharedPlanCache;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xqdm::{VersionSet, XdmError};
+
+/// Session-limit rejection: `open_session` past `max_sessions`.
+pub const ERR_SESSIONS: &str = "XQB0050";
+/// Backpressure rejection: a request past `max_inflight`.
+pub const ERR_BACKPRESSURE: &str = "XQB0051";
+
+/// Server admission and resource policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Most sessions open at once (`XQB0050` beyond).
+    pub max_sessions: usize,
+    /// Most requests in flight at once across all sessions (`XQB0051`
+    /// beyond).
+    pub max_inflight: usize,
+    /// Per-request resource limits (fuel, deadline, depth, memory) —
+    /// installed into the writer engine and every reader fork.
+    pub limits: Limits,
+    /// Worker-thread budget each request may use for effect-free regions.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            max_inflight: 32,
+            limits: Limits::from_env(),
+            threads: crate::par::threads_from_env(),
+        }
+    }
+}
+
+/// How a request was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Proven pure: ran against a pinned snapshot, engine lock untouched.
+    Read,
+    /// Possibly effectful: serialized through the engine mutex + WAL.
+    Write,
+}
+
+impl RequestKind {
+    /// Wire token (`read` / `write`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Read => "read",
+            RequestKind::Write => "write",
+        }
+    }
+}
+
+/// A successful request's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Read or write routing.
+    pub kind: RequestKind,
+    /// For reads: the pinned epoch the query saw. For writes: the epoch
+    /// this commit published.
+    pub epoch: u64,
+    /// The serialized result sequence.
+    pub body: String,
+}
+
+/// One committed write, in commit order — the replay script for the
+/// differential concurrency suite: running every record's `query` against
+/// a fresh copy of the initial store must reproduce each `body` and each
+/// epoch's fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The epoch this commit published.
+    pub epoch: u64,
+    /// The session that issued it.
+    pub session: u64,
+    /// The query text.
+    pub query: String,
+    /// Serialized result (`Ok`) or error code (`Err`). Errored runs are
+    /// commits too: snaps closed before the error are kept (§2.3), so
+    /// replay must include them.
+    pub body: Result<String, String>,
+    /// Store fingerprint right after this commit.
+    pub fingerprint: u64,
+}
+
+/// Pre-resolved `server.*` metric handles (one registry probe at
+/// construction, relaxed atomics per request).
+struct ServerMetrics {
+    requests_read: Arc<obs::Counter>,
+    requests_write: Arc<obs::Counter>,
+    errors: Arc<obs::Counter>,
+    rejected_sessions: Arc<obs::Counter>,
+    rejected_backpressure: Arc<obs::Counter>,
+    read_ns: Arc<obs::Histogram>,
+    write_ns: Arc<obs::Histogram>,
+    sessions: Arc<obs::Gauge>,
+    inflight: Arc<obs::Gauge>,
+    snapshot_pins: Arc<obs::Gauge>,
+}
+
+impl ServerMetrics {
+    fn from_global() -> Self {
+        let g = obs::global();
+        ServerMetrics {
+            requests_read: g.counter("server.requests.read"),
+            requests_write: g.counter("server.requests.write"),
+            errors: g.counter("server.errors"),
+            rejected_sessions: g.counter("server.rejected.sessions"),
+            rejected_backpressure: g.counter("server.rejected.backpressure"),
+            read_ns: g.histogram("server.read_ns"),
+            write_ns: g.histogram("server.write_ns"),
+            sessions: g.gauge("server.sessions"),
+            inflight: g.gauge("server.inflight"),
+            snapshot_pins: g.gauge("server.snapshot_pins"),
+        }
+    }
+}
+
+struct Inner {
+    /// The writer path: every possibly-effectful query serializes here.
+    engine: Mutex<Engine>,
+    /// Published snapshots; readers pin, writers publish.
+    versions: VersionSet<EngineSnapshot>,
+    /// The cross-session plan cache (also installed into `engine`).
+    cache: Arc<SharedPlanCache>,
+    config: ServerConfig,
+    sessions: AtomicUsize,
+    next_session: AtomicU64,
+    inflight: AtomicUsize,
+    commits: Mutex<Vec<CommitRecord>>,
+    metrics: ServerMetrics,
+}
+
+/// The server handle. Cheap to clone (an `Arc`); clones share the
+/// engine, the version chain, the plan cache, and the admission state.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Host `engine` (documents loaded, modules registered, store opened)
+    /// behind the default [`ServerConfig`].
+    pub fn new(engine: Engine) -> Server {
+        Server::with_config(engine, ServerConfig::default())
+    }
+
+    /// Host `engine` behind `config`. The engine's limits, thread budget,
+    /// and plan cache are taken over by the server so that the writer
+    /// path and every reader fork run under one policy.
+    pub fn with_config(mut engine: Engine, config: ServerConfig) -> Server {
+        let cache = SharedPlanCache::new();
+        engine.set_shared_plan_cache(cache.clone());
+        engine.set_limits(config.limits);
+        engine.set_threads(config.threads);
+        let versions = VersionSet::new(engine.snapshot_state());
+        Server {
+            inner: Arc::new(Inner {
+                engine: Mutex::new(engine),
+                versions,
+                cache,
+                config,
+                sessions: AtomicUsize::new(0),
+                next_session: AtomicU64::new(1),
+                inflight: AtomicUsize::new(0),
+                commits: Mutex::new(Vec::new()),
+                metrics: ServerMetrics::from_global(),
+            }),
+        }
+    }
+
+    /// Open a session, or reject with `XQB0050` when `max_sessions` are
+    /// already open. The slot frees when the returned [`Session`] drops.
+    pub fn open_session(&self) -> Result<Session, Error> {
+        let inner = &self.inner;
+        let prev = inner.sessions.fetch_add(1, Ordering::SeqCst);
+        if prev >= inner.config.max_sessions {
+            inner.sessions.fetch_sub(1, Ordering::SeqCst);
+            inner.metrics.rejected_sessions.add(1);
+            return Err(Error::Eval(XdmError::new(
+                ERR_SESSIONS,
+                format!(
+                    "session limit reached ({} open); retry after a session closes",
+                    inner.config.max_sessions
+                ),
+            )));
+        }
+        inner.metrics.sessions.set(prev as i64 + 1);
+        Ok(Session {
+            inner: inner.clone(),
+            id: inner.next_session.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// The latest published epoch (0 until the first commit).
+    pub fn epoch(&self) -> u64 {
+        self.inner.versions.latest_epoch()
+    }
+
+    /// Store fingerprint of the latest published snapshot.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.versions.pin_latest().store().fingerprint()
+    }
+
+    /// Every commit so far, in commit (= epoch) order.
+    pub fn commit_log(&self) -> Vec<CommitRecord> {
+        self.inner
+            .commits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The cross-session plan cache.
+    pub fn plan_cache(&self) -> &Arc<SharedPlanCache> {
+        &self.inner.cache
+    }
+
+    /// The admission policy in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.config
+    }
+
+    /// Run `f` under the writer lock — host-side setup (loading extra
+    /// documents, registering modules) after the server exists. Publishes
+    /// a new epoch afterwards, since `f` may have changed the store.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        let mut engine = self.inner.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let r = f(&mut engine);
+        self.inner.versions.publish(engine.snapshot_state());
+        r
+    }
+
+    /// A point-in-time view of the server's `server.*` metrics plus the
+    /// shared-cache and version-chain state.
+    pub fn stats(&self) -> ServerStats {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        let (cache_hits, cache_misses) = inner.cache.stats();
+        ServerStats {
+            epoch: inner.versions.latest_epoch(),
+            sessions: inner.sessions.load(Ordering::SeqCst),
+            inflight: inner.inflight.load(Ordering::SeqCst),
+            snapshot_pins: inner.versions.pinned(),
+            versions_retained: inner.versions.retained(),
+            versions_retired: inner.versions.retired(),
+            reads: m.requests_read.get(),
+            writes: m.requests_write.get(),
+            errors: m.errors.get(),
+            rejected_sessions: m.rejected_sessions.get(),
+            rejected_backpressure: m.rejected_backpressure.get(),
+            cache_hits,
+            cache_misses,
+            read_p50_ns: m.read_ns.quantile(0.50),
+            read_p99_ns: m.read_ns.quantile(0.99),
+            write_p50_ns: m.write_ns.quantile(0.50),
+            write_p99_ns: m.write_ns.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time server status report ([`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Latest published epoch.
+    pub epoch: u64,
+    /// Sessions currently open.
+    pub sessions: usize,
+    /// Requests currently in flight.
+    pub inflight: usize,
+    /// Snapshot pins currently held by in-flight reads.
+    pub snapshot_pins: usize,
+    /// Versions currently retained (latest + pinned ancestors).
+    pub versions_retained: usize,
+    /// Versions retired since startup.
+    pub versions_retired: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Requests that returned an evaluation error.
+    pub errors: u64,
+    /// `XQB0050` session-limit rejections.
+    pub rejected_sessions: u64,
+    /// `XQB0051` backpressure rejections.
+    pub rejected_backpressure: u64,
+    /// Shared plan-cache hits across all sessions.
+    pub cache_hits: u64,
+    /// Shared plan-cache misses across all sessions.
+    pub cache_misses: u64,
+    /// Read-latency p50 (log₂-bucket estimate, nanoseconds).
+    pub read_p50_ns: u64,
+    /// Read-latency p99.
+    pub read_p99_ns: u64,
+    /// Write-latency p50.
+    pub write_p50_ns: u64,
+    /// Write-latency p99.
+    pub write_p99_ns: u64,
+}
+
+impl ServerStats {
+    /// One JSON object, for the wire protocol's `STATS` reply.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\":{},\"sessions\":{},\"inflight\":{},\"snapshot_pins\":{},\
+             \"versions_retained\":{},\"versions_retired\":{},\
+             \"reads\":{},\"writes\":{},\"errors\":{},\
+             \"rejected_sessions\":{},\"rejected_backpressure\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"read_p50_ns\":{},\"read_p99_ns\":{},\
+             \"write_p50_ns\":{},\"write_p99_ns\":{}}}",
+            self.epoch,
+            self.sessions,
+            self.inflight,
+            self.snapshot_pins,
+            self.versions_retained,
+            self.versions_retired,
+            self.reads,
+            self.writes,
+            self.errors,
+            self.rejected_sessions,
+            self.rejected_backpressure,
+            self.cache_hits,
+            self.cache_misses,
+            self.read_p50_ns,
+            self.read_p99_ns,
+            self.write_p50_ns,
+            self.write_p99_ns,
+        )
+    }
+}
+
+/// One client session. `Send` — a connection handler owns it on its own
+/// thread. Dropping it frees the admission slot.
+pub struct Session {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("id", &self.id).finish()
+    }
+}
+
+impl Session {
+    /// This session's id (1-based, unique per server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Parse, route, and run one query.
+    ///
+    /// Routing: a query whose body and prolog initializers are provably
+    /// pure executes as a [`RequestKind::Read`] against the pinned latest
+    /// snapshot, concurrently with other reads and with the writer.
+    /// Anything else executes as a [`RequestKind::Write`] under the
+    /// engine mutex and publishes a new epoch — even when it returns an
+    /// error, since snaps closed before an error are commitment (§2.3).
+    pub fn execute(&self, query: &str) -> Result<Response, Error> {
+        let _slot = InflightSlot::admit(&self.inner)?;
+        let program = {
+            // Parse outside any lock; the parse-depth limit applies.
+            let limits = self.inner.config.limits;
+            xqsyn::compile_with_limit(query, limits.max_parse_depth).map_err(Error::Parse)?
+        };
+        // Classify against the latest snapshot's module functions — no
+        // engine lock. A commit between classification and execution is
+        // harmless: purity depends only on the function bodies, and
+        // module registration goes through `with_engine` (the writer).
+        let pin = self.inner.versions.pin_latest();
+        self.inner
+            .metrics
+            .snapshot_pins
+            .set(self.inner.versions.pinned() as i64);
+        if pin.is_read_only(&program) {
+            let r = self.execute_read(&pin, &program);
+            drop(pin);
+            self.inner
+                .metrics
+                .snapshot_pins
+                .set(self.inner.versions.pinned() as i64);
+            r
+        } else {
+            drop(pin);
+            self.inner
+                .metrics
+                .snapshot_pins
+                .set(self.inner.versions.pinned() as i64);
+            self.execute_write(query, &program)
+        }
+    }
+
+    fn execute_read(
+        &self,
+        pin: &xqdm::Pinned<EngineSnapshot>,
+        program: &xqsyn::CoreProgram,
+    ) -> Result<Response, Error> {
+        let inner = &self.inner;
+        let mut reader = pin.reader();
+        reader.set_shared_plan_cache(inner.cache.clone());
+        let started = Instant::now();
+        let result = reader.run_program(program);
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner.metrics.read_ns.record(ns);
+        inner.metrics.requests_read.add(1);
+        match result {
+            Ok(value) => {
+                let body = reader.serialize(&value).map_err(Error::Eval)?;
+                Ok(Response {
+                    kind: RequestKind::Read,
+                    epoch: pin.epoch(),
+                    body,
+                })
+            }
+            Err(e) => {
+                inner.metrics.errors.add(1);
+                Err(Error::Eval(e))
+            }
+        }
+    }
+
+    fn execute_write(&self, query: &str, program: &xqsyn::CoreProgram) -> Result<Response, Error> {
+        let inner = &self.inner;
+        let mut engine = inner.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let started = Instant::now();
+        let result = engine.run_program(program);
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner.metrics.write_ns.record(ns);
+        inner.metrics.requests_write.add(1);
+        // Publish the post-run state whatever the outcome: an errored run
+        // keeps its closed snaps, so readers must see them. Publishing
+        // and logging happen under the engine lock, so the commit log's
+        // order is the epoch order.
+        let outcome = match result {
+            Ok(value) => engine.serialize(&value).map_err(Error::Eval),
+            Err(e) => Err(Error::Eval(e)),
+        };
+        if outcome.is_err() {
+            inner.metrics.errors.add(1);
+        }
+        let logged = match &outcome {
+            Ok(body) => Ok(body.clone()),
+            Err(Error::Eval(e)) => Err(e.code.to_string()),
+            Err(Error::Parse(_)) => unreachable!("program already parsed"),
+        };
+        let snapshot = engine.snapshot_state();
+        let fingerprint = snapshot.store().fingerprint();
+        let epoch = inner.versions.publish(snapshot);
+        inner
+            .commits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(CommitRecord {
+                epoch,
+                session: self.id,
+                query: query.to_string(),
+                body: logged,
+                fingerprint,
+            });
+        drop(engine);
+        outcome.map(|body| Response {
+            kind: RequestKind::Write,
+            epoch,
+            body,
+        })
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let prev = self.inner.sessions.fetch_sub(1, Ordering::SeqCst);
+        self.inner
+            .metrics
+            .sessions
+            .set(prev.saturating_sub(1) as i64);
+    }
+}
+
+/// RAII admission slot: counts a request in flight, rejecting with
+/// `XQB0051` past `max_inflight`.
+struct InflightSlot<'a> {
+    inner: &'a Inner,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn admit(inner: &'a Inner) -> Result<InflightSlot<'a>, Error> {
+        let prev = inner.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= inner.config.max_inflight {
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
+            inner.metrics.rejected_backpressure.add(1);
+            return Err(Error::Eval(XdmError::new(
+                ERR_BACKPRESSURE,
+                format!(
+                    "server at capacity ({} requests in flight); retry",
+                    inner.config.max_inflight
+                ),
+            )));
+        }
+        inner.metrics.inflight.set(prev as i64 + 1);
+        Ok(InflightSlot { inner })
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let prev = self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.inner
+            .metrics
+            .inflight
+            .set(prev.saturating_sub(1) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with_doc() -> Server {
+        let mut e = Engine::new();
+        e.load_document("doc", "<log/>").unwrap();
+        Server::new(e)
+    }
+
+    #[test]
+    fn reads_and_writes_route_by_purity() {
+        let server = server_with_doc();
+        let s = server.open_session().unwrap();
+        let r = s.execute("count($doc/log/*)").unwrap();
+        assert_eq!(r.kind, RequestKind::Read);
+        assert_eq!(r.body, "0");
+        let w = s.execute("insert { <e/> } into { $doc/log }").unwrap();
+        assert_eq!(w.kind, RequestKind::Write);
+        assert_eq!(w.epoch, server.epoch());
+        let r = s.execute("count($doc/log/*)").unwrap();
+        assert_eq!(r.kind, RequestKind::Read);
+        assert_eq!(r.body, "1");
+        assert_eq!(r.epoch, w.epoch, "read pinned the committed epoch");
+    }
+
+    #[test]
+    fn session_limit_rejects_with_xqb0050() {
+        let config = ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::with_config(Engine::new(), config);
+        let _a = server.open_session().unwrap();
+        let _b = server.open_session().unwrap();
+        match server.open_session() {
+            Err(Error::Eval(e)) => assert_eq!(e.code, ERR_SESSIONS),
+            other => panic!("expected XQB0050, got {other:?}"),
+        }
+        drop(_a);
+        // A freed slot admits again.
+        assert!(server.open_session().is_ok());
+    }
+
+    #[test]
+    fn errored_writes_keep_closed_snaps_and_publish() {
+        let server = server_with_doc();
+        let s = server.open_session().unwrap();
+        // The snap commits, then the error fires: commitment per §2.3.
+        let err = s
+            .execute("(snap insert { <kept/> } into { $doc/log }, 1 div 0)")
+            .unwrap_err();
+        assert!(matches!(err, Error::Eval(_)));
+        let r = s.execute("count($doc/log/kept)").unwrap();
+        assert_eq!(r.body, "1");
+        // The errored run is in the commit log for replay.
+        let log = server.commit_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].body.is_err());
+    }
+
+    #[test]
+    fn commit_log_orders_by_epoch_and_fingerprints_match() {
+        let server = server_with_doc();
+        let s = server.open_session().unwrap();
+        for i in 0..3 {
+            s.execute(&format!("insert {{ <e n=\"{i}\"/> }} into {{ $doc/log }}"))
+                .unwrap();
+        }
+        let log = server.commit_log();
+        let epochs: Vec<u64> = log.iter().map(|c| c.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        assert_eq!(log[2].fingerprint, server.fingerprint());
+    }
+
+    #[test]
+    fn shared_cache_hits_across_sessions() {
+        // Bare xqcore has no planner installed, so plans (and hence cache
+        // traffic) only exist under the facade; the cross-session hit
+        // assertion lives in tests/server_isolation.rs. Here: two
+        // sessions answering the same query stays correct either way.
+        let server = server_with_doc();
+        let a = server.open_session().unwrap();
+        let b = server.open_session().unwrap();
+        a.execute("count($doc/log/*)").unwrap();
+        let (hits_before, misses_before) = server.plan_cache().stats();
+        b.execute("count($doc/log/*)").unwrap();
+        let (hits_after, misses_after) = server.plan_cache().stats();
+        if crate::planner::default_planner().is_some() {
+            assert!(hits_after > hits_before);
+        } else {
+            assert_eq!((hits_after, misses_after), (hits_before, misses_before));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let server = server_with_doc();
+        let before = server.stats();
+        let s = server.open_session().unwrap();
+        s.execute("1 + 1").unwrap();
+        s.execute("insert { <e/> } into { $doc/log }").unwrap();
+        let after = server.stats();
+        assert_eq!(after.reads, before.reads + 1);
+        assert_eq!(after.writes, before.writes + 1);
+        assert_eq!(after.inflight, 0);
+        assert_eq!(after.snapshot_pins, 0);
+        assert!(after.epoch > before.epoch);
+        let json = after.to_json();
+        assert!(json.starts_with("{\"epoch\":"));
+        assert!(json.contains("\"read_p50_ns\":"));
+    }
+}

@@ -126,7 +126,10 @@ impl Compiler {
                 let cond_plan = self.compile(cond);
                 let then_plan = self.compile(then);
                 let els_plan = self.compile(els);
-                if cond_plan.is_specialized() || then_plan.is_specialized() || els_plan.is_specialized() {
+                if cond_plan.is_specialized()
+                    || then_plan.is_specialized()
+                    || els_plan.is_specialized()
+                {
                     return QueryPlan::If {
                         cond: Box::new(cond_plan),
                         then: Box::new(then_plan),
@@ -371,8 +374,7 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
         predicates,
     } = cur
     {
-        let filters: Option<Vec<Vec<BatchStep>>> =
-            predicates.iter().map(existence_chain).collect();
+        let filters: Option<Vec<Vec<BatchStep>>> = predicates.iter().map(existence_chain).collect();
         match filters {
             Some(filters) => {
                 steps_rev.push(BatchStep {
@@ -704,4 +706,3 @@ mod tests {
         assert!(plan.render().contains(",batch"));
     }
 }
-

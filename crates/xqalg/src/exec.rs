@@ -22,8 +22,8 @@ use crate::plan::{BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
 use std::collections::HashMap;
 use xqcore::par::{eval_pure, merge_in_order, par_map, PAR_MIN_ITEMS};
 use xqcore::{DynEnv, Evaluator};
-use xqdm::seq;
 use xqdm::item::{self, Item, Sequence};
+use xqdm::seq;
 use xqdm::{KernelTest, NodeId, Store, XdmError, XdmResult};
 use xqsyn::ast::{Axis, NodeTest};
 use xqsyn::core::{Core, CoreProgram};
@@ -431,8 +431,20 @@ fn drive_join(
     ) -> XdmResult<()>,
 ) -> XdmResult<()> {
     // Each side evaluated exactly once (guards ensured this is sound).
-    let outer = eval_join_source(&join.outer_source, join.outer_batch.as_ref(), evaluator, store, env)?;
-    let inner = eval_join_source(&join.inner_source, join.inner_batch.as_ref(), evaluator, store, env)?;
+    let outer = eval_join_source(
+        &join.outer_source,
+        join.outer_batch.as_ref(),
+        evaluator,
+        store,
+        env,
+    )?;
+    let inner = eval_join_source(
+        &join.inner_source,
+        join.inner_batch.as_ref(),
+        evaluator,
+        store,
+        env,
+    )?;
     // The join node's profile frame is innermost here: input = outer rows.
     evaluator.note_input(outer.len() as u64);
 
@@ -531,8 +543,20 @@ fn probe_rows(
     store: &mut Store,
     env: &mut DynEnv,
 ) -> XdmResult<(Vec<ProbeRow>, Sequence, Option<XdmError>)> {
-    let outer = eval_join_source(&join.outer_source, join.outer_batch.as_ref(), evaluator, store, env)?;
-    let inner = eval_join_source(&join.inner_source, join.inner_batch.as_ref(), evaluator, store, env)?;
+    let outer = eval_join_source(
+        &join.outer_source,
+        join.outer_batch.as_ref(),
+        evaluator,
+        store,
+        env,
+    )?;
+    let inner = eval_join_source(
+        &join.inner_source,
+        join.inner_batch.as_ref(),
+        evaluator,
+        store,
+        env,
+    )?;
     evaluator.note_input(outer.len() as u64);
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (idx, it) in inner.iter().enumerate() {

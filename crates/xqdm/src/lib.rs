@@ -25,9 +25,11 @@ pub mod atomic;
 pub mod error;
 pub mod item;
 pub mod node;
+pub(crate) mod pages;
 pub mod qname;
 pub mod store;
 pub mod symbols;
+pub mod version;
 pub mod wal;
 pub mod xml;
 
@@ -38,6 +40,7 @@ pub use node::{NodeId, NodeKind};
 pub use qname::QName;
 pub use store::{KernelTest, Scratch, Store};
 pub use symbols::{QNameId, SymbolId, Symbols};
+pub use version::{Pinned, VersionSet};
 pub use wal::{CommitReceipt, RecoveryReport, SyncMode};
 
 // Parallel evaluation of effect-free regions (xqcore's DESIGN.md §9

@@ -1,0 +1,244 @@
+//! Copy-on-write paged slot storage for the node store (DESIGN.md §15).
+//!
+//! The store's node slots used to live in one flat `Vec<NodeData>`, which
+//! made forking the store for a concurrent reader an O(store) deep copy.
+//! [`Pages`] keeps the same dense u32-indexed address space but splits it
+//! into fixed-size pages, each behind an [`Arc`]:
+//!
+//! * **Snapshot** ([`Pages::clone`]) is O(pages): it copies the page
+//!   *table* and bumps one reference count per page. Node ids, and hence
+//!   every value and binding that carries them, stay valid across the
+//!   fork.
+//! * **Mutation after a snapshot** copies only the touched pages
+//!   (`Arc::make_mut`): the writer and any number of pinned readers
+//!   diverge page-by-page, so a commit costs O(pages touched), not
+//!   O(store).
+//! * **Reads** are two bounds checks and a shift/mask away from the flat
+//!   layout; the batch kernels and the document-order comparator are
+//!   unchanged.
+//!
+//! Retirement is reference counting: when the last snapshot holding an
+//! old page drops, the page is freed. There is no epoch list down here —
+//! that bookkeeping (pinning, publishing, retiring whole versions) lives
+//! in [`crate::version`].
+
+use crate::node::NodeData;
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// log2 of the page size. 1024 slots ≈ 64 KiB of `NodeData` per page:
+/// big enough that the page-table walk is negligible, small enough that
+/// a single-element commit after a snapshot copies little.
+const PAGE_BITS: usize = 10;
+/// Slots per page.
+pub(crate) const PAGE_LEN: usize = 1 << PAGE_BITS;
+const PAGE_MASK: usize = PAGE_LEN - 1;
+
+/// The COW paged slot array. Cloning shares every page; mutation
+/// unshares (copies) exactly the pages it touches.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Pages {
+    /// All pages except possibly the last hold exactly [`PAGE_LEN`]
+    /// slots; the last holds the remainder.
+    pages: Vec<Arc<Vec<NodeData>>>,
+    /// Total slot count.
+    len: usize,
+}
+
+impl Pages {
+    /// Total number of slots (alive or dead — this is the address-space
+    /// size, the paged equivalent of `Vec::len`).
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The slot at `i`, if in range.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<&NodeData> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.pages[i >> PAGE_BITS][i & PAGE_MASK])
+    }
+
+    /// Mutable access to the slot at `i`, unsharing its page first if a
+    /// snapshot still holds it.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, i: usize) -> Option<&mut NodeData> {
+        if i >= self.len {
+            return None;
+        }
+        let page = Arc::make_mut(&mut self.pages[i >> PAGE_BITS]);
+        Some(&mut page[i & PAGE_MASK])
+    }
+
+    /// Append a slot at index `len`.
+    pub(crate) fn push(&mut self, data: NodeData) {
+        if self.len == self.pages.len() * PAGE_LEN {
+            self.pages.push(Arc::new(Vec::with_capacity(PAGE_LEN)));
+        }
+        let last = self.pages.last_mut().expect("page just ensured");
+        let page = Arc::make_mut(last);
+        if page.capacity() < PAGE_LEN {
+            // A freshly unshared page clones at capacity == len; restore
+            // the fixed page capacity so in-page growth never reallocates.
+            page.reserve_exact(PAGE_LEN - page.len());
+        }
+        page.push(data);
+        self.len += 1;
+    }
+
+    /// Remove and return the highest slot (undo of a fresh allocation).
+    pub(crate) fn pop(&mut self) -> Option<NodeData> {
+        if self.len == 0 {
+            return None;
+        }
+        let last = self.pages.last_mut().expect("non-empty");
+        let data = Arc::make_mut(last).pop().expect("last page non-empty");
+        self.len -= 1;
+        if self.len == (self.pages.len() - 1) * PAGE_LEN {
+            self.pages.pop();
+        }
+        Some(data)
+    }
+
+    /// Iterate every slot in index order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &NodeData> {
+        self.pages.iter().flat_map(|p| p.iter())
+    }
+
+    /// Build from a flat slot vector (checkpoint recovery).
+    pub(crate) fn from_vec(nodes: Vec<NodeData>) -> Pages {
+        let len = nodes.len();
+        let mut pages = Vec::with_capacity(len.div_ceil(PAGE_LEN));
+        let mut nodes = nodes.into_iter();
+        loop {
+            let mut page = Vec::with_capacity(PAGE_LEN);
+            page.extend(nodes.by_ref().take(PAGE_LEN));
+            if page.is_empty() {
+                break;
+            }
+            pages.push(Arc::new(page));
+        }
+        Pages { pages, len }
+    }
+
+    /// How many pages `self` and `other` share (same `Arc`). Observability
+    /// for the COW contract: a fresh snapshot shares everything; a writer
+    /// that touched one node shares all pages but one.
+    pub(crate) fn shared_pages_with(&self, other: &Pages) -> usize {
+        self.pages
+            .iter()
+            .zip(other.pages.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Total page count.
+    pub(crate) fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Index<usize> for Pages {
+    type Output = NodeData;
+    #[inline]
+    fn index(&self, i: usize) -> &NodeData {
+        self.get(i).expect("node slot index out of bounds")
+    }
+}
+
+impl IndexMut<usize> for Pages {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut NodeData {
+        self.get_mut(i).expect("node slot index out of bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn slot(tag: &str) -> NodeData {
+        NodeData {
+            parent: None,
+            kind: NodeKind::Text {
+                content: tag.to_string(),
+            },
+            alive: true,
+            okey: 0,
+        }
+    }
+
+    fn text(d: &NodeData) -> &str {
+        match &d.kind {
+            NodeKind::Text { content } => content,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn push_index_pop_round_trip() {
+        let mut p = Pages::default();
+        for i in 0..(PAGE_LEN * 2 + 5) {
+            p.push(slot(&i.to_string()));
+        }
+        assert_eq!(p.len(), PAGE_LEN * 2 + 5);
+        assert_eq!(p.page_count(), 3);
+        assert_eq!(text(&p[0]), "0");
+        assert_eq!(text(&p[PAGE_LEN]), &PAGE_LEN.to_string());
+        assert_eq!(text(&p[p.len() - 1]), &(PAGE_LEN * 2 + 4).to_string());
+        for _ in 0..6 {
+            p.pop().unwrap();
+        }
+        // Popping across the page boundary drops the emptied page.
+        assert_eq!(p.page_count(), 2);
+        assert_eq!(p.len(), PAGE_LEN * 2 - 1);
+        assert!(p.get(p.len()).is_none());
+    }
+
+    #[test]
+    fn clone_shares_and_mutation_unshares_one_page() {
+        let mut p = Pages::default();
+        for i in 0..(PAGE_LEN * 3) {
+            p.push(slot(&i.to_string()));
+        }
+        let snap = p.clone();
+        assert_eq!(p.shared_pages_with(&snap), 3);
+        p[PAGE_LEN + 1].okey = 42; // touch page 1 only
+        assert_eq!(p.shared_pages_with(&snap), 2);
+        // The snapshot still sees the pre-mutation value.
+        assert_eq!(snap[PAGE_LEN + 1].okey, 0);
+        assert_eq!(p[PAGE_LEN + 1].okey, 42);
+    }
+
+    #[test]
+    fn from_vec_matches_pushes() {
+        let v: Vec<NodeData> = (0..(PAGE_LEN + 7)).map(|i| slot(&i.to_string())).collect();
+        let a = Pages::from_vec(v.clone());
+        let mut b = Pages::default();
+        for d in v {
+            b.push(d);
+        }
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(text(&a[i]), text(&b[i]));
+        }
+        assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn push_after_shared_clone_does_not_disturb_snapshot() {
+        let mut p = Pages::default();
+        for i in 0..5 {
+            p.push(slot(&i.to_string()));
+        }
+        let snap = p.clone();
+        p.push(slot("new"));
+        assert_eq!(snap.len(), 5);
+        assert_eq!(p.len(), 6);
+        assert!(snap.get(5).is_none());
+        assert_eq!(text(&p[5]), "new");
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::error::{XdmError, XdmResult};
 use crate::node::{NodeData, NodeId, NodeKind};
+use crate::pages::Pages;
 use crate::qname::QName;
 use crate::symbols::{QNameId, Symbols};
 use crate::wal::{
@@ -157,7 +158,10 @@ enum UndoEntry {
 /// The mutable XML store.
 #[derive(Debug, Default)]
 pub struct Store {
-    nodes: Vec<NodeData>,
+    /// Node slots: COW paged storage ([`crate::pages`]), so
+    /// [`Store::snapshot`] forks the whole slot space in O(pages) and
+    /// later mutations copy only the pages they touch.
+    nodes: Pages,
     /// Slots retired by `collect_garbage`, available for reuse.
     free: Vec<NodeId>,
     /// Undo journal: inverses of every mutation performed while at least
@@ -230,6 +234,39 @@ impl Store {
     /// True when no alive nodes exist.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// An immutable copy-on-write fork of this store: the snapshot shares
+    /// every node page with the live store (O(pages), not O(nodes)), and
+    /// later mutations of either side copy only the pages they touch.
+    /// Node ids remain valid across the fork, so bindings and values
+    /// taken against the live store resolve identically in the snapshot.
+    ///
+    /// The snapshot is a plain in-memory [`Store`]: no redo log (the log
+    /// stays with the writer), no undo journal, clean frame state. The
+    /// caller must not be inside an open undo frame — a mid-frame fork
+    /// would capture uncommitted mutations as if they were state.
+    pub fn snapshot(&self) -> Store {
+        assert!(self.frames.is_empty(), "snapshot inside an open undo frame");
+        Store {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            undo: Vec::new(),
+            frames: Vec::new(),
+            wal: None,
+            symbols: self.symbols.clone(),
+        }
+    }
+
+    /// How many node pages this store still shares with `other`
+    /// (snapshot-COW observability; see [`Store::snapshot`]).
+    pub fn shared_pages_with(&self, other: &Store) -> usize {
+        self.nodes.shared_pages_with(&other.nodes)
+    }
+
+    /// Total node pages backing this store.
+    pub fn page_count(&self) -> usize {
+        self.nodes.page_count()
     }
 
     // ------------------------------------------------------------------
@@ -1374,7 +1411,11 @@ impl Store {
     /// [`Store::sort_and_dedup`] reusing the caller's scratch buffers:
     /// in steady state (sequence length not exceeding any prior call's)
     /// this performs no allocation at all.
-    pub fn sort_and_dedup_with(&self, nodes: &mut Vec<NodeId>, scratch: &mut Scratch) -> XdmResult<()> {
+    pub fn sort_and_dedup_with(
+        &self,
+        nodes: &mut Vec<NodeId>,
+        scratch: &mut Scratch,
+    ) -> XdmResult<()> {
         match nodes[..] {
             [] => return Ok(()),
             [n] => {
@@ -1803,7 +1844,7 @@ impl Store {
         put_u64(&mut body, last_lsn);
         put_u64(&mut body, fingerprint);
         put_u32(&mut body, self.nodes.len() as u32);
-        for d in &self.nodes {
+        for d in self.nodes.iter() {
             body.push(u8::from(d.alive));
             match d.parent {
                 Some(p) => {
@@ -1926,7 +1967,7 @@ impl Store {
             return Err(corrupt("trailing bytes"));
         }
         let store = Store {
-            nodes,
+            nodes: Pages::from_vec(nodes),
             free,
             undo: Vec::new(),
             frames: Vec::new(),

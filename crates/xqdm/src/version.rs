@@ -1,0 +1,238 @@
+//! Epoch-versioned snapshot publication (DESIGN.md §15).
+//!
+//! The COW paged store ([`crate::pages`], [`Store::snapshot`]) makes a
+//! point-in-time fork cheap; this module adds the lifecycle around those
+//! forks that a multi-session server needs:
+//!
+//! * a **writer** publishes a new version after every commit
+//!   ([`VersionSet::publish`] — the new epoch becomes the latest);
+//! * **readers** pin the latest version for the duration of one request
+//!   ([`VersionSet::pin_latest`] — the returned guard keeps that exact
+//!   version alive however many commits land meanwhile);
+//! * old versions **retire when unpinned**: a superseded version is
+//!   dropped as soon as its pin count reaches zero (and its pages free
+//!   once no newer version shares them — that part is plain `Arc`
+//!   reference counting inside the store).
+//!
+//! The set is generic over the snapshot payload so the engine layer can
+//! version a store *plus* its session-visible bindings as one unit;
+//! `xqdm` itself uses `VersionSet<Store>`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One published version: the payload at a commit point.
+struct Version<T> {
+    epoch: u64,
+    payload: Arc<T>,
+    pins: usize,
+}
+
+struct Inner<T> {
+    /// Live versions in ascending epoch order. The last entry is the
+    /// latest and is never retired; earlier entries survive only while
+    /// pinned.
+    versions: Vec<Version<T>>,
+    /// Total versions retired so far (observability).
+    retired: u64,
+}
+
+impl<T> Inner<T> {
+    /// Drop every superseded version whose pin count reached zero (any
+    /// unpinned version *between* pinned ones retires too).
+    fn retire(&mut self) {
+        let latest_epoch = self.versions.last().expect("never empty").epoch;
+        let before = self.versions.len();
+        self.versions
+            .retain(|v| v.pins > 0 || v.epoch == latest_epoch);
+        self.retired += (before - self.versions.len()) as u64;
+    }
+}
+
+/// A set of published snapshot versions with epoch pinning.
+///
+/// Cheap to share: the handle clones an `Arc`. All operations take one
+/// short mutex hold — the payloads themselves are only ever read through
+/// `Arc`s outside the lock.
+pub struct VersionSet<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for VersionSet<T> {
+    fn clone(&self) -> Self {
+        VersionSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> VersionSet<T> {
+    /// A set whose initial version (epoch 0) is `initial`.
+    pub fn new(initial: T) -> VersionSet<T> {
+        VersionSet {
+            inner: Arc::new(Mutex::new(Inner {
+                versions: vec![Version {
+                    epoch: 0,
+                    payload: Arc::new(initial),
+                    pins: 0,
+                }],
+                retired: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publish `payload` as the new latest version and return its epoch.
+    /// Superseded versions with no pins retire immediately.
+    pub fn publish(&self, payload: T) -> u64 {
+        let mut inner = self.lock();
+        let epoch = inner.versions.last().expect("never empty").epoch + 1;
+        inner.versions.push(Version {
+            epoch,
+            payload: Arc::new(payload),
+            pins: 0,
+        });
+        inner.retire();
+        epoch
+    }
+
+    /// Pin the latest version: the returned guard holds that exact
+    /// version (its epoch and payload) until dropped, whatever is
+    /// published meanwhile.
+    pub fn pin_latest(&self) -> Pinned<T> {
+        let mut inner = self.lock();
+        let v = inner.versions.last_mut().expect("never empty");
+        v.pins += 1;
+        Pinned {
+            set: self.inner.clone(),
+            epoch: v.epoch,
+            payload: v.payload.clone(),
+        }
+    }
+
+    /// The latest published epoch.
+    pub fn latest_epoch(&self) -> u64 {
+        self.lock().versions.last().expect("never empty").epoch
+    }
+
+    /// Total pins currently outstanding across all versions (the
+    /// snapshot-pin gauge).
+    pub fn pinned(&self) -> usize {
+        self.lock().versions.iter().map(|v| v.pins).sum()
+    }
+
+    /// Number of versions currently retained (≥ 1; the latest plus any
+    /// still-pinned ancestors).
+    pub fn retained(&self) -> usize {
+        self.lock().versions.len()
+    }
+
+    /// Total versions retired since construction.
+    pub fn retired(&self) -> u64 {
+        self.lock().retired
+    }
+}
+
+/// A pinned version: keeps one published snapshot alive until dropped.
+pub struct Pinned<T> {
+    set: Arc<Mutex<Inner<T>>>,
+    epoch: u64,
+    payload: Arc<T>,
+}
+
+impl<T> Pinned<T> {
+    /// The pinned epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned payload (also available via `Deref`).
+    pub fn payload(&self) -> &Arc<T> {
+        &self.payload
+    }
+}
+
+impl<T> std::ops::Deref for Pinned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.payload
+    }
+}
+
+impl<T> Clone for Pinned<T> {
+    fn clone(&self) -> Self {
+        let mut inner = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = inner.versions.iter_mut().find(|v| v.epoch == self.epoch) {
+            v.pins += 1;
+        }
+        Pinned {
+            set: self.set.clone(),
+            epoch: self.epoch,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Pinned<T> {
+    fn drop(&mut self) {
+        let mut inner = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = inner.versions.iter_mut().find(|v| v.epoch == self.epoch) {
+            v.pins = v.pins.saturating_sub(1);
+        }
+        if inner.versions.len() > 1 {
+            inner.retire();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_advances_epoch_and_retires_unpinned() {
+        let set = VersionSet::new(0u32);
+        assert_eq!(set.latest_epoch(), 0);
+        assert_eq!(set.publish(1), 1);
+        assert_eq!(set.publish(2), 2);
+        // Nothing pinned: only the latest survives.
+        assert_eq!(set.retained(), 1);
+        assert_eq!(set.retired(), 2);
+        assert_eq!(*set.pin_latest().payload().as_ref(), 2);
+    }
+
+    #[test]
+    fn pin_holds_version_across_publishes() {
+        let set = VersionSet::new(10u32);
+        let pin = set.pin_latest();
+        assert_eq!(pin.epoch(), 0);
+        set.publish(11);
+        set.publish(12);
+        // The pinned epoch-0 version survives; the unpinned epoch-1
+        // version retired on the epoch-2 publish.
+        assert_eq!(*pin.payload().as_ref(), 10);
+        assert_eq!(set.retained(), 2);
+        assert_eq!(set.pinned(), 1);
+        drop(pin);
+        // Unpinning retires the superseded version.
+        assert_eq!(set.retained(), 1);
+        assert_eq!(set.pinned(), 0);
+        assert_eq!(set.latest_epoch(), 2);
+    }
+
+    #[test]
+    fn clone_pin_counts_and_releases() {
+        let set = VersionSet::new(0u32);
+        let a = set.pin_latest();
+        let b = a.clone();
+        set.publish(1);
+        assert_eq!(set.pinned(), 2);
+        assert_eq!(set.retained(), 2);
+        drop(a);
+        assert_eq!(set.retained(), 2, "still pinned by the clone");
+        drop(b);
+        assert_eq!(set.retained(), 1);
+    }
+}

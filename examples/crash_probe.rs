@@ -12,6 +12,12 @@
 //! 3. **Checkpoint crossing** — `XQB_WAL_CRASH_CHECKPOINT=1|2` aborts the
 //!    child between checkpoint install and log truncation, or mid-way
 //!    through writing the snapshot itself.
+//! 4. **Crash under load** (ISSUE 8) — the child hosts the store behind
+//!    the multi-session [`Server`] with several writer sessions and a
+//!    snapshot-pinned reader in flight when the abort fires. Commit order
+//!    across sessions is nondeterministic, so the oracle is per-session:
+//!    each session writes sequenced elements, and recovery must surface a
+//!    gapless in-order prefix of every session's writes.
 //!
 //! After every attack the store is recovered and its fingerprint must
 //! equal some committed prefix of the workload — never a torn, reordered,
@@ -21,8 +27,10 @@
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 use xquery_bang::xqdm::SyncMode;
-use xquery_bang::{Engine, Store};
+use xquery_bang::{Engine, ServerConfig, Store};
 
 /// The scripted workload: deterministic (ordered snaps only), multi-snap,
 /// with committed-then-failing runs, nested snaps, and an orphan sweep —
@@ -76,6 +84,63 @@ fn child(dir: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writer sessions in the server child, and inserts each performs.
+const SERVER_WRITERS: usize = 3;
+const SERVER_ROUNDS: usize = 12;
+
+/// Server child mode: host the durable store behind a multi-session
+/// [`xquery_bang::Server`] and keep several sessions in flight — three
+/// writers appending sequenced elements plus one reader pinning snapshots
+/// — so `XQB_WAL_CRASH_AT` aborts the process mid-commit while other
+/// sessions are genuinely mid-request.
+fn server_child(dir: &str) -> ExitCode {
+    let mut e = Engine::new();
+    if let Err(err) = e.open_store(dir) {
+        eprintln!("server-child: cannot open store: {err}");
+        return ExitCode::FAILURE;
+    }
+    e.load_document("doc", "<log/>").unwrap();
+    let server = e.into_server(ServerConfig::default());
+    let start = Arc::new(Barrier::new(SERVER_WRITERS + 1));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let server = server.clone();
+        let start = start.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let session = server.open_session().unwrap();
+            start.wait();
+            while !done.load(Ordering::Relaxed) {
+                session.execute("count($doc/log/e)").unwrap();
+            }
+        })
+    };
+    let writers: Vec<_> = (0..SERVER_WRITERS)
+        .map(|s| {
+            let server = server.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                let session = server.open_session().unwrap();
+                start.wait();
+                for n in 0..SERVER_ROUNDS {
+                    session
+                        .execute(&format!(
+                            "insert {{ <e s=\"{s}\" n=\"{n}\"/> }} into {{ $doc/log }}"
+                        ))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    reader.join().unwrap();
+    ExitCode::SUCCESS
+}
+
 struct Probe {
     exe: PathBuf,
     base: PathBuf,
@@ -92,10 +157,11 @@ impl Probe {
         dir
     }
 
-    /// Spawn the workload child against `dir` with extra env vars.
-    fn spawn_child(&self, dir: &Path, env: &[(&str, String)]) {
+    /// Spawn a child (`child` or `server-child` mode) against `dir` with
+    /// extra env vars.
+    fn spawn_child_mode(&self, mode: &str, dir: &Path, env: &[(&str, String)]) {
         let mut cmd = Command::new(&self.exe);
-        cmd.arg("child")
+        cmd.arg(mode)
             .arg(dir)
             .env_remove("XQB_WAL_CRASH_AT")
             .env_remove("XQB_WAL_CRASH_CHECKPOINT")
@@ -106,6 +172,10 @@ impl Probe {
         // An aborting child is the point; ignore its status and let
         // recovery judge the on-disk state.
         let _ = cmd.output().expect("spawn child");
+    }
+
+    fn spawn_child(&self, dir: &Path, env: &[(&str, String)]) {
+        self.spawn_child_mode("child", dir, env);
     }
 
     /// Recover `dir` and check the central invariant; a clean (uncrashed)
@@ -145,12 +215,82 @@ impl Probe {
             }
         }
     }
+
+    /// Recover a server-child store and check the concurrent-workload
+    /// invariant: commit order across sessions is nondeterministic, so
+    /// instead of a global fingerprint oracle, every session's recovered
+    /// writes must be a gapless in-order prefix 0..m of its script (each
+    /// session commits sequentially, so any recovered state that is a
+    /// committed prefix of the log satisfies exactly this per-session
+    /// shape). A clean run must recover every session in full.
+    fn check_server_recovery(&mut self, dir: &Path, what: &str, expect_complete: bool) {
+        self.probes += 1;
+        let mut e = Engine::new();
+        let report = match e.open_store(dir) {
+            Ok(report) => report,
+            Err(err) => {
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> recovery errored: {err}");
+                return;
+            }
+        };
+        self.tails_dropped += report.tail_dropped;
+        if e.store.document_roots().is_empty() {
+            // Crashed before the initial document load committed: the
+            // empty store is the (trivial) committed prefix.
+            if expect_complete {
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> clean run recovered an empty store");
+            } else {
+                println!("  ok: {what} -> empty store (pre-load crash)");
+            }
+            return;
+        }
+        let mut recovered = 0usize;
+        for s in 0..SERVER_WRITERS {
+            let q = format!("for $e in $doc/log/e[@s=\"{s}\"] return string($e/@n)");
+            let got = match e.run(&q) {
+                Ok(v) => e.serialize(&v).unwrap_or_default(),
+                Err(err) => {
+                    self.failures += 1;
+                    eprintln!("  FAIL: {what} -> query after recovery errored: {err}");
+                    return;
+                }
+            };
+            let ns: Vec<&str> = got.split(' ').filter(|p| !p.is_empty()).collect();
+            let prefix: Vec<String> = (0..ns.len()).map(|n| n.to_string()).collect();
+            if ns != prefix {
+                self.failures += 1;
+                eprintln!(
+                    "  FAIL: {what} -> session {s} recovered [{}], not a gapless prefix",
+                    ns.join(", ")
+                );
+                return;
+            }
+            if expect_complete && ns.len() != SERVER_ROUNDS {
+                self.failures += 1;
+                eprintln!(
+                    "  FAIL: {what} -> clean run lost session {s} writes ({}/{SERVER_ROUNDS})",
+                    ns.len()
+                );
+                return;
+            }
+            recovered += ns.len();
+        }
+        println!(
+            "  ok: {what} -> per-session prefixes hold ({recovered}/{} writes survived)",
+            SERVER_WRITERS * SERVER_ROUNDS
+        );
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 3 && args[1] == "child" {
         return child(&args[2]);
+    }
+    if args.len() == 3 && args[1] == "server-child" {
+        return server_child(&args[2]);
     }
 
     let exe = std::env::current_exe().expect("current_exe");
@@ -235,6 +375,33 @@ fn main() -> ExitCode {
     let dir = probe.fresh_dir("ckpt_clean");
     probe.spawn_child(&dir, &[("XQB_CHECKPOINT_EVERY", "3".to_string())]);
     probe.check_recovery(&dir, "frequent checkpoints, clean exit", true);
+
+    // 4. Crash under load: the multi-session server with writers and a
+    // reader in flight, killed mid-commit at swept log offsets. The clean
+    // reference run bounds the sweep and proves nothing is lost without a
+    // crash.
+    let sclean = probe.fresh_dir("server_clean");
+    probe.spawn_child_mode("server-child", &sclean, &[]);
+    probe.check_server_recovery(&sclean, "server clean run", true);
+    let server_bytes = std::fs::metadata(sclean.join("wal.log"))
+        .expect("server wal.log")
+        .len()
+        .saturating_sub(8);
+    println!("server workload writes ~{server_bytes} log bytes; sweeping kill offsets under load");
+    let step = (server_bytes / 16).max(1);
+    let mut offsets: Vec<u64> = (step..=server_bytes).step_by(step as usize).collect();
+    offsets.extend([1, server_bytes.saturating_sub(1)]);
+    offsets.sort_unstable();
+    offsets.dedup();
+    for off in &offsets {
+        let dir = probe.fresh_dir(&format!("server_kill_{off}"));
+        probe.spawn_child_mode(
+            "server-child",
+            &dir,
+            &[("XQB_WAL_CRASH_AT", off.to_string())],
+        );
+        probe.check_server_recovery(&dir, &format!("server kill at byte {off}"), false);
+    }
 
     println!(
         "crash probe: {} probes, {} failures, {} corrupt tails dropped gracefully",

@@ -39,7 +39,10 @@ pub use xqcore;
 pub use xqdm;
 pub use xqsyn;
 
-pub use xqcore::{Error, SnapMode};
+pub use xqcore::{
+    CommitRecord, Error, RequestKind, Response, Server, ServerConfig, ServerStats, Session,
+    SnapMode,
+};
 pub use xqdm::{Atomic, Item, RecoveryReport, Sequence, Store, SyncMode};
 
 /// The full engine: [`xqcore::Engine`] with the [`xqalg`] compiled
@@ -63,6 +66,13 @@ impl Engine {
     /// Set the base seed for nondeterministic snap ordering.
     pub fn with_seed(self, seed: u64) -> Self {
         Engine(self.0.with_seed(seed))
+    }
+
+    /// Host this engine behind a multi-session [`Server`] (xqserve's
+    /// core): concurrent snapshot-isolated reads, serialized durable
+    /// writes, per-session admission control.
+    pub fn into_server(self, config: ServerConfig) -> Server {
+        Server::with_config(self.0, config)
     }
 }
 

@@ -343,18 +343,19 @@ fn warm_scratch_sort_and_kernels_allocate_nothing() {
     let mut out: Vec<NodeId> = Vec::new();
     let entry_test = KernelTest::name(store.symbols(), "entry");
 
-    let run = |store: &Store, scratch: &mut Scratch, nodes: &mut Vec<NodeId>, out: &mut Vec<NodeId>| {
-        nodes.clear();
-        nodes.extend_from_slice(&shuffled);
-        store.sort_and_dedup_with(nodes, scratch).unwrap();
-        out.clear();
-        store.batch_children_into(&[root], entry_test, out).unwrap();
-        out.clear();
-        store
-            .batch_descendants_into(&[root], entry_test, false, scratch, out)
-            .unwrap();
-        store.sort_and_dedup_with(out, scratch).unwrap();
-    };
+    let run =
+        |store: &Store, scratch: &mut Scratch, nodes: &mut Vec<NodeId>, out: &mut Vec<NodeId>| {
+            nodes.clear();
+            nodes.extend_from_slice(&shuffled);
+            store.sort_and_dedup_with(nodes, scratch).unwrap();
+            out.clear();
+            store.batch_children_into(&[root], entry_test, out).unwrap();
+            out.clear();
+            store
+                .batch_descendants_into(&[root], entry_test, false, scratch, out)
+                .unwrap();
+            store.sort_and_dedup_with(out, scratch).unwrap();
+        };
 
     // Warm-up: grows nodes, scratch.keyed (and its per-slot key vecs),
     // the kernel output buffer, and the DFS stack to their final sizes.
