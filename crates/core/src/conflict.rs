@@ -42,6 +42,7 @@ use xqdm::{NodeId, QName, XdmError, XdmResult};
 #[derive(Debug, Default)]
 struct NodeFlags {
     renamed_to: Option<QName>,
+    value_set_to: Option<String>,
     deleted: bool,
     inserted: bool,
 }
@@ -74,6 +75,19 @@ pub fn verify_conflict_free(delta: &Delta) -> XdmResult<()> {
                         )));
                     }
                     _ => flags.renamed_to = Some(name.clone()),
+                }
+            }
+            UpdateRequest::SetValue { node, value } => {
+                // Same shape as rename: two set-values on one node
+                // observe application order unless they agree.
+                let flags = node_flags.entry(*node).or_default();
+                match &flags.value_set_to {
+                    Some(prev) if prev != value => {
+                        return Err(conflict(format!(
+                            "node {node} value set to both \"{prev}\" and \"{value}\""
+                        )));
+                    }
+                    _ => flags.value_set_to = Some(value.clone()),
                 }
             }
             UpdateRequest::Delete { node } => {

@@ -133,9 +133,11 @@ fn effect_with(expr: &Core, funcs: &HashMap<(String, usize), Effect>) -> Effect 
         | Core::TextCtor(_)
         | Core::DocCtor(_)
         | Core::Copy(_) => Effect::Alloc,
-        Core::Insert { .. } | Core::Delete(_) | Core::Replace(..) | Core::Rename(..) => {
-            Effect::Pending
-        }
+        Core::Insert { .. }
+        | Core::Delete(_)
+        | Core::Replace(..)
+        | Core::ReplaceValue(..)
+        | Core::Rename(..) => Effect::Pending,
         Core::Snap(_, body) => {
             // A snap *applies* its body's pending updates. If the body can't
             // produce any, the snap applies an empty Δ and is as benign as

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xqdm::item::{Item, Sequence};
 use xqdm::seq;
-use xqdm::{NodeId, RecoveryReport, Store, SyncMode, XdmResult};
+use xqdm::{CapturedDelta, NodeId, RecoveryReport, Store, SyncMode, XdmResult};
 use xqsyn::cursor::ParseError;
 use xqsyn::CoreProgram;
 
@@ -860,6 +860,66 @@ impl Engine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Δ capture & rebase (optimistic concurrent writers; DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /// Attach a Δ capture to the store (see [`Store::begin_capture`]).
+    pub fn begin_capture(&mut self, trace_reads: bool) {
+        self.store.begin_capture(trace_reads);
+    }
+
+    /// Is a Δ capture attached?
+    pub fn capturing(&self) -> bool {
+        self.store.capturing()
+    }
+
+    /// Drain the attached capture's recording (see
+    /// [`Store::take_capture`]).
+    pub fn take_capture(&mut self) -> Option<CapturedDelta> {
+        self.store.take_capture()
+    }
+
+    /// The snap counter (per-run deterministic seed stream position;
+    /// advanced once per snap applied).
+    pub fn snap_counter(&self) -> u64 {
+        self.snap_counter
+    }
+
+    /// Advance the snap counter by `n` without running anything: after a
+    /// forked transaction's Δ is rebased onto this engine, the fork's
+    /// snap consumption must land on the live counter too, exactly as a
+    /// serial execution here would have.
+    pub fn advance_snap_counter(&mut self, n: u64) {
+        self.snap_counter += n;
+    }
+
+    /// Stamp the next WAL commit with an interleaved-committer record
+    /// (no-op without a durable store).
+    pub fn note_committer(&mut self, session: u64, base_epoch: u64) {
+        self.store.wal_note_committer(session, base_epoch);
+    }
+
+    /// Rebase a validated [`CapturedDelta`] onto this engine's store and
+    /// make it durable: the replay runs inside an undo frame (a failing
+    /// op rolls the store back exactly and surfaces the error — the
+    /// server treats that as a conflict), then the WAL flushes as for any
+    /// committed run.
+    pub fn apply_captured(&mut self, delta: &CapturedDelta) -> XdmResult<()> {
+        self.store.begin_frame();
+        match self.store.apply_captured(delta) {
+            Ok(()) => {
+                self.store.commit_frame();
+                self.commit_wal()?;
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_frame();
+                Err(e)
+            }
+        }
+    }
+
     /// Would `program` run with no store effect at all? True iff the body
     /// *and* every prolog variable initializer pass the `par_safe`
     /// judgment (DESIGN.md §9) under this engine's module functions —
@@ -943,6 +1003,45 @@ impl EngineSnapshot {
     /// functions — so classification needs no engine lock.
     pub fn is_read_only(&self, program: &CoreProgram) -> bool {
         read_only_with(&self.module_functions, program)
+    }
+
+    /// The snapshotted snap counter (the OCC commit pipeline uses the
+    /// difference between a fork's counter and its base to advance the
+    /// live engine after a rebase).
+    pub fn snap_counter(&self) -> u64 {
+        self.snap_counter
+    }
+
+    /// May `program` take the optimistic concurrent-writer path? The
+    /// footprint/rebase machinery assumes the run is deterministic given
+    /// its base snapshot and is fully described by its redo ops, so it
+    /// rejects programs that
+    ///
+    /// * use `snap nondeterministic` or `snap conflict-detection`
+    ///   (their outcome depends on the per-run seed stream, which is
+    ///   engine-global state the fork cannot reserve in advance), or
+    /// * call a par-opaque builtin (`xqb:stats`, `xqb:fingerprint`, …:
+    ///   observers of engine-global state outside the store).
+    ///
+    /// Such programs still commit — through the serialized pessimistic
+    /// path, exactly as before this optimization.
+    pub fn occ_safe(&self, program: &CoreProgram) -> bool {
+        use xqsyn::ast::SnapMode;
+        use xqsyn::Core;
+        let mut ok = true;
+        let mut check = |e: &Core| match e {
+            Core::Snap(SnapMode::Nondeterministic | SnapMode::ConflictDetection, _) => ok = false,
+            Core::Call(name, _) if crate::functions::is_par_opaque(name) => ok = false,
+            _ => {}
+        };
+        program.body.walk(&mut check);
+        for (_, init) in &program.variables {
+            init.walk(&mut check);
+        }
+        for f in program.functions.iter().chain(&self.module_functions) {
+            f.body.walk(&mut check);
+        }
+        ok
     }
 }
 

@@ -1087,6 +1087,32 @@ impl Evaluator {
                 }
                 Ok(seq![])
             }
+            Core::ReplaceValue(target, with) => {
+                // One setValue request: the target node keeps its
+                // identity, only its string value changes. The source is
+                // atomized and space-joined like attribute content.
+                let tv = self.eval(store, env, target)?;
+                let node = item::exactly_one_node(tv)?;
+                match store.kind(node)? {
+                    NodeKind::Text { .. } | NodeKind::Attribute { .. } => {}
+                    k => {
+                        let k = k.kind_name();
+                        return Err(XdmError::type_error(format!(
+                            "replace value of requires a text or attribute target, got a {k} node"
+                        )));
+                    }
+                }
+                let wv = self.eval(store, env, with)?;
+                let parts: Vec<String> = item::atomize(&wv, store)?
+                    .into_iter()
+                    .map(|a| a.string_value())
+                    .collect();
+                self.push_request(UpdateRequest::SetValue {
+                    node,
+                    value: parts.join(" "),
+                })?;
+                Ok(seq![])
+            }
             Core::Rename(target, name) => {
                 let tv = self.eval(store, env, target)?;
                 let node = item::exactly_one_node(tv)?;

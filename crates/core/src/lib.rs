@@ -62,6 +62,8 @@ pub use par::{par_safe, threads_from_env, PureCtx, MAX_THREADS, PAR_MIN_ITEMS};
 pub use planner::{
     program_fingerprint, CompiledProgram, FunctionExecutor, Planner, SharedPlanCache,
 };
-pub use server::{CommitRecord, RequestKind, Response, Server, ServerConfig, ServerStats, Session};
+pub use server::{
+    CommitRecord, ConflictPolicy, RequestKind, Response, Server, ServerConfig, ServerStats, Session,
+};
 pub use update::{Delta, UpdateRequest};
 pub use xqsyn::ast::SnapMode;

@@ -593,9 +593,11 @@ pub fn eval_pure(
         | Core::TextCtor(_)
         | Core::DocCtor(_)
         | Core::Copy(_) => Err(non_pure("node constructor")),
-        Core::Insert { .. } | Core::Delete(_) | Core::Replace(..) | Core::Rename(..) => {
-            Err(non_pure("update operator"))
-        }
+        Core::Insert { .. }
+        | Core::Delete(_)
+        | Core::Replace(..)
+        | Core::ReplaceValue(..)
+        | Core::Rename(..) => Err(non_pure("update operator")),
         Core::Snap(..) => Err(non_pure("snap")),
     }
 }

@@ -1,14 +1,27 @@
-//! The multi-session server core (DESIGN.md §15): one durable engine,
-//! many concurrent sessions, snapshot-isolated reads.
+//! The multi-session server core (DESIGN.md §15, §16): one durable
+//! engine, many concurrent sessions, snapshot-isolated reads, optimistic
+//! concurrent writers.
 //!
 //! The concurrency contract:
 //!
-//! * **Writes serialize.** Every query that might touch the store runs
-//!   under the single engine mutex, through the unchanged PR-1/PR-6
-//!   pipeline — undo frames, Δ application, WAL commit — so durability
-//!   and crash recovery hold exactly as for an embedded engine. After
-//!   each write the engine's state is COW-snapshotted and published as a
-//!   new epoch ([`xqdm::VersionSet`]).
+//! * **Writes validate, then serialize only their commit.** A writer
+//!   evaluates against a private fork of its pinned base epoch while
+//!   recording its Δ — redo ops plus read/write footprints
+//!   ([`xqdm::CapturedDelta`], the paper's conflict-detection snap
+//!   semantics lifted across transactions, DESIGN.md §16). At commit the
+//!   detector checks the Δ's *read* footprint against the *write*
+//!   footprint of every Δ committed since the base epoch: non-conflicting
+//!   Δs rebase onto the live engine and commit through the WAL (log order
+//!   still equals epoch order); conflicting Δs retry from a fresh
+//!   snapshot, bounded by [`ServerConfig::max_retries`], then abort with
+//!   the retryable `XQB0052` — or are waived by the
+//!   [`ConflictPolicy::LastWriterWins`] reducer when only name/value
+//!   aspects collide. Only the validate+rebase step holds the engine
+//!   mutex, so write *evaluation* scales with sessions. Programs the
+//!   footprint machinery cannot vouch for (nondeterministic or
+//!   conflict-detection snaps, par-opaque builtins) fall back to the
+//!   fully serialized pessimistic path, as does the whole server when
+//!   [`ServerConfig::occ_writers`] is off.
 //! * **Reads run concurrently.** A query proven effect-free by the PR-3
 //!   purity judgment ([`Engine::is_read_only`]) pins the latest epoch and
 //!   executes against a private fork of that snapshot — it never takes
@@ -33,12 +46,50 @@ use crate::planner::SharedPlanCache;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xqdm::{VersionSet, XdmError};
+use xqdm::footprint::aspect;
+use xqdm::{Footprint, VersionSet, XdmError};
 
 /// Session-limit rejection: `open_session` past `max_sessions`.
 pub const ERR_SESSIONS: &str = "XQB0050";
 /// Backpressure rejection: a request past `max_inflight`.
 pub const ERR_BACKPRESSURE: &str = "XQB0051";
+/// Commit-conflict rejection (retryable): the Δ's footprint intersected
+/// a commit since its base epoch and bounded retry was exhausted.
+pub const ERR_CONFLICT: &str = "XQB0052";
+
+/// What to do when a Δ's read footprint intersects a committed write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// Retry from a fresh snapshot; abort with `XQB0052` once
+    /// [`ServerConfig::max_retries`] is exhausted.
+    #[default]
+    Abort,
+    /// Waive conflicts confined to name/value aspects (rename, text and
+    /// attribute-value sets): the later committer's values win, exactly
+    /// as if its transaction had run second serially. Structural
+    /// conflicts (children/attribute lists, parent links) still retry —
+    /// blind last-writer-wins on tree shape would lose subtrees.
+    LastWriterWins,
+}
+
+impl ConflictPolicy {
+    /// Parse a wire/flag token (`abort` / `lww` / `last-writer-wins`).
+    pub fn parse(s: &str) -> Option<ConflictPolicy> {
+        match s {
+            "abort" => Some(ConflictPolicy::Abort),
+            "lww" | "last-writer-wins" => Some(ConflictPolicy::LastWriterWins),
+            _ => None,
+        }
+    }
+
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConflictPolicy::Abort => "abort",
+            ConflictPolicy::LastWriterWins => "lww",
+        }
+    }
+}
 
 /// Server admission and resource policy.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +104,20 @@ pub struct ServerConfig {
     pub limits: Limits,
     /// Worker-thread budget each request may use for effect-free regions.
     pub threads: usize,
+    /// Optimistic concurrent writers (DESIGN.md §16). Off: every write
+    /// serializes its whole evaluation under the engine mutex (PR-8
+    /// behavior).
+    pub occ_writers: bool,
+    /// Conflict resolution for optimistic commits.
+    pub conflict_policy: ConflictPolicy,
+    /// Conflicting commits retry from a fresh snapshot this many times
+    /// before aborting with `XQB0052`.
+    pub max_retries: usize,
+    /// Committed write footprints retained for validation. A base epoch
+    /// older than the ring's coverage forces a retry (indistinguishable
+    /// from a conflict), so this bounds validator memory, not
+    /// correctness.
+    pub footprint_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +127,10 @@ impl Default for ServerConfig {
             max_inflight: 32,
             limits: Limits::from_env(),
             threads: crate::par::threads_from_env(),
+            occ_writers: true,
+            conflict_policy: ConflictPolicy::default(),
+            max_retries: 8,
+            footprint_ring: 1024,
         }
     }
 }
@@ -125,6 +194,8 @@ struct ServerMetrics {
     errors: Arc<obs::Counter>,
     rejected_sessions: Arc<obs::Counter>,
     rejected_backpressure: Arc<obs::Counter>,
+    conflicts: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
     read_ns: Arc<obs::Histogram>,
     write_ns: Arc<obs::Histogram>,
     sessions: Arc<obs::Gauge>,
@@ -141,6 +212,8 @@ impl ServerMetrics {
             errors: g.counter("server.errors"),
             rejected_sessions: g.counter("server.rejected.sessions"),
             rejected_backpressure: g.counter("server.rejected.backpressure"),
+            conflicts: g.counter("server.commit.conflicts"),
+            retries: g.counter("server.commit.retries"),
             read_ns: g.histogram("server.read_ns"),
             write_ns: g.histogram("server.write_ns"),
             sessions: g.gauge("server.sessions"),
@@ -150,11 +223,76 @@ impl ServerMetrics {
     }
 }
 
+/// The committed-write-footprint ring: one `(epoch, write footprint)`
+/// entry per published epoch, contiguous, trimmed to
+/// [`ServerConfig::footprint_ring`] entries. Pushed under the engine
+/// mutex, so entry order is epoch order.
+struct FootprintRing {
+    entries: Vec<(u64, Footprint)>,
+    cap: usize,
+}
+
+impl FootprintRing {
+    fn new(cap: usize) -> FootprintRing {
+        FootprintRing {
+            entries: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, epoch: u64, writes: Footprint) {
+        self.entries.push((epoch, writes));
+        if self.entries.len() > self.cap {
+            let excess = self.entries.len() - self.cap;
+            self.entries.drain(..excess);
+        }
+    }
+
+    /// Validate a Δ built against `base_epoch`: `Ok(())` when it may
+    /// rebase, `Err(aspects)` with the first colliding aspect mask when
+    /// it conflicts. A base older than the ring's coverage is
+    /// indistinguishable from a conflict (the missing footprints might
+    /// have collided), so it conflicts on every aspect.
+    fn validate(&self, base_epoch: u64, delta: &xqdm::CapturedDelta) -> Result<(), u8> {
+        let since: Vec<&(u64, Footprint)> = self
+            .entries
+            .iter()
+            .filter(|(e, _)| *e > base_epoch)
+            .collect();
+        if since.is_empty() {
+            return Ok(());
+        }
+        // Every epoch in (base, latest] must be present: entries are
+        // contiguous, so it suffices that the oldest retained entry is
+        // no newer than base+1.
+        if self.entries.first().map(|(e, _)| *e) > Some(base_epoch + 1) {
+            return Err(aspect::ALL);
+        }
+        // A Δ with a whole-store write effect (explicit gc) cannot prove
+        // it commutes with anything committed meanwhile.
+        if delta.writes().is_global() {
+            return Err(aspect::ALL);
+        }
+        for (_, writes) in since {
+            let bits = delta.reads().conflict_aspects(writes);
+            if bits != 0 {
+                return Err(bits);
+            }
+        }
+        Ok(())
+    }
+}
+
 struct Inner {
-    /// The writer path: every possibly-effectful query serializes here.
+    /// The writer path: validation + rebase (or, for pessimistic runs,
+    /// the whole evaluation) serializes here.
     engine: Mutex<Engine>,
     /// Published snapshots; readers pin, writers publish.
     versions: VersionSet<EngineSnapshot>,
+    /// Committed write footprints, for OCC validation. Locked only while
+    /// the engine mutex is held (commit) or for a read-only scan
+    /// (validation), never the other way around.
+    ring: Mutex<FootprintRing>,
     /// The cross-session plan cache (also installed into `engine`).
     cache: Arc<SharedPlanCache>,
     config: ServerConfig,
@@ -187,11 +325,16 @@ impl Server {
         engine.set_shared_plan_cache(cache.clone());
         engine.set_limits(config.limits);
         engine.set_threads(config.threads);
+        // The live engine captures the write footprint of every commit
+        // (no read tracing — only forks validate reads), feeding the
+        // validation ring for both commit paths.
+        engine.begin_capture(false);
         let versions = VersionSet::new(engine.snapshot_state());
         Server {
             inner: Arc::new(Inner {
                 engine: Mutex::new(engine),
                 versions,
+                ring: Mutex::new(FootprintRing::new(config.footprint_ring)),
                 cache,
                 config,
                 sessions: AtomicUsize::new(0),
@@ -261,7 +404,21 @@ impl Server {
     pub fn with_engine<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
         let mut engine = self.inner.engine.lock().unwrap_or_else(|e| e.into_inner());
         let r = f(&mut engine);
-        self.inner.versions.publish(engine.snapshot_state());
+        // Host-side setup can change anything — bindings and module
+        // functions included, which footprints don't cover — so its ring
+        // entry is globally conflicting: every Δ in flight across it
+        // revalidates from a fresh snapshot.
+        let mut writes = engine
+            .take_capture()
+            .map(|d| d.writes().clone())
+            .unwrap_or_default();
+        writes.set_global();
+        let epoch = self.inner.versions.publish(engine.snapshot_state());
+        self.inner
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(epoch, writes);
         r
     }
 
@@ -283,6 +440,8 @@ impl Server {
             errors: m.errors.get(),
             rejected_sessions: m.rejected_sessions.get(),
             rejected_backpressure: m.rejected_backpressure.get(),
+            conflicts: m.conflicts.get(),
+            retries: m.retries.get(),
             cache_hits,
             cache_misses,
             read_p50_ns: m.read_ns.quantile(0.50),
@@ -318,6 +477,11 @@ pub struct ServerStats {
     pub rejected_sessions: u64,
     /// `XQB0051` backpressure rejections.
     pub rejected_backpressure: u64,
+    /// Optimistic commits that failed validation (each is retried or
+    /// aborted with `XQB0052`).
+    pub conflicts: u64,
+    /// Automatic conflict retries performed.
+    pub retries: u64,
     /// Shared plan-cache hits across all sessions.
     pub cache_hits: u64,
     /// Shared plan-cache misses across all sessions.
@@ -340,6 +504,7 @@ impl ServerStats {
              \"versions_retained\":{},\"versions_retired\":{},\
              \"reads\":{},\"writes\":{},\"errors\":{},\
              \"rejected_sessions\":{},\"rejected_backpressure\":{},\
+             \"conflicts\":{},\"retries\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\
              \"read_p50_ns\":{},\"read_p99_ns\":{},\
              \"write_p50_ns\":{},\"write_p99_ns\":{}}}",
@@ -354,6 +519,8 @@ impl ServerStats {
             self.errors,
             self.rejected_sessions,
             self.rejected_backpressure,
+            self.conflicts,
+            self.retries,
             self.cache_hits,
             self.cache_misses,
             self.read_p50_ns,
@@ -454,25 +621,158 @@ impl Session {
         }
     }
 
+    /// The writer path. With OCC on and an OCC-safe program: evaluate on
+    /// a forked snapshot, validate the Δ's footprint, rebase under the
+    /// engine lock; retry on conflict up to `max_retries`, then abort
+    /// with `XQB0052`. Everything else serializes its whole evaluation.
     fn execute_write(&self, query: &str, program: &xqsyn::CoreProgram) -> Result<Response, Error> {
         let inner = &self.inner;
-        let mut engine = inner.engine.lock().unwrap_or_else(|e| e.into_inner());
         let started = Instant::now();
-        let result = engine.run_program(program);
+        inner.metrics.requests_write.add(1);
+        let mut retries = 0usize;
+        let outcome = loop {
+            if !inner.config.occ_writers {
+                break self.commit_pessimistic(query, program);
+            }
+            let pin = inner.versions.pin_latest();
+            if !pin.occ_safe(program) {
+                drop(pin);
+                break self.commit_pessimistic(query, program);
+            }
+            match self.try_commit_optimistic(query, program, &pin) {
+                Ok(done) => break done,
+                Err(_conflict_aspects) => {
+                    inner.metrics.conflicts.add(1);
+                    if retries >= inner.config.max_retries {
+                        break Err(Error::Eval(XdmError::new(
+                            ERR_CONFLICT,
+                            format!(
+                                "commit conflict: Δ footprint intersects a commit since \
+                                 epoch {} ({} retries exhausted); retry the query",
+                                pin.epoch(),
+                                retries
+                            ),
+                        )));
+                    }
+                    retries += 1;
+                    inner.metrics.retries.add(1);
+                    // Exponential backoff before re-evaluating: under hot
+                    // contention every loser retries at once, and the next
+                    // commit re-conflicts them all (thundering herd); the
+                    // spread lets one writer land per window.
+                    let exp = u32::try_from(retries.min(6)).unwrap_or(6);
+                    std::thread::sleep(std::time::Duration::from_micros(100 << exp));
+                }
+            }
+        };
         let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         inner.metrics.write_ns.record(ns);
-        inner.metrics.requests_write.add(1);
-        // Publish the post-run state whatever the outcome: an errored run
-        // keeps its closed snaps, so readers must see them. Publishing
-        // and logging happen under the engine lock, so the commit log's
-        // order is the epoch order.
+        if outcome.is_err() {
+            inner.metrics.errors.add(1);
+        }
+        outcome
+    }
+
+    /// One optimistic attempt. `Ok` carries the request's final outcome
+    /// (including evaluation errors — those commit their closed snaps and
+    /// do not retry); `Err` carries the conflicting aspect mask and means
+    /// "evaluate again from a fresh snapshot".
+    fn try_commit_optimistic(
+        &self,
+        query: &str,
+        program: &xqsyn::CoreProgram,
+        pin: &xqdm::Pinned<EngineSnapshot>,
+    ) -> Result<Result<Response, Error>, u8> {
+        let inner = &self.inner;
+        let base_epoch = pin.epoch();
+        let mut fork = pin.reader();
+        fork.set_shared_plan_cache(inner.cache.clone());
+        fork.begin_capture(true);
+        let result = fork.run_program(program);
+        // Serialize on the fork, *before* draining the capture: the
+        // response body is evaluator-visible output, so the reads that
+        // shaped it belong in the validated footprint.
+        let outcome = match result {
+            Ok(value) => fork.serialize(&value).map_err(Error::Eval),
+            Err(e) => Err(Error::Eval(e)),
+        };
+        let delta = fork.take_capture().expect("fork capture attached");
+        let fork_snaps = fork.snap_counter().saturating_sub(pin.snap_counter());
+        drop(fork);
+
+        // Validate + rebase + publish, all under the engine mutex; the
+        // ring lock nests inside it.
+        let mut engine = inner.engine.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let ring = inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(bits) = ring.validate(base_epoch, &delta) {
+                // Last-writer-wins may waive pure value collisions: the
+                // rebase re-applies this Δ's renames/sets on top, which
+                // is exactly the serial order "them first, us second".
+                let structural = bits & !(aspect::NAME | aspect::VALUE);
+                if !(inner.config.conflict_policy == ConflictPolicy::LastWriterWins
+                    && structural == 0)
+                {
+                    return Err(bits);
+                }
+            }
+        }
+        engine.note_committer(self.id, base_epoch);
+        if let Err(e) = engine.apply_captured(&delta) {
+            // A precondition failed on the live store: some commit since
+            // the base invalidated an op in a way footprints admit
+            // (LWW waivers, untraced mutator-internal reads). Treat as a
+            // conflict and retry — unless nothing can have interleaved,
+            // in which case the Δ itself is unreplayable and retrying
+            // would loop forever.
+            if inner.versions.latest_epoch() == base_epoch {
+                drop(engine);
+                return Ok(Err(Error::Eval(e)));
+            }
+            return Err(aspect::ALL);
+        }
+        engine.advance_snap_counter(fork_snaps);
+        let live_writes = engine
+            .take_capture()
+            .map(|d| d.writes().clone())
+            .unwrap_or_default();
+        Ok(self.publish_commit(inner, &mut engine, query, outcome, live_writes))
+    }
+
+    /// The PR-8 fully serialized writer: evaluate on the live engine
+    /// under the mutex. Taken when OCC is off or the program is not
+    /// OCC-safe; never conflicts.
+    fn commit_pessimistic(
+        &self,
+        query: &str,
+        program: &xqsyn::CoreProgram,
+    ) -> Result<Response, Error> {
+        let inner = &self.inner;
+        let mut engine = inner.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let result = engine.run_program(program);
         let outcome = match result {
             Ok(value) => engine.serialize(&value).map_err(Error::Eval),
             Err(e) => Err(Error::Eval(e)),
         };
-        if outcome.is_err() {
-            inner.metrics.errors.add(1);
-        }
+        let live_writes = engine
+            .take_capture()
+            .map(|d| d.writes().clone())
+            .unwrap_or_default();
+        self.publish_commit(inner, &mut engine, query, outcome, live_writes)
+    }
+
+    /// Publish the post-run state whatever the outcome: an errored run
+    /// keeps its closed snaps, so readers must see them. Publishing,
+    /// the ring push, and logging happen under the engine lock, so the
+    /// commit log's order is the epoch order.
+    fn publish_commit(
+        &self,
+        inner: &Inner,
+        engine: &mut Engine,
+        query: &str,
+        outcome: Result<String, Error>,
+        writes: Footprint,
+    ) -> Result<Response, Error> {
         let logged = match &outcome {
             Ok(body) => Ok(body.clone()),
             Err(Error::Eval(e)) => Err(e.code.to_string()),
@@ -481,6 +781,11 @@ impl Session {
         let snapshot = engine.snapshot_state();
         let fingerprint = snapshot.store().fingerprint();
         let epoch = inner.versions.publish(snapshot);
+        inner
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(epoch, writes);
         inner
             .commits
             .lock()
@@ -492,7 +797,6 @@ impl Session {
                 body: logged,
                 fingerprint,
             });
-        drop(engine);
         outcome.map(|body| Response {
             kind: RequestKind::Write,
             epoch,
@@ -657,5 +961,279 @@ mod tests {
         let json = after.to_json();
         assert!(json.starts_with("{\"epoch\":"));
         assert!(json.contains("\"read_p50_ns\":"));
+        assert!(json.contains("\"conflicts\":"));
+        assert!(json.contains("\"retries\":"));
+    }
+
+    // -----------------------------------------------------------------
+    // Optimistic concurrent writers (DESIGN.md §16)
+    // -----------------------------------------------------------------
+
+    /// Run `q` on a scratch engine under capture and hand back its Δ.
+    fn capture_of(e: &mut Engine, q: &str) -> xqdm::CapturedDelta {
+        e.begin_capture(true);
+        let _ = e.run(q);
+        e.take_capture().expect("capture attached")
+    }
+
+    #[test]
+    fn footprint_ring_validates_and_evicts() {
+        let mut e = Engine::new();
+        e.load_document("doc", "<c>0</c>").unwrap();
+        // A value-set on the counter text: reads the counter, writes its
+        // value aspect.
+        let incr = capture_of(
+            &mut e,
+            "replace value of { $doc/c/text() } with { $doc/c + 1 }",
+        );
+        // A pure read of the counter (empty write footprint).
+        let reader = capture_of(&mut e, "string($doc/c)");
+        assert!(reader.writes().is_empty());
+        // A query that never touched the document.
+        let blind = capture_of(&mut e, "1 + 1");
+
+        let mut ring = FootprintRing::new(2);
+        ring.push(1, incr.writes().clone());
+        // The reader saw the counter at base 0; epoch 1 rewrote it.
+        let bits = ring.validate(0, &reader).unwrap_err();
+        assert_eq!(bits & !(aspect::NAME | aspect::VALUE), 0, "value-only");
+        // From base 1 nothing newer exists to conflict with.
+        assert!(ring.validate(1, &reader).is_ok());
+        // A Δ that read nothing commutes with anything covered.
+        assert!(ring.validate(0, &blind).is_ok());
+        // Eviction: once the base predates ring coverage, validation
+        // must conservatively conflict — even for an empty read set.
+        ring.push(2, Footprint::default());
+        ring.push(3, Footprint::default());
+        assert_eq!(ring.entries.len(), 2);
+        assert_eq!(ring.validate(0, &blind).unwrap_err(), aspect::ALL);
+        assert!(ring.validate(2, &reader).is_ok());
+    }
+
+    fn counter_server(config: ServerConfig) -> Server {
+        let mut e = Engine::new();
+        e.load_document("doc", "<c>0</c>").unwrap();
+        Server::with_config(e, config)
+    }
+
+    const INCR: &str = "replace value of { $doc/c/text() } with { $doc/c + 1 }";
+    /// An increment that evaluates slowly, widening the window in which
+    /// another committer can land between its pin and its validation.
+    const SLOW_INCR: &str =
+        "(sum(1 to 300000)[. < 0], replace value of { $doc/c/text() } with { $doc/c + 1 })";
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        // The classic lost-update litmus: N sessions × K read-modify-write
+        // increments. Backward validation forces every stale increment to
+        // retry, so the final value is exactly N*K.
+        let server = counter_server(ServerConfig::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let s = server.open_session().unwrap();
+                    for _ in 0..8 {
+                        // XQB0052 is the documented retryable abort: a
+                        // client that still wants the write re-submits.
+                        loop {
+                            match s.execute(INCR) {
+                                Ok(_) => break,
+                                Err(Error::Eval(e)) if e.code == ERR_CONFLICT => {}
+                                Err(other) => panic!("unexpected error {other}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = server.open_session().unwrap();
+        assert_eq!(s.execute("string($doc/c)").unwrap().body, "32");
+        // Log order = epoch order, and the last commit's fingerprint is
+        // the live store's.
+        let log = server.commit_log();
+        assert!(log.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert_eq!(log.last().unwrap().fingerprint, server.fingerprint());
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_xqb0052() {
+        // max_retries = 0: the first conflict aborts. A slow writer pins,
+        // evaluates while the main thread commits a colliding increment,
+        // then fails validation.
+        let server = counter_server(ServerConfig {
+            max_retries: 0,
+            ..ServerConfig::default()
+        });
+        let main = server.open_session().unwrap();
+        let before = server.stats();
+        let mut committed = 0u64;
+        let mut aborted = 0;
+        for _ in 0..30 {
+            let slow = {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let s = server.open_session().unwrap();
+                    s.execute(SLOW_INCR)
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            main.execute(INCR).unwrap();
+            committed += 1;
+            match slow.join().unwrap() {
+                Err(Error::Eval(e)) => {
+                    assert_eq!(e.code, ERR_CONFLICT);
+                    aborted += 1;
+                }
+                Ok(_) => committed += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            if aborted > 0 {
+                break;
+            }
+        }
+        assert!(aborted > 0, "no conflict in 30 rounds of forced collision");
+        // Metrics are process-global (one obs registry), so compare
+        // against the snapshot taken before this test's traffic.
+        assert!(server.stats().conflicts > before.conflicts);
+        // XQB0052 aborts left no partial effects: the counter equals the
+        // number of successful commits.
+        let got: u64 = main
+            .execute("string($doc/c)")
+            .unwrap()
+            .body
+            .parse()
+            .unwrap();
+        assert_eq!(got, committed);
+    }
+
+    #[test]
+    fn bounded_retry_recovers_from_conflicts() {
+        // Default max_retries: the slow loser re-evaluates from a fresh
+        // snapshot and lands; nothing surfaces to the client.
+        let server = counter_server(ServerConfig::default());
+        let main = server.open_session().unwrap();
+        let before = server.stats();
+        let mut rounds = 0u64;
+        for _ in 0..10 {
+            let slow = {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let s = server.open_session().unwrap();
+                    s.execute(SLOW_INCR)
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            main.execute(INCR).unwrap();
+            slow.join().unwrap().unwrap();
+            rounds += 1;
+            if server.stats().retries > before.retries {
+                break;
+            }
+        }
+        // Every round ran both increments to completion, conflicts or not.
+        let got: u64 = main
+            .execute("string($doc/c)")
+            .unwrap()
+            .body
+            .parse()
+            .unwrap();
+        assert_eq!(got, rounds * 2);
+    }
+
+    #[test]
+    fn last_writer_wins_waives_value_conflicts() {
+        // Under lww a stale value-set commits anyway — the increment that
+        // validated against an outdated counter overwrites the newer one,
+        // exactly as if it had run second serially. The counter then
+        // *undercounts*: that lost update is the policy's documented
+        // trade, and the abort policy's raison d'être.
+        let server = counter_server(ServerConfig {
+            conflict_policy: ConflictPolicy::LastWriterWins,
+            max_retries: 0,
+            ..ServerConfig::default()
+        });
+        let main = server.open_session().unwrap();
+        let mut lost = 0u64;
+        let mut rounds = 0u64;
+        for _ in 0..30 {
+            let slow = {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let s = server.open_session().unwrap();
+                    s.execute(SLOW_INCR)
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            main.execute(INCR).unwrap();
+            // Never XQB0052: value-only collisions are waived.
+            slow.join().unwrap().unwrap();
+            rounds += 1;
+            let got: u64 = main
+                .execute("string($doc/c)")
+                .unwrap()
+                .body
+                .parse()
+                .unwrap();
+            lost = rounds * 2 - got;
+            if lost > 0 {
+                break;
+            }
+        }
+        assert!(
+            lost > 0,
+            "no waived lost update in {rounds} rounds of forced collision"
+        );
+    }
+
+    #[test]
+    fn occ_unsafe_programs_take_the_pessimistic_path() {
+        // A nondeterministic snap cannot be footprint-validated (its
+        // replay could legitimately differ), so the write serializes
+        // under the engine lock and never conflicts.
+        let server = counter_server(ServerConfig::default());
+        let s = server.open_session().unwrap();
+        let before = server.stats();
+        s.execute("snap nondeterministic { insert { <e/> } into { $doc/c } }")
+            .unwrap();
+        assert_eq!(s.execute("count($doc/c/e)").unwrap().body, "1");
+        assert_eq!(server.stats().conflicts, before.conflicts);
+        // Same for par-opaque builtins observed mid-query.
+        s.execute("(insert { <f/> } into { $doc/c }, xqb:stats())")
+            .unwrap();
+        assert_eq!(server.stats().conflicts, before.conflicts);
+    }
+
+    #[test]
+    fn occ_off_serializes_every_write() {
+        let server = counter_server(ServerConfig {
+            occ_writers: false,
+            ..ServerConfig::default()
+        });
+        let before = server.stats();
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let s = server.open_session().unwrap();
+                    for _ in 0..4 {
+                        s.execute(INCR).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = server.open_session().unwrap();
+        assert_eq!(s.execute("string($doc/c)").unwrap().body, "8");
+        let stats = server.stats();
+        assert_eq!(
+            (stats.conflicts, stats.retries),
+            (before.conflicts, before.retries)
+        );
     }
 }

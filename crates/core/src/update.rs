@@ -49,6 +49,17 @@ pub enum UpdateRequest {
         /// The new name.
         name: QName,
     },
+    /// `setValue(node, string)` — `replace value of`: overwrite the
+    /// string value of a text or attribute node in place. The only
+    /// request whose store write is pure value-aspect (no tree-shape
+    /// change), which is what lets the server's last-writer-wins
+    /// conflict policy waive it.
+    SetValue {
+        /// The text or attribute node to overwrite.
+        node: NodeId,
+        /// The new string value.
+        value: String,
+    },
 }
 
 impl UpdateRequest {
@@ -69,6 +80,16 @@ impl UpdateRequest {
             }
             UpdateRequest::Delete { node } => store.detach(*node),
             UpdateRequest::Rename { node, name } => store.apply_rename(*node, name.clone()),
+            UpdateRequest::SetValue { node, value } => {
+                // The store setters precondition-check the node kind
+                // (text vs attribute) themselves.
+                match store.kind(*node)? {
+                    xqdm::NodeKind::Attribute { .. } => {
+                        store.set_attribute_value(*node, value.clone())
+                    }
+                    _ => store.set_text(*node, value.clone()),
+                }
+            }
         }
     }
 
@@ -79,6 +100,7 @@ impl UpdateRequest {
             UpdateRequest::InsertAttributes { .. } => "insert-attributes",
             UpdateRequest::Delete { .. } => "delete",
             UpdateRequest::Rename { .. } => "rename",
+            UpdateRequest::SetValue { .. } => "set-value",
         }
     }
 }

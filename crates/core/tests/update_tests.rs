@@ -584,3 +584,100 @@ declare function nextid() {
     let r = e.run(q).unwrap();
     assert_eq!(e.serialize(&r).unwrap(), "1 2");
 }
+
+// ---------------------------------------------------------------------
+// `replace value of`: in-place value sets (value-aspect writes)
+// ---------------------------------------------------------------------
+
+#[test]
+fn replace_value_of_sets_text_in_place() {
+    let mut e = engine_with("<c><v>0</v></c>");
+    assert_eq!(
+        run(
+            &mut e,
+            "replace value of { $doc/c/v/text() } with { $doc/c/v + 41 }"
+        ),
+        ""
+    );
+    assert_eq!(run(&mut e, "string($doc/c/v)"), "41");
+}
+
+#[test]
+fn replace_value_of_sets_attribute_in_place() {
+    let mut e = engine_with("<r><x id=\"a\"/></r>");
+    run(&mut e, "replace value of { $doc/r/x/@id } with { \"b\" }");
+    assert_eq!(run(&mut e, "string($doc/r/x/@id)"), "b");
+}
+
+#[test]
+fn replace_value_of_preserves_node_identity() {
+    // Unlike `replace` (insert-new + delete-old), the bound text node is
+    // still the live node afterwards.
+    let mut e = engine_with("<c><v>0</v></c>");
+    assert_eq!(
+        run(
+            &mut e,
+            "let $t := $doc/c/v/text() return
+             (snap replace value of { $t } with { \"9\" },
+              string($t), count($doc/c/v/text()))"
+        ),
+        "9 1"
+    );
+}
+
+#[test]
+fn replace_value_of_is_pending_until_snap_closes() {
+    let mut e = engine_with("<c><v>5</v></c>");
+    assert_eq!(
+        run(
+            &mut e,
+            "(replace value of { $doc/c/v/text() } with { 6 }, string($doc/c/v))"
+        ),
+        "5"
+    );
+    assert_eq!(run(&mut e, "string($doc/c/v)"), "6");
+}
+
+#[test]
+fn replace_value_of_atomizes_and_joins_source() {
+    let mut e = engine_with("<c><v>x</v></c>");
+    run(
+        &mut e,
+        "replace value of { $doc/c/v/text() } with { (1, 2, 3) }",
+    );
+    assert_eq!(run(&mut e, "string($doc/c/v)"), "1 2 3");
+}
+
+#[test]
+fn replace_value_of_rejects_element_targets() {
+    let mut e = engine_with("<c><v>0</v></c>");
+    let err = e
+        .run("replace value of { $doc/c/v } with { 1 }")
+        .unwrap_err();
+    assert!(matches!(err, Error::Eval(_)), "got {err:?}");
+}
+
+#[test]
+fn conflict_detection_rejects_disagreeing_value_sets() {
+    let mut e = engine_with("<c><v>0</v></c>");
+    let err = e
+        .run(
+            "snap conflict-detection {
+               (replace value of { $doc/c/v/text() } with { 1 },
+                replace value of { $doc/c/v/text() } with { 2 }) }",
+        )
+        .unwrap_err();
+    let Error::Eval(x) = &err else {
+        panic!("expected eval error, got {err:?}")
+    };
+    assert_eq!(x.code, "XQB0010");
+    // Agreeing sets are conflict-free (idempotent writes commute).
+    let mut e = engine_with("<c><v>0</v></c>");
+    run(
+        &mut e,
+        "snap conflict-detection {
+           (replace value of { $doc/c/v/text() } with { 7 },
+            replace value of { $doc/c/v/text() } with { 7 }) }",
+    );
+    assert_eq!(run(&mut e, "string($doc/c/v)"), "7");
+}

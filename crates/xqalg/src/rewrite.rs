@@ -357,6 +357,7 @@ fn map_children(core: &Core, f: &mut impl FnMut(&Core) -> Core) -> Core {
         },
         Core::Delete(e) => Core::Delete(f(e).boxed()),
         Core::Replace(t, w) => Core::Replace(f(t).boxed(), f(w).boxed()),
+        Core::ReplaceValue(t, w) => Core::ReplaceValue(f(t).boxed(), f(w).boxed()),
         Core::Rename(t, n) => Core::Rename(f(t).boxed(), f(n).boxed()),
         Core::Copy(e) => Core::Copy(f(e).boxed()),
         Core::Snap(mode, e) => Core::Snap(*mode, f(e).boxed()),

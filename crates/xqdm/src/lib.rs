@@ -23,6 +23,7 @@
 
 pub mod atomic;
 pub mod error;
+pub mod footprint;
 pub mod item;
 pub mod node;
 pub(crate) mod pages;
@@ -35,6 +36,7 @@ pub mod xml;
 
 pub use atomic::Atomic;
 pub use error::{XdmError, XdmResult};
+pub use footprint::{CapturedDelta, Footprint};
 pub use item::{Item, Sequence};
 pub use node::{NodeId, NodeKind};
 pub use qname::QName;

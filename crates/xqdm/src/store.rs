@@ -14,6 +14,7 @@
 //!    are detached and unreachable yet persistent.
 
 use crate::error::{XdmError, XdmResult};
+use crate::footprint::{aspect, Capture, CapturedDelta};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::pages::Pages;
 use crate::qname::QName;
@@ -22,7 +23,7 @@ use crate::wal::{
     self, BirthKind, CommitReceipt, Cursor, Fnv64, RecoveryReport, RedoOp, SyncMode, Wal,
 };
 use std::cmp::Ordering;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 /// Where an insertion lands among a parent's children (paper §3.1's
@@ -173,6 +174,11 @@ pub struct Store {
     /// present, every successful mutation records a forward redo op;
     /// [`Store::wal_commit`] makes them durable.
     wal: Option<Box<Wal>>,
+    /// Δ capture for optimistic concurrency (DESIGN.md §16). While
+    /// present, every successful mutation records its redo op and write
+    /// footprint here, and (when read tracing is on) every accessor
+    /// records its read footprint; see [`Store::begin_capture`].
+    capture: Option<Box<Capture>>,
     /// Interned names: node slots hold [`QNameId`]s/[`crate::SymbolId`]s
     /// into this append-only table (DESIGN.md §14).
     symbols: Symbols,
@@ -190,6 +196,7 @@ impl Clone for Store {
             undo: self.undo.clone(),
             frames: self.frames.clone(),
             wal: None,
+            capture: None,
             symbols: self.symbols.clone(),
         }
     }
@@ -254,6 +261,7 @@ impl Store {
             undo: Vec::new(),
             frames: Vec::new(),
             wal: None,
+            capture: None,
             symbols: self.symbols.clone(),
         }
     }
@@ -289,6 +297,9 @@ impl Store {
         if let Some(w) = &mut self.wal {
             w.note_begin_frame();
         }
+        if let Some(c) = &mut self.capture {
+            c.note_begin_frame();
+        }
     }
 
     /// Close the innermost frame, keeping its effects. O(1) when nested;
@@ -310,6 +321,9 @@ impl Store {
         if let Some(w) = &mut self.wal {
             w.note_commit_frame();
         }
+        if let Some(c) = &mut self.capture {
+            c.note_commit_frame();
+        }
     }
 
     /// Close the innermost frame, undoing every mutation made since its
@@ -330,6 +344,9 @@ impl Store {
         // from the in-memory buffer before any commit marker is written.
         if let Some(w) = &mut self.wal {
             w.note_rollback_frame();
+        }
+        if let Some(c) = &mut self.capture {
+            c.note_rollback_frame();
         }
     }
 
@@ -382,7 +399,7 @@ impl Store {
     ) -> XdmResult<usize> {
         let reachable = self.reachable_set(roots)?;
         let journaling = !self.frames.is_empty();
-        let logging = self.wal.is_some();
+        let logging = self.logging();
         let mut collected = Vec::new();
         let mut reclaimed = 0;
         for &id in candidates {
@@ -412,6 +429,14 @@ impl Store {
             }
         }
         if !collected.is_empty() {
+            if let Some(c) = &mut self.capture {
+                // Reclaiming a base-snapshot node is a whole-store effect
+                // for conflict purposes: its slot re-enters the free list
+                // and may be re-allocated under a different identity.
+                if collected.iter().any(|&id| !c.is_fresh(id)) {
+                    c.set_global();
+                }
+            }
             // The recorded order fixes the replayed free list, hence
             // every future allocation's id.
             self.wal_record(RedoOp::Collect { ids: collected });
@@ -539,12 +564,15 @@ impl Store {
         if self.journaling() {
             self.undo.push(UndoEntry::Alloc { id, reused });
         }
-        if self.wal.is_some() {
+        if self.logging() {
             // At birth every container is empty, so the at-alloc kind is
             // the complete forward image. Logged lexically: the on-disk
             // record format predates interning and must not change.
             let kind = self.birth_kind(id);
             self.wal_record(RedoOp::Alloc { id, kind });
+        }
+        if let Some(c) = &mut self.capture {
+            c.note_fresh(id);
         }
         id
     }
@@ -574,11 +602,127 @@ impl Store {
         }
     }
 
-    /// Append a redo op to the attached log's buffer (no-op without one).
+    /// Is any forward-op consumer attached (redo log or Δ capture)?
+    fn logging(&self) -> bool {
+        self.wal.is_some() || self.capture.is_some()
+    }
+
+    /// Append a redo op to the attached log's buffer and/or the Δ
+    /// capture (no-op without either).
     fn wal_record(&mut self, op: RedoOp) {
-        if let Some(w) = &mut self.wal {
-            w.record(op);
+        match (&mut self.capture, &mut self.wal) {
+            (Some(c), Some(w)) => {
+                c.ops.push(op.clone());
+                w.record(op);
+            }
+            (Some(c), None) => c.ops.push(op),
+            (None, Some(w)) => w.record(op),
+            (None, None) => {}
         }
+    }
+
+    /// Record an evaluator-visible read of `aspects` of `id` (no-op
+    /// unless a read-tracing capture is attached). `&self` on purpose:
+    /// effect-free parallel regions read through shared `&Store`.
+    #[inline]
+    fn trace_read(&self, id: NodeId, aspects: u8) {
+        if let Some(c) = &self.capture {
+            c.trace_read(id, aspects);
+        }
+    }
+
+    /// Record a write footprint mark for a mutation of `id` (no-op
+    /// without a capture; writes to capture-fresh nodes are dropped).
+    #[inline]
+    fn cap_write(&mut self, id: NodeId, aspects: u8) {
+        if let Some(c) = &mut self.capture {
+            c.record_write(id, aspects);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Δ capture (optimistic concurrency; DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /// Attach a Δ capture: every subsequent mutation records its redo op
+    /// and write footprint; with `trace_reads`, every evaluator-visible
+    /// accessor records its read footprint too. Forked transaction
+    /// stores capture with read tracing; the live store captures without
+    /// it (only committed write footprints are needed there).
+    pub fn begin_capture(&mut self, trace_reads: bool) {
+        self.capture = Some(Box::new(Capture::new(trace_reads)));
+    }
+
+    /// Is a Δ capture attached?
+    pub fn capturing(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Detach the Δ capture, discarding anything recorded.
+    pub fn end_capture(&mut self) {
+        self.capture = None;
+    }
+
+    /// Drain everything recorded since the last take (or since
+    /// [`Store::begin_capture`]) into a [`CapturedDelta`], leaving the
+    /// capture attached and reset for the next transaction.
+    pub fn take_capture(&mut self) -> Option<CapturedDelta> {
+        self.capture.as_mut().map(|c| c.take())
+    }
+
+    /// Replay a captured Δ onto this store through the regular mutators,
+    /// remapping the Δ's fork-local allocations onto fresh live
+    /// allocations (classic OCC rebase). Ops referencing base-snapshot
+    /// nodes keep their ids — base ids are stable across the fork. Every
+    /// mutator precondition is re-validated against the live store; an
+    /// error means the Δ does not apply here (the caller treats it as a
+    /// conflict and rolls back its enclosing frame). Because the live
+    /// free list and the mutator sequence fully determine allocation,
+    /// the resulting state is bit-identical to running the transaction
+    /// serially at this point in the commit order.
+    pub fn apply_captured(&mut self, delta: &CapturedDelta) -> XdmResult<()> {
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        fn m(map: &HashMap<NodeId, NodeId>, id: NodeId) -> NodeId {
+            map.get(&id).copied().unwrap_or(id)
+        }
+        for op in &delta.ops {
+            match op {
+                RedoOp::Alloc { id, kind } => {
+                    let got = self.alloc_birth(kind);
+                    map.insert(*id, got);
+                }
+                RedoOp::Insert {
+                    seq,
+                    parent,
+                    anchor,
+                } => {
+                    let seq: Vec<NodeId> = seq.iter().map(|&n| m(&map, n)).collect();
+                    let anchor = match anchor {
+                        InsertAnchor::After(p) => InsertAnchor::After(m(&map, *p)),
+                        a => *a,
+                    };
+                    self.apply_insert(&seq, m(&map, *parent), anchor)?;
+                }
+                RedoOp::AttachAttr { element, attr } => {
+                    self.attach_attribute(m(&map, *element), m(&map, *attr))?;
+                }
+                RedoOp::Detach { node } => self.detach(m(&map, *node))?,
+                RedoOp::Rename { node, name } => {
+                    self.apply_rename(m(&map, *node), name.clone())?;
+                }
+                RedoOp::SetText { node, content } => {
+                    self.set_text(m(&map, *node), content.clone())?;
+                }
+                RedoOp::SetAttrValue { node, value } => {
+                    self.set_attribute_value(m(&map, *node), value.clone())?;
+                }
+                RedoOp::Collect { ids } => {
+                    let ids: Vec<NodeId> = ids.iter().map(|&n| m(&map, n)).collect();
+                    self.kill_slots(&ids)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn data(&self, id: NodeId) -> XdmResult<&NodeData> {
@@ -660,20 +804,36 @@ impl Store {
 
     // ------------------------------------------------------------------
     // Accessors
+    //
+    // The public accessors trace their reads into an attached Δ capture
+    // (DESIGN.md §16): each records which *aspect* of the node shaped the
+    // answer. Mutator internals use the `_raw` variants — replaying a Δ
+    // re-validates preconditions and recomputes splice positions on the
+    // live store, so those reads need no validation.
     // ------------------------------------------------------------------
 
     /// The node's kind and payload.
     pub fn kind(&self, id: NodeId) -> XdmResult<&NodeKind> {
+        self.trace_read(
+            id,
+            aspect::NAME | aspect::VALUE | aspect::CHILDREN | aspect::ATTRS,
+        );
         Ok(&self.data(id)?.kind)
     }
 
     /// The node's parent, if attached.
     pub fn parent(&self, id: NodeId) -> XdmResult<Option<NodeId>> {
+        self.trace_read(id, aspect::PARENT);
         Ok(self.data(id)?.parent)
     }
 
     /// The node's children (empty for non-containers).
     pub fn children(&self, id: NodeId) -> XdmResult<&[NodeId]> {
+        self.trace_read(id, aspect::CHILDREN);
+        self.children_raw(id)
+    }
+
+    fn children_raw(&self, id: NodeId) -> XdmResult<&[NodeId]> {
         Ok(match &self.data(id)?.kind {
             NodeKind::Document { children } | NodeKind::Element { children, .. } => children,
             _ => &[],
@@ -682,6 +842,11 @@ impl Store {
 
     /// The node's attribute nodes (empty for non-elements).
     pub fn attributes(&self, id: NodeId) -> XdmResult<&[NodeId]> {
+        self.trace_read(id, aspect::ATTRS);
+        self.attributes_raw(id)
+    }
+
+    fn attributes_raw(&self, id: NodeId) -> XdmResult<&[NodeId]> {
         Ok(match &self.data(id)?.kind {
             NodeKind::Element { attributes, .. } => attributes,
             _ => &[],
@@ -698,6 +863,11 @@ impl Store {
     /// The node's interned name (elements and attributes; `None`
     /// otherwise). Within one store, equal ids ⇔ equal lexical names.
     pub fn name_id(&self, id: NodeId) -> XdmResult<Option<QNameId>> {
+        self.trace_read(id, aspect::NAME);
+        self.name_id_raw(id)
+    }
+
+    fn name_id_raw(&self, id: NodeId) -> XdmResult<Option<QNameId>> {
         Ok(match &self.data(id)?.kind {
             NodeKind::Element { name, .. } | NodeKind::Attribute { name, .. } => Some(*name),
             _ => None,
@@ -711,6 +881,10 @@ impl Store {
         let wanted = match self.symbols.lookup(name) {
             Some(s) => s,
             None => {
+                // Even an interner miss is a read of the attribute list:
+                // a committed Δ attaching this attribute would change the
+                // answer, so the miss path must stay validated.
+                self.trace_read(element, aspect::ATTRS);
                 self.data(element)?; // preserve dangling-id errors
                 return Ok(None);
             }
@@ -728,6 +902,7 @@ impl Store {
     /// The XDM string value: concatenated descendant text for containers,
     /// content for the leaf kinds.
     pub fn string_value(&self, id: NodeId) -> XdmResult<String> {
+        self.trace_read(id, aspect::VALUE);
         match &self.data(id)?.kind {
             NodeKind::Attribute { value, .. } => Ok(value.clone()),
             NodeKind::Text { content } | NodeKind::Comment { content } => Ok(content.clone()),
@@ -747,6 +922,7 @@ impl Store {
     fn collect_text(&self, id: NodeId, out: &mut String) -> XdmResult<()> {
         let mut stack: Vec<NodeId> = vec![id];
         while let Some(n) = stack.pop() {
+            self.trace_read(n, aspect::VALUE | aspect::CHILDREN);
             match &self.data(n)?.kind {
                 NodeKind::Text { content } => out.push_str(content),
                 NodeKind::Document { children } | NodeKind::Element { children, .. } => {
@@ -798,6 +974,9 @@ impl Store {
         principal_attr: bool,
         test: KernelTest,
     ) -> XdmResult<bool> {
+        // A node's kind *category* is fixed at birth, so kind tests read
+        // nothing mutable; only the name comparison does.
+        self.trace_read(node, aspect::NAME);
         let kind = &self.data(node)?.kind;
         Ok(match test {
             KernelTest::AnyKind => true,
@@ -917,13 +1096,13 @@ impl Store {
             return Err(XdmError::precondition("attribute already has a parent"));
         }
         let next_attr_okey = {
-            let attrs = self.attributes(element)?;
+            let attrs = self.attributes_raw(element)?;
             match attrs.last() {
                 Some(&last) => self.data(last)?.okey.saturating_add(Self::OKEY_STRIDE),
                 None => Self::OKEY_STRIDE,
             }
         };
-        let attr_name = match self.kind(attr)? {
+        let attr_name = match &self.data(attr)?.kind {
             NodeKind::Attribute { name, .. } => *name,
             k => {
                 return Err(XdmError::precondition(format!(
@@ -932,8 +1111,8 @@ impl Store {
                 )))
             }
         };
-        for &existing in self.attributes(element)? {
-            if self.name_id(existing)? == Some(attr_name) {
+        for &existing in self.attributes_raw(element)? {
+            if self.name_id_raw(existing)? == Some(attr_name) {
                 return Err(XdmError::precondition(format!(
                     "duplicate attribute \"{}\"",
                     self.symbols.qname_string(attr_name)
@@ -963,9 +1142,11 @@ impl Store {
                 okey: old_okey,
             });
         }
-        if self.wal.is_some() {
+        if self.logging() {
             self.wal_record(RedoOp::AttachAttr { element, attr });
         }
+        self.cap_write(element, aspect::ATTRS);
+        self.cap_write(attr, aspect::PARENT);
         Ok(())
     }
 
@@ -988,10 +1169,10 @@ impl Store {
         parent: NodeId,
         anchor: InsertAnchor,
     ) -> XdmResult<()> {
-        if !self.kind(parent)?.is_container() {
+        if !self.data(parent)?.kind.is_container() {
             return Err(XdmError::precondition(format!(
                 "insertion parent {parent} is a {} node",
-                self.kind(parent)?.kind_name()
+                self.data(parent)?.kind.kind_name()
             )));
         }
         // Cycle detection without an eager ancestor walk: a strict
@@ -1034,7 +1215,7 @@ impl Store {
                     let mut cur = Some(parent);
                     while let Some(a) = cur {
                         set.insert(a);
-                        cur = self.parent(a)?;
+                        cur = self.data(a)?.parent;
                     }
                     ancestors = Some(set);
                 }
@@ -1046,7 +1227,7 @@ impl Store {
             }
         }
         let index = {
-            let children = self.children(parent)?;
+            let children = self.children_raw(parent)?;
             match anchor {
                 InsertAnchor::First => 0,
                 InsertAnchor::Last => children.len(),
@@ -1077,7 +1258,7 @@ impl Store {
             self.data_mut(n)?.parent = Some(parent);
         }
         self.assign_order_keys(parent, index, seq.len())?;
-        if self.wal.is_some() {
+        if self.logging() {
             // Order keys are not logged: replay re-runs this very method,
             // which recomputes them (and any renumbering) identically.
             self.wal_record(RedoOp::Insert {
@@ -1085,6 +1266,10 @@ impl Store {
                 parent,
                 anchor,
             });
+        }
+        self.cap_write(parent, aspect::CHILDREN);
+        for &n in seq {
+            self.cap_write(n, aspect::PARENT);
         }
         Ok(())
     }
@@ -1100,7 +1285,7 @@ impl Store {
         if count == 0 {
             return Ok(());
         }
-        let children: Vec<NodeId> = self.children(parent)?.to_vec();
+        let children: Vec<NodeId> = self.children_raw(parent)?.to_vec();
         let lo = if index == 0 {
             0
         } else {
@@ -1187,16 +1372,19 @@ impl Store {
                 }),
             }
         }
-        if self.wal.is_some() {
+        if self.logging() {
             self.wal_record(RedoOp::Detach { node });
         }
+        self.cap_write(node, aspect::PARENT);
+        // Conservative: the entry may have been in either list.
+        self.cap_write(parent, aspect::CHILDREN | aspect::ATTRS);
         Ok(())
     }
 
     /// Apply `rename(node, name)`. Precondition: the node is an element or
     /// attribute.
     pub fn apply_rename(&mut self, node: NodeId, name: QName) -> XdmResult<()> {
-        let logged = self.wal.is_some().then(|| name.clone());
+        let logged = self.logging().then(|| name.clone());
         let name = self.symbols.intern_qname(&name);
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } => {
@@ -1216,6 +1404,7 @@ impl Store {
         if let Some(name) = logged {
             self.wal_record(RedoOp::Rename { node, name });
         }
+        self.cap_write(node, aspect::NAME);
         Ok(())
     }
 
@@ -1225,7 +1414,7 @@ impl Store {
     /// the data generator).
     pub fn set_text(&mut self, node: NodeId, content: impl Into<String>) -> XdmResult<()> {
         let content = content.into();
-        let logged = self.wal.is_some().then(|| content.clone());
+        let logged = self.logging().then(|| content.clone());
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Text { content: c } => std::mem::replace(c, content),
             k => {
@@ -1242,13 +1431,14 @@ impl Store {
         if let Some(content) = logged {
             self.wal_record(RedoOp::SetText { node, content });
         }
+        self.cap_write(node, aspect::VALUE);
         Ok(())
     }
 
     /// Set an attribute node's value.
     pub fn set_attribute_value(&mut self, node: NodeId, value: impl Into<String>) -> XdmResult<()> {
         let value = value.into();
-        let logged = self.wal.is_some().then(|| value.clone());
+        let logged = self.logging().then(|| value.clone());
         let old = match &mut self.data_mut(node)?.kind {
             NodeKind::Attribute { value: v, .. } => std::mem::replace(v, value),
             k => {
@@ -1267,6 +1457,7 @@ impl Store {
         if let Some(value) = logged {
             self.wal_record(RedoOp::SetAttrValue { node, value });
         }
+        self.cap_write(node, aspect::VALUE);
         Ok(())
     }
 
@@ -1277,6 +1468,12 @@ impl Store {
     /// Deep-copy the subtree rooted at `node`, returning the parentless
     /// copy's id. Attributes are copied along with elements.
     pub fn deep_copy(&mut self, node: NodeId) -> XdmResult<NodeId> {
+        // A copy observes everything about the source node, and it
+        // bypasses the public accessors — trace the read here.
+        self.trace_read(
+            node,
+            aspect::NAME | aspect::VALUE | aspect::CHILDREN | aspect::ATTRS,
+        );
         // Names are already interned in this store, so copies alloc with
         // the source's ids directly — no resolve/re-intern round trip.
         let kind = self.data(node)?.kind.clone();
@@ -1495,7 +1692,7 @@ impl Store {
     pub fn collect_garbage(&mut self, roots: &[NodeId]) -> XdmResult<usize> {
         let reachable = self.reachable_set(roots)?;
         let journaling = self.journaling();
-        let logging = self.wal.is_some();
+        let logging = self.logging();
         let mut collected = Vec::new();
         let mut reclaimed = 0;
         for i in 0..self.nodes.len() {
@@ -1525,6 +1722,13 @@ impl Store {
             }
         }
         if !collected.is_empty() {
+            if let Some(c) = &mut self.capture {
+                // As in reclaim_unreachable: collecting base-snapshot
+                // nodes is a whole-store effect for conflict purposes.
+                if collected.iter().any(|&id| !c.is_fresh(id)) {
+                    c.set_global();
+                }
+            }
             self.wal_record(RedoOp::Collect { ids: collected });
         }
         Ok(reclaimed)
@@ -1603,6 +1807,14 @@ impl Store {
     /// `Ok(None)` when there is nothing to commit, no log is attached,
     /// or an undo frame is still open (an open frame means the ops are
     /// not yet commitment — the paper's §2.3 rule).
+    /// Stamp the next WAL commit with an interleaved-committer info
+    /// record `(session, base_epoch)` (no-op without a log).
+    pub fn wal_note_committer(&mut self, session: u64, base_epoch: u64) {
+        if let Some(w) = &mut self.wal {
+            w.note_committer(session, base_epoch);
+        }
+    }
+
     pub fn wal_commit(&mut self) -> XdmResult<Option<CommitReceipt>> {
         if !self.frames.is_empty() {
             return Ok(None);
@@ -1743,33 +1955,9 @@ impl Store {
     pub(crate) fn apply_redo(&mut self, op: &RedoOp) -> XdmResult<()> {
         match op {
             RedoOp::Alloc { id, kind } => {
-                // The log records births lexically; intern back into this
-                // store's symbol table before allocating the slot.
-                let kind = match kind {
-                    BirthKind::Document => NodeKind::Document { children: vec![] },
-                    BirthKind::Element { name } => NodeKind::Element {
-                        name: self.symbols.intern_qname(name),
-                        attributes: vec![],
-                        children: vec![],
-                    },
-                    BirthKind::Attribute { name, value } => NodeKind::Attribute {
-                        name: self.symbols.intern_qname(name),
-                        value: value.clone(),
-                    },
-                    BirthKind::Text { content } => NodeKind::Text {
-                        content: content.clone(),
-                    },
-                    BirthKind::Comment { content } => NodeKind::Comment {
-                        content: content.clone(),
-                    },
-                    BirthKind::Pi { target, content } => NodeKind::Pi {
-                        target: self.symbols.intern(target),
-                        content: content.clone(),
-                    },
-                };
                 // Same history ⇒ same free-list state ⇒ alloc reproduces
                 // the logged id; a mismatch means the log is corrupt.
-                let got = self.alloc(kind);
+                let got = self.alloc_birth(kind);
                 if got != *id {
                     return Err(XdmError::new(
                         "XQB0060",
@@ -1790,6 +1978,35 @@ impl Store {
             RedoOp::SetAttrValue { node, value } => self.set_attribute_value(*node, value.clone()),
             RedoOp::Collect { ids } => self.kill_slots(ids),
         }
+    }
+
+    /// Allocate a slot from a logged at-birth image: the log records
+    /// births lexically, so the names are interned back into *this*
+    /// store's symbol table first. Shared by redo replay and Δ rebase.
+    fn alloc_birth(&mut self, kind: &BirthKind) -> NodeId {
+        let kind = match kind {
+            BirthKind::Document => NodeKind::Document { children: vec![] },
+            BirthKind::Element { name } => NodeKind::Element {
+                name: self.symbols.intern_qname(name),
+                attributes: vec![],
+                children: vec![],
+            },
+            BirthKind::Attribute { name, value } => NodeKind::Attribute {
+                name: self.symbols.intern_qname(name),
+                value: value.clone(),
+            },
+            BirthKind::Text { content } => NodeKind::Text {
+                content: content.clone(),
+            },
+            BirthKind::Comment { content } => NodeKind::Comment {
+                content: content.clone(),
+            },
+            BirthKind::Pi { target, content } => NodeKind::Pi {
+                target: self.symbols.intern(target),
+                content: content.clone(),
+            },
+        };
+        self.alloc(kind)
     }
 
     /// Replay of a [`RedoOp::Collect`]: retire exactly `ids`, in order,
@@ -1973,6 +2190,7 @@ impl Store {
             frames: Vec::new(),
             symbols,
             wal: None,
+            capture: None,
         };
         if store.fingerprint() != fingerprint {
             return Err(corrupt("fingerprint mismatch"));

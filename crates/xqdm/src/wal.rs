@@ -296,6 +296,11 @@ fn put_nodes(out: &mut Vec<u8>, ids: &[NodeId]) {
 const TAG_OP: u8 = 1;
 const TAG_COMMIT: u8 = 2;
 const TAG_SEAL: u8 = 3;
+/// Interleaved-committer info: which server session committed the batch
+/// that follows, and against which base epoch it validated (ISSUE 9).
+/// Purely diagnostic — replay counts these but applies nothing, and a
+/// torn info record drops the tail exactly like any other record.
+const TAG_INFO: u8 = 4;
 
 // Op tags (first byte after TAG_OP).
 const OP_ALLOC: u8 = 1;
@@ -486,6 +491,9 @@ pub struct RecoveryReport {
     pub tail_dropped: u64,
     /// Whether the store was seeded from `checkpoint.bin`.
     pub from_checkpoint: bool,
+    /// Interleaved-committer info records seen in the log (written by the
+    /// server's concurrent-writer commits; see docs/SERVER.md).
+    pub committer_records: u64,
     /// Human-readable warnings, one per graceful degradation.
     pub warnings: Vec<String>,
 }
@@ -501,6 +509,9 @@ pub struct Wal {
     lsn: u64,
     /// Ops recorded since the last flushed commit marker.
     pending: Vec<RedoOp>,
+    /// Committer info `(session, base_epoch)` to stamp onto the next
+    /// commit (set by the server before a concurrent-writer commit).
+    pending_info: Option<(u64, u64)>,
     /// `pending.len()` at each open undo frame; rollback truncates.
     marks: Vec<usize>,
     commits_since_sync: u64,
@@ -596,6 +607,7 @@ impl Wal {
             sync,
             lsn: existing_lsn,
             pending: Vec::new(),
+            pending_info: None,
             marks: Vec::new(),
             commits_since_sync: 0,
             commits_since_checkpoint: 0,
@@ -626,6 +638,11 @@ impl Wal {
 
     pub(crate) fn record(&mut self, op: RedoOp) {
         self.pending.push(op);
+    }
+
+    /// Stamp the next commit with an interleaved-committer info record.
+    pub(crate) fn note_committer(&mut self, session: u64, base_epoch: u64) {
+        self.pending_info = Some((session, base_epoch));
     }
 
     pub(crate) fn note_begin_frame(&mut self) {
@@ -678,10 +695,17 @@ impl Wal {
     pub(crate) fn commit_pending(&mut self) -> XdmResult<Option<CommitReceipt>> {
         debug_assert!(self.marks.is_empty(), "wal commit inside an open frame");
         if self.pending.is_empty() {
+            self.pending_info = None;
             return Ok(None);
         }
         let ops = std::mem::take(&mut self.pending);
         let before = self.bytes_written;
+        if let Some((session, base_epoch)) = self.pending_info.take() {
+            let mut payload = vec![TAG_INFO];
+            put_u64(&mut payload, session);
+            put_u64(&mut payload, base_epoch);
+            self.write_record(&payload)?;
+        }
         for op in &ops {
             let mut payload = vec![TAG_OP];
             op.encode(&mut payload);
@@ -932,6 +956,18 @@ fn replay_log(
                     }
                 }
                 valid_len = body_end as u64;
+            }
+            TAG_INFO => {
+                // session id + base epoch; diagnostic only. Not counted
+                // into valid_len on its own: a committer record without
+                // its commit marker is an uncommitted prefix.
+                match (c.u64(), c.u64()) {
+                    (Ok(_), Ok(_)) if c.done() => report.committer_records += 1,
+                    _ => {
+                        drop_tail(report, format!("malformed committer info at offset {pos}"));
+                        break;
+                    }
+                }
             }
             TAG_SEAL => {
                 let fp = match c.u64() {

@@ -305,6 +305,14 @@ pub enum Expr {
     Delete(Box<Expr>),
     /// `replace { e1 } with { e2 }`
     Replace(Box<Expr>, Box<Expr>),
+    /// `replace value of { e1 } with { e2 }` — set the string value of a
+    /// text or attribute node in place. Not in the paper's Fig. 1 (its
+    /// `replace` splices a fresh copy next to the target and deletes the
+    /// target); this is XQuery Update's "replace value of", kept because
+    /// it preserves node identity and gives the store a pure value-aspect
+    /// write — the footprint the server's last-writer-wins conflict
+    /// policy can safely waive.
+    ReplaceValue(Box<Expr>, Box<Expr>),
     /// `rename { e1 } to { e2 }`
     Rename(Box<Expr>, Box<Expr>),
     /// `copy { e }`

@@ -183,6 +183,11 @@ pub enum Core {
     /// `replace { target } with { source }` — produces an insert and a
     /// delete request (paper's rule); `source` is already `copy`-wrapped.
     Replace(Box<Core>, Box<Core>),
+    /// `replace value of { target } with { source }` — produces a single
+    /// set-value request: the target text/attribute node keeps its
+    /// identity, only its string value changes (a value-aspect store
+    /// write, no copy involved).
+    ReplaceValue(Box<Core>, Box<Core>),
     /// `rename { target } to { name }`.
     Rename(Box<Core>, Box<Core>),
     /// `copy { e }` — deep copy, immediate (allocation, not an update).
@@ -275,6 +280,7 @@ impl Core {
             | Core::Union(a, b)
             | Core::Range(a, b)
             | Core::Replace(a, b)
+            | Core::ReplaceValue(a, b)
             | Core::Rename(a, b) => {
                 f(a);
                 f(b);
@@ -395,7 +401,11 @@ impl Core {
         self.walk(&mut |c| {
             if matches!(
                 c,
-                Core::Insert { .. } | Core::Delete(_) | Core::Replace(..) | Core::Rename(..)
+                Core::Insert { .. }
+                    | Core::Delete(_)
+                    | Core::Replace(..)
+                    | Core::ReplaceValue(..)
+                    | Core::Rename(..)
             ) {
                 found = true;
             }

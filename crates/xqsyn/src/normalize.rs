@@ -174,6 +174,11 @@ pub fn normalize(e: &Expr) -> Core {
                 copy_wrap(normalize(with)).boxed(),
             )
         }
+        Expr::ReplaceValue(target, source) => {
+            // No implicit copy: the source is atomized to a string, never
+            // spliced into the tree.
+            Core::ReplaceValue(normalize(target).boxed(), normalize(source).boxed())
+        }
         Expr::Rename(target, name) => {
             Core::Rename(normalize(target).boxed(), normalize(name).boxed())
         }

@@ -520,8 +520,20 @@ impl<'a> Parser<'a> {
             let target = self.parse_update_operand()?;
             return Ok(Some(Expr::Delete(target.boxed())));
         }
-        if self.cur.looking_at_keyword("replace") && self.is_update_start("replace") {
+        if self.cur.looking_at_keyword("replace") && self.is_replace_start() {
             self.cur.eat_keyword("replace");
+            if self.cur.looking_at_keyword("value") {
+                // `replace value of { E1 } with { E2 }` — the in-place
+                // value setter. Unambiguous: a plain `replace` target
+                // starting with the path `value` would need `with`, not
+                // `of`, after it.
+                self.cur.eat_keyword("value");
+                self.cur.expect_keyword("of")?;
+                let target = self.parse_update_operand()?;
+                self.cur.expect_keyword("with")?;
+                let source = self.parse_update_operand()?;
+                return Ok(Some(Expr::ReplaceValue(target.boxed(), source.boxed())));
+            }
             let target = self.parse_update_operand()?;
             self.cur.expect_keyword("with")?;
             let source = self.parse_update_operand()?;
@@ -550,6 +562,21 @@ impl<'a> Parser<'a> {
                 Some(b'{' | b'$' | b'(' | b'"' | b'\'' | b'/')
             );
         }
+        self.cur.pos = save;
+        ok
+    }
+
+    /// `replace` starts an update when followed by an operand start (as
+    /// [`Self::is_update_start`]) or by the `value of` marker of the
+    /// in-place value form.
+    fn is_replace_start(&mut self) -> bool {
+        if self.is_update_start("replace") {
+            return true;
+        }
+        let save = self.cur.pos;
+        let ok = self.cur.eat_keyword("replace")
+            && self.cur.eat_keyword("value")
+            && self.cur.looking_at_keyword("of");
         self.cur.pos = save;
         ok
     }

@@ -147,6 +147,9 @@ impl fmt::Display for Core {
             }
             Core::Delete(e) => write!(f, "delete {{ {e} }}"),
             Core::Replace(t, w) => write!(f, "replace {{ {t} }} with {{ {w} }}"),
+            Core::ReplaceValue(t, w) => {
+                write!(f, "replace value of {{ {t} }} with {{ {w} }}")
+            }
             Core::Rename(t, n) => write!(f, "rename {{ {t} }} to {{ {n} }}"),
             Core::Copy(e) => write!(f, "copy {{ {e} }}"),
             Core::Snap(mode, e) => {

@@ -442,6 +442,21 @@ fn replace_and_rename() {
 }
 
 #[test]
+fn replace_value_of_forms() {
+    assert!(matches!(
+        p("replace value of { $d/text() } with { $d + 1 }"),
+        Expr::ReplaceValue(..)
+    ));
+    // Bare operands, as with the other update forms.
+    assert!(matches!(
+        p("replace value of $x/@id with \"b\""),
+        Expr::ReplaceValue(..)
+    ));
+    // `value` remains an ordinary element name elsewhere.
+    assert!(matches!(p("delete $doc/value/of"), Expr::Delete(_)));
+}
+
+#[test]
 fn copy_expression() {
     assert!(matches!(p("copy { $x }"), Expr::Copy(_)));
 }

@@ -141,6 +141,64 @@ fn server_child(dir: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Concurrent OCC writers in the occ-child, and commits each performs.
+const OCC_WRITERS: usize = 3;
+const OCC_ROUNDS: usize = 8;
+
+/// OCC child mode (ISSUE 9): optimistic concurrent writers contending on
+/// one shared counter while appending per-writer sequenced ticks. Every
+/// commit atomically bumps the counter (an explicit snap, so the Δ
+/// carries a value-aspect read-modify-write that *conflicts* with every
+/// other writer — retries and interleaved-committer WAL records are
+/// guaranteed) and appends one `<tick/>`. `XQB_WAL_CRASH_AT` aborts the
+/// process mid-commit with validation, rebase, and retry genuinely in
+/// flight on other threads.
+fn occ_child(dir: &str) -> ExitCode {
+    let mut e = Engine::new();
+    if let Err(err) = e.open_store(dir) {
+        eprintln!("occ-child: cannot open store: {err}");
+        return ExitCode::FAILURE;
+    }
+    e.load_document("doc", "<site><c>0</c><ticks/></site>")
+        .unwrap();
+    let server = e.into_server(ServerConfig::default());
+    let start = Arc::new(Barrier::new(OCC_WRITERS));
+    let writers: Vec<_> = (0..OCC_WRITERS)
+        .map(|s| {
+            let server = server.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                let session = server.open_session().unwrap();
+                start.wait();
+                for n in 0..OCC_ROUNDS {
+                    let q = format!(
+                        "(snap replace value of {{ $doc/site/c/text() }} \
+                           with {{ $doc/site/c + 1 }}, \
+                          insert {{ <tick s=\"{s}\" n=\"{n}\"/> }} \
+                           into {{ $doc/site/ticks }})"
+                    );
+                    // XQB0052 after exhausted retries is retryable by
+                    // contract; the crash abort can also kill us mid-call.
+                    loop {
+                        match session.execute(&q) {
+                            Ok(_) => break,
+                            Err(xquery_bang::Error::Eval(e)) if e.code == "XQB0052" => {}
+                            Err(err) => {
+                                eprintln!("occ-child: {err}");
+                                return;
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    ExitCode::SUCCESS
+}
+
 struct Probe {
     exe: PathBuf,
     base: PathBuf,
@@ -282,6 +340,98 @@ impl Probe {
             SERVER_WRITERS * SERVER_ROUNDS
         );
     }
+
+    /// Recover an occ-child store. The OCC commit order is
+    /// nondeterministic and interleaved with retries, so the oracle is
+    /// "a prefix consistent with *some* serial commit order":
+    ///
+    /// * every writer's recovered ticks are a gapless in-order prefix of
+    ///   its script (per-session program order survives);
+    /// * the counter equals the total tick count (each commit atomically
+    ///   bumped once and appended once — a torn or reordered replay, or a
+    ///   lost counter update, breaks the equality);
+    /// * a clean run recovered everything, and its log carries one
+    ///   interleaved-committer record per OCC commit.
+    fn check_occ_recovery(&mut self, dir: &Path, what: &str, expect_complete: bool) {
+        self.probes += 1;
+        let mut e = Engine::new();
+        let report = match e.open_store(dir) {
+            Ok(report) => report,
+            Err(err) => {
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> recovery errored: {err}");
+                return;
+            }
+        };
+        self.tails_dropped += report.tail_dropped;
+        if e.store.document_roots().is_empty() {
+            if expect_complete {
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> clean run recovered an empty store");
+            } else {
+                println!("  ok: {what} -> empty store (pre-load crash)");
+            }
+            return;
+        }
+        let mut total_ticks = 0usize;
+        for s in 0..OCC_WRITERS {
+            let q = format!("for $t in $doc/site/ticks/tick[@s=\"{s}\"] return string($t/@n)");
+            let got = match e.run(&q) {
+                Ok(v) => e.serialize(&v).unwrap_or_default(),
+                Err(err) => {
+                    self.failures += 1;
+                    eprintln!("  FAIL: {what} -> query after recovery errored: {err}");
+                    return;
+                }
+            };
+            let ns: Vec<&str> = got.split(' ').filter(|p| !p.is_empty()).collect();
+            let prefix: Vec<String> = (0..ns.len()).map(|n| n.to_string()).collect();
+            if ns != prefix {
+                self.failures += 1;
+                eprintln!(
+                    "  FAIL: {what} -> writer {s} recovered [{}], not a gapless prefix",
+                    ns.join(", ")
+                );
+                return;
+            }
+            if expect_complete && ns.len() != OCC_ROUNDS {
+                self.failures += 1;
+                eprintln!(
+                    "  FAIL: {what} -> clean run lost writer {s} commits ({}/{OCC_ROUNDS})",
+                    ns.len()
+                );
+                return;
+            }
+            total_ticks += ns.len();
+        }
+        let counter = match e.run("string($doc/site/c)") {
+            Ok(v) => e.serialize(&v).unwrap_or_default(),
+            Err(err) => {
+                self.failures += 1;
+                eprintln!("  FAIL: {what} -> counter read errored: {err}");
+                return;
+            }
+        };
+        if counter != total_ticks.to_string() {
+            self.failures += 1;
+            eprintln!(
+                "  FAIL: {what} -> counter {counter} but {total_ticks} ticks recovered \
+                 (lost or duplicated increment)"
+            );
+            return;
+        }
+        if expect_complete && report.committer_records == 0 {
+            self.failures += 1;
+            eprintln!("  FAIL: {what} -> no interleaved-committer records in a clean OCC run");
+            return;
+        }
+        println!(
+            "  ok: {what} -> serial-order prefix holds (counter={counter}, \
+             {total_ticks}/{} commits, {} committer records)",
+            OCC_WRITERS * OCC_ROUNDS,
+            report.committer_records
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -291,6 +441,9 @@ fn main() -> ExitCode {
     }
     if args.len() == 3 && args[1] == "server-child" {
         return server_child(&args[2]);
+    }
+    if args.len() == 3 && args[1] == "occ-child" {
+        return occ_child(&args[2]);
     }
 
     let exe = std::env::current_exe().expect("current_exe");
@@ -401,6 +554,30 @@ fn main() -> ExitCode {
             &[("XQB_WAL_CRASH_AT", off.to_string())],
         );
         probe.check_server_recovery(&dir, &format!("server kill at byte {off}"), false);
+    }
+
+    // 5. Crash under *contention* (ISSUE 9): optimistic concurrent
+    // writers hammering one shared counter, killed mid-commit at swept
+    // offsets. Recovery must land on a prefix consistent with some
+    // serial commit order — per-writer program order intact and the
+    // counter exactly equal to the surviving commit count.
+    let oclean = probe.fresh_dir("occ_clean");
+    probe.spawn_child_mode("occ-child", &oclean, &[]);
+    probe.check_occ_recovery(&oclean, "occ clean run", true);
+    let occ_bytes = std::fs::metadata(oclean.join("wal.log"))
+        .expect("occ wal.log")
+        .len()
+        .saturating_sub(8);
+    println!("occ workload writes ~{occ_bytes} log bytes; sweeping kill offsets under contention");
+    let step = (occ_bytes / 16).max(1);
+    let mut offsets: Vec<u64> = (step..=occ_bytes).step_by(step as usize).collect();
+    offsets.extend([1, occ_bytes.saturating_sub(1)]);
+    offsets.sort_unstable();
+    offsets.dedup();
+    for off in &offsets {
+        let dir = probe.fresh_dir(&format!("occ_kill_{off}"));
+        probe.spawn_child_mode("occ-child", &dir, &[("XQB_WAL_CRASH_AT", off.to_string())]);
+        probe.check_occ_recovery(&dir, &format!("occ kill at byte {off}"), false);
     }
 
     println!(

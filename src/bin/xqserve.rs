@@ -29,7 +29,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xquery_bang::xqcore::Limits;
-use xquery_bang::{Engine, Error, Server, ServerConfig};
+use xquery_bang::{ConflictPolicy, Engine, Error, Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: xqserve [OPTIONS]\n\
@@ -43,6 +43,10 @@ fn usage() -> &'static str {
        -d, --doc <VAR>=<FILE>    parse FILE and bind its document to $VAR\n\
        --max-sessions <N>        concurrent session cap, XQB0050 beyond (64)\n\
        --max-inflight <N>        concurrent request cap, XQB0051 beyond (32)\n\
+       --no-occ                  serialize every write under the engine lock\n\
+                                 (disables optimistic concurrent writers)\n\
+       --conflict-policy <P>     abort (default) or lww / last-writer-wins\n\
+       --max-retries <N>         conflict retries before XQB0052 (8)\n\
        --threads <N>             per-request worker threads ($XQB_THREADS or 1)\n\
        --fuel <N>                per-request step budget (XQB0041)\n\
        --deadline-ms <N>         per-request wall-clock deadline (XQB0042)\n\
@@ -57,6 +61,9 @@ struct Options {
     documents: Vec<(String, String)>,
     max_sessions: usize,
     max_inflight: usize,
+    occ_writers: bool,
+    conflict_policy: ConflictPolicy,
+    max_retries: usize,
     threads: Option<usize>,
     fuel: Option<u64>,
     deadline_ms: Option<u64>,
@@ -70,6 +77,9 @@ fn parse_args() -> Result<Options, String> {
         documents: Vec::new(),
         max_sessions: 64,
         max_inflight: 32,
+        occ_writers: true,
+        conflict_policy: ConflictPolicy::Abort,
+        max_retries: 8,
         threads: None,
         fuel: None,
         deadline_ms: None,
@@ -98,6 +108,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--max-sessions" => opts.max_sessions = parse_num(&mut args, "--max-sessions")?,
             "--max-inflight" => opts.max_inflight = parse_num(&mut args, "--max-inflight")?,
+            "--no-occ" => opts.occ_writers = false,
+            "--conflict-policy" => {
+                let v = args
+                    .next()
+                    .ok_or("missing argument for --conflict-policy")?;
+                opts.conflict_policy = ConflictPolicy::parse(&v)
+                    .ok_or_else(|| format!("bad value \"{v}\" for --conflict-policy"))?;
+            }
+            "--max-retries" => opts.max_retries = parse_num(&mut args, "--max-retries")?,
             "--threads" => opts.threads = Some(parse_num(&mut args, "--threads")?),
             "--fuel" => opts.fuel = Some(parse_num(&mut args, "--fuel")?),
             "--deadline-ms" => opts.deadline_ms = Some(parse_num(&mut args, "--deadline-ms")?),
@@ -135,6 +154,10 @@ fn build_server(opts: &Options) -> Result<Server, String> {
         threads: opts
             .threads
             .unwrap_or_else(xquery_bang::xqcore::threads_from_env),
+        occ_writers: opts.occ_writers,
+        conflict_policy: opts.conflict_policy,
+        max_retries: opts.max_retries,
+        ..ServerConfig::default()
     };
     Ok(engine.into_server(config))
 }
@@ -358,6 +381,10 @@ fn self_test(opts: &Options) -> Result<(), String> {
         threads: opts
             .threads
             .unwrap_or_else(xquery_bang::xqcore::threads_from_env),
+        occ_writers: opts.occ_writers,
+        conflict_policy: opts.conflict_policy,
+        max_retries: opts.max_retries,
+        ..ServerConfig::default()
     };
     let server = engine.into_server(config);
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;

@@ -40,10 +40,10 @@ pub use xqdm;
 pub use xqsyn;
 
 pub use xqcore::{
-    CommitRecord, Error, RequestKind, Response, Server, ServerConfig, ServerStats, Session,
-    SnapMode,
+    CommitRecord, ConflictPolicy, Error, RequestKind, Response, Server, ServerConfig, ServerStats,
+    Session, SnapMode,
 };
-pub use xqdm::{Atomic, Item, RecoveryReport, Sequence, Store, SyncMode};
+pub use xqdm::{Atomic, CapturedDelta, Footprint, Item, RecoveryReport, Sequence, Store, SyncMode};
 
 /// The full engine: [`xqcore::Engine`] with the [`xqalg`] compiled
 /// execution pipeline installed.
