@@ -593,6 +593,8 @@ impl Engine {
             m.par_items.add(s.par_items);
             m.batch_steps.add(s.batch_steps);
             m.batch_nodes.add(s.batch_nodes);
+            m.idx_scans.add(s.idx_scans);
+            m.idx_hits.add(s.idx_hits);
         }
         let millis = elapsed.as_secs_f64() * 1e3;
         if let Some(threshold) = self.slow_ms {
@@ -664,6 +666,11 @@ impl Engine {
             stats.par_items,
             self.threads,
         );
+        // Index scans only show when the executor actually chose one, so
+        // index-free runs keep their historical totals line.
+        if stats.idx_scans > 0 {
+            totals.push_str(&format!(" idx={}/{}", stats.idx_scans, stats.idx_hits));
+        }
         // Only durable sessions carry the WAL token, so the goldens for
         // in-memory runs are unchanged.
         if self.store.has_wal() {
@@ -700,7 +707,10 @@ impl Engine {
         }
         let planner = planner::default_planner()?;
         let augmented = self.augment(program.clone());
-        let key = fingerprint(&augmented);
+        let opts = planner::PlanOptions {
+            index_available: self.store.index_enabled(),
+        };
+        let key = plan_key(fingerprint(&augmented), &opts, self.store.index_epoch());
         // The shared cross-session cache, when installed, replaces the
         // per-engine map entirely (one cache, one source of truth — the
         // hit/miss counters of both layers stay coherent).
@@ -718,7 +728,7 @@ impl Engine {
         self.cache_misses += 1;
         self.metrics.cache_misses.add(1);
         let span = self.trace.as_ref().map(|sink| sink.begin("plan", None));
-        let plan = planner.plan(&augmented);
+        let plan = planner.plan_opts(&augmented, &opts);
         if let (Some(sink), Some(id)) = (&self.trace, span) {
             sink.end(id);
         }
@@ -785,10 +795,21 @@ impl Engine {
     /// planner installed the whole program is one `Iterate` node.
     pub fn explain(&self, query: &str) -> Result<String, Error> {
         let program = self.augment(self.compile_source(query)?);
+        let opts = planner::PlanOptions {
+            index_available: self.store.index_enabled(),
+        };
         Ok(match planner::default_planner() {
-            Some(planner) => planner.plan(&program).explain(),
+            Some(planner) => planner.plan_opts(&program, &opts).explain(),
             None => planner::render_unoptimized(&program),
         })
+    }
+
+    /// Enable or disable the store's secondary-index plane for planning
+    /// (DESIGN.md §17). Maintenance continues either way; toggling bumps
+    /// the index epoch, which is folded into the plan-cache keys so
+    /// cached `,idx` plans are never reused across a toggle.
+    pub fn set_indexing(&mut self, enabled: bool) {
+        self.store.set_indexing(enabled);
     }
 
     /// An evaluator seeded with this engine's modules and bindings.
@@ -1077,6 +1098,21 @@ fn cache_outcome(plan: &Option<Arc<dyn CompiledProgram>>, hit: bool) -> &'static
 }
 
 use crate::planner::program_fingerprint as fingerprint;
+
+/// Fold the plan options and the store's index epoch into a program
+/// fingerprint: a plan compiled with the index available (or for an
+/// earlier epoch) must never satisfy a lookup made without it — the
+/// shared cross-session cache in particular would otherwise serve stale
+/// `,idx` plans after a toggle (ISSUE 10 satellite).
+fn plan_key((h1, h2): (u64, u64), opts: &planner::PlanOptions, index_epoch: u64) -> (u64, u64) {
+    let avail = u64::from(opts.index_available);
+    (
+        h1 ^ avail.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        h2 ^ index_epoch
+            .wrapping_add(avail)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d),
+    )
+}
 
 #[cfg(test)]
 mod tests {

@@ -93,6 +93,12 @@ pub struct EvalStats {
     /// Nodes produced by those kernel invocations, pre-dedup (strategy
     /// counter).
     pub batch_nodes: u64,
+    /// Secondary-index scans the executor chose over a batch kernel
+    /// (strategy counter; DESIGN.md §17).
+    pub idx_scans: u64,
+    /// Nodes those index scans emitted, post-containment-filter but
+    /// pre-dedup (strategy counter).
+    pub idx_hits: u64,
 }
 
 /// The evaluator: function table, globals, and the Δ stack.
@@ -143,6 +149,9 @@ struct NodeFrame {
     /// `stats.batch_steps` / `stats.batch_nodes` at entry.
     batch_steps0: u64,
     batch_nodes0: u64,
+    /// `stats.idx_scans` / `stats.idx_hits` at entry.
+    idx_scans0: u64,
+    idx_hits0: u64,
     /// Input cardinality reported via [`Evaluator::note_input`].
     input_rows: u64,
 }
@@ -502,6 +511,15 @@ impl Evaluator {
         self.stats.batch_nodes += nodes;
     }
 
+    /// Record one index-driven path step that emitted `hits` nodes
+    /// (post-containment-filter, pre-dedup). Feeds both the run
+    /// statistics and, when profiling, the innermost plan node's `idx=`
+    /// counters.
+    pub fn note_idx(&mut self, hits: u64) {
+        self.stats.idx_scans += 1;
+        self.stats.idx_hits += hits;
+    }
+
     /// The evaluation's scratch arena (document-order sort workspace and
     /// batch-kernel buffers), for plan executors that call the store
     /// kernels directly.
@@ -547,6 +565,8 @@ impl Evaluator {
         let par_items0 = self.stats.par_items;
         let batch_steps0 = self.stats.batch_steps;
         let batch_nodes0 = self.stats.batch_nodes;
+        let idx_scans0 = self.stats.idx_scans;
+        let idx_hits0 = self.stats.idx_hits;
         if let Some(o) = self.obs.as_mut() {
             if o.profile.is_some() {
                 o.frames.push(NodeFrame {
@@ -557,6 +577,8 @@ impl Evaluator {
                     par_items0,
                     batch_steps0,
                     batch_nodes0,
+                    idx_scans0,
+                    idx_hits0,
                     input_rows: 0,
                 });
             }
@@ -582,6 +604,8 @@ impl Evaluator {
         let par_items_now = self.stats.par_items;
         let batch_steps_now = self.stats.batch_steps;
         let batch_nodes_now = self.stats.batch_nodes;
+        let idx_scans_now = self.stats.idx_scans;
+        let idx_hits_now = self.stats.idx_hits;
         let Some(o) = self.obs.as_mut() else { return };
         let Some(frame) = o.frames.pop() else { return };
         let wall_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -602,6 +626,8 @@ impl Evaluator {
             n.par_items += par_items_now - frame.par_items0;
             n.batch_steps += batch_steps_now - frame.batch_steps0;
             n.batch_nodes += batch_nodes_now - frame.batch_nodes0;
+            n.idx_scans += idx_scans_now - frame.idx_scans0;
+            n.idx_hits += idx_hits_now - frame.idx_hits0;
         }
     }
 
@@ -1095,11 +1121,17 @@ impl Evaluator {
                 let node = item::exactly_one_node(tv)?;
                 match store.kind(node)? {
                     NodeKind::Text { .. } | NodeKind::Attribute { .. } => {}
+                    // An update-family error (XQB0010 block), not a type
+                    // error: the expression is well-typed, the target's
+                    // node kind just has no settable value.
                     k => {
                         let k = k.kind_name();
-                        return Err(XdmError::type_error(format!(
-                            "replace value of requires a text or attribute target, got a {k} node"
-                        )));
+                        return Err(XdmError::new(
+                            "XQB0011",
+                            format!(
+                                "replace value of requires a text or attribute target, got a {k} node"
+                            ),
+                        ));
                     }
                 }
                 let wv = self.eval(store, env, with)?;

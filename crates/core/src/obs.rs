@@ -393,6 +393,10 @@ pub struct EngineMetrics {
     pub batch_steps: Arc<Counter>,
     /// `engine.batch_nodes` — nodes those kernels produced (pre-dedup).
     pub batch_nodes: Arc<Counter>,
+    /// `engine.idx.scans` — index-driven path steps executed.
+    pub idx_scans: Arc<Counter>,
+    /// `engine.idx.hits` — nodes those index scans emitted (pre-dedup).
+    pub idx_hits: Arc<Counter>,
     /// `engine.cache_hits` — plan-cache hits.
     pub cache_hits: Arc<Counter>,
     /// `engine.cache_misses` — plan-cache misses.
@@ -448,6 +452,8 @@ impl EngineMetrics {
             par_items: g.counter("engine.par_items"),
             batch_steps: g.counter("engine.batch_steps"),
             batch_nodes: g.counter("engine.batch_nodes"),
+            idx_scans: g.counter("engine.idx.scans"),
+            idx_hits: g.counter("engine.idx.hits"),
             cache_hits: g.counter("engine.cache_hits"),
             cache_misses: g.counter("engine.cache_misses"),
             limit_depth: g.counter("engine.limit_trips.depth"),
@@ -554,6 +560,10 @@ pub struct NodeStats {
     pub batch_steps: u64,
     /// Nodes those kernels produced, pre-dedup (inclusive).
     pub batch_nodes: u64,
+    /// Index-driven path steps while the node ran (inclusive).
+    pub idx_scans: u64,
+    /// Nodes those index scans emitted, pre-dedup (inclusive).
+    pub idx_hits: u64,
 }
 
 /// Per-node statistics for one analyzed run, indexed by plan-node id.

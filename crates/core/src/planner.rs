@@ -53,10 +53,29 @@ pub trait CompiledProgram: Send + Sync {
     }
 }
 
+/// Store facts the planner may exploit (but must degrade without): the
+/// engine snapshots these from the target store at plan time, and folds
+/// them into the plan-cache key so a plan is only ever reused against a
+/// store state it was compiled for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Is the store's secondary-index plane available? When true the
+    /// compiler may emit `,idx` scan hints (ISSUE 10); when false every
+    /// path chain lowers to the plain batch kernels.
+    pub index_available: bool,
+}
+
 /// A plan compiler: turns a core program into an executable plan.
 pub trait Planner: Send + Sync {
     /// Compile `program` (including its declared functions) to a plan.
     fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram>;
+
+    /// Compile `program` under explicit [`PlanOptions`]. The default —
+    /// for planners predating the index plane — ignores the options.
+    fn plan_opts(&self, program: &CoreProgram, opts: &PlanOptions) -> Arc<dyn CompiledProgram> {
+        let _ = opts;
+        self.plan(program)
+    }
 
     /// Compile `program` to a *structural* plan: the operator tree mirrors
     /// the interpreter's evaluation shape one-for-one (no join recognition,

@@ -658,6 +658,36 @@ fn replace_value_of_rejects_element_targets() {
 }
 
 #[test]
+fn replace_value_of_empty_with_sets_empty_string() {
+    // An empty `with` sequence atomizes to zero items: the space-join is
+    // "" — a legal value set, not an error (on both target kinds).
+    let mut e = engine_with("<c a=\"x\"><v>0</v></c>");
+    run(&mut e, "replace value of { $doc/c/v/text() } with { () }");
+    assert_eq!(run(&mut e, "string($doc/c/v)"), "");
+    run(&mut e, "replace value of { $doc/c/@a } with { () }");
+    assert_eq!(run(&mut e, "string($doc/c/@a)"), "");
+    assert_eq!(run(&mut e, "count($doc/c/@a)"), "1");
+}
+
+#[test]
+fn replace_value_of_comment_or_pi_target_is_an_update_error() {
+    // Comment and PI nodes have string values but no settable value in
+    // this data model: an XQB0010-family update error, raised at
+    // evaluation (never a panic, never a type error).
+    let mut e = engine_with("<c><!--note--><?pi data?><v>0</v></c>");
+    for q in [
+        "replace value of { $doc/c/comment() } with { 1 }",
+        "replace value of { $doc/c/processing-instruction() } with { 1 }",
+    ] {
+        let err = e.run(q).unwrap_err();
+        let Error::Eval(x) = &err else {
+            panic!("expected eval error for {q}, got {err:?}")
+        };
+        assert_eq!(x.code, "XQB0011", "for {q}: {x}");
+    }
+}
+
+#[test]
 fn conflict_detection_rejects_disagreeing_value_sets() {
     let mut e = engine_with("<c><v>0</v></c>");
     let err = e

@@ -21,11 +21,11 @@
 //!    value (F may mention `$g` freely — it receives exactly the sequence
 //!    the nested loop would have produced, in the same order).
 
-use crate::plan::{BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
+use crate::plan::{BatchFilter, BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
 use std::cell::RefCell;
 use xqcore::{Effect, EffectAnalysis};
-use xqdm::atomic::CompareOp;
-use xqsyn::ast::Axis;
+use xqdm::atomic::{Atomic, CompareOp};
+use xqsyn::ast::{Axis, NodeTest};
 use xqsyn::core::{Core, CoreProgram};
 
 /// How many `(input, simplified)` pairs [`Compiler::compile_simplified`]
@@ -40,6 +40,11 @@ pub struct Compiler {
     /// the same expression twice within one program) does no redundant
     /// rewriting.
     simplified: RefCell<Vec<(Core, Core)>>,
+    /// Were the store's secondary indexes available at plan time
+    /// ([`xqcore::planner::PlanOptions::index_available`])? Gates the
+    /// `,idx` eligibility hints on lowered chains; `false` (the default)
+    /// reproduces the pre-index plans exactly.
+    index_available: bool,
 }
 
 impl Compiler {
@@ -48,6 +53,7 @@ impl Compiler {
         Compiler {
             analysis: EffectAnalysis::new(program),
             simplified: RefCell::new(Vec::new()),
+            index_available: false,
         }
     }
 
@@ -56,7 +62,15 @@ impl Compiler {
         Compiler {
             analysis: EffectAnalysis::empty(),
             simplified: RefCell::new(Vec::new()),
+            index_available: false,
         }
+    }
+
+    /// Declare whether the target store's secondary indexes are
+    /// available (see the field docs).
+    pub fn with_index(mut self, available: bool) -> Self {
+        self.index_available = available;
+        self
     }
 
     /// The effect analysis (exposed for diagnostics and tests).
@@ -155,7 +169,7 @@ impl Compiler {
     /// [`QueryPlan::BatchPath`] (batch-at-a-time kernels, DESIGN.md §14);
     /// anything else stays a strict [`QueryPlan::Iterate`].
     fn leaf(&self, core: &Core) -> QueryPlan {
-        match try_batch_path(core) {
+        match try_batch_path(core, self.index_available) {
             Some(bp) => QueryPlan::BatchPath(bp),
             None => QueryPlan::Iterate(core.clone()),
         }
@@ -259,19 +273,22 @@ impl Compiler {
             k2,
             ret,
         )?;
-        Some(QueryPlan::HashJoin(batch_join(JoinPlan {
-            outer_var: outer_var.clone(),
-            outer_source: (**outer_source).clone(),
-            inner_var: inner_var.clone(),
-            inner_source: (**inner_source).clone(),
-            outer_key,
-            inner_key,
-            body: ret.clone(),
-            outer_batch: None,
-            inner_batch: None,
-            outer_key_steps: None,
-            inner_key_steps: None,
-        })))
+        Some(QueryPlan::HashJoin(batch_join(
+            JoinPlan {
+                outer_var: outer_var.clone(),
+                outer_source: (**outer_source).clone(),
+                inner_var: inner_var.clone(),
+                inner_source: (**inner_source).clone(),
+                outer_key,
+                inner_key,
+                body: ret.clone(),
+                outer_batch: None,
+                inner_batch: None,
+                outer_key_steps: None,
+                inner_key_steps: None,
+            },
+            self.index_available,
+        )))
     }
 
     /// Pattern: for $o in E1 return let $g := (for $i in E2 return
@@ -313,19 +330,22 @@ impl Compiler {
             return None;
         }
         Some(QueryPlan::OuterJoinGroupBy(GroupByPlan {
-            join: batch_join(JoinPlan {
-                outer_var: outer_var.clone(),
-                outer_source: (**outer_source).clone(),
-                inner_var: inner_var.clone(),
-                inner_source: (**inner_source).clone(),
-                outer_key,
-                inner_key,
-                body: r.clone(),
-                outer_batch: None,
-                inner_batch: None,
-                outer_key_steps: None,
-                inner_key_steps: None,
-            }),
+            join: batch_join(
+                JoinPlan {
+                    outer_var: outer_var.clone(),
+                    outer_source: (**outer_source).clone(),
+                    inner_var: inner_var.clone(),
+                    inner_source: (**inner_source).clone(),
+                    outer_key,
+                    inner_key,
+                    body: r.clone(),
+                    outer_batch: None,
+                    inner_batch: None,
+                    outer_key_steps: None,
+                    inner_key_steps: None,
+                },
+                self.index_available,
+            ),
             group_var: group_var.clone(),
             ret: (**ret).clone(),
         }))
@@ -336,9 +356,9 @@ impl Compiler {
 /// and each key that is a pure step chain rooted at its own side's
 /// variable, gets the batch-kernel path at execution time. Purely
 /// physical — the join's semantics and guards are untouched.
-fn batch_join(mut j: JoinPlan) -> JoinPlan {
-    j.outer_batch = try_batch_path(&j.outer_source);
-    j.inner_batch = try_batch_path(&j.inner_source);
+fn batch_join(mut j: JoinPlan, index_available: bool) -> JoinPlan {
+    j.outer_batch = try_batch_path(&j.outer_source, index_available);
+    j.inner_batch = try_batch_path(&j.inner_source, index_available);
     j.outer_key_steps = key_steps(&j.outer_key, &j.outer_var);
     j.inner_key_steps = key_steps(&j.inner_key, &j.inner_var);
     j
@@ -346,9 +366,10 @@ fn batch_join(mut j: JoinPlan) -> JoinPlan {
 
 /// The batch lowering of a join key: a pure step chain whose input is
 /// exactly the side's loop variable (the probe/build loops then run the
-/// kernels straight off each bound node).
+/// kernels straight off each bound node). Keys run per single binding,
+/// where an index scan can never beat the direct kernel — no idx hint.
 fn key_steps(key: &Core, var: &str) -> Option<Vec<BatchStep>> {
-    let bp = try_batch_path(key)?;
+    let bp = try_batch_path(key, false)?;
     (bp.input == Core::Var(var.to_string())).then_some(bp.steps)
 }
 
@@ -358,7 +379,7 @@ fn key_steps(key: &Core, var: &str) -> Option<Vec<BatchStep>> {
 /// `None` to stay on the interpreted path. The chain's base can be any
 /// expression (it is evaluated once either way); an unsupported step
 /// simply becomes part of the base.
-fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
+fn try_batch_path(core: &Core, index_available: bool) -> Option<BatchPathPlan> {
     // A `DocOrder` wrapper is absorbed: every batch step already
     // doc-order-normalizes its output, so ddo-of-chain ≡ chain.
     let chain = match core {
@@ -374,7 +395,7 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
         predicates,
     } = cur
     {
-        let filters: Option<Vec<Vec<BatchStep>>> = predicates.iter().map(existence_chain).collect();
+        let filters: Option<Vec<BatchFilter>> = predicates.iter().map(batch_filter).collect();
         match filters {
             Some(filters) => {
                 steps_rev.push(BatchStep {
@@ -384,9 +405,9 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
                 });
                 cur = base;
             }
-            // A non-path predicate (positional, comparison, call): this
-            // and everything below it stays interpreted as the chain's
-            // input.
+            // A non-batchable predicate (positional, general comparison
+            // over non-literals, call): this and everything below it
+            // stays interpreted as the chain's input.
             None => break,
         }
     }
@@ -403,7 +424,7 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
         if s.axis == Axis::Child
             && steps.last().is_some_and(|p: &BatchStep| {
                 p.axis == Axis::DescendantOrSelf
-                    && matches!(p.test, xqsyn::ast::NodeTest::AnyKind)
+                    && matches!(p.test, NodeTest::AnyKind)
                     && p.filters.is_empty()
             })
         {
@@ -417,11 +438,40 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
             steps.push(s);
         }
     }
+    let idx = index_available && steps.iter().any(step_idx_eligible);
     Some(BatchPathPlan {
         input: cur.clone(),
         steps,
         core: core.clone(),
+        idx,
     })
+}
+
+/// Can the secondary indexes serve this step? An element-producing axis
+/// with either a name test (element-name index) or an `[@a = "v"]`
+/// filter (attribute-value index). The attribute axis is excluded: the
+/// value index is keyed by (name, value), never by name alone.
+fn step_idx_eligible(step: &BatchStep) -> bool {
+    if !matches!(
+        step.axis,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+    ) {
+        return false;
+    }
+    matches!(step.test, NodeTest::Name(_))
+        || step
+            .filters
+            .iter()
+            .any(|f| matches!(f, BatchFilter::AttrEq { .. }))
+}
+
+/// Recognize one admissible predicate: a value filter first (the more
+/// specific shape), an existence path otherwise.
+fn batch_filter(pred: &Core) -> Option<BatchFilter> {
+    if let Some(f) = attr_eq_filter(pred) {
+        return Some(f);
+    }
+    existence_chain(pred).map(BatchFilter::Exists)
 }
 
 /// A predicate admissible as a batch existence filter: a pure step chain
@@ -429,8 +479,54 @@ fn try_batch_path(core: &Core) -> Option<BatchPathPlan> {
 /// numbers), so the interpreter's positional semantics degenerate to the
 /// non-empty test the kernels apply.
 fn existence_chain(pred: &Core) -> Option<Vec<BatchStep>> {
-    let bp = try_batch_path(pred)?;
+    let bp = try_batch_path(pred, false)?;
     matches!(bp.input, Core::ContextItem).then_some(bp.steps)
+}
+
+/// Recognize `[@name = "literal"]` (either operand order): the general
+/// comparison of a context-rooted attribute step against a string
+/// literal. The attribute atomizes untyped; untyped-vs-string general
+/// comparison is exact string equality, so the filter (and the value
+/// index behind it) is faithful.
+fn attr_eq_filter(pred: &Core) -> Option<BatchFilter> {
+    let Core::GeneralComp(CompareOp::Eq, a, b) = pred else {
+        return None;
+    };
+    let build = |name: Option<String>, value: Option<String>| {
+        Some(BatchFilter::AttrEq {
+            name: name?,
+            value: value?,
+        })
+    };
+    build(context_attr_name(a), string_literal(b))
+        .or_else(|| build(context_attr_name(b), string_literal(a)))
+}
+
+/// `@name` rooted at the context item (a `DocOrder` wrapper absorbed),
+/// with no predicates of its own.
+fn context_attr_name(core: &Core) -> Option<String> {
+    let chain = match core {
+        Core::DocOrder(inner) => inner.as_ref(),
+        other => other,
+    };
+    let Core::MapStep {
+        base,
+        axis: Axis::Attribute,
+        test: NodeTest::Name(name),
+        predicates,
+    } = chain
+    else {
+        return None;
+    };
+    (matches!(base.as_ref(), Core::ContextItem) && predicates.is_empty()).then(|| name.clone())
+}
+
+/// A string literal constant.
+fn string_literal(core: &Core) -> Option<String> {
+    match core {
+        Core::Const(Atomic::String(s)) => Some(s.clone()),
+        _ => None,
+    }
 }
 
 /// Compile an expression to a *structural* plan: the control operators
@@ -664,10 +760,66 @@ mod tests {
                 assert_eq!(bp.steps.len(), 1);
                 assert!(matches!(bp.steps[0].axis, Axis::Descendant));
                 assert_eq!(bp.steps[0].filters.len(), 1);
-                assert_eq!(bp.steps[0].filters[0].len(), 2);
+                match &bp.steps[0].filters[0] {
+                    BatchFilter::Exists(chain) => assert_eq!(chain.len(), 2),
+                    other => panic!("expected existence filter, got {other:?}"),
+                }
             }
             other => panic!("expected batch path, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn value_predicates_become_attr_eq_filters() {
+        // Both operand orders recognize, and a non-literal comparison
+        // falls back to the interpreted input.
+        for q in [
+            r#"$auction//person[@id = "person0"]"#,
+            r#"$auction//person["person0" = @id]"#,
+        ] {
+            let plan = plan_for(q);
+            let QueryPlan::BatchPath(bp) = &plan else {
+                panic!("expected batch path for {q}, got {plan:?}");
+            };
+            assert_eq!(bp.steps.len(), 1);
+            assert_eq!(
+                bp.steps[0].filters,
+                vec![BatchFilter::AttrEq {
+                    name: "id".into(),
+                    value: "person0".into(),
+                }]
+            );
+        }
+        // `@id = @ref` names no literal: not a value filter, and not an
+        // existence path either — the predicated step stays interpreted.
+        let plan = plan_for("$auction//person[@id = @ref]");
+        assert!(
+            !matches!(&plan, QueryPlan::BatchPath(bp) if bp.steps.len() > 0
+                && !bp.steps[0].filters.is_empty()),
+            "non-literal comparison must not lower to a filter: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn index_hints_require_availability() {
+        let prog = xq_compile(r#"$auction//person[@id = "p7"]"#).expect("parse");
+        let without = Compiler::new(&prog).compile(&prog.body);
+        let QueryPlan::BatchPath(bp) = &without else {
+            panic!("expected batch path");
+        };
+        assert!(!bp.idx, "no idx hint without index availability");
+        let with = Compiler::new(&prog).with_index(true).compile(&prog.body);
+        let QueryPlan::BatchPath(bp) = &with else {
+            panic!("expected batch path");
+        };
+        assert!(bp.idx, "idx hint expected when the index is available");
+        // Attribute-axis chains have no name-only index: no hint.
+        let prog = xq_compile("$auction/@id").expect("parse");
+        let plan = Compiler::new(&prog).with_index(true).compile(&prog.body);
+        let QueryPlan::BatchPath(bp) = &plan else {
+            panic!("expected batch path");
+        };
+        assert!(!bp.idx, "attribute axis must not carry an idx hint");
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //!   general `=` over path keys, and untyped-vs-untyped general comparison
 //!   is string equality.
 
-use crate::plan::{BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
-use std::collections::HashMap;
+use crate::plan::{BatchFilter, BatchPathPlan, BatchStep, GroupByPlan, JoinPlan, QueryPlan};
+use std::collections::{HashMap, HashSet};
 use xqcore::par::{eval_pure, merge_in_order, par_map, PAR_MIN_ITEMS};
 use xqcore::{DynEnv, Evaluator};
 use xqdm::item::{self, Item, Sequence};
@@ -241,7 +241,7 @@ fn exec_batch_path(
         })
         .collect::<XdmResult<_>>()?;
     let mut next: Vec<NodeId> = Vec::new();
-    run_batch_steps(&bp.steps, evaluator, store, &mut cur, &mut next)?;
+    run_batch_steps(&bp.steps, bp.idx, evaluator, store, &mut cur, &mut next)?;
     Ok(cur.into_iter().map(Item::Node).collect())
 }
 
@@ -263,8 +263,12 @@ fn kernel_test(store: &Store, test: &NodeTest) -> KernelTest {
 
 /// Drive a step chain over `cur` in place, using `next` as the step
 /// output buffer (both are caller-owned so key probes can recycle them).
+/// When `allow_idx` is set (the planner saw an index-eligible step with
+/// indexes available), each step first offers itself to [`try_index_scan`];
+/// the runtime gates there keep a stale `,idx` plan correct.
 fn run_batch_steps(
     steps: &[BatchStep],
+    allow_idx: bool,
     evaluator: &mut Evaluator,
     store: &Store,
     cur: &mut Vec<NodeId>,
@@ -272,39 +276,47 @@ fn run_batch_steps(
 ) -> XdmResult<()> {
     for step in steps {
         next.clear();
+        let used_idx = allow_idx && try_index_scan(step, store, cur, next)?;
         // From at most one origin, every kernel emits in DFS order:
         // already document-ordered and duplicate-free, so the per-step
         // normalization sort can be skipped. (With several origins,
-        // nesting lets outputs interleave or repeat, so we must sort.)
-        let sorted = cur.len() <= 1;
-        let test = kernel_test(store, &step.test);
-        match step.axis {
-            Axis::Child => store.batch_children_into(cur, test, next)?,
-            Axis::Descendant => {
-                store.batch_descendants_into(cur, test, false, evaluator.scratch_mut(), next)?
-            }
-            Axis::DescendantOrSelf => {
-                store.batch_descendants_into(cur, test, true, evaluator.scratch_mut(), next)?
-            }
-            Axis::Attribute => store.batch_attributes_into(cur, test, next)?,
-            // The compiler only lowers the four kernel axes.
-            _ => {
-                return Err(XdmError::precondition(
-                    "batch step on an axis without a kernel",
-                ))
+        // nesting lets outputs interleave or repeat, so we must sort.
+        // Index buckets hash in arbitrary order: always sort.)
+        let sorted = !used_idx && cur.len() <= 1;
+        if !used_idx {
+            let test = kernel_test(store, &step.test);
+            match step.axis {
+                Axis::Child => store.batch_children_into(cur, test, next)?,
+                Axis::Descendant => {
+                    store.batch_descendants_into(cur, test, false, evaluator.scratch_mut(), next)?
+                }
+                Axis::DescendantOrSelf => {
+                    store.batch_descendants_into(cur, test, true, evaluator.scratch_mut(), next)?
+                }
+                Axis::Attribute => store.batch_attributes_into(cur, test, next)?,
+                // The compiler only lowers the four kernel axes.
+                _ => {
+                    return Err(XdmError::precondition(
+                        "batch step on an axis without a kernel",
+                    ))
+                }
             }
         }
-        for chain in &step.filters {
+        for filter in &step.filters {
             let mut keep = 0;
             for i in 0..next.len() {
-                if exists_chain(chain, evaluator, store, next[i])? {
+                if filter_keeps(filter, evaluator, store, next[i])? {
                     next[keep] = next[i];
                     keep += 1;
                 }
             }
             next.truncate(keep);
         }
-        evaluator.note_batch(next.len() as u64);
+        if used_idx {
+            evaluator.note_idx(next.len() as u64);
+        } else {
+            evaluator.note_batch(next.len() as u64);
+        }
         if !sorted {
             store.sort_and_dedup_with(next, evaluator.scratch_mut())?;
         }
@@ -313,8 +325,40 @@ fn run_batch_steps(
     Ok(())
 }
 
+/// Apply one step predicate to one candidate node. Re-checking an
+/// [`BatchFilter::AttrEq`] that already drove an index scan is
+/// idempotent — a deliberate simplification over tracking which filter
+/// produced the bucket.
+fn filter_keeps(
+    filter: &BatchFilter,
+    evaluator: &mut Evaluator,
+    store: &Store,
+    candidate: NodeId,
+) -> XdmResult<bool> {
+    match filter {
+        BatchFilter::Exists(chain) => exists_chain(chain, evaluator, store, candidate),
+        BatchFilter::AttrEq { name, value } => attr_eq(store, candidate, name, value),
+    }
+}
+
+/// `@name = "value"` over one element: at most one attribute can carry
+/// the name, and untyped-vs-string general comparison is exact string
+/// equality (see `compare_atomics`), so a direct kernel probe suffices.
+fn attr_eq(store: &Store, element: NodeId, name: &str, value: &str) -> XdmResult<bool> {
+    let test = KernelTest::name(store.symbols(), name);
+    let mut attrs = Vec::new();
+    store.batch_attributes_into(&[element], test, &mut attrs)?;
+    for a in attrs {
+        if store.string_value(a)? == value {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 /// An existence filter: run the nested chain from one candidate node and
-/// test non-emptiness.
+/// test non-emptiness. Nested chains never use index scans: they start
+/// from a single binding, where the kernel walk is already minimal.
 fn exists_chain(
     chain: &[BatchStep],
     evaluator: &mut Evaluator,
@@ -323,8 +367,140 @@ fn exists_chain(
 ) -> XdmResult<bool> {
     let mut cur = vec![origin];
     let mut next = Vec::new();
-    run_batch_steps(chain, evaluator, store, &mut cur, &mut next)?;
+    run_batch_steps(chain, false, evaluator, store, &mut cur, &mut next)?;
     Ok(!cur.is_empty())
+}
+
+/// Index buckets beyond this fraction of the element population fall
+/// back to the batch kernels: a whole-store heuristic (the kernel's true
+/// cost is per-subtree), tuned by the E18 selectivity crossover.
+const IDX_COST_FACTOR: usize = 4;
+
+/// Try to answer one step from the secondary indexes instead of a kernel
+/// walk. Returns `Ok(false)` — leaving `next` empty for the kernel path —
+/// whenever the scan is unavailable (indexing disabled, OCC read tracing
+/// active) or unprofitable (cost gate). On `Ok(true)`, `next` holds the
+/// step's result *before* doc-order normalization.
+///
+/// The OCC gate exists because a bucket probe reads "no node anywhere has
+/// this name/value", a whole-store fact the per-node read footprint can't
+/// express; falling back keeps optimistic commits sound.
+fn try_index_scan(
+    step: &BatchStep,
+    store: &Store,
+    cur: &[NodeId],
+    next: &mut Vec<NodeId>,
+) -> XdmResult<bool> {
+    if !store.index_enabled() || store.tracing_reads() {
+        return Ok(false);
+    }
+    if !matches!(
+        step.axis,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+    ) {
+        return Ok(false);
+    }
+    let budget = store.indexed_elements() / IDX_COST_FACTOR;
+    // Prefer the attribute-value index: an equality bucket is almost
+    // always narrower than a name bucket.
+    let attr_drive = step.filters.iter().find_map(|f| match f {
+        BatchFilter::AttrEq { name, value } => Some((name, value)),
+        _ => None,
+    });
+    if let Some((name, value)) = attr_drive {
+        let Some(qid) = store.symbols().lookup_lexical(name) else {
+            // Name never interned: no such attribute exists anywhere.
+            return Ok(true);
+        };
+        if store.index_attr_len(qid, value) > budget {
+            return Ok(false);
+        }
+        let mut owners = Vec::new();
+        store.index_attr_nodes(qid, value, &mut owners);
+        let test = kernel_test(store, &step.test);
+        let mut memo = HashMap::new();
+        let origins: HashSet<NodeId> = cur.iter().copied().collect();
+        for attr in owners {
+            let Some(element) = store.parent(attr)? else {
+                continue;
+            };
+            if store.kernel_matches(element, false, test)?
+                && on_axis(store, &origins, &mut memo, step.axis, element)?
+            {
+                next.push(element);
+            }
+        }
+        return Ok(true);
+    }
+    // Name-test drive: only worthwhile for an exact name.
+    let NodeTest::Name(wanted) = &step.test else {
+        return Ok(false);
+    };
+    let Some(qid) = store.symbols().lookup_lexical(wanted) else {
+        return Ok(true);
+    };
+    if store.index_name_len(qid) > budget {
+        return Ok(false);
+    }
+    let mut named = Vec::new();
+    store.index_name_nodes(qid, &mut named);
+    let mut memo = HashMap::new();
+    let origins: HashSet<NodeId> = cur.iter().copied().collect();
+    for n in named {
+        if on_axis(store, &origins, &mut memo, step.axis, n)? {
+            next.push(n);
+        }
+    }
+    Ok(true)
+}
+
+/// Does `node` lie on `axis` from any origin? Child needs one parent
+/// probe; the descendant axes walk the parent chain with a memo table so
+/// a shared ancestor path is classified once per scan, not once per hit.
+fn on_axis(
+    store: &Store,
+    origins: &HashSet<NodeId>,
+    memo: &mut HashMap<NodeId, bool>,
+    axis: Axis,
+    node: NodeId,
+) -> XdmResult<bool> {
+    match axis {
+        Axis::Child => Ok(match store.parent(node)? {
+            Some(p) => origins.contains(&p),
+            None => false,
+        }),
+        Axis::Descendant => contained(store, origins, memo, store.parent(node)?),
+        Axis::DescendantOrSelf => contained(store, origins, memo, Some(node)),
+        _ => Ok(false),
+    }
+}
+
+/// Memoized "is some origin an ancestor-or-self of `start`": walk up
+/// until an origin, a memo entry, or the root, then record the verdict
+/// for every node on the trail.
+fn contained(
+    store: &Store,
+    origins: &HashSet<NodeId>,
+    memo: &mut HashMap<NodeId, bool>,
+    start: Option<NodeId>,
+) -> XdmResult<bool> {
+    let mut trail = Vec::new();
+    let mut at = start;
+    let verdict = loop {
+        let Some(n) = at else { break false };
+        if origins.contains(&n) {
+            break true;
+        }
+        if let Some(&v) = memo.get(&n) {
+            break v;
+        }
+        trail.push(n);
+        at = store.parent(n)?;
+    };
+    for n in trail {
+        memo.insert(n, verdict);
+    }
+    Ok(verdict)
 }
 
 /// Evaluate one join side: through its batch lowering when present,
@@ -702,7 +878,7 @@ fn eval_key(
     if let (Some(steps), Item::Node(n)) = (batch, item) {
         let mut cur = vec![*n];
         let mut next = Vec::new();
-        run_batch_steps(steps, evaluator, store, &mut cur, &mut next)?;
+        run_batch_steps(steps, false, evaluator, store, &mut cur, &mut next)?;
         return cur.into_iter().map(|n| store.string_value(n)).collect();
     }
     env.push_var(var.to_string(), seq![item.clone()]);

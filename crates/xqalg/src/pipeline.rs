@@ -15,7 +15,7 @@ use crate::compile::{compile_structural, Compiler};
 use crate::exec;
 use crate::plan::QueryPlan;
 use std::sync::Arc;
-use xqcore::planner::{CompiledProgram, FunctionExecutor, Planner};
+use xqcore::planner::{CompiledProgram, FunctionExecutor, PlanOptions, Planner};
 use xqcore::{DynEnv, EffectAnalysis, Evaluator};
 use xqdm::item::Sequence;
 use xqdm::{Store, XdmResult};
@@ -176,7 +176,16 @@ impl CompiledProgram for PlannedProgram {
 /// variable initializer, and every declared function body, with join
 /// recognition attempted at each subtree of each part.
 pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
-    assemble(program, |compiler, core| compiler.compile_simplified(core))
+    compile_program_opts(program, &PlanOptions::default())
+}
+
+/// [`compile_program`] under explicit [`PlanOptions`]: when
+/// `index_available` is set, eligible batch steps carry `,idx` hints for
+/// the executor's index scans.
+pub fn compile_program_opts(program: &CoreProgram, opts: &PlanOptions) -> PlannedProgram {
+    assemble(program, opts.index_available, |compiler, core| {
+        compiler.compile_simplified(core)
+    })
 }
 
 /// Compile a whole program to *structural* plans only (see
@@ -185,7 +194,7 @@ pub fn compile_program(program: &CoreProgram) -> PlannedProgram {
 /// treat them. This is the plan `explain_analyze` executes when
 /// compilation is disabled.
 pub fn compile_structural_program(program: &CoreProgram) -> PlannedProgram {
-    assemble(program, |_, core| compile_structural(core))
+    assemble(program, false, |_, core| compile_structural(core))
 }
 
 /// The shared program-assembly skeleton: plan the body and every prolog
@@ -194,9 +203,10 @@ pub fn compile_structural_program(program: &CoreProgram) -> PlannedProgram {
 /// function bodies, and pre-render the plain EXPLAIN text.
 fn assemble(
     program: &CoreProgram,
+    index_available: bool,
     plan_expr: impl Fn(&Compiler, &xqsyn::core::Core) -> QueryPlan,
 ) -> PlannedProgram {
-    let compiler = Compiler::new(program);
+    let compiler = Compiler::new(program).with_index(index_available);
     let body = plan_expr(&compiler, &program.body);
     let mut next_base = body.node_count();
 
@@ -269,6 +279,10 @@ pub struct AlgPlanner;
 impl Planner for AlgPlanner {
     fn plan(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {
         Arc::new(compile_program(program))
+    }
+
+    fn plan_opts(&self, program: &CoreProgram, opts: &PlanOptions) -> Arc<dyn CompiledProgram> {
+        Arc::new(compile_program_opts(program, opts))
     }
 
     fn plan_structural(&self, program: &CoreProgram) -> Arc<dyn CompiledProgram> {

@@ -98,6 +98,12 @@ pub struct BatchPathPlan {
     pub steps: Vec<BatchStep>,
     /// The original core expression (rendering and effect annotation).
     pub core: Core,
+    /// Index eligibility (DESIGN.md §17): the store's secondary indexes
+    /// were available at plan time and at least one step has an
+    /// index-servable shape (a name test on an element axis, or an
+    /// `[@a = "v"]` filter). Rendered as `,idx`; the executor still
+    /// applies its runtime cost and OCC gates per scan.
+    pub idx: bool,
 }
 
 /// One batched path step. Only the axes with store kernels appear here
@@ -109,12 +115,32 @@ pub struct BatchStep {
     pub axis: Axis,
     /// The node test, resolved against the store's interner at run time.
     pub test: NodeTest,
-    /// Existence filters: each is a nested pure step chain applied to the
-    /// candidate node, which survives iff the chain's result is non-empty.
+    /// Predicate filters, applied to each candidate the step emits.
     /// Pure path predicates are position-insensitive, so per-candidate
     /// filtering coincides with the interpreter's per-origin positional
     /// semantics.
-    pub filters: Vec<Vec<BatchStep>>,
+    pub filters: Vec<BatchFilter>,
+}
+
+/// One batched predicate filter (see [`BatchStep::filters`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchFilter {
+    /// An existence filter: a nested pure step chain applied to the
+    /// candidate node, which survives iff the chain's result is
+    /// non-empty. Such predicates always yield nodes (never numbers),
+    /// so positional semantics degenerate to the non-empty test.
+    Exists(Vec<BatchStep>),
+    /// A value filter `[@name = "value"]`: the candidate survives iff it
+    /// carries an attribute `name` whose string value equals `value`
+    /// exactly (general comparison of an untyped attribute against a
+    /// string literal *is* string equality). This is the shape the
+    /// attribute-value hash index serves (DESIGN.md §17).
+    AttrEq {
+        /// The attribute's lexical name.
+        name: String,
+        /// The literal value compared against.
+        value: String,
+    },
 }
 
 /// The join core shared by both optimized shapes.
@@ -294,13 +320,21 @@ impl QueryPlan {
         // `batch` marks a subexpression lowered to the batch step kernels
         // (DESIGN.md §14): a whole chain leaf, a join source, or a join
         // key evaluated by symbol-id compare instead of interpretation.
+        // `idx` additionally marks a chain the secondary indexes may
+        // serve (DESIGN.md §17) — the runtime cost gate decides per scan.
         let mark = |on: bool| if on { ",batch" } else { "" };
+        let bmark = |b: &Option<BatchPathPlan>| match b {
+            Some(bp) if bp.idx => ",batch,idx",
+            Some(_) => ",batch",
+            None => "",
+        };
         let text = match self {
             QueryPlan::Iterate(core) => format!("Iterate{} {{ {core} }}", eff_loop(core)),
             QueryPlan::BatchPath(bp) => {
+                let idx = if bp.idx { ",idx" } else { "" };
                 let eff = match analysis {
-                    Some(a) => format!("[{:?},batch]", a.effect(&bp.core)),
-                    None => "[batch]".to_string(),
+                    Some(a) => format!("[{:?},batch{idx}]", a.effect(&bp.core)),
+                    None => format!("[batch{idx}]"),
                 };
                 format!("BatchPath{eff} {{ {} }}", bp.core)
             }
@@ -311,10 +345,10 @@ impl QueryPlan {
                 eb = eff_body(&j.body),
                 body = j.body,
                 o = j.outer_var,
-                ob = mark(j.outer_batch.is_some()),
+                ob = bmark(&j.outer_batch),
                 osrc = j.outer_source,
                 i = j.inner_var,
-                ib = mark(j.inner_batch.is_some()),
+                ib = bmark(&j.inner_batch),
                 isrc = j.inner_source,
                 ikey = strip_var(&j.inner_key, &j.inner_var),
                 ikb = mark(j.inner_key_steps.is_some()),
@@ -329,12 +363,12 @@ impl QueryPlan {
                 er = eff_body(&g.ret),
                 ret = g.ret,
                 o = g.join.outer_var,
-                ob = mark(g.join.outer_batch.is_some()),
+                ob = bmark(&g.join.outer_batch),
                 body = g.join.body,
                 eb = eff_body(&g.join.body),
                 osrc = g.join.outer_source,
                 i = g.join.inner_var,
-                ib = mark(g.join.inner_batch.is_some()),
+                ib = bmark(&g.join.inner_batch),
                 isrc = g.join.inner_source,
                 ikey = strip_var(&g.join.inner_key, &g.join.inner_var),
                 ikb = mark(g.join.inner_key_steps.is_some()),
@@ -601,6 +635,9 @@ fn annotate_head(text: &str, n: xqcore::obs::NodeStats) -> String {
         }
         if n.batch_steps > 0 {
             note.push_str(&format!(" batch={}/{}", n.batch_steps, n.batch_nodes));
+        }
+        if n.idx_scans > 0 {
+            note.push_str(&format!(" idx={}/{}", n.idx_scans, n.idx_hits));
         }
         note.push(')');
         note

@@ -190,6 +190,12 @@ impl Capture {
         }
     }
 
+    /// Is read tracing on? (The executor's index-scan gate.)
+    #[inline]
+    pub(crate) fn is_tracing(&self) -> bool {
+        self.trace_reads
+    }
+
     #[inline]
     pub(crate) fn trace_read(&self, id: NodeId, aspects: u8) {
         if self.trace_reads {

@@ -24,6 +24,7 @@
 pub mod atomic;
 pub mod error;
 pub mod footprint;
+pub(crate) mod index;
 pub mod item;
 pub mod node;
 pub(crate) mod pages;

@@ -15,6 +15,7 @@
 
 use crate::error::{XdmError, XdmResult};
 use crate::footprint::{aspect, Capture, CapturedDelta};
+use crate::index::{value_hash, IndexPlane};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::pages::Pages;
 use crate::qname::QName;
@@ -182,6 +183,10 @@ pub struct Store {
     /// Interned names: node slots hold [`QNameId`]s/[`crate::SymbolId`]s
     /// into this append-only table (DESIGN.md §14).
     symbols: Symbols,
+    /// Secondary indexes (DESIGN.md §17): derived state maintained by
+    /// the same mutators the paper's semantics defines, COW-shared
+    /// across snapshots like the node pages.
+    index: IndexPlane,
 }
 
 impl Clone for Store {
@@ -198,6 +203,7 @@ impl Clone for Store {
             wal: None,
             capture: None,
             symbols: self.symbols.clone(),
+            index: self.index.clone(),
         }
     }
 }
@@ -263,6 +269,7 @@ impl Store {
             wal: None,
             capture: None,
             symbols: self.symbols.clone(),
+            index: self.index.clone(),
         }
     }
 
@@ -415,6 +422,7 @@ impl Store {
                     okey,
                 };
                 let data = std::mem::replace(&mut self.nodes[i], dead);
+                self.index.note_death(&data.kind, id);
                 if journaling {
                     self.undo.push(UndoEntry::Collected {
                         id,
@@ -453,6 +461,8 @@ impl Store {
     fn undo_entry(&mut self, entry: UndoEntry) {
         match entry {
             UndoEntry::Alloc { id, reused } => {
+                // Mirror the index before the slot's payload is erased.
+                self.index.note_death(&self.nodes[id.index()].kind, id);
                 if !reused && id.index() + 1 == self.nodes.len() {
                     self.nodes.pop();
                 } else {
@@ -468,6 +478,22 @@ impl Store {
                 }
             }
             UndoEntry::Name { id, name } => {
+                // Mirror the index move (current name → restored name)
+                // before the direct write.
+                let moved = match &self.nodes[id.index()].kind {
+                    NodeKind::Element { name: cur, .. } => Some((*cur, None)),
+                    NodeKind::Attribute { name: cur, value } => {
+                        Some((*cur, Some(value_hash(value))))
+                    }
+                    _ => None,
+                };
+                match moved {
+                    Some((cur, None)) => self.index.move_element(cur, name, id),
+                    Some((cur, Some(vh))) => {
+                        self.index.move_attr((cur, vh), (name, vh), id);
+                    }
+                    None => {}
+                }
                 if let NodeKind::Element { name: n, .. } | NodeKind::Attribute { name: n, .. } =
                     &mut self.nodes[id.index()].kind
                 {
@@ -480,6 +506,15 @@ impl Store {
                 }
             }
             UndoEntry::AttrValue { id, value } => {
+                let moved = match &self.nodes[id.index()].kind {
+                    NodeKind::Attribute { name, value: cur } => {
+                        Some((*name, value_hash(cur), value_hash(&value)))
+                    }
+                    _ => None,
+                };
+                if let Some((name, from, to)) = moved {
+                    self.index.move_attr((name, from), (name, to), id);
+                }
                 if let NodeKind::Attribute { value: v, .. } = &mut self.nodes[id.index()].kind {
                     *v = value;
                 }
@@ -533,6 +568,9 @@ impl Store {
                 }
             }
             UndoEntry::Collected { id, data } => {
+                // The slot comes back alive with its full payload:
+                // reinstate its index entries.
+                self.index.note_birth(&data.kind, id);
                 self.nodes[id.index()] = *data;
                 if self.free.last() == Some(&id) {
                     self.free.pop();
@@ -561,6 +599,7 @@ impl Store {
                 (id, false)
             }
         };
+        self.index.note_birth(&self.nodes[id.index()].kind, id);
         if self.journaling() {
             self.undo.push(UndoEntry::Alloc { id, reused });
         }
@@ -800,6 +839,105 @@ impl Store {
     /// The store's symbol table (read access: name lookups, resolution).
     pub fn symbols(&self) -> &Symbols {
         &self.symbols
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes (DESIGN.md §17; docs/INDEXES.md)
+    // ------------------------------------------------------------------
+
+    /// Is the index plane available to the planner? Maintenance is
+    /// unconditional (O(1) per affected mutation); this flag only gates
+    /// `,idx` plan selection.
+    pub fn index_enabled(&self) -> bool {
+        self.index.enabled()
+    }
+
+    /// Toggle planner availability of the index plane. A real change
+    /// bumps [`Store::index_epoch`], which plan caches fold into their
+    /// keys so a cached `,idx` plan never outlives its index.
+    pub fn set_indexing(&mut self, on: bool) {
+        self.index.set_enabled(on);
+    }
+
+    /// The index availability epoch (bumped per toggle).
+    pub fn index_epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
+    /// Alive element count — the cost gate's selectivity denominator.
+    pub fn indexed_elements(&self) -> usize {
+        self.index.elements()
+    }
+
+    /// Number of alive elements named `name` anywhere in the store
+    /// (0 when none — bucket absence *is* an exact answer).
+    pub fn index_name_len(&self, name: QNameId) -> usize {
+        self.index.name_len(name)
+    }
+
+    /// [`Store::index_name_len`] from a lexical name (tests, REPL).
+    pub fn index_name_len_lexical(&self, lexical: &str) -> usize {
+        match self.symbols.lookup_lexical(lexical) {
+            Some(q) => self.index.name_len(q),
+            None => 0,
+        }
+    }
+
+    /// Append every alive element named `name` to `out` — store-global
+    /// and unordered; callers filter by containment against their scan
+    /// origins and doc-order sort the result. Traces a NAME read per
+    /// hit when a read-tracing capture is attached, but planners must
+    /// not *select* index scans while tracing: the absence of a match
+    /// is an existence read no per-node footprint can express.
+    pub fn index_name_nodes(&self, name: QNameId, out: &mut Vec<NodeId>) {
+        if let Some(bucket) = self.index.name_bucket(name) {
+            for &id in bucket {
+                self.trace_read(id, aspect::NAME);
+                out.push(id);
+            }
+        }
+    }
+
+    /// Upper bound on the number of alive attributes named `name` with
+    /// value `value` (hash-bucket size; collisions inflate it).
+    pub fn index_attr_len(&self, name: QNameId, value: &str) -> usize {
+        self.index.attr_len(name, value_hash(value))
+    }
+
+    /// Append every alive attribute node named `name` whose value
+    /// equals `value` *exactly* to `out` (the hash bucket is re-checked
+    /// here, so collisions cost a string compare, never a wrong
+    /// answer). Same contract and tracing caveats as
+    /// [`Store::index_name_nodes`].
+    pub fn index_attr_nodes(&self, name: QNameId, value: &str, out: &mut Vec<NodeId>) {
+        if let Some(bucket) = self.index.attr_bucket(name, value_hash(value)) {
+            for &id in bucket {
+                if let Some(NodeData {
+                    kind: NodeKind::Attribute { value: v, .. },
+                    alive: true,
+                    ..
+                }) = self.nodes.get(id.index())
+                {
+                    if v == value {
+                        self.trace_read(id, aspect::NAME | aspect::VALUE);
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is a read-tracing Δ capture attached? The executor refuses
+    /// index scans while tracing (see [`Store::index_name_nodes`]) and
+    /// falls back to the batch kernels, whose footprints are exact.
+    pub fn tracing_reads(&self) -> bool {
+        self.capture.as_deref().is_some_and(Capture::is_tracing)
+    }
+
+    /// Does the plane hold exactly the entries a from-scratch rebuild
+    /// would? The maintenance-equivalence oracle for the proptests.
+    pub fn index_verify(&self) -> bool {
+        self.index.matches_rebuild(&self.nodes)
     }
 
     // ------------------------------------------------------------------
@@ -1395,6 +1533,16 @@ impl Store {
                 return Err(XdmError::precondition(format!("cannot rename a {k} node")));
             }
         };
+        let moved = match &self.nodes[node.index()].kind {
+            NodeKind::Element { .. } => Some(None),
+            NodeKind::Attribute { value, .. } => Some(Some(value_hash(value))),
+            _ => None,
+        };
+        match moved {
+            Some(None) => self.index.move_element(old, name, node),
+            Some(Some(vh)) => self.index.move_attr((old, vh), (name, vh), node),
+            None => {}
+        }
         if self.journaling() {
             self.undo.push(UndoEntry::Name {
                 id: node,
@@ -1448,6 +1596,15 @@ impl Store {
                 )));
             }
         };
+        let moved = match &self.nodes[node.index()].kind {
+            NodeKind::Attribute { name, value: new } => {
+                Some((*name, value_hash(&old), value_hash(new)))
+            }
+            _ => None,
+        };
+        if let Some((name, from, to)) = moved {
+            self.index.move_attr((name, from), (name, to), node);
+        }
         if self.journaling() {
             self.undo.push(UndoEntry::AttrValue {
                 id: node,
@@ -1708,6 +1865,7 @@ impl Store {
                     okey,
                 };
                 let data = std::mem::replace(&mut self.nodes[i], dead);
+                self.index.note_death(&data.kind, id);
                 if journaling {
                     self.undo.push(UndoEntry::Collected {
                         id,
@@ -2032,6 +2190,7 @@ impl Store {
                 okey,
             };
             let data = std::mem::replace(&mut self.nodes[i], dead);
+            self.index.note_death(&data.kind, id);
             if journaling {
                 self.undo.push(UndoEntry::Collected {
                     id,
@@ -2183,14 +2342,19 @@ impl Store {
         if !c.done() {
             return Err(corrupt("trailing bytes"));
         }
+        let nodes = Pages::from_vec(nodes);
+        // The plane is derived state: a checkpoint never carries it, so
+        // recovery rebuilds it from the slots (rebuild-on-replay).
+        let index = IndexPlane::rebuild(&nodes, true, 0);
         let store = Store {
-            nodes: Pages::from_vec(nodes),
+            nodes,
             free,
             undo: Vec::new(),
             frames: Vec::new(),
             symbols,
             wal: None,
             capture: None,
+            index,
         };
         if store.fingerprint() != fingerprint {
             return Err(corrupt("fingerprint mismatch"));

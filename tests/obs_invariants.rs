@@ -177,6 +177,59 @@ fn analyze_profile_coherent_under_parallel_fanout() {
     assert_eq!(profile.total_delta_self(), stats.requests_emitted);
 }
 
+/// ISSUE 10 satellite: strategy counters (`batch=`, `idx=`) are
+/// determinism-exempt in *where* they attribute, but their totals must
+/// equal the 1-thread run — a batched spine under a `[par]` For-binder
+/// must not double-count steps across workers (workers interpret pure
+/// bodies and never touch the batch kernels; only the main thread
+/// counts). Pinned at both thread legs of the matrix.
+#[test]
+fn batch_and_idx_totals_are_thread_invariant() {
+    let doc: String = std::iter::once("<root>".to_string())
+        .chain((0..40).map(|i| format!("<b><e v=\"{i}\"/></b>")))
+        .chain(std::iter::once("</root>".to_string()))
+        .collect();
+    // Two spine shapes: a batched body under a For (runs per binding on
+    // the main thread), and a pure path body that fans out under [par]
+    // (workers interpret it — no batch counting at any thread count).
+    let queries = [
+        "for $b in $doc/root/b return $b/e",
+        "for $i in 1 to 8 return count($doc/root/b/e)",
+    ];
+    for (qi, query) in queries.iter().enumerate() {
+        let mut totals = Vec::new();
+        for threads in [1usize, 8] {
+            let mut e = Engine::new().with_seed(0x0b5);
+            e.set_compile(true);
+            e.set_threads(threads);
+            e.load_document("doc", &doc).unwrap();
+            e.explain_analyze(query).unwrap();
+            let stats = e.last_stats().unwrap();
+            totals.push((
+                threads,
+                stats.batch_steps,
+                stats.batch_nodes,
+                stats.idx_scans,
+                stats.idx_hits,
+            ));
+        }
+        let (_, steps1, nodes1, scans1, hits1) = totals[0];
+        if qi == 0 {
+            assert!(
+                steps1 + scans1 > 0,
+                "expected a batched/indexed spine in the 1-thread run of {query}: {totals:?}"
+            );
+        }
+        for &(threads, steps, nodes, scans, hits) in &totals {
+            assert_eq!(
+                (steps, nodes, scans, hits),
+                (steps1, nodes1, scans1, hits1),
+                "strategy counter totals for {query} diverged at {threads} threads: {totals:?}"
+            );
+        }
+    }
+}
+
 /// `explain_analyze` really executes the query: effects land in the
 /// store, and a second analyze of a reading query sees them.
 #[test]

@@ -22,7 +22,10 @@ use xquery_bang::xqdm::{NodeId, QName, Store};
 enum Op {
     NewElement(u8),
     NewText(String),
+    NewAttr { name: u8, value: u8 },
     AppendChild { parent: usize, child: usize },
+    AttachAttr { owner: usize, attr: usize },
+    SetAttrValue { node: usize, value: u8 },
     Detach(usize),
     Rename { node: usize, name: u8 },
     DeepCopy(usize),
@@ -33,8 +36,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..20).prop_map(Op::NewElement),
         "[a-z]{0,6}".prop_map(Op::NewText),
+        (0u8..6, 0u8..8).prop_map(|(name, value)| Op::NewAttr { name, value }),
         (any::<usize>(), any::<usize>())
             .prop_map(|(parent, child)| Op::AppendChild { parent, child }),
+        (any::<usize>(), any::<usize>()).prop_map(|(owner, attr)| Op::AttachAttr { owner, attr }),
+        (any::<usize>(), 0u8..8).prop_map(|(node, value)| Op::SetAttrValue { node, value }),
         any::<usize>().prop_map(Op::Detach),
         (any::<usize>(), 0u8..20).prop_map(|(node, name)| Op::Rename { node, name }),
         any::<usize>().prop_map(Op::DeepCopy),
@@ -52,9 +58,21 @@ fn run_script(ops: &[Op]) -> (Store, Vec<NodeId>) {
         match op {
             Op::NewElement(n) => nodes.push(store.new_element(QName::local(format!("e{n}")))),
             Op::NewText(t) => nodes.push(store.new_text(t.clone())),
+            Op::NewAttr { name, value } => {
+                nodes.push(
+                    store.new_attribute(QName::local(format!("a{name}")), format!("v{value}")),
+                );
+            }
             Op::AppendChild { parent, child } => {
                 let (p, c) = (pick(*parent), pick(*child));
                 let _ = store.append_child(p, c);
+            }
+            Op::AttachAttr { owner, attr } => {
+                let (o, a) = (pick(*owner), pick(*attr));
+                let _ = store.attach_attribute(o, a);
+            }
+            Op::SetAttrValue { node, value } => {
+                let _ = store.set_attribute_value(pick(*node), format!("v{value}"));
             }
             Op::Detach(n) => {
                 let _ = store.detach(pick(*n));
@@ -127,6 +145,48 @@ proptest! {
     fn scripts_preserve_link_consistency(ops in proptest::collection::vec(op_strategy(), 0..80)) {
         let (store, nodes) = run_script(&ops);
         check_link_consistency(&store, &nodes);
+    }
+
+    // ISSUE 10 maintenance equivalence: after ANY random mutation
+    // stream (births, kills, renames, attribute moves, deep copies),
+    // the incrementally-maintained index plane holds exactly the
+    // entries a from-scratch rebuild would.
+    #[test]
+    fn index_matches_from_scratch_rebuild(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let (store, _) = run_script(&ops);
+        prop_assert!(store.index_verify(), "index diverged from rebuild");
+    }
+
+    // Same oracle through the Δ layer: a successfully applied random
+    // delta keeps the index rebuild-equivalent in every snap mode.
+    #[test]
+    fn index_matches_rebuild_after_applied_deltas(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        renames in proptest::collection::vec((any::<usize>(), 0u8..12), 1..8),
+        mode_pick in 0u8..3,
+    ) {
+        use xquery_bang::xqcore::{apply_delta, Delta, SnapMode, UpdateRequest};
+        let (mut store, nodes) = run_script(&ops);
+        let pick_element = |store: &Store, i: usize| -> NodeId {
+            (0..nodes.len())
+                .map(|k| nodes[(i + k) % nodes.len()])
+                .find(|&n| store.name(n).unwrap().is_some())
+                .unwrap_or(nodes[0])
+        };
+        let delta: Delta = renames
+            .iter()
+            .enumerate()
+            .map(|(slot, (i, name))| UpdateRequest::Rename {
+                node: pick_element(&store, *i),
+                name: QName::local(format!("d{name}x{slot}")),
+            })
+            .collect();
+        let mode = [SnapMode::Ordered, SnapMode::Nondeterministic, SnapMode::ConflictDetection]
+            [mode_pick as usize];
+        // Same-target renames conflict under conflict-detection; either
+        // outcome must leave the index rebuild-equivalent.
+        let _ = apply_delta(&mut store, delta, mode, 7);
+        prop_assert!(store.index_verify(), "index diverged after Δ in {mode:?}");
     }
 
     #[test]
@@ -309,6 +369,8 @@ proptest! {
                 "unexpected error {:?} in mode {:?}", err, mode
             );
             prop_assert_eq!(&snapshot(&store, &tracked), &before, "mode {:?} not atomic", mode);
+            // ISSUE 10: the undo journal rolled the index plane back too.
+            prop_assert!(store.index_verify(), "index diverged after rollback in {:?}", mode);
         }
 
         // Rollback left no orphan allocations: rooting everything we ever

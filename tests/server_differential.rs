@@ -132,6 +132,17 @@ fn assert_replays_serially(server: &Server) -> Engine {
         server.fingerprint(),
         "final replica state must equal the server's latest snapshot"
     );
+    // ISSUE 10: however many OCC retries, rollbacks, and errored commits
+    // the schedule forced, the incrementally-maintained index plane must
+    // equal a from-scratch rebuild — on the live writer and the replica.
+    assert!(
+        server.with_engine(|e| e.store.index_verify()),
+        "server index diverged from a from-scratch rebuild"
+    );
+    assert!(
+        replica.store.index_verify(),
+        "replica index diverged from a from-scratch rebuild"
+    );
     replica
 }
 

@@ -205,6 +205,53 @@ fn write_path_and_read_path_share_one_cache() {
     assert!(hits_after >= 1);
 }
 
+#[test]
+fn plan_cache_misses_when_index_availability_changes() {
+    // ISSUE 10 staleness bugfix: a plan compiled with `,idx` scans must
+    // not be served against a store state whose index plane is gone (or
+    // vice versa). Availability and the toggle epoch are folded into the
+    // fingerprint key, so each index state plans afresh.
+    let server = server_with_log();
+    let s = server.open_session().unwrap();
+    let query = "$doc/log/e";
+    assert!(
+        server
+            .with_engine(|e| e.explain(query).unwrap())
+            .contains(",idx"),
+        "indexes are available by default, the plan carries idx hints"
+    );
+    s.execute(query).unwrap();
+    let (_, misses_indexed) = server.plan_cache().stats();
+    // Disable the index plane, then publish the new store state with a
+    // write so reader sessions pin it.
+    server.with_engine(|e| e.set_indexing(false));
+    s.execute("insert { <e n=\"0\"/> } into { $doc/log }")
+        .unwrap();
+    assert!(
+        !server
+            .with_engine(|e| e.explain(query).unwrap())
+            .contains(",idx"),
+        "no idx hints once the plane is disabled"
+    );
+    s.execute(query).unwrap();
+    let (_, misses_unindexed) = server.plan_cache().stats();
+    assert!(
+        misses_unindexed > misses_indexed,
+        "index availability change must re-plan, not serve the stale ,idx plan"
+    );
+    // Re-enabling bumps the toggle epoch: a third distinct key, so the
+    // first epoch's entry is not resurrected either.
+    server.with_engine(|e| e.set_indexing(true));
+    s.execute("insert { <e n=\"1\"/> } into { $doc/log }")
+        .unwrap();
+    s.execute(query).unwrap();
+    let (_, misses_reenabled) = server.plan_cache().stats();
+    assert!(
+        misses_reenabled > misses_unindexed,
+        "re-enable re-plans under the bumped index epoch"
+    );
+}
+
 // ----------------------------------------------------------------------
 // 4. proptest: random read/write interleavings
 // ----------------------------------------------------------------------
